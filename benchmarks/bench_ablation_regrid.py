@@ -1,0 +1,16 @@
+"""Regenerate the section 8.3 workload-redistribution ablation.
+
+Applies the block-regridding transformation (the paper's first "future
+direction", implemented in ``repro.transform.regrid``) to the evaluation
+workloads and compares 32-node CuCC runtimes against the original
+SM-tuned geometries.
+"""
+
+from repro.bench import figures as F
+
+
+def test_ablation_regrid(benchmark, emit, bench_size):
+    result = benchmark.pedantic(
+        lambda: F.ablation_regrid(size=bench_size), rounds=1, iterations=1
+    )
+    emit(result, "ablation_regrid")

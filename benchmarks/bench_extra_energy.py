@@ -1,0 +1,15 @@
+"""Regenerate the section 8.4 cost/energy extension table.
+
+Quantifies the paper's qualitative argument that idle CPUs are an
+energy-attractive substitute for scarce GPUs, using the spec database's
+load/idle power figures.
+"""
+
+from repro.bench import figures as F
+
+
+def test_extra_energy(benchmark, emit, bench_size):
+    result = benchmark.pedantic(
+        lambda: F.extra_energy(size=bench_size), rounds=1, iterations=1
+    )
+    emit(result, "extra_energy")

@@ -1,0 +1,15 @@
+"""Regenerate Figure 1: CPU vs GPU partition waiting times (Slurm simulation).
+
+Timed with pytest-benchmark; the rendered table lands in
+`benchmarks/results/`.  See DESIGN.md's per-experiment index for the
+workload, parameters and modules behind this experiment.
+"""
+
+from repro.bench import figures as F
+
+
+def test_fig01_waiting_times(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: F.fig01_waiting_times(), rounds=1, iterations=1
+    )
+    emit(result, "fig01_waiting_times")

@@ -1,0 +1,15 @@
+"""Regenerate Section 2.3: Allgather variant comparison.
+
+Timed with pytest-benchmark; the rendered table lands in
+`benchmarks/results/`.  See DESIGN.md's per-experiment index for the
+workload, parameters and modules behind this experiment.
+"""
+
+from repro.bench import figures as F
+
+
+def test_fig03_allgather(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: F.fig03_allgather(), rounds=1, iterations=1
+    )
+    emit(result, "fig03_allgather")

@@ -1,0 +1,15 @@
+"""Regenerate Figure 4: PGAS migration scalability.
+
+Timed with pytest-benchmark; the rendered table lands in
+`benchmarks/results/`.  See DESIGN.md's per-experiment index for the
+workload, parameters and modules behind this experiment.
+"""
+
+from repro.bench import figures as F
+
+
+def test_fig04_pgas_scaling(benchmark, emit, bench_size):
+    result = benchmark.pedantic(
+        lambda: F.fig04_pgas_scaling(size=bench_size), rounds=1, iterations=1
+    )
+    emit(result, "fig04_pgas_scaling")

@@ -1,0 +1,15 @@
+"""Regenerate Figure 6: the migration pipeline artifacts.
+
+Timed with pytest-benchmark; the rendered table lands in
+`benchmarks/results/`.  See DESIGN.md's per-experiment index for the
+workload, parameters and modules behind this experiment.
+"""
+
+from repro.bench import figures as F
+
+
+def test_fig06_pipeline(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: F.fig06_pipeline(), rounds=1, iterations=1
+    )
+    emit(result, "fig06_pipeline")

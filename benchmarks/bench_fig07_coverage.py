@@ -1,0 +1,15 @@
+"""Regenerate Figure 7: Allgather-distributable coverage.
+
+Timed with pytest-benchmark; the rendered table lands in
+`benchmarks/results/`.  See DESIGN.md's per-experiment index for the
+workload, parameters and modules behind this experiment.
+"""
+
+from repro.bench import figures as F
+
+
+def test_fig07_coverage(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: F.fig07_coverage(), rounds=1, iterations=1
+    )
+    emit(result, "fig07_coverage")

@@ -1,0 +1,15 @@
+"""Regenerate Figure 8: CuCC strong scaling.
+
+Timed with pytest-benchmark; the rendered table lands in
+`benchmarks/results/`.  See DESIGN.md's per-experiment index for the
+workload, parameters and modules behind this experiment.
+"""
+
+from repro.bench import figures as F
+
+
+def test_fig08_scalability(benchmark, emit, bench_size):
+    result = benchmark.pedantic(
+        lambda: F.fig08_scalability(size=bench_size), rounds=1, iterations=1
+    )
+    emit(result, "fig08_scalability")

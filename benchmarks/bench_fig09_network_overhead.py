@@ -1,0 +1,15 @@
+"""Regenerate Figure 9: network overhead share.
+
+Timed with pytest-benchmark; the rendered table lands in
+`benchmarks/results/`.  See DESIGN.md's per-experiment index for the
+workload, parameters and modules behind this experiment.
+"""
+
+from repro.bench import figures as F
+
+
+def test_fig09_network_overhead(benchmark, emit, bench_size):
+    result = benchmark.pedantic(
+        lambda: F.fig09_network_overhead(size=bench_size), rounds=1, iterations=1
+    )
+    emit(result, "fig09_network_overhead")

@@ -1,0 +1,15 @@
+"""Regenerate Figure 10: CuCC vs PGAS runtime ratio.
+
+Timed with pytest-benchmark; the rendered table lands in
+`benchmarks/results/`.  See DESIGN.md's per-experiment index for the
+workload, parameters and modules behind this experiment.
+"""
+
+from repro.bench import figures as F
+
+
+def test_fig10_cucc_vs_pgas(benchmark, emit, bench_size):
+    result = benchmark.pedantic(
+        lambda: F.fig10_cucc_vs_pgas(size=bench_size), rounds=1, iterations=1
+    )
+    emit(result, "fig10_cucc_vs_pgas")

@@ -1,0 +1,15 @@
+"""Regenerate Figure 11: CPU clusters vs GPUs.
+
+Timed with pytest-benchmark; the rendered table lands in
+`benchmarks/results/`.  See DESIGN.md's per-experiment index for the
+workload, parameters and modules behind this experiment.
+"""
+
+from repro.bench import figures as F
+
+
+def test_fig11_cpu_vs_gpu(benchmark, emit, bench_size):
+    result = benchmark.pedantic(
+        lambda: F.fig11_cpu_vs_gpu(size=bench_size), rounds=1, iterations=1
+    )
+    emit(result, "fig11_cpu_vs_gpu")

@@ -1,0 +1,15 @@
+"""Regenerate Figure 13: SIMD- vs Thread-Focused at equal peak.
+
+Timed with pytest-benchmark; the rendered table lands in
+`benchmarks/results/`.  See DESIGN.md's per-experiment index for the
+workload, parameters and modules behind this experiment.
+"""
+
+from repro.bench import figures as F
+
+
+def test_fig13_simd_vs_thread(benchmark, emit, bench_size):
+    result = benchmark.pedantic(
+        lambda: F.fig13_simd_vs_thread(size=bench_size), rounds=1, iterations=1
+    )
+    emit(result, "fig13_simd_vs_thread")

@@ -1,0 +1,87 @@
+"""Library micro-benchmarks: wall-clock throughput of the core components.
+
+Unlike the ``bench_fig*`` files (which regenerate the paper's *simulated*
+results), these measure the reproduction's own machinery — interpreter
+lanes/second, compiler analysis latency, communicator copy bandwidth —
+so regressions in the substrate show up in ``--benchmark-only`` runs.
+"""
+
+import numpy as np
+
+from repro.analysis import analyze_kernel, finalize_plan
+from repro.cluster import Cluster
+from repro.frontend.parser import parse_kernel
+from repro.hw import SIMD_FOCUSED_NODE
+from repro.interp import LaunchConfig, run_grid
+from repro.workloads.fir import CUDA_SOURCE as FIR_SRC
+
+VEC = """
+__global__ void vec_mad(const float *x, float *y, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) y[id] = x[id] * 2.0f + 1.0f;
+}
+"""
+
+
+def test_interpreter_streaming_throughput(benchmark):
+    """Lanes/second of the vectorized interpreter on a streaming kernel."""
+    k = parse_kernel(VEC)
+    n = 1 << 20
+    x = np.ones(n, dtype=np.float32)
+    y = np.zeros(n, dtype=np.float32)
+    cfg = LaunchConfig.make(n // 256, 256)
+
+    def run():
+        run_grid(k, cfg, {"x": x, "y": y, "n": n})
+
+    benchmark(run)
+    assert y[0] == 3.0
+
+
+def test_interpreter_loop_kernel_throughput(benchmark):
+    """Iterations/second on a loop-heavy kernel (FIR, small)."""
+    k = parse_kernel(FIR_SRC)
+    n, taps = 1 << 14, 64
+    inp = np.ones(n + taps, dtype=np.float32)
+    co = np.ones(taps, dtype=np.float32)
+    out = np.zeros(n, dtype=np.float32)
+    cfg = LaunchConfig.make(n // 256, 256)
+
+    def run():
+        run_grid(
+            k, cfg,
+            {"input": inp, "coeff": co, "output": out, "num_taps": taps,
+             "n": n},
+        )
+
+    benchmark(run)
+
+
+def test_parser_latency(benchmark):
+    benchmark(lambda: parse_kernel(FIR_SRC))
+
+
+def test_analysis_latency(benchmark):
+    k = parse_kernel(FIR_SRC)
+    benchmark(lambda: analyze_kernel(k))
+
+
+def test_plan_finalization_latency(benchmark):
+    a = analyze_kernel(parse_kernel(FIR_SRC))
+    cfg = LaunchConfig.make(4096, 256)
+    scalars = {"num_taps": 64, "n": 4096 * 256 - 100}
+    plan = benchmark(lambda: finalize_plan(a, cfg, scalars, 32))
+    assert not plan.replicated
+
+
+def test_allgather_data_movement(benchmark):
+    """Bytes/second the simulated communicator physically moves."""
+    cl = Cluster(SIMD_FOCUSED_NODE, 8)
+    per_rank = 1 << 18
+    for node in cl.nodes:
+        node.alloc("d", per_rank * 8, np.float32)
+
+    def run():
+        cl.comm.allgather_in_place("d", 0, per_rank)
+
+    benchmark(run)

@@ -1,0 +1,15 @@
+"""Regenerate Table 1: cluster specifications.
+
+Timed with pytest-benchmark; the rendered table lands in
+`benchmarks/results/`.  See DESIGN.md's per-experiment index for the
+workload, parameters and modules behind this experiment.
+"""
+
+from repro.bench import figures as F
+
+
+def test_tab01_specs(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: F.tab01_specs(), rounds=1, iterations=1
+    )
+    emit(result, "tab01_specs")

@@ -1,0 +1,40 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each ``bench_*`` file regenerates one table/figure of the paper through
+``repro.bench.figures`` and times it with pytest-benchmark.  The rendered
+tables are written to ``benchmarks/results/*.txt`` (stdout is captured by
+pytest unless ``-s`` is given).
+
+Set ``REPRO_BENCH_SIZE=small`` for a fast pass with CI-sized problems;
+the default regenerates the paper-size experiments (the first profile
+pass takes ~1 minute and is cached across all benchmarks in the session).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+SIZE = os.environ.get("REPRO_BENCH_SIZE", "paper")
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_size() -> str:
+    return SIZE
+
+
+@pytest.fixture()
+def emit():
+    """Write a FigureResult's rendering to benchmarks/results/ and echo it."""
+
+    def _emit(result, name: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.render()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _emit

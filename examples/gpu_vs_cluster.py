@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""GPU vs CPU-cluster comparison across all eight evaluation workloads.
+
+A compact version of the paper's Figure 11: runs every workload (small
+size) on the A100/V100 models, on a single CPU node of each type
+(CuPBoP-equivalent), and on small CuCC clusters, checking correctness on
+every platform and printing the runtime matrix.
+
+Run:  python examples/gpu_vs_cluster.py       (~30 s)
+"""
+
+from repro import api
+from repro.bench.harness import format_table, run_on_cucc, run_on_gpu
+from repro.workloads import PERF_WORKLOADS
+
+
+def main() -> None:
+    rows = []
+    for name, build in PERF_WORKLOADS.items():
+        t_a100 = run_on_gpu(build("small"), api.A100)
+        t_v100 = run_on_gpu(build("small"), api.V100)
+
+        simd1 = run_on_cucc(
+            build("small"), api.Cluster(api.SIMD_FOCUSED_NODE, 1)
+        ).time
+        simd4 = run_on_cucc(
+            build("small"), api.Cluster(api.SIMD_FOCUSED_NODE, 4)
+        ).time
+        thread4 = run_on_cucc(
+            build("small"), api.Cluster(api.THREAD_FOCUSED_NODE, 4)
+        ).time
+        rows.append(
+            [
+                name,
+                f"{t_a100 * 1e6:.1f}",
+                f"{t_v100 * 1e6:.1f}",
+                f"{simd1 * 1e6:.1f}",
+                f"{simd4 * 1e6:.1f}",
+                f"{thread4 * 1e6:.1f}",
+                f"{simd4 / t_a100:.2f}x",
+            ]
+        )
+    print(
+        format_table(
+            ["Workload", "A100 (us)", "V100 (us)", "SIMD x1", "SIMD x4",
+             "Thread x4", "SIMDx4 / A100"],
+            rows,
+        )
+    )
+    print(
+        "\nEvery run verified against the NumPy reference on every node's "
+        "memory.  For paper-scale numbers run `python -m repro.bench fig11`."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""A complete application: iterative KMeans clustering on a CPU cluster.
+
+The earlier examples launch single kernels; real GPU applications
+interleave kernel launches with host logic.  This one runs Lloyd's
+algorithm end to end on a 4-node simulated cluster:
+
+1. the assignment kernel (the paper's KMeans workload, 313 GPU blocks)
+   executes distributed via the three-phase CuCC workflow;
+2. membership comes back with ``memcpy_d2h(check_consistency=True)`` —
+   asserting that every iteration left all four replicas identical;
+3. centroids are recomputed on the host and re-broadcast with
+   ``memcpy_h2d``, restoring the replication invariant for the next
+   launch.
+
+The final membership and centroids are verified against a pure-NumPy
+Lloyd's implementation with the same tie-breaking, and the run prints
+the simulated time spent in each phase across all iterations.
+
+Run:  python examples/kmeans_app.py        (~30 s)
+"""
+
+import numpy as np
+
+from repro import api
+from repro.workloads.kmeans import CUDA_SOURCE
+
+
+def host_update(x_fm: np.ndarray, membership: np.ndarray, k: int) -> np.ndarray:
+    """Recompute centroids (feature-major) from assignments."""
+    d, n = x_fm.shape
+    cent = np.zeros((d, k), dtype=np.float32)
+    for c in range(k):
+        sel = membership == c
+        if sel.any():
+            cent[:, c] = x_fm[:, sel].mean(axis=1, dtype=np.float64)
+    return cent
+
+
+def numpy_lloyd(x_fm, cent0, iters):
+    """Reference: Lloyd's algorithm with the kernel's tie-breaking."""
+    cent = cent0.copy()
+    d, n = x_fm.shape
+    k = cent.shape[1]
+    member = np.zeros(n, dtype=np.int32)
+    for _ in range(iters):
+        best = np.full(n, np.float32(3.4e38))
+        member = np.zeros(n, dtype=np.int32)
+        for c in range(k):
+            dist = np.zeros(n, dtype=np.float32)
+            for j in range(d):
+                diff = x_fm[j] - cent[j, c]
+                dist += diff * diff
+            upd = dist < best
+            member = np.where(upd, np.int32(c), member)
+            best = np.minimum(dist, best)
+        cent = host_update(x_fm, member, k)
+    return member, cent
+
+
+def main() -> None:
+    n, d, k, iters = 313 * 64, 8, 6, 5
+    rng = np.random.default_rng(7)
+    # three separated blobs plus noise so the clustering is meaningful
+    centers = rng.standard_normal((d, k)) * 4
+    labels_true = rng.integers(0, k, n)
+    x = (centers[:, labels_true] + rng.standard_normal((d, n))).astype(
+        np.float32
+    )
+    cent0 = x[:, rng.choice(n, k, replace=False)].astype(np.float32)
+    cent = cent0.copy()
+
+    cluster = api.make_cluster("simd-focused", 4)
+    rt = api.CuCCRuntime(cluster)
+    compiled = rt.compile(api.parse_cuda_kernel(CUDA_SOURCE))
+    print(compiled.analysis.metadata.describe())
+
+    rt.memory.alloc("x", d * n, np.float32)
+    rt.memory.alloc("centroids", d * k, np.float32)
+    rt.memory.alloc("membership", n, np.int32)
+    rt.memory.memcpy_h2d("x", x.reshape(-1))
+
+    block = 64
+    grid = -(-n // block)
+    member = None
+    for it in range(iters):
+        rt.memory.memcpy_h2d("centroids", cent.reshape(-1))
+        rec = rt.launch(
+            compiled,
+            grid,
+            block,
+            {
+                "x": "x",
+                "centroids": "centroids",
+                "membership": "membership",
+                "npoints": n,
+                "nclusters": k,
+                "nfeatures": d,
+            },
+        )
+        member = rt.memory.memcpy_d2h("membership", check_consistency=True)
+        cent = host_update(x, member, k)
+        moved = np.bincount(member, minlength=k)
+        print(
+            f"iter {it}: {rec.describe()}  cluster sizes={list(moved)}"
+        )
+
+    ref_member, ref_cent = numpy_lloyd(x, cent0, iters)
+    assert np.array_equal(member, ref_member), "assignments diverge"
+    assert np.allclose(cent, ref_cent, rtol=1e-5, atol=1e-6)
+
+    total = sum(r.time for r in rt.launches)
+    comm = sum(r.phases.allgather for r in rt.launches)
+    print(
+        f"\nOK: {iters} distributed iterations match the NumPy Lloyd's "
+        f"reference exactly on all {cluster.num_nodes} nodes"
+    )
+    print(
+        f"simulated kernel time {total * 1e3:.3f} ms total, of which "
+        f"{comm * 1e3:.3f} ms Allgather "
+        f"({100 * comm / total:.1f}% network overhead)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: migrate the paper's Listing 1 to a 2-node CPU cluster.
+
+Walks the full CuCC pipeline on the paper's running example — the
+``vec_copy`` kernel with 1200 elements and 256-thread blocks — showing
+each artifact the paper's Figure 6 shows:
+
+1. parse the CUDA source to kernel IR;
+2. run the Allgather distributable analysis (metadata: tail_divergent,
+   mem_ptr, unit_size);
+3. generate the CPU kernel module (Listing 2) and the three-phase host
+   module;
+4. execute on a simulated 2-node cluster and verify that both nodes end
+   up with identical, correct memory.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import api
+
+CUDA_SOURCE = """
+#define N 1200
+__global__ void vec_copy(char *src, char *dest) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    if (id < N)
+        dest[id] = src[id];
+}
+"""
+
+
+def main() -> None:
+    # -- 1. CUDA source -> kernel IR -----------------------------------
+    kernel = api.parse_cuda_kernel(CUDA_SOURCE)
+    print("parsed kernel:")
+    print(api.print_kernel(kernel))
+    print()
+
+    # -- 2. + 3. compile: analysis + generated modules ------------------
+    cluster = api.make_cluster("simd-focused", 2)
+    rt = api.CuCCRuntime(cluster)
+    compiled = rt.compile(kernel)
+    print(compiled.describe())
+    print()
+    print("generated CPU kernel module (paper Listing 2):")
+    print(compiled.kernel_module_src)
+    print()
+    print("generated CPU host module (paper Figure 6):")
+    print(compiled.host_module_src)
+    print()
+
+    # -- 4. launch on the cluster ---------------------------------------
+    n = 1200
+    src = (np.arange(n) % 100).astype(np.int8)
+    rt.memory.alloc("src", n, np.int8)
+    rt.memory.alloc("dest", n, np.int8)
+    rt.memory.memcpy_h2d("src", src)
+
+    record = rt.launch(compiled, grid=5, block=256, args={"src": "src", "dest": "dest"})
+    print(record.describe())
+    print(record.plan.describe())
+
+    # every node must hold the complete, identical result
+    out = rt.memory.memcpy_d2h("dest", check_consistency=True)
+    assert np.array_equal(out, src)
+    print()
+    print(
+        f"OK: all {cluster.num_nodes} nodes hold identical correct results; "
+        f"simulated kernel time {record.time * 1e6:.1f} us "
+        f"({record.comm_bytes} B exchanged by the Allgather)"
+    )
+
+
+if __name__ == "__main__":
+    main()

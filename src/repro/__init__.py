@@ -1,0 +1,31 @@
+"""CuCC reproduction: scaling GPU-to-CPU migration to CPU clusters.
+
+This package is a from-scratch Python reproduction of the PPoPP '26 paper
+*Scaling GPU-to-CPU Migration for Efficient Distributed Execution on CPU
+Clusters* (CuCC).  It contains the full stack the paper describes:
+
+- a CUDA-subset frontend and Python kernel DSL lowering to a typed kernel
+  IR (:mod:`repro.ir`, :mod:`repro.frontend`),
+- the *Allgather distributable analysis* compiler pass
+  (:mod:`repro.analysis`),
+- GPU-block-to-CPU-function transformation and three-phase host module
+  generation (:mod:`repro.transform`),
+- a vectorized SPMD interpreter standing in for the generated CPU code
+  (:mod:`repro.interp`),
+- a simulated distributed-memory CPU cluster with an MPI-like communicator
+  and an alpha-beta network model (:mod:`repro.cluster`),
+- hardware performance models for the paper's CPUs and GPUs
+  (:mod:`repro.hw`),
+- the CuCC runtime implementing the three-phase workflow
+  (:mod:`repro.runtime`),
+- single-CPU, PGAS and GPU baselines (:mod:`repro.baselines`),
+- the paper's evaluation workloads (:mod:`repro.workloads`), and
+- experiment drivers regenerating every figure and table
+  (:mod:`repro.bench`).
+
+See ``examples/quickstart.py`` for an end-to-end walkthrough.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

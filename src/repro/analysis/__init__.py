@@ -1,0 +1,36 @@
+"""Compiler analyses: the Allgather distributable analysis and support.
+
+The paper's core contribution (section 6): decide statically whether a
+GPU kernel's blocks can be partitioned across CPU nodes such that a
+single balanced-in-place Allgather restores memory consistency, and emit
+the metadata (``tail_divergent``, ``mem_ptr``, ``unit_size``) the host
+code generator and runtime consume.
+"""
+
+from repro.analysis.affine import Poly, eval_sym, param_symbol
+from repro.analysis.distributable import (
+    KernelAnalysis,
+    analyze_kernel,
+    finalize_plan,
+)
+from repro.analysis.guards import (
+    Guard,
+    GuardKind,
+    classify_guard,
+    guards_of_condition,
+)
+from repro.analysis.metadata import (
+    BufferPlan,
+    DistributionPlan,
+    KernelMetadata,
+    Verdict,
+)
+from repro.analysis.writes import LoopInfo, WriteRecord, collect_writes
+
+__all__ = [
+    "Poly", "eval_sym", "param_symbol",
+    "Guard", "GuardKind", "classify_guard", "guards_of_condition",
+    "LoopInfo", "WriteRecord", "collect_writes",
+    "KernelAnalysis", "analyze_kernel", "finalize_plan",
+    "KernelMetadata", "BufferPlan", "DistributionPlan", "Verdict",
+]

@@ -1,0 +1,339 @@
+"""Multivariate integer polynomials and symbolic expression evaluation.
+
+The Allgather distributable analysis (paper section 6.2) reasons about
+write indices as *affine functions* of the thread index and the block
+index, with coefficients that may involve the block size, grid size and
+kernel scalar parameters.  We represent such values as multivariate
+polynomials over a symbol alphabet:
+
+========== =====================================================
+``tid.x``  threadIdx.x (likewise ``.y``/``.z``)
+``ctaid.x`` blockIdx.x
+``ntid.x`` blockDim.x
+``nctaid.x`` gridDim.x
+``param:N`` kernel scalar parameter ``N``
+``loop:v#k`` the k-th analyzed loop's induction variable ``v``
+========== =====================================================
+
+A polynomial is exact: anything the symbolic evaluator cannot express
+exactly (integer division with a non-dividing divisor, modulo, values
+loaded from memory, data-dependent control flow merges) evaluates to
+``None``, which downstream analyses treat as "not analyzable" — the
+conditions in section 6.2 are sufficient, not necessary, so unknowns
+conservatively fail them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.ir.expr import (
+    BinOp,
+    Call,
+    Cast,
+    Const,
+    Expr,
+    Load,
+    Param,
+    Select,
+    SReg,
+    SRegKind,
+    UnOp,
+    Var,
+)
+
+__all__ = [
+    "Poly",
+    "SREG_SYMBOL",
+    "TID_SYMBOLS",
+    "CTAID_SYMBOLS",
+    "NTID_SYMBOLS",
+    "NCTAID_SYMBOLS",
+    "eval_sym",
+    "param_symbol",
+]
+
+Monomial = tuple[tuple[str, int], ...]  # sorted ((symbol, power), ...)
+
+SREG_SYMBOL: dict[SRegKind, str] = {
+    SRegKind.TID_X: "tid.x",
+    SRegKind.TID_Y: "tid.y",
+    SRegKind.TID_Z: "tid.z",
+    SRegKind.CTAID_X: "ctaid.x",
+    SRegKind.CTAID_Y: "ctaid.y",
+    SRegKind.CTAID_Z: "ctaid.z",
+    SRegKind.NTID_X: "ntid.x",
+    SRegKind.NTID_Y: "ntid.y",
+    SRegKind.NTID_Z: "ntid.z",
+    SRegKind.NCTAID_X: "nctaid.x",
+    SRegKind.NCTAID_Y: "nctaid.y",
+    SRegKind.NCTAID_Z: "nctaid.z",
+}
+
+TID_SYMBOLS = frozenset({"tid.x", "tid.y", "tid.z"})
+CTAID_SYMBOLS = frozenset({"ctaid.x", "ctaid.y", "ctaid.z"})
+NTID_SYMBOLS = frozenset({"ntid.x", "ntid.y", "ntid.z"})
+NCTAID_SYMBOLS = frozenset({"nctaid.x", "nctaid.y", "nctaid.z"})
+
+
+def param_symbol(name: str) -> str:
+    return f"param:{name}"
+
+
+class Poly:
+    """An immutable multivariate polynomial with integer coefficients."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: dict[Monomial, int] | None = None):
+        t = {m: c for m, c in (terms or {}).items() if c != 0}
+        object.__setattr__(self, "terms", t)
+
+    def __setattr__(self, *a):  # immutability guard
+        raise AttributeError("Poly is immutable")
+
+    # -- constructors ---------------------------------------------------
+    @staticmethod
+    def const(c: int) -> "Poly":
+        return Poly({(): int(c)}) if c else Poly()
+
+    @staticmethod
+    def sym(name: str) -> "Poly":
+        return Poly({((name, 1),): 1})
+
+    # -- queries ----------------------------------------------------------
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    def is_constant(self) -> bool:
+        return all(m == () for m in self.terms)
+
+    def constant_value(self) -> int:
+        if not self.is_constant():
+            raise AnalysisError(f"{self} is not constant")
+        return self.terms.get((), 0)
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset(s for m in self.terms for s, _ in m)
+
+    def degree(self, symbol: str) -> int:
+        deg = 0
+        for m in self.terms:
+            for s, p in m:
+                if s == symbol:
+                    deg = max(deg, p)
+        return deg
+
+    def is_linear_in(self, symbols: frozenset[str] | set[str]) -> bool:
+        """At most degree 1 overall in the given symbol set (no products
+        of two of them, no squares)."""
+        for m in self.terms:
+            total = sum(p for s, p in m if s in symbols)
+            if total > 1:
+                return False
+        return True
+
+    def coeff(self, symbol: str) -> "Poly":
+        """The (polynomial) coefficient of ``symbol`` — requires the
+        polynomial to be at most linear in ``symbol``."""
+        if self.degree(symbol) > 1:
+            raise AnalysisError(f"{self} is nonlinear in {symbol}")
+        out: dict[Monomial, int] = {}
+        for m, c in self.terms.items():
+            rest = tuple((s, p) for s, p in m if s != symbol)
+            if len(rest) != len(m):  # contained symbol^1
+                out[rest] = out.get(rest, 0) + c
+        return Poly(out)
+
+    def drop(self, symbols: frozenset[str] | set[str]) -> "Poly":
+        """The part of the polynomial with none of the given symbols."""
+        return Poly(
+            {m: c for m, c in self.terms.items() if not any(s in symbols for s, _ in m)}
+        )
+
+    def provably_positive(self, positive_symbols: bool = True) -> bool:
+        """True if the polynomial is certainly > 0 assuming every symbol
+        takes a positive value (block/grid dims are >= 1; size parameters
+        are assumed positive, as the paper implicitly does)."""
+        if not self.terms:
+            return False
+        if not positive_symbols:
+            return self.is_constant() and self.constant_value() > 0
+        return all(c > 0 for c in self.terms.values())
+
+    def provably_nonnegative(self) -> bool:
+        return not self.terms or all(c > 0 for c in self.terms.values())
+
+    # -- arithmetic --------------------------------------------------------
+    def __add__(self, other: "Poly") -> "Poly":
+        out = dict(self.terms)
+        for m, c in other.terms.items():
+            out[m] = out.get(m, 0) + c
+        return Poly(out)
+
+    def __sub__(self, other: "Poly") -> "Poly":
+        return self + (-other)
+
+    def __neg__(self) -> "Poly":
+        return Poly({m: -c for m, c in self.terms.items()})
+
+    def __mul__(self, other: "Poly") -> "Poly":
+        out: dict[Monomial, int] = {}
+        for m1, c1 in self.terms.items():
+            for m2, c2 in other.terms.items():
+                m = _mul_monomials(m1, m2)
+                out[m] = out.get(m, 0) + c1 * c2
+        return Poly(out)
+
+    def scale(self, k: int) -> "Poly":
+        return Poly({m: c * k for m, c in self.terms.items()})
+
+    def div_exact(self, k: int) -> "Poly | None":
+        """Divide by a nonzero integer constant if it divides every
+        coefficient; otherwise ``None`` (the value is not polynomial)."""
+        if k == 0:
+            return None
+        if all(c % k == 0 for c in self.terms.values()):
+            return Poly({m: c // k for m, c in self.terms.items()})
+        return None
+
+    def subs(self, symbol: str, value: "Poly") -> "Poly":
+        """Substitute a polynomial for a symbol."""
+        out = Poly()
+        for m, c in self.terms.items():
+            term = Poly.const(c)
+            for s, p in m:
+                factor = value if s == symbol else Poly.sym(s)
+                for _ in range(p):
+                    term = term * factor
+            out = out + term
+        return out
+
+    # -- numeric evaluation -------------------------------------------------
+    def eval(self, values: dict[str, object]):
+        """Evaluate numerically; symbol values may be ints or NumPy arrays
+        (vectorized evaluation over thread lanes)."""
+        total = None
+        for m, c in self.terms.items():
+            term = np.int64(c)
+            for s, p in m:
+                if s not in values:
+                    raise AnalysisError(f"no value for symbol {s!r} in {self}")
+                v = np.asarray(values[s]).astype(np.int64, copy=False)
+                for _ in range(p):
+                    term = term * v
+            total = term if total is None else total + term
+        return np.int64(0) if total is None else total
+
+    # -- comparisons / display ----------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Poly) and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.terms.items()))
+
+    def __repr__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for m, c in sorted(self.terms.items()):
+            syms = "*".join(s if p == 1 else f"{s}^{p}" for s, p in m)
+            if not syms:
+                parts.append(str(c))
+            elif c == 1:
+                parts.append(syms)
+            elif c == -1:
+                parts.append(f"-{syms}")
+            else:
+                parts.append(f"{c}*{syms}")
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+def _mul_monomials(a: Monomial, b: Monomial) -> Monomial:
+    powers: dict[str, int] = {}
+    for s, p in a + b:
+        powers[s] = powers.get(s, 0) + p
+    return tuple(sorted(powers.items()))
+
+
+# ---------------------------------------------------------------------------
+# symbolic expression evaluation
+# ---------------------------------------------------------------------------
+
+def eval_sym(e: Expr, env: dict[str, "Poly | None"]) -> Poly | None:
+    """Evaluate an IR expression to a polynomial, or ``None`` if the value
+    cannot be expressed exactly.
+
+    ``env`` maps local variable names to their symbolic values (``None``
+    marks a variable with an unanalyzable value).  Loads, intrinsic calls,
+    float arithmetic and inexact integer division all evaluate to ``None``.
+    """
+    if isinstance(e, Const):
+        if e.type.is_float:
+            # float constants appear in stored values, never in sound
+            # index expressions; an integral float is still exact
+            return Poly.const(int(e.value)) if float(e.value).is_integer() else None
+        return Poly.const(int(e.value))
+    if isinstance(e, SReg):
+        return Poly.sym(SREG_SYMBOL[e.kind])
+    if isinstance(e, Param):
+        if e.is_pointer:
+            return None
+        if e.type.is_float:
+            return None
+        return Poly.sym(param_symbol(e.name))
+    if isinstance(e, Var):
+        if e.is_pointer:
+            return None
+        return env.get(e.name)
+    if isinstance(e, Cast):
+        # integral casts are value-preserving for in-range indices;
+        # casting to float leaves us unable to reason exactly
+        if e.type.is_float:
+            return None
+        return eval_sym(e.value, env)
+    if isinstance(e, UnOp):
+        if e.op == "-":
+            v = eval_sym(e.operand, env)
+            return None if v is None else -v
+        return None
+    if isinstance(e, BinOp):
+        le = eval_sym(e.lhs, env)
+        re_ = eval_sym(e.rhs, env)
+        if le is None or re_ is None:
+            return None
+        op = e.op
+        if op == "+":
+            return le + re_
+        if op == "-":
+            return le - re_
+        if op == "*":
+            return le * re_
+        if op == "/":
+            if e.dtype.is_float:
+                return None
+            if re_.is_constant():
+                return le.div_exact(re_.constant_value())
+            return None
+        if op == "%":
+            # exact only when the dividend is a constant
+            if le.is_constant() and re_.is_constant() and re_.constant_value() != 0:
+                a, b = le.constant_value(), re_.constant_value()
+                q = int(a / b) if b != 0 else 0  # C truncation
+                return Poly.const(a - q * b)
+            return None
+        if op == "<<":
+            if re_.is_constant() and re_.constant_value() >= 0:
+                return le.scale(1 << re_.constant_value())
+            return None
+        if op == ">>":
+            if re_.is_constant() and re_.constant_value() >= 0:
+                return le.div_exact(1 << re_.constant_value())
+            return None
+        return None  # comparisons / bitwise: not index-valued
+    if isinstance(e, (Load, Call, Select)):
+        return None
+    return None  # pragma: no cover

@@ -1,0 +1,197 @@
+"""Divergence classification of branch conditions.
+
+Condition 2 of the Allgather distributable analysis (paper section 6.2)
+constrains the conditionals enclosing each global write.  We classify
+every guard into one of:
+
+``UNIFORM``
+    No thread/block index involved — the guard evaluates identically for
+    the whole grid, so it cannot unbalance per-block write volumes.
+``THREAD_SYMMETRIC``
+    Depends on ``threadIdx`` (and block-invariant values) but not on
+    ``blockIdx`` — every block has the *same* set of threads passing, so
+    per-block write volumes stay equal.  This covers the ubiquitous
+    ``if (threadIdx.x == 0)`` reduction-output idiom (BinomialOption).
+``TAIL``
+    The paper's *tail divergence*: a bound check of the form
+    ``affine(threadIdx, blockIdx) < bound`` with positive thread and
+    block coefficients and a block-invariant bound.  All blocks below a
+    bound-determined prefix pass entirely; the rest become callback
+    blocks (resolved numerically at launch).
+``BLOCK_VARIANT``
+    Depends on ``blockIdx`` in a non-tail way — different blocks write
+    different amounts; fails condition 2.
+``OPAQUE``
+    Data-dependent (loads, float compares, unanalyzable) — fails
+    condition 2.
+
+Analyzable guards are normalized to ``poly REL 0`` with ``REL`` one of
+``<``, ``<=``, ``==``, ``!=`` (:class:`Guard`), a form that is closed
+under negation and can be evaluated numerically at launch — both for
+resolving which blocks a tail guard makes callback blocks, and for
+computing per-thread write-footprint masks.  ``if (id >= n) return;``
+negates to the *tail* guard ``id - n < 0`` on the code after it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.affine import CTAID_SYMBOLS, TID_SYMBOLS, Poly, eval_sym
+from repro.errors import AnalysisError
+from repro.ir.expr import BinOp, Expr, UnOp
+
+__all__ = ["GuardKind", "Guard", "classify_guard", "guards_of_condition",
+           "negate_conjunction"]
+
+
+class GuardKind(enum.Enum):
+    UNIFORM = "uniform"
+    THREAD_SYMMETRIC = "thread-symmetric"
+    TAIL = "tail-divergent"
+    BLOCK_VARIANT = "block-variant"
+    OPAQUE = "opaque"
+
+
+#: Severity order used when several sub-conditions fold into one.
+_SEVERITY = [
+    GuardKind.UNIFORM,
+    GuardKind.THREAD_SYMMETRIC,
+    GuardKind.TAIL,
+    GuardKind.BLOCK_VARIANT,
+    GuardKind.OPAQUE,
+]
+
+_NEG_REL = {"lt": "ge", "le": "gt", "eq": "ne", "ne": "eq"}
+_REL_FNS = {
+    "lt": np.less,
+    "le": np.less_equal,
+    "eq": np.equal,
+    "ne": np.not_equal,
+}
+
+
+@dataclass(frozen=True)
+class Guard:
+    """A classified branch condition, ``poly REL 0`` when analyzable.
+
+    ``rel`` is one of ``lt``/``le``/``eq``/``ne``; ``poly`` is ``None``
+    for opaque guards (which can neither be TAIL nor evaluated).
+    """
+
+    kind: GuardKind
+    poly: Poly | None = None
+    rel: str = "lt"
+
+    def negated(self) -> "Guard":
+        """Logical negation, re-classified from scratch."""
+        if self.poly is None:
+            return Guard(self.kind, None, self.rel)
+        rel = _NEG_REL[self.rel]
+        if rel == "ge":  # not(p < 0)  <=>  -p <= 0
+            return _classify(-self.poly, "le")
+        if rel == "gt":  # not(p <= 0)  <=>  -p < 0
+            return _classify(-self.poly, "lt")
+        return _classify(self.poly, rel)
+
+    def evaluate(self, values: dict[str, object]):
+        """Numerically evaluate the condition (scalar or lane-vectorized).
+
+        Only valid for analyzable guards (``poly`` is not ``None``).
+        """
+        if self.poly is None:
+            raise AnalysisError("cannot evaluate an opaque guard")
+        v = self.poly.eval(values)
+        return _REL_FNS[self.rel](v, 0)
+
+
+def _classify_symbols(symbols: frozenset[str]) -> GuardKind:
+    if symbols & CTAID_SYMBOLS:
+        return GuardKind.BLOCK_VARIANT
+    if symbols & TID_SYMBOLS:
+        return GuardKind.THREAD_SYMMETRIC
+    return GuardKind.UNIFORM
+
+
+def _classify(p: Poly, rel: str) -> Guard:
+    """Classify a normalized condition ``p REL 0``."""
+    syms = p.symbols()
+    kind = _classify_symbols(syms)
+    if kind is GuardKind.BLOCK_VARIANT and rel in ("lt", "le"):
+        # tail pattern: linear in tid/bid, positive thread and block
+        # coefficients, coefficients themselves free of tid/bid
+        idx_syms = TID_SYMBOLS | CTAID_SYMBOLS
+        if (syms & TID_SYMBOLS) and p.is_linear_in(idx_syms):
+            tid_pos = all(p.coeff(s).provably_positive() for s in syms & TID_SYMBOLS)
+            bid_pos = all(
+                p.coeff(s).provably_positive() for s in syms & CTAID_SYMBOLS
+            )
+            clean = all(
+                not (p.coeff(s).symbols() & idx_syms) for s in syms & idx_syms
+            )
+            if tid_pos and bid_pos and clean:
+                kind = GuardKind.TAIL
+    return Guard(kind, p, rel)
+
+
+def classify_guard(cond: Expr, env: dict[str, Poly | None]) -> Guard:
+    """Classify a single (non-conjunctive) condition expression."""
+    if isinstance(cond, UnOp) and cond.op == "!":
+        return classify_guard(cond.operand, env).negated()
+    if isinstance(cond, BinOp) and cond.op in ("<", "<=", ">", ">=", "==", "!="):
+        lhs = eval_sym(cond.lhs, env)
+        rhs = eval_sym(cond.rhs, env)
+        if lhs is None or rhs is None:
+            return Guard(GuardKind.OPAQUE)
+        if cond.op in ("<", ">"):
+            p = (lhs - rhs) if cond.op == "<" else (rhs - lhs)
+            return _classify(p, "lt")
+        if cond.op in ("<=", ">="):
+            p = (lhs - rhs) if cond.op == "<=" else (rhs - lhs)
+            return _classify(p, "le")
+        return _classify(lhs - rhs, "eq" if cond.op == "==" else "ne")
+    # plain truthy value used as a condition: nonzero test
+    p = eval_sym(cond, env)
+    if p is None:
+        return Guard(GuardKind.OPAQUE)
+    return _classify(p, "ne")
+
+
+def guards_of_condition(cond: Expr, env: dict[str, Poly | None]) -> list[Guard]:
+    """Decompose a condition into a conjunction of classified guards.
+
+    ``a && b`` splits into the guards of ``a`` and ``b``.  Disjunctions
+    cannot be decomposed into independent conjuncts; they fold into a
+    single unevaluable guard of the worst involved kind (TAIL degrades to
+    BLOCK_VARIANT since a union of tail regions is not tail-shaped).
+    """
+    if isinstance(cond, BinOp) and cond.op == "&&":
+        return guards_of_condition(cond.lhs, env) + guards_of_condition(cond.rhs, env)
+    if isinstance(cond, BinOp) and cond.op == "||":
+        parts = guards_of_condition(cond.lhs, env) + guards_of_condition(
+            cond.rhs, env
+        )
+        worst = max((g.kind for g in parts), key=_SEVERITY.index)
+        if worst is GuardKind.TAIL:
+            worst = GuardKind.BLOCK_VARIANT
+        return [Guard(worst)]
+    return [classify_guard(cond, env)]
+
+
+def negate_conjunction(guards: list[Guard]) -> list[Guard]:
+    """Negate ``g1 && g2 && ...`` — a disjunction of negations.
+
+    A single guard negates exactly; multiple guards fold into one
+    unevaluable guard of the worst negated kind (the else-branch of a
+    multi-conjunct condition is rarely on the distributable path anyway).
+    """
+    if len(guards) == 1:
+        return [guards[0].negated()]
+    negs = [g.negated() for g in guards]
+    worst = max((g.kind for g in negs), key=_SEVERITY.index)
+    if worst is GuardKind.TAIL:
+        worst = GuardKind.BLOCK_VARIANT
+    return [Guard(worst)]

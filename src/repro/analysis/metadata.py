@@ -1,0 +1,153 @@
+"""Analysis products: compile-time metadata and launch-time plans.
+
+:class:`KernelMetadata` mirrors the metadata block of the paper's
+Figure 6 — ``tail_divergent``, the memory pointers that need
+communication (``mem_ptr``) and the per-block write size (``unit_size``,
+symbolic at compile time).  :class:`DistributionPlan` is its launch-time
+concretization: which blocks each node executes in the partial phase,
+which blocks are callback blocks, and the exact byte regions the
+balanced-in-place Allgather must exchange.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.analysis.affine import Poly
+
+__all__ = ["Verdict", "KernelMetadata", "BufferPlan", "DistributionPlan"]
+
+
+class Verdict(enum.Enum):
+    """Static analysis outcome (paper section 6.2).
+
+    ``DISTRIBUTABLE`` is the non-trivial verdict: the kernel's blocks can
+    be partitioned across nodes with balanced-in-place Allgather
+    consistency.  ``NOT_DISTRIBUTABLE`` corresponds to the paper's
+    *trivial* case: every block runs replicated on every node (always
+    correct, never communicates).
+    """
+
+    DISTRIBUTABLE = "distributable"
+    NOT_DISTRIBUTABLE = "not-distributable"
+
+
+@dataclass
+class KernelMetadata:
+    """Compile-time result of the Allgather distributable analysis."""
+
+    kernel_name: str
+    verdict: Verdict
+    reasons: list[str] = field(default_factory=list)
+    #: global buffers requiring communication (paper: ``mem_ptr``)
+    mem_ptrs: list[str] = field(default_factory=list)
+    #: symbolic elements written per block, per buffer (paper:
+    #: ``unit_size``; multiply by element size for bytes)
+    unit_elems: dict[str, Poly] = field(default_factory=dict)
+    elem_sizes: dict[str, int] = field(default_factory=dict)
+    #: whether any write is guarded by a tail-divergent bound check
+    tail_divergent: bool = False
+
+    @property
+    def distributable(self) -> bool:
+        return self.verdict is Verdict.DISTRIBUTABLE
+
+    def describe(self) -> str:
+        """Human-readable summary mirroring Figure 6's metadata block."""
+        lines = [f"kernel {self.kernel_name}: {self.verdict.value}"]
+        if self.distributable:
+            lines.append(f"  tail_divergent: {self.tail_divergent}")
+            lines.append(f"  mem_ptr: {self.mem_ptrs}")
+            for buf in self.mem_ptrs:
+                unit = self.unit_elems[buf]
+                lines.append(
+                    f"  unit_size[{buf}]: ({unit}) * {self.elem_sizes[buf]} bytes"
+                )
+        for r in self.reasons:
+            lines.append(f"  note: {r}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class BufferPlan:
+    """Launch-time communication plan for one written global buffer."""
+
+    buffer: str
+    elem_size: int
+    unit_elems: int  # elements written per regular block
+    base_elem: int  # first element written by block 0
+
+    def node_slice(self, rank: int, p_size: int) -> slice:
+        """Element range written by ``rank`` in the partial phase."""
+        lo = self.base_elem + rank * p_size * self.unit_elems
+        return slice(lo, lo + p_size * self.unit_elems)
+
+    def region(self, executed_blocks: int) -> slice:
+        """Element range covered by the Allgather."""
+        lo = self.base_elem
+        return slice(lo, lo + executed_blocks * self.unit_elems)
+
+
+@dataclass(frozen=True)
+class DistributionPlan:
+    """Concrete three-phase execution plan for one launch.
+
+    ``replicated`` plans execute every block on every node with no
+    communication — the correct fallback whenever the launch-time checks
+    cannot confirm the distributable conditions.
+    """
+
+    num_blocks: int
+    num_nodes: int
+    replicated: bool
+    reason: str | None = None
+    #: number of leading blocks that fully pass every tail guard
+    full_blocks: int = 0
+    #: blocks per node in the partial phase
+    p_size: int = 0
+    buffers: tuple[BufferPlan, ...] = ()
+
+    @property
+    def executed_blocks(self) -> int:
+        """Blocks executed (across all nodes) in the partial phase."""
+        return 0 if self.replicated else self.p_size * self.num_nodes
+
+    @property
+    def callback_blocks(self) -> range:
+        """Blocks executed by every node in the callback phase."""
+        if self.replicated:
+            return range(0, self.num_blocks)
+        return range(self.executed_blocks, self.num_blocks)
+
+    def node_blocks(self, rank: int) -> range:
+        """Blocks executed by ``rank`` in the partial phase."""
+        if self.replicated:
+            return range(0)
+        return range(rank * self.p_size, (rank + 1) * self.p_size)
+
+    @property
+    def comm_bytes(self) -> int:
+        """Total payload of the balanced-in-place Allgather."""
+        if self.replicated:
+            return 0
+        return sum(
+            b.unit_elems * b.elem_size * self.executed_blocks for b in self.buffers
+        )
+
+    def describe(self) -> str:
+        if self.replicated:
+            return (
+                f"replicated plan: {self.num_blocks} blocks on every node"
+                + (f" ({self.reason})" if self.reason else "")
+            )
+        lines = [
+            f"distributed plan: {self.num_nodes} nodes x {self.p_size} blocks, "
+            f"{len(self.callback_blocks)} callback blocks",
+        ]
+        for b in self.buffers:
+            lines.append(
+                f"  allgather {b.buffer}: unit {b.unit_elems} elems x "
+                f"{b.elem_size} B, base {b.base_elem}"
+            )
+        return "\n".join(lines)

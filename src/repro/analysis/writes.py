@@ -1,0 +1,248 @@
+"""Collection of global-memory write sites with symbolic context.
+
+This pass walks a kernel and produces one :class:`WriteRecord` per store
+or atomic that targets GPU *global* memory, carrying:
+
+* the write index as a polynomial over thread/block indices, loop
+  induction variables and scalar parameters (``None`` when indirect or
+  otherwise unanalyzable — e.g. an index loaded from memory),
+* the classified guards of every enclosing conditional, including
+  implicit guards contributed by guarded early returns
+  (``if (id >= n) return;``),
+* the enclosing counted loops (so multi-element-per-thread writes can be
+  footprint-enumerated at launch), and
+* structural flags (atomic, inside a ``while``/data-dependent loop).
+
+Shared- and local-memory writes never require cross-node communication
+(paper footnote 1) and are not collected.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.analysis.affine import (
+    CTAID_SYMBOLS,
+    NCTAID_SYMBOLS,
+    NTID_SYMBOLS,
+    TID_SYMBOLS,
+    Poly,
+    eval_sym,
+)
+from repro.analysis.guards import Guard, GuardKind, guards_of_condition, negate_conjunction
+from repro.ir.expr import Param
+from repro.ir.stmt import (
+    Assign,
+    Atomic,
+    Break,
+    Continue,
+    For,
+    If,
+    Kernel,
+    Return,
+    Stmt,
+    Store,
+    While,
+)
+from repro.ir.types import AddressSpace
+from repro.ir.visitor import iter_stmts
+
+__all__ = ["LoopInfo", "WriteRecord", "collect_writes"]
+
+#: Symbols a loop bound may mention and still be "analyzable": the loop
+#: then has the same trip count for every thread of every block.
+_INVARIANT_OK = NTID_SYMBOLS | NCTAID_SYMBOLS
+
+
+@dataclass(frozen=True)
+class LoopInfo:
+    """An enclosing counted loop of a write site."""
+
+    symbol: str  # polynomial symbol of the induction variable
+    var: str
+    start: Poly | None
+    stop: Poly | None
+    step: Poly | None
+    has_break: bool  # loop body contains break/continue
+
+    @property
+    def analyzable(self) -> bool:
+        """Trip schedule known, identical for all threads and blocks."""
+        if self.has_break:
+            return False
+        for p in (self.start, self.stop, self.step):
+            if p is None:
+                return False
+            extra = p.symbols() - _INVARIANT_OK
+            if any(s in TID_SYMBOLS or s in CTAID_SYMBOLS for s in extra):
+                return False
+            if any(s.startswith("loop:") for s in extra):
+                # nested loop bounds depending on an outer induction
+                # variable give triangular footprints; out of scope
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One global-memory write site with its full symbolic context."""
+
+    buffer: str
+    elem_size: int
+    index: Poly | None
+    guards: tuple[Guard, ...]
+    loops: tuple[LoopInfo, ...]
+    is_atomic: bool
+    in_while: bool
+
+    @property
+    def analyzable_loops(self) -> bool:
+        return all(lp.analyzable for lp in self.loops)
+
+
+class _Collector:
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.records: list[WriteRecord] = []
+        self._loop_counter = itertools.count()
+
+    # -- helpers ---------------------------------------------------------
+    @staticmethod
+    def _terminates(body: list[Stmt]) -> bool:
+        """Whether control cannot fall out of the bottom of ``body``."""
+        return any(isinstance(s, Return) for s in body)
+
+    def _record(
+        self,
+        stmt: Store | Atomic,
+        env: dict[str, Poly | None],
+        guards: tuple[Guard, ...],
+        loops: tuple[LoopInfo, ...],
+        in_while: bool,
+    ) -> None:
+        if stmt.ptr_type.space is not AddressSpace.GLOBAL:
+            return
+        buffer = stmt.ptr.name if isinstance(stmt.ptr, Param) else None
+        if buffer is None:  # pragma: no cover - pointers are params or shared
+            return
+        self.records.append(
+            WriteRecord(
+                buffer=buffer,
+                elem_size=stmt.ptr_type.elem.size,
+                index=eval_sym(stmt.index, env),
+                guards=guards,
+                loops=loops,
+                is_atomic=isinstance(stmt, Atomic),
+                in_while=in_while,
+            )
+        )
+
+    # -- the walk ----------------------------------------------------------
+    def walk(
+        self,
+        body: list[Stmt],
+        env: dict[str, Poly | None],
+        guards: tuple[Guard, ...],
+        loops: tuple[LoopInfo, ...],
+        in_while: bool,
+    ) -> dict[str, Poly | None]:
+        for s in body:
+            if isinstance(s, Assign):
+                env[s.name] = eval_sym(s.value, env)
+            elif isinstance(s, (Store, Atomic)):
+                self._record(s, env, guards, loops, in_while)
+                if isinstance(s, Atomic) and s.result is not None:
+                    env[s.result] = None
+            elif isinstance(s, If):
+                gs = tuple(guards_of_condition(s.cond, env))
+                neg = tuple(negate_conjunction(list(gs)))
+                then_env = self.walk(
+                    s.then_body, dict(env), guards + gs, loops, in_while
+                )
+                else_env = self.walk(
+                    s.else_body, dict(env), guards + neg, loops, in_while
+                )
+                then_ret = self._terminates(s.then_body)
+                else_ret = self._terminates(s.else_body)
+                if then_ret and not else_ret:
+                    # only the else path falls through: its guards hold
+                    guards = guards + neg
+                    env = else_env
+                elif else_ret and not then_ret:
+                    guards = guards + gs
+                    env = then_env
+                elif then_ret and else_ret:
+                    break  # nothing after is reachable
+                else:
+                    env = _merge_envs(env, then_env, else_env)
+            elif isinstance(s, For):
+                n = next(self._loop_counter)
+                symbol = f"loop:{s.var}#{n}"
+                has_break = any(
+                    isinstance(t, (Break, Continue)) for t in iter_stmts(s.body)
+                )
+                info = LoopInfo(
+                    symbol=symbol,
+                    var=s.var,
+                    start=eval_sym(s.start, env),
+                    stop=eval_sym(s.stop, env),
+                    step=eval_sym(s.step, env),
+                    has_break=has_break,
+                )
+                inner = dict(env)
+                # variables mutated by the loop body have iteration-
+                # dependent values; nothing sound can be assumed
+                for name in _assigned_names(s.body):
+                    inner[name] = None
+                inner[s.var] = Poly.sym(symbol)
+                self.walk(s.body, inner, guards, loops + (info,), in_while)
+                for name in _assigned_names(s.body):
+                    env[name] = None
+                env.pop(s.var, None)
+            elif isinstance(s, While):
+                inner = dict(env)
+                for name in _assigned_names(s.body):
+                    inner[name] = None
+                self.walk(s.body, inner, guards, loops, in_while=True)
+                for name in _assigned_names(s.body):
+                    env[name] = None
+            elif isinstance(s, Return):
+                break  # nothing after is reachable on this path
+            elif isinstance(s, (Break, Continue)):
+                break
+            # SyncThreads / AllocShared: no effect on the write analysis
+        return env
+
+
+def _assigned_names(body: list[Stmt]) -> set[str]:
+    names: set[str] = set()
+    for s in iter_stmts(body):
+        if isinstance(s, Assign):
+            names.add(s.name)
+        elif isinstance(s, Atomic) and s.result is not None:
+            names.add(s.result)
+        elif isinstance(s, For):
+            names.add(s.var)
+    return names
+
+
+def _merge_envs(
+    pre: dict[str, Poly | None],
+    a: dict[str, Poly | None],
+    b: dict[str, Poly | None],
+) -> dict[str, Poly | None]:
+    """Join point of an if/else: keep values provably equal on both paths."""
+    out: dict[str, Poly | None] = {}
+    for name in set(a) | set(b):
+        va = a.get(name, pre.get(name))
+        vb = b.get(name, pre.get(name))
+        out[name] = va if (va is not None and va == vb) else None
+    return out
+
+
+def collect_writes(kernel: Kernel) -> list[WriteRecord]:
+    """Collect every global-memory write site of ``kernel``."""
+    c = _Collector(kernel)
+    c.walk(list(kernel.body), {}, (), (), in_while=False)
+    return c.records

@@ -1,0 +1,54 @@
+"""Convenience facade: the one-import surface of the library.
+
+    from repro import api
+
+    kernel  = api.parse_cuda_kernel(CUDA_SOURCE)       # or api.kernel DSL
+    cluster = api.make_cluster("simd-focused", 4)
+    rt      = api.CuCCRuntime(cluster)
+    compiled = rt.compile(kernel)
+    print(compiled.describe())                          # analysis verdict
+    rt.memory.alloc("x", n, np.float32); rt.memory.memcpy_h2d("x", data)
+    record = rt.launch(compiled, grid, block, {...})
+    out = rt.memory.memcpy_d2h("y", check_consistency=True)
+
+Everything re-exported here is importable from its home package too;
+this module only flattens the common path.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_kernel, finalize_plan
+from repro.baselines import GPUDevice, PGASRuntime, SingleCPURuntime
+from repro.cluster import Cluster, make_cluster
+from repro.frontend import kernel, parse_cuda, parse_kernel, ptr
+from repro.hw import (
+    A100,
+    SIMD_FOCUSED_NODE,
+    THREAD_FOCUSED_NODE,
+    V100,
+    ModelParams,
+)
+from repro.interp import LaunchConfig, OpCounters, run_grid
+from repro.ir import IRBuilder, Kernel, print_kernel
+from repro.runtime import CompiledKernel, CuCCRuntime, LaunchRecord
+from repro.transform import analyze_vectorizability
+from repro.workloads import PERF_WORKLOADS
+
+#: alias matching the docstring's name
+parse_cuda_kernel = parse_kernel
+
+__all__ = [
+    # frontends
+    "parse_cuda", "parse_kernel", "parse_cuda_kernel", "kernel", "ptr",
+    "IRBuilder", "Kernel", "print_kernel",
+    # compiler
+    "analyze_kernel", "analyze_vectorizability", "finalize_plan",
+    # execution
+    "Cluster", "make_cluster", "CuCCRuntime", "CompiledKernel",
+    "LaunchRecord", "LaunchConfig", "OpCounters", "run_grid",
+    # baselines + hardware
+    "GPUDevice", "PGASRuntime", "SingleCPURuntime",
+    "SIMD_FOCUSED_NODE", "THREAD_FOCUSED_NODE", "A100", "V100", "ModelParams",
+    # workloads
+    "PERF_WORKLOADS",
+]

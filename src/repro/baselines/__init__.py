@@ -1,0 +1,14 @@
+"""Baselines the paper compares CuCC against: single-CPU (CuPBoP),
+PGAS (UPC++), and GPU execution."""
+
+from repro.baselines.gpu_exec import GPUDevice, GPULaunchRecord
+from repro.baselines.pgas import PGASLaunchRecord, PGASRuntime
+from repro.baselines.single_cpu import SingleCPURuntime
+
+__all__ = [
+    "GPUDevice",
+    "GPULaunchRecord",
+    "PGASRuntime",
+    "PGASLaunchRecord",
+    "SingleCPURuntime",
+]

@@ -1,0 +1,121 @@
+"""GPU execution baseline.
+
+Executes the *original* (untransformed) GPU kernel functionally with the
+SPMD interpreter over a single memory space, and models its runtime with
+the GPU roofline/wave model.  This is the comparison side of the paper's
+Figures 11 and 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.simtime import SimClock
+from repro.errors import LaunchError, MemoryError_
+from repro.hw.gpu import GPUSpec
+from repro.hw.perfmodel import DEFAULT_PARAMS, ModelParams, gpu_time
+from repro.interp.counters import OpCounters
+from repro.interp.grid import LaunchConfig
+from repro.interp.machine import BlockExecutor
+from repro.ir.stmt import Kernel
+
+__all__ = ["GPUDevice", "GPULaunchRecord"]
+
+
+@dataclass
+class GPULaunchRecord:
+    """Trace entry for one GPU kernel launch."""
+
+    kernel_name: str
+    config: LaunchConfig
+    time: float
+    counters: OpCounters
+
+
+class GPUDevice:
+    """A simulated GPU: one memory space, wave-scheduled blocks."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        params: ModelParams = DEFAULT_PARAMS,
+        bounds_check: bool = True,
+    ):
+        self.spec = spec
+        self.params = params
+        self.bounds_check = bounds_check
+        self.clock = SimClock()
+        self.launches: list[GPULaunchRecord] = []
+        self._memory: dict[str, np.ndarray] = {}
+
+    # -- memory API --------------------------------------------------------
+    def alloc(self, name: str, size: int, dtype) -> str:
+        if name in self._memory:
+            raise MemoryError_(f"buffer {name!r} already allocated")
+        self._memory[name] = np.zeros(int(size), dtype=np.dtype(dtype))
+        return name
+
+    def free(self, name: str) -> None:
+        if name not in self._memory:
+            raise MemoryError_(f"unknown buffer {name!r}")
+        del self._memory[name]
+
+    def memcpy_h2d(self, name: str, host: np.ndarray) -> None:
+        buf = self._buffer(name)
+        host = np.ascontiguousarray(host).reshape(-1)
+        if host.dtype != buf.dtype or host.size != buf.size:
+            raise MemoryError_(f"memcpy_h2d {name!r}: shape/dtype mismatch")
+        buf[:] = host
+
+    def memcpy_d2h(self, name: str) -> np.ndarray:
+        return self._buffer(name).copy()
+
+    def _buffer(self, name: str) -> np.ndarray:
+        try:
+            return self._memory[name]
+        except KeyError:
+            raise MemoryError_(f"unknown buffer {name!r}") from None
+
+    # -- launch --------------------------------------------------------------
+    def launch(
+        self, kernel: Kernel, grid, block, args: dict[str, object]
+    ) -> GPULaunchRecord:
+        """Run all blocks of a launch; advance the device clock."""
+        config = LaunchConfig.make(grid, block)
+        run_args: dict[str, object] = {}
+        working_set = 0
+        for p in kernel.params:
+            if p.name not in args:
+                raise LaunchError(f"missing argument {p.name!r}")
+            v = args[p.name]
+            if p.is_pointer:
+                if not isinstance(v, str):
+                    raise LaunchError(
+                        f"pointer argument {p.name!r} must be a buffer name"
+                    )
+                buf = self._buffer(v)
+                run_args[p.name] = buf
+                working_set += buf.nbytes
+            else:
+                run_args[p.name] = v
+        counters = OpCounters()
+        ex = BlockExecutor(
+            kernel, config, run_args, counters, bounds_check=self.bounds_check
+        )
+        ex.run_blocks(range(config.num_blocks))
+        t = gpu_time(
+            self.spec,
+            counters,
+            config.num_blocks,
+            config.threads_per_block,
+            working_set_bytes=working_set,
+            params=self.params,
+        )
+        self.clock.advance(t)
+        record = GPULaunchRecord(
+            kernel_name=kernel.name, config=config, time=t, counters=counters
+        )
+        self.launches.append(record)
+        return record

@@ -1,0 +1,27 @@
+"""Experiment harness: profiling, analytical sweep models, report tables."""
+
+from repro.bench.harness import (
+    CuCCResult,
+    format_table,
+    geomean,
+    run_on_cucc,
+    run_on_gpu,
+    run_on_pgas,
+)
+from repro.bench.profile import (
+    WorkloadProfile,
+    get_profile,
+    model_cucc_time,
+    model_gpu_time,
+    model_pgas_time,
+    model_single_cpu_time,
+    profile_workload,
+)
+
+__all__ = [
+    "CuCCResult", "run_on_cucc", "run_on_gpu", "run_on_pgas",
+    "format_table", "geomean",
+    "WorkloadProfile", "profile_workload", "get_profile",
+    "model_cucc_time", "model_gpu_time", "model_pgas_time",
+    "model_single_cpu_time",
+]

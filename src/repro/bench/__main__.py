@@ -1,0 +1,85 @@
+"""CLI: regenerate every table and figure of the paper's evaluation.
+
+Usage::
+
+    python -m repro.bench                 # all figures, paper-size
+    python -m repro.bench --size small    # fast pass (CI-sized problems)
+    python -m repro.bench fig08 fig11     # a subset, by figure id
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+
+from repro.bench.figures import ALL_FIGURES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="regenerate the paper's tables and figures",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        help="figure ids to run (e.g. fig08 fig11 tab01); default: all",
+    )
+    parser.add_argument(
+        "--size",
+        default="paper",
+        choices=("small", "paper"),
+        help="workload size preset (default: paper)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write all results (headers/rows/notes) as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    selected = []
+    for fn in ALL_FIGURES:
+        fid = fn.__name__.split("_")[0]
+        if not args.figures or fid in args.figures or fn.__name__ in args.figures:
+            selected.append(fn)
+    if not selected:
+        parser.error(f"no figures match {args.figures!r}")
+
+    t0 = time.time()
+    collected = []
+    for fn in selected:
+        t1 = time.time()
+        kwargs = (
+            {"size": args.size}
+            if "size" in inspect.signature(fn).parameters
+            else {}
+        )
+        result = fn(**kwargs)
+        print(result.render())
+        print(f"  [{fn.__name__}: {time.time() - t1:.1f}s]\n")
+        collected.append(result)
+    print(f"total: {time.time() - t0:.1f}s")
+    if args.json:
+        import json
+
+        payload = [
+            {
+                "figure": r.figure,
+                "title": r.title,
+                "headers": r.headers,
+                "rows": [[str(c) for c in row] for row in r.rows],
+                "notes": r.notes,
+            }
+            for r in collected
+        ]
+        with open(args.json, "w") as f:
+            json.dump(payload, f, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

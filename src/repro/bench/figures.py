@@ -1,0 +1,679 @@
+"""Per-figure experiment drivers: regenerate every table and figure.
+
+Each ``figNN_*`` function reproduces one table/figure of the paper's
+evaluation and returns a :class:`FigureResult` — a title, the table
+rows the paper plots, and free-form notes (including the paper's
+headline numbers next to ours).  ``benchmarks/bench_figNN_*.py`` wraps
+each driver for pytest-benchmark; ``python -m repro.bench`` prints all
+of them.
+
+All drivers share the cached workload profiles
+(:func:`repro.bench.profile.get_profile`), so the expensive instrumented
+executions happen once per process regardless of how many figures run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis import analyze_kernel
+from repro.bench.harness import format_table, geomean
+from repro.bench.profile import (
+    WorkloadProfile,
+    get_profile,
+    make_plan,
+    model_cucc_time,
+    model_gpu_time,
+    model_pgas_time,
+    model_single_cpu_time,
+)
+from repro.cluster import Cluster, collectives as coll
+from repro.hw import (
+    A100,
+    INFINIBAND_100G,
+    SIMD_FOCUSED_CLUSTER,
+    SIMD_FOCUSED_NODE,
+    THREAD_FOCUSED_CLUSTER,
+    THREAD_FOCUSED_NODE,
+    V100,
+    spec_table_rows,
+)
+from repro.workloads import PERF_WORKLOADS
+
+__all__ = [
+    "FigureResult",
+    "fig01_waiting_times",
+    "tab01_specs",
+    "fig03_allgather",
+    "fig04_pgas_scaling",
+    "fig06_pipeline",
+    "fig07_coverage",
+    "fig08_scalability",
+    "fig09_network_overhead",
+    "fig10_cucc_vs_pgas",
+    "fig11_cpu_vs_gpu",
+    "fig12_throughput",
+    "fig13_simd_vs_thread",
+    "ablation_regrid",
+    "extra_energy",
+    "ALL_FIGURES",
+]
+
+SIMD_NODE_COUNTS = (1, 2, 4, 8, 16, 32)
+THREAD_NODE_COUNTS = (1, 2, 4)
+NET = INFINIBAND_100G
+WORKLOADS = tuple(PERF_WORKLOADS)
+
+
+@dataclass
+class FigureResult:
+    """One regenerated table/figure, ready to print or assert against."""
+
+    figure: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: list[str] = field(default_factory=list)
+    #: free-form numeric results for programmatic assertions
+    data: dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        out = [f"== {self.figure}: {self.title} =="]
+        out.append(format_table(self.headers, self.rows))
+        for n in self.notes:
+            out.append(f"  note: {n}")
+        return "\n".join(out)
+
+
+def _simd_times(prof: WorkloadProfile, simd_enabled: bool = True) -> dict[int, float]:
+    times = {
+        1: model_single_cpu_time(prof, SIMD_FOCUSED_NODE, simd_enabled=simd_enabled)
+    }
+    for n in SIMD_NODE_COUNTS[1:]:
+        times[n] = model_cucc_time(
+            prof, SIMD_FOCUSED_NODE, NET, n, simd_enabled=simd_enabled
+        ).total
+    return times
+
+
+def _thread_times(
+    prof: WorkloadProfile, node=THREAD_FOCUSED_NODE, simd_enabled: bool = True
+) -> dict[int, float]:
+    times = {1: model_single_cpu_time(prof, node, simd_enabled=simd_enabled)}
+    for n in THREAD_NODE_COUNTS[1:]:
+        times[n] = model_cucc_time(
+            prof, node, NET, n, simd_enabled=simd_enabled
+        ).total
+    return times
+
+
+# ---------------------------------------------------------------------------
+def fig01_waiting_times(seed: int = 0) -> FigureResult:
+    """Figure 1: waiting times for CPU and GPU partitions (Slurm)."""
+    from repro.slurm import simulate_campus_cluster
+
+    stats = simulate_campus_cluster(seed=seed)
+    rows = [list(s.row().values()) for s in stats]
+    cpu = [s.mean_s for s in stats if s.partition.startswith("cpu")]
+    gpu = [s.mean_s for s in stats if s.partition.startswith("gpu")]
+    ratio = (np.mean(gpu) + 1) / (np.mean(cpu) + 1)
+    return FigureResult(
+        figure="Figure 1",
+        title="waiting times for CPU and GPU partitions (1 simulated week)",
+        headers=list(stats[0].row().keys()),
+        rows=rows,
+        notes=[
+            f"mean GPU wait / mean CPU wait = {ratio:.0f}x "
+            "(paper: GPU partitions wait significantly longer while CPUs idle)",
+        ],
+        data={"cpu_mean_wait_s": float(np.mean(cpu)),
+              "gpu_mean_wait_s": float(np.mean(gpu))},
+    )
+
+
+def tab01_specs() -> FigureResult:
+    """Table 1: cluster specifications (from the model database)."""
+    rows = spec_table_rows()
+    return FigureResult(
+        figure="Table 1",
+        title="cluster specifications (database used by every model)",
+        headers=list(rows[0].keys()),
+        rows=[list(r.values()) for r in rows],
+        notes=[
+            "derived TFLOP/s match the paper: 4.15 / 8.19 / 19.5 / 15.7",
+        ],
+        data={"rows": rows},
+    )
+
+
+def fig03_allgather(payload_mb: float = 256.0) -> FigureResult:
+    """Section 2.3: Allgather variant comparison (cost model).
+
+    Balanced-in-place vs out-of-place (adds local copy + 2x memory) vs
+    imbalanced (one node holds 3/8 of the data) across cluster sizes.
+    """
+    payload = payload_mb * 1e6
+    copy_GBs = SIMD_FOCUSED_NODE.mem_bw_gbs * 0.5  # memcpy: read + write
+    headers = ["Nodes", "balanced in-place (ms)", "out-of-place (ms)",
+               "imbalanced (ms)"]
+    rows = []
+    data = {}
+    for n in (2, 4, 8, 16, 32):
+        t_in = coll.allgather_inplace_cost(NET, n, payload)
+        t_out = coll.allgather_outofplace_cost(NET, n, payload, copy_GBs)
+        shares = [payload / n] * n
+        shares[0] = payload * 3 / 8
+        rest = (payload - shares[0]) / (n - 1)
+        shares[1:] = [rest] * (n - 1)
+        t_imb = coll.allgather_imbalanced_cost(NET, shares)
+        rows.append([n, t_in * 1e3, t_out * 1e3, t_imb * 1e3])
+        data[n] = (t_in, t_out, t_imb)
+    return FigureResult(
+        figure="Figure 3 / Section 2.3",
+        title=f"Allgather variants, {payload_mb:.0f} MB total payload",
+        headers=headers,
+        rows=rows,
+        notes=["balanced-in-place is fastest at every size (basis of CuCC's "
+               "phase 2); out-of-place also doubles memory footprint"],
+        data=data,
+    )
+
+
+def fig04_pgas_scaling(size: str = "paper") -> FigureResult:
+    """Figure 4: scalability of the PGAS migration (poor by design)."""
+    headers = ["Workload"] + [f"{n} nodes" for n in SIMD_NODE_COUNTS]
+    rows = []
+    data = {}
+    for name in WORKLOADS:
+        prof = get_profile(name, size)
+        t1 = model_pgas_time(prof, SIMD_FOCUSED_NODE, NET, 1)
+        speedups = [
+            t1 / model_pgas_time(prof, SIMD_FOCUSED_NODE, NET, n)
+            for n in SIMD_NODE_COUNTS
+        ]
+        rows.append([name] + [f"{s:.2f}x" for s in speedups])
+        data[name] = speedups
+    slowdowns = sum(1 for v in data.values() if v[-1] < 1.0)
+    return FigureResult(
+        figure="Figure 4",
+        title="PGAS migration strong scaling (speedup vs PGAS 1 node, "
+        "SIMD-Focused)",
+        headers=headers,
+        rows=rows,
+        notes=[
+            f"{slowdowns}/8 workloads are slower on 32 nodes than on one "
+            "(paper: most programs do not scale; some slow down)",
+        ],
+        data=data,
+    )
+
+
+def fig06_pipeline() -> FigureResult:
+    """Figure 6 / Listings 1-2: the migration pipeline artifacts."""
+    from repro.frontend import parse_kernel
+    from repro.transform import (
+        analyze_vectorizability,
+        generate_host_module,
+        generate_kernel_module,
+    )
+    from repro.workloads.vecadd import CUDA_SOURCE as _  # noqa: F401
+
+    src = """
+#define N 1200
+__global__ void vec_copy(char *src, char *dest) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    if (id < N)
+        dest[id] = src[id];
+}
+"""
+    kernel = parse_kernel(src)
+    analysis = analyze_kernel(kernel)
+    vect = analyze_vectorizability(kernel)
+    host = generate_host_module(kernel, analysis.metadata)
+    kmod = generate_kernel_module(kernel, vect)
+    meta = analysis.metadata
+    rows = [
+        ["tail_divergent", meta.tail_divergent],
+        ["mem_ptr", ", ".join(meta.mem_ptrs)],
+    ] + [
+        [f"unit_size[{b}]", f"({meta.unit_elems[b]}) x {meta.elem_sizes[b]} B"]
+        for b in meta.mem_ptrs
+    ]
+    return FigureResult(
+        figure="Figure 6",
+        title="GPU-to-CPU-cluster migration of Listing 1 (metadata + "
+        "generated modules)",
+        headers=["metadata", "value"],
+        rows=rows,
+        notes=["--- CPU kernel module ---"]
+        + kmod.split("\n")
+        + ["--- CPU host module ---"]
+        + host.split("\n"),
+        data={"metadata": meta, "host_module": host, "kernel_module": kmod},
+    )
+
+
+def fig07_coverage() -> FigureResult:
+    """Figure 7: Allgather-distributable coverage of the kernel zoos."""
+    from repro.workloads.ai_models import BERT_KERNELS, VIT_KERNELS
+    from repro.workloads.heteromark import HETEROMARK_KERNELS, build_kernel
+
+    rows = []
+    data = {}
+    for label, zoo in (
+        ("BERT (Triton)", BERT_KERNELS),
+        ("ViT (Triton)", VIT_KERNELS),
+        ("Hetero-Mark (CUDA)", HETEROMARK_KERNELS),
+    ):
+        ok = overlap = indirect = 0
+        for z in zoo:
+            verdict = analyze_kernel(build_kernel(z)).metadata.distributable
+            if verdict != z.distributable:
+                raise AssertionError(
+                    f"{z.name}: analysis verdict {verdict} != expected "
+                    f"{z.distributable}"
+                )
+            if verdict:
+                ok += 1
+            elif z.category == "indirect":
+                indirect += 1
+            else:
+                overlap += 1
+        rows.append([label, len(zoo), ok, overlap, indirect])
+        data[label] = (len(zoo), ok)
+    return FigureResult(
+        figure="Figure 7",
+        title="coverage of the Allgather distributable analysis",
+        headers=["Suite", "Kernels", "Distributable", "Overlapping writes",
+                 "Indirect access"],
+        rows=rows,
+        notes=["paper: 21/21 AI kernels distributable; 8/13 Hetero-Mark "
+               "(4 overlapping, 1 indirect) — reproduced exactly"],
+        data=data,
+    )
+
+
+def fig08_scalability(size: str = "paper") -> FigureResult:
+    """Figure 8: CuCC strong scaling on both clusters."""
+    headers = (
+        ["Workload"]
+        + [f"S{n}" for n in SIMD_NODE_COUNTS]
+        + [f"T{n}" for n in THREAD_NODE_COUNTS]
+    )
+    rows = []
+    data = {}
+    for name in WORKLOADS:
+        prof = get_profile(name, size)
+        st = _simd_times(prof)
+        tt = _thread_times(prof)
+        s_speed = [st[1] / st[n] for n in SIMD_NODE_COUNTS]
+        t_speed = [tt[1] / tt[n] for n in THREAD_NODE_COUNTS]
+        rows.append(
+            [name]
+            + [f"{v:.2f}" for v in s_speed]
+            + [f"{v:.2f}" for v in t_speed]
+        )
+        data[name] = {"simd": st, "thread": tt}
+    km = data["KMeans"]["simd"]
+    return FigureResult(
+        figure="Figure 8",
+        title=f"CuCC strong scaling (speedup vs 1 node; {size} size)",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "FIR scales furthest (paper: near-linear to 32 nodes)",
+            f"KMeans 16 vs 32 nodes: {km[16] * 1e3:.3f} ms vs "
+            f"{km[32] * 1e3:.3f} ms — slower at 32 (paper: 313 blocks -> "
+            "19+9 blocks/node at 16 nodes but 9+25 at 32)",
+            "Transpose and the few-block kernels (EP, GA, NBody) stop "
+            "scaling (paper: communication volume constant / idle cores)",
+        ],
+        data=data,
+    )
+
+
+def fig09_network_overhead(size: str = "paper") -> FigureResult:
+    """Figure 9: fraction of runtime spent in communication (SIMD-Focused)."""
+    headers = ["Workload"] + [f"{n} nodes" for n in SIMD_NODE_COUNTS[1:]]
+    rows = []
+    data = {}
+    for name in WORKLOADS:
+        prof = get_profile(name, size)
+        fr = []
+        for n in SIMD_NODE_COUNTS[1:]:
+            ph = model_cucc_time(prof, SIMD_FOCUSED_NODE, NET, n)
+            fr.append(ph.network_fraction)
+        rows.append([name] + [f"{100 * f:.1f}%" for f in fr])
+        data[name] = fr
+    return FigureResult(
+        figure="Figure 9",
+        title="network overhead share of CuCC runtime (SIMD-Focused)",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "Transpose is communication-dominated (paper: its comm volume "
+            "stays constant while compute shrinks); FIR/BinomialOption "
+            "communicate negligibly",
+        ],
+        data=data,
+    )
+
+
+def fig10_cucc_vs_pgas(size: str = "paper") -> FigureResult:
+    """Figure 10: CuCC vs the UPC++-style PGAS migration."""
+    node_counts = (2, 4, 8, 16, 32)
+    headers = ["Workload"] + [f"{n} nodes" for n in node_counts]
+    rows = []
+    data = {}
+    for name in WORKLOADS:
+        prof = get_profile(name, size)
+        ratio = []
+        for n in node_counts:
+            tc = model_cucc_time(prof, SIMD_FOCUSED_NODE, NET, n).total
+            tp = model_pgas_time(prof, SIMD_FOCUSED_NODE, NET, n)
+            ratio.append(tp / tc)
+        rows.append([name] + [f"{r:.2f}x" for r in ratio])
+        data[name] = dict(zip(node_counts, ratio))
+    avg2 = geomean([data[w][2] for w in WORKLOADS if w != "Transpose"])
+    avg32 = geomean([data[w][32] for w in WORKLOADS if w != "Transpose"])
+    return FigureResult(
+        figure="Figure 10",
+        title="PGAS / CuCC runtime ratio (SIMD-Focused; >1 = CuCC faster)",
+        headers=headers,
+        rows=rows,
+        notes=[
+            f"average excl. Transpose: {avg2:.2f}x at 2 nodes (paper 4.09x), "
+            f"{avg32:.2f}x at 32 nodes (paper 12.81x)",
+            f"Transpose is the outlier: {data['Transpose'][32]:.0f}x at 32 "
+            "nodes (paper: largest gap — N^2 fine-grained remote accesses "
+            "vs one Allgather)",
+            "GA and BinomialOption are near parity (paper: infrequent / "
+            "single-scalar remote writes)",
+        ],
+        data={"ratios": data, "avg2": avg2, "avg32": avg32},
+    )
+
+
+def fig11_cpu_vs_gpu(size: str = "paper") -> FigureResult:
+    """Figure 11: CPU clusters (best size) vs A100 / V100."""
+    headers = ["Workload", "A100 (ms)", "V100 (ms)", "SIMD best (ms)",
+               "Thread best (ms)", "simd/A100", "thread/A100"]
+    rows = []
+    data = {}
+    for name in WORKLOADS:
+        prof = get_profile(name, size)
+        ta = model_gpu_time(prof, A100)
+        tv = model_gpu_time(prof, V100)
+        ts = min(_simd_times(prof).values())
+        tt = min(_thread_times(prof).values())
+        rows.append(
+            [name, ta * 1e3, tv * 1e3, ts * 1e3, tt * 1e3,
+             f"{ts / ta:.2f}", f"{tt / ta:.2f}"]
+        )
+        data[name] = {"a100": ta, "v100": tv, "simd": ts, "thread": tt}
+    gm = {
+        "simd_v100": geomean([d["simd"] / d["v100"] for d in data.values()]),
+        "simd_a100": geomean([d["simd"] / d["a100"] for d in data.values()]),
+        "thread_v100": geomean([d["thread"] / d["v100"] for d in data.values()]),
+        "thread_a100": geomean([d["thread"] / d["a100"] for d in data.values()]),
+    }
+    return FigureResult(
+        figure="Figure 11",
+        title="runtime: CPU clusters (best size) vs GPUs",
+        headers=headers,
+        rows=rows,
+        notes=[
+            f"geomean slowdowns vs paper: SIMD/V100 {gm['simd_v100']:.2f} "
+            f"(2.55), SIMD/A100 {gm['simd_a100']:.2f} (4.14), Thread/V100 "
+            f"{gm['thread_v100']:.2f} (1.57), Thread/A100 "
+            f"{gm['thread_a100']:.2f} (2.54)",
+            "Transpose: CPUs (Thread-Focused) beat both GPUs via large LLC "
+            "(paper section 7.4.1)",
+            "BinomialOption: Thread-Focused 4-node edges out the GPUs "
+            "(paper: 32 TFLOP/s of thread parallelism vs barrier-phased GPU)",
+            "EP and GA: GPUs win by ~4-13x (paper: 5-10x; too few blocks, "
+            "non-SIMD loops)",
+        ],
+        data={"per_workload": data, "geomeans": gm},
+    )
+
+
+def fig12_throughput(size: str = "paper") -> FigureResult:
+    """Figure 12: cluster-wide batch throughput, GPUs vs GPUs+CPUs.
+
+    Models TACC Lonestar6: 560 CPU nodes and 16 GPU nodes.  CPU nodes are
+    grouped into clusters of the throughput-optimal size per workload;
+    throughput is jobs completed per second of batch processing.
+    """
+    CPU_NODES_TOTAL, GPU_NODES_TOTAL = 560, 16
+    headers = ["Workload", "GPU jobs/s", "+CPU jobs/s", "combined/GPU",
+               "CPU cluster size"]
+    rows = []
+    ratios = []
+    data = {}
+    for name in WORKLOADS:
+        prof = get_profile(name, size)
+        t_gpu = model_gpu_time(prof, A100)
+        gpu_tp = GPU_NODES_TOTAL / t_gpu
+        # CPU nodes are grouped into clusters of the workload's
+        # runtime-best size (the configuration Figure 11 reports), as the
+        # paper's batch-processing setup does
+        best_t, best_k = model_single_cpu_time(prof, THREAD_FOCUSED_NODE), 1
+        for k in (2, 4):
+            t = model_cucc_time(prof, THREAD_FOCUSED_NODE, NET, k).total
+            if t < best_t:
+                best_t, best_k = t, k
+        cpu_tp = (CPU_NODES_TOTAL // best_k) / best_t
+        combined = gpu_tp + cpu_tp
+        ratios.append(combined / gpu_tp)
+        rows.append([name, gpu_tp, combined, f"{combined / gpu_tp:.2f}x",
+                     best_k])
+        data[name] = {"gpu": gpu_tp, "combined": combined, "k": best_k}
+    avg = geomean(ratios)
+    return FigureResult(
+        figure="Figure 12",
+        title="Lonestar6-scale throughput: 16 GPU nodes vs + 560 CPU nodes",
+        headers=headers,
+        rows=rows,
+        notes=[
+            f"average throughput gain from adding CPUs: {avg:.2f}x "
+            "(paper: 3.59x in section 7.4.2; 2.59x in the abstract — our "
+            "gain is larger because our modeled CPU-vs-GPU runtime gap is "
+            "narrower than the paper's, see EXPERIMENTS.md)",
+            "qualitative claim reproduced: idle CPU nodes add a multiple "
+            "of the GPU partition's batch throughput for every workload",
+        ],
+        data={"per_workload": data, "avg_gain": avg},
+    )
+
+
+def fig13_simd_vs_thread(size: str = "paper") -> FigureResult:
+    """Figure 13 / section 8.2: SIMD- vs Thread-Focused at equal peak,
+    plus the no-SIMD ablation."""
+    capped = THREAD_FOCUSED_NODE.limited_to_cores(64)
+    headers = ["Workload", "ratio @1 node", "@2 nodes", "@4 nodes"]
+    rows = []
+    data = {}
+    for name in WORKLOADS:
+        prof = get_profile(name, size)
+        st = {1: model_single_cpu_time(prof, SIMD_FOCUSED_NODE)}
+        tt = {1: model_single_cpu_time(prof, capped)}
+        for n in (2, 4):
+            st[n] = model_cucc_time(prof, SIMD_FOCUSED_NODE, NET, n).total
+            tt[n] = model_cucc_time(prof, capped, NET, n, ).total
+        ratios = {n: st[n] / tt[n] for n in (1, 2, 4)}
+        rows.append([name] + [f"{ratios[n]:.2f}x" for n in (1, 2, 4)])
+        data[name] = ratios
+    gms = {
+        n: geomean([data[w][n] for w in WORKLOADS]) for n in (1, 2, 4)
+    }
+    # no-SIMD ablation on Transpose (paper section 8.2)
+    prof = get_profile("Transpose", size)
+    ablate = {}
+    for node, label in ((SIMD_FOCUSED_NODE, "simd"), (capped, "thread64")):
+        on = model_single_cpu_time(prof, node, simd_enabled=True)
+        off = model_single_cpu_time(prof, node, simd_enabled=False)
+        ablate[label] = off / on
+    return FigureResult(
+        figure="Figure 13",
+        title="SIMD-Focused / Thread-Focused(64 cores) runtime ratio at "
+        "equal theoretical peak",
+        headers=headers,
+        rows=rows,
+        notes=[
+            f"geomeans: {gms[1]:.2f}x / {gms[2]:.2f}x / {gms[4]:.2f}x at "
+            "1/2/4 nodes (paper: 4.61 / 4.66 / 4.32)",
+            "largest single-node gap: "
+            + max(WORKLOADS, key=lambda w: data[w][1])
+            + f" at {max(d[1] for d in data.values()):.1f}x "
+            "(paper: BinomialOption at 55x)",
+            f"Transpose no-SIMD slowdown: SIMD-Focused "
+            f"{ablate['simd']:.2f}x vs Thread-Focused "
+            f"{ablate['thread64']:.2f}x (paper: 61.66x vs none — our "
+            "roofline model reproduces the direction on the SIMD-Focused "
+            "node only partially; see EXPERIMENTS.md)",
+        ],
+        data={"ratios": data, "geomeans": gms, "ablation": ablate},
+    )
+
+
+def ablation_regrid(size: str = "paper") -> FigureResult:
+    """Section 8.3 ablation: workload redistribution (block regridding).
+
+    The paper's first future direction: kernels with too few blocks
+    cannot feed large clusters.  This ablation applies the implemented
+    regridding transformation (``repro.transform.regrid``) to the
+    regriddable evaluation workloads and compares CuCC runtimes with the
+    original, SM-tuned geometry on the 32-node SIMD-Focused cluster
+    (768 cores — more than EP's 512 or NBody's 128 blocks).
+    """
+    from repro.bench.profile import profile_workload
+    from repro.transform import regrid_workload
+
+    headers = ["Workload", "orig grid x block", "regrid grid x block",
+               "orig (ms)", "regrid (ms)", "speedup"]
+    rows = []
+    data = {}
+    total_cores = 32 * SIMD_FOCUSED_NODE.cores
+    for name in WORKLOADS:
+        prof = get_profile(name, size)
+        new_spec = regrid_workload(prof.spec, total_cores)
+        if new_spec is None:
+            rows.append([name, f"{prof.spec.num_blocks} x "
+                         f"{prof.config.threads_per_block}", "(not regriddable)",
+                         "-", "-", "-"])
+            continue
+        regr = profile_workload(new_spec)
+        t0 = model_cucc_time(prof, SIMD_FOCUSED_NODE, NET, 32).total
+        t1 = model_cucc_time(regr, SIMD_FOCUSED_NODE, NET, 32).total
+        rows.append(
+            [
+                name,
+                f"{prof.spec.num_blocks} x {prof.config.threads_per_block}",
+                f"{new_spec.num_blocks} x {new_spec.block}",
+                t0 * 1e3,
+                t1 * 1e3,
+                f"{t0 / t1:.2f}x",
+            ]
+        )
+        data[name] = t0 / t1
+    return FigureResult(
+        figure="Ablation (section 8.3)",
+        title="workload redistribution: regridded vs original geometry, "
+        "32-node SIMD-Focused",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "block-starved kernels (EP: 512 blocks for 768 cores) gain the "
+            "most; kernels with shared-memory block affinity "
+            "(BinomialOption, GA, Transpose rows) cannot be regridded",
+            "kernels that already have enough blocks (FIR: 1024) see no "
+            "gain — redistribution pays only when cores would idle",
+        ],
+        data=data,
+    )
+
+
+def extra_energy(size: str = "paper") -> FigureResult:
+    """Section 8.4 extension: energy per job, CPU clusters vs the A100.
+
+    The paper argues qualitatively that using *idle* CPUs is attractive
+    because they draw non-negligible power whether or not they run jobs.
+    This table quantifies it with the spec database's power figures:
+
+    * *full*: CPU-cluster energy at load power (what a utility meter adds
+      if the nodes would otherwise be off);
+    * *marginal*: load minus idle power (what running the job adds when
+      the nodes are powered on and idle anyway — the spot-instance
+      scenario of section 8.4).
+    """
+    headers = ["Workload", "A100 (mJ)", "CPU full (mJ)", "full/GPU",
+               "CPU marginal (mJ)", "marginal/GPU", "cluster"]
+    rows = []
+    data = {}
+    for name in WORKLOADS:
+        prof = get_profile(name, size)
+        t_gpu = model_gpu_time(prof, A100)
+        e_gpu = t_gpu * A100.tdp_w
+        best_t, best_k = model_single_cpu_time(prof, THREAD_FOCUSED_NODE), 1
+        for k in THREAD_NODE_COUNTS[1:]:
+            tk = model_cucc_time(prof, THREAD_FOCUSED_NODE, NET, k).total
+            if tk < best_t:
+                best_t, best_k = tk, k
+        node = THREAD_FOCUSED_NODE
+        e_full = best_t * best_k * node.tdp_w
+        e_marginal = best_t * best_k * (node.tdp_w - node.idle_w)
+        rows.append(
+            [
+                name,
+                e_gpu * 1e3,
+                e_full * 1e3,
+                f"{e_full / e_gpu:.2f}x",
+                e_marginal * 1e3,
+                f"{e_marginal / e_gpu:.2f}x",
+                f"{best_k} node(s)",
+            ]
+        )
+        data[name] = {
+            "gpu": e_gpu,
+            "full": e_full,
+            "marginal": e_marginal,
+        }
+    gm_full = geomean([d["full"] / d["gpu"] for d in data.values()])
+    gm_marg = geomean([d["marginal"] / d["gpu"] for d in data.values()])
+    return FigureResult(
+        figure="Extra (section 8.4)",
+        title="energy per job: Thread-Focused cluster (best size) vs A100",
+        headers=headers,
+        rows=rows,
+        notes=[
+            f"geomean energy ratio: {gm_full:.2f}x at full power, "
+            f"{gm_marg:.2f}x marginal (idle CPUs already drawing "
+            f"{THREAD_FOCUSED_NODE.idle_w:.0f} W of "
+            f"{THREAD_FOCUSED_NODE.tdp_w:.0f} W)",
+            "the paper's section 8.4 argument: on already-powered idle "
+            "CPUs the marginal energy premium over GPUs shrinks "
+            "substantially",
+        ],
+        data={"per_workload": data, "gm_full": gm_full, "gm_marginal": gm_marg},
+    )
+
+
+ALL_FIGURES = (
+    fig01_waiting_times,
+    tab01_specs,
+    fig03_allgather,
+    fig04_pgas_scaling,
+    fig06_pipeline,
+    fig07_coverage,
+    fig08_scalability,
+    fig09_network_overhead,
+    fig10_cucc_vs_pgas,
+    fig11_cpu_vs_gpu,
+    fig12_throughput,
+    fig13_simd_vs_thread,
+    ablation_regrid,
+    extra_energy,
+)

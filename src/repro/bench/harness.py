@@ -1,0 +1,129 @@
+"""Experiment harness: run workloads on every platform, collect times.
+
+Each ``run_on_*`` helper allocates the workload's buffers on the target
+platform, uploads inputs, launches the kernel, verifies every declared
+output against the NumPy reference (correctness is checked on *every*
+experiment run, including benchmarks), and returns the simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.gpu_exec import GPUDevice
+from repro.baselines.pgas import PGASRuntime
+from repro.cluster.cluster import Cluster, make_cluster
+from repro.hw.gpu import GPUSpec
+from repro.hw.perfmodel import DEFAULT_PARAMS, ModelParams
+from repro.runtime.cucc import CuCCRuntime
+from repro.runtime.program import LaunchRecord
+from repro.workloads.base import WorkloadSpec
+
+__all__ = [
+    "CuCCResult",
+    "run_on_cucc",
+    "run_on_gpu",
+    "run_on_pgas",
+    "format_table",
+    "geomean",
+]
+
+
+@dataclass
+class CuCCResult:
+    """Outcome of one CuCC cluster run."""
+
+    time: float
+    record: LaunchRecord
+    runtime: CuCCRuntime
+
+    @property
+    def network_fraction(self) -> float:
+        return self.record.phases.network_fraction
+
+
+def run_on_cucc(
+    spec: WorkloadSpec,
+    cluster: Cluster,
+    params: ModelParams = DEFAULT_PARAMS,
+    simd_enabled: bool = True,
+    verify: bool = True,
+    faithful_replication: bool = False,
+) -> CuCCResult:
+    """Run a workload through the three-phase CuCC runtime."""
+    rt = CuCCRuntime(
+        cluster,
+        params=params,
+        simd_enabled=simd_enabled,
+        faithful_replication=faithful_replication,
+    )
+    for name, arr in spec.arrays.items():
+        rt.memory.alloc(name, arr.size, arr.dtype)
+        rt.memory.memcpy_h2d(name, arr)
+    compiled = rt.compile(spec.kernel)
+    rec = rt.launch(compiled, spec.grid, spec.block, spec.args())
+    if verify:
+        results = {
+            o: rt.memory.memcpy_d2h(o, check_consistency=True)
+            for o in spec.outputs
+        }
+        spec.verify(results)
+    return CuCCResult(time=rec.time, record=rec, runtime=rt)
+
+
+def run_on_gpu(
+    spec: WorkloadSpec,
+    gpu: GPUSpec,
+    params: ModelParams = DEFAULT_PARAMS,
+    verify: bool = True,
+) -> float:
+    """Run the original GPU program on the GPU model; returns time."""
+    dev = GPUDevice(gpu, params=params)
+    for name, arr in spec.arrays.items():
+        dev.alloc(name, arr.size, arr.dtype)
+        dev.memcpy_h2d(name, arr)
+    rec = dev.launch(spec.kernel, spec.grid, spec.block, spec.args())
+    if verify:
+        spec.verify({o: dev.memcpy_d2h(o) for o in spec.outputs})
+    return rec.time
+
+
+def run_on_pgas(
+    spec: WorkloadSpec,
+    cluster: Cluster,
+    params: ModelParams = DEFAULT_PARAMS,
+    verify: bool = True,
+) -> float:
+    """Run the PGAS migration of the workload; returns time."""
+    rt = PGASRuntime(cluster, params=params)
+    for name, arr in spec.arrays.items():
+        rt.alloc(name, arr.size, arr.dtype)
+        rt.memcpy_h2d(name, arr)
+    rec = rt.launch(spec.kernel, spec.grid, spec.block, spec.args())
+    if verify:
+        spec.verify({o: rt.memcpy_d2h(o) for o in spec.outputs})
+    return rec.time
+
+
+def geomean(values) -> float:
+    import math
+
+    vals = [v for v in values]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render an aligned plain-text table (the harness's report format)."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{c:.4g}" if isinstance(c, float) else str(c) for c in row]
+        for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for j, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

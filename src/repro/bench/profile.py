@@ -1,0 +1,314 @@
+"""Workload profiling: execute once, model every sweep point.
+
+The paper's figures sweep each workload over many configurations (node
+counts, cluster kinds, SIMD on/off, GPU models).  The *functional* work
+is identical at every point — only the block partitioning and the cost
+model inputs change.  This module executes each workload exactly once
+with the instrumented interpreter (verifying the result against the
+NumPy reference), records dynamic op counts at block-range granularity,
+and then answers "how long would configuration X take" analytically:
+
+* :func:`profile_workload` — one instrumented reference execution;
+* :func:`model_cucc_time` — three-phase time on any cluster, using the
+  same :func:`~repro.analysis.distributable.finalize_plan` arithmetic as
+  the real runtime (cross-checked by tests);
+* :func:`model_gpu_time` — GPU wave model on the same counts;
+* :func:`model_pgas_time` — PGAS cost from one instrumented locality
+  measurement, scaled across node counts.
+
+The real runtime (:mod:`repro.runtime.cucc`) with genuine per-node
+memories and data movement remains the source of truth for correctness;
+the test suite asserts that the model and the runtime agree on timing
+for matching configurations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.analysis.distributable import KernelAnalysis, analyze_kernel, finalize_plan
+from repro.analysis.metadata import DistributionPlan
+from repro.baselines.pgas import PGAS_LOCAL_ACCESS_S
+from repro.cluster import collectives as coll
+from repro.hw.cpu import CPUSpec
+from repro.hw.gpu import GPUSpec
+from repro.hw.perfmodel import DEFAULT_PARAMS, ModelParams, cpu_node_time, gpu_time
+from repro.hw.specs import NetworkSpec
+from repro.interp.counters import OpCounters
+from repro.interp.grid import LaunchConfig
+from repro.interp.machine import BlockExecutor
+from repro.runtime.program import PhaseTimes
+from repro.transform.vectorize import analyze_vectorizability
+from repro.workloads import PERF_WORKLOADS
+from repro.workloads.base import WorkloadSpec
+
+__all__ = [
+    "WorkloadProfile",
+    "profile_workload",
+    "get_profile",
+    "model_cucc_time",
+    "model_gpu_time",
+    "model_pgas_time",
+    "model_single_cpu_time",
+]
+
+#: how many trailing blocks are profiled individually (they may differ
+#: from the regular blocks under tail divergence)
+TAIL_BLOCKS = 2
+
+
+@dataclass
+class WorkloadProfile:
+    """Dynamic profile of one workload execution."""
+
+    spec: WorkloadSpec
+    config: LaunchConfig
+    analysis: KernelAnalysis
+    vectorizable: bool
+    total: OpCounters
+    #: average counters of one regular (non-tail) block
+    regular_block: OpCounters
+    #: exact counters of the last TAIL_BLOCKS blocks, in order
+    tail: list[OpCounters]
+    working_set_bytes: int
+    #: accesses (and their bytes) to PGAS global arrays — the buffers the
+    #: kernel writes, which the Listing-3 migration hosts on rank 0
+    pgas_global_ops: float = 0.0
+    pgas_global_bytes: float = 0.0
+
+    @property
+    def num_blocks(self) -> int:
+        return self.config.num_blocks
+
+    def counters_for_range(self, lo: int, hi: int) -> OpCounters:
+        """Aggregate counters of blocks [lo, hi)."""
+        out = OpCounters()
+        if hi <= lo:
+            return out
+        B = self.num_blocks
+        tail_start = B - len(self.tail)
+        n_regular = max(0, min(hi, tail_start) - lo)
+        if n_regular:
+            out.add(self.regular_block.scaled(n_regular))
+        for i, c in enumerate(self.tail):
+            bid = tail_start + i
+            if lo <= bid < hi:
+                out.add(c)
+        return out
+
+
+def profile_workload(spec: WorkloadSpec, verify: bool = True) -> WorkloadProfile:
+    """Execute the workload once on a single memory space and profile it."""
+    config = LaunchConfig.make(spec.grid, spec.block)
+    arrays = {n: a.copy() for n, a in spec.arrays.items()}
+    run_args: dict[str, object] = dict(spec.scalars)
+    run_args.update(arrays)
+    B = config.num_blocks
+    n_tail = min(TAIL_BLOCKS, B)
+
+    body = OpCounters()
+    ex = BlockExecutor(spec.kernel, config, run_args, body)
+    ex.run_blocks(range(0, B - n_tail))
+    tail: list[OpCounters] = []
+    for bid in range(B - n_tail, B):
+        c = OpCounters()
+        ex.counters = c
+        ex.run_block(bid)
+        tail.append(c)
+
+    if verify:
+        spec.verify({o: arrays[o] for o in spec.outputs})
+
+    total = body.copy()
+    for c in tail:
+        total.add(c)
+    regular = (
+        body.scaled(1.0 / (B - n_tail)) if B > n_tail else OpCounters()
+    )
+    analysis = analyze_kernel(spec.kernel)
+    vect = analyze_vectorizability(spec.kernel)
+    ws = sum(a.nbytes for a in spec.arrays.values())
+
+    prof = WorkloadProfile(
+        spec=spec,
+        config=config,
+        analysis=analysis,
+        vectorizable=vect.vectorizable,
+        total=total,
+        regular_block=regular,
+        tail=tail,
+        working_set_bytes=ws,
+    )
+    _measure_pgas_locality(prof, arrays, run_args)
+    return prof
+
+
+def _measure_pgas_locality(
+    prof: WorkloadProfile, arrays: dict[str, np.ndarray], run_args: dict[str, object]
+) -> None:
+    """One instrumented pass counting accesses to the written (global)
+    buffers — executed as rank 1 so every such access is classified
+    remote, yielding the total global-array traffic."""
+    from repro.analysis.writes import collect_writes
+    from repro.baselines.pgas import _PGASBlockExecutor
+
+    written = {rec.buffer for rec in collect_writes(prof.spec.kernel)}
+    global_params = {name: 0 for name in arrays if name in written}
+    ex = _PGASBlockExecutor(
+        prof.spec.kernel,
+        prof.config,
+        run_args,
+        OpCounters(),
+        rank=1,
+        global_params=global_params,
+    )
+    ex.run_blocks(range(prof.num_blocks))
+    prof.pgas_global_ops = ex.remote_ops
+    prof.pgas_global_bytes = ex.remote_bytes
+
+
+@lru_cache(maxsize=32)
+def get_profile(name: str, size: str = "paper", seed: int = 0) -> WorkloadProfile:
+    """Cached profile of one of the eight evaluation workloads."""
+    return profile_workload(PERF_WORKLOADS[name](size, seed=seed))
+
+
+# ---------------------------------------------------------------------------
+# analytical time models over a profile
+# ---------------------------------------------------------------------------
+
+def make_plan(prof: WorkloadProfile, num_nodes: int) -> DistributionPlan:
+    """The launch plan the CuCC runtime would use on ``num_nodes``."""
+    return finalize_plan(prof.analysis, prof.config, prof.spec.scalars, num_nodes)
+
+
+def model_cucc_time(
+    prof: WorkloadProfile,
+    node: CPUSpec,
+    network: NetworkSpec,
+    num_nodes: int,
+    simd_enabled: bool = True,
+    params: ModelParams = DEFAULT_PARAMS,
+) -> PhaseTimes:
+    """Three-phase CuCC time on a cluster of ``num_nodes`` x ``node``."""
+    plan = make_plan(prof, num_nodes)
+    partial = 0.0
+    allgather = 0.0
+    if not plan.replicated and plan.p_size > 0:
+        # all nodes run equally-sized regular ranges; node 0 is representative
+        counters = prof.counters_for_range(*_range_tuple(plan.node_blocks(0)))
+        partial = cpu_node_time(
+            node,
+            counters,
+            plan.p_size,
+            prof.vectorizable,
+            simd_enabled=simd_enabled,
+            working_set_bytes=prof.working_set_bytes,
+            params=params,
+        )
+        for bp in plan.buffers:
+            payload = plan.executed_blocks * bp.unit_elems * bp.elem_size
+            allgather += coll.allgather_inplace_cost(network, num_nodes, payload)
+    cb = plan.callback_blocks
+    callback = 0.0
+    if len(cb) > 0:
+        counters = prof.counters_for_range(cb.start, cb.stop)
+        callback = cpu_node_time(
+            node,
+            counters,
+            len(cb),
+            prof.vectorizable,
+            simd_enabled=simd_enabled,
+            working_set_bytes=prof.working_set_bytes,
+            params=params,
+        )
+    return PhaseTimes(
+        partial=partial,
+        allgather=allgather,
+        callback=callback,
+        overhead=params.cpu_launch_overhead_s,
+    )
+
+
+def _range_tuple(r: range) -> tuple[int, int]:
+    return (r.start, r.stop)
+
+
+def model_single_cpu_time(
+    prof: WorkloadProfile,
+    node: CPUSpec,
+    simd_enabled: bool = True,
+    params: ModelParams = DEFAULT_PARAMS,
+) -> float:
+    """CuPBoP-style single-node time (all blocks, no communication)."""
+    t = cpu_node_time(
+        node,
+        prof.total,
+        prof.num_blocks,
+        prof.vectorizable,
+        simd_enabled=simd_enabled,
+        working_set_bytes=prof.working_set_bytes,
+        params=params,
+    )
+    return t + params.cpu_launch_overhead_s
+
+
+def model_gpu_time(
+    prof: WorkloadProfile,
+    gpu: GPUSpec,
+    params: ModelParams = DEFAULT_PARAMS,
+) -> float:
+    """GPU execution time of the original kernel."""
+    return gpu_time(
+        gpu,
+        prof.total,
+        prof.num_blocks,
+        prof.config.threads_per_block,
+        working_set_bytes=prof.working_set_bytes,
+        params=params,
+    )
+
+
+def model_pgas_time(
+    prof: WorkloadProfile,
+    node: CPUSpec,
+    network: NetworkSpec,
+    num_nodes: int,
+    params: ModelParams = DEFAULT_PARAMS,
+) -> float:
+    """PGAS (UPC++) migration time on ``num_nodes`` nodes.
+
+    Mirrors :class:`~repro.baselines.pgas.PGASRuntime`'s cost model:
+    written buffers live on rank 0 (Listing 3), so rank 0's share of the
+    global-array accesses pays per-op software overhead while every other
+    rank's share serializes into rank 0's NIC (the incast that keeps the
+    PGAS gap growing with node count).
+    """
+    B = prof.num_blocks
+    q = math.ceil(B / num_nodes)
+    counters = prof.counters_for_range(0, q)
+    compute = cpu_node_time(
+        node,
+        counters,
+        q,
+        vectorized=prof.vectorizable,
+        working_set_bytes=prof.working_set_bytes,
+        params=params,
+    )
+    local_ops = prof.pgas_global_ops / num_nodes  # rank 0's share
+    remote_ops = prof.pgas_global_ops - local_ops
+    remote_bytes = prof.pgas_global_bytes * (num_nodes - 1) / num_nodes
+    local_t = local_ops * PGAS_LOCAL_ACCESS_S / max(1, node.cores)
+    incast = 0.0
+    if remote_ops:
+        incast = (
+            remote_ops / network.rma_rate_per_node
+            + remote_bytes / network.beta_bytes_per_s
+            + network.rma_alpha_s
+        )
+    barrier = coll.barrier_cost(network, num_nodes)
+    return params.cpu_launch_overhead_s + compute + local_t + incast + barrier

@@ -1,0 +1,206 @@
+"""Command-line interface: the ``cucc``-style compiler driver.
+
+    python -m repro compile kernel.cu            # analysis + generated C
+    python -m repro compile kernel.cu --nodes 4 --grid 5 --block 256 \\
+                            --set n=1200         # + launch-time plan
+    python -m repro analyze kernel.cu            # verdict table only
+    python -m repro run FIR --cluster simd-focused --nodes 4
+    python -m repro specs                        # Table 1
+    python -m repro bench fig08 ...              # == python -m repro.bench
+
+``compile`` mirrors what the paper's end-to-end framework produces from
+a ``.cu`` file: the Allgather-distributable metadata (Figure 6), the
+wrapped CPU kernel module (Listing 2), the three-phase host module, and
+— when a launch geometry is given — the concrete block partition and
+callback-block set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import analyze_kernel, finalize_plan
+from repro.errors import ReproError
+from repro.frontend.parser import parse_cuda
+from repro.interp.grid import LaunchConfig
+from repro.transform import (
+    analyze_vectorizability,
+    generate_host_module,
+    generate_kernel_module,
+)
+
+__all__ = ["main"]
+
+
+def _parse_scalar_args(pairs: list[str]) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(f"--set expects name=value, got {pair!r}")
+        name, value = pair.split("=", 1)
+        out[name] = float(value) if "." in value else int(value)
+    return out
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    kernels = parse_cuda(source)
+    for kernel in kernels:
+        analysis = analyze_kernel(kernel)
+        vect = analyze_vectorizability(kernel)
+        print(f"===== kernel {kernel.name} =====")
+        print(analysis.metadata.describe())
+        print(f"  vectorization: {vect.describe()}")
+        print()
+        print("----- CPU kernel module -----")
+        print(generate_kernel_module(kernel, vect))
+        print()
+        print("----- CPU host module -----")
+        print(generate_host_module(kernel, analysis.metadata))
+        if args.grid is not None:
+            if args.block is None or args.nodes is None:
+                raise ReproError("--grid requires --block and --nodes")
+            plan = finalize_plan(
+                analysis,
+                LaunchConfig.make(args.grid, args.block),
+                _parse_scalar_args(args.set or []),
+                args.nodes,
+            )
+            print()
+            print(f"----- launch plan: <<<{args.grid},{args.block}>>> on "
+                  f"{args.nodes} nodes -----")
+            print(plan.describe())
+        print()
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    rows = []
+    for kernel in parse_cuda(source):
+        analysis = analyze_kernel(kernel)
+        vect = analyze_vectorizability(kernel)
+        m = analysis.metadata
+        rows.append(
+            [
+                kernel.name,
+                "yes" if m.distributable else "no",
+                "yes" if m.tail_divergent else "no",
+                "yes" if vect.vectorizable else "no",
+                "; ".join(m.reasons) or "-",
+            ]
+        )
+    from repro.bench.harness import format_table
+
+    print(
+        format_table(
+            ["kernel", "distributable", "tail-divergent", "SIMD", "notes"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.bench.harness import run_on_cucc, run_on_gpu, run_on_pgas
+    from repro.cluster import make_cluster
+    from repro.hw import GPUS
+    from repro.workloads import EXTRA_WORKLOADS, PERF_WORKLOADS
+
+    catalog = {**PERF_WORKLOADS, **EXTRA_WORKLOADS}
+    if args.workload not in catalog:
+        raise ReproError(
+            f"unknown workload {args.workload!r}; available: "
+            f"{', '.join(sorted(catalog))}"
+        )
+    build = catalog[args.workload]
+    spec = build(args.size, seed=args.seed)
+    print(f"workload {spec.name} ({args.size}): grid={spec.grid} "
+          f"block={spec.block}")
+    if args.platform == "cucc":
+        cluster = make_cluster(args.cluster, args.nodes)
+        res = run_on_cucc(spec, cluster)
+        print(res.record.describe())
+        print(res.record.plan.describe())
+        print(f"verified on all {args.nodes} node replicas")
+    elif args.platform == "pgas":
+        cluster = make_cluster(args.cluster, args.nodes)
+        t = run_on_pgas(spec, cluster)
+        print(f"PGAS time: {t * 1e3:.4f} ms (verified)")
+    else:  # gpu
+        gpu = GPUS[args.platform]
+        t = run_on_gpu(spec, gpu)
+        print(f"{gpu.name} time: {t * 1e3:.4f} ms (verified)")
+    return 0
+
+
+def _cmd_specs(_args: argparse.Namespace) -> int:
+    from repro.bench.figures import tab01_specs
+
+    print(tab01_specs().render())
+    return 0
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    try:
+        with open(path) as f:
+            return f.read()
+    except OSError as e:
+        raise ReproError(f"cannot read {path!r}: {e}") from e
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CuCC: migrate CUDA kernels to simulated CPU clusters",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="analysis + generated CPU modules")
+    p.add_argument("file", help="CUDA source file ('-' for stdin)")
+    p.add_argument("--nodes", type=int, help="cluster size for the plan")
+    p.add_argument("--grid", type=int, help="grid size (1-D)")
+    p.add_argument("--block", type=int, help="block size (1-D)")
+    p.add_argument("--set", action="append", metavar="NAME=VALUE",
+                   help="scalar kernel argument (repeatable)")
+    p.set_defaults(fn=_cmd_compile)
+
+    p = sub.add_parser("analyze", help="verdict table for every kernel")
+    p.add_argument("file", help="CUDA source file ('-' for stdin)")
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("run", help="run an evaluation workload")
+    p.add_argument("workload", help="e.g. FIR, KMeans, BinomialOption")
+    p.add_argument("--platform", default="cucc",
+                   choices=("cucc", "pgas", "a100", "v100"))
+    p.add_argument("--cluster", default="simd-focused",
+                   choices=("simd-focused", "thread-focused"))
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--size", default="small", choices=("small", "paper"))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("specs", help="print Table 1")
+    p.set_defaults(fn=_cmd_specs)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        from repro.bench.__main__ import main as bench_main
+
+        return bench_main(argv[1:])
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1

@@ -1,0 +1,22 @@
+"""Simulated distributed-memory CPU cluster.
+
+Substitutes for the paper's MPI-over-InfiniBand substrate: per-node
+private memory spaces with real data movement through an MPI-like
+communicator, and an alpha-beta network cost model advancing per-node
+simulated clocks.
+"""
+
+from repro.cluster.cluster import Cluster, make_cluster
+from repro.cluster.comm import Communicator
+from repro.cluster.node import Node
+from repro.cluster.simtime import SimClock
+from repro.cluster import collectives
+
+__all__ = [
+    "Cluster",
+    "make_cluster",
+    "Communicator",
+    "Node",
+    "SimClock",
+    "collectives",
+]

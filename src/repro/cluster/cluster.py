@@ -1,0 +1,99 @@
+"""Cluster composition: nodes + network + communicator."""
+
+from __future__ import annotations
+
+from repro.cluster.comm import Communicator
+from repro.cluster.node import Node
+from repro.errors import ClusterError
+from repro.hw.cpu import CPUSpec
+from repro.hw.specs import CLUSTERS, CPU_NODES, INFINIBAND_100G, NetworkSpec
+
+__all__ = ["Cluster", "make_cluster"]
+
+
+class Cluster:
+    """A simulated distributed-memory CPU cluster.
+
+    All nodes are homogeneous (as in the paper's two clusters).  The
+    cluster owns the communicator; runtimes allocate buffers through
+    :mod:`repro.runtime.memory_manager` on top of it.
+    """
+
+    def __init__(
+        self,
+        node_spec: CPUSpec,
+        num_nodes: int,
+        network: NetworkSpec = INFINIBAND_100G,
+        name: str | None = None,
+    ):
+        if num_nodes < 1:
+            raise ClusterError(f"cluster needs >= 1 node, got {num_nodes}")
+        self.name = name or f"{num_nodes}x {node_spec.name}"
+        self.node_spec = node_spec
+        self.network = network
+        self.nodes = [Node(r, node_spec) for r in range(num_nodes)]
+        self.comm = Communicator(self.nodes, network)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.node_spec.cores
+
+    @property
+    def peak_tflops(self) -> float:
+        return self.num_nodes * self.node_spec.peak_tflops
+
+    @property
+    def max_clock(self) -> float:
+        """Simulated time at the slowest node — the cluster's makespan."""
+        return max(n.clock.now for n in self.nodes)
+
+    def reset_clocks(self) -> None:
+        for n in self.nodes:
+            n.clock.reset()
+        self.comm.comm_seconds = 0.0
+        self.comm.comm_bytes = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster({self.name!r}, {self.num_nodes} nodes, "
+            f"{self.total_cores} cores, {self.peak_tflops:.2f} TFLOP/s)"
+        )
+
+
+def make_cluster(
+    kind: str,
+    num_nodes: int,
+    cores_per_node: int | None = None,
+    network: NetworkSpec | None = None,
+) -> Cluster:
+    """Build one of the paper's clusters by name.
+
+    ``kind`` is ``"simd-focused"`` or ``"thread-focused"`` (Table 1).
+    ``cores_per_node`` optionally caps each node's core count (the
+    section 8.2 experiment caps the Thread-Focused node at 64 cores).
+    ``num_nodes`` may not exceed the physical cluster size.
+    """
+    key = kind.lower()
+    if key not in CLUSTERS:
+        raise ClusterError(
+            f"unknown cluster {kind!r}; available: {sorted(CLUSTERS)}"
+        )
+    spec = CLUSTERS[key]
+    if num_nodes > spec.max_nodes:
+        raise ClusterError(
+            f"{spec.name} cluster has {spec.max_nodes} nodes; "
+            f"requested {num_nodes}"
+        )
+    node = spec.node
+    if cores_per_node is not None:
+        node = node.limited_to_cores(cores_per_node)
+    return Cluster(
+        node,
+        num_nodes,
+        network=network or spec.network,
+        name=f"{spec.name} x{num_nodes}",
+    )

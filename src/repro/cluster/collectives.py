@@ -1,0 +1,127 @@
+"""Collective algorithms and their cost models.
+
+Costs follow the classic alpha-beta (Hockney) model on the ring
+algorithm, which is what MPI implementations select for large-payload
+Allgather.  The three Allgather variants of the paper's section 2.3 are
+modeled:
+
+* **balanced in-place** — each node contributes an equal slice that is
+  already resident at its final offset: ``(N-1) * (alpha + S/(N*beta))``
+  for total payload ``S``;
+* **balanced out-of-place** — same wire traffic plus a local copy of the
+  node's own slice from the input buffer to the output buffer, and 2x
+  memory footprint;
+* **imbalanced** — ring steps are paced by the largest contribution:
+  ``(N-1) * (alpha + max_i(S_i)/beta)``.
+
+These functions return *durations*; actual inter-node data movement is
+performed by the :class:`~repro.cluster.comm.Communicator`.
+"""
+
+from __future__ import annotations
+
+from repro.hw.specs import NetworkSpec
+
+__all__ = [
+    "allgather_inplace_cost",
+    "allgather_outofplace_cost",
+    "allgather_imbalanced_cost",
+    "allreduce_cost",
+    "reduce_cost",
+    "bcast_cost",
+    "barrier_cost",
+    "ptp_cost",
+    "rma_cost",
+]
+
+
+def ptp_cost(net: NetworkSpec, nbytes: float) -> float:
+    """One point-to-point message."""
+    return net.alpha_s + nbytes / net.beta_bytes_per_s
+
+
+def allgather_inplace_cost(net: NetworkSpec, n: int, total_bytes: float) -> float:
+    """Balanced in-place ring Allgather of ``total_bytes`` over ``n`` nodes."""
+    if n <= 1 or total_bytes <= 0:
+        return 0.0
+    per_step = total_bytes / n
+    return (n - 1) * (net.alpha_s + per_step / net.beta_bytes_per_s)
+
+
+def allgather_outofplace_cost(
+    net: NetworkSpec, n: int, total_bytes: float, local_copy_GBs: float
+) -> float:
+    """Out-of-place variant: wire cost plus the local input->output copy.
+
+    ``local_copy_GBs`` is the node's memcpy bandwidth (copying S/N bytes
+    read+write through DRAM).
+    """
+    if n <= 1 or total_bytes <= 0:
+        return 0.0
+    copy = 2.0 * (total_bytes / n) / (local_copy_GBs * 1e9)
+    return allgather_inplace_cost(net, n, total_bytes) + copy
+
+
+def allgather_imbalanced_cost(
+    net: NetworkSpec, contributions: list[float]
+) -> float:
+    """Imbalanced ring Allgather: steps are paced by the largest share."""
+    n = len(contributions)
+    if n <= 1 or sum(contributions) <= 0:
+        return 0.0
+    worst = max(contributions)
+    return (n - 1) * (net.alpha_s + worst / net.beta_bytes_per_s)
+
+
+def allreduce_cost(net: NetworkSpec, n: int, nbytes: float) -> float:
+    """Ring Allreduce (reduce-scatter + allgather): ~2x the Allgather wire
+    time for the same payload."""
+    if n <= 1 or nbytes <= 0:
+        return 0.0
+    per_step = nbytes / n
+    return 2 * (n - 1) * (net.alpha_s + per_step / net.beta_bytes_per_s)
+
+
+def reduce_cost(net: NetworkSpec, n: int, nbytes: float) -> float:
+    """Binomial-tree reduction to one root."""
+    if n <= 1 or nbytes <= 0:
+        return 0.0
+    import math
+
+    steps = math.ceil(math.log2(n))
+    return steps * (net.alpha_s + nbytes / net.beta_bytes_per_s)
+
+
+def bcast_cost(net: NetworkSpec, n: int, nbytes: float) -> float:
+    """Binomial-tree broadcast (pipelined for large payloads)."""
+    if n <= 1:
+        return 0.0
+    import math
+
+    steps = math.ceil(math.log2(n))
+    # large payloads pipeline to ~one traversal of the wire
+    return steps * net.alpha_s + nbytes / net.beta_bytes_per_s
+
+
+def barrier_cost(net: NetworkSpec, n: int) -> float:
+    if n <= 1:
+        return 0.0
+    import math
+
+    return 2 * math.ceil(math.log2(n)) * net.alpha_s
+
+
+def rma_cost(net: NetworkSpec, nops: float, nbytes: float) -> float:
+    """Aggregate cost of ``nops`` fine-grained one-sided remote accesses
+    totalling ``nbytes``, issued concurrently by one node's cores.
+
+    Per-op software overhead is throughput-limited by the node's
+    injection rate; payload goes at link bandwidth.  This is the PGAS
+    path of the paper's sections 3.1 / 7.3.
+    """
+    if nops <= 0:
+        return 0.0
+    issue = nops / net.rma_rate_per_node
+    sw = net.rma_alpha_s  # pipeline fill: first op's latency
+    wire = nbytes / net.beta_bytes_per_s
+    return sw + issue + wire

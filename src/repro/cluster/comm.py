@@ -1,0 +1,222 @@
+"""MPI-like communicator over the simulated cluster.
+
+The communicator is the *only* channel through which bytes move between
+node memories.  Every operation does two things: it physically copies
+data between the nodes' private NumPy buffers (functional effect), and it
+advances the participating nodes' simulated clocks by the modeled cost
+(timing effect).  Collective semantics follow MPI: all ranks participate,
+and completion synchronizes clocks to the common finish time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import collectives as coll
+from repro.cluster.node import Node
+from repro.errors import ClusterError
+from repro.hw.specs import NetworkSpec
+
+__all__ = ["Communicator"]
+
+
+class Communicator:
+    """Collective + point-to-point operations over a set of nodes."""
+
+    def __init__(self, nodes: list[Node], network: NetworkSpec):
+        if not nodes:
+            raise ClusterError("communicator needs at least one node")
+        self.nodes = nodes
+        self.network = network
+        #: cumulative modeled seconds spent in communication (all ops)
+        self.comm_seconds = 0.0
+        #: cumulative payload bytes moved between nodes
+        self.comm_bytes = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    # -- clock helpers ---------------------------------------------------
+    def _sync_start(self) -> float:
+        """Collectives start when the last participant arrives."""
+        return max(n.clock.now for n in self.nodes)
+
+    def _finish(self, start: float, duration: float) -> None:
+        end = start + duration
+        for n in self.nodes:
+            n.clock.wait_until(end)
+        self.comm_seconds += duration
+
+    # -- collectives -------------------------------------------------------
+    def barrier(self) -> None:
+        start = self._sync_start()
+        self._finish(start, coll.barrier_cost(self.network, self.size))
+
+    def allgather_in_place(self, buffer: str, base: int, per_rank: int) -> float:
+        """Balanced in-place Allgather (the paper's phase 2).
+
+        Rank ``r`` owns elements ``[base + r*per_rank, base + (r+1)*per_rank)``
+        of ``buffer`` (element offsets); after the call every node holds
+        every rank's slice.  Returns the modeled duration.
+        """
+        if per_rank < 0:
+            raise ClusterError(f"negative per-rank extent {per_rank}")
+        start = self._sync_start()
+        total_bytes = 0
+        if per_rank > 0 and self.size > 1:
+            for r, src_node in enumerate(self.nodes):
+                src = src_node.buffer(buffer)
+                lo = base + r * per_rank
+                hi = lo + per_rank
+                if lo < 0 or hi > src.shape[0]:
+                    raise ClusterError(
+                        f"allgather slice [{lo}:{hi}) out of range for "
+                        f"{buffer!r} (len {src.shape[0]})"
+                    )
+                chunk = src[lo:hi]
+                total_bytes += chunk.nbytes * (self.size - 1)
+                for dst_node in self.nodes:
+                    if dst_node is not src_node:
+                        dst_node.buffer(buffer)[lo:hi] = chunk
+        payload = (
+            self.nodes[0].buffer(buffer).itemsize * per_rank * self.size
+            if per_rank > 0
+            else 0
+        )
+        duration = coll.allgather_inplace_cost(self.network, self.size, payload)
+        self.comm_bytes += total_bytes
+        self._finish(start, duration)
+        return duration
+
+    def allgather_out_of_place(
+        self, src_buffer: str, dst_buffer: str, per_rank: int, copy_GBs: float
+    ) -> float:
+        """Out-of-place Allgather: rank r's ``src_buffer[:per_rank]`` lands
+        at ``dst_buffer[r*per_rank:]`` on every node (section 2.3's costlier
+        variant — used by the Allgather micro-benchmark)."""
+        start = self._sync_start()
+        total_bytes = 0
+        if per_rank > 0:
+            for r, src_node in enumerate(self.nodes):
+                chunk = src_node.buffer(src_buffer)[:per_rank]
+                lo = r * per_rank
+                for dst_node in self.nodes:
+                    dst_node.buffer(dst_buffer)[lo : lo + per_rank] = chunk
+                    if dst_node is not src_node:
+                        total_bytes += chunk.nbytes
+        payload = self.nodes[0].buffer(src_buffer).itemsize * per_rank * self.size
+        duration = coll.allgather_outofplace_cost(
+            self.network, self.size, payload, copy_GBs
+        )
+        self.comm_bytes += total_bytes
+        self._finish(start, duration)
+        return duration
+
+    def allgatherv_in_place(
+        self, buffer: str, base: int, counts: list[int]
+    ) -> float:
+        """Imbalanced (v-variant) in-place Allgather: rank r contributes
+        ``counts[r]`` elements at its running offset."""
+        if len(counts) != self.size:
+            raise ClusterError("counts must have one entry per rank")
+        start = self._sync_start()
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        total_bytes = 0
+        itemsize = self.nodes[0].buffer(buffer).itemsize
+        for r, src_node in enumerate(self.nodes):
+            lo = base + int(offsets[r])
+            hi = lo + int(counts[r])
+            chunk = src_node.buffer(buffer)[lo:hi]
+            total_bytes += chunk.nbytes * (self.size - 1)
+            for dst_node in self.nodes:
+                if dst_node is not src_node:
+                    dst_node.buffer(buffer)[lo:hi] = chunk
+        duration = coll.allgather_imbalanced_cost(
+            self.network, [c * itemsize for c in counts]
+        )
+        self.comm_bytes += total_bytes
+        self._finish(start, duration)
+        return duration
+
+    def allreduce_sum(self, buffer: str) -> float:
+        """Element-wise sum of every node's replica of ``buffer``; all
+        nodes receive the result (ring-Allreduce cost model).
+
+        Floating-point summation order is fixed (ascending rank) so the
+        result is deterministic and identical on every node.
+        """
+        start = self._sync_start()
+        ref = self.nodes[0].buffer(buffer)
+        acc = ref.astype(np.float64 if ref.dtype.kind == "f" else ref.dtype,
+                         copy=True)
+        for node in self.nodes[1:]:
+            b = node.buffer(buffer)
+            if b.shape != ref.shape or b.dtype != ref.dtype:
+                raise ClusterError(
+                    f"allreduce shape/dtype mismatch for {buffer!r} on rank "
+                    f"{node.rank}"
+                )
+            acc += b
+        result = acc.astype(ref.dtype, copy=False)
+        for node in self.nodes:
+            node.buffer(buffer)[:] = result
+        duration = coll.allreduce_cost(self.network, self.size, ref.nbytes)
+        self.comm_bytes += 2 * ref.nbytes * max(0, self.size - 1)
+        self._finish(start, duration)
+        return duration
+
+    def bcast(self, buffer: str, root: int = 0) -> float:
+        """Broadcast ``buffer`` from ``root`` to all nodes."""
+        if not 0 <= root < self.size:
+            raise ClusterError(f"root {root} out of range")
+        start = self._sync_start()
+        src = self.nodes[root].buffer(buffer)
+        for n in self.nodes:
+            if n.rank != root:
+                dst = n.buffer(buffer)
+                if dst.shape != src.shape or dst.dtype != src.dtype:
+                    raise ClusterError(
+                        f"bcast shape/dtype mismatch for {buffer!r} on rank "
+                        f"{n.rank}"
+                    )
+                dst[:] = src
+                self.comm_bytes += src.nbytes
+        duration = coll.bcast_cost(self.network, self.size, src.nbytes)
+        self._finish(start, duration)
+        return duration
+
+    # -- point-to-point ---------------------------------------------------
+    def send_slice(
+        self,
+        buffer: str,
+        src_rank: int,
+        dst_rank: int,
+        lo: int,
+        hi: int,
+    ) -> float:
+        """Copy ``buffer[lo:hi]`` from one node to another (blocking)."""
+        if src_rank == dst_rank:
+            return 0.0
+        src = self.nodes[src_rank].buffer(buffer)
+        chunk = src[lo:hi]
+        self.nodes[dst_rank].buffer(buffer)[lo:hi] = chunk
+        duration = coll.ptp_cost(self.network, chunk.nbytes)
+        start = max(
+            self.nodes[src_rank].clock.now, self.nodes[dst_rank].clock.now
+        )
+        end = start + duration
+        self.nodes[src_rank].clock.wait_until(end)
+        self.nodes[dst_rank].clock.wait_until(end)
+        self.comm_bytes += chunk.nbytes
+        self.comm_seconds += duration
+        return duration
+
+    def charge_rma(self, rank: int, nops: float, nbytes: float) -> float:
+        """Charge a node for a batch of fine-grained remote accesses
+        (the PGAS path); returns the modeled duration."""
+        duration = coll.rma_cost(self.network, nops, nbytes)
+        self.nodes[rank].clock.advance(duration)
+        self.comm_seconds += duration
+        self.comm_bytes += nbytes
+        return duration

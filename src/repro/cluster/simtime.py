@@ -1,0 +1,43 @@
+"""Simulated time.
+
+Every node of the simulated cluster owns a :class:`SimClock`.  Kernel
+execution advances a node's clock by modeled compute time; collectives
+synchronize clocks and add modeled network time.  Wall-clock time of the
+simulation process is unrelated to simulated time.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds)."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance by a non-negative duration; returns the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance a clock by {dt}")
+        self._now += dt
+        return self._now
+
+    def wait_until(self, t: float) -> float:
+        """Advance to at least ``t`` (no-op if already past)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def reset(self, t: float = 0.0) -> None:
+        self._now = float(t)
+
+    def __repr__(self) -> str:
+        return f"SimClock({self._now:.9f})"

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the CuCC reproduction.
+
+All package-specific errors derive from :class:`ReproError` so callers can
+catch failures from any layer (frontend, analysis, runtime, cluster) with a
+single handler while still being able to discriminate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class IRError(ReproError):
+    """Malformed IR: bad types, unknown operators, invalid structure."""
+
+
+class IRTypeError(IRError):
+    """An IR node was built with operands of incompatible types."""
+
+
+class ParseError(ReproError):
+    """The CUDA-subset frontend rejected the input source.
+
+    Carries ``line``/``col`` when the location is known so error messages
+    can point at the offending token.
+    """
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        if line is not None:
+            message = f"line {line}:{col if col is not None else '?'}: {message}"
+        super().__init__(message)
+        self.line = line
+        self.col = col
+
+
+class DSLError(ReproError):
+    """The Python-embedded kernel DSL was used incorrectly."""
+
+
+class AnalysisError(ReproError):
+    """The compiler analysis hit an internal inconsistency.
+
+    Note that a kernel merely *failing* the Allgather-distributable
+    criteria is not an error — the analysis returns a negative verdict
+    with a reason instead (paper section 6.2: false negatives degrade to
+    replicated execution, never to an exception).
+    """
+
+
+class LaunchError(ReproError):
+    """A kernel launch was configured incorrectly (bad grid/args)."""
+
+
+class MemoryError_(ReproError):
+    """Device-memory manager misuse (unknown buffer, double free, ...)."""
+
+
+class ClusterError(ReproError):
+    """Simulated-cluster misuse (rank out of range, mismatched collective)."""
+
+
+class InterpError(ReproError):
+    """The SPMD interpreter encountered an unsupported construct at runtime."""

@@ -1,0 +1,7 @@
+"""Kernel frontends: the CUDA C subset parser and the Python DSL."""
+
+from repro.frontend.dsl import kernel, ptr
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.parser import parse_cuda, parse_kernel
+
+__all__ = ["parse_cuda", "parse_kernel", "tokenize", "Token", "kernel", "ptr"]

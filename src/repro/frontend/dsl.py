@@ -1,0 +1,71 @@
+"""Python-embedded kernel DSL.
+
+A decorator front-end over :class:`~repro.ir.builder.IRBuilder` for
+defining kernels in Python instead of CUDA source — the workload library
+uses it for kernels that are parameterized programmatically::
+
+    from repro.frontend.dsl import kernel, ptr
+    from repro.ir import F32, I32
+
+    @kernel(src=ptr(F32), dest=ptr(F32), n=I32)
+    def scale2(b, src, dest, n):
+        gid = b.let("gid", b.bid_x * b.bdim_x + b.tid_x)
+        with b.if_(gid < n):
+            b.store(dest, gid, b.load(src, gid) * 2.0)
+
+    # `scale2` is now a repro.ir.Kernel
+
+The decorated function receives the builder plus one reference expression
+per declared parameter, in declaration order; its name becomes the kernel
+name (override with ``name=``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import DSLError
+from repro.ir.builder import IRBuilder
+from repro.ir.stmt import Kernel
+from repro.ir.types import AddressSpace, DType, PointerType
+
+__all__ = ["kernel", "ptr"]
+
+
+def ptr(elem: DType, space: AddressSpace = AddressSpace.GLOBAL) -> PointerType:
+    """Shorthand for a global-memory pointer parameter type."""
+    return PointerType(elem, space)
+
+
+def kernel(name: str | None = None, **params: DType | PointerType):
+    """Decorator: build a :class:`~repro.ir.stmt.Kernel` from a Python
+    function that drives an :class:`~repro.ir.builder.IRBuilder`.
+
+    Keyword arguments declare the kernel parameters in order.  The
+    decorated function is invoked once at decoration time; the resulting
+    IR kernel replaces it.
+    """
+
+    def decorate(fn: Callable) -> Kernel:
+        kname = name or fn.__name__
+        b = IRBuilder(kname)
+        refs = []
+        for pname, ptype in params.items():
+            if isinstance(ptype, PointerType):
+                refs.append(b.pointer_param(pname, ptype.elem, ptype.space))
+            elif isinstance(ptype, DType):
+                refs.append(b.scalar_param(pname, ptype))
+            else:
+                raise DSLError(
+                    f"parameter {pname!r}: expected a DType or PointerType, "
+                    f"got {ptype!r}"
+                )
+        result = fn(b, *refs)
+        if result is not None:
+            raise DSLError(
+                f"kernel body {fn.__name__!r} must build via the IRBuilder "
+                "and return None"
+            )
+        return b.finish()
+
+    return decorate

@@ -1,0 +1,162 @@
+"""Lexer for the CUDA C subset.
+
+Produces a token stream with source positions for error reporting.  A
+tiny preprocessor handles ``//`` and ``/* */`` comments and object-like
+``#define NAME value`` macros (the form GPU benchmarks use for problem
+sizes, e.g. ``#define N 1200`` in the paper's Listing 1).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "__global__",
+        "__device__",
+        "__shared__",
+        "__restrict__",
+        "const",
+        "void",
+        "bool",
+        "char",
+        "short",
+        "int",
+        "long",
+        "float",
+        "double",
+        "unsigned",
+        "signed",
+        "size_t",
+        "uchar",
+        "ushort",
+        "uint",
+        "ulong",
+        "int8_t",
+        "int16_t",
+        "int32_t",
+        "int64_t",
+        "uint8_t",
+        "uint16_t",
+        "uint32_t",
+        "uint64_t",
+        "if",
+        "else",
+        "for",
+        "while",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "true",
+        "false",
+    }
+)
+
+#: multi-character operators, longest first
+_OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";", "?", ":", ".",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<line_comment>//[^\n]*)
+  | (?P<block_comment>/\*.*?\*/)
+  | (?P<float>
+        (?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?[fF]?
+      | \d+[eE][+-]?\d+[fF]?
+      | \d+\.[fF]
+      | \d+[fF]
+    )
+  | (?P<hex>0[xX][0-9a-fA-F]+[uUlL]*)
+  | (?P<int>\d+[uUlL]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>""" + "|".join(re.escape(op) for op in _OPERATORS) + r""")
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_DEFINE_RE = re.compile(r"^[ \t]*#[ \t]*define[ \t]+(\w+)[ \t]+(.+?)[ \t]*$")
+_DIRECTIVE_RE = re.compile(r"^[ \t]*#")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source location."""
+
+    kind: str  # 'ident' | 'int' | 'float' | 'op' | 'kw' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.col}"
+
+
+def _preprocess(source: str) -> tuple[str, dict[str, str]]:
+    """Strip preprocessor lines; collect object-like macro definitions."""
+    macros: dict[str, str] = {}
+    out_lines = []
+    for line in source.split("\n"):
+        m = _DEFINE_RE.match(line)
+        if m:
+            name, value = m.group(1), m.group(2)
+            if "(" in name:
+                raise ParseError(f"function-like macro {name!r} not supported")
+            macros[name] = value
+            out_lines.append("")  # keep line numbering
+        elif _DIRECTIVE_RE.match(line):
+            out_lines.append("")  # #include etc.: ignored
+        else:
+            out_lines.append(line)
+    return "\n".join(out_lines), macros
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize CUDA C subset source; macro uses are expanded in place."""
+    text, macros = _preprocess(source)
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while pos < n:
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            col = pos - line_start + 1
+            raise ParseError(f"unexpected character {text[pos]!r}", line, col)
+        kind = m.lastgroup
+        tok_text = m.group()
+        col = pos - line_start + 1
+        pos = m.end()
+        if kind in ("ws", "line_comment", "block_comment"):
+            nl = tok_text.count("\n")
+            if nl:
+                line += nl
+                line_start = m.end() - (len(tok_text) - tok_text.rfind("\n") - 1)
+            continue
+        if kind == "ident":
+            if tok_text in macros:
+                # expand object-like macro by re-tokenizing its body
+                for sub in tokenize(macros[tok_text]):
+                    if sub.kind != "eof":
+                        tokens.append(Token(sub.kind, sub.text, line, col))
+                continue
+            k = "kw" if tok_text in KEYWORDS else "ident"
+            tokens.append(Token(k, tok_text, line, col))
+        elif kind == "hex":
+            tokens.append(Token("int", tok_text, line, col))
+        else:
+            tokens.append(Token(kind, tok_text, line, col))
+    tokens.append(Token("eof", "", line, pos - line_start + 1))
+    return tokens

@@ -1,0 +1,29 @@
+"""Hardware specification database and performance models (Table 1)."""
+
+from repro.hw.cpu import CPUSpec
+from repro.hw.gpu import GPUSpec
+from repro.hw.perfmodel import DEFAULT_PARAMS, ModelParams, cpu_node_time, gpu_time
+from repro.hw.specs import (
+    A100,
+    CLUSTERS,
+    CPU_NODES,
+    GPUS,
+    INFINIBAND_100G,
+    SIMD_FOCUSED_CLUSTER,
+    SIMD_FOCUSED_NODE,
+    THREAD_FOCUSED_CLUSTER,
+    THREAD_FOCUSED_NODE,
+    V100,
+    ClusterSpec,
+    NetworkSpec,
+    spec_table_rows,
+)
+
+__all__ = [
+    "CPUSpec", "GPUSpec", "NetworkSpec", "ClusterSpec",
+    "SIMD_FOCUSED_NODE", "THREAD_FOCUSED_NODE", "A100", "V100",
+    "SIMD_FOCUSED_CLUSTER", "THREAD_FOCUSED_CLUSTER",
+    "INFINIBAND_100G", "CPU_NODES", "GPUS", "CLUSTERS",
+    "spec_table_rows",
+    "ModelParams", "DEFAULT_PARAMS", "cpu_node_time", "gpu_time",
+]

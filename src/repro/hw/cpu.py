@@ -1,0 +1,93 @@
+"""CPU hardware descriptions.
+
+Specs carry exactly the architectural parameters the paper's analysis
+turns on: core counts (thread-level parallelism), SIMD width and FMA
+throughput (data-level parallelism), memory bandwidth, and last-level
+cache size.  Peak FLOP/s is *derived* — the derivation reproduces the
+paper's Table 1 numbers (4.15 TFLOP/s for a dual Intel 6226 node,
+8.19 TFLOP/s for a dual AMD EPYC 7713 node), which validates the spec
+entries in :mod:`repro.hw.specs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CPUSpec"]
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """One CPU *node* (possibly multi-socket)."""
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    base_clock_ghz: float
+    #: FP32 SIMD lanes per vector unit (AVX-512: 16, AVX2: 8)
+    simd_width_f32: int
+    #: vector FMA units per core
+    fma_units: int
+    #: sustained scalar instructions per cycle (per core)
+    scalar_ipc: float
+    #: node-aggregate DRAM bandwidth, GB/s
+    mem_bw_gbs: float
+    #: last-level cache per socket, MiB
+    llc_mb: float
+    year: int
+    #: achievable fraction of SIMD peak for compiler-vectorized migrated
+    #: code.  Lower on AVX-512 parts: wide-vector frequency licensing and
+    #: the masking overhead of outer-loop vectorization (paper section
+    #: 8.3) cost Intel more than the narrower AVX2 pipeline costs AMD.
+    simd_efficiency: float = 0.45
+    #: node power under load (sockets + DRAM + fans), watts — for the
+    #: section 8.4 cost/energy discussion
+    tdp_w: float = 0.0
+    #: node power when idle, watts (the paper's point: idle CPUs burn
+    #: non-negligible energy whether or not they run jobs)
+    idle_w: float = 0.0
+
+    @property
+    def cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FP32 FLOP/s of the node (SIMD width x FMA=2 flops x units)."""
+        return (
+            self.cores
+            * self.base_clock_ghz
+            * 1e9
+            * self.simd_width_f32
+            * self.fma_units
+            * 2.0
+        )
+
+    @property
+    def peak_tflops(self) -> float:
+        return self.peak_flops / 1e12
+
+    @property
+    def scalar_ops_per_sec_core(self) -> float:
+        """Sustained scalar (non-SIMD) op throughput of one core."""
+        return self.base_clock_ghz * 1e9 * self.scalar_ipc
+
+    def limited_to_cores(self, cores: int) -> "CPUSpec":
+        """A copy of this node restricted to ``cores`` total cores.
+
+        Used by the paper's section 8.2 experiment, which caps the
+        Thread-Focused node at 64 cores to equalize theoretical peak with
+        the SIMD-Focused node.  Memory bandwidth and LLC are unchanged
+        (they are per-node/per-socket resources).
+        """
+        if cores > self.cores:
+            raise ValueError(
+                f"{self.name}: cannot limit to {cores} cores (> {self.cores})"
+            )
+        # express as 1 "socket" of `cores` to keep `cores` exact
+        return replace(
+            self,
+            name=f"{self.name}@{cores}c",
+            sockets=1,
+            cores_per_socket=cores,
+        )

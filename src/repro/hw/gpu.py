@@ -1,0 +1,47 @@
+"""GPU hardware descriptions.
+
+As with :mod:`repro.hw.cpu`, peak FLOP/s is derived from SM count, clock
+and FP32 lanes, and the derivations reproduce the paper's Table 1
+figures (A100: 19.5 TFLOP/s, V100: 15.7 TFLOP/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUSpec"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One GPU device."""
+
+    name: str
+    sms: int
+    boost_clock_ghz: float
+    fp32_cores_per_sm: int
+    mem_bw_gbs: float
+    l2_mb: float
+    #: maximum resident threads per SM (occupancy ceiling)
+    max_threads_per_sm: int
+    year: int
+    #: board power under load, watts (section 8.4)
+    tdp_w: float = 0.0
+
+    @property
+    def peak_flops(self) -> float:
+        return (
+            self.sms
+            * self.fp32_cores_per_sm
+            * self.boost_clock_ghz
+            * 1e9
+            * 2.0  # FMA
+        )
+
+    @property
+    def peak_tflops(self) -> float:
+        return self.peak_flops / 1e12
+
+    @property
+    def sm_flops(self) -> float:
+        return self.peak_flops / self.sms

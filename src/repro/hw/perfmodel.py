@@ -1,0 +1,179 @@
+"""Roofline-style performance models for CPU nodes and GPUs.
+
+The simulated cluster executes kernels *functionally* with the SPMD
+interpreter; this module converts the interpreter's dynamic operation
+counts (:class:`~repro.interp.counters.OpCounters`) into modeled wall
+times.  The model captures exactly the mechanisms the paper's analysis
+turns on:
+
+* **block-count vs. core-count parallelism** — blocks are scheduled in
+  waves of at most one block per core/SM slot, so a node with more cores
+  than blocks idles (the KMeans 32-node anomaly, EP/GA on large
+  clusters);
+* **data-level parallelism** — kernels the vectorizer accepts run at a
+  fraction of SIMD peak, others at scalar-issue rate (the SIMD- vs
+  Thread-Focused gap of section 8.2);
+* **memory bandwidth and last-level cache** — streaming kernels are
+  bandwidth-bound, with a bandwidth boost when the touched working set
+  fits in LLC (the Transpose discussion of section 7.4.1);
+* **barrier-phased execution on GPUs** — kernels that synchronize inside
+  a sequential loop (BinomialOption) pay a per-phase latency on the GPU
+  that a one-block-per-core CPU execution does not.
+
+Efficiency constants are global (``ModelParams``), not per-benchmark:
+the same parameters produce every figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw.cpu import CPUSpec
+from repro.hw.gpu import GPUSpec
+from repro.interp.counters import OpCounters
+
+__all__ = ["ModelParams", "DEFAULT_PARAMS", "cpu_node_time", "gpu_time"]
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Global efficiency/overhead constants of the performance model."""
+
+    #: fraction of scalar-issue peak sustained by migrated scalar code
+    cpu_scalar_eff: float = 0.85
+    #: throughput of CuPBoP/CuCC-generated CPU code relative to natively
+    #: written CPU code (per-block scheduling, index recomputation and
+    #: bounds logic the transformation introduces; CuPBoP reports gaps of
+    #: this order vs. hand-written CPU kernels).  Applies to compute
+    #: rates; streaming loops still reach memory bandwidth.
+    cpu_migration_eff: float = 0.70
+    #: fraction of STREAM-like DRAM bandwidth achieved by kernel loops
+    cpu_mem_eff: float = 0.80
+    #: per-core streaming bandwidth caps: a core issuing scalar loads
+    #: cannot keep the memory system busy the way vector loads can, so
+    #: few-core nodes lose bandwidth when SIMD is off (the section 8.2
+    #: ablation: Thread-Focused with 128 cores still saturates DRAM,
+    #: SIMD-Focused with 24 cores does not)
+    scalar_stream_bw_per_core: float = 5.5e9
+    vector_stream_bw_per_core: float = 16.0e9
+    #: bandwidth multiplier when the touched bytes fit in last-level cache
+    llc_bw_mult: float = 4.0
+    #: fraction of GPU FP32 peak sustained by real kernels
+    gpu_compute_eff: float = 0.70
+    #: fraction of GPU DRAM bandwidth achieved by coalesced kernels
+    gpu_mem_eff: float = 0.78
+    #: per-barrier-phase cost on a GPU SM: barrier latency, the dependent
+    #: shared-memory turnaround that cannot overlap across the phase
+    #: boundary, and the warp-lane underutilization of shrinking tail
+    #: phases (binomial's lattice halves its active threads over time,
+    #: but inactive lanes still occupy warp slots — the interpreter's
+    #: active-lane counters do not charge the GPU for them, this does).
+    #: Amortized over the blocks resident on the SM.
+    gpu_sync_phase_s: float = 1.0e-6
+    #: host-side launch overheads
+    cpu_launch_overhead_s: float = 10e-6
+    gpu_launch_overhead_s: float = 4e-6
+
+
+DEFAULT_PARAMS = ModelParams()
+
+
+def cpu_node_time(
+    spec: CPUSpec,
+    counters: OpCounters,
+    nblocks: int,
+    vectorized: bool,
+    simd_enabled: bool = True,
+    working_set_bytes: float | None = None,
+    params: ModelParams = DEFAULT_PARAMS,
+) -> float:
+    """Modeled time for one CPU node to execute ``nblocks`` GPU blocks.
+
+    ``counters`` are the dynamic counts of exactly those blocks (as
+    metered by the interpreter while it ran them on this node's memory).
+    ``vectorized`` is the verdict of the SIMD vectorizability analysis;
+    ``simd_enabled`` models the paper's "-no-SIMD" ablation (section
+    8.2).  ``working_set_bytes`` defaults to the bytes actually touched.
+    """
+    if nblocks <= 0:
+        return 0.0
+    if vectorized and simd_enabled:
+        core_rate = (spec.peak_flops / spec.cores) * spec.simd_efficiency
+    else:
+        core_rate = spec.scalar_ops_per_sec_core * params.cpu_scalar_eff
+    core_rate *= params.cpu_migration_eff
+    ops = counters.weighted_ops
+    t_block = (ops / nblocks) / core_rate
+    waves = math.ceil(nblocks / spec.cores)
+    compute = waves * t_block
+
+    ws = counters.global_bytes if working_set_bytes is None else working_set_bytes
+    bw = spec.mem_bw_gbs * 1e9 * params.cpu_mem_eff
+    per_core_stream = (
+        params.vector_stream_bw_per_core
+        if vectorized and simd_enabled
+        else params.scalar_stream_bw_per_core
+    )
+    bw = min(bw, spec.cores * per_core_stream)
+    if ws <= spec.llc_mb * spec.sockets * 1e6:
+        # working set resident in LLC: cache-bandwidth traffic; broadcast
+        # loads (same line for all lanes) cost lines, streaming loads
+        # cost elements — take the cheaper consistent estimate
+        bw *= params.llc_bw_mult
+        traffic = min(
+            counters.global_bytes,
+            counters.global_line_bytes or counters.global_bytes,
+        )
+    else:
+        # DRAM: pay line-granular traffic (strided access amplifies)
+        traffic = counters.global_line_bytes or counters.global_bytes
+    mem = traffic / bw if bw > 0 else 0.0
+
+    return max(compute, mem)
+
+
+def gpu_time(
+    gpu: GPUSpec,
+    counters: OpCounters,
+    nblocks: int,
+    threads_per_block: int,
+    working_set_bytes: float | None = None,
+    params: ModelParams = DEFAULT_PARAMS,
+) -> float:
+    """Modeled time for a GPU to execute a kernel launch.
+
+    Blocks are scheduled in waves of ``SMs x resident`` slots where
+    ``resident`` is the occupancy ceiling for this block size.  Barrier-
+    phased kernels additionally pay ``gpu_sync_phase_s`` per phase,
+    amortized over the blocks resident on each SM (phases of different
+    blocks overlap; phases of one block are a dependency chain).
+    """
+    if nblocks <= 0:
+        return 0.0
+    resident_cap = max(1, gpu.max_threads_per_sm // max(1, threads_per_block))
+    resident = min(resident_cap, 16, math.ceil(nblocks / gpu.sms))
+    slots = gpu.sms * resident
+    sm_rate = gpu.sm_flops * params.gpu_compute_eff / resident
+    t_block = (counters.weighted_ops / nblocks) / sm_rate
+    waves = math.ceil(nblocks / slots)
+    compute = waves * t_block
+
+    ws = counters.global_bytes if working_set_bytes is None else working_set_bytes
+    bw = gpu.mem_bw_gbs * 1e9 * params.gpu_mem_eff
+    if ws <= gpu.l2_mb * 1e6:
+        bw *= params.llc_bw_mult
+        traffic = min(
+            counters.global_bytes,
+            counters.global_line_bytes or counters.global_bytes,
+        )
+    else:
+        # uncoalesced access pays sector-granular DRAM traffic (GPU
+        # sectors are 32 B; our lines are 64 B — split the difference)
+        line = counters.global_line_bytes or counters.global_bytes
+        traffic = max(counters.global_bytes, 0.5 * line)
+    mem = traffic / bw if bw > 0 else 0.0
+
+    sync = counters.barriers * params.gpu_sync_phase_s / (gpu.sms * resident)
+
+    return params.gpu_launch_overhead_s + max(compute, mem) + sync

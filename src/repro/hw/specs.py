@@ -1,0 +1,193 @@
+"""The hardware database: Table 1 of the paper plus network parameters.
+
+Every evaluation experiment draws its hardware parameters from here, so
+the table printed by ``benchmarks/bench_tab01_specs.py`` is by
+construction the configuration actually used by the models.
+
+Sources: paper Table 1 for node counts / TFLOP/s / network; public
+datasheets for the microarchitectural details (clocks, SIMD widths,
+memory channels).  The derived peak TFLOP/s match Table 1:
+
+* dual Intel Xeon Gold 6226 ("SIMD-Focused"): 24 cores, AVX-512,
+  2 x 12 x 2.7 GHz x 16 lanes x 2 FMA x 2 flops = **4.15 TFLOP/s**
+* dual AMD EPYC 7713 ("Thread-Focused"): 128 cores, AVX2,
+  2 x 64 x 2.0 GHz x 8 lanes x 2 FMA x 2 flops = **8.19 TFLOP/s**
+* NVIDIA A100: 108 SMs x 64 FP32 x 1.41 GHz x 2 = **19.5 TFLOP/s**
+* NVIDIA V100: 80 SMs x 64 FP32 x 1.53 GHz x 2 = **15.7 TFLOP/s**
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.cpu import CPUSpec
+from repro.hw.gpu import GPUSpec
+
+__all__ = [
+    "SIMD_FOCUSED_NODE",
+    "THREAD_FOCUSED_NODE",
+    "A100",
+    "V100",
+    "INFINIBAND_100G",
+    "NetworkSpec",
+    "ClusterSpec",
+    "SIMD_FOCUSED_CLUSTER",
+    "THREAD_FOCUSED_CLUSTER",
+    "CPU_NODES",
+    "GPUS",
+    "spec_table_rows",
+]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Alpha-beta interconnect model.
+
+    ``alpha_s`` is the per-message latency/software overhead of a
+    collective step; ``rma_alpha_s`` the per-operation overhead of a
+    fine-grained one-sided remote access (the PGAS path — higher software
+    cost per op, amortized injection); ``beta_GBs`` the achievable
+    point-to-point bandwidth.
+    """
+
+    name: str
+    link_gbps: float
+    alpha_s: float
+    rma_alpha_s: float
+    beta_GBs: float
+    #: aggregate small-message injection rate per node (ops/s) — caps how
+    #: fast many cores can issue fine-grained RMA concurrently
+    rma_rate_per_node: float
+
+    @property
+    def beta_bytes_per_s(self) -> float:
+        return self.beta_GBs * 1e9
+
+
+#: 100 Gb/s InfiniBand (EDR/HDR100-class) with RDMA, as in Table 1.
+INFINIBAND_100G = NetworkSpec(
+    name="100 Gbps IB",
+    link_gbps=100.0,
+    alpha_s=2.0e-6,
+    rma_alpha_s=1.0e-6,
+    beta_GBs=11.0,  # achievable payload bandwidth of a 12.5 GB/s link
+    rma_rate_per_node=10e6,
+)
+
+
+SIMD_FOCUSED_NODE = CPUSpec(
+    name="2x Intel Xeon Gold 6226",
+    sockets=2,
+    cores_per_socket=12,
+    base_clock_ghz=2.7,
+    simd_width_f32=16,  # AVX-512
+    fma_units=2,
+    scalar_ipc=2.0,  # Cascade Lake sustained scalar ILP
+    mem_bw_gbs=2 * 140.8,  # 6ch DDR4-2933 per socket
+    llc_mb=19.25,
+    year=2019,
+    simd_efficiency=0.35,  # AVX-512 frequency licensing + masking overhead
+    tdp_w=2 * 125 + 60,  # two 125 W sockets + DRAM/board
+    idle_w=110.0,
+)
+
+THREAD_FOCUSED_NODE = CPUSpec(
+    name="2x AMD EPYC 7713",
+    sockets=2,
+    cores_per_socket=64,
+    base_clock_ghz=2.0,
+    simd_width_f32=8,  # AVX2
+    fma_units=2,
+    scalar_ipc=3.0,  # Zen 3 sustained scalar ILP
+    mem_bw_gbs=2 * 204.8,  # 8ch DDR4-3200 per socket
+    llc_mb=256.0,
+    year=2021,
+    simd_efficiency=0.50,
+    tdp_w=2 * 225 + 90,  # two 225 W sockets + DRAM/board
+    idle_w=170.0,
+)
+
+A100 = GPUSpec(
+    name="NVIDIA A100",
+    sms=108,
+    boost_clock_ghz=1.41,
+    fp32_cores_per_sm=64,
+    mem_bw_gbs=1555.0,
+    l2_mb=40.0,
+    max_threads_per_sm=2048,
+    year=2020,
+    tdp_w=400.0,
+)
+
+V100 = GPUSpec(
+    name="NVIDIA V100",
+    sms=80,
+    boost_clock_ghz=1.53,
+    fp32_cores_per_sm=64,
+    mem_bw_gbs=900.0,
+    l2_mb=6.0,
+    max_threads_per_sm=2048,
+    year=2017,
+    tdp_w=300.0,
+)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A named cluster: node type, maximum node count, interconnect."""
+
+    name: str
+    node: CPUSpec
+    max_nodes: int
+    network: NetworkSpec
+
+
+SIMD_FOCUSED_CLUSTER = ClusterSpec(
+    name="SIMD-Focused", node=SIMD_FOCUSED_NODE, max_nodes=32,
+    network=INFINIBAND_100G,
+)
+THREAD_FOCUSED_CLUSTER = ClusterSpec(
+    name="Thread-Focused", node=THREAD_FOCUSED_NODE, max_nodes=4,
+    network=INFINIBAND_100G,
+)
+
+CPU_NODES = {
+    "simd-focused": SIMD_FOCUSED_NODE,
+    "thread-focused": THREAD_FOCUSED_NODE,
+}
+GPUS = {"a100": A100, "v100": V100}
+
+CLUSTERS = {
+    "simd-focused": SIMD_FOCUSED_CLUSTER,
+    "thread-focused": THREAD_FOCUSED_CLUSTER,
+}
+
+
+def spec_table_rows() -> list[dict[str, object]]:
+    """Rows of the paper's Table 1, regenerated from the database."""
+    rows = []
+    for cl in (SIMD_FOCUSED_CLUSTER, THREAD_FOCUSED_CLUSTER):
+        rows.append(
+            {
+                "Name": cl.name,
+                "Nodes": cl.max_nodes,
+                "Single Node Config.": cl.node.name,
+                "Year": cl.node.year,
+                "Cores/SMs": cl.node.cores,
+                "FLOPs (Tera)": round(cl.node.peak_tflops, 2),
+                "Network": cl.network.name,
+            }
+        )
+    for gpu in (A100, V100):
+        rows.append(
+            {
+                "Name": gpu.name.replace("NVIDIA ", "") + " GPU",
+                "Nodes": 1,
+                "Single Node Config.": gpu.name,
+                "Year": gpu.year,
+                "Cores/SMs": gpu.sms,
+                "FLOPs (Tera)": round(gpu.peak_tflops, 1),
+                "Network": "N/A",
+            }
+        )
+    return rows

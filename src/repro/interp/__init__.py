@@ -1,0 +1,12 @@
+"""Vectorized SPMD interpreter for kernel IR.
+
+Functionally equivalent to the CPU code CuCC generates: one GPU block
+executes as a unit, with the block's threads evaluated as NumPy lane
+vectors (the "SIMD" dimension of the paper's Listing 2).
+"""
+
+from repro.interp.counters import OpCounters
+from repro.interp.grid import LaunchConfig, dim3
+from repro.interp.machine import BlockExecutor, run_grid
+
+__all__ = ["OpCounters", "LaunchConfig", "dim3", "BlockExecutor", "run_grid"]

@@ -1,0 +1,110 @@
+"""Dynamic operation counters.
+
+The interpreter meters every executed kernel: per-lane counts of floating
+and integer arithmetic, transcendental calls, and bytes moved per address
+space.  These counts are the inputs to the roofline performance model in
+:mod:`repro.hw.perfmodel` — they play the role of the hardware counters /
+measured runtimes in the paper's evaluation.
+
+Counts are *per executed lane*: an add evaluated for a block with 200 of
+256 threads active contributes 200, matching what the corresponding
+SIMD/scalar CPU code (or GPU warp with 200 active threads doing useful
+work) would retire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["OpCounters"]
+
+#: Cost (in "simple-op equivalents") of transcendental intrinsics relative
+#: to one FLOP.  Rough throughput ratios for modern x86 SIMD math
+#: libraries and GPU SFUs; the exact values only shift constants, not the
+#: shapes of any experiment.
+SPECIAL_FN_FLOP_WEIGHT = 8.0
+DIV_FLOP_WEIGHT = 4.0
+
+
+@dataclass
+class OpCounters:
+    """Mutable accumulator of dynamic operation counts."""
+
+    flops: float = 0.0  # simple float add/sub/mul/cmp (per lane)
+    div_ops: float = 0.0  # float divisions (costlier, weighted separately)
+    special_ops: float = 0.0  # transcendental intrinsic calls
+    int_ops: float = 0.0  # integer arithmetic / logical ops
+    global_load_bytes: float = 0.0
+    global_store_bytes: float = 0.0
+    global_loads: float = 0.0  # element-granular access counts (PGAS model)
+    global_stores: float = 0.0
+    #: 64-byte-line-granular traffic: per executed access statement, the
+    #: number of distinct cache lines touched x 64.  Contiguous (coalesced)
+    #: access yields ~= element bytes; strided access (Transpose's gather)
+    #: is amplified up to 64/elem_size x.  This is the DRAM-traffic
+    #: estimate the memory model uses when the working set exceeds LLC.
+    global_line_bytes: float = 0.0
+    shared_bytes: float = 0.0  # shared-memory traffic (loads + stores)
+    local_bytes: float = 0.0
+    atomics: float = 0.0
+    branches: float = 0.0  # mask re-evaluations (divergence proxy)
+    barriers: float = 0.0
+
+    def add(self, other: "OpCounters") -> None:
+        """Accumulate another counter set into this one."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def scaled(self, factor: float) -> "OpCounters":
+        """Return a copy with every count multiplied by ``factor``.
+
+        Used to extrapolate per-block counts to a full grid when all
+        blocks execute identical work.
+        """
+        out = OpCounters()
+        for f in fields(self):
+            setattr(out, f.name, getattr(self, f.name) * factor)
+        return out
+
+    def copy(self) -> "OpCounters":
+        return self.scaled(1.0)
+
+    @property
+    def weighted_flops(self) -> float:
+        """Arithmetic work in FLOP-equivalents (divisions and
+        transcendentals weighted by their relative cost)."""
+        return (
+            self.flops
+            + DIV_FLOP_WEIGHT * self.div_ops
+            + SPECIAL_FN_FLOP_WEIGHT * self.special_ops
+        )
+
+    @property
+    def weighted_ops(self) -> float:
+        """All arithmetic work (float + integer) in op-equivalents.
+
+        Integer address arithmetic is real work for the migrated CPU code,
+        so it is included when estimating compute time for kernels that do
+        little floating-point math (e.g. Transpose)."""
+        return self.weighted_flops + self.int_ops
+
+    @property
+    def global_bytes(self) -> float:
+        return self.global_load_bytes + self.global_store_bytes
+
+    @property
+    def global_accesses(self) -> float:
+        return self.global_loads + self.global_stores
+
+    @property
+    def total_mem_bytes(self) -> float:
+        return self.global_bytes + self.shared_bytes + self.local_bytes
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{k}={v:.3g}" for k, v in self.as_dict().items() if v
+        )
+        return f"OpCounters({parts})"

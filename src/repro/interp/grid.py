@@ -1,0 +1,80 @@
+"""Launch geometry: CUDA ``<<<grid, block>>>`` configuration.
+
+Grids and blocks are up to 3-D, as in CUDA.  Blocks are identified by a
+*linear* block id throughout the runtime (this is the id the Allgather
+distributable analysis partitions over); :class:`LaunchConfig` converts
+between linear ids and 3-D coordinates with CUDA's x-fastest ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import LaunchError
+
+__all__ = ["LaunchConfig", "dim3"]
+
+
+def dim3(v: int | tuple[int, ...]) -> tuple[int, int, int]:
+    """Normalize an int or partial tuple to a full (x, y, z) triple."""
+    if isinstance(v, (int, np.integer)):
+        v = (int(v),)
+    t = tuple(int(x) for x in v) + (1, 1, 1)
+    t = t[:3]
+    if any(x < 1 for x in t):
+        raise LaunchError(f"dimensions must be >= 1, got {v!r}")
+    return t  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A kernel launch configuration ``<<<grid, block>>>``."""
+
+    grid: tuple[int, int, int]
+    block: tuple[int, int, int]
+
+    @staticmethod
+    def make(grid: int | tuple[int, ...], block: int | tuple[int, ...]) -> "LaunchConfig":
+        return LaunchConfig(dim3(grid), dim3(block))
+
+    @property
+    def num_blocks(self) -> int:
+        gx, gy, gz = self.grid
+        return gx * gy * gz
+
+    @property
+    def threads_per_block(self) -> int:
+        bx, by, bz = self.block
+        return bx * by * bz
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_blocks * self.threads_per_block
+
+    def block_coords(self, linear_bid: int) -> tuple[int, int, int]:
+        """Linear block id -> (blockIdx.x, blockIdx.y, blockIdx.z)."""
+        gx, gy, gz = self.grid
+        if not 0 <= linear_bid < self.num_blocks:
+            raise LaunchError(
+                f"block id {linear_bid} out of range for grid {self.grid}"
+            )
+        x = linear_bid % gx
+        y = (linear_bid // gx) % gy
+        z = linear_bid // (gx * gy)
+        return (x, y, z)
+
+    def linear_block_id(self, coords: tuple[int, int, int]) -> int:
+        x, y, z = coords
+        gx, gy, _gz = self.grid
+        return x + gx * (y + gy * z)
+
+    def thread_coords(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(threadIdx.x, .y, .z) lane vectors for one block, x-fastest."""
+        bx, by, bz = self.block
+        lanes = np.arange(bx * by * bz, dtype=np.int32)
+        tx = lanes % bx
+        ty = (lanes // bx) % by
+        tz = lanes // (bx * by)
+        return tx, ty, tz

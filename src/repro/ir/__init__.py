@@ -1,0 +1,102 @@
+"""Typed kernel IR: the contract between frontends, analyses and backends.
+
+The IR plays the role LLVM IR plays in the paper's toolchain: both the
+CUDA-subset parser and the Python DSL lower to it, the Allgather
+distributable analysis inspects it, and the vectorized SPMD interpreter
+executes it.
+"""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.expr import (
+    ARITH_OPS,
+    BIT_OPS,
+    CMP_OPS,
+    INTRINSICS,
+    LOGIC_OPS,
+    BinOp,
+    Call,
+    Cast,
+    Const,
+    Expr,
+    Load,
+    Param,
+    Select,
+    SReg,
+    SRegKind,
+    UnOp,
+    Var,
+    const,
+)
+from repro.ir.printer import print_expr, print_kernel, print_stmt
+from repro.ir.stmt import (
+    ATOMIC_OPS,
+    AllocLocal,
+    AllocShared,
+    Assign,
+    Atomic,
+    Break,
+    Continue,
+    For,
+    If,
+    Kernel,
+    KernelParam,
+    Return,
+    Stmt,
+    Store,
+    SyncThreads,
+    While,
+)
+from repro.ir.types import (
+    BOOL,
+    F32,
+    F64,
+    I8,
+    I16,
+    I32,
+    I64,
+    SCALAR_TYPES,
+    U8,
+    U16,
+    U32,
+    U64,
+    AddressSpace,
+    DType,
+    PointerType,
+    common_type,
+    dtype_from_name,
+    is_pointer,
+)
+from repro.ir.validate import validate_kernel
+from repro.ir.visitor import (
+    contains,
+    count_nodes,
+    iter_exprs,
+    iter_stmts,
+    map_expr,
+    params_used,
+    sregs_used,
+    vars_used,
+    walk_expr,
+    walk_stmts,
+)
+
+__all__ = [
+    # types
+    "DType", "PointerType", "AddressSpace", "common_type", "dtype_from_name",
+    "is_pointer", "SCALAR_TYPES",
+    "BOOL", "I8", "I16", "I32", "I64", "U8", "U16", "U32", "U64", "F32", "F64",
+    # expressions
+    "Expr", "Const", "SReg", "SRegKind", "Param", "Var", "BinOp", "UnOp",
+    "Cast", "Load", "Call", "Select", "const",
+    "ARITH_OPS", "CMP_OPS", "LOGIC_OPS", "BIT_OPS", "INTRINSICS",
+    # statements
+    "Stmt", "Assign", "Store", "If", "For", "While", "Return", "Break",
+    "Continue", "SyncThreads", "Atomic", "AllocShared", "AllocLocal",
+    "ATOMIC_OPS",
+    "Kernel", "KernelParam",
+    # tools
+    "IRBuilder", "validate_kernel",
+    "print_expr", "print_stmt", "print_kernel",
+    "walk_expr", "walk_stmts", "iter_stmts", "iter_exprs", "map_expr",
+    "sregs_used", "vars_used", "params_used", "contains", "count_nodes",
+]

@@ -1,0 +1,429 @@
+"""Expression nodes of the kernel IR.
+
+Expressions are immutable, hashable dataclasses.  Every node exposes
+
+- ``dtype``   — its scalar result type, and
+- ``children()`` — sub-expressions, for generic traversal.
+
+Design notes
+------------
+* There is no pointer arithmetic: memory is accessed through
+  :class:`Load` / ``Store`` which take a pointer-typed expression plus an
+  *element index* expression.  This keeps the write-index affine analysis
+  (paper section 6.2) a pure expression-level problem.
+* Special registers (:class:`SReg`) carry the CUDA builtins ``threadIdx``,
+  ``blockIdx``, ``blockDim``, ``gridDim`` — the symbols the distributable
+  analysis treats alternately as variables and constants (conditions 1 and
+  3 of section 6.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import IRTypeError
+from repro.ir.types import (
+    BOOL,
+    F32,
+    F64,
+    I32,
+    I64,
+    DType,
+    PointerType,
+    common_type,
+)
+
+__all__ = [
+    "Expr",
+    "Const",
+    "SReg",
+    "SRegKind",
+    "Param",
+    "Var",
+    "BinOp",
+    "UnOp",
+    "Cast",
+    "Load",
+    "Call",
+    "Select",
+    "ARITH_OPS",
+    "CMP_OPS",
+    "LOGIC_OPS",
+    "BIT_OPS",
+    "INTRINSICS",
+    "const",
+]
+
+
+class SRegKind(enum.Enum):
+    """CUDA special registers (PTX naming: tid/ctaid/ntid/nctaid)."""
+
+    TID_X = "threadIdx.x"
+    TID_Y = "threadIdx.y"
+    TID_Z = "threadIdx.z"
+    CTAID_X = "blockIdx.x"
+    CTAID_Y = "blockIdx.y"
+    CTAID_Z = "blockIdx.z"
+    NTID_X = "blockDim.x"
+    NTID_Y = "blockDim.y"
+    NTID_Z = "blockDim.z"
+    NCTAID_X = "gridDim.x"
+    NCTAID_Y = "gridDim.y"
+    NCTAID_Z = "gridDim.z"
+
+    @property
+    def is_thread_index(self) -> bool:
+        return self in (SRegKind.TID_X, SRegKind.TID_Y, SRegKind.TID_Z)
+
+    @property
+    def is_block_index(self) -> bool:
+        return self in (SRegKind.CTAID_X, SRegKind.CTAID_Y, SRegKind.CTAID_Z)
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Abstract base of every IR expression."""
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    @property
+    def dtype(self) -> DType:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # Operator sugar so analyses/tests can build IR tersely -------------
+    def _bin(self, op: str, other: object, swap: bool = False) -> "BinOp":
+        o = other if isinstance(other, Expr) else const(other)
+        return BinOp(op, o, self) if swap else BinOp(op, self, o)
+
+    def __add__(self, o):  # noqa: D105
+        return self._bin("+", o)
+
+    def __radd__(self, o):
+        return self._bin("+", o, swap=True)
+
+    def __sub__(self, o):
+        return self._bin("-", o)
+
+    def __rsub__(self, o):
+        return self._bin("-", o, swap=True)
+
+    def __mul__(self, o):
+        return self._bin("*", o)
+
+    def __rmul__(self, o):
+        return self._bin("*", o, swap=True)
+
+    def __truediv__(self, o):
+        return self._bin("/", o)
+
+    def __mod__(self, o):
+        return self._bin("%", o)
+
+    def __lshift__(self, o):
+        return self._bin("<<", o)
+
+    def __rshift__(self, o):
+        return self._bin(">>", o)
+
+    def __and__(self, o):
+        return self._bin("&", o)
+
+    def __or__(self, o):
+        return self._bin("|", o)
+
+    def __xor__(self, o):
+        return self._bin("^", o)
+
+    def __lt__(self, o):
+        return self._bin("<", o)
+
+    def __le__(self, o):
+        return self._bin("<=", o)
+
+    def __gt__(self, o):
+        return self._bin(">", o)
+
+    def __ge__(self, o):
+        return self._bin(">=", o)
+
+    def eq(self, o) -> "BinOp":
+        """Equality comparison (``==`` is reserved for dataclass identity)."""
+        return self._bin("==", o)
+
+    def ne(self, o) -> "BinOp":
+        return self._bin("!=", o)
+
+    def logical_and(self, o) -> "BinOp":
+        return self._bin("&&", o)
+
+    def logical_or(self, o) -> "BinOp":
+        return self._bin("||", o)
+
+    def __neg__(self) -> "UnOp":
+        return UnOp("-", self)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal scalar constant."""
+
+    value: float | int | bool
+    type: DType = I32
+
+    def __post_init__(self) -> None:
+        if self.type.is_float and not isinstance(self.value, float):
+            object.__setattr__(self, "value", float(self.value))
+        if self.type.is_int and isinstance(self.value, bool):
+            object.__setattr__(self, "value", int(self.value))
+
+    @property
+    def dtype(self) -> DType:
+        return self.type
+
+
+def const(value: object, dtype: DType | None = None) -> Const:
+    """Build a :class:`Const`, inferring the type from the Python value."""
+    if dtype is None:
+        if isinstance(value, bool):
+            dtype = BOOL
+        elif isinstance(value, int):
+            dtype = I32 if -(2**31) <= value < 2**31 else I64
+        elif isinstance(value, float):
+            dtype = F32
+        else:
+            raise IRTypeError(f"cannot make a constant from {value!r}")
+    return Const(value, dtype)
+
+
+@dataclass(frozen=True)
+class SReg(Expr):
+    """Read of a CUDA special register (threadIdx.x, blockDim.x, ...)."""
+
+    kind: SRegKind
+
+    @property
+    def dtype(self) -> DType:
+        return I32
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """Read of a kernel parameter (scalar value or pointer)."""
+
+    name: str
+    type: DType | PointerType
+
+    @property
+    def dtype(self) -> DType:
+        if isinstance(self.type, PointerType):
+            raise IRTypeError(
+                f"pointer parameter {self.name!r} has no scalar dtype; "
+                "use it as the pointer operand of Load/Store"
+            )
+        return self.type
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self.type, PointerType)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """Read of a kernel-local variable.
+
+    A ``Var`` may also be pointer-typed: that is how ``__shared__`` arrays
+    declared by ``AllocShared`` are referenced in loads and stores.
+    """
+
+    name: str
+    type: DType | PointerType
+
+    @property
+    def dtype(self) -> DType:
+        if isinstance(self.type, PointerType):
+            raise IRTypeError(
+                f"pointer variable {self.name!r} has no scalar dtype; "
+                "use it as the pointer operand of Load/Store"
+            )
+        return self.type
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self.type, PointerType)
+
+
+ARITH_OPS = ("+", "-", "*", "/", "%")
+CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+LOGIC_OPS = ("&&", "||")
+BIT_OPS = ("&", "|", "^", "<<", ">>")
+_ALL_OPS = frozenset(ARITH_OPS + CMP_OPS + LOGIC_OPS + BIT_OPS)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary operation with C-style result typing."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _ALL_OPS:
+            raise IRTypeError(f"unknown binary operator {self.op!r}")
+        if self.op in BIT_OPS and (self.lhs.dtype.is_float or self.rhs.dtype.is_float):
+            raise IRTypeError(f"bitwise {self.op!r} applied to float operands")
+        if self.op == "%" and self.lhs.dtype.is_float:
+            # fmod is expressed via the intrinsic, keep `%` integral
+            raise IRTypeError("'%' on floats; use Call('fmod', ...)")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    @property
+    def dtype(self) -> DType:
+        if self.op in CMP_OPS or self.op in LOGIC_OPS:
+            return BOOL
+        if self.op in ("<<", ">>"):
+            return self.lhs.dtype if not self.lhs.dtype.is_bool else I32
+        return common_type(self.lhs.dtype, self.rhs.dtype)
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """Unary negation / logical not / bitwise not."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("-", "!", "~"):
+            raise IRTypeError(f"unknown unary operator {self.op!r}")
+        if self.op == "~" and self.operand.dtype.is_float:
+            raise IRTypeError("'~' applied to a float operand")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    @property
+    def dtype(self) -> DType:
+        if self.op == "!":
+            return BOOL
+        return self.operand.dtype
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    """An explicit conversion to another scalar type."""
+
+    type: DType
+    value: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.value,)
+
+    @property
+    def dtype(self) -> DType:
+        return self.type
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """``ptr[index]`` — read one element through a typed pointer."""
+
+    ptr: Expr
+    index: Expr
+
+    def __post_init__(self) -> None:
+        if not isinstance(getattr(self.ptr, "type", None), PointerType):
+            raise IRTypeError("Load pointer operand must be pointer-typed")
+        if self.index.dtype.is_float:
+            raise IRTypeError("Load index must be integral")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.ptr, self.index)
+
+    @property
+    def ptr_type(self) -> PointerType:
+        return self.ptr.type  # type: ignore[union-attr]
+
+    @property
+    def dtype(self) -> DType:
+        return self.ptr_type.elem
+
+
+#: Intrinsic table: name -> (arity, result rule).  Result rules:
+#:   "float"  — promote to f32 unless any argument is f64,
+#:   "same"   — type of the first argument,
+#:   "f64"    — always double.
+INTRINSICS: dict[str, tuple[int, str]] = {
+    "sqrt": (1, "float"),
+    "rsqrt": (1, "float"),
+    "exp": (1, "float"),
+    "exp2": (1, "float"),
+    "log": (1, "float"),
+    "log2": (1, "float"),
+    "sin": (1, "float"),
+    "cos": (1, "float"),
+    "tanh": (1, "float"),
+    "erf": (1, "float"),
+    "fabs": (1, "float"),
+    "floor": (1, "float"),
+    "ceil": (1, "float"),
+    "pow": (2, "float"),
+    "fmod": (2, "float"),
+    "abs": (1, "same"),
+    "min": (2, "same"),
+    "max": (2, "same"),
+}
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A call to a math intrinsic (sqrtf, expf, min, ...)."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if self.name not in INTRINSICS:
+            raise IRTypeError(f"unknown intrinsic {self.name!r}")
+        arity = INTRINSICS[self.name][0]
+        if len(self.args) != arity:
+            raise IRTypeError(
+                f"intrinsic {self.name!r} takes {arity} args, got {len(self.args)}"
+            )
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    @property
+    def dtype(self) -> DType:
+        rule = INTRINSICS[self.name][1]
+        if rule == "f64":
+            return F64
+        if rule == "same":
+            if len(self.args) == 2:
+                return common_type(self.args[0].dtype, self.args[1].dtype)
+            return self.args[0].dtype
+        # "float": math promotes integral args to f32, keeps f64
+        if any(a.dtype == F64 for a in self.args):
+            return F64
+        return F32
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """C ternary ``cond ? if_true : if_false``."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.cond, self.if_true, self.if_false)
+
+    @property
+    def dtype(self) -> DType:
+        return common_type(self.if_true.dtype, self.if_false.dtype)

@@ -1,0 +1,177 @@
+"""Pretty-printer: kernel IR back to readable CUDA-like C source.
+
+Used for diagnostics, examples, and the generated-module listings that
+mirror the paper's Figure 6.  The output round-trips through the frontend
+for the constructs the frontend supports, which the test suite checks.
+"""
+
+from __future__ import annotations
+
+from repro.ir.expr import (
+    BinOp,
+    Call,
+    Cast,
+    Const,
+    Expr,
+    Load,
+    Param,
+    Select,
+    SReg,
+    UnOp,
+    Var,
+)
+from repro.ir.stmt import (
+    AllocLocal,
+    AllocShared,
+    Assign,
+    Atomic,
+    Break,
+    Continue,
+    For,
+    If,
+    Kernel,
+    Return,
+    Stmt,
+    Store,
+    SyncThreads,
+    While,
+)
+from repro.ir.types import BOOL, PointerType
+
+__all__ = ["print_expr", "print_stmt", "print_kernel"]
+
+# C operator precedence (higher binds tighter); used to minimize parens.
+_PREC = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+_UNARY_PREC = 11
+
+
+def print_expr(e: Expr, parent_prec: int = 0) -> str:
+    """Render an expression as C source."""
+    if isinstance(e, Const):
+        if e.type is BOOL:
+            return "true" if e.value else "false"
+        if e.type.is_float:
+            s = repr(float(e.value))
+            return s + ("f" if e.type.name == "float" else "")
+        return str(e.value)
+    if isinstance(e, SReg):
+        return e.kind.value
+    if isinstance(e, (Param, Var)):
+        return e.name
+    if isinstance(e, BinOp):
+        p = _PREC[e.op]
+        s = f"{print_expr(e.lhs, p)} {e.op} {print_expr(e.rhs, p + 1)}"
+        return f"({s})" if p < parent_prec else s
+    if isinstance(e, UnOp):
+        s = f"{e.op}{print_expr(e.operand, _UNARY_PREC)}"
+        return f"({s})" if _UNARY_PREC < parent_prec else s
+    if isinstance(e, Cast):
+        return f"({e.type.name}){print_expr(e.value, _UNARY_PREC)}"
+    if isinstance(e, Load):
+        return f"{print_expr(e.ptr, _UNARY_PREC)}[{print_expr(e.index)}]"
+    if isinstance(e, Call):
+        args = ", ".join(print_expr(a) for a in e.args)
+        return f"{e.name}({args})"
+    if isinstance(e, Select):
+        s = (
+            f"{print_expr(e.cond, 1)} ? {print_expr(e.if_true, 1)}"
+            f" : {print_expr(e.if_false, 1)}"
+        )
+        return f"({s})"
+    raise TypeError(f"cannot print {type(e).__name__}")  # pragma: no cover
+
+
+def _body(stmts: list[Stmt], indent: int) -> list[str]:
+    lines: list[str] = []
+    for s in stmts:
+        lines.extend(print_stmt(s, indent))
+    return lines
+
+
+def print_stmt(s: Stmt, indent: int = 0) -> list[str]:
+    """Render a statement as a list of indented C source lines."""
+    pad = "    " * indent
+    if isinstance(s, Assign):
+        prefix = f"{s.type.name} " if s.declare and s.type is not None else ""
+        return [f"{pad}{prefix}{s.name} = {print_expr(s.value)};"]
+    if isinstance(s, Store):
+        target = f"{print_expr(s.ptr, _UNARY_PREC)}[{print_expr(s.index)}]"
+        return [f"{pad}{target} = {print_expr(s.value)};"]
+    if isinstance(s, If):
+        lines = [f"{pad}if ({print_expr(s.cond)}) {{"]
+        lines += _body(s.then_body, indent + 1)
+        if s.else_body:
+            lines.append(f"{pad}}} else {{")
+            lines += _body(s.else_body, indent + 1)
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(s, For):
+        step = print_expr(s.step)
+        header = (
+            f"for (int {s.var} = {print_expr(s.start)}; "
+            f"{s.var} < {print_expr(s.stop)}; {s.var} += {step})"
+        )
+        lines = [f"{pad}{header} {{"]
+        lines += _body(s.body, indent + 1)
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(s, While):
+        lines = [f"{pad}while ({print_expr(s.cond)}) {{"]
+        lines += _body(s.body, indent + 1)
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(s, Return):
+        return [f"{pad}return;"]
+    if isinstance(s, Break):
+        return [f"{pad}break;"]
+    if isinstance(s, Continue):
+        return [f"{pad}continue;"]
+    if isinstance(s, SyncThreads):
+        return [f"{pad}__syncthreads();"]
+    if isinstance(s, Atomic):
+        call = (
+            f"atomic{s.op.capitalize()}(&{print_expr(s.ptr, _UNARY_PREC)}"
+            f"[{print_expr(s.index)}], {print_expr(s.value)})"
+        )
+        if s.result:
+            return [f"{pad}{s.result} = {call};"]
+        return [f"{pad}{call};"]
+    if isinstance(s, AllocShared):
+        return [f"{pad}__shared__ {s.elem.name} {s.name}[{print_expr(s.size)}];"]
+    if isinstance(s, AllocLocal):
+        return [f"{pad}{s.elem.name} {s.name}[{print_expr(s.size)}];"]
+    raise TypeError(f"cannot print {type(s).__name__}")  # pragma: no cover
+
+
+def _param_sig(name: str, type_) -> str:
+    if isinstance(type_, PointerType):
+        return f"{type_.elem.name} *{name}"
+    return f"{type_.name} {name}"
+
+
+def print_kernel(k: Kernel) -> str:
+    """Render a whole kernel as CUDA source text."""
+    sig = ", ".join(_param_sig(p.name, p.type) for p in k.params)
+    lines = [f"__global__ void {k.name}({sig}) {{"]
+    lines += _body(k.body, 1)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,275 @@
+"""Statement nodes of the kernel IR, and the :class:`Kernel` container.
+
+A kernel body is a list of statements.  Statements own sub-statement lists
+(``If.then_body`` etc.) so the IR is a plain tree; generic traversal lives
+in :mod:`repro.ir.visitor`.
+
+Semantics notes
+---------------
+* ``For`` iterates ``var = start; var < stop; var += step`` (``step`` > 0)
+  or ``var > stop; var += step`` (``step`` < 0), matching the canonical C
+  loops the frontend produces.
+* ``Return`` retires the executing *thread* (CUDA early-exit idiom
+  ``if (id >= n) return;``) — it does not return a value.
+* ``AllocShared`` declares a ``__shared__`` array; its extent must be
+  block-invariant.
+* ``Atomic`` covers CUDA's read-modify-write builtins; the old value can be
+  bound to a local variable (``result``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IRTypeError
+from repro.ir.expr import Expr
+from repro.ir.types import AddressSpace, DType, PointerType
+
+__all__ = [
+    "Stmt",
+    "Assign",
+    "Store",
+    "If",
+    "For",
+    "While",
+    "Return",
+    "Break",
+    "Continue",
+    "SyncThreads",
+    "Atomic",
+    "AllocShared",
+    "AllocLocal",
+    "KernelParam",
+    "Kernel",
+    "ATOMIC_OPS",
+]
+
+
+@dataclass
+class Stmt:
+    """Abstract base of every IR statement."""
+
+    def exprs(self) -> tuple[Expr, ...]:
+        """Direct sub-expressions of this statement."""
+        return ()
+
+    def blocks(self) -> tuple[list["Stmt"], ...]:
+        """Nested statement lists (bodies) of this statement."""
+        return ()
+
+
+@dataclass
+class Assign(Stmt):
+    """``name = value`` — write a kernel-local variable.
+
+    ``declare`` marks the first (declaring) assignment; ``type`` is the
+    declared type and coerces the RHS on every subsequent write.
+    """
+
+    name: str
+    value: Expr
+    type: DType | None = None
+    declare: bool = False
+
+    def exprs(self) -> tuple[Expr, ...]:
+        return (self.value,)
+
+
+@dataclass
+class Store(Stmt):
+    """``ptr[index] = value`` — write one element through a pointer."""
+
+    ptr: Expr
+    index: Expr
+    value: Expr
+
+    def __post_init__(self) -> None:
+        if not isinstance(getattr(self.ptr, "type", None), PointerType):
+            raise IRTypeError("Store pointer operand must be pointer-typed")
+        if self.index.dtype.is_float:
+            raise IRTypeError("Store index must be integral")
+
+    def exprs(self) -> tuple[Expr, ...]:
+        return (self.ptr, self.index, self.value)
+
+    @property
+    def ptr_type(self) -> PointerType:
+        return self.ptr.type  # type: ignore[union-attr]
+
+    @property
+    def is_global(self) -> bool:
+        return self.ptr_type.space is AddressSpace.GLOBAL
+
+
+@dataclass
+class If(Stmt):
+    """``if (cond) { then_body } else { else_body }``."""
+
+    cond: Expr
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+    def exprs(self) -> tuple[Expr, ...]:
+        return (self.cond,)
+
+    def blocks(self) -> tuple[list[Stmt], ...]:
+        return (self.then_body, self.else_body)
+
+
+@dataclass
+class For(Stmt):
+    """Counted loop ``for (int var = start; var </> stop; var += step)``."""
+
+    var: str
+    start: Expr
+    stop: Expr
+    step: Expr
+    body: list[Stmt] = field(default_factory=list)
+
+    def exprs(self) -> tuple[Expr, ...]:
+        return (self.start, self.stop, self.step)
+
+    def blocks(self) -> tuple[list[Stmt], ...]:
+        return (self.body,)
+
+
+@dataclass
+class While(Stmt):
+    """``while (cond) { body }``."""
+
+    cond: Expr
+    body: list[Stmt] = field(default_factory=list)
+
+    def exprs(self) -> tuple[Expr, ...]:
+        return (self.cond,)
+
+    def blocks(self) -> tuple[list[Stmt], ...]:
+        return (self.body,)
+
+
+@dataclass
+class Return(Stmt):
+    """Retire the executing thread (CUDA kernels return void)."""
+
+
+@dataclass
+class Break(Stmt):
+    """Break out of the innermost loop."""
+
+
+@dataclass
+class Continue(Stmt):
+    """Skip to the next iteration of the innermost loop."""
+
+
+@dataclass
+class SyncThreads(Stmt):
+    """``__syncthreads()`` — intra-block barrier."""
+
+
+ATOMIC_OPS = ("add", "sub", "min", "max", "exch", "cas")
+
+
+@dataclass
+class Atomic(Stmt):
+    """CUDA atomic read-modify-write: ``old = atomicOp(&ptr[index], value)``.
+
+    ``result`` optionally names a local variable that receives the old
+    value.  ``compare`` is only used by ``cas``.
+    """
+
+    op: str
+    ptr: Expr
+    index: Expr
+    value: Expr
+    result: str | None = None
+    compare: Expr | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ATOMIC_OPS:
+            raise IRTypeError(f"unknown atomic op {self.op!r}")
+        if not isinstance(getattr(self.ptr, "type", None), PointerType):
+            raise IRTypeError("Atomic pointer operand must be pointer-typed")
+
+    def exprs(self) -> tuple[Expr, ...]:
+        extra = (self.compare,) if self.compare is not None else ()
+        return (self.ptr, self.index, self.value) + extra
+
+    @property
+    def ptr_type(self) -> PointerType:
+        return self.ptr.type  # type: ignore[union-attr]
+
+    @property
+    def is_global(self) -> bool:
+        return self.ptr_type.space is AddressSpace.GLOBAL
+
+
+@dataclass
+class AllocShared(Stmt):
+    """``__shared__ elem name[size]`` — per-block scratch memory."""
+
+    name: str
+    elem: DType
+    size: Expr
+
+    def exprs(self) -> tuple[Expr, ...]:
+        return (self.size,)
+
+
+@dataclass
+class AllocLocal(Stmt):
+    """``elem name[size]`` — per-thread (stack) array.
+
+    Local arrays never need cross-node communication (paper footnote 1);
+    the interpreter gives each lane its own segment.
+    """
+
+    name: str
+    elem: DType
+    size: Expr
+
+    def exprs(self) -> tuple[Expr, ...]:
+        return (self.size,)
+
+
+@dataclass(frozen=True)
+class KernelParam:
+    """A formal kernel parameter: scalar or typed pointer."""
+
+    name: str
+    type: DType | PointerType
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self.type, PointerType)
+
+
+@dataclass
+class Kernel:
+    """A complete ``__global__`` function.
+
+    Attributes:
+        name: kernel symbol name.
+        params: formal parameters in declaration order.
+        body: top-level statement list.
+        source: optional original source text (for diagnostics / printing).
+    """
+
+    name: str
+    params: list[KernelParam]
+    body: list[Stmt]
+    source: str | None = None
+
+    def param(self, name: str) -> KernelParam:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(f"kernel {self.name!r} has no parameter {name!r}")
+
+    @property
+    def pointer_params(self) -> list[KernelParam]:
+        return [p for p in self.params if p.is_pointer]
+
+    @property
+    def scalar_params(self) -> list[KernelParam]:
+        return [p for p in self.params if not p.is_pointer]

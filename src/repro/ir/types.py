@@ -1,0 +1,187 @@
+"""Type system for the kernel IR.
+
+The IR is deliberately small: the scalar C types CUDA kernels actually use
+plus typed pointers into one of the three GPU address spaces.  Pointers are
+opaque — there is no pointer arithmetic at the IR level; loads and stores
+take a (pointer, element-index) pair, which is what the Allgather
+distributable analysis reasons about (paper section 6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import IRTypeError
+
+__all__ = [
+    "DType",
+    "PointerType",
+    "AddressSpace",
+    "BOOL",
+    "I8",
+    "I16",
+    "I32",
+    "I64",
+    "U8",
+    "U16",
+    "U32",
+    "U64",
+    "F32",
+    "F64",
+    "SCALAR_TYPES",
+    "dtype_from_name",
+    "common_type",
+    "is_pointer",
+]
+
+
+class AddressSpace(enum.Enum):
+    """GPU address space of a pointer.
+
+    Only ``GLOBAL`` memory needs cross-node communication after migration;
+    ``SHARED`` and ``LOCAL`` are private to a GPU block / thread, which CuCC
+    always schedules onto a single CPU node (paper footnote 1).
+    """
+
+    GLOBAL = "global"
+    SHARED = "shared"
+    LOCAL = "local"
+
+
+@dataclass(frozen=True)
+class DType:
+    """A scalar machine type.
+
+    Attributes:
+        name: C-like spelling (``"float"``, ``"int"``, ...).
+        np: the corresponding NumPy dtype used by the interpreter.
+        size: width in bytes (drives ``unit_size`` metadata / comm volume).
+        is_float: floating-point flag (drives FLOP counting).
+        is_signed: signedness for integer division/shift semantics.
+    """
+
+    name: str
+    np: np.dtype
+    size: int
+    is_float: bool
+    is_signed: bool
+
+    @property
+    def is_int(self) -> bool:
+        return not self.is_float and self.name != "bool"
+
+    @property
+    def is_bool(self) -> bool:
+        return self.name == "bool"
+
+    def __repr__(self) -> str:  # concise in IR dumps
+        return self.name
+
+
+def _dt(name: str, np_name: str, size: int, is_float: bool, is_signed: bool) -> DType:
+    return DType(name, np.dtype(np_name), size, is_float, is_signed)
+
+
+BOOL = _dt("bool", "bool", 1, False, False)
+I8 = _dt("char", "int8", 1, False, True)
+I16 = _dt("short", "int16", 2, False, True)
+I32 = _dt("int", "int32", 4, False, True)
+I64 = _dt("long", "int64", 8, False, True)
+U8 = _dt("uchar", "uint8", 1, False, False)
+U16 = _dt("ushort", "uint16", 2, False, False)
+U32 = _dt("uint", "uint32", 4, False, False)
+U64 = _dt("ulong", "uint64", 8, False, False)
+F32 = _dt("float", "float32", 4, True, True)
+F64 = _dt("double", "float64", 8, True, True)
+
+SCALAR_TYPES: dict[str, DType] = {
+    t.name: t for t in (BOOL, I8, I16, I32, I64, U8, U16, U32, U64, F32, F64)
+}
+
+#: Alternative C spellings accepted by the frontend.
+_ALIASES = {
+    "unsigned": U32,
+    "unsigned int": U32,
+    "unsigned char": U8,
+    "unsigned short": U16,
+    "unsigned long": U64,
+    "long long": I64,
+    "unsigned long long": U64,
+    "size_t": U64,
+    "int8_t": I8,
+    "int16_t": I16,
+    "int32_t": I32,
+    "int64_t": I64,
+    "uint8_t": U8,
+    "uint16_t": U16,
+    "uint32_t": U32,
+    "uint64_t": U64,
+}
+
+
+def dtype_from_name(name: str) -> DType:
+    """Resolve a C type spelling to a :class:`DType`.
+
+    Raises :class:`IRTypeError` for unknown spellings.
+    """
+    name = " ".join(name.split())
+    if name in SCALAR_TYPES:
+        return SCALAR_TYPES[name]
+    if name in _ALIASES:
+        return _ALIASES[name]
+    raise IRTypeError(f"unknown scalar type {name!r}")
+
+
+@dataclass(frozen=True)
+class PointerType:
+    """A typed pointer into one of the GPU address spaces."""
+
+    elem: DType
+    space: AddressSpace = AddressSpace.GLOBAL
+
+    def __repr__(self) -> str:
+        suffix = "" if self.space is AddressSpace.GLOBAL else f"[{self.space.value}]"
+        return f"{self.elem.name}*{suffix}"
+
+
+def is_pointer(t: object) -> bool:
+    return isinstance(t, PointerType)
+
+
+# Promotion rank roughly mirroring C usual arithmetic conversions; bool is
+# promoted to int in arithmetic contexts.
+_RANK = {
+    "bool": 0,
+    "char": 1,
+    "uchar": 1,
+    "short": 2,
+    "ushort": 2,
+    "int": 3,
+    "uint": 3,
+    "long": 4,
+    "ulong": 4,
+    "float": 5,
+    "double": 6,
+}
+
+
+def common_type(a: DType, b: DType) -> DType:
+    """Usual arithmetic conversion of two scalar types.
+
+    Ints of equal rank with mixed signedness promote to the unsigned type,
+    matching C.  Bool promotes to ``int``.
+    """
+    if a.is_bool:
+        a = I32
+    if b.is_bool:
+        b = I32
+    if a == b:
+        return a
+    ra, rb = _RANK[a.name], _RANK[b.name]
+    if ra == rb:
+        # same rank, differing signedness: unsigned wins (C semantics)
+        return a if not a.is_signed else b
+    return a if ra > rb else b

@@ -1,0 +1,125 @@
+"""Structural validation of kernel IR.
+
+Checks the invariants the rest of the pipeline assumes, so that malformed
+kernels fail loudly at construction time rather than mysteriously inside
+the interpreter or the analysis:
+
+* every local variable is declared (assigned, loop-bound, shared-alloc'd,
+  or an atomic result) before use;
+* parameter references match the declared parameter list;
+* ``break``/``continue`` appear only inside loops;
+* shared-memory extents do not depend on thread/block indices or locals;
+* a name is not simultaneously a parameter and a local.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.expr import Expr, Param, SReg, Var
+from repro.ir.stmt import (
+    AllocLocal,
+    AllocShared,
+    Assign,
+    Atomic,
+    Break,
+    Continue,
+    For,
+    If,
+    Kernel,
+    Stmt,
+    While,
+)
+from repro.ir.visitor import walk_expr
+
+__all__ = ["validate_kernel"]
+
+
+def validate_kernel(kernel: Kernel) -> None:
+    """Raise :class:`~repro.errors.IRError` if the kernel is malformed."""
+    param_types = {p.name: p.type for p in kernel.params}
+    if len(param_types) != len(kernel.params):
+        raise IRError(f"kernel {kernel.name!r}: duplicate parameter names")
+    _check_block(kernel, kernel.body, set(param_types), set(), in_loop=False)
+
+
+def _check_expr(kernel: Kernel, e: Expr, params: set[str], defined: set[str]) -> None:
+    for node in walk_expr(e):
+        if isinstance(node, Param):
+            declared = kernel.param(node.name).type if node.name in params else None
+            if declared is None:
+                raise IRError(
+                    f"kernel {kernel.name!r}: reference to undeclared parameter "
+                    f"{node.name!r}"
+                )
+            if declared != node.type:
+                raise IRError(
+                    f"kernel {kernel.name!r}: parameter {node.name!r} referenced "
+                    f"with type {node.type!r}, declared {declared!r}"
+                )
+        elif isinstance(node, Var):
+            if node.name not in defined:
+                raise IRError(
+                    f"kernel {kernel.name!r}: use of undefined variable "
+                    f"{node.name!r}"
+                )
+
+
+def _check_block(
+    kernel: Kernel,
+    body: list[Stmt],
+    params: set[str],
+    defined: set[str],
+    in_loop: bool,
+) -> set[str]:
+    """Validate a statement list; returns the set of names it defines.
+
+    Definitions are treated flow-insensitively *within* a block but blocks
+    do not leak definitions upward out of loops/branches conservatively —
+    we allow them (C scoping is looser than this in practice and both
+    frontends only read what they wrote), except that a variable defined
+    only in a branch may be read later; that matches C where the
+    declaration would be hoisted.
+    """
+    defined = set(defined)
+    for s in body:
+        for e in s.exprs():
+            # For Assign the RHS may legally reference the LHS only if the
+            # LHS is already defined; handled by ordering below.
+            _check_expr(kernel, e, params, defined)
+        if isinstance(s, Assign):
+            if s.name in params:
+                raise IRError(
+                    f"kernel {kernel.name!r}: local {s.name!r} shadows a parameter"
+                )
+            defined.add(s.name)
+        elif isinstance(s, (AllocShared, AllocLocal)):
+            what = "shared" if isinstance(s, AllocShared) else "local"
+            for node in walk_expr(s.size):
+                if isinstance(node, (Var,)) or (
+                    isinstance(node, SReg)
+                    and (node.kind.is_thread_index or node.kind.is_block_index)
+                ):
+                    raise IRError(
+                        f"kernel {kernel.name!r}: {what} array {s.name!r} "
+                        "extent must be launch-invariant"
+                    )
+            defined.add(s.name)
+        elif isinstance(s, Atomic):
+            if s.result is not None:
+                defined.add(s.result)
+        elif isinstance(s, If):
+            then_defs = _check_block(kernel, s.then_body, params, defined, in_loop)
+            else_defs = _check_block(kernel, s.else_body, params, defined, in_loop)
+            # names assigned on either side become visible after the if, as
+            # they would be with a hoisted C declaration
+            defined |= then_defs | else_defs
+        elif isinstance(s, For):
+            inner = defined | {s.var}
+            _check_block(kernel, s.body, params, inner, in_loop=True)
+        elif isinstance(s, While):
+            _check_block(kernel, s.body, params, defined, in_loop=True)
+        elif isinstance(s, (Break, Continue)) and not in_loop:
+            raise IRError(
+                f"kernel {kernel.name!r}: {type(s).__name__.lower()} outside a loop"
+            )
+    return defined

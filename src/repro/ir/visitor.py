@@ -1,0 +1,148 @@
+"""Generic traversal utilities over the kernel IR.
+
+Provides iterative walkers (no recursion-depth concerns for generated
+kernels), an expression-rewriting transformer, and a handful of common
+queries shared by the analyses: which special registers an expression
+reads, which local variables it uses, and whether a statement list
+contains a given construct.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.ir.expr import (
+    BinOp,
+    Call,
+    Cast,
+    Const,
+    Expr,
+    Load,
+    Param,
+    Select,
+    SReg,
+    SRegKind,
+    UnOp,
+    Var,
+)
+from repro.ir.stmt import Kernel, Stmt
+
+__all__ = [
+    "walk_expr",
+    "walk_stmts",
+    "iter_stmts",
+    "iter_exprs",
+    "map_expr",
+    "sregs_used",
+    "vars_used",
+    "params_used",
+    "contains",
+    "count_nodes",
+]
+
+
+def walk_expr(e: Expr) -> Iterator[Expr]:
+    """Yield ``e`` and every sub-expression (pre-order, iterative)."""
+    stack = [e]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children()))
+
+
+def iter_stmts(body: list[Stmt]) -> Iterator[Stmt]:
+    """Yield every statement in ``body``, recursing into nested blocks."""
+    stack: list[Stmt] = list(reversed(body))
+    while stack:
+        s = stack.pop()
+        yield s
+        for block in reversed(s.blocks()):
+            stack.extend(reversed(block))
+
+
+def walk_stmts(body: list[Stmt]) -> Iterator[tuple[Stmt, tuple[Stmt, ...]]]:
+    """Yield ``(stmt, enclosing_path)`` pairs for every statement.
+
+    ``enclosing_path`` is the chain of ancestor statements (outermost
+    first) whose nested blocks contain ``stmt``.  The distributable
+    analysis uses this to find the conditionals enclosing each global
+    store (section 6.2, condition 2).
+    """
+    stack: list[tuple[Stmt, tuple[Stmt, ...]]] = [(s, ()) for s in reversed(body)]
+    while stack:
+        s, path = stack.pop()
+        yield s, path
+        child_path = path + (s,)
+        for block in reversed(s.blocks()):
+            stack.extend((c, child_path) for c in reversed(block))
+
+
+def iter_exprs(body: list[Stmt]) -> Iterator[Expr]:
+    """Yield every expression (including sub-expressions) in ``body``."""
+    for s in iter_stmts(body):
+        for e in s.exprs():
+            yield from walk_expr(e)
+
+
+def map_expr(e: Expr, fn: Callable[[Expr], Expr | None]) -> Expr:
+    """Rewrite an expression bottom-up.
+
+    ``fn`` is called on each (already rewritten) node; returning ``None``
+    keeps the node, returning an expression replaces it.
+    """
+    children = e.children()
+    if children:
+        new_children = tuple(map_expr(c, fn) for c in children)
+        if new_children != children:
+            e = _rebuild(e, new_children)
+    out = fn(e)
+    return e if out is None else out
+
+
+def _rebuild(e: Expr, children: tuple[Expr, ...]) -> Expr:
+    if isinstance(e, BinOp):
+        return BinOp(e.op, children[0], children[1])
+    if isinstance(e, UnOp):
+        return UnOp(e.op, children[0])
+    if isinstance(e, Cast):
+        return Cast(e.type, children[0])
+    if isinstance(e, Load):
+        return Load(children[0], children[1])
+    if isinstance(e, Call):
+        return Call(e.name, children)
+    if isinstance(e, Select):
+        return Select(children[0], children[1], children[2])
+    raise TypeError(f"cannot rebuild {type(e).__name__}")  # pragma: no cover
+
+
+def sregs_used(e: Expr) -> set[SRegKind]:
+    """Special registers read anywhere inside ``e``."""
+    return {n.kind for n in walk_expr(e) if isinstance(n, SReg)}
+
+
+def vars_used(e: Expr) -> set[str]:
+    """Local variable names read anywhere inside ``e``."""
+    return {n.name for n in walk_expr(e) if isinstance(n, Var)}
+
+
+def params_used(e: Expr) -> set[str]:
+    """Kernel parameter names read anywhere inside ``e``."""
+    return {n.name for n in walk_expr(e) if isinstance(n, Param)}
+
+
+def contains(body: list[Stmt], kind: type) -> bool:
+    """Whether any statement (or expression, if ``kind`` is an Expr type)
+    of the given class appears in ``body``."""
+    if issubclass(kind, Expr):
+        return any(isinstance(e, kind) for e in iter_exprs(body))
+    return any(isinstance(s, kind) for s in iter_stmts(body))
+
+
+def count_nodes(kernel: Kernel) -> int:
+    """Total IR node count (statements + expressions) — used in reports."""
+    n = 0
+    for s in iter_stmts(kernel.body):
+        n += 1
+        for e in s.exprs():
+            n += sum(1 for _ in walk_expr(e))
+    return n

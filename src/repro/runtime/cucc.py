@@ -1,0 +1,276 @@
+"""The CuCC runtime: compile CUDA kernels, launch them on a CPU cluster.
+
+Implements the paper's three-phase execution workflow (section 4):
+
+1. **Partial Block Execution** — each node executes its contiguous range
+   of ``p_size`` GPU blocks against its *own* memory replica;
+2. **Balanced-In-Place Allgather** — one collective per written buffer
+   restores the replication invariant for the partial phase's writes;
+3. **Callback Block Execution** — tail-divergent and remainder blocks
+   execute on *every* node, keeping replicas identical without
+   communication.
+
+Kernels the analysis rejects (or whose launch-time checks fail) fall
+back to replicated execution of all blocks — always correct, never
+communicating, exactly the paper's trivial case.
+
+Functional execution is performed by the vectorized SPMD interpreter on
+each node's buffers; timing comes from the roofline model applied to the
+dynamic op counts each node actually incurred.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.distributable import analyze_kernel, finalize_plan
+from repro.cluster.cluster import Cluster
+from repro.errors import LaunchError
+from repro.hw.perfmodel import DEFAULT_PARAMS, ModelParams, cpu_node_time
+from repro.interp.counters import OpCounters
+from repro.interp.grid import LaunchConfig
+from repro.interp.machine import BlockExecutor
+from repro.ir.stmt import Kernel
+from repro.runtime.memory_manager import ClusterMemory
+from repro.runtime.program import CompiledKernel, LaunchRecord, PhaseTimes
+from repro.transform.blockwrap import generate_kernel_module
+from repro.transform.hostgen import generate_host_module
+from repro.transform.simplify import simplify_kernel
+from repro.transform.vectorize import analyze_vectorizability
+
+__all__ = ["CuCCRuntime"]
+
+
+class CuCCRuntime:
+    """Compile-and-launch interface over a simulated CPU cluster.
+
+    Args:
+        cluster: target cluster.
+        params: performance-model constants.
+        simd_enabled: model switch for the section 8.2 no-SIMD ablation.
+        bounds_check: verify kernel memory accesses (debugging aid).
+        faithful_replication: execute replicated work on *every* node's
+            memory (maximum bug-catching power).  When ``False``,
+            replicated work runs once on rank 0 and the deterministic
+            result is copied to the other replicas — functionally
+            identical, much faster for large node counts.  Timing is
+            unaffected (every node is charged the full work either way).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        params: ModelParams = DEFAULT_PARAMS,
+        simd_enabled: bool = True,
+        bounds_check: bool = True,
+        faithful_replication: bool = True,
+    ):
+        self.cluster = cluster
+        self.params = params
+        self.simd_enabled = simd_enabled
+        self.bounds_check = bounds_check
+        self.faithful_replication = faithful_replication
+        self.memory = ClusterMemory(cluster)
+        self.launches: list[LaunchRecord] = []
+        self._compiled: dict[str, CompiledKernel] = {}
+
+    # ------------------------------------------------------------------
+    def compile(self, kernel: Kernel, simplify: bool = True) -> CompiledKernel:
+        """Run the CuCC compiler pipeline on a kernel IR.
+
+        ``simplify`` applies the exact constant-folding/identity pass
+        before analysis and execution (semantics-preserving; see
+        :mod:`repro.transform.simplify`).
+        """
+        if kernel.name in self._compiled:
+            cached = self._compiled[kernel.name]
+            if cached.original_kernel is kernel:
+                return cached
+        lowered = simplify_kernel(kernel) if simplify else kernel
+        analysis = analyze_kernel(lowered)
+        vect = analyze_vectorizability(lowered)
+        compiled = CompiledKernel(
+            kernel=lowered,
+            analysis=analysis,
+            vectorization=vect,
+            kernel_module_src=generate_kernel_module(lowered, vect),
+            host_module_src=generate_host_module(lowered, analysis.metadata),
+            original_kernel=kernel,
+        )
+        self._compiled[kernel.name] = compiled
+        return compiled
+
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        compiled: CompiledKernel | Kernel,
+        grid,
+        block,
+        args: dict[str, object],
+    ) -> LaunchRecord:
+        """Execute one kernel launch with the three-phase workflow.
+
+        ``args`` maps parameter names to buffer names (strings, for
+        pointer parameters — allocated via :attr:`memory`) or scalars.
+        """
+        if isinstance(compiled, Kernel):
+            compiled = self.compile(compiled)
+        config = LaunchConfig.make(grid, block)
+        kernel = compiled.kernel
+
+        buffer_args: dict[str, str] = {}
+        scalar_args: dict[str, object] = {}
+        for p in kernel.params:
+            if p.name not in args:
+                raise LaunchError(f"missing argument {p.name!r}")
+            v = args[p.name]
+            if p.is_pointer:
+                if not isinstance(v, str):
+                    raise LaunchError(
+                        f"pointer argument {p.name!r} must be a buffer name"
+                    )
+                self.memory.size_of(v)  # validates existence
+                buffer_args[p.name] = v
+            else:
+                scalar_args[p.name] = v
+
+        plan = finalize_plan(
+            compiled.analysis, config, scalar_args, self.cluster.num_nodes
+        )
+        vectorized = compiled.vectorization.vectorizable
+        working_set = sum(
+            self.memory.size_of(b) * self.memory.dtype_of(b).itemsize
+            for b in set(buffer_args.values())
+        )
+
+        overhead = self.params.cpu_launch_overhead_s
+        for node in self.cluster.nodes:
+            node.clock.advance(overhead)
+
+        # ---- phase 1: partial block execution -------------------------
+        partial_counters: list[OpCounters] = []
+        partial_time = 0.0
+        if not plan.replicated and plan.p_size > 0:
+            for node in self.cluster.nodes:
+                counters = OpCounters()
+                ex = self._executor(kernel, config, buffer_args, scalar_args,
+                                    node, counters)
+                blocks = plan.node_blocks(node.rank)
+                ex.run_blocks(blocks)
+                t = cpu_node_time(
+                    node.spec,
+                    counters,
+                    len(blocks),
+                    vectorized,
+                    simd_enabled=self.simd_enabled,
+                    working_set_bytes=working_set,
+                    params=self.params,
+                )
+                node.clock.advance(t)
+                partial_counters.append(counters)
+                partial_time = max(partial_time, t)
+
+        # ---- phase 2: balanced in-place Allgather ----------------------
+        allgather_time = 0.0
+        if not plan.replicated and plan.p_size > 0:
+            for bp in plan.buffers:
+                allgather_time += self.cluster.comm.allgather_in_place(
+                    buffer_args[bp.buffer],
+                    bp.base_elem,
+                    plan.p_size * bp.unit_elems,
+                )
+
+        # ---- phase 3: callback block execution --------------------------
+        callback_counters = OpCounters()
+        callback_time = 0.0
+        cb = plan.callback_blocks
+        if len(cb) > 0:
+            callback_time = self._run_replicated(
+                kernel, config, buffer_args, scalar_args, cb,
+                callback_counters, vectorized, working_set,
+            )
+
+        record = LaunchRecord(
+            kernel_name=kernel.name,
+            config=config,
+            plan=plan,
+            phases=PhaseTimes(
+                partial=partial_time,
+                allgather=allgather_time,
+                callback=callback_time,
+                overhead=overhead,
+            ),
+            partial_counters=partial_counters,
+            callback_counters=callback_counters,
+            comm_bytes=plan.comm_bytes,
+        )
+        self.launches.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def _executor(self, kernel, config, buffer_args, scalar_args, node, counters):
+        run_args: dict[str, object] = dict(scalar_args)
+        for pname, bname in buffer_args.items():
+            run_args[pname] = node.buffer(bname)
+        return BlockExecutor(
+            kernel, config, run_args, counters, bounds_check=self.bounds_check
+        )
+
+    def _run_replicated(
+        self,
+        kernel,
+        config,
+        buffer_args,
+        scalar_args,
+        blocks,
+        counters: OpCounters,
+        vectorized: bool,
+        working_set: float,
+    ) -> float:
+        """Execute ``blocks`` identically on every node; returns duration.
+
+        With ``faithful_replication`` the interpreter really runs on every
+        replica; otherwise it runs once and the (deterministic) result is
+        copied — either way every node's clock advances by the full cost.
+        """
+        nodes = self.cluster.nodes
+        first = nodes[0]
+        ex = self._executor(kernel, config, buffer_args, scalar_args, first,
+                            counters)
+        ex.run_blocks(blocks)
+        t = cpu_node_time(
+            first.spec,
+            counters,
+            len(blocks),
+            vectorized,
+            simd_enabled=self.simd_enabled,
+            working_set_bytes=working_set,
+            params=self.params,
+        )
+        if self.faithful_replication:
+            for node in nodes[1:]:
+                scratch = OpCounters()
+                ex_n = self._executor(
+                    kernel, config, buffer_args, scalar_args, node, scratch
+                )
+                ex_n.run_blocks(blocks)
+        else:
+            # deterministic execution: replicate rank 0's buffer state
+            for bname in set(buffer_args.values()):
+                src = first.buffer(bname)
+                for node in nodes[1:]:
+                    node.buffer(bname)[:] = src
+        for node in nodes:
+            node.clock.advance(t)
+        return t
+
+    # ------------------------------------------------------------------
+    @property
+    def sim_time(self) -> float:
+        """Cluster makespan (slowest node's simulated clock)."""
+        return self.cluster.max_clock
+
+    def report(self) -> str:
+        """Per-kernel summary of every launch so far (see
+        :mod:`repro.runtime.trace`)."""
+        from repro.runtime.trace import format_trace_report
+
+        return format_trace_report(self.launches)

@@ -1,0 +1,130 @@
+"""Cluster device-memory manager: the CUDA memory API over N nodes.
+
+CuCC maps GPU global memory to a buffer *replicated* in every node's
+private memory.  The replication invariant — all nodes hold identical
+copies between kernel launches — is what the three-phase workflow
+restores after every distributed launch, and what host-side transfers
+must establish:
+
+* ``memcpy_h2d`` writes the host data into every node's copy (physically
+  a broadcast; by default it is not charged to the simulated clock, as
+  the paper's figures measure kernel execution);
+* ``memcpy_d2h`` reads node 0's copy, optionally verifying that all
+  replicas agree (a strong consistency check used throughout the tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.errors import MemoryError_
+
+__all__ = ["ClusterMemory"]
+
+
+class ClusterMemory:
+    """Replicated device-buffer allocator over a simulated cluster."""
+
+    def __init__(self, cluster: Cluster, charge_transfers: bool = False):
+        self.cluster = cluster
+        #: charge host<->device transfers to the simulated clocks
+        self.charge_transfers = charge_transfers
+        self._sizes: dict[str, tuple[int, np.dtype]] = {}
+
+    def alloc(self, name: str, size: int, dtype) -> str:
+        """Allocate a zeroed buffer of ``size`` elements on every node."""
+        dtype = np.dtype(dtype)
+        if name in self._sizes:
+            raise MemoryError_(f"buffer {name!r} already allocated")
+        if size <= 0:
+            raise MemoryError_(f"buffer {name!r}: size must be positive")
+        for node in self.cluster.nodes:
+            node.alloc(name, size, dtype)
+        self._sizes[name] = (int(size), dtype)
+        return name
+
+    def free(self, name: str) -> None:
+        self._require(name)
+        for node in self.cluster.nodes:
+            node.free(name)
+        del self._sizes[name]
+
+    def _require(self, name: str) -> None:
+        if name not in self._sizes:
+            raise MemoryError_(f"unknown buffer {name!r}")
+
+    def memcpy_h2d(self, name: str, host: np.ndarray) -> None:
+        """Copy host data into every node's replica of ``name``."""
+        self._require(name)
+        size, dtype = self._sizes[name]
+        host = np.ascontiguousarray(host).reshape(-1)
+        if host.dtype != dtype:
+            raise MemoryError_(
+                f"memcpy_h2d {name!r}: host dtype {host.dtype} != {dtype}"
+            )
+        if host.size != size:
+            raise MemoryError_(
+                f"memcpy_h2d {name!r}: host size {host.size} != {size}"
+            )
+        for node in self.cluster.nodes:
+            node.buffer(name)[:] = host
+        if self.charge_transfers:
+            from repro.cluster.collectives import bcast_cost
+
+            dur = bcast_cost(self.cluster.network, self.cluster.num_nodes, host.nbytes)
+            start = max(n.clock.now for n in self.cluster.nodes)
+            for n in self.cluster.nodes:
+                n.clock.wait_until(start + dur)
+
+    def memcpy_d2h(self, name: str, check_consistency: bool = False) -> np.ndarray:
+        """Read back a buffer (node 0's replica).
+
+        ``check_consistency=True`` asserts every node holds bit-identical
+        data — the invariant the CuCC workflow must maintain.
+        """
+        self._require(name)
+        ref = self.cluster.nodes[0].buffer(name)
+        if check_consistency:
+            for node in self.cluster.nodes[1:]:
+                if not np.array_equal(node.buffer(name), ref, equal_nan=True):
+                    bad = np.flatnonzero(
+                        ~_eq_nan(node.buffer(name), ref)
+                    )
+                    raise MemoryError_(
+                        f"replicas of {name!r} diverge between rank 0 and rank "
+                        f"{node.rank} at {bad.size} elements "
+                        f"(first at index {int(bad[0])})"
+                    )
+        return ref.copy()
+
+    def consistent(self, name: str) -> bool:
+        """Whether all replicas of ``name`` agree."""
+        self._require(name)
+        ref = self.cluster.nodes[0].buffer(name)
+        return all(
+            np.array_equal(n.buffer(name), ref, equal_nan=True)
+            for n in self.cluster.nodes[1:]
+        )
+
+    def size_of(self, name: str) -> int:
+        self._require(name)
+        return self._sizes[name][0]
+
+    def dtype_of(self, name: str) -> np.dtype:
+        self._require(name)
+        return self._sizes[name][1]
+
+    @property
+    def buffer_names(self) -> list[str]:
+        return sorted(self._sizes)
+
+    def total_bytes_per_node(self) -> int:
+        return sum(s * d.itemsize for s, d in self._sizes.values())
+
+
+def _eq_nan(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    eq = a == b
+    if a.dtype.kind == "f":
+        eq |= np.isnan(a) & np.isnan(b)
+    return eq

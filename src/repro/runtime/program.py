@@ -1,0 +1,101 @@
+"""Compiled-program and launch-record containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.distributable import KernelAnalysis
+from repro.analysis.metadata import DistributionPlan
+from repro.interp.counters import OpCounters
+from repro.interp.grid import LaunchConfig
+from repro.ir.stmt import Kernel
+from repro.transform.vectorize import Vectorization
+
+__all__ = ["CompiledKernel", "PhaseTimes", "LaunchRecord"]
+
+
+@dataclass
+class CompiledKernel:
+    """Everything CuCC's compiler produces for one kernel.
+
+    Bundles the IR, the Allgather distributable analysis result, the
+    SIMD vectorizability verdict, and the generated CPU source modules
+    (human-readable renderings of what the runtime executes).
+    """
+
+    kernel: Kernel
+    analysis: KernelAnalysis
+    vectorization: Vectorization
+    kernel_module_src: str
+    host_module_src: str
+    #: the pre-simplification IR as handed to compile() (cache identity)
+    original_kernel: Kernel | None = None
+
+    def __post_init__(self) -> None:
+        if self.original_kernel is None:
+            self.original_kernel = self.kernel
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+    @property
+    def distributable(self) -> bool:
+        return self.analysis.distributable
+
+    def describe(self) -> str:
+        return "\n".join(
+            [
+                self.analysis.metadata.describe(),
+                f"  vectorization: {self.vectorization.describe()}",
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class PhaseTimes:
+    """Modeled durations of the three workflow phases for one launch."""
+
+    partial: float  # phase 1: max over nodes
+    allgather: float  # phase 2
+    callback: float  # phase 3
+    overhead: float = 0.0  # launch overhead
+
+    @property
+    def total(self) -> float:
+        return self.partial + self.allgather + self.callback + self.overhead
+
+    @property
+    def network_fraction(self) -> float:
+        """Fraction of the launch spent in communication (Figure 9)."""
+        t = self.total
+        return self.allgather / t if t > 0 else 0.0
+
+
+@dataclass
+class LaunchRecord:
+    """Trace entry for one kernel launch on the cluster."""
+
+    kernel_name: str
+    config: LaunchConfig
+    plan: DistributionPlan
+    phases: PhaseTimes
+    #: per-rank dynamic counts of phase 1 (what each node executed)
+    partial_counters: list[OpCounters]
+    #: dynamic counts of the callback phase (identical on every node)
+    callback_counters: OpCounters
+    comm_bytes: int
+
+    @property
+    def time(self) -> float:
+        return self.phases.total
+
+    def describe(self) -> str:
+        p = self.phases
+        return (
+            f"{self.kernel_name}<<<{self.config.grid},{self.config.block}>>> "
+            f"{'replicated' if self.plan.replicated else 'distributed'}: "
+            f"total {p.total * 1e3:.3f} ms (partial {p.partial * 1e3:.3f}, "
+            f"allgather {p.allgather * 1e3:.3f}, callback "
+            f"{p.callback * 1e3:.3f})"
+        )

@@ -1,0 +1,86 @@
+"""Launch-trace reporting: aggregate per-kernel statistics.
+
+After an application run (e.g. the iterative KMeans or the BERT layer),
+the runtime holds one :class:`~repro.runtime.program.LaunchRecord` per
+launch.  :func:`summarize_launches` folds them into a per-kernel table —
+counts, time split by phase, communication volume — the data behind the
+paper's Figure 9-style breakdowns for whole applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.program import LaunchRecord
+
+__all__ = ["KernelStats", "summarize_launches", "format_trace_report"]
+
+
+@dataclass
+class KernelStats:
+    """Aggregated statistics for one kernel across its launches."""
+
+    kernel: str
+    launches: int = 0
+    distributed: int = 0
+    total_s: float = 0.0
+    partial_s: float = 0.0
+    allgather_s: float = 0.0
+    callback_s: float = 0.0
+    comm_bytes: int = 0
+
+    @property
+    def network_fraction(self) -> float:
+        return self.allgather_s / self.total_s if self.total_s > 0 else 0.0
+
+    def add(self, rec: LaunchRecord) -> None:
+        self.launches += 1
+        self.distributed += 0 if rec.plan.replicated else 1
+        self.total_s += rec.time
+        self.partial_s += rec.phases.partial
+        self.allgather_s += rec.phases.allgather
+        self.callback_s += rec.phases.callback
+        self.comm_bytes += rec.comm_bytes
+
+
+def summarize_launches(launches: list[LaunchRecord]) -> list[KernelStats]:
+    """Fold a launch trace into per-kernel statistics, slowest first."""
+    by_kernel: dict[str, KernelStats] = {}
+    for rec in launches:
+        by_kernel.setdefault(rec.kernel_name, KernelStats(rec.kernel_name)).add(
+            rec
+        )
+    return sorted(by_kernel.values(), key=lambda s: -s.total_s)
+
+
+def format_trace_report(launches: list[LaunchRecord]) -> str:
+    """A printable per-kernel report for a whole application trace."""
+    from repro.bench.harness import format_table
+
+    stats = summarize_launches(launches)
+    rows = []
+    for s in stats:
+        rows.append(
+            [
+                s.kernel,
+                f"{s.launches} ({s.distributed} dist)",
+                f"{s.total_s * 1e6:.1f}",
+                f"{s.partial_s * 1e6:.1f}",
+                f"{s.allgather_s * 1e6:.1f}",
+                f"{s.callback_s * 1e6:.1f}",
+                f"{100 * s.network_fraction:.0f}%",
+                s.comm_bytes,
+            ]
+        )
+    total = sum(s.total_s for s in stats)
+    comm = sum(s.allgather_s for s in stats)
+    table = format_table(
+        ["kernel", "launches", "total (us)", "partial", "allgather",
+         "callback", "net%", "bytes"],
+        rows,
+    )
+    return (
+        table
+        + f"\ntotal {total * 1e6:.1f} us across {sum(s.launches for s in stats)}"
+        f" launches; {100 * comm / total if total else 0:.1f}% in Allgather"
+    )

@@ -1,0 +1,79 @@
+"""Slurm-like partition/queue simulation (Figure 1 substrate).
+
+Reproduces the paper's motivating measurement: on a cluster whose GPU
+partitions are oversubscribed while CPU partitions sit half idle, GPU
+jobs wait orders of magnitude longer than CPU jobs.
+
+``PACE_PARTITIONS`` is the default configuration: four CPU partitions
+and four GPU partitions with PACE-like sizes, CPU offered load around
+50% and GPU offered load around/above capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.slurm.jobs import Job, generate_trace
+from repro.slurm.metrics import WaitStats, wait_stats
+from repro.slurm.scheduler import PartitionScheduler, simulate_partition
+
+__all__ = [
+    "Job",
+    "generate_trace",
+    "PartitionScheduler",
+    "simulate_partition",
+    "WaitStats",
+    "wait_stats",
+    "PartitionConfig",
+    "PACE_PARTITIONS",
+    "simulate_campus_cluster",
+]
+
+WEEK_S = 7 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class PartitionConfig:
+    """Static description of one Slurm partition."""
+
+    name: str
+    kind: str  # "cpu" | "gpu"
+    num_nodes: int
+    load_factor: float
+
+
+#: four CPU + four GPU partitions; GPU offered load at/above capacity,
+#: CPU partitions half idle — the imbalance the paper measures.
+PACE_PARTITIONS = (
+    PartitionConfig("cpu-small", "cpu", 64, 0.45),
+    PartitionConfig("cpu-large", "cpu", 192, 0.55),
+    PartitionConfig("cpu-himem", "cpu", 48, 0.40),
+    PartitionConfig("cpu-dev", "cpu", 32, 0.35),
+    PartitionConfig("gpu-v100", "gpu", 12, 0.92),
+    PartitionConfig("gpu-a100", "gpu", 16, 0.97),
+    PartitionConfig("gpu-mig", "gpu", 8, 0.90),
+    PartitionConfig("gpu-l40", "gpu", 10, 0.95),
+)
+
+
+def simulate_campus_cluster(
+    partitions: tuple[PartitionConfig, ...] = PACE_PARTITIONS,
+    duration_s: float = WEEK_S,
+    seed: int = 0,
+) -> list[WaitStats]:
+    """Simulate one week of submissions on every partition (Figure 1)."""
+    rng = np.random.default_rng(seed)
+    stats = []
+    for cfg in partitions:
+        jobs = generate_trace(
+            cfg.name,
+            cfg.num_nodes,
+            cfg.load_factor,
+            duration_s,
+            rng,
+        )
+        finished = simulate_partition(cfg.name, cfg.num_nodes, jobs)
+        stats.append(wait_stats(cfg.name, finished, cfg.num_nodes, duration_s))
+    return stats

@@ -1,0 +1,65 @@
+"""Waiting-time statistics for the partition simulation (Figure 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.slurm.jobs import Job
+
+__all__ = ["WaitStats", "wait_stats"]
+
+
+@dataclass(frozen=True)
+class WaitStats:
+    """Summary of job waiting times in one partition."""
+
+    partition: str
+    jobs: int
+    mean_s: float
+    median_s: float
+    p90_s: float
+    max_s: float
+    utilization: float
+
+    def row(self) -> dict[str, object]:
+        return {
+            "Partition": self.partition,
+            "Jobs": self.jobs,
+            "Mean wait": _fmt(self.mean_s),
+            "Median wait": _fmt(self.median_s),
+            "P90 wait": _fmt(self.p90_s),
+            "Max wait": _fmt(self.max_s),
+            "Util": f"{self.utilization * 100:.0f}%",
+        }
+
+
+def _fmt(seconds: float) -> str:
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def wait_stats(
+    partition: str, jobs: list[Job], num_nodes: int, duration_s: float
+) -> WaitStats:
+    """Compute waiting-time statistics for one partition's finished trace."""
+    waits = np.array([j.wait_s for j in jobs]) if jobs else np.zeros(1)
+    busy = sum(min(j.end_time, duration_s) - min(j.start_time, duration_s)
+               for j in jobs for _ in [0]) if jobs else 0.0
+    node_seconds = sum(
+        j.nodes * (min(j.end_time, duration_s) - min(j.start_time, duration_s))
+        for j in jobs
+    )
+    return WaitStats(
+        partition=partition,
+        jobs=len(jobs),
+        mean_s=float(waits.mean()),
+        median_s=float(np.median(waits)),
+        p90_s=float(np.percentile(waits, 90)),
+        max_s=float(waits.max()),
+        utilization=node_seconds / (num_nodes * duration_s) if jobs else 0.0,
+    )

@@ -1,0 +1,29 @@
+"""Compiler transformations: block wrapping, vectorization, host codegen."""
+
+from repro.transform.blockwrap import generate_kernel_module
+from repro.transform.hostgen import generate_host_module
+from repro.transform.simplify import simplify_expr, simplify_kernel
+from repro.transform.regrid import (
+    GID_PARAM,
+    RegriddedKernel,
+    choose_geometry,
+    is_regriddable,
+    regrid_kernel,
+    regrid_workload,
+)
+from repro.transform.vectorize import Vectorization, analyze_vectorizability
+
+__all__ = [
+    "generate_kernel_module",
+    "generate_host_module",
+    "Vectorization",
+    "analyze_vectorizability",
+    "GID_PARAM",
+    "RegriddedKernel",
+    "is_regriddable",
+    "regrid_kernel",
+    "regrid_workload",
+    "choose_geometry",
+    "simplify_expr",
+    "simplify_kernel",
+]

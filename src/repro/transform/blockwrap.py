@@ -1,0 +1,68 @@
+"""GPU-block-to-CPU-function transformation (paper Listing 1 -> 2).
+
+Renders the CPU *kernel module*: the GPU kernel body wrapped in a
+function that takes the block index as a parameter and iterates the
+block's threads in a (SIMD-annotated) loop.  Execution in this repo is
+performed by the vectorized interpreter, which implements exactly these
+semantics; the generated C source is the human-readable contract, used by
+examples, docs and golden tests.
+"""
+
+from __future__ import annotations
+
+from repro.ir.printer import print_stmt
+from repro.ir.stmt import Kernel
+from repro.ir.types import PointerType
+from repro.transform.vectorize import Vectorization
+
+__all__ = ["generate_kernel_module"]
+
+
+def _param_sig(name: str, type_) -> str:
+    if isinstance(type_, PointerType):
+        return f"{type_.elem.name} *{name}"
+    return f"{type_.name} {name}"
+
+
+def generate_kernel_module(
+    kernel: Kernel, vect: Vectorization, block_dim_x: int | str = "block_dim_x"
+) -> str:
+    """Render the wrapped CPU block function as C source.
+
+    The thread loop covers ``threadIdx.x`` for a 1-D block (the display
+    form; the interpreter handles full 3-D blocks).  A ``return`` in the
+    CUDA source becomes ``continue`` in the thread loop — retiring one
+    thread, not the whole block.
+    """
+    sig = ", ".join(_param_sig(p.name, p.type) for p in kernel.params)
+    sep = ", " if sig else ""
+    lines = [
+        f"void {kernel.name}_block({sig}{sep}int block_idx_x, int block_dim_x,"
+        " int grid_dim_x) {",
+    ]
+    if vect.vectorizable:
+        lines.append("#pragma omp simd")
+    else:
+        lines.append(f"    /* not vectorized: {'; '.join(vect.reasons)} */")
+    lines.append(
+        f"    for (int thread_idx_x = 0; thread_idx_x < {block_dim_x}; "
+        "thread_idx_x++) {"
+    )
+    for s in kernel.body:
+        for line in print_stmt(s, 2):
+            lines.append(_rewrite_cuda_builtins(line))
+    lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _rewrite_cuda_builtins(line: str) -> str:
+    """Map CUDA builtins to the wrapped function's parameters/loop vars."""
+    out = (
+        line.replace("threadIdx.x", "thread_idx_x")
+        .replace("blockIdx.x", "block_idx_x")
+        .replace("blockDim.x", "block_dim_x")
+        .replace("gridDim.x", "grid_dim_x")
+    )
+    # a CUDA `return` retires one GPU thread -> skip to the next iteration
+    return out.replace("return;", "continue; /* thread retires */")

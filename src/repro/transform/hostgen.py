@@ -1,0 +1,118 @@
+"""Template-based CPU host-module generation (paper Figure 6).
+
+Generates the three-phase host code from the analysis metadata, mirroring
+the paper's template:
+
+1. *Partial Block Execution* — compute ``p_size`` from the grid size,
+   node count and tail-divergence metadata; execute this rank's block
+   range in an OpenMP-parallel loop;
+2. *Balanced-In-Place Allgather* — one MPI collective per communicated
+   buffer, sized by ``unit_size``;
+3. *Callback Block Execution* — every rank executes the remaining blocks.
+
+The emitted C source is documentation of what the runtime executes (the
+runtime and the generated code share the same plan arithmetic, which the
+test suite cross-checks).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metadata import KernelMetadata
+from repro.ir.stmt import Kernel
+from repro.ir.types import PointerType
+
+__all__ = ["generate_host_module"]
+
+
+def _mpi_type(elem_name: str) -> str:
+    return {
+        "char": "MPI_CHAR",
+        "uchar": "MPI_UNSIGNED_CHAR",
+        "short": "MPI_SHORT",
+        "ushort": "MPI_UNSIGNED_SHORT",
+        "int": "MPI_INT",
+        "uint": "MPI_UNSIGNED",
+        "long": "MPI_LONG_LONG",
+        "ulong": "MPI_UNSIGNED_LONG_LONG",
+        "float": "MPI_FLOAT",
+        "double": "MPI_DOUBLE",
+        "bool": "MPI_C_BOOL",
+    }.get(elem_name, "MPI_BYTE")
+
+
+def generate_host_module(kernel: Kernel, meta: KernelMetadata) -> str:
+    """Render the three-phase host launcher as C source."""
+    args = ", ".join(p.name for p in kernel.params)
+    sep = ", " if args else ""
+    sig = ", ".join(
+        (
+            f"{p.type.elem.name} *{p.name}"
+            if isinstance(p.type, PointerType)
+            else f"{p.type.name} {p.name}"
+        )
+        for p in kernel.params
+    )
+    lines = [
+        f"void {kernel.name}_launch({sig}{sep}int grid_dim_x, int block_dim_x,",
+        "                  int c_rank, int c_size) {",
+    ]
+    if not meta.distributable:
+        lines += [
+            "    /* not Allgather distributable: replicated execution",
+        ]
+        for r in meta.reasons:
+            lines.append(f"     *   - {r}")
+        lines += [
+            "     */",
+            "    #pragma omp parallel for",
+            "    for (int bid = 0; bid < grid_dim_x; bid++)",
+            f"        {kernel.name}_block({args}{sep}bid, block_dim_x, grid_dim_x);",
+            "}",
+        ]
+        return "\n".join(lines)
+
+    if meta.tail_divergent:
+        lines.append(
+            "    int full_blocks = cucc_resolve_tail_blocks(grid_dim_x, "
+            "block_dim_x);  /* tail_divergent: true */"
+        )
+    else:
+        lines.append(
+            "    int full_blocks = grid_dim_x;  /* tail_divergent: false */"
+        )
+    lines += [
+        "    int p_size = full_blocks / c_size;",
+        "",
+        "    /* phase 1: partial block execution */",
+        "    #pragma omp parallel for",
+        "    for (int bid = p_size * c_rank; bid < p_size * (c_rank + 1); bid++)",
+        f"        {kernel.name}_block({args}{sep}bid, block_dim_x, grid_dim_x);",
+        "",
+        "    /* phase 2: balanced in-place Allgather */",
+    ]
+    for buf in meta.mem_ptrs:
+        unit = meta.unit_elems[buf]
+        elem = meta.elem_sizes[buf]
+        mpi_t = _mpi_type(
+            next(
+                p.type.elem.name
+                for p in kernel.params
+                if p.name == buf and isinstance(p.type, PointerType)
+            )
+        )
+        lines.append(
+            f"    MPI_Allgather(MPI_IN_PLACE, 0, MPI_DATATYPE_NULL,"
+        )
+        lines.append(
+            f"                  {buf}, p_size * ({unit}) /* x{elem}B */, "
+            f"{mpi_t}, MPI_COMM_WORLD);"
+        )
+    lines += [
+        "",
+        "    /* phase 3: callback block execution (all ranks) */",
+        "    #pragma omp parallel for",
+        "    for (int bid = p_size * c_size; bid < grid_dim_x; bid++)",
+        f"        {kernel.name}_block({args}{sep}bid, block_dim_x, grid_dim_x);",
+        "}",
+    ]
+    return "\n".join(lines)

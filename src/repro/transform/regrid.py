@@ -1,0 +1,218 @@
+"""Workload redistribution: adjustable block sizes (paper section 8.3).
+
+The paper's first "future direction": GPU programs hard-code block sizes
+tuned for an SM's resources, so a migrated program with (say) 512 blocks
+cannot use the 768 cores of a 32-node cluster — and suggests compiler
+transformations that adjust GPU block workloads to the CPU's shape.
+
+This module implements that transformation for the (large, common) class
+of kernels whose dependence on launch geometry is *exclusively through
+the global linear thread id* ``blockIdx.x * blockDim.x + threadIdx.x``:
+
+* every occurrence of the canonical gid expression is rewritten to read
+  a fresh local computed from the **new** geometry;
+* the body is wrapped in a guard against the original logical thread
+  count (passed as an extra scalar parameter), so the logical iteration
+  space is preserved exactly;
+* kernels that use ``threadIdx``/``blockIdx``/``blockDim``/``gridDim``
+  outside that pattern, shared memory, or barriers are *not* regriddable
+  (block affinity matters to them) and are left untouched.
+
+Because each original logical thread maps to exactly one new thread and
+no intra-block state exists, the transformed kernel is observationally
+equivalent under any geometry covering the logical range — including
+geometries whose grid size is a multiple of the cluster's core count,
+which is what :func:`choose_geometry` targets (the paper's "at least
+C x T blocks" rule, section 8.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.ir.expr import BinOp, Expr, SReg, SRegKind, Var, const
+from repro.ir.stmt import AllocShared, Assign, If, Kernel, KernelParam, Stmt, SyncThreads
+from repro.ir.types import I32
+from repro.ir.visitor import contains, iter_exprs, map_expr
+from repro.ir.validate import validate_kernel
+
+__all__ = [
+    "GID_PARAM",
+    "RegriddedKernel",
+    "is_regriddable",
+    "regrid_kernel",
+    "choose_geometry",
+    "regrid_workload",
+]
+
+#: name of the injected logical-thread-count parameter
+GID_PARAM = "__logical_threads"
+_GID_VAR = "__gid"
+
+
+def _gid_forms() -> tuple[Expr, ...]:
+    """The canonical spellings of the global linear thread id."""
+    bid = SReg(SRegKind.CTAID_X)
+    bdim = SReg(SRegKind.NTID_X)
+    tid = SReg(SRegKind.TID_X)
+    prods = (BinOp("*", bid, bdim), BinOp("*", bdim, bid))
+    forms = []
+    for p in prods:
+        forms.append(BinOp("+", p, tid))
+        forms.append(BinOp("+", tid, p))
+    return tuple(forms)
+
+
+_FORMS = _gid_forms()
+
+
+def _rewrite_gid(e: Expr) -> Expr:
+    gid = Var(_GID_VAR, I32)
+
+    def visit(node: Expr) -> Expr | None:
+        return gid if node in _FORMS else None
+
+    return map_expr(e, visit)
+
+
+def _rewrite_body(body: list[Stmt]) -> list[Stmt]:
+    out: list[Stmt] = []
+    for s in body:
+        s = _rewrite_stmt(s)
+        out.append(s)
+    return out
+
+
+def _rewrite_stmt(s: Stmt) -> Stmt:
+    import dataclasses
+
+    kwargs = {}
+    for f in dataclasses.fields(s):
+        v = getattr(s, f.name)
+        if isinstance(v, Expr):
+            kwargs[f.name] = _rewrite_gid(v)
+        elif isinstance(v, list):
+            kwargs[f.name] = _rewrite_body(v)
+        else:
+            kwargs[f.name] = v
+    return dataclasses.replace(s, **kwargs)
+
+
+@dataclass(frozen=True)
+class RegriddedKernel:
+    """A geometry-independent rewrite of a kernel.
+
+    ``kernel`` has one extra trailing scalar parameter (:data:`GID_PARAM`)
+    that callers must bind to the *original* logical thread count
+    ``grid x block``.
+    """
+
+    kernel: Kernel
+    original_name: str
+
+
+def is_regriddable(kernel: Kernel) -> bool:
+    """Whether the kernel's geometry dependence is gid-only."""
+    if contains(kernel.body, AllocShared) or contains(kernel.body, SyncThreads):
+        return False
+    if any(p.name in (GID_PARAM, _GID_VAR) for p in kernel.params):
+        return False
+    rewritten = _rewrite_body(kernel.body)
+    return not any(isinstance(e, SReg) for e in iter_exprs(rewritten))
+
+
+def regrid_kernel(kernel: Kernel) -> RegriddedKernel | None:
+    """Rewrite a kernel to be launch-geometry independent, or ``None``.
+
+    The result computes ``__gid`` from the *launch* geometry and executes
+    the original body (with gid occurrences substituted) only for
+    ``__gid < __logical_threads``.
+    """
+    if not is_regriddable(kernel):
+        return None
+    rewritten = _rewrite_body(kernel.body)
+    gid_expr = BinOp(
+        "+",
+        BinOp("*", SReg(SRegKind.CTAID_X), SReg(SRegKind.NTID_X)),
+        SReg(SRegKind.TID_X),
+    )
+    logical = KernelParam(GID_PARAM, I32)
+    guarded: list[Stmt] = [
+        Assign(_GID_VAR, gid_expr, type=I32, declare=True),
+        If(
+            BinOp("<", Var(_GID_VAR, I32), _param_ref(logical)),
+            rewritten,
+            [],
+        ),
+    ]
+    new = Kernel(
+        name=f"{kernel.name}__regrid",
+        params=list(kernel.params) + [logical],
+        body=guarded,
+        source=kernel.source,
+    )
+    validate_kernel(new)
+    return RegriddedKernel(kernel=new, original_name=kernel.name)
+
+
+def _param_ref(p: KernelParam):
+    from repro.ir.expr import Param
+
+    return Param(p.name, p.type)
+
+
+def choose_geometry(
+    logical_threads: int,
+    total_cores: int,
+    min_block: int = 32,
+    max_block: int = 1024,
+) -> tuple[int, int]:
+    """Pick ``(grid, block)`` so the grid feeds every core (section 8.1).
+
+    Targets a grid of at least ``total_cores`` blocks (ideally close to a
+    small multiple of it) while keeping blocks within CUDA-legal sizes.
+    """
+    if logical_threads <= 0:
+        raise ValueError("logical_threads must be positive")
+    block = max(min_block, min(max_block, logical_threads // max(1, total_cores)))
+    grid = math.ceil(logical_threads / block)
+    if grid < total_cores and block > min_block:
+        block = max(min_block, logical_threads // total_cores or min_block)
+        grid = math.ceil(logical_threads / block)
+    return grid, block
+
+
+def regrid_workload(spec, total_cores: int):
+    """Redistribute a :class:`~repro.workloads.base.WorkloadSpec` for a
+    cluster with ``total_cores`` cores; returns a new spec or ``None``.
+
+    The rewritten spec computes exactly the same outputs (same reference,
+    same verification), only the launch geometry changes.
+    """
+    from dataclasses import replace as dc_replace
+
+    rg = regrid_kernel(spec.kernel)
+    if rg is None:
+        return None
+    logical = spec.num_blocks * _block_threads(spec.block)
+    grid, block = choose_geometry(logical, total_cores)
+    scalars = dict(spec.scalars)
+    scalars[GID_PARAM] = logical
+    return dc_replace(
+        spec,
+        name=f"{spec.name}+regrid",
+        kernel=rg.kernel,
+        grid=grid,
+        block=block,
+        scalars=scalars,
+    )
+
+
+def _block_threads(block) -> int:
+    if isinstance(block, tuple):
+        n = 1
+        for x in block:
+            n *= x
+        return n
+    return int(block)

@@ -1,0 +1,39 @@
+"""The paper's evaluation workloads and coverage kernel zoos.
+
+``PERF_WORKLOADS`` maps the eight performance-evaluation programs
+(section 7.2) to their builders; each builder takes ``size`` (``"small"``
+for tests, ``"paper"`` for benchmark-scale) and a seed, returning a
+:class:`~repro.workloads.base.WorkloadSpec`.
+"""
+
+from repro.workloads import (
+    binomial,
+    ep,
+    fir,
+    ga,
+    kmeans,
+    matmul,
+    nbody,
+    transpose,
+    vecadd,
+)
+from repro.workloads.base import SIZES, WorkloadSpec
+
+#: the eight programs of the performance evaluation (section 7.2)
+PERF_WORKLOADS = {
+    "NBody": nbody.build,
+    "MatMul": matmul.build,
+    "Transpose": transpose.build,
+    "FIR": fir.build,
+    "KMeans": kmeans.build,
+    "BinomialOption": binomial.build,
+    "EP": ep.build,
+    "GA": ga.build,
+}
+
+#: the Listing-1-style streaming kernel, kept for examples and tests
+#: (a pure memcpy cannot strong-scale over a 100 Gb/s network, so it is
+#: not one of the eight evaluated programs)
+EXTRA_WORKLOADS = {"VecAdd": vecadd.build}
+
+__all__ = ["PERF_WORKLOADS", "EXTRA_WORKLOADS", "WorkloadSpec", "SIZES"]

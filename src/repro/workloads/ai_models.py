@@ -1,0 +1,283 @@
+"""Triton-lowered AI kernel zoo: BERT and ViT (coverage Figure 7).
+
+Twenty-one kernels — 12 from a BERT encoder, 9 from a Vision Transformer
+— written the way Triton lowers them: one program instance (GPU block)
+per tile/row, hard-coded bound checks, regular writes, no inter-block
+communication.  The paper finds **all 21** Allgather distributable and
+attributes this to Triton's abstractions ("Triton does not support
+inter-block barriers, which encourages... regular memory access patterns
+that do not have data races between blocks").
+
+Reductions (layernorm, softmax, pooling) follow the per-block pattern:
+per-thread partials in shared memory, thread 0 combines, everyone reads
+the broadcast value — divergence is thread-symmetric, so condition 2 of
+the analysis holds.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.heteromark import ZooKernel
+
+__all__ = ["BERT_KERNELS", "VIT_KERNELS", "AI_KERNELS"]
+
+
+def _ok(app: str, name: str, source: str) -> ZooKernel:
+    return ZooKernel(app, name, source, True, "ok")
+
+
+_LAYERNORM_TMPL = """
+__global__ void {name}(const float *x, const float *gamma,
+                       const float *beta, float *y, int width, float eps) {{
+    __shared__ float partial[256];
+    __shared__ float stat[2];
+    int row = blockIdx.x;
+    int col = threadIdx.x;
+    float v = (col < width) ? x[row * width + col] : 0.0f;
+    partial[threadIdx.x] = v;
+    __syncthreads();
+    if (threadIdx.x == 0) {{
+        float s = 0.0f;
+        for (int t = 0; t < width; t++)
+            s += partial[t];
+        stat[0] = s / (float)width;
+    }}
+    __syncthreads();
+    float mean = stat[0];
+    partial[threadIdx.x] = (col < width) ? (v - mean) * (v - mean) : 0.0f;
+    __syncthreads();
+    if (threadIdx.x == 0) {{
+        float s = 0.0f;
+        for (int t = 0; t < width; t++)
+            s += partial[t];
+        stat[1] = rsqrtf(s / (float)width + eps);
+    }}
+    __syncthreads();
+    if (col < width) {{
+        y[row * width + col] = (v - mean) * stat[1] * gamma[col] + beta[col];
+    }}
+}}
+"""
+
+_SOFTMAX_TMPL = """
+__global__ void {name}(const float *scores, float *probs, int width) {{
+    __shared__ float partial[256];
+    __shared__ float stat[2];
+    int row = blockIdx.x;
+    int col = threadIdx.x;
+    float v = (col < width) ? scores[row * width + col] : -3.4e38f;
+    partial[threadIdx.x] = v;
+    __syncthreads();
+    if (threadIdx.x == 0) {{
+        float m = -3.4e38f;
+        for (int t = 0; t < width; t++)
+            m = fmaxf(m, partial[t]);
+        stat[0] = m;
+    }}
+    __syncthreads();
+    float e = (col < width) ? expf(v - stat[0]) : 0.0f;
+    partial[threadIdx.x] = e;
+    __syncthreads();
+    if (threadIdx.x == 0) {{
+        float s = 0.0f;
+        for (int t = 0; t < width; t++)
+            s += partial[t];
+        stat[1] = s;
+    }}
+    __syncthreads();
+    if (col < width) {{
+        probs[row * width + col] = e / stat[1];
+    }}
+}}
+"""
+
+_GEMM_ROW_TMPL = """
+__global__ void {name}(const float *a, const float *b, const float *bias,
+                       float *c, int n, int k) {{
+    int row = blockIdx.x;
+    int col = threadIdx.x;
+    if (col < n) {{
+        float acc = bias[col];
+        for (int i = 0; i < k; i++)
+            acc += a[row * k + i] * b[i * n + col];
+        c[row * n + col] = acc;
+    }}
+}}
+"""
+
+_EWISE_GELU_TMPL = """
+__global__ void {name}(const float *x, float *y, int n) {{
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n) {{
+        float v = x[gid];
+        y[gid] = 0.5f * v * (1.0f + erff(v * 0.70710678f));
+    }}
+}}
+"""
+
+_RESIDUAL_TMPL = """
+__global__ void {name}(const float *x, const float *residual, float *y,
+                       int n) {{
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n)
+        y[gid] = x[gid] + residual[gid];
+}}
+"""
+
+BERT_KERNELS: tuple[ZooKernel, ...] = (
+    _ok(
+        "BERT",
+        "bert_embed_lookup",
+        """
+__global__ void bert_embed_lookup(const int *token_ids, const float *table,
+                                  float *out, int hidden, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n) {
+        int tok = token_ids[gid / hidden];
+        out[gid] = table[tok * hidden + gid % hidden];
+    }
+}
+""",
+    ),
+    _ok(
+        "BERT",
+        "bert_pos_embed_add",
+        """
+__global__ void bert_pos_embed_add(const float *x, const float *pos,
+                                   float *y, int hidden, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n)
+        y[gid] = x[gid] + pos[gid % hidden];
+}
+""",
+    ),
+    _ok("BERT", "bert_layernorm", _LAYERNORM_TMPL.format(name="bert_layernorm")),
+    _ok("BERT", "bert_qkv_proj", _GEMM_ROW_TMPL.format(name="bert_qkv_proj")),
+    _ok(
+        "BERT",
+        "bert_attn_scores",
+        """
+__global__ void bert_attn_scores(const float *q, const float *k_mat,
+                                 float *scores, int seq, int dim,
+                                 float scale) {
+    int row = blockIdx.x;
+    int col = threadIdx.x;
+    if (col < seq) {
+        float acc = 0.0f;
+        for (int i = 0; i < dim; i++)
+            acc += q[row * dim + i] * k_mat[col * dim + i];
+        scores[row * seq + col] = acc * scale;
+    }
+}
+""",
+    ),
+    _ok("BERT", "bert_softmax", _SOFTMAX_TMPL.format(name="bert_softmax")),
+    _ok(
+        "BERT",
+        "bert_attn_apply",
+        """
+__global__ void bert_attn_apply(const float *probs, const float *v,
+                                float *out, int seq, int dim) {
+    int row = blockIdx.x;
+    int col = threadIdx.x;
+    if (col < dim) {
+        float acc = 0.0f;
+        for (int t = 0; t < seq; t++)
+            acc += probs[row * seq + t] * v[t * dim + col];
+        out[row * dim + col] = acc;
+    }
+}
+""",
+    ),
+    _ok("BERT", "bert_attn_out_proj", _GEMM_ROW_TMPL.format(name="bert_attn_out_proj")),
+    _ok("BERT", "bert_residual_add", _RESIDUAL_TMPL.format(name="bert_residual_add")),
+    _ok("BERT", "bert_ffn_gemm", _GEMM_ROW_TMPL.format(name="bert_ffn_gemm")),
+    _ok("BERT", "bert_gelu", _EWISE_GELU_TMPL.format(name="bert_gelu")),
+    _ok(
+        "BERT",
+        "bert_pooler_tanh",
+        """
+__global__ void bert_pooler_tanh(const float *x, float *y, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n)
+        y[gid] = tanhf(x[gid]);
+}
+""",
+    ),
+)
+
+VIT_KERNELS: tuple[ZooKernel, ...] = (
+    _ok(
+        "ViT",
+        "vit_patch_embed",
+        """
+__global__ void vit_patch_embed(const float *pixels, const float *proj,
+                                float *tokens, int patch_elems, int hidden) {
+    int patch = blockIdx.x;
+    int col = threadIdx.x;
+    if (col < hidden) {
+        float acc = 0.0f;
+        for (int i = 0; i < patch_elems; i++)
+            acc += pixels[patch * patch_elems + i] * proj[i * hidden + col];
+        tokens[patch * hidden + col] = acc;
+    }
+}
+""",
+    ),
+    _ok(
+        "ViT",
+        "vit_cls_pos_add",
+        """
+__global__ void vit_cls_pos_add(const float *tokens, const float *pos,
+                                float *y, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n)
+        y[gid] = tokens[gid] + pos[gid];
+}
+""",
+    ),
+    _ok("ViT", "vit_layernorm", _LAYERNORM_TMPL.format(name="vit_layernorm")),
+    _ok(
+        "ViT",
+        "vit_attn_scores",
+        """
+__global__ void vit_attn_scores(const float *q, const float *k_mat,
+                                float *scores, int seq, int dim,
+                                float scale) {
+    int row = blockIdx.x;
+    int col = threadIdx.x;
+    if (col < seq) {
+        float acc = 0.0f;
+        for (int i = 0; i < dim; i++)
+            acc += q[row * dim + i] * k_mat[col * dim + i];
+        scores[row * seq + col] = acc * scale;
+    }
+}
+""",
+    ),
+    _ok("ViT", "vit_softmax", _SOFTMAX_TMPL.format(name="vit_softmax")),
+    _ok("ViT", "vit_mlp_gemm", _GEMM_ROW_TMPL.format(name="vit_mlp_gemm")),
+    _ok("ViT", "vit_gelu", _EWISE_GELU_TMPL.format(name="vit_gelu")),
+    _ok("ViT", "vit_residual", _RESIDUAL_TMPL.format(name="vit_residual")),
+    _ok(
+        "ViT",
+        "vit_head_pool",
+        """
+__global__ void vit_head_pool(const float *tokens, float *pooled,
+                              int ntokens, int hidden) {
+    int feat = blockIdx.x * blockDim.x + threadIdx.x;
+    if (feat < hidden) {
+        float acc = 0.0f;
+        for (int t = 0; t < ntokens; t++)
+            acc += tokens[t * hidden + feat];
+        pooled[feat] = acc / (float)ntokens;
+    }
+}
+""",
+    ),
+)
+
+AI_KERNELS: tuple[ZooKernel, ...] = BERT_KERNELS + VIT_KERNELS
+
+assert len(BERT_KERNELS) == 12
+assert len(VIT_KERNELS) == 9
+assert len(AI_KERNELS) == 21

@@ -1,0 +1,97 @@
+"""Workload abstraction shared by tests and benchmarks.
+
+A :class:`WorkloadSpec` packages a kernel with concrete launch geometry,
+input data, scalar arguments, and a NumPy reference implementation — one
+instance per (workload, size) pair.  Runner helpers execute a spec on the
+CuCC cluster runtime, the GPU model, the PGAS baseline, or a single CPU,
+returning the simulated time; ``verify`` compares every declared output
+against the reference.
+
+Size presets: ``"small"`` keeps interpreter wall time in the millisecond
+range for unit tests; ``"paper"`` uses evaluation-scale problems for the
+benchmark harness (sized so the paper's qualitative shapes emerge from
+the performance model).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.ir.stmt import Kernel
+
+__all__ = ["WorkloadSpec", "SIZES"]
+
+SIZES = ("small", "paper")
+
+
+@dataclass
+class WorkloadSpec:
+    """One concrete, runnable workload instance."""
+
+    name: str
+    kernel: Kernel
+    grid: int | tuple[int, ...]
+    block: int | tuple[int, ...]
+    #: pointer-param name -> initial host array (outputs usually zeroed)
+    arrays: dict[str, np.ndarray]
+    #: scalar-param name -> value
+    scalars: dict[str, object] = field(default_factory=dict)
+    #: pointer params whose final contents are checked
+    outputs: tuple[str, ...] = ()
+    #: output param -> expected array
+    reference: dict[str, np.ndarray] = field(default_factory=dict)
+    rtol: float = 1e-5
+    atol: float = 1e-6
+    #: paper-documented structural facts, asserted by tests
+    expect_distributable: bool = True
+    expect_vectorizable: bool = True
+
+    @property
+    def num_blocks(self) -> int:
+        g = self.grid
+        if isinstance(g, tuple):
+            n = 1
+            for x in g:
+                n *= x
+            return n
+        return int(g)
+
+    def args(self) -> dict[str, object]:
+        """Launch args mapping param name -> buffer name (same) or scalar."""
+        out: dict[str, object] = {n: n for n in self.arrays}
+        out.update(self.scalars)
+        return out
+
+    def verify(self, results: dict[str, np.ndarray]) -> None:
+        """Compare produced outputs against the reference; raise on error."""
+        for name in self.outputs:
+            got = results[name]
+            want = self.reference[name]
+            if got.dtype != want.dtype:
+                raise ReproError(
+                    f"{self.name}: output {name!r} dtype {got.dtype} != "
+                    f"{want.dtype}"
+                )
+            if np.issubdtype(got.dtype, np.floating):
+                ok = np.allclose(got, want, rtol=self.rtol, atol=self.atol)
+            else:
+                ok = np.array_equal(got, want)
+            if not ok:
+                bad = np.flatnonzero(
+                    ~np.isclose(got, want, rtol=self.rtol, atol=self.atol)
+                    if np.issubdtype(got.dtype, np.floating)
+                    else got != want
+                )
+                raise ReproError(
+                    f"{self.name}: output {name!r} mismatches reference at "
+                    f"{bad.size}/{got.size} elements (first at {int(bad[0])}: "
+                    f"got {got[bad[0]]!r}, want {want[bad[0]]!r})"
+                )
+
+    @property
+    def total_output_bytes(self) -> int:
+        return sum(self.arrays[o].nbytes for o in self.outputs)

@@ -1,0 +1,291 @@
+"""A composed application: one BERT encoder layer on a CPU cluster.
+
+The coverage zoo (:mod:`repro.workloads.ai_models`) shows that every
+kernel of a Triton-lowered BERT is Allgather distributable; this module
+*runs* them — a single-head encoder layer assembled from eleven kernel
+launches (QKV projections, attention scores, softmax, context, output
+projection, residuals, layernorms, the GELU feed-forward block), chained
+through the CuCC runtime so that every intermediate buffer's replication
+invariant is restored by the three-phase workflow before the next kernel
+consumes it.
+
+A NumPy forward pass (:func:`reference_forward`) provides the oracle;
+:class:`BertLayer` executes on any backend exposing the compile/launch/
+memory interface (the CuCC cluster runtime or the GPU device via the
+:class:`GPUAdapter`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.gpu_exec import GPUDevice
+from repro.frontend.parser import parse_kernel
+from repro.runtime.cucc import CuCCRuntime
+from repro.workloads.ai_models import (
+    _EWISE_GELU_TMPL,
+    _GEMM_ROW_TMPL,
+    _LAYERNORM_TMPL,
+    _RESIDUAL_TMPL,
+    _SOFTMAX_TMPL,
+)
+
+__all__ = ["BertWeights", "BertLayer", "reference_forward", "GPUAdapter"]
+
+_ATTN_SCORES_SRC = """
+__global__ void attn_scores(const float *q, const float *k_mat,
+                            float *scores, int seq, int dim, float scale) {
+    int row = blockIdx.x;
+    int col = threadIdx.x;
+    if (col < seq) {
+        float acc = 0.0f;
+        for (int i = 0; i < dim; i++)
+            acc += q[row * dim + i] * k_mat[col * dim + i];
+        scores[row * seq + col] = acc * scale;
+    }
+}
+"""
+
+_ATTN_APPLY_SRC = """
+__global__ void attn_apply(const float *probs, const float *v, float *out,
+                           int seq, int dim) {
+    int row = blockIdx.x;
+    int col = threadIdx.x;
+    if (col < dim) {
+        float acc = 0.0f;
+        for (int t = 0; t < seq; t++)
+            acc += probs[row * seq + t] * v[t * dim + col];
+        out[row * dim + col] = acc;
+    }
+}
+"""
+
+
+@dataclass
+class BertWeights:
+    """Random-initialized single-head encoder-layer weights."""
+
+    hidden: int
+    ffn: int
+    wq: np.ndarray
+    wk: np.ndarray
+    wv: np.ndarray
+    wo: np.ndarray
+    w1: np.ndarray
+    w2: np.ndarray
+    bq: np.ndarray
+    bk: np.ndarray
+    bv: np.ndarray
+    bo: np.ndarray
+    b1: np.ndarray
+    b2: np.ndarray
+    ln1_g: np.ndarray
+    ln1_b: np.ndarray
+    ln2_g: np.ndarray
+    ln2_b: np.ndarray
+
+    @staticmethod
+    def create(hidden: int, ffn: int, seed: int = 0) -> "BertWeights":
+        rng = np.random.default_rng(seed)
+
+        def w(r, c):
+            return (rng.standard_normal((r, c)) / math.sqrt(r)).astype(
+                np.float32
+            )
+
+        def b(n):
+            return (0.01 * rng.standard_normal(n)).astype(np.float32)
+
+        return BertWeights(
+            hidden=hidden,
+            ffn=ffn,
+            wq=w(hidden, hidden), wk=w(hidden, hidden), wv=w(hidden, hidden),
+            wo=w(hidden, hidden), w1=w(hidden, ffn), w2=w(ffn, hidden),
+            bq=b(hidden), bk=b(hidden), bv=b(hidden), bo=b(hidden),
+            b1=b(ffn), b2=b(hidden),
+            ln1_g=(1.0 + 0.01 * rng.standard_normal(hidden)).astype(np.float32),
+            ln1_b=b(hidden),
+            ln2_g=(1.0 + 0.01 * rng.standard_normal(hidden)).astype(np.float32),
+            ln2_b=b(hidden),
+        )
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    from scipy.special import erf
+
+    return (0.5 * x * (1.0 + erf(x * np.float32(0.70710678)))).astype(
+        np.float32
+    )
+
+
+def _layernorm(x, gamma, beta, eps=1e-5):
+    mu = x.mean(axis=1, keepdims=True, dtype=np.float32)
+    var = ((x - mu) ** 2).mean(axis=1, keepdims=True, dtype=np.float32)
+    return ((x - mu) / np.sqrt(var + np.float32(eps)) * gamma + beta).astype(
+        np.float32
+    )
+
+
+def reference_forward(tokens: np.ndarray, w: BertWeights) -> np.ndarray:
+    """NumPy oracle for the encoder layer (single attention head)."""
+    seq, hidden = tokens.shape
+    q = tokens @ w.wq + w.bq
+    k = tokens @ w.wk + w.bk
+    v = tokens @ w.wv + w.bv
+    scores = (q @ k.T) * np.float32(1.0 / math.sqrt(hidden))
+    scores = scores - scores.max(axis=1, keepdims=True)
+    probs = np.exp(scores)
+    probs /= probs.sum(axis=1, keepdims=True)
+    ctx = probs @ v
+    attn_out = ctx @ w.wo + w.bo
+    x = _layernorm(tokens + attn_out.astype(np.float32), w.ln1_g, w.ln1_b)
+    h = _gelu((x @ w.w1 + w.b1).astype(np.float32))
+    ffn_out = h @ w.w2 + w.b2
+    return _layernorm(x + ffn_out.astype(np.float32), w.ln2_g, w.ln2_b)
+
+
+class GPUAdapter:
+    """Adapts :class:`GPUDevice` to the runtime interface BertLayer uses."""
+
+    def __init__(self, device: GPUDevice):
+        self.device = device
+        self.memory = self  # alloc/memcpy live on the device itself
+
+    def compile(self, kernel):
+        return kernel
+
+    def launch(self, kernel, grid, block, args):
+        return self.device.launch(kernel, grid, block, args)
+
+    # memory facade ------------------------------------------------------
+    def alloc(self, name, size, dtype):
+        return self.device.alloc(name, size, dtype)
+
+    def memcpy_h2d(self, name, host):
+        return self.device.memcpy_h2d(name, host)
+
+    def memcpy_d2h(self, name, check_consistency: bool = False):
+        return self.device.memcpy_d2h(name)
+
+
+class BertLayer:
+    """Executable encoder layer over a CuCC runtime (or GPU adapter)."""
+
+    def __init__(self, runtime: CuCCRuntime | GPUAdapter, seq: int,
+                 weights: BertWeights):
+        if weights.hidden > 256 or weights.ffn > 256 or seq > 256:
+            raise ValueError(
+                "dimensions must fit the zoo kernels' 256-slot reduction "
+                "scratch (seq, hidden, ffn <= 256)"
+            )
+        self.rt = runtime
+        self.seq = seq
+        self.w = weights
+        self.kernels = {
+            "gemm": parse_kernel(_GEMM_ROW_TMPL.format(name="bert_gemm_row")),
+            "scores": parse_kernel(_ATTN_SCORES_SRC),
+            "softmax": parse_kernel(_SOFTMAX_TMPL.format(name="bert_softmax")),
+            "apply": parse_kernel(_ATTN_APPLY_SRC),
+            "residual": parse_kernel(
+                _RESIDUAL_TMPL.format(name="bert_residual")
+            ),
+            "layernorm": parse_kernel(
+                _LAYERNORM_TMPL.format(name="bert_layernorm")
+            ),
+            "gelu": parse_kernel(_EWISE_GELU_TMPL.format(name="bert_gelu")),
+        }
+        self.compiled = {k: self.rt.compile(v) for k, v in self.kernels.items()}
+        self._upload_weights()
+
+    # -- device memory -----------------------------------------------------
+    def _upload_weights(self) -> None:
+        w, seq, hidden, ffn = self.w, self.seq, self.w.hidden, self.w.ffn
+        mats = {
+            "wq": w.wq, "wk": w.wk, "wv": w.wv, "wo": w.wo,
+            "w1": w.w1, "w2": w.w2,
+        }
+        vecs = {
+            "bq": w.bq, "bk": w.bk, "bv": w.bv, "bo": w.bo, "b1": w.b1,
+            "b2": w.b2, "ln1_g": w.ln1_g, "ln1_b": w.ln1_b,
+            "ln2_g": w.ln2_g, "ln2_b": w.ln2_b,
+        }
+        for name, m in mats.items():
+            self.rt.memory.alloc(name, m.size, np.float32)
+            self.rt.memory.memcpy_h2d(name, m.reshape(-1))
+        for name, v in vecs.items():
+            self.rt.memory.alloc(name, v.size, np.float32)
+            self.rt.memory.memcpy_h2d(name, v)
+        for name, size in (
+            ("tokens", seq * hidden), ("q", seq * hidden), ("k", seq * hidden),
+            ("v", seq * hidden), ("scores", seq * seq), ("probs", seq * seq),
+            ("ctx", seq * hidden), ("attn_out", seq * hidden),
+            ("x1", seq * hidden), ("ln1", seq * hidden), ("ffn_h", seq * ffn),
+            ("gelu_h", seq * ffn), ("ffn_out", seq * hidden),
+            ("x2", seq * hidden), ("out", seq * hidden),
+        ):
+            self.rt.memory.alloc(name, size, np.float32)
+
+    # -- launches ------------------------------------------------------------
+    def _gemm(self, a, b, bias, c, n, k):
+        self.rt.launch(
+            self.compiled["gemm"], self.seq, max(32, n),
+            {"a": a, "b": b, "bias": bias, "c": c, "n": n, "k": k},
+        )
+
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        """Run the layer; returns the output and leaves buffers filled."""
+        seq, hidden, ffn = self.seq, self.w.hidden, self.w.ffn
+        if tokens.shape != (seq, hidden):
+            raise ValueError(f"tokens must be {(seq, hidden)}")
+        rt = self.rt
+        rt.memory.memcpy_h2d("tokens", tokens.astype(np.float32).reshape(-1))
+
+        self._gemm("tokens", "wq", "bq", "q", hidden, hidden)
+        self._gemm("tokens", "wk", "bk", "k", hidden, hidden)
+        self._gemm("tokens", "wv", "bv", "v", hidden, hidden)
+        rt.launch(
+            self.compiled["scores"], seq, max(32, seq),
+            {"q": "q", "k_mat": "k", "scores": "scores", "seq": seq,
+             "dim": hidden,
+             "scale": np.float32(1.0 / math.sqrt(hidden))},
+        )
+        rt.launch(
+            self.compiled["softmax"], seq, max(32, seq),
+            {"scores": "scores", "probs": "probs", "width": seq},
+        )
+        rt.launch(
+            self.compiled["apply"], seq, max(32, hidden),
+            {"probs": "probs", "v": "v", "out": "ctx", "seq": seq,
+             "dim": hidden},
+        )
+        self._gemm("ctx", "wo", "bo", "attn_out", hidden, hidden)
+        rt.launch(
+            self.compiled["residual"], -(-seq * hidden // 256), 256,
+            {"x": "attn_out", "residual": "tokens", "y": "x1",
+             "n": seq * hidden},
+        )
+        rt.launch(
+            self.compiled["layernorm"], seq, max(32, hidden),
+            {"x": "x1", "gamma": "ln1_g", "beta": "ln1_b", "y": "ln1",
+             "width": hidden, "eps": np.float32(1e-5)},
+        )
+        self._gemm("ln1", "w1", "b1", "ffn_h", ffn, hidden)
+        rt.launch(
+            self.compiled["gelu"], -(-seq * ffn // 256), 256,
+            {"x": "ffn_h", "y": "gelu_h", "n": seq * ffn},
+        )
+        self._gemm("gelu_h", "w2", "b2", "ffn_out", hidden, ffn)
+        rt.launch(
+            self.compiled["residual"], -(-seq * hidden // 256), 256,
+            {"x": "ffn_out", "residual": "ln1", "y": "x2", "n": seq * hidden},
+        )
+        rt.launch(
+            self.compiled["layernorm"], seq, max(32, hidden),
+            {"x": "x2", "gamma": "ln2_g", "beta": "ln2_b", "y": "out",
+             "width": hidden, "eps": np.float32(1e-5)},
+        )
+        flat = rt.memory.memcpy_d2h("out", check_consistency=True)
+        return flat.reshape(seq, hidden)

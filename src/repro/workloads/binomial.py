@@ -1,0 +1,123 @@
+"""BinomialOption: the paper's barrier-phased, thread-parallel workload.
+
+One GPU block prices one American-style option on a binomial lattice
+held in shared memory; each backward-induction step is separated by
+``__syncthreads()``, and only thread 0 writes the block's scalar result
+to global memory (sections 7.3 / 7.4.1 / 8.2):
+
+* the ``threadIdx.x == 0`` store is *thread-symmetric* — every block
+  writes exactly one element, so the kernel is Allgather distributable
+  with ``unit_size`` = 1 element;
+* the barrier inside the sequential step loop defeats SIMD vectorization
+  on CPUs ("loop dependencies that cannot be parallelized with SIMD");
+* its 1024 independent blocks are ideal for thread-level parallelism,
+  which is why the Thread-Focused cluster shines on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.frontend.parser import parse_kernel
+from repro.workloads.base import WorkloadSpec
+
+__all__ = ["build", "CUDA_SOURCE", "PAPER_GRID_BLOCKS"]
+
+PAPER_GRID_BLOCKS = 1024  # section 8.2: "BinomialOption contains 1024 GPU blocks"
+
+CUDA_SOURCE = """
+__global__ void binomial_option(const float *spot, const float *strike,
+                                float *value, int steps, float up,
+                                float down, float pu, float pd, float disc) {
+    __shared__ float lattice[257];
+    int tid = threadIdx.x;
+    int opt = blockIdx.x;
+    if (tid <= steps) {
+        float price = spot[opt];
+        for (int i = 0; i < steps; i++) {
+            price = price * ((i < tid) ? up : down);
+        }
+        lattice[tid] = fmaxf(price - strike[opt], 0.0f);
+    }
+    __syncthreads();
+    for (int t = steps; t > 0; t--) {
+        if (tid < t) {
+            lattice[tid] = disc * (pu * lattice[tid + 1] + pd * lattice[tid]);
+        }
+        __syncthreads();
+    }
+    if (tid == 0) {
+        value[opt] = lattice[0];
+    }
+}
+"""
+
+_SIZES = {
+    "small": dict(options=24, steps=31, block=32),
+    "paper": dict(options=PAPER_GRID_BLOCKS, steps=255, block=256),
+}
+
+
+def _reference(spot, strike, steps, up, down, pu, pd, disc) -> np.ndarray:
+    n = spot.shape[0]
+    out = np.zeros(n, dtype=np.float32)
+    tids = np.arange(steps + 1, dtype=np.int64)
+    for o in range(n):
+        # leaf prices: same fp order as the kernel (repeated multiply)
+        price = np.full(steps + 1, spot[o], dtype=np.float32)
+        for i in range(steps):
+            price = price * np.where(i < tids, np.float32(up), np.float32(down))
+        lattice = np.maximum(price - strike[o], np.float32(0.0)).astype(np.float32)
+        for t in range(steps, 0, -1):
+            lattice[:t] = (
+                np.float32(disc)
+                * (np.float32(pu) * lattice[1 : t + 1] + np.float32(pd) * lattice[:t])
+            ).astype(np.float32)
+        out[o] = lattice[0]
+    return out
+
+
+def build(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    if size not in _SIZES:
+        raise ReproError(f"unknown size {size!r}")
+    p = _SIZES[size]
+    options, steps, block = p["options"], p["steps"], p["block"]
+    if steps >= block:
+        raise ReproError("lattice must fit in one block (steps < blockDim)")
+    rng = np.random.default_rng(seed)
+    spot = (90.0 + 20.0 * rng.random(options)).astype(np.float32)
+    strike = (90.0 + 20.0 * rng.random(options)).astype(np.float32)
+    vol, rate, tmat = 0.25, 0.02, 1.0
+    dt = tmat / steps
+    up = float(np.exp(vol * np.sqrt(dt)))
+    down = 1.0 / up
+    growth = float(np.exp(rate * dt))
+    pu = (growth - down) / (up - down)
+    pd = 1.0 - pu
+    disc = 1.0 / growth
+    ref = _reference(spot, strike, steps, up, down, pu, pd, disc)
+    return WorkloadSpec(
+        name="BinomialOption",
+        kernel=parse_kernel(CUDA_SOURCE),
+        grid=options,
+        block=block,
+        arrays={
+            "spot": spot,
+            "strike": strike,
+            "value": np.zeros(options, dtype=np.float32),
+        },
+        scalars={
+            "steps": steps,
+            "up": np.float32(up),
+            "down": np.float32(down),
+            "pu": np.float32(pu),
+            "pd": np.float32(pd),
+            "disc": np.float32(disc),
+        },
+        outputs=("value",),
+        reference={"value": ref},
+        rtol=5e-4,
+        atol=5e-4,
+        expect_vectorizable=False,  # barrier inside the step loop
+    )

@@ -1,0 +1,94 @@
+"""EP (Evolutionary Programming): scalar-bound random-search workload.
+
+Each thread evolves an independent candidate with an LCG random stream;
+the mutation step uses rejection sampling (a data-dependent ``while``),
+which makes the per-thread control flow impossible to vectorize — the
+paper's "for-loops that cannot be optimized with SIMD instructions"
+case (section 7.4.1).  With only 512 GPU blocks, large CPU clusters also
+run out of thread-level parallelism, so GPUs win on this workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.frontend.parser import parse_kernel
+from repro.workloads.base import WorkloadSpec
+
+__all__ = ["build", "CUDA_SOURCE", "PAPER_GRID_BLOCKS"]
+
+PAPER_GRID_BLOCKS = 512  # section 7.4.1: "EP: 512 [blocks]"
+
+# LCG constants (numerical recipes); the modulus is 2^32 via uint wraparound.
+CUDA_SOURCE = """
+__global__ void ep_evolve(const float *genome, float *fitness, int rounds,
+                          int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid >= n) return;
+    uint state = (uint)gid * 2654435761u + 974711u;
+    float best = genome[gid];
+    for (int r = 0; r < rounds; r++) {
+        state = state * 1664525u + 1013904223u;
+        float u = (float)(state >> 8) * 5.9604645e-8f;
+        while (u > 0.98f) {
+            state = state * 1664525u + 1013904223u;
+            u = (float)(state >> 8) * 5.9604645e-8f;
+        }
+        float cand = best + (u - 0.5f) * 0.1f;
+        float score = cand * cand - cand;
+        float cur = best * best - best;
+        best = (score < cur) ? cand : best;
+    }
+    fitness[gid] = best;
+}
+"""
+
+_SIZES = {
+    "small": dict(blocks=16, block=32, rounds=20),
+    "paper": dict(blocks=PAPER_GRID_BLOCKS, block=256, rounds=256),
+}
+
+
+def _reference(genome: np.ndarray, rounds: int) -> np.ndarray:
+    n = genome.shape[0]
+    state = (np.arange(n, dtype=np.uint64) * 2654435761 + 974711) % (1 << 32)
+    best = genome.astype(np.float32).copy()
+    for _ in range(rounds):
+        state = (state * 1664525 + 1013904223) % (1 << 32)
+        u = ((state >> 8).astype(np.float32)) * np.float32(5.9604645e-8)
+        redo = u > np.float32(0.98)
+        while redo.any():
+            nxt = (state * 1664525 + 1013904223) % (1 << 32)
+            state = np.where(redo, nxt, state)
+            u2 = ((state >> 8).astype(np.float32)) * np.float32(5.9604645e-8)
+            u = np.where(redo, u2, u)
+            redo = redo & (u > np.float32(0.98))
+        cand = (best + (u - np.float32(0.5)) * np.float32(0.1)).astype(np.float32)
+        score = (cand * cand - cand).astype(np.float32)
+        cur = (best * best - best).astype(np.float32)
+        best = np.where(score < cur, cand, best)
+    return best
+
+
+def build(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    if size not in _SIZES:
+        raise ReproError(f"unknown size {size!r}")
+    p = _SIZES[size]
+    blocks, block, rounds = p["blocks"], p["block"], p["rounds"]
+    n = blocks * block - block // 4  # partially-filled tail block
+    rng = np.random.default_rng(seed)
+    genome = rng.standard_normal(n).astype(np.float32)
+    return WorkloadSpec(
+        name="EP",
+        kernel=parse_kernel(CUDA_SOURCE),
+        grid=blocks,
+        block=block,
+        arrays={"genome": genome, "fitness": np.zeros(n, dtype=np.float32)},
+        scalars={"rounds": rounds, "n": n},
+        outputs=("fitness",),
+        reference={"fitness": _reference(genome, rounds)},
+        rtol=1e-5,
+        atol=1e-5,
+        expect_vectorizable=False,  # rejection-sampling while loop
+    )

@@ -1,0 +1,68 @@
+"""FIR filter: the paper's compute-heavy near-linear scaler.
+
+Each thread accumulates a long dot product over the tap window and
+writes a single scalar result ("the computed results are scalars, making
+FIR computation-intensive with minimal memory access overhead",
+section 7.2) — the best-case compute-to-communication ratio for CPU
+cluster execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.frontend.parser import parse_kernel
+from repro.workloads.base import WorkloadSpec
+
+__all__ = ["build", "CUDA_SOURCE"]
+
+CUDA_SOURCE = """
+__global__ void fir(const float *input, const float *coeff, float *output,
+                    int num_taps, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid >= n) return;
+    float sum = 0.0f;
+    for (int i = 0; i < num_taps; i++) {
+        sum += coeff[i] * input[gid + i];
+    }
+    output[gid] = sum;
+}
+"""
+
+_SIZES = {
+    "small": dict(n=2000, taps=32, block=256),  # partial tail block
+    "paper": dict(n=1 << 18, taps=4096, block=256),
+}
+
+
+def build(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    if size not in _SIZES:
+        raise ReproError(f"unknown size {size!r}")
+    p = _SIZES[size]
+    n, taps, block = p["n"], p["taps"], p["block"]
+    rng = np.random.default_rng(seed)
+    inp = rng.standard_normal(n + taps).astype(np.float32)
+    coeff = (rng.standard_normal(taps) / taps).astype(np.float32)
+    # float32 reference with the kernel's accumulation order
+    ref = np.zeros(n, dtype=np.float32)
+    acc = np.zeros(n, dtype=np.float32)
+    for i in range(taps):
+        acc += coeff[i] * inp[i : i + n]
+    ref[:] = acc
+    return WorkloadSpec(
+        name="FIR",
+        kernel=parse_kernel(CUDA_SOURCE),
+        grid=-(-n // block),
+        block=block,
+        arrays={
+            "input": inp,
+            "coeff": coeff,
+            "output": np.zeros(n, dtype=np.float32),
+        },
+        scalars={"num_taps": taps, "n": n},
+        outputs=("output",),
+        reference={"output": ref},
+        rtol=2e-3,  # float32 accumulation over thousands of taps
+        atol=2e-3,
+    )

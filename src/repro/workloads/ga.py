@@ -1,0 +1,106 @@
+"""GA (Gene Alignment): substring scanning with early exit.
+
+Each thread scans a window of candidate positions in the target sequence
+for the query pattern, bailing out of the inner comparison at the first
+mismatch (``break``) — per-thread control flow that defeats SIMD
+vectorization (section 7.4.1).  Per-thread counts are reduced in shared
+memory and only thread 0 writes the block's match count, so the kernel
+communicates one scalar per block; this is why the paper finds GA's PGAS
+migration nearly matches CuCC ("remote memory access occurs only when
+specific target gene sequences are found... which happens infrequently",
+section 7.3).  With only 256 blocks, large CPU clusters under-utilize
+their cores and GPUs win.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.frontend.parser import parse_kernel
+from repro.workloads.base import WorkloadSpec
+
+__all__ = ["build", "CUDA_SOURCE", "PAPER_GRID_BLOCKS"]
+
+PAPER_GRID_BLOCKS = 256  # section 7.4.1: "GA: 256 [blocks]"
+
+CUDA_SOURCE = """
+__global__ void ga_search(const char *target, const char *query,
+                          int *block_matches, int qlen, int window, int n) {
+    __shared__ int partial[256];
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    int count = 0;
+    if (gid < n) {
+        int base = gid * window;
+        for (int w = 0; w < window; w++) {
+            int matched = 1;
+            for (int j = 0; j < qlen; j++) {
+                if (target[base + w + j] != query[j]) {
+                    matched = 0;
+                    break;
+                }
+            }
+            count += matched;
+        }
+    }
+    partial[threadIdx.x] = count;
+    __syncthreads();
+    if (threadIdx.x == 0) {
+        int total = 0;
+        for (int t = 0; t < blockDim.x; t++) {
+            total += partial[t];
+        }
+        block_matches[blockIdx.x] = total;
+    }
+}
+"""
+
+_SIZES = {
+    "small": dict(blocks=8, block=32, qlen=8, window=16),
+    "paper": dict(blocks=PAPER_GRID_BLOCKS, block=256, qlen=32, window=64),
+}
+
+_ALPHABET = np.frombuffer(b"ACGT", dtype=np.int8)
+
+
+def build(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    if size not in _SIZES:
+        raise ReproError(f"unknown size {size!r}")
+    p = _SIZES[size]
+    blocks, block, qlen, window = p["blocks"], p["block"], p["qlen"], p["window"]
+    if block > 256:
+        raise ReproError("partial[] is sized for blocks of <= 256 threads")
+    n = blocks * block - block // 8  # partially-filled tail block
+    rng = np.random.default_rng(seed)
+    tlen = n * window + qlen
+    target = _ALPHABET[rng.integers(0, 4, tlen)].astype(np.int8)
+    query = _ALPHABET[rng.integers(0, 4, qlen)].astype(np.int8)
+    # plant real occurrences so some matches exist
+    for pos in rng.integers(0, tlen - qlen, max(4, n // 50)):
+        target[pos : pos + qlen] = query
+
+    # reference: sliding-window exact-match counts, reduced per block
+    hits = np.ones(tlen - qlen + 1, dtype=bool)
+    for j in range(qlen):
+        hits &= target[j : tlen - qlen + 1 + j] == query[j]
+    per_thread = np.zeros(blocks * block, dtype=np.int64)
+    for g in range(n):
+        lo = g * window
+        per_thread[g] = int(hits[lo : lo + window].sum())
+    per_block = per_thread.reshape(blocks, block).sum(axis=1).astype(np.int32)
+
+    return WorkloadSpec(
+        name="GA",
+        kernel=parse_kernel(CUDA_SOURCE),
+        grid=blocks,
+        block=block,
+        arrays={
+            "target": target,
+            "query": query,
+            "block_matches": np.zeros(blocks, dtype=np.int32),
+        },
+        scalars={"qlen": qlen, "window": window, "n": n},
+        outputs=("block_matches",),
+        reference={"block_matches": per_block},
+        expect_vectorizable=False,  # early break in the comparison loop
+    )

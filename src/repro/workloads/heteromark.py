@@ -1,0 +1,326 @@
+"""Hetero-Mark-style CUDA kernel zoo for the coverage evaluation (Fig. 7).
+
+Thirteen hand-written CUDA kernels spanning the Hetero-Mark benchmark
+applications.  Per the paper's section 7.1, **8 of the 13** are Allgather
+distributable; of the remaining five, **four have memory access patterns
+that overlap the written interval** (cross-block accumulation — the
+written interval does not advance with the block index) and **one
+contains indirect memory access** that cannot be analyzed statically.
+
+Each entry records the expected verdict and failure category so the
+coverage figure is an assertion, not just a printout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend.parser import parse_kernel
+from repro.ir.stmt import Kernel
+
+__all__ = ["ZooKernel", "HETEROMARK_KERNELS", "build_kernel"]
+
+
+@dataclass(frozen=True)
+class ZooKernel:
+    """One coverage-evaluation kernel with its expected classification."""
+
+    app: str
+    name: str
+    source: str
+    distributable: bool
+    #: "ok" | "overlap" | "indirect" — the paper's Figure 7 categories
+    category: str
+
+
+def build_kernel(z: ZooKernel) -> Kernel:
+    return parse_kernel(z.source)
+
+
+HETEROMARK_KERNELS: tuple[ZooKernel, ...] = (
+    # ---- AES: per-16-byte-state encryption, one state per thread -------
+    ZooKernel(
+        "AES",
+        "aes_encrypt",
+        """
+__global__ void aes_encrypt(const uchar *input, const uchar *sbox,
+                            uchar *output, int nstates) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid >= nstates) return;
+    for (int b = 0; b < 16; b++) {
+        uchar v = input[gid * 16 + b];
+        output[gid * 16 + b] = sbox[(int)v];
+    }
+}
+""",
+        True,
+        "ok",
+    ),
+    # ---- BS: Black-Scholes option pricing, one option per thread --------
+    ZooKernel(
+        "BS",
+        "black_scholes",
+        """
+__global__ void black_scholes(const float *spot, const float *strike,
+                              const float *texp, float *call, float *put,
+                              float rate, float vol, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid >= n) return;
+    float s = spot[gid];
+    float k = strike[gid];
+    float t = texp[gid];
+    float d1 = (logf(s / k) + (rate + 0.5f * vol * vol) * t)
+               / (vol * sqrtf(t));
+    float d2 = d1 - vol * sqrtf(t);
+    float nd1 = 0.5f * (1.0f + erff(d1 * 0.70710678f));
+    float nd2 = 0.5f * (1.0f + erff(d2 * 0.70710678f));
+    float disc = expf(-rate * t);
+    call[gid] = s * nd1 - k * disc * nd2;
+    put[gid] = k * disc * (1.0f - nd2) - s * (1.0f - nd1);
+}
+""",
+        True,
+        "ok",
+    ),
+    # ---- BE: background extraction, one pixel per thread ----------------
+    ZooKernel(
+        "BE",
+        "be_extract",
+        """
+__global__ void be_extract(const float *frame, float *background,
+                           uchar *foreground, float alpha, float thresh,
+                           int npixels) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid >= npixels) return;
+    float bg = background[gid];
+    float px = frame[gid];
+    float diff = fabsf(px - bg);
+    foreground[gid] = (diff > thresh) ? (uchar)255 : (uchar)0;
+    background[gid] = (1.0f - alpha) * bg + alpha * px;
+}
+""",
+        True,
+        "ok",
+    ),
+    # ---- EP: mutation + evaluation (two kernels) -------------------------
+    ZooKernel(
+        "EP",
+        "ep_mutate",
+        """
+__global__ void ep_mutate(const float *parents, float *offspring,
+                          int genome_len, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid >= n) return;
+    uint state = (uint)gid * 2654435761u + 12345u;
+    for (int g = 0; g < genome_len; g++) {
+        state = state * 1664525u + 1013904223u;
+        float noise = ((float)(state >> 8) * 5.9604645e-8f - 0.5f) * 0.2f;
+        offspring[gid * genome_len + g] = parents[gid * genome_len + g] + noise;
+    }
+}
+""",
+        True,
+        "ok",
+    ),
+    ZooKernel(
+        "EP",
+        "ep_evaluate",
+        """
+__global__ void ep_evaluate(const float *genomes, float *fitness,
+                            int genome_len, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid >= n) return;
+    float acc = 0.0f;
+    for (int g = 0; g < genome_len; g++) {
+        float x = genomes[gid * genome_len + g];
+        acc += x * x - 10.0f * cosf(6.2831853f * x) + 10.0f;
+    }
+    fitness[gid] = acc;
+}
+""",
+        True,
+        "ok",
+    ),
+    # ---- FIR -----------------------------------------------------------
+    ZooKernel(
+        "FIR",
+        "fir",
+        """
+__global__ void fir(const float *input, const float *coeff, float *output,
+                    int num_taps, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid >= n) return;
+    float sum = 0.0f;
+    for (int i = 0; i < num_taps; i++)
+        sum += coeff[i] * input[gid + i];
+    output[gid] = sum;
+}
+""",
+        True,
+        "ok",
+    ),
+    # ---- GA: per-block match counting -----------------------------------
+    ZooKernel(
+        "GA",
+        "ga_search",
+        """
+__global__ void ga_search(const char *target, const char *query,
+                          int *block_matches, int qlen, int window, int n) {
+    __shared__ int partial[256];
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    int count = 0;
+    if (gid < n) {
+        for (int w = 0; w < window; w++) {
+            int matched = 1;
+            for (int j = 0; j < qlen; j++) {
+                if (target[gid * window + w + j] != query[j]) {
+                    matched = 0;
+                    break;
+                }
+            }
+            count += matched;
+        }
+    }
+    partial[threadIdx.x] = count;
+    __syncthreads();
+    if (threadIdx.x == 0) {
+        int total = 0;
+        for (int t = 0; t < blockDim.x; t++)
+            total += partial[t];
+        block_matches[blockIdx.x] = total;
+    }
+}
+""",
+        True,
+        "ok",
+    ),
+    # ---- KMeans: assignment is distributable... --------------------------
+    ZooKernel(
+        "KMEANS",
+        "kmeans_assign",
+        """
+__global__ void kmeans_assign(const float *x, const float *centroids,
+                              int *membership, int npoints, int nclusters,
+                              int nfeatures) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid >= npoints) return;
+    float best = 3.4e38f;
+    int best_c = 0;
+    for (int c = 0; c < nclusters; c++) {
+        float dist = 0.0f;
+        for (int j = 0; j < nfeatures; j++) {
+            float diff = x[j * npoints + gid] - centroids[j * nclusters + c];
+            dist += diff * diff;
+        }
+        best_c = (dist < best) ? c : best_c;
+        best = fminf(dist, best);
+    }
+    membership[gid] = best_c;
+}
+""",
+        True,
+        "ok",
+    ),
+    # ---- ...but the centroid update accumulates across all blocks --------
+    ZooKernel(
+        "KMEANS",
+        "kmeans_update",
+        """
+__global__ void kmeans_update(const float *x, const int *membership,
+                              float *centroid_sums, int *centroid_counts,
+                              int npoints, int nclusters, int nfeatures) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid >= npoints) return;
+    int c = membership[gid];
+    for (int j = 0; j < nfeatures; j++) {
+        atomicAdd(&centroid_sums[j * nclusters + c], x[j * npoints + gid]);
+    }
+    atomicAdd(&centroid_counts[c], 1);
+}
+""",
+        False,
+        "overlap",
+    ),
+    # ---- HIST: every block scatters into the same bin array --------------
+    ZooKernel(
+        "HIST",
+        "histogram",
+        """
+__global__ void histogram(const uint *data, uint *bins, int nbins, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid >= n) return;
+    atomicAdd(&bins[(int)(data[gid] % (uint)nbins)], 1u);
+}
+""",
+        False,
+        "overlap",
+    ),
+    # ---- PR: PageRank push — scatter through the graph (indirect) --------
+    ZooKernel(
+        "PR",
+        "pagerank_push",
+        """
+__global__ void pagerank_push(const int *col_idx, const int *row_ptr,
+                              const float *rank, float *next_rank,
+                              const int *out_degree, int nvertices) {
+    int v = blockIdx.x * blockDim.x + threadIdx.x;
+    if (v >= nvertices) return;
+    float share = rank[v] / (float)out_degree[v];
+    for (int e = row_ptr[v]; e < row_ptr[v + 1]; e++) {
+        atomicAdd(&next_rank[col_idx[e]], share);
+    }
+}
+""",
+        False,
+        "indirect",
+    ),
+    # ---- PR: rank normalization writes a single global accumulator -------
+    ZooKernel(
+        "PR",
+        "pagerank_norm",
+        """
+__global__ void pagerank_norm(const float *next_rank, float *total,
+                              int nvertices) {
+    __shared__ float partial[256];
+    int v = blockIdx.x * blockDim.x + threadIdx.x;
+    partial[threadIdx.x] = (v < nvertices) ? next_rank[v] : 0.0f;
+    __syncthreads();
+    if (threadIdx.x == 0) {
+        float s = 0.0f;
+        for (int t = 0; t < blockDim.x; t++)
+            s += partial[t];
+        atomicAdd(&total[0], s);
+    }
+}
+""",
+        False,
+        "overlap",
+    ),
+    # ---- BE: sliding-window temporal filter writes a halo that overlaps --
+    ZooKernel(
+        "BE",
+        "be_temporal_smooth",
+        """
+__global__ void be_temporal_smooth(const float *frames, float *smoothed,
+                                   int npixels, int radius) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid >= npixels) return;
+    for (int r = -radius; r < radius + 1; r++) {
+        int at = gid + r;
+        if (at >= 0) {
+            if (at < npixels) {
+                smoothed[at] = smoothed[at] * 0.5f + frames[gid] * 0.5f;
+            }
+        }
+    }
+}
+""",
+        False,
+        "overlap",
+    ),
+)
+
+assert len(HETEROMARK_KERNELS) == 13
+assert sum(z.distributable for z in HETEROMARK_KERNELS) == 8
+assert sum(z.category == "overlap" for z in HETEROMARK_KERNELS) == 4
+assert sum(z.category == "indirect" for z in HETEROMARK_KERNELS) == 1

@@ -1,0 +1,90 @@
+"""KMeans assignment kernel: the paper's callback-block case study.
+
+The paper's KMeans launches **313 GPU blocks** (section 7.2), a count
+chosen to expose the callback-block arithmetic: on 16 nodes each node
+runs floor(313/16) = 19 blocks in the partial phase and 9 callback
+blocks; on 32 nodes only 9 partial blocks but 25 callback blocks — so
+every node executes *more* total blocks at 32 nodes than at 16, and the
+kernel slows down.  The grid size here reproduces exactly that.
+
+Data is laid out feature-major (``x[j * npoints + point]``), the
+coalesced layout GPU KMeans implementations use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.frontend.parser import parse_kernel
+from repro.workloads.base import WorkloadSpec
+
+__all__ = ["build", "CUDA_SOURCE", "PAPER_GRID_BLOCKS"]
+
+PAPER_GRID_BLOCKS = 313
+
+CUDA_SOURCE = """
+__global__ void kmeans_assign(const float *x, const float *centroids,
+                              int *membership, int npoints, int nclusters,
+                              int nfeatures) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid >= npoints) return;
+    float best = 3.4e38f;
+    int best_c = 0;
+    for (int c = 0; c < nclusters; c++) {
+        float dist = 0.0f;
+        for (int j = 0; j < nfeatures; j++) {
+            float diff = x[j * npoints + gid] - centroids[j * nclusters + c];
+            dist += diff * diff;
+        }
+        best_c = (dist < best) ? c : best_c;
+        best = fminf(dist, best);
+    }
+    membership[gid] = best_c;
+}
+"""
+
+_SIZES = {
+    "small": dict(block=16, nclusters=4, nfeatures=6),
+    "paper": dict(block=256, nclusters=24, nfeatures=96),
+}
+
+
+def build(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    if size not in _SIZES:
+        raise ReproError(f"unknown size {size!r}")
+    p = _SIZES[size]
+    block, k, d = p["block"], p["nclusters"], p["nfeatures"]
+    # last block partially filled: exercises tail divergence on top of
+    # the remainder-callback arithmetic
+    npoints = PAPER_GRID_BLOCKS * block - block // 2
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((d, npoints)).astype(np.float32)
+    centroids = rng.standard_normal((d, k)).astype(np.float32)
+
+    # reference: same fp order (accumulate over j in order, ties -> lower c)
+    best = np.full(npoints, 3.4e38, dtype=np.float32)
+    best_c = np.zeros(npoints, dtype=np.int32)
+    for c in range(k):
+        dist = np.zeros(npoints, dtype=np.float32)
+        for j in range(d):
+            diff = x[j] - centroids[j, c]
+            dist += diff * diff
+        upd = dist < best
+        best_c = np.where(upd, np.int32(c), best_c)
+        best = np.minimum(dist, best)
+
+    return WorkloadSpec(
+        name="KMeans",
+        kernel=parse_kernel(CUDA_SOURCE),
+        grid=PAPER_GRID_BLOCKS,
+        block=block,
+        arrays={
+            "x": x.reshape(-1).copy(),
+            "centroids": centroids.reshape(-1).copy(),
+            "membership": np.zeros(npoints, dtype=np.int32),
+        },
+        scalars={"npoints": npoints, "nclusters": k, "nfeatures": d},
+        outputs=("membership",),
+        reference={"membership": best_c},
+    )

@@ -1,0 +1,105 @@
+"""NBody: all-pairs gravity step — the high-arithmetic-intensity workload.
+
+Each thread computes the acceleration on one body against an
+``m``-body interaction window (O(m) work per 12 output bytes), the
+classic GPU showcase kernel used across migration projects.  Fully
+vectorizable across threads; its compute-to-communication ratio lets it
+scale on clusters until the 128-block grid runs out of thread-level
+parallelism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.frontend.parser import parse_kernel
+from repro.workloads.base import WorkloadSpec
+
+__all__ = ["build", "CUDA_SOURCE"]
+
+CUDA_SOURCE = """
+__global__ void nbody_accel(const float *px, const float *py, const float *pz,
+                            const float *mass, float *ax, float *ay, float *az,
+                            float soft, int n, int m) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid >= n) return;
+    float xi = px[gid];
+    float yi = py[gid];
+    float zi = pz[gid];
+    float fx = 0.0f, fy = 0.0f, fz = 0.0f;
+    for (int j = 0; j < m; j++) {
+        float dx = px[j] - xi;
+        float dy = py[j] - yi;
+        float dz = pz[j] - zi;
+        float r2 = dx * dx + dy * dy + dz * dz + soft;
+        float inv = rsqrtf(r2);
+        float w = mass[j] * inv * inv * inv;
+        fx += w * dx;
+        fy += w * dy;
+        fz += w * dz;
+    }
+    ax[gid] = fx;
+    ay[gid] = fy;
+    az[gid] = fz;
+}
+"""
+
+_SIZES = {
+    "small": dict(n=500, m=200, block=64),
+    # 128 blocks (tail-divergent), 4096-body interaction window
+    "paper": dict(n=(1 << 15) - 64, m=4096, block=256),
+}
+
+
+def _reference(px, py, pz, mass, soft, m):
+    n = px.shape[0]
+    fx = np.zeros(n, dtype=np.float32)
+    fy = np.zeros(n, dtype=np.float32)
+    fz = np.zeros(n, dtype=np.float32)
+    # accumulate in the kernel's j order for matching float32 rounding
+    for j in range(m):
+        dx = (px[j] - px).astype(np.float32)
+        dy = (py[j] - py).astype(np.float32)
+        dz = (pz[j] - pz).astype(np.float32)
+        r2 = (dx * dx + dy * dy + dz * dz + np.float32(soft)).astype(np.float32)
+        inv = (1.0 / np.sqrt(r2)).astype(np.float32)
+        w = (mass[j] * inv * inv * inv).astype(np.float32)
+        fx += w * dx
+        fy += w * dy
+        fz += w * dz
+    return fx, fy, fz
+
+
+def build(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    if size not in _SIZES:
+        raise ReproError(f"unknown size {size!r}")
+    p = _SIZES[size]
+    n, m, block = p["n"], p["m"], p["block"]
+    rng = np.random.default_rng(seed)
+    px = rng.standard_normal(n).astype(np.float32)
+    py = rng.standard_normal(n).astype(np.float32)
+    pz = rng.standard_normal(n).astype(np.float32)
+    mass = (0.5 + rng.random(n)).astype(np.float32)
+    soft = 1e-3
+    fx, fy, fz = _reference(px, py, pz, mass, soft, m)
+    return WorkloadSpec(
+        name="NBody",
+        kernel=parse_kernel(CUDA_SOURCE),
+        grid=-(-n // block),
+        block=block,
+        arrays={
+            "px": px,
+            "py": py,
+            "pz": pz,
+            "mass": mass,
+            "ax": np.zeros(n, dtype=np.float32),
+            "ay": np.zeros(n, dtype=np.float32),
+            "az": np.zeros(n, dtype=np.float32),
+        },
+        scalars={"soft": np.float32(soft), "n": n, "m": m},
+        outputs=("ax", "ay", "az"),
+        reference={"ax": fx, "ay": fy, "az": fz},
+        rtol=2e-3,
+        atol=2e-3,
+    )

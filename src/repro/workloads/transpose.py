@@ -1,0 +1,63 @@
+"""Matrix Transpose: the paper's memory-movement workload.
+
+Written output-contiguous ("gather style"), one GPU block per output
+row: block ``c`` produces row ``c`` of the transposed matrix by gathering
+column ``c`` of the input.  The write index is affine in
+(blockIdx, threadIdx, loop) and dense per block — Allgather
+distributable — while the *reads* stride through the input by a full row
+(the access pattern whose cache-line amplification makes transpose
+DRAM-unfriendly, and whose large-LLC behaviour drives the paper's
+section 7.4.1 discussion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.frontend.parser import parse_kernel
+from repro.workloads.base import WorkloadSpec
+
+__all__ = ["build", "CUDA_SOURCE"]
+
+# One block per output row; each thread handles rows/block_dim elements
+# of the row via the k loop.  dim is the (square) matrix dimension.
+CUDA_SOURCE = """
+__global__ void transpose(const float *in, float *out, int dim, int chunks) {
+    for (int k = 0; k < chunks; k++) {
+        int col = k * blockDim.x + threadIdx.x;
+        out[blockIdx.x * dim + col] = in[col * dim + blockIdx.x];
+    }
+}
+"""
+
+_SIZES = {
+    "small": dict(dim=256, block=128),  # 256 KiB matrix
+    "paper": dict(dim=4096, block=1024),  # 64 MiB matrix: fits the EPYC
+    # node's 512 MiB LLC, exceeds the Intel node's 38.5 MiB and the
+    # A100's 40 MiB L2 — the regime of the paper's Transpose analysis
+}
+
+
+def build(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    if size not in _SIZES:
+        raise ReproError(f"unknown size {size!r}")
+    p = _SIZES[size]
+    dim, block = p["dim"], p["block"]
+    if dim % block:
+        raise ReproError("dim must be a multiple of the block size")
+    rng = np.random.default_rng(seed)
+    mat = rng.standard_normal((dim, dim)).astype(np.float32)
+    return WorkloadSpec(
+        name="Transpose",
+        kernel=parse_kernel(CUDA_SOURCE),
+        grid=dim,
+        block=block,
+        arrays={
+            "in": mat.reshape(-1).copy(),
+            "out": np.zeros(dim * dim, dtype=np.float32),
+        },
+        scalars={"dim": dim, "chunks": dim // block},
+        outputs=("out",),
+        reference={"out": mat.T.reshape(-1).copy()},
+    )

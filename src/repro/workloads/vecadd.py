@@ -1,0 +1,51 @@
+"""VecAdd: element-wise vector addition (the canonical streaming kernel).
+
+Tail-divergent bound check, one output element per thread — the simplest
+Allgather-distributable pattern (the paper's Listing 1 shape).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.frontend.parser import parse_kernel
+from repro.workloads.base import WorkloadSpec
+
+__all__ = ["build", "CUDA_SOURCE"]
+
+CUDA_SOURCE = """
+__global__ void vecadd(const float *a, const float *b, float *c, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n)
+        c[gid] = a[gid] + b[gid];
+}
+"""
+
+_SIZES = {
+    # n deliberately not a multiple of the block size: exercises the
+    # tail-divergent callback path
+    "small": dict(n=2000, block=256),
+    "paper": dict(n=(1 << 20) - 100, block=256),
+}
+
+
+def build(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    if size not in _SIZES:
+        raise ReproError(f"unknown size {size!r}")
+    p = _SIZES[size]
+    n, block = p["n"], p["block"]
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal(n).astype(np.float32)
+    b = rng.standard_normal(n).astype(np.float32)
+    grid = -(-n // block)
+    return WorkloadSpec(
+        name="VecAdd",
+        kernel=parse_kernel(CUDA_SOURCE),
+        grid=grid,
+        block=block,
+        arrays={"a": a, "b": b, "c": np.zeros(n, dtype=np.float32)},
+        scalars={"n": n},
+        outputs=("c",),
+        reference={"c": a + b},
+    )

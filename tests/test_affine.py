@@ -1,0 +1,173 @@
+"""Polynomial algebra and symbolic expression evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.affine import Poly, eval_sym, param_symbol
+from repro.errors import AnalysisError
+from repro.ir import F32, I32, IRBuilder
+from repro.ir.expr import BinOp, Cast, Param, UnOp, Var, const
+
+SYMBOLS = ["tid.x", "ctaid.x", "ntid.x", "param:n"]
+
+
+def _polys():
+    """Strategy generating small random polynomials."""
+    monos = st.lists(
+        st.tuples(st.sampled_from(SYMBOLS), st.integers(1, 2)),
+        max_size=2,
+        unique_by=lambda kv: kv[0],
+    ).map(lambda kvs: tuple(sorted(kvs)))
+    return st.dictionaries(monos, st.integers(-5, 5), max_size=4).map(Poly)
+
+
+def _values():
+    return st.fixed_dictionaries({s: st.integers(0, 20) for s in SYMBOLS})
+
+
+@given(_polys(), _polys(), _values())
+@settings(max_examples=80, deadline=None)
+def test_eval_is_ring_homomorphism(p, q, vals):
+    assert int((p + q).eval(vals)) == int(p.eval(vals)) + int(q.eval(vals))
+    assert int((p * q).eval(vals)) == int(p.eval(vals)) * int(q.eval(vals))
+    assert int((-p).eval(vals)) == -int(p.eval(vals))
+    assert int((p - q).eval(vals)) == int(p.eval(vals)) - int(q.eval(vals))
+
+
+@given(_polys(), _polys())
+@settings(max_examples=50, deadline=None)
+def test_ring_laws(p, q):
+    assert p + q == q + p
+    assert p * q == q * p
+    assert p - p == Poly()
+    assert p * Poly.const(1) == p
+    assert p * Poly() == Poly()
+
+
+@given(_polys(), st.integers(1, 7), _values())
+@settings(max_examples=50, deadline=None)
+def test_scale_and_div_exact_roundtrip(p, k, vals):
+    scaled = p.scale(k)
+    back = scaled.div_exact(k)
+    assert back == p
+    assert int(scaled.eval(vals)) == k * int(p.eval(vals))
+
+
+def test_div_exact_inexact_returns_none():
+    p = Poly.sym("tid.x").scale(3) + Poly.const(1)
+    assert p.div_exact(2) is None
+    assert p.div_exact(0) is None
+
+
+@given(_polys(), _polys(), _values())
+@settings(max_examples=50, deadline=None)
+def test_subs_consistent_with_eval(p, q, vals):
+    """subs is substitution: eval(p[tid.x := q], v) == eval(p, v[tid.x :=
+    eval(q, v)]) — valid when q does not itself mention tid.x."""
+    q = q.subs("tid.x", Poly.const(vals["tid.x"]))
+    out = p.subs("tid.x", q)
+    inner = int(q.eval(vals))
+    assert int(out.eval(vals)) == int(p.eval({**vals, "tid.x": inner}))
+
+
+def test_coeff_extraction():
+    # ntid.x * ctaid.x + tid.x + 3
+    p = Poly.sym("ntid.x") * Poly.sym("ctaid.x") + Poly.sym("tid.x") + Poly.const(3)
+    assert p.coeff("ctaid.x") == Poly.sym("ntid.x")
+    assert p.coeff("tid.x") == Poly.const(1)
+    assert p.coeff("param:n") == Poly()
+    assert p.drop({"tid.x", "ctaid.x"}) == Poly.const(3)
+
+
+def test_coeff_nonlinear_raises():
+    p = Poly.sym("tid.x") * Poly.sym("tid.x")
+    assert p.degree("tid.x") == 2
+    with pytest.raises(AnalysisError):
+        p.coeff("tid.x")
+
+
+def test_is_linear_in_rejects_cross_terms():
+    p = Poly.sym("tid.x") * Poly.sym("ctaid.x")
+    assert not p.is_linear_in({"tid.x", "ctaid.x"})
+    assert p.is_linear_in({"tid.x"})  # degree 1 in tid.x alone
+
+
+def test_provably_positive():
+    assert (Poly.sym("ntid.x") * Poly.const(2)).provably_positive()
+    assert not (Poly.sym("ntid.x") - Poly.const(1)).provably_positive()
+    assert not Poly().provably_positive()
+    assert Poly.const(5).provably_positive()
+
+
+def test_eval_vectorized():
+    p = Poly.sym("ctaid.x").scale(10) + Poly.const(1)
+    out = p.eval({"ctaid.x": np.arange(4)})
+    assert list(out) == [1, 11, 21, 31]
+
+
+def test_eval_missing_symbol_raises():
+    with pytest.raises(AnalysisError, match="no value"):
+        Poly.sym("tid.x").eval({})
+
+
+def test_poly_immutable():
+    p = Poly.const(1)
+    with pytest.raises(AttributeError):
+        p.terms = {}
+
+
+# ---------------------------------------------------------------------------
+# symbolic expression evaluation
+# ---------------------------------------------------------------------------
+def _b():
+    return IRBuilder("t")
+
+
+def test_eval_sym_global_index():
+    b = _b()
+    e = b.bid_x * b.bdim_x + b.tid_x
+    p = eval_sym(e, {})
+    assert p == Poly.sym("ctaid.x") * Poly.sym("ntid.x") + Poly.sym("tid.x")
+
+
+def test_eval_sym_through_env():
+    b = _b()
+    env = {"gid": eval_sym(b.bid_x * b.bdim_x + b.tid_x, {})}
+    e = Var("gid", I32) * const(4) + const(2)
+    p = eval_sym(e, env)
+    assert p.coeff("tid.x") == Poly.const(4)
+    assert p.terms[()] == 2
+
+
+def test_eval_sym_param_and_unknown_var():
+    p = eval_sym(Param("n", I32) + const(1), {})
+    assert param_symbol("n") in p.symbols()
+    assert eval_sym(Var("ghost", I32), {}) is None
+
+
+def test_eval_sym_shifts_and_division():
+    b = _b()
+    assert eval_sym(b.tid_x << const(3), {}) == Poly.sym("tid.x").scale(8)
+    assert eval_sym((b.tid_x * 8) >> const(2), {}) == Poly.sym("tid.x").scale(2)
+    assert eval_sym((b.tid_x * 4) / const(2), {}) == Poly.sym("tid.x").scale(2)
+    # inexact division is not polynomial
+    assert eval_sym(b.tid_x / const(2), {}) is None
+    assert eval_sym(b.tid_x % const(2), {}) is None
+    assert eval_sym(const(7) % const(2), {}) == Poly.const(1)
+
+
+def test_eval_sym_floats_and_loads_unknown():
+    b = _b()
+    buf = b.pointer_param("buf", I32)
+    assert eval_sym(b.load(buf, b.tid_x), {}) is None
+    assert eval_sym(Cast(F32, b.tid_x), {}) is None
+    assert eval_sym(Cast(I32, b.tid_x + 1), {}) == Poly.sym("tid.x") + Poly.const(1)
+    assert eval_sym(const(2.5), {}) is None
+    assert eval_sym(const(2.0), {}) == Poly.const(2)
+
+
+def test_eval_sym_negation():
+    b = _b()
+    assert eval_sym(UnOp("-", b.tid_x), {}) == -Poly.sym("tid.x")

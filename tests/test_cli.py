@@ -1,0 +1,75 @@
+"""The ``python -m repro`` command-line driver."""
+
+import pytest
+
+from repro.cli import main
+
+VEC = """
+__global__ void vec_copy(char *src, char *dest, int n) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    if (id < n) dest[id] = src[id];
+}
+"""
+
+
+@pytest.fixture()
+def cu_file(tmp_path):
+    f = tmp_path / "k.cu"
+    f.write_text(VEC)
+    return str(f)
+
+
+def test_analyze(cu_file, capsys):
+    assert main(["analyze", cu_file]) == 0
+    out = capsys.readouterr().out
+    assert "vec_copy" in out and "yes" in out
+
+
+def test_compile_with_plan(cu_file, capsys):
+    rc = main(
+        ["compile", cu_file, "--nodes", "2", "--grid", "5", "--block", "256",
+         "--set", "n=1200"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "tail_divergent: True" in out
+    assert "#pragma omp simd" in out
+    assert "MPI_Allgather" in out
+    assert "2 nodes x 2 blocks, 1 callback blocks" in out
+
+
+def test_compile_plan_requires_block_and_nodes(cu_file, capsys):
+    assert main(["compile", cu_file, "--grid", "5"]) == 1
+    assert "requires" in capsys.readouterr().err
+
+
+def test_run_workload(capsys):
+    assert main(["run", "GA", "--nodes", "2", "--size", "small"]) == 0
+    out = capsys.readouterr().out
+    assert "verified on all 2 node replicas" in out
+
+
+def test_run_workload_gpu(capsys):
+    assert main(["run", "VecAdd", "--platform", "a100", "--size", "small"]) == 0
+    assert "A100" in capsys.readouterr().out
+
+
+def test_run_unknown_workload(capsys):
+    assert main(["run", "nope"]) == 1
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_specs(capsys):
+    assert main(["specs"]) == 0
+    out = capsys.readouterr().out
+    assert "SIMD-Focused" in out and "4.15" in out
+
+
+def test_missing_file(capsys):
+    assert main(["analyze", "/definitely/not/here.cu"]) == 1
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_bench_delegation(capsys):
+    assert main(["bench", "tab01"]) == 0
+    assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,408 @@
+"""The Allgather distributable analysis: static verdicts and launch plans."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_kernel, finalize_plan
+from repro.analysis.metadata import Verdict
+from repro.analysis.writes import collect_writes
+from repro.frontend.parser import parse_kernel
+from repro.interp import LaunchConfig
+
+VEC_COPY = """
+__global__ void vec_copy(const char *src, char *dest, int n) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    if (id < n) dest[id] = src[id];
+}
+"""
+
+
+def _analyze(src):
+    return analyze_kernel(parse_kernel(src))
+
+
+# ---------------------------------------------------------------------------
+# static verdicts: accepted patterns
+# ---------------------------------------------------------------------------
+def test_listing1_metadata():
+    a = _analyze(VEC_COPY)
+    m = a.metadata
+    assert m.distributable and m.tail_divergent
+    assert m.mem_ptrs == ["dest"]
+    assert m.elem_sizes["dest"] == 1
+    # unit_size is symbolic: blockDim.x elements per block
+    assert str(m.unit_elems["dest"]) == "ntid.x"
+    assert "tail_divergent: True" in m.describe()
+
+
+def test_early_return_form():
+    a = _analyze(
+        """
+__global__ void k(const float *x, float *y, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id >= n) return;
+    y[id] = x[id];
+}
+"""
+    )
+    assert a.metadata.distributable and a.metadata.tail_divergent
+
+
+def test_thread_zero_reduction_output():
+    a = _analyze(
+        """
+__global__ void k(float *out) {
+    if (threadIdx.x == 0) out[blockIdx.x] = 1.0f;
+}
+"""
+    )
+    m = a.metadata
+    assert m.distributable and not m.tail_divergent
+    assert str(m.unit_elems["out"]) == "1"
+
+
+def test_multi_element_per_thread():
+    a = _analyze(
+        """
+__global__ void k(float *y) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    for (int j = 0; j < 4; j++) y[gid * 4 + j] = (float)j;
+}
+"""
+    )
+    assert a.metadata.distributable
+    assert str(a.metadata.unit_elems["y"]) == "4*ntid.x"
+
+
+def test_strided_two_stores_dense():
+    a = _analyze(
+        """
+__global__ void k(float *y) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    y[gid * 2] = 0.0f;
+    y[gid * 2 + 1] = 1.0f;
+}
+"""
+    )
+    assert a.metadata.distributable
+    plan = finalize_plan(a, LaunchConfig.make(8, 32), {}, 2)
+    assert not plan.replicated and plan.buffers[0].unit_elems == 64
+
+
+def test_two_output_buffers():
+    a = _analyze(
+        """
+__global__ void k(float *a, float *b, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) { a[id] = 1.0f; b[id] = 2.0f; }
+}
+"""
+    )
+    assert a.metadata.mem_ptrs == ["a", "b"]
+
+
+def test_multiple_tail_guards_combine():
+    a = _analyze(
+        """
+__global__ void k(float *y, int n, int m) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) {
+        if (id < m) y[id] = 1.0f;
+    }
+}
+"""
+    )
+    assert a.metadata.distributable and a.metadata.tail_divergent
+
+
+# ---------------------------------------------------------------------------
+# static verdicts: rejections (each with its paper category)
+# ---------------------------------------------------------------------------
+REJECTS = {
+    "indirect write": (
+        """
+__global__ void k(const int *idx, float *y, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) y[idx[id]] = 1.0f;
+}
+""",
+        "indirect or non-affine",
+    ),
+    "atomic": (
+        """
+__global__ void k(uint *bins, const uint *d, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) atomicAdd(&bins[(int)(d[id] % 16u)], 1u);
+}
+""",
+        "atomic",
+    ),
+    "overlap: no block index": (
+        "__global__ void k(float *y) { y[threadIdx.x] = 1.0f; }",
+        "does not advance",
+    ),
+    "overlap: negative stride": (
+        """
+__global__ void k(float *y, int g) {
+    y[(g - blockIdx.x) * blockDim.x + threadIdx.x] = 1.0f;
+}
+""",
+        "non-positive coefficient",
+    ),
+    "nonlinear in thread index": (
+        """
+__global__ void k(float *y) {
+    int t = threadIdx.x;
+    y[blockIdx.x * blockDim.x + t * t] = 1.0f;
+}
+""",
+        "nonlinear",
+    ),
+    "data-dependent guard": (
+        """
+__global__ void k(const float *x, float *y, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) { if (x[id] > 0.0f) y[id] = x[id]; }
+}
+""",
+        "data-dependent",
+    ),
+    "block-variant guard": (
+        """
+__global__ void k(float *y) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (blockIdx.x < 4) y[id] = 1.0f;
+}
+""",
+        "block-variant",
+    ),
+    "block-variant modulo guard": (
+        # blockIdx.x % 2 is not affine, so the guard is unanalyzable
+        """
+__global__ void k(float *y) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (blockIdx.x % 2 == 0) y[id] = 1.0f;
+}
+""",
+        "data-dependent",
+    ),
+    "write in while loop": (
+        """
+__global__ void k(float *y, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = 0;
+    while (i < n) { y[id] = (float)i; i++; }
+}
+""",
+        "while",
+    ),
+    "thread-variant loop trip": (
+        """
+__global__ void k(float *y) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    for (int i = 0; i < threadIdx.x; i++) y[id * 32 + i] = 1.0f;
+}
+""",
+        "trip count",
+    ),
+    "loop with break": (
+        """
+__global__ void k(const float *x, float *y, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    for (int i = 0; i < 8; i++) {
+        y[id * 8 + i] = 1.0f;
+        if (x[i] > 0.0f) break;
+    }
+}
+""",
+        "trip count",
+    ),
+    "mixed rates to one buffer": (
+        """
+__global__ void k(float *y) {
+    int t = threadIdx.x;
+    y[blockIdx.x * blockDim.x + t] = 1.0f;
+    y[blockIdx.x * 2 * blockDim.x + t] = 2.0f;
+}
+""",
+        "different rates",
+    ),
+}
+
+
+@pytest.mark.parametrize("label", list(REJECTS))
+def test_rejections(label):
+    src, reason_fragment = REJECTS[label]
+    a = _analyze(src)
+    assert not a.metadata.distributable, label
+    assert any(reason_fragment in r for r in a.metadata.reasons), (
+        label,
+        a.metadata.reasons,
+    )
+
+
+def test_reads_are_unrestricted():
+    # wild indirect strided reads are fine; only writes are analyzed
+    a = _analyze(
+        """
+__global__ void k(const float *x, const int *idx, float *y, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) y[id] = x[idx[id] * 37 + idx[id + 1]];
+}
+"""
+    )
+    assert a.metadata.distributable
+
+
+# ---------------------------------------------------------------------------
+# launch-time plans
+# ---------------------------------------------------------------------------
+def test_listing1_plan_matches_paper_walkthrough():
+    """Paper section 4: 5 blocks, N=1200, 2 nodes -> blocks {0,1} on node
+    0, {2,3} on node 1, block 4 is the callback block."""
+    a = _analyze(VEC_COPY)
+    plan = finalize_plan(a, LaunchConfig.make(5, 256), {"n": 1200}, 2)
+    assert not plan.replicated
+    assert plan.full_blocks == 4
+    assert plan.p_size == 2
+    assert list(plan.node_blocks(0)) == [0, 1]
+    assert list(plan.node_blocks(1)) == [2, 3]
+    assert list(plan.callback_blocks) == [4]
+    bp = plan.buffers[0]
+    assert bp.unit_elems == 256 and bp.base_elem == 0
+    assert plan.comm_bytes == 4 * 256 * 1  # 4 executed blocks x 256 x 1B
+    assert bp.node_slice(1, plan.p_size) == slice(512, 1024)
+
+
+def test_kmeans_313_block_arithmetic():
+    """Paper section 7.2's callback-block accounting."""
+    a = _analyze(VEC_COPY)
+    cfg = LaunchConfig.make(313, 256)
+    n = 313 * 256  # no tail divergence triggered
+    p16 = finalize_plan(a, cfg, {"n": n}, 16)
+    assert p16.p_size == 19 and len(p16.callback_blocks) == 9
+    p32 = finalize_plan(a, cfg, {"n": n}, 32)
+    assert p32.p_size == 9 and len(p32.callback_blocks) == 25
+    # per-node totals: 28 at 16 nodes vs 34 at 32 nodes (paper's numbers)
+    assert p16.p_size + len(p16.callback_blocks) == 28
+    assert p32.p_size + len(p32.callback_blocks) == 34
+
+
+@given(
+    blocks=st.integers(1, 40),
+    tpb=st.sampled_from([4, 32, 256]),
+    nodes=st.integers(1, 8),
+    slack=st.integers(0, 3),
+)
+@settings(max_examples=60, deadline=None)
+def test_plan_conservation(blocks, tpb, nodes, slack):
+    """Every block is executed exactly once per consistency domain:
+    partial blocks partition [0, p_size*nodes); the rest are callbacks."""
+    a = _analyze(VEC_COPY)
+    n = max(1, blocks * tpb - slack)
+    plan = finalize_plan(a, LaunchConfig.make(blocks, tpb), {"n": n}, nodes)
+    if plan.replicated:
+        assert list(plan.callback_blocks) == list(range(blocks))
+        return
+    seen = []
+    for r in range(nodes):
+        seen.extend(plan.node_blocks(r))
+    assert seen == list(range(plan.executed_blocks))
+    assert list(plan.callback_blocks) == list(
+        range(plan.executed_blocks, blocks)
+    )
+    # tail blocks (partially covered by the bound) are never in phase 1
+    full = (n // tpb)
+    assert plan.executed_blocks <= max(full, 0) + (1 if n % tpb == 0 else 0)
+
+
+def test_tail_resolution_counts_partial_blocks():
+    a = _analyze(VEC_COPY)
+    # bound covers only half of block 3
+    plan = finalize_plan(a, LaunchConfig.make(8, 100), {"n": 350}, 3)
+    assert plan.full_blocks == 3
+    assert plan.p_size == 1
+    assert list(plan.callback_blocks) == [3, 4, 5, 6, 7]
+
+
+def test_plan_single_node_is_replicated():
+    a = _analyze(VEC_COPY)
+    plan = finalize_plan(a, LaunchConfig.make(8, 32), {"n": 256}, 1)
+    assert plan.replicated and plan.reason == "single node"
+
+
+def test_plan_fewer_blocks_than_nodes():
+    a = _analyze(VEC_COPY)
+    plan = finalize_plan(a, LaunchConfig.make(2, 32), {"n": 64}, 4)
+    assert plan.replicated and "fewer" in plan.reason
+
+
+def test_plan_gap_footprint_rejected_at_launch():
+    # every thread writes stride-2: the block footprint has gaps
+    a = _analyze(
+        """
+__global__ void k(float *y) {
+    y[(blockIdx.x * blockDim.x + threadIdx.x) * 2] = 1.0f;
+}
+"""
+    )
+    assert a.metadata.distributable  # statically plausible
+    plan = finalize_plan(a, LaunchConfig.make(4, 32), {}, 2)
+    assert plan.replicated and "dense" in plan.reason
+
+
+def test_plan_multidim_grid_without_y_term_rejected():
+    # vec_copy indexes by blockIdx.x only: on a 2-D grid, blocks along y
+    # would write the same interval -> replicated fallback
+    a = _analyze(VEC_COPY)
+    from repro.interp.grid import LaunchConfig as LC
+
+    plan = finalize_plan(a, LC.make((4, 2), 32), {"n": 256}, 2)
+    assert plan.replicated and "overlap" in plan.reason
+
+
+def test_write_records_collected():
+    recs = collect_writes(parse_kernel(VEC_COPY))
+    assert len(recs) == 1
+    assert recs[0].buffer == "dest" and recs[0].elem_size == 1
+    assert not recs[0].is_atomic and not recs[0].in_while
+
+
+def test_loop_dependent_guard_footprint():
+    """A guard over the loop variable shapes the footprint: dense only
+    when the bound covers the whole stride — verified numerically at
+    launch (falls back to replicated otherwise)."""
+    src = """
+__global__ void k(float *y, int kk) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    for (int j = 0; j < 8; j++) {
+        if (j < kk) y[gid * 8 + j] = (float)j;
+    }
+}
+"""
+    a = _analyze(src)
+    assert a.metadata.distributable  # statically plausible
+    cfg = LaunchConfig.make(8, 32)
+    full = finalize_plan(a, cfg, {"kk": 8}, 2)
+    assert not full.replicated
+    assert full.buffers[0].unit_elems == 8 * 32
+    partial = finalize_plan(a, cfg, {"kk": 5}, 2)  # gaps in every block
+    assert partial.replicated and "dense" in partial.reason
+
+
+def test_guard_on_loop_variable_only_is_uniform():
+    src = """
+__global__ void k(float *y, int kk) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    for (int j = 0; j < 4; j++) {
+        if (j * 2 < kk) y[gid * 4 + j] = 1.0f;
+    }
+}
+"""
+    a = _analyze(src)
+    assert a.metadata.distributable
+    # kk=8 covers all four j values -> dense
+    plan = finalize_plan(a, LaunchConfig.make(4, 16), {"kk": 8}, 2)
+    assert not plan.replicated

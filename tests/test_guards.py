@@ -1,0 +1,158 @@
+"""Guard classification (condition 2 of the distributable analysis)."""
+
+import pytest
+
+from repro.analysis.affine import Poly, eval_sym
+from repro.analysis.guards import (
+    Guard,
+    GuardKind,
+    classify_guard,
+    guards_of_condition,
+    negate_conjunction,
+)
+from repro.errors import AnalysisError
+from repro.ir import I32, IRBuilder
+from repro.ir.expr import Param, UnOp, Var, const
+
+
+def _b():
+    b = IRBuilder("t")
+    return b
+
+
+def _gid(b):
+    return b.bid_x * b.bdim_x + b.tid_x
+
+
+def test_uniform_guard():
+    b = _b()
+    n = b.scalar_param("n", I32)
+    g = classify_guard(n > 100, {})
+    assert g.kind is GuardKind.UNIFORM
+
+
+def test_thread_symmetric_guards():
+    b = _b()
+    assert classify_guard(b.tid_x.eq(0), {}).kind is GuardKind.THREAD_SYMMETRIC
+    assert classify_guard(b.tid_x < 128, {}).kind is GuardKind.THREAD_SYMMETRIC
+    assert (
+        classify_guard(b.tid_x < b.bdim_x - 1, {}).kind
+        is GuardKind.THREAD_SYMMETRIC
+    )
+
+
+def test_tail_guard():
+    b = _b()
+    n = b.scalar_param("n", I32)
+    g = classify_guard(_gid(b) < n, {})
+    assert g.kind is GuardKind.TAIL
+    assert g.rel == "lt"
+    # <= also works
+    g2 = classify_guard(_gid(b) <= n - 1, {})
+    assert g2.kind is GuardKind.TAIL
+
+
+def test_guarded_return_negates_to_tail():
+    b = _b()
+    n = b.scalar_param("n", I32)
+    g = classify_guard(_gid(b) >= n, {})
+    assert g.kind is GuardKind.BLOCK_VARIANT  # the overflow side
+    assert g.negated().kind is GuardKind.TAIL  # code after `return`
+
+
+def test_block_variant_guards():
+    b = _b()
+    assert classify_guard(b.bid_x.eq(0), {}).kind is GuardKind.BLOCK_VARIANT
+    # negative thread coefficient is not tail-shaped
+    n = b.scalar_param("n", I32)
+    g = classify_guard(n - b.tid_x - b.bid_x * b.bdim_x < 0, {})
+    assert g.kind is GuardKind.BLOCK_VARIANT
+
+
+def test_opaque_guard():
+    b = _b()
+    buf = b.pointer_param("x", I32)
+    g = classify_guard(b.load(buf, b.tid_x) > 0, {})
+    assert g.kind is GuardKind.OPAQUE
+    assert g.poly is None
+    assert g.negated().kind is GuardKind.OPAQUE
+
+
+def test_guard_evaluate():
+    b = _b()
+    g = classify_guard(b.tid_x < 3, {})
+    import numpy as np
+
+    out = g.evaluate({"tid.x": np.arange(6)})
+    assert list(out) == [True] * 3 + [False] * 3
+
+
+def test_opaque_evaluate_raises():
+    with pytest.raises(AnalysisError):
+        Guard(GuardKind.OPAQUE).evaluate({})
+
+
+def test_negation_roundtrip_truth():
+    """Negating twice preserves the truth set (checked numerically)."""
+    import numpy as np
+
+    b = _b()
+    n = b.scalar_param("n", I32)
+    for cond in (_gid(b) < n, b.tid_x.eq(0), b.tid_x >= 7, b.tid_x.ne(2)):
+        g = classify_guard(cond, {})
+        gg = g.negated().negated()
+        vals = {
+            "tid.x": np.arange(10),
+            "ctaid.x": 2,
+            "ntid.x": 10,
+            "param:n": 25,
+        }
+        assert np.array_equal(g.evaluate(vals), gg.evaluate(vals))
+        assert np.array_equal(g.evaluate(vals), ~g.negated().evaluate(vals))
+
+
+def test_conjunction_decomposition():
+    b = _b()
+    n = b.scalar_param("n", I32)
+    cond = (b.tid_x < 64).logical_and(_gid(b) < n)
+    gs = guards_of_condition(cond, {})
+    kinds = sorted(g.kind.value for g in gs)
+    assert kinds == ["tail-divergent", "thread-symmetric"]
+
+
+def test_disjunction_folds_to_worst():
+    b = _b()
+    n = b.scalar_param("n", I32)
+    gs = guards_of_condition((b.tid_x < 4).logical_or(_gid(b) < n), {})
+    assert len(gs) == 1
+    assert gs[0].kind is GuardKind.BLOCK_VARIANT  # tail degrades under "or"
+    gs2 = guards_of_condition((b.tid_x < 4).logical_or(b.tid_x > 200), {})
+    assert gs2[0].kind is GuardKind.THREAD_SYMMETRIC
+
+
+def test_negate_conjunction():
+    b = _b()
+    n = b.scalar_param("n", I32)
+    single = guards_of_condition(_gid(b) >= n, {})
+    neg = negate_conjunction(single)
+    assert len(neg) == 1 and neg[0].kind is GuardKind.TAIL
+    multi = guards_of_condition((b.tid_x < 4).logical_and(_gid(b) < n), {})
+    neg2 = negate_conjunction(multi)
+    assert len(neg2) == 1
+    assert neg2[0].kind in (GuardKind.BLOCK_VARIANT, GuardKind.OPAQUE)
+
+
+def test_not_operator():
+    b = _b()
+    g = classify_guard(UnOp("!", b.tid_x < 5), {})
+    assert g.kind is GuardKind.THREAD_SYMMETRIC
+    import numpy as np
+
+    assert list(g.evaluate({"tid.x": np.arange(8)})) == [False] * 5 + [True] * 3
+
+
+def test_truthy_value_condition():
+    b = _b()
+    n = b.scalar_param("flag", I32)
+    g = classify_guard(n, {})
+    assert g.kind is GuardKind.UNIFORM and g.rel == "ne"

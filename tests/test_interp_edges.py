@@ -1,0 +1,188 @@
+"""Interpreter edge cases: non-contiguous spans, nested while, atomics,
+intrinsics, and dtype corners."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InterpError
+from repro.frontend.parser import parse_kernel
+from repro.interp import BlockExecutor, LaunchConfig, OpCounters, run_grid
+
+
+def test_non_contiguous_block_ids_in_span():
+    src = """
+__global__ void mark(int *y) {
+    y[blockIdx.x * blockDim.x + threadIdx.x] = blockIdx.x;
+}
+"""
+    k = parse_kernel(src)
+    y = np.full(8 * 4, -1, dtype=np.int32)
+    ex = BlockExecutor(k, LaunchConfig.make(8, 4), {"y": y})
+    ex.run_blocks([1, 5, 2], span=3)  # one span, holes in the id set
+    done = y.reshape(8, 4)
+    for b in range(8):
+        expect = b if b in (1, 5, 2) else -1
+        assert np.all(done[b] == expect), b
+
+
+def test_nested_while_loops():
+    src = """
+__global__ void collatz_steps(const int *x, int *steps, int n) {
+    int g = threadIdx.x;
+    if (g >= n) return;
+    int v = x[g];
+    int count = 0;
+    while (v != 1) {
+        while (v % 2 == 0) {
+            v = v / 2;
+            count++;
+        }
+        if (v != 1) {
+            v = 3 * v + 1;
+            count++;
+        }
+    }
+    steps[g] = count;
+}
+"""
+    x = np.array([1, 2, 3, 6, 7, 27], dtype=np.int32)
+    steps = np.zeros(6, dtype=np.int32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 8),
+             {"x": x, "steps": steps, "n": 6})
+
+    def collatz(v):
+        c = 0
+        while v != 1:
+            v, c = (v // 2, c + 1) if v % 2 == 0 else (3 * v + 1, c + 1)
+        return c
+
+    assert list(steps) == [collatz(int(v)) for v in x]
+
+
+def test_while_with_break_per_lane():
+    src = """
+__global__ void k(int *y) {
+    int t = threadIdx.x;
+    int i = 0;
+    while (true) {
+        if (i >= t) break;
+        i++;
+    }
+    y[t] = i;
+}
+"""
+    y = np.zeros(8, dtype=np.int32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 8), {"y": y})
+    assert list(y) == list(range(8))
+
+
+def test_atomic_sub_and_exch():
+    src = """
+__global__ void k(int *a, int *b) {
+    atomicSub(&a[0], 2);
+    atomicExch(&b[threadIdx.x], threadIdx.x + 100);
+}
+"""
+    a = np.array([100], dtype=np.int32)
+    b = np.zeros(4, dtype=np.int32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 4), {"a": a, "b": b})
+    assert a[0] == 100 - 2 * 4
+    assert list(b) == [100, 101, 102, 103]
+
+
+def test_float_intrinsics_values():
+    src = """
+__global__ void k(float *y) {
+    y[0] = logf(expf(2.0f));
+    y[1] = powf(3.0f, 2.0f);
+    y[2] = floorf(2.7f) + ceilf(2.2f);
+    y[3] = rsqrtf(4.0f);
+    y[4] = fmodf(7.5f, 2.0f);
+    y[5] = tanhf(0.0f);
+    y[6] = exp2f(3.0f) + log2f(8.0f);
+}
+"""
+    y = np.zeros(8, dtype=np.float32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 1), {"y": y})
+    assert y[0] == pytest.approx(2.0, rel=1e-6)
+    assert y[1] == 9.0
+    assert y[2] == 5.0
+    assert y[3] == 0.5
+    assert y[4] == 1.5
+    assert y[5] == 0.0
+    assert y[6] == 11.0
+
+
+def test_division_by_zero_on_inactive_lanes_is_safe():
+    src = """
+__global__ void k(const int *d, float *y, int n) {
+    int t = threadIdx.x;
+    if (d[t] != 0) y[t] = 100.0f / (float)d[t];
+    if (d[t] != 0) y[t] += (float)(1000 / d[t]);
+}
+"""
+    d = np.array([2, 0, 4, 0], dtype=np.int32)
+    y = np.zeros(4, dtype=np.float32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 4),
+             {"d": d, "y": y, "n": 4})
+    assert y[0] == 50.0 + 500.0 and y[2] == 25.0 + 250.0
+    assert y[1] == 0.0 and y[3] == 0.0
+
+
+def test_char_arithmetic_wraps():
+    src = """
+__global__ void k(char *y) {
+    char v = (char)120;
+    y[threadIdx.x] = v + (char)20;  // wraps in int8
+}
+"""
+    y = np.zeros(2, dtype=np.int8)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 2), {"y": y})
+    # C promotes to int for the add; the store truncates to int8
+    assert y[0] == np.int8(140 - 256)
+
+
+def test_bool_condition_from_int():
+    src = """
+__global__ void k(int *y, int flag) {
+    if (flag) y[threadIdx.x] = 1;
+    else y[threadIdx.x] = 2;
+}
+"""
+    y = np.zeros(2, dtype=np.int32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 2), {"y": y, "flag": 7})
+    assert list(y) == [1, 1]
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 2), {"y": y, "flag": 0})
+    assert list(y) == [2, 2]
+
+
+def test_runaway_while_loop_capped():
+    import repro.interp.machine as m
+
+    old = m.MAX_LOOP_ITERS
+    m.MAX_LOOP_ITERS = 100
+    try:
+        src = "__global__ void k(int *y) { while (true) { y[0] = 1; } }"
+        with pytest.raises(InterpError, match="exceeded"):
+            run_grid(parse_kernel(src), LaunchConfig.make(1, 1),
+                     {"y": np.zeros(1, np.int32)})
+    finally:
+        m.MAX_LOOP_ITERS = old
+
+
+def test_counters_shared_and_local_bytes():
+    src = """
+__global__ void k(float *y) {
+    __shared__ float s[8];
+    float l[2];
+    s[threadIdx.x] = 1.0f;
+    l[0] = s[threadIdx.x];
+    y[threadIdx.x] = l[0];
+}
+"""
+    c = OpCounters()
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 8),
+             {"y": np.zeros(8, np.float32)}, counters=c)
+    assert c.shared_bytes == 8 * 4 * 2  # one store + one load
+    assert c.local_bytes == 8 * 4 * 2
+    assert c.global_store_bytes == 8 * 4

@@ -1,0 +1,314 @@
+"""Interpreter memory system: bounds, shared memory, atomics, spans,
+counters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InterpError
+from repro.frontend.parser import parse_kernel
+from repro.interp import BlockExecutor, LaunchConfig, OpCounters, run_grid
+from repro.interp.machine import span_eligible
+
+
+# ---------------------------------------------------------------------------
+# bounds checking
+# ---------------------------------------------------------------------------
+def test_out_of_bounds_store_reports_context():
+    k = parse_kernel(
+        "__global__ void k(float *y) { y[threadIdx.x + 100] = 1.0f; }"
+    )
+    with pytest.raises(InterpError, match="out-of-bounds store"):
+        run_grid(k, LaunchConfig.make(1, 8), {"y": np.zeros(4, np.float32)})
+
+
+def test_out_of_bounds_load_detected():
+    k = parse_kernel(
+        "__global__ void k(float *y, const float *x) { y[0] = x[999]; }"
+    )
+    with pytest.raises(InterpError, match="out-of-bounds load"):
+        run_grid(
+            k,
+            LaunchConfig.make(1, 1),
+            {"y": np.zeros(4, np.float32), "x": np.zeros(4, np.float32)},
+        )
+
+
+def test_negative_index_detected():
+    k = parse_kernel(
+        "__global__ void k(float *y) { y[threadIdx.x - 5] = 1.0f; }"
+    )
+    with pytest.raises(InterpError, match="out-of-bounds"):
+        run_grid(k, LaunchConfig.make(1, 4), {"y": np.zeros(8, np.float32)})
+
+
+def test_masked_oob_is_fine():
+    # lanes whose guard is false may compute wild indices
+    src = """
+__global__ void k(float *y, const float *x, int n) {
+    int t = threadIdx.x;
+    if (t < n) y[t] = x[t * 1000000];
+}
+"""
+    x = np.ones(1, dtype=np.float32)
+    y = np.zeros(8, dtype=np.float32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 8),
+             {"y": y, "x": x, "n": 1})
+    assert y[0] == 1.0 and np.all(y[1:] == 0)
+
+
+def test_bounds_check_disabled_clamps():
+    k = parse_kernel(
+        "__global__ void k(float *y) { y[threadIdx.x + 100] = 1.0f; }"
+    )
+    # with checking off, out-of-range lanes clamp to index 0 (documented)
+    run_grid(k, LaunchConfig.make(1, 4), {"y": np.zeros(4, np.float32)},
+             bounds_check=False)
+
+
+# ---------------------------------------------------------------------------
+# shared memory
+# ---------------------------------------------------------------------------
+REVERSE_SRC = """
+__global__ void rev(const float *x, float *y, int n) {
+    __shared__ float tile[64];
+    int g = blockIdx.x * blockDim.x + threadIdx.x;
+    if (g < n) tile[threadIdx.x] = x[g];
+    __syncthreads();
+    int src = blockDim.x - 1 - threadIdx.x;
+    if (g < n) y[g] = tile[src];
+}
+"""
+
+
+def test_shared_memory_block_reverse():
+    n = 256
+    x = np.arange(n, dtype=np.float32)
+    y = np.zeros(n, dtype=np.float32)
+    run_grid(parse_kernel(REVERSE_SRC), LaunchConfig.make(4, 64),
+             {"x": x, "y": y, "n": n})
+    ref = x.reshape(4, 64)[:, ::-1].reshape(-1)
+    assert np.array_equal(y, ref)
+
+
+def test_shared_memory_isolated_between_blocks():
+    # block 1 must not see block 0's shared writes: with zero-init shared,
+    # reading an unwritten slot yields 0, not a stale value
+    src = """
+__global__ void k(float *y) {
+    __shared__ float s[4];
+    if (blockIdx.x == 0) s[threadIdx.x] = 7.0f;
+    __syncthreads();
+    y[blockIdx.x * blockDim.x + threadIdx.x] = s[threadIdx.x];
+}
+"""
+    y = np.zeros(8, dtype=np.float32)
+    ex = BlockExecutor(parse_kernel(src), LaunchConfig.make(2, 4), {"y": y})
+    ex.run_block(0)
+    ex.run_block(1)
+    assert list(y) == [7, 7, 7, 7, 0, 0, 0, 0]
+
+
+def test_shared_memory_span_segmentation():
+    # same kernel, multi-block span: per-block segments stay isolated
+    src = """
+__global__ void k(float *y) {
+    __shared__ float s[4];
+    s[threadIdx.x] = (float)blockIdx.x;
+    __syncthreads();
+    y[blockIdx.x * blockDim.x + threadIdx.x] = s[3 - threadIdx.x];
+}
+"""
+    y1 = np.zeros(32, dtype=np.float32)
+    y2 = np.zeros(32, dtype=np.float32)
+    run_grid(parse_kernel(src), LaunchConfig.make(8, 4), {"y": y1}, span=1)
+    run_grid(parse_kernel(src), LaunchConfig.make(8, 4), {"y": y2}, span=8)
+    assert np.array_equal(y1, y2)
+    assert np.array_equal(y1, np.repeat(np.arange(8, dtype=np.float32), 4))
+
+
+def test_shared_oob_detected_even_in_span():
+    src = """
+__global__ void k(float *y) {
+    __shared__ float s[4];
+    s[threadIdx.x] = 0.0f;
+    y[threadIdx.x] = s[threadIdx.x];
+}
+"""
+    with pytest.raises(InterpError, match="shared"):
+        run_grid(parse_kernel(src), LaunchConfig.make(4, 8),
+                 {"y": np.zeros(32, np.float32)}, span=4)
+
+
+# ---------------------------------------------------------------------------
+# atomics
+# ---------------------------------------------------------------------------
+def test_atomic_add_with_duplicates():
+    src = """
+__global__ void k(const int *d, int *bins, int n) {
+    int g = blockIdx.x * blockDim.x + threadIdx.x;
+    if (g < n) atomicAdd(&bins[d[g]], 1);
+}
+"""
+    rng = np.random.default_rng(3)
+    d = rng.integers(0, 8, 500).astype(np.int32)
+    bins = np.zeros(8, dtype=np.int32)
+    run_grid(parse_kernel(src), LaunchConfig.make(2, 256),
+             {"d": d, "bins": bins, "n": 500})
+    assert np.array_equal(bins, np.bincount(d, minlength=8))
+
+
+def test_atomic_min_max():
+    src = """
+__global__ void k(const int *d, int *mn, int *mx, int n) {
+    int g = threadIdx.x;
+    if (g < n) {
+        atomicMin(&mn[0], d[g]);
+        atomicMax(&mx[0], d[g]);
+    }
+}
+"""
+    d = np.array([5, -3, 9, 0], dtype=np.int32)
+    mn = np.array([100], dtype=np.int32)
+    mx = np.array([-100], dtype=np.int32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 8),
+             {"d": d, "mn": mn, "mx": mx, "n": 4})
+    assert mn[0] == -3 and mx[0] == 9
+
+
+def test_atomic_cas():
+    src = """
+__global__ void k(int *lock) {
+    atomicCAS(&lock[threadIdx.x], 0, 42);
+    atomicCAS(&lock[threadIdx.x], 1, 99);
+}
+"""
+    lock = np.array([0, 1, 2, 0], dtype=np.int32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 4), {"lock": lock})
+    assert list(lock) == [42, 99, 2, 42]
+
+
+def test_atomic_result_value():
+    src = """
+__global__ void k(int *ctr, int *out) {
+    int old = 0;
+    old = atomicAdd(&ctr[threadIdx.x], 5);
+    out[threadIdx.x] = old;
+}
+"""
+    ctr = np.arange(4, dtype=np.int32)
+    out = np.zeros(4, dtype=np.int32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 4),
+             {"ctr": ctr, "out": out})
+    assert list(out) == [0, 1, 2, 3]
+    assert list(ctr) == [5, 6, 7, 8]
+
+
+# ---------------------------------------------------------------------------
+# span equivalence (property)
+# ---------------------------------------------------------------------------
+SPAN_SRC = """
+__global__ void k(const float *x, float *y, int n) {
+    int g = blockIdx.x * blockDim.x + threadIdx.x;
+    if (g >= n) return;
+    float acc = 0.0f;
+    for (int i = 0; i < g % 7 + 1; i++) acc += x[(g + i) % n];
+    y[g] = acc * (float)(blockIdx.x + 1);
+}
+"""
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    blocks=st.integers(1, 9),
+    tpb=st.sampled_from([1, 3, 8, 32]),
+    span=st.integers(1, 10),
+)
+def test_span_equivalence(blocks, tpb, span):
+    n = blocks * tpb - min(2, blocks * tpb - 1)
+    x = np.random.default_rng(blocks * 100 + tpb).random(max(n, 1)).astype(np.float32)
+    k = parse_kernel(SPAN_SRC)
+    y_ref = np.zeros(max(n, 1), dtype=np.float32)
+    y_span = np.zeros(max(n, 1), dtype=np.float32)
+    run_grid(k, LaunchConfig.make(blocks, tpb),
+             {"x": x, "y": y_ref, "n": n}, span=1)
+    run_grid(k, LaunchConfig.make(blocks, tpb),
+             {"x": x, "y": y_span, "n": n}, span=span)
+    assert np.array_equal(y_ref, y_span)
+
+
+def test_span_eligible_is_true_even_with_shared():
+    assert span_eligible(parse_kernel(REVERSE_SRC))
+
+
+# ---------------------------------------------------------------------------
+# counters
+# ---------------------------------------------------------------------------
+def test_counters_flops_and_bytes():
+    src = """
+__global__ void k(const float *x, float *y, int n) {
+    int g = blockIdx.x * blockDim.x + threadIdx.x;
+    if (g < n) y[g] = x[g] * 2.0f + 1.0f;
+}
+"""
+    n = 100
+    c = OpCounters()
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 128),
+             {"x": np.zeros(n, np.float32), "y": np.zeros(n, np.float32),
+              "n": n}, counters=c)
+    assert c.flops == 2 * n  # one mul + one add per active lane
+    assert c.global_load_bytes == 4 * n
+    assert c.global_store_bytes == 4 * n
+    assert c.global_loads == n and c.global_stores == n
+
+
+def test_counters_active_lanes_only():
+    src = """
+__global__ void k(float *y, int n) {
+    int g = threadIdx.x;
+    if (g < n) y[g] = 1.0f + 2.0f;
+}
+"""
+    c = OpCounters()
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 256),
+             {"y": np.zeros(10, np.float32), "n": 10}, counters=c)
+    assert c.flops == 10  # only 10 active lanes execute the add
+
+
+def test_counters_barriers_per_block():
+    c = OpCounters()
+    n = 256
+    run_grid(parse_kernel(REVERSE_SRC), LaunchConfig.make(4, 64),
+             {"x": np.zeros(n, np.float32), "y": np.zeros(n, np.float32),
+              "n": n}, counters=c, span=4)
+    assert c.barriers == 4  # one barrier statement x 4 blocks
+
+
+def test_counters_scaled_and_add():
+    a = OpCounters(flops=10, global_load_bytes=40)
+    b = a.scaled(2.5)
+    assert b.flops == 25 and b.global_load_bytes == 100
+    b.add(a)
+    assert b.flops == 35
+    assert a.weighted_flops == 10
+    assert OpCounters(div_ops=1).weighted_flops > 1  # divisions weighted
+
+
+def test_line_bytes_contiguous_vs_strided():
+    contiguous = parse_kernel(
+        "__global__ void k(float *y) {"
+        " y[blockIdx.x * blockDim.x + threadIdx.x] = 1.0f; }"
+    )
+    strided = parse_kernel(
+        "__global__ void k(float *y) {"
+        " y[(blockIdx.x * blockDim.x + threadIdx.x) * 64] = 1.0f; }"
+    )
+    c1, c2 = OpCounters(), OpCounters()
+    run_grid(contiguous, LaunchConfig.make(4, 256),
+             {"y": np.zeros(1024, np.float32)}, counters=c1)
+    run_grid(strided, LaunchConfig.make(4, 256),
+             {"y": np.zeros(1024 * 64, np.float32)}, counters=c2)
+    assert c1.global_store_bytes == c2.global_store_bytes
+    # strided stores touch ~16x more cache lines than contiguous ones
+    assert c2.global_line_bytes > 10 * c1.global_line_bytes

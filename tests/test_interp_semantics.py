@@ -1,0 +1,264 @@
+"""Interpreter semantics: C arithmetic, masks, divergence, loops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InterpError, LaunchError
+from repro.frontend.parser import parse_kernel
+from repro.interp import BlockExecutor, LaunchConfig, OpCounters, run_grid
+from repro.interp.machine import _c_int_div, _c_int_mod
+
+
+# ---------------------------------------------------------------------------
+# C integer semantics
+# ---------------------------------------------------------------------------
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_c_int_div_matches_c(a, b):
+    got = int(_c_int_div(np.int64(a), np.int64(b)))
+    if b == 0:
+        assert got == 0  # masked-lane safety convention
+    else:
+        import math
+
+        assert got == math.trunc(a / b)
+
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_c_int_mod_matches_c(a, b):
+    got = int(_c_int_mod(np.int64(a), np.int64(b)))
+    if b == 0:
+        assert got == 0
+    else:
+        assert got == a - int(np.trunc(np.float64(a) / b)) * b
+        if a >= 0 and b != 0:
+            assert got >= 0  # sign follows dividend
+
+
+def test_int_division_in_kernel():
+    src = """
+__global__ void k(int *q, int *r, const int *a, const int *b, int n) {
+    int g = threadIdx.x;
+    if (g < n) {
+        q[g] = a[g] / b[g];
+        r[g] = a[g] % b[g];
+    }
+}
+"""
+    a = np.array([7, -7, 7, -7, 1], dtype=np.int32)
+    b = np.array([2, 2, -2, -2, 3], dtype=np.int32)
+    q = np.zeros(5, dtype=np.int32)
+    r = np.zeros(5, dtype=np.int32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 8),
+             {"q": q, "r": r, "a": a, "b": b, "n": 5})
+    assert list(q) == [3, -3, -3, 3, 0]
+    assert list(r) == [1, -1, 1, -1, 1]
+
+
+def test_float32_stays_float32():
+    src = """
+__global__ void k(float *y, const float *x) {
+    y[threadIdx.x] = x[threadIdx.x] * 0.1f + 1.0f;
+}
+"""
+    x = np.random.default_rng(0).random(16).astype(np.float32)
+    y = np.zeros(16, dtype=np.float32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 16), {"y": y, "x": x})
+    ref = (x * np.float32(0.1) + np.float32(1.0)).astype(np.float32)
+    assert np.array_equal(y, ref)  # bit-exact f32 arithmetic
+
+
+def test_unsigned_wraparound():
+    src = """
+__global__ void k(uint *y) {
+    uint big = 4000000000u;
+    y[threadIdx.x] = big + big;
+}
+"""
+    y = np.zeros(4, dtype=np.uint32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 4), {"y": y})
+    assert y[0] == (4000000000 * 2) % (1 << 32)
+
+
+# ---------------------------------------------------------------------------
+# divergence
+# ---------------------------------------------------------------------------
+def test_if_else_masks():
+    src = """
+__global__ void k(int *y) {
+    int t = threadIdx.x;
+    if (t % 2 == 0) { y[t] = 10; } else { y[t] = 20; }
+}
+"""
+    y = np.zeros(8, dtype=np.int32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 8), {"y": y})
+    assert list(y) == [10, 20] * 4
+
+
+def test_nested_divergence_and_variable_merge():
+    src = """
+__global__ void k(int *y) {
+    int t = threadIdx.x;
+    int v = 0;
+    if (t < 4) {
+        v = 1;
+        if (t < 2) v = 2;
+    } else {
+        v = 3;
+    }
+    y[t] = v;
+}
+"""
+    y = np.zeros(8, dtype=np.int32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 8), {"y": y})
+    assert list(y) == [2, 2, 1, 1, 3, 3, 3, 3]
+
+
+def test_early_return_retires_lanes():
+    src = """
+__global__ void k(int *y, int n) {
+    int t = threadIdx.x;
+    y[t] = 1;
+    if (t >= n) return;
+    y[t] = 2;
+}
+"""
+    y = np.zeros(8, dtype=np.int32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 8), {"y": y, "n": 3})
+    assert list(y) == [2, 2, 2, 1, 1, 1, 1, 1]
+
+
+def test_return_inside_loop_kills_lane_for_good():
+    src = """
+__global__ void k(int *y) {
+    int t = threadIdx.x;
+    int acc = 0;
+    for (int i = 0; i < 10; i++) {
+        if (i == t) return;
+        acc += 1;
+    }
+    y[t] = acc;
+}
+"""
+    y = np.full(16, -1, dtype=np.int32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 16), {"y": y})
+    # threads 0..9 returned inside the loop; 10..15 completed with acc=10
+    assert list(y[:10]) == [-1] * 10
+    assert list(y[10:]) == [10] * 6
+
+
+def test_break_and_continue():
+    src = """
+__global__ void k(int *y) {
+    int t = threadIdx.x;
+    int acc = 0;
+    for (int i = 0; i < 10; i++) {
+        if (i == 5 && t == 0) break;
+        if (i % 2 == 1) continue;
+        acc += 1;
+    }
+    y[t] = acc;
+}
+"""
+    y = np.zeros(4, dtype=np.int32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 4), {"y": y})
+    assert y[0] == 3  # i = 0,2,4 then break at 5
+    assert all(v == 5 for v in y[1:])  # i = 0,2,4,6,8
+
+
+def test_nested_loop_break_is_inner_only():
+    src = """
+__global__ void k(int *y) {
+    int acc = 0;
+    for (int i = 0; i < 3; i++) {
+        for (int j = 0; j < 10; j++) {
+            if (j == 2) break;
+            acc += 1;
+        }
+    }
+    y[threadIdx.x] = acc;
+}
+"""
+    y = np.zeros(2, dtype=np.int32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 2), {"y": y})
+    assert y[0] == 6  # 3 outer iterations x 2 inner
+
+
+def test_thread_variant_loop_bounds():
+    src = """
+__global__ void k(int *y) {
+    int t = threadIdx.x;
+    int acc = 0;
+    for (int i = 0; i < t; i++) acc += i;
+    y[t] = acc;
+}
+"""
+    y = np.zeros(8, dtype=np.int32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 8), {"y": y})
+    assert list(y) == [sum(range(t)) for t in range(8)]
+
+
+def test_while_with_thread_variant_condition():
+    src = """
+__global__ void k(int *y) {
+    int t = threadIdx.x;
+    int v = t;
+    while (v < 100) v = v * 2 + 1;
+    y[t] = v;
+}
+"""
+    y = np.zeros(8, dtype=np.int32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 8), {"y": y})
+    for t in range(8):
+        v = t
+        while v < 100:
+            v = v * 2 + 1
+        assert y[t] == v
+
+
+def test_select_evaluates_both_sides_safely():
+    # ternary with an out-of-range index on the untaken side must not trap
+    src = """
+__global__ void k(float *y, const float *x, int n) {
+    int t = threadIdx.x;
+    y[t] = (t < n) ? x[t] : 0.0f;
+}
+"""
+    x = np.ones(4, dtype=np.float32)
+    y = np.zeros(8, dtype=np.float32)
+    run_grid(parse_kernel(src), LaunchConfig.make(1, 8),
+             {"y": y, "x": x, "n": 4})
+    assert list(y) == [1, 1, 1, 1, 0, 0, 0, 0]
+
+
+# ---------------------------------------------------------------------------
+# launch validation
+# ---------------------------------------------------------------------------
+def test_missing_argument():
+    k = parse_kernel("__global__ void k(float *y, int n) { y[0] = (float)n; }")
+    with pytest.raises(LaunchError, match="missing argument"):
+        BlockExecutor(k, LaunchConfig.make(1, 1), {"y": np.zeros(1, np.float32)})
+
+
+def test_wrong_dtype_argument():
+    k = parse_kernel("__global__ void k(float *y) { y[0] = 1.0f; }")
+    with pytest.raises(LaunchError, match="dtype"):
+        BlockExecutor(k, LaunchConfig.make(1, 1), {"y": np.zeros(1, np.float64)})
+
+
+def test_unknown_argument():
+    k = parse_kernel("__global__ void k(float *y) { y[0] = 1.0f; }")
+    with pytest.raises(LaunchError, match="unknown arguments"):
+        BlockExecutor(
+            k,
+            LaunchConfig.make(1, 1),
+            {"y": np.zeros(1, np.float32), "zzz": 1},
+        )
+
+
+def test_block_id_out_of_range():
+    k = parse_kernel("__global__ void k(float *y) { y[0] = 1.0f; }")
+    ex = BlockExecutor(k, LaunchConfig.make(2, 1), {"y": np.zeros(1, np.float32)})
+    with pytest.raises(LaunchError):
+        ex.run_block(5)

@@ -1,0 +1,167 @@
+"""Unit tests for the IR builder, validator, printer and visitors."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.frontend.parser import parse_kernel
+from repro.ir import (
+    F32,
+    I32,
+    Assign,
+    If,
+    IRBuilder,
+    Load,
+    Return,
+    Store,
+    count_nodes,
+    iter_stmts,
+    print_kernel,
+    sregs_used,
+    validate_kernel,
+    vars_used,
+    walk_stmts,
+)
+from repro.ir.expr import SRegKind
+
+
+def build_saxpy():
+    b = IRBuilder("saxpy")
+    x = b.pointer_param("x", F32)
+    y = b.pointer_param("y", F32)
+    a = b.scalar_param("a", F32)
+    n = b.scalar_param("n", I32)
+    gid = b.let("gid", b.bid_x * b.bdim_x + b.tid_x)
+    with b.if_(gid < n):
+        b.store(y, gid, a * b.load(x, gid) + b.load(y, gid))
+    return b.finish()
+
+
+def test_builder_basic_structure():
+    k = build_saxpy()
+    assert k.name == "saxpy"
+    assert [p.name for p in k.params] == ["x", "y", "a", "n"]
+    assert len(k.pointer_params) == 2 and len(k.scalar_params) == 2
+    stmts = list(iter_stmts(k.body))
+    assert any(isinstance(s, Store) for s in stmts)
+    assert any(isinstance(s, If) for s in stmts)
+
+
+def test_builder_else_branch():
+    b = IRBuilder("k")
+    y = b.pointer_param("y", F32)
+    with b.if_(b.tid_x < 16):
+        b.store(y, b.tid_x, 1.0)
+    with b.else_():
+        b.store(y, b.tid_x, 2.0)
+    k = b.finish()
+    top_if = k.body[0]
+    assert isinstance(top_if, If)
+    assert len(top_if.then_body) == 1 and len(top_if.else_body) == 1
+
+
+def test_else_without_if_fails():
+    b = IRBuilder("k")
+    b.pointer_param("y", F32)
+    with pytest.raises(IRError):
+        with b.else_():
+            pass
+
+
+def test_unclosed_block_fails():
+    b = IRBuilder("k")
+    ctx = b.if_(b.tid_x < 1)
+    ctx.__enter__()
+    with pytest.raises(IRError):
+        b.finish()
+
+
+def test_duplicate_param_fails():
+    b = IRBuilder("k")
+    b.scalar_param("n", I32)
+    with pytest.raises(IRError):
+        b.scalar_param("n", I32)
+
+
+def test_loop_and_temp():
+    b = IRBuilder("k")
+    y = b.pointer_param("y", F32)
+    acc = b.let("acc", 0.0, F32)
+    with b.for_("i", 0, 10) as i:
+        b.assign(acc, acc + b.cast(F32, i))
+    t = b.temp(acc * 2.0)
+    b.store(y, b.tid_x, t)
+    k = b.finish()
+    assert any(isinstance(s, Assign) and s.name.startswith("_t")
+               for s in iter_stmts(k.body))
+
+
+def test_validator_undefined_variable():
+    from repro.ir import Kernel, KernelParam, Var
+
+    k = Kernel("bad", [KernelParam("n", I32)], [Assign("x", Var("ghost", I32))])
+    with pytest.raises(IRError, match="undefined variable"):
+        validate_kernel(k)
+
+
+def test_validator_break_outside_loop():
+    from repro.ir import Break, Kernel
+
+    k = Kernel("bad", [], [Break()])
+    with pytest.raises(IRError, match="outside a loop"):
+        validate_kernel(k)
+
+
+def test_validator_shared_extent_thread_variant():
+    b = IRBuilder("bad")
+    b.shared("buf", F32, IRBuilder("t").tid_x)  # tid-dependent extent
+    with pytest.raises(IRError, match="launch-invariant"):
+        b.finish()
+
+
+def test_validator_local_shadows_param():
+    b = IRBuilder("bad")
+    b.scalar_param("n", I32)
+    b.let("n", 3)
+    with pytest.raises(IRError, match="shadows"):
+        b.finish()
+
+
+def test_printer_roundtrips_through_parser():
+    k = build_saxpy()
+    text = print_kernel(k)
+    reparsed = parse_kernel(text)
+    # structural equality via re-printing
+    assert print_kernel(reparsed) == text
+
+
+def test_printer_parenthesization():
+    b = IRBuilder("k")
+    y = b.pointer_param("y", I32)
+    e = (b.tid_x + 1) * (b.tid_x - 2)
+    b.store(y, b.tid_x, e)
+    text = print_kernel(b.finish())
+    assert "(threadIdx.x + 1) * (threadIdx.x - 2)" in text
+
+
+def test_visitors():
+    k = build_saxpy()
+    store = next(s for s in iter_stmts(k.body) if isinstance(s, Store))
+    assert vars_used(store.value) >= {"gid"}
+    regs = set()
+    for s in iter_stmts(k.body):
+        for e in s.exprs():
+            regs |= sregs_used(e)
+    assert {SRegKind.TID_X, SRegKind.CTAID_X, SRegKind.NTID_X} <= regs
+    assert count_nodes(k) > 10
+    # walk_stmts paths: the Store's path passes through the If
+    paths = {id(s): path for s, path in walk_stmts(k.body)}
+    assert any(isinstance(p, If) for p in paths[id(store)])
+
+
+def test_return_statement_prints():
+    b = IRBuilder("k")
+    n = b.scalar_param("n", I32)
+    with b.if_(b.tid_x >= n):
+        b.ret()
+    text = print_kernel(b.finish())
+    assert "return;" in text

@@ -1,0 +1,123 @@
+"""Unit tests for IR expression nodes and their typing rules."""
+
+import pytest
+
+from repro.errors import IRTypeError
+from repro.ir.expr import (
+    BinOp,
+    Call,
+    Cast,
+    Const,
+    Load,
+    Param,
+    Select,
+    SReg,
+    SRegKind,
+    UnOp,
+    Var,
+    const,
+)
+from repro.ir.types import BOOL, F32, F64, I8, I32, I64, PointerType
+
+
+def test_const_inference():
+    assert const(3).dtype == I32
+    assert const(True).dtype == BOOL
+    assert const(1.5).dtype == F32
+    assert const(2**40).dtype == I64
+
+
+def test_const_coercion():
+    c = Const(3, F32)
+    assert isinstance(c.value, float)
+    c2 = Const(True, I32)
+    assert c2.value == 1 and not isinstance(c2.value, bool)
+
+
+def test_sreg():
+    assert SReg(SRegKind.TID_X).dtype == I32
+    assert SRegKind.TID_Y.is_thread_index
+    assert SRegKind.CTAID_Z.is_block_index
+    assert not SRegKind.NTID_X.is_thread_index
+
+
+def test_binop_typing():
+    a = Var("a", I32)
+    b = Var("b", F32)
+    assert BinOp("+", a, b).dtype == F32
+    assert BinOp("<", a, b).dtype == BOOL
+    assert BinOp("&&", a, b).dtype == BOOL
+    assert BinOp("<<", a, const(2)).dtype == I32
+
+
+def test_binop_rejects_bad_ops():
+    a = Var("a", F32)
+    with pytest.raises(IRTypeError):
+        BinOp("**", a, a)
+    with pytest.raises(IRTypeError):
+        BinOp("&", a, a)  # bitwise on float
+    with pytest.raises(IRTypeError):
+        BinOp("%", a, a)  # float modulo must use fmod
+
+
+def test_unop():
+    assert UnOp("-", Var("x", F32)).dtype == F32
+    assert UnOp("!", Var("x", I32)).dtype == BOOL
+    with pytest.raises(IRTypeError):
+        UnOp("~", Var("x", F32))
+    with pytest.raises(IRTypeError):
+        UnOp("?", Var("x", I32))
+
+
+def test_operator_sugar_builds_binops():
+    a, b = Var("a", I32), Var("b", I32)
+    assert isinstance(a + b, BinOp) and (a + b).op == "+"
+    assert (a + 1).rhs == const(1)
+    assert (1 + a).lhs == const(1)
+    assert (a < b).dtype == BOOL
+    assert a.eq(b).op == "=="
+    assert a.ne(0).op == "!="
+    assert (-a).op == "-"
+    assert a.logical_and(b).op == "&&"
+
+
+def test_load_typing():
+    p = Param("buf", PointerType(F32))
+    ld = Load(p, Var("i", I32))
+    assert ld.dtype == F32
+    with pytest.raises(IRTypeError):
+        Load(p, Var("f", F32))  # float index
+    with pytest.raises(IRTypeError):
+        Load(Var("x", I32), const(0))  # non-pointer base
+
+
+def test_param_pointer_has_no_scalar_dtype():
+    p = Param("buf", PointerType(I8))
+    assert p.is_pointer
+    with pytest.raises(IRTypeError):
+        _ = p.dtype
+
+
+def test_call_typing_and_arity():
+    assert Call("sqrt", (Var("x", F32),)).dtype == F32
+    assert Call("sqrt", (Var("x", F64),)).dtype == F64
+    assert Call("sqrt", (Var("i", I32),)).dtype == F32  # int promotes
+    assert Call("min", (Var("a", I32), Var("b", I32))).dtype == I32
+    assert Call("max", (Var("a", F32), Var("b", F64))).dtype == F64
+    with pytest.raises(IRTypeError):
+        Call("sqrt", (Var("a", F32), Var("b", F32)))
+    with pytest.raises(IRTypeError):
+        Call("nosuch", (Var("a", F32),))
+
+
+def test_select_typing():
+    s = Select(Var("c", BOOL), Var("a", I32), Var("b", F32))
+    assert s.dtype == F32
+    assert len(s.children()) == 3
+
+
+def test_expressions_hashable():
+    a = Var("a", I32) + Var("b", I32)
+    b = Var("a", I32) + Var("b", I32)
+    assert a == b and hash(a) == hash(b)
+    assert len({a, b}) == 1

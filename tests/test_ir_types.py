@@ -1,0 +1,112 @@
+"""Unit tests for the IR type system."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IRTypeError
+from repro.ir.types import (
+    BOOL,
+    F32,
+    F64,
+    I8,
+    I16,
+    I32,
+    I64,
+    SCALAR_TYPES,
+    U8,
+    U32,
+    U64,
+    AddressSpace,
+    PointerType,
+    common_type,
+    dtype_from_name,
+    is_pointer,
+)
+
+ALL = list(SCALAR_TYPES.values())
+
+
+def test_scalar_sizes_match_numpy():
+    for t in ALL:
+        assert t.size == np.dtype(t.np).itemsize
+
+
+def test_flags():
+    assert F32.is_float and not F32.is_int
+    assert I32.is_int and I32.is_signed
+    assert U32.is_int and not U32.is_signed
+    assert BOOL.is_bool and not BOOL.is_int and not BOOL.is_float
+
+
+@pytest.mark.parametrize(
+    "name,expected",
+    [
+        ("int", I32),
+        ("float", F32),
+        ("double", F64),
+        ("char", I8),
+        ("unsigned int", U32),
+        ("unsigned", U32),
+        ("long long", I64),
+        ("size_t", U64),
+        ("uint32_t", U32),
+        ("int8_t", I8),
+        ("short", I16),
+        ("unsigned char", U8),
+    ],
+)
+def test_dtype_from_name(name, expected):
+    assert dtype_from_name(name) == expected
+
+
+def test_dtype_from_name_normalizes_whitespace():
+    assert dtype_from_name("  unsigned   int ") == U32
+
+
+def test_dtype_from_name_unknown():
+    with pytest.raises(IRTypeError):
+        dtype_from_name("quaternion")
+
+
+def test_common_type_basics():
+    assert common_type(I32, F32) == F32
+    assert common_type(F32, F64) == F64
+    assert common_type(I8, I32) == I32
+    assert common_type(I32, U32) == U32  # unsigned wins at equal rank
+    assert common_type(BOOL, BOOL) == I32  # bool promotes to int
+    assert common_type(I16, I16) == I16
+
+
+@given(st.sampled_from(ALL), st.sampled_from(ALL))
+def test_common_type_commutative(a, b):
+    assert common_type(a, b) == common_type(b, a)
+
+
+@given(st.sampled_from(ALL))
+def test_common_type_idempotent_except_bool(t):
+    out = common_type(t, t)
+    assert out == (I32 if t.is_bool else t)
+
+
+@given(st.sampled_from(ALL), st.sampled_from(ALL))
+def test_common_type_never_narrows(a, b):
+    out = common_type(a, b)
+    assert out.size >= min(a.size, b.size)
+    if a.is_float or b.is_float:
+        assert out.is_float
+
+
+def test_pointer_type():
+    p = PointerType(F32)
+    assert p.space is AddressSpace.GLOBAL
+    assert is_pointer(p) and not is_pointer(F32)
+    shared = PointerType(I32, AddressSpace.SHARED)
+    assert "shared" in repr(shared)
+    assert repr(p) == "float*"
+
+
+def test_pointer_equality_includes_space():
+    assert PointerType(F32) != PointerType(F32, AddressSpace.SHARED)
+    assert PointerType(F32) == PointerType(F32)

@@ -1,0 +1,143 @@
+"""Per-thread local arrays: parsing, isolation, spans, analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_kernel
+from repro.errors import InterpError, ParseError
+from repro.frontend.parser import parse_kernel
+from repro.interp import LaunchConfig, run_grid
+from repro.ir import print_kernel
+
+WINDOW_SRC = """
+__global__ void window_max(const float *x, float *y, int n) {
+    float window[4];
+    int g = blockIdx.x * blockDim.x + threadIdx.x;
+    if (g >= n) return;
+    for (int i = 0; i < 4; i++) {
+        window[i] = x[(g + i) % n];
+    }
+    float best = window[0];
+    for (int i = 1; i < 4; i++) {
+        best = fmaxf(best, window[i]);
+    }
+    y[g] = best;
+}
+"""
+
+
+def _run(src, span=1, n=500, grid=4, block=256):
+    k = parse_kernel(src)
+    x = np.random.default_rng(1).random(n).astype(np.float32)
+    y = np.zeros(n, dtype=np.float32)
+    run_grid(k, LaunchConfig.make(grid, block), {"x": x, "y": y, "n": n},
+             span=span)
+    return x, y
+
+
+def test_local_array_window_max():
+    x, y = _run(WINDOW_SRC)
+    ref = np.max([np.roll(x, -i) for i in range(4)], axis=0).astype(np.float32)
+    assert np.array_equal(y, ref)
+
+
+def test_local_array_span_equivalence():
+    x1, y1 = _run(WINDOW_SRC, span=1)
+    x2, y2 = _run(WINDOW_SRC, span=128)
+    assert np.array_equal(y1, y2)
+
+
+def test_local_arrays_are_per_thread():
+    # each lane writes its own slot; no cross-lane bleed
+    src = """
+__global__ void k(const float *x, float *y, int n) {
+    float acc[2];
+    int g = blockIdx.x * blockDim.x + threadIdx.x;
+    acc[0] = (float)g;
+    acc[1] = (float)(g * 2);
+    if (g < n) y[g] = acc[0] + acc[1];
+}
+"""
+    _, y = _run(src, span=64, n=500)
+    assert np.array_equal(y, 3.0 * np.arange(500, dtype=np.float32))
+
+
+def test_local_array_zero_initialized():
+    src = """
+__global__ void k(const float *x, float *y, int n) {
+    float acc[3];
+    int g = blockIdx.x * blockDim.x + threadIdx.x;
+    if (g < n) y[g] = acc[2];
+}
+"""
+    _, y = _run(src)
+    assert np.all(y == 0.0)
+
+
+def test_local_array_oob_detected():
+    src = """
+__global__ void k(const float *x, float *y, int n) {
+    float acc[2];
+    acc[threadIdx.x] = 1.0f;
+    y[0] = acc[0];
+}
+"""
+    with pytest.raises(InterpError, match="local-array"):
+        _run(src, block=8)
+
+
+def test_local_array_prints_and_ignored_by_analysis():
+    k = parse_kernel(WINDOW_SRC)
+    assert "float window[4];" in print_kernel(k)
+    a = analyze_kernel(k)
+    # only the global y store is analyzed; local writes don't disqualify
+    assert a.metadata.distributable
+    assert a.metadata.mem_ptrs == ["y"]
+
+
+def test_local_array_parse_errors():
+    with pytest.raises(ParseError, match="multi-dimensional"):
+        parse_kernel(
+            "__global__ void k(float *y) { float a[2][2]; y[0] = 1.0f; }"
+        )
+    with pytest.raises(ParseError, match="initializer"):
+        parse_kernel(
+            "__global__ void k(float *y) { float a[2] = {1.0f}; y[0] = 1.0f; }"
+        )
+
+
+def test_local_array_thread_variant_extent_rejected():
+    with pytest.raises(Exception, match="invariant"):
+        parse_kernel(
+            "__global__ void k(float *y) { float a[threadIdx.x]; y[0] = 1.0f; }"
+        )
+
+
+def test_local_array_indirect_per_thread_indexing():
+    # data-dependent local indexing (the hard case for vectorizers)
+    src = """
+__global__ void k(const float *x, float *y, int n) {
+    float bins[4];
+    int g = blockIdx.x * blockDim.x + threadIdx.x;
+    if (g >= n) return;
+    for (int i = 0; i < 4; i++) bins[i] = 0.0f;
+    for (int i = 0; i < 8; i++) {
+        int slot = (g + i) % 4;
+        bins[slot] += x[(g + i) % n];
+    }
+    float s = 0.0f;
+    for (int i = 0; i < 4; i++) s += bins[i];
+    y[g] = s;
+}
+"""
+    x, y = _run(src, span=32, n=300)
+    ref = np.zeros(300, dtype=np.float32)
+    for g in range(300):
+        s = np.float32(0.0)
+        bins = np.zeros(4, dtype=np.float32)
+        for i in range(8):
+            bins[(g + i) % 4] += x[(g + i) % 300]
+        for i in range(4):
+            s += bins[i]
+        ref[g] = s
+    assert np.allclose(y, ref, rtol=1e-6)

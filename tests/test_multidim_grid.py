@@ -1,0 +1,115 @@
+"""2-D/3-D grid support: linear block-id consistency in the analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_kernel, finalize_plan
+from repro.bench.harness import run_on_cucc
+from repro.cluster import Cluster
+from repro.frontend.parser import parse_kernel
+from repro.hw import SIMD_FOCUSED_NODE
+from repro.interp import LaunchConfig
+from repro.workloads.base import WorkloadSpec
+
+# the idiom 2-D kernels use: explicit x-fastest linearization
+IMAGE_SRC = """
+__global__ void brighten(const float *img, float *out, int n) {
+    int bid = blockIdx.y * gridDim.x + blockIdx.x;
+    int gid = bid * blockDim.x + threadIdx.x;
+    if (gid < n) out[gid] = img[gid] * 1.5f + 8.0f;
+}
+"""
+
+
+def test_linearized_2d_index_accepted():
+    a = analyze_kernel(parse_kernel(IMAGE_SRC))
+    assert a.metadata.distributable, a.metadata.reasons
+    assert a.metadata.tail_divergent
+    plan = finalize_plan(
+        a, LaunchConfig.make((4, 3), 64), {"n": 4 * 3 * 64}, 3
+    )
+    assert not plan.replicated
+    assert plan.p_size == 4  # 12 blocks over 3 nodes
+    assert plan.buffers[0].unit_elems == 64
+
+
+def test_linearized_2d_cluster_execution():
+    gx, gy, block = 5, 4, 32
+    n = gx * gy * block - 10  # tail-divergent final block
+    rng = np.random.default_rng(0)
+    img = rng.random(n).astype(np.float32)
+    spec = WorkloadSpec(
+        name="brighten2d",
+        kernel=parse_kernel(IMAGE_SRC),
+        grid=(gx, gy),
+        block=block,
+        arrays={"img": img, "out": np.zeros(n, dtype=np.float32)},
+        scalars={"n": n},
+        outputs=("out",),
+        reference={"out": img * np.float32(1.5) + np.float32(8.0)},
+    )
+    res = run_on_cucc(spec, Cluster(SIMD_FOCUSED_NODE, 4),
+                      faithful_replication=True)
+    assert not res.record.plan.replicated
+    assert res.record.plan.full_blocks == gx * gy - 1
+
+
+def test_mismatched_y_stride_rejected():
+    # blockIdx.y advances by the wrong stride: rows would interleave
+    src = """
+__global__ void k(float *out) {
+    int bid = blockIdx.y * (gridDim.x + 1) + blockIdx.x;
+    out[bid * blockDim.x + threadIdx.x] = 1.0f;
+}
+"""
+    a = analyze_kernel(parse_kernel(src))
+    assert not a.metadata.distributable
+    assert any("stride mismatch" in r for r in a.metadata.reasons)
+
+
+def test_missing_y_term_overlaps_at_launch():
+    # a 1-D-indexed kernel launched on a 2-D grid: blocks along y write
+    # the same interval -> must fall back to replicated (and stay correct)
+    src = """
+__global__ void k(float *out, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n) out[gid] = 3.0f;
+}
+"""
+    a = analyze_kernel(parse_kernel(src))
+    assert a.metadata.distributable  # fine on 1-D grids
+    plan = finalize_plan(a, LaunchConfig.make((4, 2), 32), {"n": 128}, 2)
+    assert plan.replicated and "overlap" in plan.reason
+    # and on a 1-D grid it distributes as usual
+    plan1d = finalize_plan(a, LaunchConfig.make(8, 32), {"n": 256}, 2)
+    assert not plan1d.replicated
+
+
+def test_3d_grid_accepted_with_full_linearization():
+    src = """
+__global__ void k(float *out) {
+    int bid = (blockIdx.z * gridDim.y + blockIdx.y) * gridDim.x + blockIdx.x;
+    out[bid * blockDim.x + threadIdx.x] = (float)bid;
+}
+"""
+    a = analyze_kernel(parse_kernel(src))
+    assert a.metadata.distributable, a.metadata.reasons
+    cfg = LaunchConfig.make((3, 2, 2), 16)
+    plan = finalize_plan(a, cfg, {}, 2)
+    assert not plan.replicated
+    assert plan.p_size == 6  # 12 blocks over 2 nodes
+
+    # functional check through the cluster runtime
+    n = cfg.num_blocks * 16
+    spec = WorkloadSpec(
+        name="lin3d",
+        kernel=parse_kernel(src),
+        grid=(3, 2, 2),
+        block=16,
+        arrays={"out": np.zeros(n, dtype=np.float32)},
+        outputs=("out",),
+        reference={"out": np.repeat(
+            np.arange(cfg.num_blocks, dtype=np.float32), 16
+        )},
+    )
+    run_on_cucc(spec, Cluster(SIMD_FOCUSED_NODE, 2), faithful_replication=True)

@@ -1,0 +1,165 @@
+"""Hardware models: spec database sanity and roofline model properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import (
+    A100,
+    SIMD_FOCUSED_NODE,
+    THREAD_FOCUSED_NODE,
+    V100,
+    ModelParams,
+    cpu_node_time,
+    gpu_time,
+    spec_table_rows,
+)
+from repro.interp import OpCounters
+
+
+def test_table1_derived_flops():
+    """The spec database must reproduce the paper's Table 1 numbers."""
+    assert SIMD_FOCUSED_NODE.peak_tflops == pytest.approx(4.15, abs=0.01)
+    assert THREAD_FOCUSED_NODE.peak_tflops == pytest.approx(8.19, abs=0.01)
+    assert A100.peak_tflops == pytest.approx(19.5, abs=0.1)
+    assert V100.peak_tflops == pytest.approx(15.7, abs=0.1)
+    assert SIMD_FOCUSED_NODE.cores == 24
+    assert THREAD_FOCUSED_NODE.cores == 128
+    assert A100.sms == 108 and V100.sms == 80
+
+
+def test_spec_table_rows():
+    rows = spec_table_rows()
+    assert len(rows) == 4
+    names = [r["Name"] for r in rows]
+    assert names == ["SIMD-Focused", "Thread-Focused", "A100 GPU", "V100 GPU"]
+    assert rows[0]["Nodes"] == 32 and rows[1]["Nodes"] == 4
+    assert rows[0]["FLOPs (Tera)"] == 4.15
+    assert rows[1]["Year"] == 2021
+
+
+def test_core_limiting():
+    capped = THREAD_FOCUSED_NODE.limited_to_cores(64)
+    assert capped.cores == 64
+    assert capped.peak_tflops == pytest.approx(8.19 / 2, abs=0.01)
+    assert capped.mem_bw_gbs == THREAD_FOCUSED_NODE.mem_bw_gbs
+    with pytest.raises(ValueError):
+        SIMD_FOCUSED_NODE.limited_to_cores(100)
+
+
+def _counters(flops=0.0, bytes_=0.0, barriers=0.0):
+    return OpCounters(
+        flops=flops,
+        global_load_bytes=bytes_,
+        global_line_bytes=bytes_,
+        barriers=barriers,
+    )
+
+
+@given(
+    flops=st.floats(1e6, 1e12),
+    blocks=st.integers(1, 4096),
+)
+@settings(max_examples=50, deadline=None)
+def test_cpu_time_positive_and_monotone_in_work(flops, blocks):
+    t1 = cpu_node_time(SIMD_FOCUSED_NODE, _counters(flops), blocks, True)
+    t2 = cpu_node_time(SIMD_FOCUSED_NODE, _counters(2 * flops), blocks, True)
+    assert 0 < t1 <= t2
+
+
+def test_cpu_time_zero_blocks():
+    assert cpu_node_time(SIMD_FOCUSED_NODE, _counters(1e9), 0, True) == 0.0
+
+
+def test_vectorized_faster_than_scalar():
+    c = _counters(flops=1e10)
+    tv = cpu_node_time(SIMD_FOCUSED_NODE, c, 1024, vectorized=True)
+    ts = cpu_node_time(SIMD_FOCUSED_NODE, c, 1024, vectorized=False)
+    t_off = cpu_node_time(
+        SIMD_FOCUSED_NODE, c, 1024, vectorized=True, simd_enabled=False
+    )
+    assert tv < ts
+    assert t_off == pytest.approx(ts)  # SIMD off == scalar issue
+
+
+def test_wave_quantization():
+    """A 25th block on a 24-core node costs a whole extra wave."""
+    per_block = _counters(flops=1e8)
+    t24 = cpu_node_time(SIMD_FOCUSED_NODE, per_block.scaled(24), 24, True)
+    t25 = cpu_node_time(SIMD_FOCUSED_NODE, per_block.scaled(25), 25, True)
+    assert t25 > 1.8 * t24
+
+
+def test_llc_boost():
+    c = _counters(bytes_=1e7)  # 10 MB touched
+    fits = cpu_node_time(
+        SIMD_FOCUSED_NODE, c, 24, True, working_set_bytes=10e6
+    )
+    spills = cpu_node_time(
+        SIMD_FOCUSED_NODE, c, 24, True, working_set_bytes=1e9
+    )
+    assert fits < spills
+
+
+def test_line_amplification_charged_in_dram():
+    strided = OpCounters(global_load_bytes=1e8, global_line_bytes=1.6e9)
+    coalesced = OpCounters(global_load_bytes=1e8, global_line_bytes=1e8)
+    t_s = cpu_node_time(
+        SIMD_FOCUSED_NODE, strided, 24, True, working_set_bytes=1e9
+    )
+    t_c = cpu_node_time(
+        SIMD_FOCUSED_NODE, coalesced, 24, True, working_set_bytes=1e9
+    )
+    assert t_s > 10 * t_c
+
+
+def test_scalar_streaming_cap():
+    """Few-core nodes lose bandwidth without SIMD; many-core nodes don't."""
+    c = OpCounters(global_load_bytes=1e9, global_line_bytes=1e9)
+    params = ModelParams()
+    simd_on = cpu_node_time(
+        SIMD_FOCUSED_NODE, c, 24, True, working_set_bytes=1e9, params=params
+    )
+    simd_off = cpu_node_time(
+        SIMD_FOCUSED_NODE, c, 24, True, simd_enabled=False,
+        working_set_bytes=1e9, params=params
+    )
+    assert simd_off > simd_on  # 24 cores cannot stream scalar at full bw
+    thr_on = cpu_node_time(
+        THREAD_FOCUSED_NODE, c, 128, True, working_set_bytes=1e9
+    )
+    thr_off = cpu_node_time(
+        THREAD_FOCUSED_NODE, c, 128, True, simd_enabled=False,
+        working_set_bytes=1e9
+    )
+    assert thr_off == pytest.approx(thr_on)  # 128 cores still saturate
+
+
+def test_gpu_wave_model():
+    per_block = OpCounters(flops=1e7)
+    t108 = gpu_time(A100, per_block.scaled(108), 108, 256)
+    t109 = gpu_time(A100, per_block.scaled(109), 109, 256)
+    t216 = gpu_time(A100, per_block.scaled(216), 216, 256)
+    # the 109th block makes some SM run two blocks: ~2x makespan, the
+    # same as a full second wave
+    assert t109 > 1.5 * t108
+    assert t216 == pytest.approx(t109, rel=0.05)
+    # saturated grids amortize waves: 100x the blocks ~ 100x the time
+    t_big = gpu_time(A100, per_block.scaled(10800), 10800, 256)
+    assert t_big == pytest.approx(100 * t108, rel=0.1)
+
+
+def test_gpu_sync_cost_scales_with_barriers():
+    quiet = _counters(flops=1e8)
+    phased = _counters(flops=1e8, barriers=1e6)
+    assert gpu_time(A100, phased, 1024, 256) > gpu_time(A100, quiet, 1024, 256)
+
+
+def test_gpu_zero_blocks():
+    assert gpu_time(A100, _counters(1e9), 0, 256) == 0.0
+
+
+def test_counters_weighting():
+    assert OpCounters(special_ops=1).weighted_flops == 8.0
+    assert OpCounters(div_ops=1).weighted_flops == 4.0
+    assert OpCounters(flops=1, int_ops=2).weighted_ops == 3.0

@@ -1,0 +1,103 @@
+"""The benchmark profiling layer: counters, ranges, and model consistency."""
+
+import numpy as np
+import pytest
+
+from repro.bench.profile import (
+    get_profile,
+    make_plan,
+    model_gpu_time,
+    model_pgas_time,
+    model_single_cpu_time,
+    profile_workload,
+)
+from repro.hw import A100, INFINIBAND_100G, SIMD_FOCUSED_NODE
+from repro.workloads import PERF_WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def fir_profile():
+    return profile_workload(PERF_WORKLOADS["FIR"]("small"))
+
+
+def test_profile_totals_consistent(fir_profile):
+    p = fir_profile
+    whole = p.counters_for_range(0, p.num_blocks)
+    assert whole.flops == pytest.approx(p.total.flops, rel=1e-9)
+    assert whole.global_bytes == pytest.approx(p.total.global_bytes, rel=1e-9)
+
+
+def test_profile_range_additivity(fir_profile):
+    p = fir_profile
+    mid = p.num_blocks // 2
+    a = p.counters_for_range(0, mid)
+    b = p.counters_for_range(mid, p.num_blocks)
+    assert a.flops + b.flops == pytest.approx(p.total.flops, rel=1e-9)
+    assert p.counters_for_range(3, 3).flops == 0.0
+
+
+def test_profile_tail_blocks_differ(fir_profile):
+    """FIR's last block is half-empty (tail divergence): its counters must
+    be smaller than a regular block's."""
+    p = fir_profile
+    assert len(p.tail) == 2
+    assert p.tail[-1].flops < p.regular_block.flops
+    assert p.tail[-2].flops == pytest.approx(p.regular_block.flops, rel=0.01)
+
+
+def test_profile_verifies_outputs():
+    from repro.errors import ReproError
+
+    spec = PERF_WORKLOADS["FIR"]("small")
+    spec.reference["output"] = spec.reference["output"] + 1.0  # sabotage
+    with pytest.raises(ReproError, match="mismatches"):
+        profile_workload(spec)
+
+
+def test_profile_pgas_counts(fir_profile):
+    p = fir_profile
+    # FIR writes one element per logical output: global-array traffic is
+    # exactly the store count
+    assert p.pgas_global_ops == p.total.global_stores
+    assert p.pgas_global_bytes == p.total.global_store_bytes
+
+
+def test_make_plan_matches_runtime_plan(fir_profile):
+    plan = make_plan(fir_profile, 4)
+    assert not plan.replicated
+    assert plan.num_nodes == 4
+    # conservation: partial + callback covers every block once
+    assert plan.executed_blocks + len(plan.callback_blocks) == plan.num_blocks
+
+
+def test_models_return_positive_times(fir_profile):
+    assert model_single_cpu_time(fir_profile, SIMD_FOCUSED_NODE) > 0
+    assert model_gpu_time(fir_profile, A100) > 0
+    for n in (1, 2, 8):
+        assert model_pgas_time(fir_profile, SIMD_FOCUSED_NODE,
+                               INFINIBAND_100G, n) > 0
+
+
+def test_pgas_model_matches_pgas_runtime():
+    """The analytical PGAS model must agree with the executing PGAS
+    runtime for the same configuration."""
+    from repro.baselines import PGASRuntime
+    from repro.cluster import Cluster
+
+    spec = PERF_WORKLOADS["Transpose"]("small")
+    prof = profile_workload(spec)
+    spec2 = PERF_WORKLOADS["Transpose"]("small")
+    cl = Cluster(SIMD_FOCUSED_NODE, 4)
+    rt = PGASRuntime(cl)
+    for name, arr in spec2.arrays.items():
+        rt.alloc(name, arr.size, arr.dtype)
+        rt.memcpy_h2d(name, arr)
+    rec = rt.launch(spec2.kernel, spec2.grid, spec2.block, spec2.args())
+    modeled = model_pgas_time(prof, SIMD_FOCUSED_NODE, INFINIBAND_100G, 4)
+    assert modeled == pytest.approx(rec.time, rel=0.1)
+
+
+def test_get_profile_is_cached():
+    a = get_profile("GA", "small")
+    b = get_profile("GA", "small")
+    assert a is b

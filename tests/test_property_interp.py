@@ -1,0 +1,158 @@
+"""Property-based testing: the interpreter against a NumPy oracle.
+
+Hypothesis generates random straight-line arithmetic kernels over a small
+expression grammar; each is executed by the SPMD interpreter and by a
+direct NumPy evaluation of the same expression tree, and the results
+must agree bit-for-bit (float32) / exactly (int32).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interp import BlockExecutor, LaunchConfig
+from repro.ir import F32, I32, IRBuilder
+from repro.ir.expr import BinOp, Call, Cast, Const, Expr, Load, Param, SReg, Select
+from repro.ir.expr import SRegKind, UnOp, Var
+from repro.ir.types import PointerType
+
+TPB = 32
+GRID = 3
+N = TPB * GRID
+
+# -- expression generator ----------------------------------------------------
+
+_leaf_f = st.sampled_from(["in0", "in1", "const", "tid"])
+_f_ops = st.sampled_from(["+", "-", "*"])
+_calls = st.sampled_from(["sqrt", "fabs", "min", "max", "exp"])
+
+
+@st.composite
+def float_exprs(draw, depth=0):
+    """(ir_expr_builder, numpy_fn) pairs over inputs (x0, x1, gid)."""
+    if depth >= 3 or draw(st.booleans()):
+        leaf = draw(_leaf_f)
+        if leaf == "const":
+            v = draw(
+                st.floats(-4, 4, allow_nan=False, width=32).map(np.float32)
+            )
+            return (lambda ctx: Const(float(v), F32), lambda x0, x1, g: v)
+        if leaf == "tid":
+            return (
+                lambda ctx: Cast(F32, ctx["gid"]),
+                lambda x0, x1, g: g.astype(np.float32),
+            )
+        idx = 0 if leaf == "in0" else 1
+        return (
+            lambda ctx, i=idx: Load(ctx[f"in{i}"], ctx["gid"]),
+            lambda x0, x1, g, i=idx: (x0, x1)[i][g],
+        )
+    kind = draw(st.sampled_from(["bin", "call1", "call2", "select"]))
+    a_ir, a_np = draw(float_exprs(depth=depth + 1))
+    if kind == "bin":
+        op = draw(_f_ops)
+        b_ir, b_np = draw(float_exprs(depth=depth + 1))
+        fn = {"+": np.add, "-": np.subtract, "*": np.multiply}[op]
+        return (
+            lambda ctx: BinOp(op, a_ir(ctx), b_ir(ctx)),
+            lambda x0, x1, g: fn(
+                np.float32(a_np(x0, x1, g)), np.float32(b_np(x0, x1, g))
+            ).astype(np.float32),
+        )
+    if kind == "call1":
+        name = draw(st.sampled_from(["sqrt", "fabs", "exp"]))
+        impl = {"sqrt": np.sqrt, "fabs": np.abs, "exp": np.exp}[name]
+
+        def np_side(x0, x1, g, impl=impl, a_np=a_np):
+            with np.errstate(all="ignore"):
+                return impl(np.float32(a_np(x0, x1, g))).astype(np.float32)
+
+        return (lambda ctx: Call(name, (a_ir(ctx),)), np_side)
+    if kind == "call2":
+        name = draw(st.sampled_from(["min", "max"]))
+        impl = {"min": np.minimum, "max": np.maximum}[name]
+        b_ir, b_np = draw(float_exprs(depth=depth + 1))
+        return (
+            lambda ctx: Call(name, (a_ir(ctx), b_ir(ctx))),
+            lambda x0, x1, g: impl(
+                np.float32(a_np(x0, x1, g)), np.float32(b_np(x0, x1, g))
+            ).astype(np.float32),
+        )
+    # select on a comparison
+    b_ir, b_np = draw(float_exprs(depth=depth + 1))
+    c_ir, c_np = draw(float_exprs(depth=depth + 1))
+    return (
+        lambda ctx: Select(
+            BinOp("<", a_ir(ctx), b_ir(ctx)), c_ir(ctx), a_ir(ctx)
+        ),
+        lambda x0, x1, g: np.where(
+            np.float32(a_np(x0, x1, g)) < np.float32(b_np(x0, x1, g)),
+            np.float32(c_np(x0, x1, g)),
+            np.float32(a_np(x0, x1, g)),
+        ).astype(np.float32),
+    )
+
+
+@given(float_exprs(), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_random_float_expressions_match_numpy(pair, seed):
+    ir_fn, np_fn = pair
+    b = IRBuilder("prop")
+    in0 = b.pointer_param("in0", F32)
+    in1 = b.pointer_param("in1", F32)
+    out = b.pointer_param("out", F32)
+    gid = b.let("gid", b.bid_x * b.bdim_x + b.tid_x)
+    ctx = {"in0": in0, "in1": in1, "gid": gid}
+    b.store(out, gid, ir_fn(ctx))
+    kernel = b.finish()
+
+    rng = np.random.default_rng(seed)
+    x0 = rng.uniform(-4, 4, N).astype(np.float32)
+    x1 = rng.uniform(-4, 4, N).astype(np.float32)
+    got = np.zeros(N, dtype=np.float32)
+    ex = BlockExecutor(
+        kernel,
+        LaunchConfig.make(GRID, TPB),
+        {"in0": x0, "in1": x1, "out": got},
+    )
+    ex.run_blocks(range(GRID), span=2)
+    g = np.arange(N)
+    with np.errstate(all="ignore"):
+        want = np.broadcast_to(np.asarray(np_fn(x0, x1, g)), (N,)).astype(
+            np.float32
+        )
+    assert np.array_equal(got, want, equal_nan=True)
+
+
+# -- integer kernels with guards ----------------------------------------------
+@given(
+    bound=st.integers(0, N),
+    mul=st.integers(-3, 3),
+    add=st.integers(-50, 50),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_guarded_int_kernels_match_numpy(bound, mul, add, seed):
+    b = IRBuilder("prop_int")
+    src = b.pointer_param("src", I32)
+    out = b.pointer_param("out", I32)
+    n = b.scalar_param("n", I32)
+    gid = b.let("gid", b.bid_x * b.bdim_x + b.tid_x)
+    with b.if_(gid < n):
+        b.store(out, gid, b.load(src, gid) * mul + add)
+    kernel = b.finish()
+
+    rng = np.random.default_rng(seed)
+    x = rng.integers(-1000, 1000, N).astype(np.int32)
+    got = np.zeros(N, dtype=np.int32)
+    ex = BlockExecutor(
+        kernel,
+        LaunchConfig.make(GRID, TPB),
+        {"src": x, "out": got, "n": bound},
+    )
+    ex.run_blocks(range(GRID))
+    want = np.zeros(N, dtype=np.int32)
+    want[:bound] = (
+        x[:bound].astype(np.int64) * mul + add
+    ).astype(np.int32)
+    assert np.array_equal(got, want)

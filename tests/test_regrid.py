@@ -1,0 +1,181 @@
+"""Workload redistribution (section 8.3 future work): block regridding."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_kernel
+from repro.bench.harness import run_on_cucc
+from repro.cluster import Cluster
+from repro.frontend.parser import parse_kernel
+from repro.hw import SIMD_FOCUSED_NODE
+from repro.interp import LaunchConfig, run_grid
+from repro.transform import (
+    GID_PARAM,
+    choose_geometry,
+    is_regriddable,
+    regrid_kernel,
+    regrid_workload,
+)
+from repro.workloads import PERF_WORKLOADS
+
+SCALE = """
+__global__ void scale(const float *x, float *y, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid < n) y[gid] = x[gid] * 2.0f;
+}
+"""
+
+
+def test_regriddable_detection():
+    assert is_regriddable(parse_kernel(SCALE))
+    # standalone threadIdx use -> block affinity matters
+    assert not is_regriddable(
+        parse_kernel("__global__ void k(float *y) { y[threadIdx.x] = 1.0f; }")
+    )
+    # shared memory -> not regriddable
+    assert not is_regriddable(
+        parse_kernel(
+            """
+__global__ void k(float *y) {
+    __shared__ float t[32];
+    int g = blockIdx.x * blockDim.x + threadIdx.x;
+    t[0] = 1.0f;
+    y[g] = t[0];
+}
+"""
+        )
+    )
+    # gridDim use (grid-stride loop) -> not regriddable
+    assert not is_regriddable(
+        parse_kernel(
+            """
+__global__ void k(float *y, int n) {
+    for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < n;
+         i += blockDim.x * gridDim.x)
+        y[i] = 1.0f;
+}
+"""
+        )
+    )
+
+
+def test_regrid_kernel_structure():
+    rg = regrid_kernel(parse_kernel(SCALE))
+    assert rg is not None
+    assert rg.kernel.name == "scale__regrid"
+    assert rg.kernel.params[-1].name == GID_PARAM
+    # regridded kernels stay Allgather distributable (guard is tail-shaped)
+    a = analyze_kernel(rg.kernel)
+    assert a.metadata.distributable and a.metadata.tail_divergent
+
+
+@pytest.mark.parametrize(
+    "grid,block", [(1, 512), (4, 128), (16, 32), (7, 73)]
+)
+def test_regridded_kernel_equivalent_under_any_geometry(grid, block):
+    k = parse_kernel(SCALE)
+    rg = regrid_kernel(k)
+    n = 500
+    logical = 2 * 256  # the original launch was <<<2, 256>>>
+    x = np.random.default_rng(0).random(n).astype(np.float32)
+    y_ref = np.zeros(n, dtype=np.float32)
+    run_grid(k, LaunchConfig.make(2, 256), {"x": x, "y": y_ref, "n": n})
+    if grid * block < logical:
+        pytest.skip("geometry does not cover the logical range")
+    y_new = np.zeros(n, dtype=np.float32)
+    run_grid(
+        rg.kernel,
+        LaunchConfig.make(grid, block),
+        {"x": x, "y": y_new, "n": n, GID_PARAM: logical},
+    )
+    assert np.array_equal(y_ref, y_new)
+
+
+def test_gid_spelling_variants_are_recognized():
+    for expr in (
+        "blockIdx.x * blockDim.x + threadIdx.x",
+        "blockDim.x * blockIdx.x + threadIdx.x",
+        "threadIdx.x + blockIdx.x * blockDim.x",
+    ):
+        src = f"""
+__global__ void k(float *y, int n) {{
+    int gid = {expr};
+    if (gid < n) y[gid] = 1.0f;
+}}
+"""
+        assert is_regriddable(parse_kernel(src)), expr
+
+
+def test_choose_geometry_targets_core_count():
+    grid, block = choose_geometry(131072, total_cores=768)
+    assert grid * block >= 131072
+    assert grid >= 768  # enough blocks for every core
+    assert 32 <= block <= 1024
+    # degenerate small problems still produce a legal geometry
+    grid, block = choose_geometry(100, total_cores=768)
+    assert grid * block >= 100 and block >= 32
+    with pytest.raises(ValueError):
+        choose_geometry(0, 10)
+
+
+@pytest.mark.parametrize("name", ["EP", "FIR", "KMeans", "NBody"])
+def test_regrid_workload_preserves_results(name):
+    spec = PERF_WORKLOADS[name]("small")
+    new = regrid_workload(spec, total_cores=96)
+    assert new is not None
+    assert new.kernel.name.endswith("__regrid")
+    assert GID_PARAM in new.scalars
+    # the regridded spec verifies against the *original* reference
+    run_on_cucc(new, Cluster(SIMD_FOCUSED_NODE, 4))
+
+
+def test_regrid_workload_refuses_shared_memory_kernels():
+    for name in ("BinomialOption", "GA"):
+        spec = PERF_WORKLOADS[name]("small")
+        assert regrid_workload(spec, total_cores=96) is None
+
+
+def test_regrid_improves_block_starved_scaling():
+    """The section 8.3 claim: redistribution helps kernels whose block
+    count is below the cluster's core count (EP-shaped: heavy per-thread
+    loops, far fewer blocks than cores)."""
+    from repro.bench.profile import model_cucc_time, profile_workload
+    from repro.hw import INFINIBAND_100G
+    from repro.workloads.base import WorkloadSpec
+
+    src = """
+__global__ void heavy(const float *x, float *y, int rounds, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    if (gid >= n) return;
+    float v = x[gid];
+    for (int r = 0; r < rounds; r++) {
+        v = v * 1.000001f + 0.5f;
+    }
+    y[gid] = v;
+}
+"""
+    rounds, n = 2000, 16 * 256
+    x = np.random.default_rng(0).random(n).astype(np.float32)
+    v = x.copy()
+    for _ in range(rounds):
+        v = (v * np.float32(1.000001) + np.float32(0.5)).astype(np.float32)
+    spec = WorkloadSpec(
+        name="heavy",
+        kernel=parse_kernel(src),
+        grid=16,  # far fewer blocks than the cluster's 192 cores
+        block=256,
+        arrays={"x": x, "y": np.zeros(n, dtype=np.float32)},
+        scalars={"rounds": rounds, "n": n},
+        outputs=("y",),
+        reference={"y": v},
+    )
+    base = profile_workload(spec)
+    new_spec = regrid_workload(spec, total_cores=8 * 24)
+    assert new_spec is not None
+    regr = profile_workload(new_spec)  # also verifies correctness
+    # with 2 blocks per node the original leaves 22 of each node's 24
+    # cores idle; the regridded version splits the same work 8x finer
+    ph_base = model_cucc_time(base, SIMD_FOCUSED_NODE, INFINIBAND_100G, 8)
+    ph_regr = model_cucc_time(regr, SIMD_FOCUSED_NODE, INFINIBAND_100G, 8)
+    assert ph_regr.partial < 0.25 * ph_base.partial  # compute phase ~8x
+    assert ph_regr.total < 0.75 * ph_base.total  # comm/overhead unchanged

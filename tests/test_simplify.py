@@ -1,0 +1,173 @@
+"""IR simplification: folding correctness and exactness properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend.parser import parse_kernel
+from repro.interp import BlockExecutor, LaunchConfig, run_grid
+from repro.ir import (
+    BOOL,
+    F32,
+    I32,
+    IRBuilder,
+    count_nodes,
+    print_expr,
+    print_kernel,
+)
+from repro.ir.expr import BinOp, Cast, Const, Select, UnOp, Var, const
+from repro.transform.simplify import simplify_expr, simplify_kernel
+
+
+def test_constant_folding_int():
+    e = simplify_expr(const(3) * const(4) + const(2))
+    assert e == Const(14, I32)
+
+
+def test_constant_folding_respects_c_division():
+    assert simplify_expr(const(-7) / const(2)) == Const(-3, I32)
+    assert simplify_expr(const(-7) % const(2)) == Const(-1, I32)
+    # division by zero constant is left in place (visible at runtime)
+    e = simplify_expr(const(5) / const(0))
+    assert isinstance(e, BinOp)
+
+
+def test_constant_folding_float32_precision():
+    # 0.1f + 0.2f in float32, not float64
+    a = Const(0.1, F32)
+    b = Const(0.2, F32)
+    e = simplify_expr(BinOp("+", a, b))
+    assert isinstance(e, Const)
+    assert e.value == float(np.float32(0.1) + np.float32(0.2))
+
+
+def test_int_identities():
+    x = Var("x", I32)
+    assert simplify_expr(x + 0) == x
+    assert simplify_expr(0 + x) == x
+    assert simplify_expr(x - 0) == x
+    assert simplify_expr(x * 1) == x
+    assert simplify_expr(x * 0) == Const(0, I32)
+    assert simplify_expr(x / const(1)) == x
+    assert simplify_expr(x << const(0)) == x
+    assert simplify_expr(x & const(0)) == Const(0, I32)
+    assert simplify_expr(x | const(0)) == x
+
+
+def test_float_identities_are_conservative():
+    x = Var("x", F32)
+    one = Const(1.0, F32)
+    zero = Const(0.0, F32)
+    assert simplify_expr(BinOp("*", x, one)) == x
+    assert simplify_expr(BinOp("/", x, one)) == x
+    # x + 0.0 must NOT fold (breaks -0.0)
+    assert isinstance(simplify_expr(BinOp("+", x, zero)), BinOp)
+
+
+def test_bool_identities():
+    c = Var("c", BOOL)
+    t = Const(True, BOOL)
+    f = Const(False, BOOL)
+    assert simplify_expr(BinOp("&&", t, c)) == c
+    assert simplify_expr(BinOp("&&", f, c)) == f
+    assert simplify_expr(BinOp("||", t, c)) == t
+    assert simplify_expr(BinOp("||", f, c)) == c
+
+
+def test_unop_and_cast_folding():
+    assert simplify_expr(UnOp("-", const(5))) == Const(-5, I32)
+    assert simplify_expr(UnOp("!", Const(True, BOOL))) == Const(False, BOOL)
+    x = Var("x", I32)
+    assert simplify_expr(UnOp("-", UnOp("-", x))) == x
+    assert simplify_expr(Cast(F32, const(3))) == Const(3.0, F32)
+    assert simplify_expr(Cast(I32, x)) == x  # same-type cast dropped
+
+
+def test_select_folding():
+    x, y = Var("x", I32), Var("y", I32)
+    assert simplify_expr(Select(Const(True, BOOL), x, y)) == x
+    assert simplify_expr(Select(Const(False, BOOL), x, y)) == y
+
+
+def test_dead_branch_elimination():
+    src = """
+__global__ void k(float *y) {
+    int g = blockIdx.x * blockDim.x + threadIdx.x;
+    if (1 < 2) { y[g] = 1.0f; } else { y[g] = 2.0f; }
+    if (3 < 2) { y[g] = 9.0f; }
+    for (int i = 0; i < 0; i++) { y[g] = 5.0f; }
+    while (false) { y[g] = 7.0f; }
+}
+"""
+    k = simplify_kernel(parse_kernel(src))
+    text = print_kernel(k)
+    assert "2.0f" not in text and "9.0f" not in text
+    assert "5.0f" not in text and "7.0f" not in text
+    assert "1.0f" in text
+
+
+def test_macro_heavy_kernel_shrinks():
+    src = """
+#define TILE 16
+#define SCALE 4
+__global__ void k(float *y, int n) {
+    int g = blockIdx.x * blockDim.x + threadIdx.x;
+    if (g < n) y[g + TILE * SCALE - 64] = (float)(2 * 3) * 1.0f;
+}
+"""
+    k = parse_kernel(src)
+    sk = simplify_kernel(k)
+    assert count_nodes(sk) < count_nodes(k)
+    # g + 64 - 64 folds the constants together; semantics preserved
+    n = 40
+    y1 = np.zeros(64, np.float32)
+    y2 = np.zeros(64, np.float32)
+    run_grid(k, LaunchConfig.make(2, 32), {"y": y1, "n": n})
+    run_grid(sk, LaunchConfig.make(2, 32), {"y": y2, "n": n})
+    assert np.array_equal(y1, y2)
+
+
+@pytest.mark.parametrize("name", ["FIR", "KMeans", "EP", "GA", "Transpose"])
+def test_simplified_workloads_equivalent(name):
+    from repro.workloads import PERF_WORKLOADS
+
+    spec = PERF_WORKLOADS[name]("small")
+    sk = simplify_kernel(spec.kernel)
+    arrays = {k: v.copy() for k, v in spec.arrays.items()}
+    args = dict(spec.scalars)
+    args.update(arrays)
+    run_grid(sk, LaunchConfig.make(spec.grid, spec.block), args)
+    spec.verify({o: arrays[o] for o in spec.outputs})
+
+
+# ---------------------------------------------------------------------------
+# property: simplification is semantics-preserving on random expressions
+# ---------------------------------------------------------------------------
+from test_property_interp import GRID, N, TPB, float_exprs  # noqa: E402
+
+
+@given(float_exprs(), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_simplify_preserves_semantics(pair, seed):
+    ir_fn, _ = pair
+    b = IRBuilder("prop")
+    in0 = b.pointer_param("in0", F32)
+    in1 = b.pointer_param("in1", F32)
+    out = b.pointer_param("out", F32)
+    gid = b.let("gid", b.bid_x * b.bdim_x + b.tid_x)
+    ctx = {"in0": in0, "in1": in1, "gid": gid}
+    b.store(out, gid, ir_fn(ctx))
+    kernel = b.finish()
+    simplified = simplify_kernel(kernel)
+
+    rng = np.random.default_rng(seed)
+    x0 = rng.uniform(-4, 4, N).astype(np.float32)
+    x1 = rng.uniform(-4, 4, N).astype(np.float32)
+    y1 = np.zeros(N, dtype=np.float32)
+    y2 = np.zeros(N, dtype=np.float32)
+    run_grid(kernel, LaunchConfig.make(GRID, TPB),
+             {"in0": x0, "in1": x1, "out": y1})
+    run_grid(simplified, LaunchConfig.make(GRID, TPB),
+             {"in0": x0, "in1": x1, "out": y2})
+    assert np.array_equal(y1, y2, equal_nan=True)

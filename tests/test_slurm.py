@@ -1,0 +1,133 @@
+"""Slurm partition simulation: scheduler invariants and Figure 1 shape."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.slurm import (
+    PACE_PARTITIONS,
+    Job,
+    generate_trace,
+    simulate_campus_cluster,
+    simulate_partition,
+    wait_stats,
+)
+
+
+def _job_list(draw_jobs):
+    jobs = []
+    for i, (t, nodes, run) in enumerate(draw_jobs):
+        jobs.append(
+            Job(submit_time=float(t), job_id=i, nodes=nodes,
+                runtime_s=float(run), partition="p")
+        )
+    return jobs
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 1000, allow_nan=False),
+            st.integers(1, 8),
+            st.floats(1, 500, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    st.integers(8, 16),
+)
+@settings(max_examples=40, deadline=None)
+def test_scheduler_invariants(raw, capacity):
+    """Property: every job runs exactly once, never before submission,
+    and concurrent node usage never exceeds capacity."""
+    jobs = _job_list(raw)
+    finished = simulate_partition("p", capacity, jobs)
+    assert len(finished) == len(jobs)
+    assert {j.job_id for j in finished} == {j.job_id for j in jobs}
+    for j in finished:
+        assert j.start_time >= j.submit_time - 1e-9
+        assert j.wait_s >= 0
+    # capacity check at every start event
+    events = sorted(finished, key=lambda j: j.start_time)
+    for j in events:
+        t = j.start_time
+        used = sum(
+            o.nodes
+            for o in finished
+            if o.start_time <= t < o.end_time
+        )
+        assert used <= capacity, (t, used, capacity)
+
+
+def test_job_wider_than_partition_rejected():
+    jobs = [Job(submit_time=0.0, job_id=0, nodes=99, runtime_s=10.0,
+                partition="p")]
+    with pytest.raises(ReproError, match="requests"):
+        simulate_partition("p", 4, jobs)
+
+
+def test_fcfs_order_without_backfill_opportunity():
+    # equal-width jobs: strictly FCFS
+    jobs = [
+        Job(submit_time=float(i), job_id=i, nodes=4, runtime_s=100.0,
+            partition="p")
+        for i in range(6)
+    ]
+    finished = simulate_partition("p", 4, jobs)
+    by_id = sorted(finished, key=lambda j: j.job_id)
+    starts = [j.start_time for j in by_id]
+    assert starts == sorted(starts)
+    assert starts[1] == pytest.approx(100.0)  # waits for the first
+
+
+def test_backfill_lets_small_job_jump_safely():
+    # head (4 nodes) must wait for the 4-node runner; a 1-node short job
+    # can backfill without delaying the head
+    jobs = [
+        Job(submit_time=0.0, job_id=0, nodes=4, runtime_s=100.0, partition="p"),
+        Job(submit_time=1.0, job_id=1, nodes=4, runtime_s=50.0, partition="p"),
+        Job(submit_time=2.0, job_id=2, nodes=1, runtime_s=10.0, partition="p"),
+    ]
+    finished = {j.job_id: j for j in simulate_partition("p", 5, jobs)}
+    assert finished[2].start_time < finished[1].start_time  # backfilled
+    assert finished[1].start_time == pytest.approx(100.0)  # not delayed
+
+
+def test_generate_trace_statistics():
+    rng = np.random.default_rng(0)
+    jobs = generate_trace("p", 64, 0.5, 7 * 24 * 3600, rng)
+    assert len(jobs) > 100
+    assert all(1 <= j.nodes <= 16 for j in jobs)
+    assert all(60 <= j.runtime_s <= 96 * 3600 for j in jobs)
+    times = [j.submit_time for j in jobs]
+    assert times == sorted(times)
+    with pytest.raises(ValueError):
+        generate_trace("p", 64, 0.0, 100.0, rng)
+
+
+def test_wait_stats_fields():
+    jobs = [
+        Job(submit_time=0.0, job_id=0, nodes=1, runtime_s=10.0,
+            partition="p", start_time=5.0),
+        Job(submit_time=0.0, job_id=1, nodes=1, runtime_s=10.0,
+            partition="p", start_time=15.0),
+    ]
+    s = wait_stats("p", jobs, num_nodes=2, duration_s=100.0)
+    assert s.mean_s == 10.0 and s.max_s == 15.0
+    assert s.jobs == 2 and 0 < s.utilization <= 1
+    assert "Mean wait" in s.row()
+
+
+def test_figure1_shape_gpu_waits_dominate():
+    stats = simulate_campus_cluster(seed=1)
+    assert len(stats) == len(PACE_PARTITIONS)
+    cpu = [s for s in stats if s.partition.startswith("cpu")]
+    gpu = [s for s in stats if s.partition.startswith("gpu")]
+    cpu_wait = np.mean([s.mean_s for s in cpu])
+    gpu_wait = np.mean([s.mean_s for s in gpu])
+    # the paper's claim: GPU queues are far longer while CPUs sit idle
+    assert gpu_wait > 50 * (cpu_wait + 1.0)
+    assert all(s.utilization < 0.7 for s in cpu)
+    assert all(s.utilization > 0.7 for s in gpu)

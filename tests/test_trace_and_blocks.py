@@ -1,0 +1,120 @@
+"""Launch-trace reporting and multi-dimensional block execution."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.frontend.parser import parse_kernel
+from repro.hw import SIMD_FOCUSED_NODE
+from repro.interp import LaunchConfig, run_grid
+from repro.runtime import CuCCRuntime, summarize_launches
+
+
+# ---------------------------------------------------------------------------
+# trace reporting
+# ---------------------------------------------------------------------------
+def test_trace_report_aggregates_per_kernel():
+    src = """
+__global__ void scale(const float *x, float *y, int n, float f) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    if (id < n) y[id] = x[id] * f;
+}
+"""
+    rt = CuCCRuntime(Cluster(SIMD_FOCUSED_NODE, 2))
+    compiled = rt.compile(parse_kernel(src))
+    n = 512
+    for name in ("a", "b"):
+        rt.memory.alloc(name, n, np.float32)
+    rt.memory.memcpy_h2d("a", np.ones(n, np.float32))
+    for i in range(3):
+        rt.launch(compiled, 2, 256, {"x": "a", "y": "b", "n": n, "f": 2.0})
+    stats = summarize_launches(rt.launches)
+    assert len(stats) == 1
+    s = stats[0]
+    assert s.kernel == "scale" and s.launches == 3 and s.distributed == 3
+    assert s.total_s > 0 and s.comm_bytes == 3 * n * 4
+    assert 0 <= s.network_fraction <= 1
+    report = rt.report()
+    assert "scale" in report and "Allgather" in report
+
+
+def test_trace_report_empty():
+    rt = CuCCRuntime(Cluster(SIMD_FOCUSED_NODE, 1))
+    assert "0.0 us" in rt.report()
+
+
+# ---------------------------------------------------------------------------
+# 2-D / 3-D blocks
+# ---------------------------------------------------------------------------
+def test_2d_block_tile_kernel():
+    """threadIdx.x/.y both drive the computation; the analysis accepts
+    multi-axis thread indices (condition 1 covers each axis)."""
+    src = """
+__global__ void tile(const float *src, float *dst, int width) {
+    int x = threadIdx.x;
+    int y = threadIdx.y;
+    int base = blockIdx.x * blockDim.x * blockDim.y;
+    dst[base + y * blockDim.x + x] = src[base + y * blockDim.x + x] * 2.0f;
+}
+"""
+    k = parse_kernel(src)
+    from repro.analysis import analyze_kernel, finalize_plan
+
+    a = analyze_kernel(k)
+    assert a.metadata.distributable
+    blocks, bx, by = 6, 8, 4
+    n = blocks * bx * by
+    srca = np.random.default_rng(0).random(n).astype(np.float32)
+    dsta = np.zeros(n, dtype=np.float32)
+    run_grid(k, LaunchConfig.make(blocks, (bx, by)),
+             {"src": srca, "dst": dsta, "width": bx})
+    assert np.array_equal(dsta, srca * np.float32(2.0))
+    plan = finalize_plan(a, LaunchConfig.make(blocks, (bx, by)), {"width": bx}, 2)
+    assert not plan.replicated
+    assert plan.buffers[0].unit_elems == bx * by
+
+
+def test_2d_block_cluster_execution():
+    src = """
+__global__ void tile(const float *src, float *dst, int width) {
+    int x = threadIdx.x;
+    int y = threadIdx.y;
+    int base = blockIdx.x * blockDim.x * blockDim.y;
+    dst[base + y * blockDim.x + x] = src[base + y * blockDim.x + x] + 1.0f;
+}
+"""
+    rt = CuCCRuntime(Cluster(SIMD_FOCUSED_NODE, 3))
+    compiled = rt.compile(parse_kernel(src))
+    blocks, bx, by = 9, 16, 4
+    n = blocks * bx * by
+    host = np.random.default_rng(1).random(n).astype(np.float32)
+    rt.memory.alloc("src", n, np.float32)
+    rt.memory.alloc("dst", n, np.float32)
+    rt.memory.memcpy_h2d("src", host)
+    rec = rt.launch(compiled, blocks, (bx, by),
+                    {"src": "src", "dst": "dst", "width": bx})
+    assert not rec.plan.replicated
+    out = rt.memory.memcpy_d2h("dst", check_consistency=True)
+    assert np.array_equal(out, host + np.float32(1.0))
+
+
+def test_3d_threads_functional():
+    src = """
+__global__ void vol(float *dst) {
+    int idx = (threadIdx.z * blockDim.y + threadIdx.y) * blockDim.x
+              + threadIdx.x;
+    dst[blockIdx.x * blockDim.x * blockDim.y * blockDim.z + idx]
+        = (float)(threadIdx.x + 10 * threadIdx.y + 100 * threadIdx.z);
+}
+"""
+    k = parse_kernel(src)
+    bx, by, bz = 4, 3, 2
+    dst = np.zeros(2 * bx * by * bz, dtype=np.float32)
+    run_grid(k, LaunchConfig.make(2, (bx, by, bz)), {"dst": dst})
+    ref = np.array(
+        [x + 10 * y + 100 * z
+         for z in range(bz) for y in range(by) for x in range(bx)],
+        dtype=np.float32,
+    )
+    assert np.array_equal(dst[: bx * by * bz], ref)
+    assert np.array_equal(dst[bx * by * bz :], ref)

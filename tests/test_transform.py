@@ -1,0 +1,170 @@
+"""Transformations: vectorizability analysis and code generation."""
+
+import pytest
+
+from repro.analysis import analyze_kernel
+from repro.frontend.parser import parse_kernel
+from repro.transform import (
+    analyze_vectorizability,
+    generate_host_module,
+    generate_kernel_module,
+)
+
+
+def _vect(src):
+    return analyze_vectorizability(parse_kernel(src))
+
+
+def test_plain_kernel_vectorizes():
+    v = _vect(
+        """
+__global__ void k(const float *x, float *y, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id < n) y[id] = x[id] * 2.0f;
+}
+"""
+    )
+    assert v.vectorizable
+    assert "simd" in v.describe()
+
+
+def test_inner_loop_with_invariant_bounds_vectorizes():
+    v = _vect(
+        """
+__global__ void k(const float *x, float *y, int taps) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    float s = 0.0f;
+    for (int i = 0; i < taps; i++) s += x[id + i];
+    y[id] = s;
+}
+"""
+    )
+    assert v.vectorizable
+
+
+def test_barrier_at_top_level_vectorizes():
+    # loop fission at the barrier handles this (tiled transpose pattern)
+    v = _vect(
+        """
+__global__ void k(const float *x, float *y) {
+    __shared__ float t[64];
+    t[threadIdx.x] = x[blockIdx.x * blockDim.x + threadIdx.x];
+    __syncthreads();
+    y[blockIdx.x * blockDim.x + threadIdx.x] = t[63 - threadIdx.x];
+}
+"""
+    )
+    assert v.vectorizable
+
+
+def test_barrier_inside_loop_does_not_vectorize():
+    v = _vect(
+        """
+__global__ void k(float *y, int steps) {
+    __shared__ float t[64];
+    t[threadIdx.x] = 1.0f;
+    for (int s = 0; s < steps; s++) {
+        __syncthreads();
+        t[threadIdx.x] = t[threadIdx.x] * 0.5f;
+    }
+    y[threadIdx.x] = t[threadIdx.x];
+}
+"""
+    )
+    assert not v.vectorizable
+    assert any("fission" in r for r in v.reasons)
+
+
+@pytest.mark.parametrize(
+    "body,reason",
+    [
+        ("int i = 0; while (i < n) i++;", "while"),
+        ("for (int i = 0; i < n; i++) { if (i == 3) break; }", "break"),
+        ("for (int i = 0; i < n; i++) { if (i == 3) continue; }", "break"),
+        ("atomicAdd(&y[0], 1);", "atomic"),
+    ],
+)
+def test_non_vectorizable_constructs(body, reason):
+    v = _vect(f"__global__ void k(int *y, int n) {{ {body} }}")
+    assert not v.vectorizable
+    assert any(reason in r for r in v.reasons)
+
+
+# ---------------------------------------------------------------------------
+# code generation
+# ---------------------------------------------------------------------------
+LISTING1 = """
+__global__ void vec_copy(const char *src, char *dest, int n) {
+    int id = blockDim.x * blockIdx.x + threadIdx.x;
+    if (id < n) dest[id] = src[id];
+}
+"""
+
+
+def test_kernel_module_matches_listing2_shape():
+    k = parse_kernel(LISTING1)
+    text = generate_kernel_module(k, analyze_vectorizability(k))
+    assert "#pragma omp simd" in text
+    assert "for (int thread_idx_x = 0" in text
+    assert "block_idx_x" in text and "threadIdx" not in text
+    assert text.startswith("void vec_copy_block(")
+
+
+def test_kernel_module_scalar_comment_when_not_vectorizable():
+    k = parse_kernel(
+        "__global__ void k(int *y, int n) { int i = 0; while (i < n) i++; }"
+    )
+    text = generate_kernel_module(k, analyze_vectorizability(k))
+    assert "#pragma omp simd" not in text
+    assert "not vectorized" in text
+
+
+def test_kernel_module_return_becomes_continue():
+    k = parse_kernel(
+        """
+__global__ void k(float *y, int n) {
+    int id = blockIdx.x * blockDim.x + threadIdx.x;
+    if (id >= n) return;
+    y[id] = 1.0f;
+}
+"""
+    )
+    text = generate_kernel_module(k, analyze_vectorizability(k))
+    assert "continue; /* thread retires */" in text
+    assert "return;" not in text
+
+
+def test_host_module_has_three_phases():
+    k = parse_kernel(LISTING1)
+    meta = analyze_kernel(k).metadata
+    text = generate_host_module(k, meta)
+    assert "phase 1: partial block execution" in text
+    assert "phase 2: balanced in-place Allgather" in text
+    assert "phase 3: callback block execution" in text
+    assert "MPI_Allgather(MPI_IN_PLACE" in text
+    assert "int p_size = full_blocks / c_size;" in text
+    assert "cucc_resolve_tail_blocks" in text  # tail_divergent path
+    assert "MPI_CHAR" in text
+
+
+def test_host_module_without_tail_divergence():
+    k = parse_kernel(
+        "__global__ void k(float *out) {"
+        " if (threadIdx.x == 0) out[blockIdx.x] = 1.0f; }"
+    )
+    meta = analyze_kernel(k).metadata
+    text = generate_host_module(k, meta)
+    assert "int full_blocks = grid_dim_x;" in text
+    assert "MPI_FLOAT" in text
+
+
+def test_host_module_replicated_fallback():
+    k = parse_kernel(
+        "__global__ void k(uint *bins, const uint *d) {"
+        " atomicAdd(&bins[(int)(d[threadIdx.x] % 8u)], 1u); }"
+    )
+    meta = analyze_kernel(k).metadata
+    text = generate_host_module(k, meta)
+    assert "replicated execution" in text
+    assert "MPI_Allgather" not in text
+    assert "atomic" in text  # reason is embedded as a comment

@@ -1,0 +1,141 @@
+"""The eight evaluation workloads: correctness on every platform,
+analysis verdicts, and per-workload structural facts."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_kernel, finalize_plan
+from repro.bench.harness import run_on_cucc, run_on_gpu, run_on_pgas
+from repro.cluster import Cluster
+from repro.hw import A100, SIMD_FOCUSED_NODE, THREAD_FOCUSED_NODE
+from repro.interp import LaunchConfig
+from repro.transform import analyze_vectorizability
+from repro.workloads import EXTRA_WORKLOADS, PERF_WORKLOADS
+
+ALL = {**PERF_WORKLOADS, **EXTRA_WORKLOADS}
+
+
+@pytest.mark.parametrize("name", list(ALL))
+def test_expected_analysis_verdicts(name):
+    spec = ALL[name]("small")
+    a = analyze_kernel(spec.kernel)
+    v = analyze_vectorizability(spec.kernel)
+    assert a.metadata.distributable == spec.expect_distributable, (
+        name,
+        a.metadata.reasons,
+    )
+    assert v.vectorizable == spec.expect_vectorizable, (name, v.reasons)
+
+
+@pytest.mark.parametrize("name", list(ALL))
+def test_gpu_execution_matches_reference(name):
+    run_on_gpu(ALL[name]("small"), A100)  # verify=True raises on mismatch
+
+
+@pytest.mark.parametrize("name", list(ALL))
+@pytest.mark.parametrize("nodes", [2, 4])
+def test_cucc_cluster_matches_reference(name, nodes):
+    res = run_on_cucc(
+        ALL[name]("small"),
+        Cluster(SIMD_FOCUSED_NODE, nodes),
+        faithful_replication=True,
+    )
+    assert not res.record.plan.replicated
+
+
+@pytest.mark.parametrize("name", list(PERF_WORKLOADS))
+def test_cucc_thread_cluster_matches_reference(name):
+    run_on_cucc(
+        PERF_WORKLOADS[name]("small"), Cluster(THREAD_FOCUSED_NODE, 3)
+    )
+
+
+@pytest.mark.parametrize("name", list(PERF_WORKLOADS))
+def test_pgas_matches_reference(name):
+    run_on_pgas(PERF_WORKLOADS[name]("small"), Cluster(SIMD_FOCUSED_NODE, 3))
+
+
+@pytest.mark.parametrize("name", list(ALL))
+def test_different_seeds_give_different_data(name):
+    a = ALL[name]("small", seed=0)
+    b = ALL[name]("small", seed=1)
+    some_input = next(
+        n for n in a.arrays if n not in a.outputs
+    )
+    assert not np.array_equal(a.arrays[some_input], b.arrays[some_input])
+
+
+def test_unknown_size_rejected():
+    from repro.errors import ReproError
+
+    for name in ALL:
+        with pytest.raises(ReproError):
+            ALL[name]("gigantic")
+
+
+# ---------------------------------------------------------------------------
+# structural facts from the paper
+# ---------------------------------------------------------------------------
+def test_kmeans_has_313_blocks():
+    spec = PERF_WORKLOADS["KMeans"]("paper")
+    assert spec.num_blocks == 313  # section 7.2
+
+
+def test_binomial_has_1024_blocks_and_scalar_output():
+    spec = PERF_WORKLOADS["BinomialOption"]("paper")
+    assert spec.num_blocks == 1024  # section 8.2
+    a = analyze_kernel(spec.kernel)
+    assert str(a.metadata.unit_elems["value"]) == "1"  # one scalar per block
+
+
+def test_ep_and_ga_block_counts():
+    assert PERF_WORKLOADS["EP"]("paper").num_blocks == 512  # section 7.4.1
+    assert PERF_WORKLOADS["GA"]("paper").num_blocks == 256
+
+
+def test_transpose_write_is_dense_rows():
+    spec = PERF_WORKLOADS["Transpose"]("small")
+    a = analyze_kernel(spec.kernel)
+    plan = finalize_plan(
+        a,
+        LaunchConfig.make(spec.grid, spec.block),
+        spec.scalars,
+        2,
+    )
+    assert not plan.replicated
+    dim = spec.scalars["dim"]
+    assert plan.buffers[0].unit_elems == dim  # one output row per block
+
+
+def test_tail_divergence_flags():
+    tails = {
+        name: analyze_kernel(ALL[name]("small").kernel).metadata.tail_divergent
+        for name in ALL
+    }
+    assert tails["FIR"] and tails["KMeans"] and tails["EP"] and tails["VecAdd"]
+    assert not tails["Transpose"] and not tails["MatMul"]
+    # GA/Binomial write under threadIdx == 0, not under the bound check
+    assert not tails["BinomialOption"] and not tails["GA"]
+
+
+def test_kmeans_membership_values_in_range():
+    spec = PERF_WORKLOADS["KMeans"]("small")
+    res = run_on_cucc(spec, Cluster(SIMD_FOCUSED_NODE, 2))
+    out = res.runtime.memory.memcpy_d2h("membership")
+    assert out.min() >= 0 and out.max() < spec.scalars["nclusters"]
+
+
+def test_ga_counts_nonnegative_and_some_matches():
+    spec = PERF_WORKLOADS["GA"]("small")
+    res = run_on_cucc(spec, Cluster(SIMD_FOCUSED_NODE, 2))
+    out = res.runtime.memory.memcpy_d2h("block_matches")
+    assert out.min() >= 0
+    assert out.sum() > 0  # planted occurrences are found
+
+
+def test_binomial_prices_bounded_by_spot():
+    spec = PERF_WORKLOADS["BinomialOption"]("small")
+    res = run_on_cucc(spec, Cluster(SIMD_FOCUSED_NODE, 2))
+    out = res.runtime.memory.memcpy_d2h("value")
+    spot = spec.arrays["spot"]
+    assert np.all(out >= 0) and np.all(out <= spot + 1e-3)
