@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.analysis import analyze_kernel, finalize_plan
 from repro.baselines import GPUDevice, PGASRuntime, SingleCPURuntime
-from repro.cluster import Cluster, make_cluster
+from repro.cluster import Cluster, FaultPlan, make_cluster
 from repro.frontend import kernel, parse_cuda, parse_kernel, ptr
 from repro.hw import (
     A100,
@@ -30,7 +30,7 @@ from repro.hw import (
 )
 from repro.interp import LaunchConfig, OpCounters, run_grid
 from repro.ir import IRBuilder, Kernel, print_kernel
-from repro.runtime import CompiledKernel, CuCCRuntime, LaunchRecord
+from repro.runtime import CompiledKernel, CuCCRuntime, LaunchRecord, RecoveryPolicy
 from repro.transform import analyze_vectorizability
 from repro.workloads import PERF_WORKLOADS
 
@@ -46,6 +46,8 @@ __all__ = [
     # execution
     "Cluster", "make_cluster", "CuCCRuntime", "CompiledKernel",
     "LaunchRecord", "LaunchConfig", "OpCounters", "run_grid",
+    # fault injection + recovery
+    "FaultPlan", "RecoveryPolicy",
     # baselines + hardware
     "GPUDevice", "PGASRuntime", "SingleCPURuntime",
     "SIMD_FOCUSED_NODE", "THREAD_FOCUSED_NODE", "A100", "V100", "ModelParams",

@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.analysis.writes import collect_writes
 from repro.cluster.cluster import Cluster
-from repro.errors import LaunchError, MemoryError_
+from repro.errors import LaunchError, DeviceMemoryError
 from repro.hw.perfmodel import DEFAULT_PARAMS, ModelParams, cpu_node_time
 from repro.interp.counters import OpCounters
 from repro.interp.grid import LaunchConfig
@@ -121,20 +121,20 @@ class PGASRuntime:
     # -- global heap --------------------------------------------------------
     def alloc(self, name: str, size: int, dtype) -> str:
         if name in self._memory:
-            raise MemoryError_(f"buffer {name!r} already allocated")
+            raise DeviceMemoryError(f"buffer {name!r} already allocated")
         self._memory[name] = np.zeros(int(size), dtype=np.dtype(dtype))
         return name
 
     def free(self, name: str) -> None:
         if name not in self._memory:
-            raise MemoryError_(f"unknown buffer {name!r}")
+            raise DeviceMemoryError(f"unknown buffer {name!r}")
         del self._memory[name]
 
     def memcpy_h2d(self, name: str, host: np.ndarray) -> None:
         buf = self._buffer(name)
         host = np.ascontiguousarray(host).reshape(-1)
         if host.dtype != buf.dtype or host.size != buf.size:
-            raise MemoryError_(f"memcpy_h2d {name!r}: shape/dtype mismatch")
+            raise DeviceMemoryError(f"memcpy_h2d {name!r}: shape/dtype mismatch")
         buf[:] = host
 
     def memcpy_d2h(self, name: str) -> np.ndarray:
@@ -144,7 +144,7 @@ class PGASRuntime:
         try:
             return self._memory[name]
         except KeyError:
-            raise MemoryError_(f"unknown buffer {name!r}") from None
+            raise DeviceMemoryError(f"unknown buffer {name!r}") from None
 
     # -- launch ----------------------------------------------------------------
     def launch(

@@ -49,13 +49,22 @@ def run_on_cucc(
     simd_enabled: bool = True,
     verify: bool = True,
     faithful_replication: bool = False,
+    fault_plan=None,
+    recovery=None,
 ) -> CuCCResult:
-    """Run a workload through the three-phase CuCC runtime."""
+    """Run a workload through the three-phase CuCC runtime.
+
+    ``fault_plan``/``recovery`` (see :mod:`repro.cluster.faults` and
+    :class:`~repro.runtime.cucc.RecoveryPolicy`) execute the launch under
+    fault injection; verification then checks the *recovered* output.
+    """
     rt = CuCCRuntime(
         cluster,
         params=params,
         simd_enabled=simd_enabled,
         faithful_replication=faithful_replication,
+        fault_plan=fault_plan,
+        recovery=recovery,
     )
     for name, arr in spec.arrays.items():
         rt.memory.alloc(name, arr.size, arr.dtype)

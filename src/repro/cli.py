@@ -120,12 +120,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spec = build(args.size, seed=args.seed)
     print(f"workload {spec.name} ({args.size}): grid={spec.grid} "
           f"block={spec.block}")
+    fault_plan = None
+    if args.faults:
+        if args.platform != "cucc":
+            raise ReproError("--faults requires --platform cucc")
+        from repro.cluster.faults import FaultPlan
+
+        fault_plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
     if args.platform == "cucc":
         cluster = make_cluster(args.cluster, args.nodes)
-        res = run_on_cucc(spec, cluster)
+        res = run_on_cucc(spec, cluster, fault_plan=fault_plan)
         print(res.record.describe())
         print(res.record.plan.describe())
-        print(f"verified on all {args.nodes} node replicas")
+        for ev in res.record.fault_events:
+            print(ev.describe())
+        survivors = res.runtime.cluster.num_nodes
+        print(f"verified on all {survivors} node replicas")
     elif args.platform == "pgas":
         cluster = make_cluster(args.cluster, args.nodes)
         t = run_on_pgas(spec, cluster)
@@ -183,6 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=4)
     p.add_argument("--size", default="small", choices=("small", "paper"))
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject faults (cucc only), e.g. "
+             "'crash:rank=1,phase=allgather;transient:op=1'",
+    )
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the fault plan's random choices")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("specs", help="print Table 1")

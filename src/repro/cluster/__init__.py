@@ -8,9 +8,19 @@ simulated clocks.
 
 from repro.cluster.cluster import Cluster, make_cluster
 from repro.cluster.comm import Communicator
+from repro.cluster.faults import (
+    CorruptionFault,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    NodeCrash,
+    StragglerFault,
+    TransientFault,
+    parse_fault_spec,
+)
 from repro.cluster.node import Node
 from repro.cluster.simtime import SimClock
-from repro.cluster import collectives
+from repro.cluster import collectives, faults
 
 __all__ = [
     "Cluster",
@@ -19,4 +29,13 @@ __all__ = [
     "Node",
     "SimClock",
     "collectives",
+    "faults",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultEvent",
+    "NodeCrash",
+    "TransientFault",
+    "CorruptionFault",
+    "StragglerFault",
+    "parse_fault_spec",
 ]

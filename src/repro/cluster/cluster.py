@@ -51,6 +51,34 @@ class Cluster:
         """Simulated time at the slowest node — the cluster's makespan."""
         return max(n.clock.now for n in self.nodes)
 
+    @property
+    def alive_nodes(self) -> list:
+        return [n for n in self.nodes if n.alive]
+
+    def remove_dead(self) -> list:
+        """Shrink the cluster over the surviving nodes.
+
+        Drops every dead node, re-ranks the survivors contiguously
+        (``born_rank`` keeps the original identity) and rebuilds the
+        communicator over them, carrying over the cumulative traffic
+        accounting and any attached fault injector.  Returns the removed
+        nodes.  Raises :class:`ClusterError` when nothing survives.
+        """
+        dead = [n for n in self.nodes if not n.alive]
+        if not dead:
+            return []
+        survivors = [n for n in self.nodes if n.alive]
+        if not survivors:
+            raise ClusterError("all nodes failed; nothing to recover onto")
+        for i, n in enumerate(survivors):
+            n.rank = i
+        self.nodes = survivors
+        old = self.comm
+        self.comm = Communicator(survivors, self.network, injector=old.injector)
+        self.comm.comm_seconds = old.comm_seconds
+        self.comm.comm_bytes = old.comm_bytes
+        return dead
+
     def reset_clocks(self) -> None:
         for n in self.nodes:
             n.clock.reset()

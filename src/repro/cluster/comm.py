@@ -13,21 +13,37 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster import collectives as coll
+from repro.cluster.faults import CorruptionFault, FaultInjector, TransientFault
 from repro.cluster.node import Node
-from repro.errors import ClusterError
+from repro.errors import ClusterError, CollectiveTimeout, DataCorruptionError, NodeFailure
 from repro.hw.specs import NetworkSpec
 
 __all__ = ["Communicator"]
 
 
 class Communicator:
-    """Collective + point-to-point operations over a set of nodes."""
+    """Collective + point-to-point operations over a set of nodes.
 
-    def __init__(self, nodes: list[Node], network: NetworkSpec):
+    An optional :class:`~repro.cluster.faults.FaultInjector` can be
+    attached (``injector`` attribute); when present, every collective
+    consults it before moving bytes, so injected faults surface as the
+    typed exceptions :class:`~repro.errors.NodeFailure`,
+    :class:`~repro.errors.CollectiveTimeout` and
+    :class:`~repro.errors.DataCorruptionError`.  Without an injector
+    (the default) no hook runs and behaviour is exactly fault-free.
+    """
+
+    def __init__(
+        self,
+        nodes: list[Node],
+        network: NetworkSpec,
+        injector: FaultInjector | None = None,
+    ):
         if not nodes:
             raise ClusterError("communicator needs at least one node")
         self.nodes = nodes
         self.network = network
+        self.injector = injector
         #: cumulative modeled seconds spent in communication (all ops)
         self.comm_seconds = 0.0
         #: cumulative payload bytes moved between nodes
@@ -43,13 +59,41 @@ class Communicator:
         return max(n.clock.now for n in self.nodes)
 
     def _finish(self, start: float, duration: float) -> None:
+        if self.injector is not None:
+            # a degraded link paces the whole collective
+            duration *= max(n.network_multiplier for n in self.nodes)
         end = start + duration
         for n in self.nodes:
             n.clock.wait_until(end)
         self.comm_seconds += duration
 
+    # -- fault hooks ------------------------------------------------------
+    def _guard(self, op: str):
+        """Pre-collective fault hook: detect dead participants, deliver a
+        scheduled transient timeout, or hand back a corruption fault for
+        the caller to apply.  No-op (returns ``None``) without an
+        injector."""
+        if self.injector is None:
+            return None
+        dead = tuple(n.born_rank for n in self.nodes if not n.alive)
+        if dead:
+            raise NodeFailure(
+                f"{op}: participant rank(s) {list(dead)} are down", ranks=dead
+            )
+        fault = self.injector.begin_collective(op, self._sync_start())
+        if isinstance(fault, TransientFault):
+            # every participant waits out the timeout before aborting
+            start = self._sync_start()
+            self._finish(start, fault.timeout_s)
+            raise CollectiveTimeout(
+                f"{op} timed out after {fault.timeout_s * 1e3:.3f} ms "
+                f"(injected transient fault)"
+            )
+        return fault
+
     # -- collectives -------------------------------------------------------
     def barrier(self) -> None:
+        self._guard("barrier")
         start = self._sync_start()
         self._finish(start, coll.barrier_cost(self.network, self.size))
 
@@ -62,9 +106,21 @@ class Communicator:
         """
         if per_rank < 0:
             raise ClusterError(f"negative per-rank extent {per_rank}")
+        if per_rank == 0:
+            # empty payload: a modeled-cost no-op — no latency term, no
+            # clock synchronization (MPI implementations short-circuit
+            # zero-byte collectives the same way)
+            return 0.0
+        fault = self._guard("allgather")
+        corrupt_rank = fault.rank if isinstance(fault, CorruptionFault) else None
+        if corrupt_rank is not None and (
+            self.size <= 1
+            or not any(n.born_rank == corrupt_rank for n in self.nodes)
+        ):
+            corrupt_rank = None  # no in-flight copy exists to corrupt
         start = self._sync_start()
         total_bytes = 0
-        if per_rank > 0 and self.size > 1:
+        if self.size > 1:
             for r, src_node in enumerate(self.nodes):
                 src = src_node.buffer(buffer)
                 lo = base + r * per_rank
@@ -75,18 +131,24 @@ class Communicator:
                         f"{buffer!r} (len {src.shape[0]})"
                     )
                 chunk = src[lo:hi]
+                if corrupt_rank is not None and src_node.born_rank == corrupt_rank:
+                    # corrupted in flight: destinations receive flipped
+                    # bits, the source replica stays intact
+                    chunk = self.injector.corrupt(chunk)
                 total_bytes += chunk.nbytes * (self.size - 1)
                 for dst_node in self.nodes:
                     if dst_node is not src_node:
                         dst_node.buffer(buffer)[lo:hi] = chunk
-        payload = (
-            self.nodes[0].buffer(buffer).itemsize * per_rank * self.size
-            if per_rank > 0
-            else 0
-        )
+        payload = self.nodes[0].buffer(buffer).itemsize * per_rank * self.size
         duration = coll.allgather_inplace_cost(self.network, self.size, payload)
         self.comm_bytes += total_bytes
         self._finish(start, duration)
+        if corrupt_rank is not None:
+            # receiver-side checksum flags the payload after the transfer
+            raise DataCorruptionError(
+                f"allgather of {buffer!r}: checksum mismatch on rank "
+                f"{corrupt_rank}'s contribution (injected corruption)"
+            )
         return duration
 
     def allgather_out_of_place(
@@ -95,6 +157,7 @@ class Communicator:
         """Out-of-place Allgather: rank r's ``src_buffer[:per_rank]`` lands
         at ``dst_buffer[r*per_rank:]`` on every node (section 2.3's costlier
         variant — used by the Allgather micro-benchmark)."""
+        self._guard("allgather-oop")
         start = self._sync_start()
         total_bytes = 0
         if per_rank > 0:
@@ -120,6 +183,7 @@ class Communicator:
         ``counts[r]`` elements at its running offset."""
         if len(counts) != self.size:
             raise ClusterError("counts must have one entry per rank")
+        self._guard("allgatherv")
         start = self._sync_start()
         offsets = np.concatenate([[0], np.cumsum(counts)])
         total_bytes = 0
@@ -146,6 +210,7 @@ class Communicator:
         Floating-point summation order is fixed (ascending rank) so the
         result is deterministic and identical on every node.
         """
+        self._guard("allreduce")
         start = self._sync_start()
         ref = self.nodes[0].buffer(buffer)
         acc = ref.astype(np.float64 if ref.dtype.kind == "f" else ref.dtype,
@@ -170,6 +235,7 @@ class Communicator:
         """Broadcast ``buffer`` from ``root`` to all nodes."""
         if not 0 <= root < self.size:
             raise ClusterError(f"root {root} out of range")
+        self._guard("bcast")
         start = self._sync_start()
         src = self.nodes[root].buffer(buffer)
         for n in self.nodes:

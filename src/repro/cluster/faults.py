@@ -1,0 +1,407 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The paper's target is long-running execution on real 32-node InfiniBand
+partitions behind a Slurm queue, where node crashes, link degradation and
+stragglers are routine.  This module lets experiments *schedule* such
+faults ahead of time and replay them deterministically:
+
+* :class:`NodeCrash` — a node dies permanently, either at a phase
+  boundary of the three-phase workflow or at a simulated time;
+* :class:`TransientFault` — a collective call times out (retrying may
+  succeed), surfacing as :class:`~repro.errors.CollectiveTimeout`;
+* :class:`CorruptionFault` — a collective delivers a corrupted payload
+  (detected, as on real fabrics, by a receiver-side checksum), surfacing
+  as :class:`~repro.errors.DataCorruptionError`;
+* :class:`StragglerFault` — a node's compute and/or network slow down by
+  a multiplier (thermal throttling, degraded link, noisy neighbour).
+
+A :class:`FaultPlan` is an immutable, seeded collection of faults; the
+stateful :class:`FaultInjector` delivers each fault exactly once and
+keeps an ordered :class:`FaultEvent` log of everything it injected and
+every recovery decision the runtime reported back.  Determinism is a
+hard guarantee: the same plan against the same program yields the same
+events, the same recovery decisions, byte-identical buffers and
+identical modeled times on every run.
+
+Fault injection is zero-overhead by default: a runtime constructed
+without a plan never consults this module and behaves (functionally and
+in modeled time) exactly as if it did not exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ClusterError
+
+__all__ = [
+    "PHASES",
+    "NodeCrash",
+    "TransientFault",
+    "CorruptionFault",
+    "StragglerFault",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "parse_fault_spec",
+]
+
+#: Phase-boundary names at which scheduled crashes can fire, in workflow
+#: order.  ``partial`` fires before any block executes, ``allgather``
+#: after the partial phase (its writes are lost on the dead rank), and
+#: ``callback`` after the Allgather restored the replication invariant.
+PHASES = ("partial", "allgather", "callback")
+
+
+# ---------------------------------------------------------------------------
+# fault descriptions (immutable, hashable)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class NodeCrash:
+    """Permanent loss of one node.
+
+    Exactly one of ``phase`` / ``time`` selects the trigger: the start of
+    a named workflow phase, or the first phase boundary at which the
+    cluster's simulated clock has reached ``time``.  ``launch`` optionally
+    restricts a phase-triggered crash to the nth launch (1-based).
+    """
+
+    rank: int
+    phase: str | None = None
+    time: float | None = None
+    launch: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.phase is None) == (self.time is None):
+            raise ClusterError("NodeCrash needs exactly one of phase/time")
+        if self.phase is not None and self.phase not in PHASES:
+            raise ClusterError(
+                f"unknown crash phase {self.phase!r}; choose from {PHASES}"
+            )
+
+
+@dataclass(frozen=True)
+class TransientFault:
+    """The ``op``-th collective call (1-based, counted across the whole
+    run) times out; ``count`` consecutive attempts fail before the
+    operation succeeds.  ``timeout_s`` is the modeled detection time
+    charged to every participant per failed attempt."""
+
+    op: int
+    count: int = 1
+    timeout_s: float = 1e-3
+
+
+@dataclass(frozen=True)
+class CorruptionFault:
+    """The ``op``-th collective call delivers rank ``rank``'s contribution
+    corrupted (one byte flipped in every destination copy).  The source
+    replica stays intact, so a retry repairs the damage."""
+
+    op: int
+    rank: int = 0
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """Persistent slowdown of one node from the moment the plan is armed:
+    compute times scale by ``compute``, collectives the node participates
+    in scale by ``network``."""
+
+    rank: int
+    compute: float = 1.0
+    network: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.compute < 1.0 or self.network < 1.0:
+            raise ClusterError("straggler multipliers must be >= 1.0")
+
+
+Fault = NodeCrash | TransientFault | CorruptionFault | StragglerFault
+
+
+# ---------------------------------------------------------------------------
+# the event log
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault or recovery decision, stamped with the cluster's
+    simulated time at which it happened."""
+
+    kind: str  # crash|transient|corruption|straggler|straggler-detected|
+    #            retry|backoff|recover-shrink|restore|replan
+    time: float
+    rank: int | None = None
+    detail: str = ""
+
+    def describe(self) -> str:
+        who = f" rank {self.rank}" if self.rank is not None else ""
+        return f"[{self.time * 1e3:9.4f} ms] {self.kind}{who}: {self.detail}"
+
+
+# ---------------------------------------------------------------------------
+# the plan
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seeded schedule of faults.
+
+    ``seed`` drives every random choice the injector makes (corruption
+    byte positions); two runs with the same plan are bit-identical.
+    """
+
+    faults: tuple[Fault, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> FaultPlan:
+        """Build a plan from a CLI spec string — see
+        :func:`parse_fault_spec`."""
+        return cls(faults=parse_fault_spec(spec), seed=seed)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        num_nodes: int,
+        crashes: int = 1,
+        stragglers: int = 0,
+        transients: int = 0,
+    ) -> FaultPlan:
+        """Generate a deterministic random plan (benchmark sweeps).
+
+        Crash ranks/phases, straggler ranks/multipliers and transient op
+        indices are drawn from ``numpy`` RNG seeded with ``seed``; rank 0
+        is never crashed more than ``num_nodes - 1`` times in total so a
+        survivor always remains.
+        """
+        rng = np.random.default_rng(seed)
+        faults: list[Fault] = []
+        crashes = min(crashes, num_nodes - 1)
+        ranks = rng.permutation(num_nodes)[:crashes] if crashes > 0 else []
+        for r in ranks:
+            faults.append(
+                NodeCrash(rank=int(r), phase=PHASES[int(rng.integers(len(PHASES)))])
+            )
+        for _ in range(stragglers):
+            faults.append(
+                StragglerFault(
+                    rank=int(rng.integers(num_nodes)),
+                    compute=float(1.5 + 3.0 * rng.random()),
+                    network=float(1.0 + rng.random()),
+                )
+            )
+        for _ in range(transients):
+            faults.append(TransientFault(op=int(rng.integers(1, 4))))
+        return cls(faults=tuple(faults), seed=seed)
+
+
+def parse_fault_spec(spec: str) -> tuple[Fault, ...]:
+    """Parse the CLI ``--faults`` grammar into fault objects.
+
+    Entries are ``;``-separated, each ``kind:key=value,key=value``::
+
+        crash:rank=1,phase=allgather      crash:rank=2,time=0.004
+        transient:op=1,count=2            corrupt:op=1,rank=0
+        straggler:rank=3,compute=4.0,network=2.0
+    """
+    faults: list[Fault] = []
+    for entry in spec.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        kind, _, body = entry.partition(":")
+        kv: dict[str, str] = {}
+        if body:
+            for pair in body.split(","):
+                if "=" not in pair:
+                    raise ClusterError(
+                        f"fault spec {entry!r}: expected key=value, got {pair!r}"
+                    )
+                k, v = pair.split("=", 1)
+                kv[k.strip()] = v.strip()
+        try:
+            if kind == "crash":
+                faults.append(
+                    NodeCrash(
+                        rank=int(kv.pop("rank")),
+                        phase=kv.pop("phase", None),
+                        time=float(kv.pop("time")) if "time" in kv else None,
+                        launch=int(kv.pop("launch")) if "launch" in kv else None,
+                    )
+                )
+            elif kind == "transient":
+                faults.append(
+                    TransientFault(
+                        op=int(kv.pop("op")),
+                        count=int(kv.pop("count", 1)),
+                        timeout_s=float(kv.pop("timeout", 1e-3)),
+                    )
+                )
+            elif kind == "corrupt":
+                faults.append(
+                    CorruptionFault(op=int(kv.pop("op")), rank=int(kv.pop("rank", 0)))
+                )
+            elif kind == "straggler":
+                faults.append(
+                    StragglerFault(
+                        rank=int(kv.pop("rank")),
+                        compute=float(kv.pop("compute", 1.0)),
+                        network=float(kv.pop("network", 1.0)),
+                    )
+                )
+            else:
+                raise ClusterError(
+                    f"unknown fault kind {kind!r}; choose crash/transient/"
+                    "corrupt/straggler"
+                )
+        except KeyError as e:
+            raise ClusterError(f"fault spec {entry!r}: missing {e.args[0]}") from None
+        except ValueError as e:
+            raise ClusterError(f"fault spec {entry!r}: {e}") from None
+        if kv:
+            raise ClusterError(
+                f"fault spec {entry!r}: unknown keys {sorted(kv)}"
+            )
+    return tuple(faults)
+
+
+# ---------------------------------------------------------------------------
+# the injector
+# ---------------------------------------------------------------------------
+class FaultInjector:
+    """Stateful executor of a :class:`FaultPlan`.
+
+    The runtime arms it per launch (:meth:`begin_launch`), the
+    communicator consults it per collective (:meth:`begin_collective`),
+    and the runtime polls scheduled crashes at every phase boundary
+    (:meth:`poll_crashes`).  Each fault in the plan fires at most once —
+    delivery is tracked by the fault's position in the plan, so duplicate
+    fault entries fire independently.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        self.events: list[FaultEvent] = []
+        self.op_index = 0
+        self.launch_index = 0
+        self._fired: set[int] = set()
+        #: (plan index, remaining extra failures) for a multi-shot
+        #: transient currently being retried
+        self._active_transient: tuple[int, int] | None = None
+
+    # -- event log ---------------------------------------------------------
+    def record(
+        self, kind: str, time: float, rank: int | None = None, detail: str = ""
+    ) -> FaultEvent:
+        ev = FaultEvent(kind=kind, time=time, rank=rank, detail=detail)
+        self.events.append(ev)
+        return ev
+
+    # -- launch arming -----------------------------------------------------
+    def begin_launch(self, nodes) -> int:
+        """Arm the plan for a new launch; applies pending straggler
+        multipliers to the (alive) nodes.  Returns the event-log cursor so
+        the caller can slice this launch's events afterwards."""
+        self.launch_index += 1
+        for i, f in enumerate(self.plan.faults):
+            if not isinstance(f, StragglerFault) or i in self._fired:
+                continue
+            node = _find(nodes, f.rank)
+            if node is None:
+                continue
+            self._fired.add(i)
+            node.compute_multiplier = max(node.compute_multiplier, f.compute)
+            node.network_multiplier = max(node.network_multiplier, f.network)
+            self.record(
+                "straggler",
+                node.clock.now,
+                rank=f.rank,
+                detail=f"compute x{f.compute:g}, network x{f.network:g}",
+            )
+        return len(self.events)
+
+    # -- phase boundaries --------------------------------------------------
+    def poll_crashes(self, phase: str, now: float, nodes) -> list:
+        """Deliver every crash due at this phase boundary; kills the nodes
+        and returns them (empty list when nothing fires)."""
+        killed = []
+        for i, f in enumerate(self.plan.faults):
+            if not isinstance(f, NodeCrash) or i in self._fired:
+                continue
+            if f.launch is not None and f.launch != self.launch_index:
+                continue
+            due = (
+                f.phase == phase
+                if f.phase is not None
+                else f.time is not None and now >= f.time
+            )
+            if not due:
+                continue
+            self._fired.add(i)
+            node = _find(nodes, f.rank)
+            if node is None or not node.alive:
+                continue  # already dead / removed: the crash is moot
+            node.fail(f"injected crash at {phase} boundary")
+            self.record(
+                "crash", now, rank=f.rank, detail=f"at {phase} boundary"
+            )
+            killed.append(node)
+        return killed
+
+    # -- collectives -------------------------------------------------------
+    def begin_collective(self, op: str, now: float):
+        """Advance the collective counter; returns the fault to apply to
+        this call (a :class:`TransientFault` / :class:`CorruptionFault`)
+        or ``None``."""
+        self.op_index += 1
+        if self._active_transient is not None:
+            i, left = self._active_transient
+            fault = self.plan.faults[i]
+            self._active_transient = (i, left - 1) if left > 1 else None
+            self.record(
+                "transient", now, detail=f"{op} (attempt retry) timed out"
+            )
+            return fault
+        for i, f in enumerate(self.plan.faults):
+            if i in self._fired:
+                continue
+            if isinstance(f, TransientFault) and f.op == self.op_index:
+                self._fired.add(i)
+                if f.count > 1:
+                    self._active_transient = (i, f.count - 1)
+                self.record(
+                    "transient", now, detail=f"{op} #{self.op_index} timed out"
+                )
+                return f
+            if isinstance(f, CorruptionFault) and f.op == self.op_index:
+                self._fired.add(i)
+                self.record(
+                    "corruption",
+                    now,
+                    rank=f.rank,
+                    detail=f"{op} #{self.op_index} payload corrupted",
+                )
+                return f
+        return None
+
+    def corrupt(self, chunk: np.ndarray) -> np.ndarray:
+        """Return a corrupted copy of a payload chunk (one byte flipped at
+        a seeded-random position)."""
+        bad = chunk.copy()
+        raw = bad.view(np.uint8).reshape(-1)
+        raw[int(self.rng.integers(raw.size))] ^= 0xFF
+        return bad
+
+
+def _find(nodes, born_rank: int):
+    for n in nodes:
+        if n.born_rank == born_rank:
+            return n
+    return None

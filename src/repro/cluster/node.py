@@ -6,6 +6,12 @@ nodes; the only way data moves between nodes is through the communicator,
 exactly as on a real distributed-memory cluster.  This is what makes the
 simulation able to catch real consistency bugs: a missing Allgather slice
 or a skipped callback block leaves some node's memory visibly wrong.
+
+Fault-tolerance hooks: a node can :meth:`fail` (injected permanent
+crash), after which its memory is unreachable — any access raises
+:class:`~repro.errors.NodeFailure`, exactly as a dead peer answers on a
+real cluster.  Straggler faults set the ``compute_multiplier`` /
+``network_multiplier`` attributes (1.0 by default, i.e. no effect).
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.simtime import SimClock
-from repro.errors import MemoryError_
+from repro.errors import DeviceMemoryError, NodeFailure
 from repro.hw.cpu import CPUSpec
 
 __all__ = ["Node"]
@@ -24,29 +30,56 @@ class Node:
 
     def __init__(self, rank: int, spec: CPUSpec):
         self.rank = rank
+        #: rank at cluster construction; stable across shrink-recovery
+        #: re-ranking, and the rank fault plans address
+        self.born_rank = rank
         self.spec = spec
         self.clock = SimClock()
+        self.alive = True
+        self.fail_reason: str | None = None
+        #: straggler multipliers (set by fault injection; 1.0 = nominal)
+        self.compute_multiplier = 1.0
+        self.network_multiplier = 1.0
         self._memory: dict[str, np.ndarray] = {}
+
+    # -- fault hooks ---------------------------------------------------
+    def fail(self, reason: str = "injected node crash") -> None:
+        """Mark this node permanently dead; its memory becomes unreachable."""
+        self.alive = False
+        self.fail_reason = reason
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise NodeFailure(
+                f"node {self.born_rank} is down ({self.fail_reason})",
+                ranks=(self.born_rank,),
+            )
 
     # -- memory management --------------------------------------------
     def alloc(self, name: str, size: int, dtype: np.dtype) -> np.ndarray:
         """Allocate a zero-initialized 1-D buffer in this node's memory."""
+        self._require_alive()
         if name in self._memory:
-            raise MemoryError_(f"node {self.rank}: buffer {name!r} already exists")
+            raise DeviceMemoryError(
+                f"node {self.rank}: buffer {name!r} already exists"
+            )
         arr = np.zeros(int(size), dtype=dtype)
         self._memory[name] = arr
         return arr
 
     def free(self, name: str) -> None:
         if name not in self._memory:
-            raise MemoryError_(f"node {self.rank}: no buffer {name!r}")
+            raise DeviceMemoryError(f"node {self.rank}: no buffer {name!r}")
         del self._memory[name]
 
     def buffer(self, name: str) -> np.ndarray:
+        self._require_alive()
         try:
             return self._memory[name]
         except KeyError:
-            raise MemoryError_(f"node {self.rank}: no buffer {name!r}") from None
+            raise DeviceMemoryError(
+                f"node {self.rank}: no buffer {name!r}"
+            ) from None
 
     def has_buffer(self, name: str) -> bool:
         return name in self._memory
@@ -60,7 +93,8 @@ class Node:
         return sum(a.nbytes for a in self._memory.values())
 
     def __repr__(self) -> str:
+        state = "" if self.alive else ", DOWN"
         return (
             f"Node(rank={self.rank}, spec={self.spec.name!r}, "
-            f"t={self.clock.now:.6f}s, {len(self._memory)} buffers)"
+            f"t={self.clock.now:.6f}s, {len(self._memory)} buffers{state})"
         )

@@ -53,12 +53,45 @@ class LaunchError(ReproError):
     """A kernel launch was configured incorrectly (bad grid/args)."""
 
 
-class MemoryError_(ReproError):
+class DeviceMemoryError(ReproError):
     """Device-memory manager misuse (unknown buffer, double free, ...)."""
+
+
+#: Deprecated alias — the exception was originally published under this
+#: name; existing imports keep working.
+MemoryError_ = DeviceMemoryError
 
 
 class ClusterError(ReproError):
     """Simulated-cluster misuse (rank out of range, mismatched collective)."""
+
+
+class NodeFailure(ClusterError):
+    """A node of the simulated cluster crashed (injected permanent fault).
+
+    ``ranks`` lists the born ranks of the failed nodes so recovery code
+    can report exactly who was lost.
+    """
+
+    def __init__(self, message: str, ranks: tuple[int, ...] = ()):
+        super().__init__(message)
+        self.ranks = tuple(ranks)
+
+
+class CollectiveTimeout(ClusterError):
+    """A collective operation timed out (injected transient fault).
+
+    Transient by definition: retrying the same collective may succeed.
+    The runtime's recovery policy retries with exponential backoff.
+    """
+
+
+class DataCorruptionError(ClusterError):
+    """A collective delivered a corrupted payload (detected by checksum).
+
+    The source replica is intact, so retrying the collective repairs the
+    corrupted destination copies.
+    """
 
 
 class InterpError(ReproError):

@@ -1,13 +1,15 @@
 """CuCC runtime: memory manager, compiled programs, three-phase launcher."""
 
-from repro.runtime.cucc import CuCCRuntime
-from repro.runtime.memory_manager import ClusterMemory
+from repro.runtime.cucc import CuCCRuntime, RecoveryPolicy
+from repro.runtime.memory_manager import Checkpoint, ClusterMemory
 from repro.runtime.program import CompiledKernel, LaunchRecord, PhaseTimes
 from repro.runtime.trace import KernelStats, format_trace_report, summarize_launches
 
 __all__ = [
     "CuCCRuntime",
+    "RecoveryPolicy",
     "ClusterMemory",
+    "Checkpoint",
     "CompiledKernel",
     "LaunchRecord",
     "PhaseTimes",

@@ -17,13 +17,44 @@ communicating, exactly the paper's trivial case.
 Functional execution is performed by the vectorized SPMD interpreter on
 each node's buffers; timing comes from the roofline model applied to the
 dynamic op counts each node actually incurred.
+
+**Fault tolerance.**  Constructed with a
+:class:`~repro.cluster.faults.FaultPlan`, the runtime executes launches
+under a :class:`RecoveryPolicy`:
+
+* transient collective failures (timeouts, detected payload corruption)
+  are retried with exponential backoff;
+* stragglers are detected when a node's partial-phase time exceeds a
+  multiple of the median (and optionally evicted);
+* permanent node loss triggers **shrink-and-repartition recovery**: the
+  dead rank is dropped, the communicator is rebuilt over the survivors,
+  buffer state is restored from the last replication-invariant point (a
+  lightweight :class:`~repro.runtime.memory_manager.Checkpoint` taken at
+  the kernel-launch boundary — or, after phase 2 completed, the restored
+  invariant itself), the distribution plan is re-finalized for the
+  smaller node count, and only the lost work is replayed.
+
+All recovery work is charged to the simulated clocks and recorded in the
+launch's :class:`~repro.runtime.program.PhaseTimes` (``recovery`` field),
+so benchmarks can quantify fault overhead.  Without a fault plan the
+runtime takes exactly the fault-free code path: identical modeled times,
+identical traces.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.analysis.distributable import analyze_kernel, finalize_plan
 from repro.cluster.cluster import Cluster
-from repro.errors import LaunchError
+from repro.cluster.faults import FaultInjector, FaultPlan
+from repro.errors import (
+    ClusterError,
+    CollectiveTimeout,
+    DataCorruptionError,
+    LaunchError,
+    NodeFailure,
+)
 from repro.hw.perfmodel import DEFAULT_PARAMS, ModelParams, cpu_node_time
 from repro.interp.counters import OpCounters
 from repro.interp.grid import LaunchConfig
@@ -36,7 +67,31 @@ from repro.transform.hostgen import generate_host_module
 from repro.transform.simplify import simplify_kernel
 from repro.transform.vectorize import analyze_vectorizability
 
-__all__ = ["CuCCRuntime"]
+__all__ = ["CuCCRuntime", "RecoveryPolicy"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs of the runtime's fault-recovery behaviour.
+
+    All durations are modeled seconds charged to the simulated clocks;
+    none of them affect a fault-free run.
+    """
+
+    #: transient collective failures retried before giving up
+    max_retries: int = 3
+    #: first retry backoff; attempt k waits base * factor**(k-1)
+    backoff_base_s: float = 1e-3
+    backoff_factor: float = 2.0
+    #: heartbeat timeout charged to survivors when a node loss is detected
+    failure_detect_s: float = 5e-3
+    #: a node is flagged as a straggler when its partial-phase time
+    #: exceeds this multiple of the median node's time
+    straggler_factor: float = 4.0
+    #: evict detected stragglers (treated as a permanent node loss)
+    evict_stragglers: bool = False
+    #: recovery is refused (ClusterError) below this many surviving nodes
+    min_nodes: int = 1
 
 
 class CuCCRuntime:
@@ -53,6 +108,10 @@ class CuCCRuntime:
             result is copied to the other replicas — functionally
             identical, much faster for large node counts.  Timing is
             unaffected (every node is charged the full work either way).
+        fault_plan: optional deterministic fault schedule (see
+            :mod:`repro.cluster.faults`).  ``None`` (default) disables
+            every fault hook — zero overhead, identical modeled times.
+        recovery: recovery policy; defaults to :class:`RecoveryPolicy()`.
     """
 
     def __init__(
@@ -62,6 +121,8 @@ class CuCCRuntime:
         simd_enabled: bool = True,
         bounds_check: bool = True,
         faithful_replication: bool = True,
+        fault_plan: FaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
     ):
         self.cluster = cluster
         self.params = params
@@ -70,6 +131,13 @@ class CuCCRuntime:
         self.faithful_replication = faithful_replication
         self.memory = ClusterMemory(cluster)
         self.launches: list[LaunchRecord] = []
+        self.recovery = recovery if recovery is not None else RecoveryPolicy()
+        self.injector: FaultInjector | None = (
+            FaultInjector(fault_plan)
+            if fault_plan is not None and fault_plan.faults
+            else None
+        )
+        cluster.comm.injector = self.injector
         self._compiled: dict[str, CompiledKernel] = {}
 
     # ------------------------------------------------------------------
@@ -145,7 +213,312 @@ class CuCCRuntime:
         for node in self.cluster.nodes:
             node.clock.advance(overhead)
 
-        # ---- phase 1: partial block execution -------------------------
+        if self.injector is None:
+            record = self._launch_plain(
+                kernel, config, plan, buffer_args, scalar_args,
+                vectorized, working_set, overhead,
+            )
+        else:
+            record = self._launch_fault_tolerant(
+                compiled, kernel, config, plan, buffer_args, scalar_args,
+                vectorized, working_set, overhead,
+            )
+        self.launches.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # fault-free path (exactly the seed behaviour)
+    # ------------------------------------------------------------------
+    def _launch_plain(
+        self, kernel, config, plan, buffer_args, scalar_args,
+        vectorized, working_set, overhead,
+    ) -> LaunchRecord:
+        partial_time, partial_counters = self._run_partial_phase(
+            kernel, config, plan, buffer_args, scalar_args, vectorized,
+            working_set,
+        )
+        allgather_time = self._run_allgather_phase(plan, buffer_args)
+        callback_counters = OpCounters()
+        callback_time = 0.0
+        cb = plan.callback_blocks
+        if len(cb) > 0:
+            callback_time = self._run_replicated(
+                kernel, config, buffer_args, scalar_args, cb,
+                callback_counters, vectorized, working_set,
+            )
+        return LaunchRecord(
+            kernel_name=kernel.name,
+            config=config,
+            plan=plan,
+            phases=PhaseTimes(
+                partial=partial_time,
+                allgather=allgather_time,
+                callback=callback_time,
+                overhead=overhead,
+            ),
+            partial_counters=partial_counters,
+            callback_counters=callback_counters,
+            comm_bytes=plan.comm_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # fault-tolerant path
+    # ------------------------------------------------------------------
+    def _launch_fault_tolerant(
+        self, compiled, kernel, config, plan, buffer_args, scalar_args,
+        vectorized, working_set, overhead,
+    ) -> LaunchRecord:
+        """Drive the three phases under the recovery policy.
+
+        The loop re-enters after every survived permanent failure; the
+        ``allgather_done`` flag encodes the replication-invariant point
+        reached, which decides how much work a recovery must replay.
+        """
+        inj = self.injector
+        pol = self.recovery
+        events_start = inj.begin_launch(self.cluster.nodes)
+        written = sorted(
+            {
+                buffer_args[r.buffer]
+                for r in compiled.analysis.records
+                if r.buffer in buffer_args
+            }
+        )
+        ckpt = (
+            self.memory.checkpoint(written, label=f"launch:{kernel.name}")
+            if written
+            else None
+        )
+
+        retries = 0
+        recoveries = 0
+        recovery_time = 0.0
+        allgather_done = False
+        partial_time = allgather_time = callback_time = 0.0
+        partial_counters: list[OpCounters] = []
+        callback_counters = OpCounters()
+
+        while True:
+            attempt_partial = attempt_allgather = 0.0
+            try:
+                if not allgather_done:
+                    self._fault_boundary("partial")
+                    attempt_partial, partial_counters = self._run_partial_phase(
+                        kernel, config, plan, buffer_args, scalar_args,
+                        vectorized, working_set,
+                        node_times=(node_times := []),
+                    )
+                    self._check_stragglers(plan, node_times)
+                    self._fault_boundary("allgather")
+                    attempt_allgather, extra, nretry = (
+                        self._run_allgather_retrying(plan, buffer_args)
+                    )
+                    retries += nretry
+                    recovery_time += extra
+                    partial_time, allgather_time = (
+                        attempt_partial, attempt_allgather,
+                    )
+                    allgather_done = True
+                self._fault_boundary("callback")
+                callback_counters = OpCounters()
+                callback_time = 0.0
+                cb = plan.callback_blocks
+                if len(cb) > 0:
+                    callback_time = self._run_replicated(
+                        kernel, config, buffer_args, scalar_args, cb,
+                        callback_counters, vectorized, working_set,
+                    )
+                break
+            except NodeFailure as e:
+                recoveries += 1
+                # work of the failed attempt is lost: account it as
+                # recovery cost, not as productive phase time
+                recovery_time += attempt_partial + attempt_allgather
+                recovery_time += self._recover_from_node_loss(
+                    e, compiled, config, scalar_args, ckpt, allgather_done
+                )
+                if not allgather_done:
+                    plan = finalize_plan(
+                        compiled.analysis, config, scalar_args,
+                        self.cluster.num_nodes,
+                    )
+                    inj.record(
+                        "replan",
+                        self.cluster.max_clock,
+                        detail=(
+                            f"{'replicated' if plan.replicated else 'distributed'}"
+                            f" plan over {self.cluster.num_nodes} nodes"
+                        ),
+                    )
+
+        return LaunchRecord(
+            kernel_name=kernel.name,
+            config=config,
+            plan=plan,
+            phases=PhaseTimes(
+                partial=partial_time,
+                allgather=allgather_time,
+                callback=callback_time,
+                overhead=overhead,
+                recovery=recovery_time,
+            ),
+            partial_counters=partial_counters,
+            callback_counters=callback_counters,
+            comm_bytes=plan.comm_bytes,
+            fault_events=list(inj.events[events_start:]),
+            retries=retries,
+            recoveries=recoveries,
+        )
+
+    def _fault_boundary(self, phase: str) -> None:
+        """Deliver scheduled crashes due at this phase boundary; any dead
+        node surfaces as a NodeFailure for the recovery driver."""
+        nodes = self.cluster.nodes
+        self.injector.poll_crashes(phase, self.cluster.max_clock, nodes)
+        dead = tuple(n.born_rank for n in nodes if not n.alive)
+        if dead:
+            raise NodeFailure(
+                f"node(s) {list(dead)} down at {phase} boundary", ranks=dead
+            )
+
+    def _check_stragglers(self, plan, node_times: list[float]) -> None:
+        """Flag nodes whose partial-phase time ran past the policy's
+        timeout (straggler_factor x the median node); optionally evict."""
+        import statistics
+
+        nodes = self.cluster.nodes
+        if plan.replicated or len(nodes) < 2 or len(node_times) != len(nodes):
+            return
+        median = statistics.median(node_times)
+        if median <= 0.0:
+            return
+        slow = [
+            n for n, t in zip(nodes, node_times)
+            if t > self.recovery.straggler_factor * median
+        ]
+        for n in slow:
+            t = node_times[n.rank]
+            self.injector.record(
+                "straggler-detected",
+                self.cluster.max_clock,
+                rank=n.born_rank,
+                detail=(
+                    f"partial phase {t * 1e3:.3f} ms vs "
+                    f"median {median * 1e3:.3f} ms "
+                    f"(timeout factor {self.recovery.straggler_factor:g})"
+                ),
+            )
+            if self.recovery.evict_stragglers:
+                n.fail("evicted as straggler")
+        if self.recovery.evict_stragglers and slow:
+            raise NodeFailure(
+                f"straggler rank(s) {[n.born_rank for n in slow]} evicted",
+                ranks=tuple(n.born_rank for n in slow),
+            )
+
+    def _run_allgather_retrying(self, plan, buffer_args):
+        """Phase 2 under the retry policy.
+
+        Returns ``(productive_time, recovery_time, retries)``: the cost
+        of the successful collectives vs. the time burned on failed
+        attempts, timeouts and exponential backoff.
+        """
+        pol = self.recovery
+        total = 0.0
+        extra = 0.0
+        retries = 0
+        if plan.replicated or plan.p_size <= 0:
+            return total, extra, retries
+        for bp in plan.buffers:
+            attempt = 0
+            while True:
+                before = self.cluster.max_clock
+                try:
+                    total += self.cluster.comm.allgather_in_place(
+                        buffer_args[bp.buffer],
+                        bp.base_elem,
+                        plan.p_size * bp.unit_elems,
+                    )
+                    break
+                except (CollectiveTimeout, DataCorruptionError):
+                    # the failed attempt's wire/timeout cost is already on
+                    # the clocks; book it as recovery, then back off
+                    extra += self.cluster.max_clock - before
+                    attempt += 1
+                    retries += 1
+                    if attempt > pol.max_retries:
+                        raise
+                    backoff = pol.backoff_base_s * (
+                        pol.backoff_factor ** (attempt - 1)
+                    )
+                    start = self.cluster.max_clock
+                    for n in self.cluster.nodes:
+                        n.clock.wait_until(start + backoff)
+                    extra += backoff
+                    self.injector.record(
+                        "retry",
+                        self.cluster.max_clock,
+                        detail=(
+                            f"allgather {bp.buffer!r} attempt "
+                            f"{attempt}/{pol.max_retries} after "
+                            f"{backoff * 1e3:.3f} ms backoff"
+                        ),
+                    )
+        return total, extra, retries
+
+    def _recover_from_node_loss(
+        self, failure, compiled, config, scalar_args, ckpt, allgather_done
+    ) -> float:
+        """Shrink-and-repartition recovery; returns the modeled time it
+        charged (detection timeout).  Raises ClusterError when too few
+        nodes survive."""
+        pol = self.recovery
+        survivors = self.cluster.alive_nodes
+        if len(survivors) < max(1, pol.min_nodes):
+            raise ClusterError(
+                f"unrecoverable failure: {len(survivors)} surviving node(s) "
+                f"below the policy minimum of {max(1, pol.min_nodes)} "
+                f"({failure})"
+            )
+        # failure detection: survivors wait out the heartbeat timeout
+        start = max(n.clock.now for n in survivors)
+        for n in survivors:
+            n.clock.wait_until(start + pol.failure_detect_s)
+        dead = self.cluster.remove_dead()
+        self.injector.record(
+            "recover-shrink",
+            self.cluster.max_clock,
+            detail=(
+                f"dropped rank(s) {[n.born_rank for n in dead]}, "
+                f"{len(survivors)} survivors"
+            ),
+        )
+        if not allgather_done and ckpt is not None:
+            # pre-launch replication invariant: restore written buffers
+            self.memory.restore(ckpt)
+            self.injector.record(
+                "restore",
+                self.cluster.max_clock,
+                detail=(
+                    f"checkpoint {ckpt.label!r} "
+                    f"({ckpt.nbytes} B x {len(survivors)} replicas)"
+                ),
+            )
+        return pol.failure_detect_s
+
+    # ------------------------------------------------------------------
+    # phase executors (shared by both paths)
+    # ------------------------------------------------------------------
+    def _run_partial_phase(
+        self, kernel, config, plan, buffer_args, scalar_args, vectorized,
+        working_set, node_times: list[float] | None = None,
+    ):
+        """Phase 1: each node runs its own block range; returns the phase
+        duration (max over nodes) and the per-rank op counters.
+
+        ``node_times`` (when given) receives each node's individual time —
+        the signal the recovery policy's straggler detector reads.
+        """
         partial_counters: list[OpCounters] = []
         partial_time = 0.0
         if not plan.replicated and plan.p_size > 0:
@@ -163,12 +536,16 @@ class CuCCRuntime:
                     simd_enabled=self.simd_enabled,
                     working_set_bytes=working_set,
                     params=self.params,
-                )
+                ) * node.compute_multiplier
                 node.clock.advance(t)
                 partial_counters.append(counters)
+                if node_times is not None:
+                    node_times.append(t)
                 partial_time = max(partial_time, t)
+        return partial_time, partial_counters
 
-        # ---- phase 2: balanced in-place Allgather ----------------------
+    def _run_allgather_phase(self, plan, buffer_args) -> float:
+        """Phase 2: one balanced in-place Allgather per written buffer."""
         allgather_time = 0.0
         if not plan.replicated and plan.p_size > 0:
             for bp in plan.buffers:
@@ -177,33 +554,7 @@ class CuCCRuntime:
                     bp.base_elem,
                     plan.p_size * bp.unit_elems,
                 )
-
-        # ---- phase 3: callback block execution --------------------------
-        callback_counters = OpCounters()
-        callback_time = 0.0
-        cb = plan.callback_blocks
-        if len(cb) > 0:
-            callback_time = self._run_replicated(
-                kernel, config, buffer_args, scalar_args, cb,
-                callback_counters, vectorized, working_set,
-            )
-
-        record = LaunchRecord(
-            kernel_name=kernel.name,
-            config=config,
-            plan=plan,
-            phases=PhaseTimes(
-                partial=partial_time,
-                allgather=allgather_time,
-                callback=callback_time,
-                overhead=overhead,
-            ),
-            partial_counters=partial_counters,
-            callback_counters=callback_counters,
-            comm_bytes=plan.comm_bytes,
-        )
-        self.launches.append(record)
-        return record
+        return allgather_time
 
     # ------------------------------------------------------------------
     def _executor(self, kernel, config, buffer_args, scalar_args, node, counters):
@@ -259,7 +610,7 @@ class CuCCRuntime:
                 for node in nodes[1:]:
                     node.buffer(bname)[:] = src
         for node in nodes:
-            node.clock.advance(t)
+            node.clock.advance(t * node.compute_multiplier)
         return t
 
     # ------------------------------------------------------------------

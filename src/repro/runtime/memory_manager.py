@@ -11,16 +11,44 @@ must establish:
   the paper's figures measure kernel execution);
 * ``memcpy_d2h`` reads node 0's copy, optionally verifying that all
   replicas agree (a strong consistency check used throughout the tests).
+
+The replication invariant doubles as a built-in recovery point: because
+every node holds a full copy of every buffer between launches (and of all
+written regions after phase-2 Allgather), a :class:`Checkpoint` needs
+only *one* canonical copy per buffer — not per node — to restore any
+surviving subset of nodes after a crash.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.cluster.cluster import Cluster
-from repro.errors import MemoryError_
+from repro.errors import DeviceMemoryError
 
-__all__ = ["ClusterMemory"]
+__all__ = ["ClusterMemory", "Checkpoint"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Lightweight snapshot of replicated buffers at an invariant point.
+
+    Because the replication invariant guarantees all replicas are
+    identical when the checkpoint is taken, one host-side copy per buffer
+    suffices; :meth:`ClusterMemory.restore` writes it back into every
+    node currently in the cluster — including a cluster that has shrunk
+    since the snapshot.
+    """
+
+    label: str
+    sim_time: float
+    data: dict[str, np.ndarray]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self.data.values())
 
 
 class ClusterMemory:
@@ -36,9 +64,9 @@ class ClusterMemory:
         """Allocate a zeroed buffer of ``size`` elements on every node."""
         dtype = np.dtype(dtype)
         if name in self._sizes:
-            raise MemoryError_(f"buffer {name!r} already allocated")
+            raise DeviceMemoryError(f"buffer {name!r} already allocated")
         if size <= 0:
-            raise MemoryError_(f"buffer {name!r}: size must be positive")
+            raise DeviceMemoryError(f"buffer {name!r}: size must be positive")
         for node in self.cluster.nodes:
             node.alloc(name, size, dtype)
         self._sizes[name] = (int(size), dtype)
@@ -52,7 +80,7 @@ class ClusterMemory:
 
     def _require(self, name: str) -> None:
         if name not in self._sizes:
-            raise MemoryError_(f"unknown buffer {name!r}")
+            raise DeviceMemoryError(f"unknown buffer {name!r}")
 
     def memcpy_h2d(self, name: str, host: np.ndarray) -> None:
         """Copy host data into every node's replica of ``name``."""
@@ -60,11 +88,11 @@ class ClusterMemory:
         size, dtype = self._sizes[name]
         host = np.ascontiguousarray(host).reshape(-1)
         if host.dtype != dtype:
-            raise MemoryError_(
+            raise DeviceMemoryError(
                 f"memcpy_h2d {name!r}: host dtype {host.dtype} != {dtype}"
             )
         if host.size != size:
-            raise MemoryError_(
+            raise DeviceMemoryError(
                 f"memcpy_h2d {name!r}: host size {host.size} != {size}"
             )
         for node in self.cluster.nodes:
@@ -91,12 +119,47 @@ class ClusterMemory:
                     bad = np.flatnonzero(
                         ~_eq_nan(node.buffer(name), ref)
                     )
-                    raise MemoryError_(
+                    raise DeviceMemoryError(
                         f"replicas of {name!r} diverge between rank 0 and rank "
                         f"{node.rank} at {bad.size} elements "
                         f"(first at index {int(bad[0])})"
                     )
         return ref.copy()
+
+    # -- checkpoint / restore (fault recovery) ------------------------------
+    def checkpoint(
+        self, names: list[str] | None = None, label: str = ""
+    ) -> Checkpoint:
+        """Snapshot buffers at a replication-invariant point.
+
+        ``names`` defaults to every allocated buffer.  The snapshot reads
+        rank 0's replica (the invariant makes all replicas identical at
+        valid checkpoint times) into host memory, so it survives the
+        death of any — even all — of the nodes it was taken from.
+        """
+        names = self.buffer_names if names is None else names
+        for n in names:
+            self._require(n)
+        ref = self.cluster.nodes[0]
+        return Checkpoint(
+            label=label,
+            sim_time=self.cluster.max_clock,
+            data={n: ref.buffer(n).copy() for n in names},
+        )
+
+    def restore(self, ckpt: Checkpoint) -> None:
+        """Write a checkpoint back into every current node's replica.
+
+        Buffers freed since the snapshot are skipped; shrunken clusters
+        restore onto the survivors only.  Simulated clocks are *not*
+        touched — time already burned stays charged, which is how
+        recovery cost shows up in modeled time.
+        """
+        for name, arr in ckpt.data.items():
+            if name not in self._sizes:
+                continue
+            for node in self.cluster.nodes:
+                node.buffer(name)[:] = arr
 
     def consistent(self, name: str) -> bool:
         """Whether all replicas of ``name`` agree."""

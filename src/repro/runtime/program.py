@@ -60,10 +60,19 @@ class PhaseTimes:
     allgather: float  # phase 2
     callback: float  # phase 3
     overhead: float = 0.0  # launch overhead
+    #: time lost to faults and their recovery: failed attempts, collective
+    #: timeouts, retry backoff, failure detection, restore + re-plan work
+    recovery: float = 0.0
 
     @property
     def total(self) -> float:
-        return self.partial + self.allgather + self.callback + self.overhead
+        return (
+            self.partial
+            + self.allgather
+            + self.callback
+            + self.overhead
+            + self.recovery
+        )
 
     @property
     def network_fraction(self) -> float:
@@ -85,6 +94,13 @@ class LaunchRecord:
     #: dynamic counts of the callback phase (identical on every node)
     callback_counters: OpCounters
     comm_bytes: int
+    #: injected faults and recovery decisions during this launch, in order
+    #: (empty without fault injection — see repro.cluster.faults)
+    fault_events: list = field(default_factory=list)
+    #: transient-collective retries performed during this launch
+    retries: int = 0
+    #: shrink-and-repartition recoveries (permanent node losses survived)
+    recoveries: int = 0
 
     @property
     def time(self) -> float:
@@ -92,10 +108,16 @@ class LaunchRecord:
 
     def describe(self) -> str:
         p = self.phases
-        return (
+        text = (
             f"{self.kernel_name}<<<{self.config.grid},{self.config.block}>>> "
             f"{'replicated' if self.plan.replicated else 'distributed'}: "
             f"total {p.total * 1e3:.3f} ms (partial {p.partial * 1e3:.3f}, "
             f"allgather {p.allgather * 1e3:.3f}, callback "
             f"{p.callback * 1e3:.3f})"
         )
+        if p.recovery > 0 or self.retries or self.recoveries:
+            text += (
+                f" [faults: {self.retries} retries, {self.recoveries} "
+                f"recoveries, {p.recovery * 1e3:.3f} ms recovery]"
+            )
+        return text

@@ -28,10 +28,19 @@ class KernelStats:
     allgather_s: float = 0.0
     callback_s: float = 0.0
     comm_bytes: int = 0
+    recovery_s: float = 0.0
+    retries: int = 0
+    recoveries: int = 0
+    fault_events: int = 0
 
     @property
     def network_fraction(self) -> float:
         return self.allgather_s / self.total_s if self.total_s > 0 else 0.0
+
+    @property
+    def recovery_fraction(self) -> float:
+        """Fraction of the kernel's time lost to faults and recovery."""
+        return self.recovery_s / self.total_s if self.total_s > 0 else 0.0
 
     def add(self, rec: LaunchRecord) -> None:
         self.launches += 1
@@ -41,6 +50,10 @@ class KernelStats:
         self.allgather_s += rec.phases.allgather
         self.callback_s += rec.phases.callback
         self.comm_bytes += rec.comm_bytes
+        self.recovery_s += rec.phases.recovery
+        self.retries += rec.retries
+        self.recoveries += rec.recoveries
+        self.fault_events += len(rec.fault_events)
 
 
 def summarize_launches(launches: list[LaunchRecord]) -> list[KernelStats]:
@@ -79,8 +92,21 @@ def format_trace_report(launches: list[LaunchRecord]) -> str:
          "callback", "net%", "bytes"],
         rows,
     )
-    return (
+    report = (
         table
         + f"\ntotal {total * 1e6:.1f} us across {sum(s.launches for s in stats)}"
         f" launches; {100 * comm / total if total else 0:.1f}% in Allgather"
     )
+    # fault summary only when something was injected, so fault-free traces
+    # render byte-identically to a build without fault injection
+    events = sum(s.fault_events for s in stats)
+    if events or any(s.retries or s.recoveries for s in stats):
+        recovery = sum(s.recovery_s for s in stats)
+        report += (
+            f"\nfaults: {events} events, "
+            f"{sum(s.retries for s in stats)} retries, "
+            f"{sum(s.recoveries for s in stats)} recoveries; "
+            f"{recovery * 1e6:.1f} us ({100 * recovery / total if total else 0:.1f}%)"
+            " lost to recovery"
+        )
+    return report

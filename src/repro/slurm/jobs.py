@@ -31,6 +31,8 @@ class Job:
     partition: str = field(compare=False)
     # filled by the scheduler
     start_time: float = field(default=-1.0, compare=False)
+    #: times this job was killed by a node failure and requeued
+    requeues: int = field(default=0, compare=False)
 
     @property
     def wait_s(self) -> float:

@@ -6,14 +6,21 @@ FCFS + EASY-backfill: the queue head reserves the earliest time enough
 nodes free up; later jobs may start out of order only if they finish
 before that reservation (using their requested runtime — here the true
 runtime, i.e. perfect estimates).
+
+Node failures are modeled the way Slurm drains a dead node: the
+partition's capacity shrinks by one, and if the node was busy its job is
+killed and requeued at the head of the queue with the surviving node
+count (``scontrol requeue`` semantics; the job's ``requeues`` counter
+records every such event).
 """
 
 from __future__ import annotations
 
 import heapq
+import itertools
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError
+from repro.errors import ClusterError, ReproError
 from repro.slurm.jobs import Job
 
 __all__ = ["PartitionScheduler", "simulate_partition"]
@@ -26,13 +33,14 @@ class PartitionScheduler:
     name: str
     num_nodes: int
     free_nodes: int = field(init=False)
-    #: running jobs as (end_time, nodes) heap
-    running: list[tuple[float, int]] = field(default_factory=list)
+    #: running jobs as (end_time, seq, job) heap (seq breaks ties)
+    running: list[tuple[float, int, Job]] = field(default_factory=list)
     queue: list[Job] = field(default_factory=list)
     finished: list[Job] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.free_nodes = self.num_nodes
+        self._seq = itertools.count()
 
     # -- internals --------------------------------------------------------
     def _start(self, job: Job, now: float) -> None:
@@ -40,13 +48,13 @@ class PartitionScheduler:
             raise ReproError("scheduler invariant violated: not enough nodes")
         job.start_time = now
         self.free_nodes -= job.nodes
-        heapq.heappush(self.running, (job.end_time, job.nodes))
+        heapq.heappush(self.running, (job.end_time, next(self._seq), job))
         self.finished.append(job)
 
     def _release_until(self, now: float) -> None:
         while self.running and self.running[0][0] <= now:
-            _, nodes = heapq.heappop(self.running)
-            self.free_nodes += nodes
+            _, _, job = heapq.heappop(self.running)
+            self.free_nodes += job.nodes
 
     def _head_reservation(self, now: float) -> float:
         """Earliest time the queue head can start, given running jobs."""
@@ -58,10 +66,10 @@ class PartitionScheduler:
             )
         free = self.free_nodes
         t = now
-        for end, nodes in sorted(self.running):
+        for end, _, job in sorted(self.running, key=lambda r: r[:2]):
             if free >= head.nodes:
                 break
-            free += nodes
+            free += job.nodes
             t = end
         return t
 
@@ -90,25 +98,80 @@ class PartitionScheduler:
                     continue
             i += 1
 
+    def fail_node(self, now: float) -> Job | None:
+        """One node dies at ``now``: capacity shrinks by one.
+
+        An idle node is simply drained.  A busy node kills its job — the
+        one with the latest end time, i.e. the most freshly started work —
+        which is requeued at the head of the queue resized to the nodes it
+        still holds (its dead node is gone).  Returns the requeued job, or
+        ``None`` if an idle node absorbed the failure.
+        """
+        self._release_until(now)
+        if self.num_nodes <= 0:
+            raise ClusterError(
+                f"partition {self.name!r} has no nodes left to fail"
+            )
+        self.num_nodes -= 1
+        if self.free_nodes > 0:
+            self.free_nodes -= 1
+            return None
+        idx = max(range(len(self.running)), key=lambda i: self.running[i][:2])
+        _, _, job = self.running.pop(idx)
+        heapq.heapify(self.running)
+        self.finished.remove(job)
+        self.free_nodes += job.nodes - 1
+        job.nodes = max(1, job.nodes - 1)
+        job.start_time = -1.0
+        job.requeues += 1
+        self.queue.insert(0, job)
+        return job
+
     @property
     def next_completion(self) -> float | None:
         return self.running[0][0] if self.running else None
 
 
-def simulate_partition(name: str, num_nodes: int, jobs: list[Job]) -> list[Job]:
+def simulate_partition(
+    name: str,
+    num_nodes: int,
+    jobs: list[Job],
+    failure_times: list[float] | None = None,
+) -> list[Job]:
     """Run one partition's trace to completion; returns jobs with start
-    times filled in."""
+    times filled in.
+
+    ``failure_times`` optionally injects node failures: at each given
+    time one node dies (capacity shrinks; a killed job is requeued with
+    its surviving node count — see :meth:`PartitionScheduler.fail_node`).
+    Without failures the simulation is exactly the failure-free one.
+    """
     sched = PartitionScheduler(name, num_nodes)
     pending = sorted(jobs)
+    failures = sorted(failure_times) if failure_times else []
     i = 0
+    f = 0
     now = 0.0
-    while i < len(pending) or sched.queue:
-        # next event: arrival or completion
+    while (
+        i < len(pending)
+        or sched.queue
+        or (f < len(failures) and sched.running)
+    ):
+        # next event: arrival, completion, or node failure
         arrival = pending[i].submit_time if i < len(pending) else None
         completion = sched.next_completion
-        if arrival is None and completion is None:
+        failure = failures[f] if f < len(failures) else None
+        if (
+            failure is not None
+            and (arrival is None or failure < arrival)
+            and (completion is None or failure < completion)
+        ):
+            now = max(now, failure)
+            f += 1
+            sched.fail_node(now)
+        elif arrival is None and completion is None:
             break  # queue non-empty but nothing running: handled below
-        if completion is None or (arrival is not None and arrival <= completion):
+        elif completion is None or (arrival is not None and arrival <= completion):
             now = max(now, arrival)
             while i < len(pending) and pending[i].submit_time <= now:
                 sched.queue.append(pending[i])

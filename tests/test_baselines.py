@@ -5,7 +5,7 @@ import pytest
 
 from repro.baselines import GPUDevice, PGASRuntime, SingleCPURuntime
 from repro.cluster import Cluster
-from repro.errors import LaunchError, MemoryError_
+from repro.errors import LaunchError, DeviceMemoryError
 from repro.frontend.parser import parse_kernel
 from repro.hw import A100, SIMD_FOCUSED_NODE, V100
 
@@ -37,14 +37,14 @@ def test_gpu_device_end_to_end():
 def test_gpu_memory_errors():
     dev = GPUDevice(V100)
     dev.alloc("x", 4, np.float32)
-    with pytest.raises(MemoryError_):
+    with pytest.raises(DeviceMemoryError):
         dev.alloc("x", 4, np.float32)
-    with pytest.raises(MemoryError_):
+    with pytest.raises(DeviceMemoryError):
         dev.memcpy_h2d("x", np.zeros(5, np.float32))
-    with pytest.raises(MemoryError_):
+    with pytest.raises(DeviceMemoryError):
         dev.memcpy_d2h("nope")
     dev.free("x")
-    with pytest.raises(MemoryError_):
+    with pytest.raises(DeviceMemoryError):
         dev.free("x")
 
 

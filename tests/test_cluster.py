@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import Cluster, SimClock, collectives as coll, make_cluster
-from repro.errors import ClusterError, MemoryError_
+from repro.errors import ClusterError, DeviceMemoryError
 from repro.hw import INFINIBAND_100G, SIMD_FOCUSED_NODE, THREAD_FOCUSED_NODE
 
 NET = INFINIBAND_100G
@@ -46,12 +46,12 @@ def test_node_alloc_errors():
     cl = Cluster(SIMD_FOCUSED_NODE, 1)
     node = cl.nodes[0]
     node.alloc("x", 4, np.int32)
-    with pytest.raises(MemoryError_):
+    with pytest.raises(DeviceMemoryError):
         node.alloc("x", 4, np.int32)
-    with pytest.raises(MemoryError_):
+    with pytest.raises(DeviceMemoryError):
         node.buffer("nope")
     node.free("x")
-    with pytest.raises(MemoryError_):
+    with pytest.raises(DeviceMemoryError):
         node.free("x")
 
 
@@ -253,3 +253,23 @@ def test_allreduce_and_reduce_costs():
     assert coll.reduce_cost(NET, 8, 1e6) > 0
     assert coll.allreduce_cost(NET, 1, 1e6) == 0
     assert coll.reduce_cost(NET, 1, 1e6) == 0
+
+
+def test_zero_byte_allgather_is_modeled_noop():
+    """per_rank == 0 must be a true no-op: no data, no cost, no clock sync."""
+    cl = Cluster(SIMD_FOCUSED_NODE, 3)
+    for node in cl.nodes:
+        node.alloc("d", 6, np.int32)
+    cl.nodes[0].clock.advance(1.0)  # deliberately skew the clocks
+    before = [n.clock.now for n in cl.nodes]
+    d = cl.comm.allgather_in_place("d", 0, 0)
+    assert d == 0.0
+    assert [n.clock.now for n in cl.nodes] == before  # not even synchronized
+    assert cl.comm.comm_bytes == 0 and cl.comm.comm_seconds == 0.0
+
+
+def test_device_memory_error_alias():
+    """The deprecated MemoryError_ name must remain importable."""
+    from repro.errors import MemoryError_
+
+    assert MemoryError_ is DeviceMemoryError

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cluster import Cluster, make_cluster
-from repro.errors import LaunchError, MemoryError_
+from repro.errors import LaunchError, DeviceMemoryError
 from repro.frontend.parser import parse_kernel
 from repro.hw import SIMD_FOCUSED_NODE
 from repro.runtime import CuCCRuntime
@@ -50,7 +50,7 @@ def test_memory_manager_detects_divergence():
     mem.alloc("x", 4, np.int32)
     cl.nodes[1].buffer("x")[2] = 5  # simulate a consistency bug
     assert not mem.consistent("x")
-    with pytest.raises(MemoryError_, match="diverge"):
+    with pytest.raises(DeviceMemoryError, match="diverge"):
         mem.memcpy_d2h("x", check_consistency=True)
 
 
@@ -58,18 +58,18 @@ def test_memory_manager_errors():
     cl = Cluster(SIMD_FOCUSED_NODE, 1)
     mem = ClusterMemory(cl)
     mem.alloc("x", 4, np.int32)
-    with pytest.raises(MemoryError_):
+    with pytest.raises(DeviceMemoryError):
         mem.alloc("x", 4, np.int32)
-    with pytest.raises(MemoryError_):
+    with pytest.raises(DeviceMemoryError):
         mem.alloc("zero", 0, np.int32)
-    with pytest.raises(MemoryError_):
+    with pytest.raises(DeviceMemoryError):
         mem.memcpy_h2d("x", np.zeros(3, np.int32))  # size mismatch
-    with pytest.raises(MemoryError_):
+    with pytest.raises(DeviceMemoryError):
         mem.memcpy_h2d("x", np.zeros(4, np.int64))  # dtype mismatch
-    with pytest.raises(MemoryError_):
+    with pytest.raises(DeviceMemoryError):
         mem.memcpy_d2h("nope")
     mem.free("x")
-    with pytest.raises(MemoryError_):
+    with pytest.raises(DeviceMemoryError):
         mem.free("x")
 
 
@@ -185,7 +185,7 @@ def test_launch_argument_validation():
     with pytest.raises(LaunchError, match="buffer name"):
         rt.launch(compiled, 1, 8,
                   {"src": np.zeros(8, np.int8), "dest": "dest", "n": 8})
-    with pytest.raises(MemoryError_):
+    with pytest.raises(DeviceMemoryError):
         rt.launch(compiled, 1, 8, {"src": "nope", "dest": "dest", "n": 8})
 
 

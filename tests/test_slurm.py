@@ -131,3 +131,54 @@ def test_figure1_shape_gpu_waits_dominate():
     assert gpu_wait > 50 * (cpu_wait + 1.0)
     assert all(s.utilization < 0.7 for s in cpu)
     assert all(s.utilization > 0.7 for s in gpu)
+
+
+# ---------------------------------------------------------------------------
+# node failures and rescheduling
+# ---------------------------------------------------------------------------
+def test_node_failure_requeues_running_job_with_fewer_nodes():
+    jobs = [Job(submit_time=0.0, job_id=1, nodes=2, runtime_s=100.0,
+                partition="p")]
+    finished = simulate_partition("p", 2, jobs, failure_times=[50.0])
+    (j,) = finished
+    assert j.requeues == 1
+    assert j.nodes == 1  # resubmitted with the surviving node count
+    assert j.start_time == pytest.approx(50.0)  # restarted at the failure
+    assert j.end_time == pytest.approx(150.0)
+
+
+def test_node_failure_on_idle_node_leaves_jobs_alone():
+    jobs = [Job(submit_time=0.0, job_id=1, nodes=1, runtime_s=10.0,
+                partition="p")]
+    finished = simulate_partition("p", 4, jobs, failure_times=[5.0])
+    (j,) = finished
+    assert j.requeues == 0 and j.start_time == 0.0
+
+
+def test_node_failure_delays_queue():
+    # capacity 2: failure at t=10 kills the running 2-node job; it requeues
+    # ahead of the later submission and both serialize on the 1 node left
+    jobs = [
+        Job(submit_time=0.0, job_id=0, nodes=2, runtime_s=20.0, partition="p"),
+        Job(submit_time=5.0, job_id=1, nodes=1, runtime_s=20.0, partition="p"),
+    ]
+    finished = {j.job_id: j
+                for j in simulate_partition("p", 2, jobs,
+                                            failure_times=[10.0])}
+    assert finished[0].requeues == 1 and finished[0].nodes == 1
+    assert finished[0].start_time == pytest.approx(10.0)  # requeued at head
+    assert finished[1].start_time == pytest.approx(30.0)  # after the requeue
+
+
+def test_failure_free_runs_are_unchanged_by_empty_failure_list():
+    jobs = [
+        Job(submit_time=float(i), job_id=i, nodes=2, runtime_s=30.0,
+            partition="p")
+        for i in range(5)
+    ]
+    a = simulate_partition("p", 4, [Job(**vars(j)) for j in jobs])
+    b = simulate_partition("p", 4, [Job(**vars(j)) for j in jobs],
+                           failure_times=[])
+    assert [(j.job_id, j.start_time) for j in a] == [
+        (j.job_id, j.start_time) for j in b
+    ]
