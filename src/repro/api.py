@@ -31,6 +31,15 @@ from repro.hw import (
 from repro.interp import LaunchConfig, OpCounters, run_grid
 from repro.ir import IRBuilder, Kernel, print_kernel
 from repro.runtime import CompiledKernel, CuCCRuntime, LaunchRecord, RecoveryPolicy
+from repro.sanitize import (
+    DynamicSanitizer,
+    Finding,
+    FindingKind,
+    SanitizerReport,
+    sanitize_kernel,
+    sanitize_launch,
+    sanitize_spec,
+)
 from repro.transform import analyze_vectorizability
 from repro.workloads import PERF_WORKLOADS
 
@@ -48,6 +57,9 @@ __all__ = [
     "LaunchRecord", "LaunchConfig", "OpCounters", "run_grid",
     # fault injection + recovery
     "FaultPlan", "RecoveryPolicy",
+    # sanitizer
+    "sanitize_kernel", "sanitize_launch", "sanitize_spec",
+    "SanitizerReport", "Finding", "FindingKind", "DynamicSanitizer",
     # baselines + hardware
     "GPUDevice", "PGASRuntime", "SingleCPURuntime",
     "SIMD_FOCUSED_NODE", "THREAD_FOCUSED_NODE", "A100", "V100", "ModelParams",

@@ -28,6 +28,7 @@ class SingleCPURuntime(CuCCRuntime):
         params: ModelParams = DEFAULT_PARAMS,
         simd_enabled: bool = True,
         bounds_check: bool = True,
+        sanitize: bool = False,
     ):
         cluster = Cluster(
             node_spec, 1, network=INFINIBAND_100G,
@@ -38,4 +39,5 @@ class SingleCPURuntime(CuCCRuntime):
             params=params,
             simd_enabled=simd_enabled,
             bounds_check=bounds_check,
+            sanitize=sanitize,
         )

@@ -5,6 +5,10 @@
                             --set n=1200         # + launch-time plan
     python -m repro analyze kernel.cu            # verdict table only
     python -m repro run FIR --cluster simd-focused --nodes 4
+    python -m repro sanitize FIR                 # static + dynamic sanitizer
+    python -m repro sanitize kernel.cu           # static race detector
+    python -m repro sanitize --all               # every bundled workload
+    python -m repro sanitize --violations        # seeded-hazard self-check
     python -m repro specs                        # Table 1
     python -m repro bench fig08 ...              # == python -m repro.bench
 
@@ -154,6 +158,70 @@ def _cmd_specs(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    """Kernel sanitizer driver; exit status 0 means "all clean" (or, with
+    --violations, "every seeded hazard was caught") so CI can gate on it."""
+    from repro.sanitize import sanitize_kernel, sanitize_launch, sanitize_spec
+    from repro.workloads import EXTRA_WORKLOADS, PERF_WORKLOADS
+
+    catalog = {**PERF_WORKLOADS, **EXTRA_WORKLOADS}
+
+    if args.violations:
+        from repro.sanitize.violations import VIOLATIONS
+
+        ok = True
+        for name, case in VIOLATIONS.items():
+            k = case.kernel()
+            st = sanitize_kernel(k)
+            dy = sanitize_launch(k, case.grid, case.block, case.make_args())
+            st_ok = case.expect_static <= st.kinds() and (
+                bool(case.expect_static) or st.clean
+            )
+            dy_ok = case.expect_dynamic <= dy.kinds()
+            expected = sorted(
+                x.value for x in case.expect_static | case.expect_dynamic
+            )
+            caught = st_ok and dy_ok
+            print(f"{name}: {'caught' if caught else 'MISSED'} "
+                  f"(expected: {', '.join(expected)})")
+            for f in st.findings + dy.findings:
+                print("  " + f.describe().replace("\n", "\n  "))
+            if not caught:
+                ok = False
+        print()
+        print("all seeded violations caught" if ok
+              else "sanitizer MISSED seeded violations")
+        return 0 if ok else 1
+
+    if args.all:
+        targets = sorted(catalog)
+    elif args.target is None:
+        raise ReproError(
+            "sanitize needs a workload name, a .cu file, or --all"
+        )
+    elif args.target in catalog:
+        targets = [args.target]
+    else:
+        targets = []
+
+    clean = True
+    if targets:
+        for name in targets:
+            spec = catalog[name](args.size)
+            report = sanitize_spec(spec)
+            print(report.describe())
+            clean &= report.clean
+    else:
+        # a .cu file: static layer only (the dynamic layer needs concrete
+        # launch geometry and buffers, which a bare file does not carry)
+        source = _read_source(args.target)
+        for kernel in parse_cuda(source):
+            report = sanitize_kernel(kernel)
+            print(report.describe())
+            clean &= report.clean
+    return 0 if clean else 1
+
+
 def _read_source(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
@@ -201,6 +269,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed for the fault plan's random choices")
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "sanitize",
+        help="static race detector + dynamic shadow checks",
+        description=(
+            "Run the kernel sanitizer.  For a bundled workload name, both "
+            "layers run (static over the IR, dynamic over a real launch); "
+            "for a .cu file, the static layer runs on every kernel. "
+            "Exits 1 when findings exist, so CI can gate on it."
+        ),
+    )
+    p.add_argument("target", nargs="?",
+                   help="workload name (e.g. FIR) or CUDA source file")
+    p.add_argument("--all", action="store_true",
+                   help="sanitize every bundled workload")
+    p.add_argument("--violations", action="store_true",
+                   help="run the seeded-violation kernels; exit 0 only if "
+                        "every hazard is caught (sanitizer self-check)")
+    p.add_argument("--size", default="small", choices=("small", "paper"))
+    p.set_defaults(fn=_cmd_sanitize)
 
     p = sub.add_parser("specs", help="print Table 1")
     p.set_defaults(fn=_cmd_specs)

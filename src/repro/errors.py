@@ -96,3 +96,11 @@ class DataCorruptionError(ClusterError):
 
 class InterpError(ReproError):
     """The SPMD interpreter encountered an unsupported construct at runtime."""
+
+
+class SanitizerError(ReproError):
+    """The kernel sanitizer was misused (bad target, unknown kernel).
+
+    Note that a kernel merely *having* findings is not an error — the
+    sanitizer returns a report; callers decide how to surface it.
+    """

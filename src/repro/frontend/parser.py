@@ -284,6 +284,16 @@ class _Parser:
 
     # -- statements -------------------------------------------------------------
     def parse_stmt(self, out: list[Stmt]) -> None:
+        start = len(out)
+        line = self.peek().line
+        self._parse_stmt_inner(out)
+        # stamp the source line on every statement this call produced;
+        # nested statements were stamped by their own parse_stmt calls
+        for s in out[start:]:
+            if s.loc is None:
+                s.loc = line
+
+    def _parse_stmt_inner(self, out: list[Stmt]) -> None:
         t = self.peek()
         if t.text == ";":
             self.next()

@@ -133,6 +133,13 @@ class BlockExecutor:
         counters: optional accumulator for dynamic op counts.
         bounds_check: verify active-lane memory indices are in range
             (clear error messages instead of silent wraparound).
+        sanitize: attach the dynamic sanitizer — ``True`` creates a fresh
+            :class:`~repro.sanitize.dynamic.DynamicSanitizer`; passing an
+            existing instance shares it (the runtime does this so one
+            launch accumulates a single report across node executors).
+            Sanitizer hooks never touch ``counters``, so modeled times
+            are identical with and without it; memory faults are recorded
+            as findings (and clamped) instead of raising.
     """
 
     def __init__(
@@ -142,11 +149,24 @@ class BlockExecutor:
         args: dict[str, object],
         counters: OpCounters | None = None,
         bounds_check: bool = True,
+        sanitize: object = False,
     ):
         self.kernel = kernel
         self.config = config
         self.counters = counters
         self.bounds_check = bounds_check
+        self._san = None
+        if sanitize:
+            # deferred import: repro.sanitize.dynamic imports nothing from
+            # the interpreter, but keeping it out of module scope means a
+            # sanitize=False run never pays for the subsystem
+            from repro.sanitize.dynamic import DynamicSanitizer
+
+            self._san = (
+                sanitize
+                if isinstance(sanitize, DynamicSanitizer)
+                else DynamicSanitizer(kernel.name)
+            )
         self._span_ok = span_eligible(kernel)
         self._span_len = 1
         self._block_lane_pos: np.ndarray | None = None
@@ -175,6 +195,11 @@ class BlockExecutor:
         self._ret_mask: np.ndarray = np.zeros(0, dtype=bool)
         self._frames: list[_LoopFrame] = []
         self._cur_n = 0.0
+
+    @property
+    def sanitizer(self):
+        """The attached dynamic sanitizer, or ``None``."""
+        return self._san
 
     # ------------------------------------------------------------------
     # argument binding
@@ -243,6 +268,13 @@ class BlockExecutor:
         self._shared = {}
         self._ret_mask = np.zeros(self.nlanes, dtype=bool)
         self._frames = []
+        if self._san is not None:
+            self._san.on_span(
+                span=span,
+                tpb=tpb,
+                lane_thread=np.tile(np.arange(tpb, dtype=np.int64), span),
+                lane_block=np.repeat(block_ids, tpb),
+            )
 
     def run_span(self, block_ids) -> None:
         """Execute a set of blocks in one vectorized pass."""
@@ -469,25 +501,37 @@ class BlockExecutor:
                 ) from None
         raise InterpError(f"unsupported pointer expression {type(ptr).__name__}")
 
+    def _lane_coords(self, mask: np.ndarray, lane: int) -> tuple[int, int]:
+        """(blockIdx.x, threadIdx.x) of a lane, for diagnostics."""
+        bid = int(
+            np.broadcast_to(self._lane_sregs[SRegKind.CTAID_X], mask.shape)[lane]
+        )
+        tid = int(
+            np.broadcast_to(self._lane_sregs[SRegKind.TID_X], mask.shape)[lane]
+        )
+        return bid, tid
+
     def _safe_indices(
-        self, idx, mask: np.ndarray, arr: np.ndarray, what: str
+        self, idx, mask: np.ndarray, arr: np.ndarray, what: str,
+        name: str | None = None,
     ) -> np.ndarray:
         idx = np.asarray(idx).astype(np.int64, copy=False)
-        if self.bounds_check:
+        if self.bounds_check or self._san is not None:
             bad = mask & ((idx < 0) | (idx >= arr.shape[0]))
             if np.any(bad):
                 lane = int(np.argmax(bad))
                 off = int(np.broadcast_to(idx, mask.shape)[lane])
-                bid = int(
-                    np.broadcast_to(
-                        self._lane_sregs[SRegKind.CTAID_X], mask.shape
-                    )[lane]
+                bid, tid = self._lane_coords(mask, lane)
+                msg = (
+                    f"kernel {self.kernel.name!r}: out-of-bounds {what}"
+                    f"{' of ' + repr(name) if name else ''} at index {off} "
+                    f"(buffer length {arr.shape[0]}, blockIdx.x {bid}, "
+                    f"threadIdx.x {tid})"
                 )
-                raise InterpError(
-                    f"kernel {self.kernel.name!r}: out-of-bounds {what} at "
-                    f"index {off} (buffer length {arr.shape[0]}, lane {lane}, "
-                    f"blockIdx.x {bid})"
-                )
+                if self._san is not None:
+                    self._san.on_oob("global", msg)
+                else:
+                    raise InterpError(msg)
         if idx.ndim == 0:
             return idx if 0 <= int(idx) < arr.shape[0] else np.int64(0)
         oob = (idx < 0) | (idx >= arr.shape[0])
@@ -504,15 +548,24 @@ class BlockExecutor:
         if seg is None:
             raise InterpError(f"use of undeclared shared array {name!r}")
         idx = np.asarray(idx).astype(np.int64, copy=False)
-        if self.bounds_check:
+        if self.bounds_check or self._san is not None:
             bad = mask & ((idx < 0) | (idx >= seg))
             if np.any(bad):
                 lane = int(np.argmax(bad))
                 off = int(np.broadcast_to(idx, mask.shape)[lane])
-                raise InterpError(
+                bid, tid = self._lane_coords(mask, lane)
+                msg = (
                     f"kernel {self.kernel.name!r}: out-of-bounds shared access "
-                    f"at index {off} (extent {seg}, lane {lane})"
+                    f"to {name!r} at index {off} (extent {seg}, blockIdx.x "
+                    f"{bid}, threadIdx.x {tid})"
                 )
+                if self._san is not None:
+                    self._san.on_oob("shared", msg)
+                elif self.bounds_check:
+                    raise InterpError(msg)
+        # Out-of-extent indices clamp to element 0 *of this block's own
+        # segment* — they can never reach a neighbouring block's segment
+        # of the span-wide backing array.
         safe = np.where((idx >= 0) & (idx < seg), idx, 0)
         if self._block_lane_pos is None:
             return safe
@@ -525,15 +578,21 @@ class BlockExecutor:
         if seg is None:
             raise InterpError(f"use of undeclared local array {name!r}")
         idx = np.asarray(idx).astype(np.int64, copy=False)
-        if self.bounds_check:
+        if self.bounds_check or self._san is not None:
             bad = mask & ((idx < 0) | (idx >= seg))
             if np.any(bad):
                 lane = int(np.argmax(bad))
                 off = int(np.broadcast_to(idx, mask.shape)[lane])
-                raise InterpError(
+                bid, tid = self._lane_coords(mask, lane)
+                msg = (
                     f"kernel {self.kernel.name!r}: out-of-bounds local-array "
-                    f"access at index {off} (extent {seg}, lane {lane})"
+                    f"access to {name!r} at index {off} (extent {seg}, "
+                    f"blockIdx.x {bid}, threadIdx.x {tid})"
                 )
+                if self._san is not None:
+                    self._san.on_oob("local", msg)
+                elif self.bounds_check:
+                    raise InterpError(msg)
         safe = np.where((idx >= 0) & (idx < seg), idx, 0)
         return np.broadcast_to(safe, (self.nlanes,)) + self._lane_ids * seg
 
@@ -563,11 +622,20 @@ class BlockExecutor:
         elif pt.space is AddressSpace.LOCAL:
             safe = self._local_index(e.ptr.name, idx, mask)
         else:
-            safe = self._safe_indices(idx, mask, arr, "load")
+            safe = self._safe_indices(
+                idx, mask, arr, "load", getattr(e.ptr, "name", None)
+            )
         self._count_mem(pt.space, self._cur_n * pt.elem.size, is_store=False)
         if pt.space is AddressSpace.GLOBAL:
             self._count_lines(safe, mask, pt.elem.size)
             self._on_global_access(e.ptr, safe, mask, False, pt.elem.size)
+        if self._san is not None:
+            if pt.space is AddressSpace.SHARED:
+                self._san.on_shared_load(e.ptr.name, safe, mask)
+            elif pt.space is AddressSpace.GLOBAL:
+                self._san.on_global_load(
+                    getattr(e.ptr, "name", "<ptr>"), safe, mask
+                )
         return arr[safe]
 
     # ------------------------------------------------------------------
@@ -586,6 +654,13 @@ class BlockExecutor:
 
     def _exec_stmt(self, s: Stmt, mask: np.ndarray) -> np.ndarray:
         self._cur_n = float(np.count_nonzero(mask))
+        if self._san is not None:
+            # every execution of a statement is a fresh *instance*: loads
+            # and the store of one instance are exempt from race checks
+            # against each other (lockstep gather-before-scatter), but the
+            # same textual statement re-executed (next loop iteration)
+            # is not
+            self._san.begin_stmt(s)
         if isinstance(s, Assign):
             val = self._eval(s.value, mask)
             dt = s.type if s.type is not None else s.value.dtype
@@ -609,12 +684,23 @@ class BlockExecutor:
             elif pt.space is AddressSpace.LOCAL:
                 safe = self._local_index(s.ptr.name, idx, mask)
             else:
-                safe = self._safe_indices(idx, mask, arr, "store")
+                safe = self._safe_indices(
+                    idx, mask, arr, "store", getattr(s.ptr, "name", None)
+                )
             val = np.asarray(val).astype(pt.elem.np, copy=False)
             self._count_mem(pt.space, self._cur_n * pt.elem.size, is_store=True)
             if pt.space is AddressSpace.GLOBAL:
                 self._count_lines(safe, mask, pt.elem.size)
                 self._on_global_access(s.ptr, safe, mask, True, pt.elem.size)
+            if self._san is not None:
+                old = arr[safe]  # pre-store contents, for value-change checks
+                if pt.space is AddressSpace.SHARED:
+                    self._san.on_shared_store(s.ptr.name, safe, mask, val, old)
+                elif pt.space is AddressSpace.GLOBAL:
+                    self._san.on_global_store(
+                        getattr(s.ptr, "name", "<ptr>"), safe, mask, val, old,
+                        arr.shape[0], arr.dtype,
+                    )
             if safe.ndim == 0:
                 if mask.any():
                     arr[int(safe)] = val if val.ndim == 0 else val[np.argmax(mask)]
@@ -659,6 +745,8 @@ class BlockExecutor:
             # barrier is already satisfied; still metered for the model
             # (one phase per block in the span)
             self._count("barriers", float(self._span_len))
+            if self._san is not None:
+                self._san.on_barrier(mask, self._ret_mask)
             return mask
         if isinstance(s, Atomic):
             return self._exec_atomic(s, mask)
@@ -672,6 +760,8 @@ class BlockExecutor:
             self._shared[s.name] = np.zeros(
                 int(size) * self._span_len, dtype=s.elem.np
             )
+            if self._san is not None:
+                self._san.on_alloc_shared(s.name, int(size))
             return mask
         if isinstance(s, AllocLocal):
             size = self._eval(s.size, mask)
@@ -709,31 +799,53 @@ class BlockExecutor:
             if invariant:
                 step_i = int(step)
                 if step_i == 0:
-                    raise InterpError(f"loop {s.var!r} has zero step")
-                self._var_types[s.var] = s.start.dtype
-                for v in range(int(start), int(stop), step_i):
-                    cur = entry & ~frame.break_mask & ~self._ret_mask
-                    if not self._any(cur):
-                        break
-                    self._env[s.var] = s.start.dtype.np.type(v)
-                    self._exec_body(s.body, cur)
+                    # zero step is only an error if the loop would actually
+                    # iterate; a zero-trip bound (start >= stop ascending)
+                    # simply executes no iterations
+                    if int(start) < int(stop):
+                        raise InterpError(
+                            f"loop {s.var!r} has zero step with a nonzero "
+                            f"trip count"
+                        )
+                else:
+                    self._var_types[s.var] = s.start.dtype
+                    for v in range(int(start), int(stop), step_i):
+                        cur = entry & ~frame.break_mask & ~self._ret_mask
+                        if not self._any(cur):
+                            break
+                        self._env[s.var] = s.start.dtype.np.type(v)
+                        self._exec_body(s.body, cur)
             else:
                 var_dt = s.start.dtype.np
                 v = np.broadcast_to(
                     np.asarray(start).astype(var_dt, copy=False), mask.shape
                 ).copy()
                 step_arr = np.asarray(step)
+                step_b = np.broadcast_to(step_arr, mask.shape)
+                assigns = self._body_assigns(s.body, s.var)
                 self._var_types[s.var] = s.start.dtype
                 iters = 0
                 while True:
+                    # per-lane liveness: lanes whose trip count is zero or
+                    # negative (start beyond stop in the step direction)
+                    # must execute zero iterations — no first-iteration
+                    # leakage.  Zero-step lanes use the ascending test so a
+                    # zero-trip bound still terminates immediately.
                     live = np.where(
-                        np.broadcast_to(step_arr, mask.shape) > 0,
+                        step_b > 0,
                         v < stop,
-                        v > stop,
+                        np.where(step_b < 0, v > stop, v < stop),
                     )
                     cur = entry & ~frame.break_mask & ~self._ret_mask & live
                     if not self._any(cur):
                         break
+                    if not assigns and bool((step_b[cur] == 0).any()):
+                        # would spin to MAX_LOOP_ITERS: the induction
+                        # variable can never move for these lanes
+                        raise InterpError(
+                            f"loop {s.var!r} has zero step with a nonzero "
+                            f"trip count for an active lane"
+                        )
                     self._env[s.var] = v
                     self._exec_body(s.body, cur)
                     v = (self._to_lanes(self._env[s.var], var_dt) + step_arr).astype(
@@ -786,7 +898,9 @@ class BlockExecutor:
         elif pt.space is AddressSpace.LOCAL:
             safe = self._local_index(s.ptr.name, idx, mask)
         else:
-            safe = self._safe_indices(idx, mask, arr, "atomic")
+            safe = self._safe_indices(
+                idx, mask, arr, "atomic", getattr(s.ptr, "name", None)
+            )
         safe_l = np.broadcast_to(safe, mask.shape)[mask]
         val_l = np.broadcast_to(val, mask.shape)[mask]
         self._count("atomics", self._cur_n)
@@ -794,17 +908,62 @@ class BlockExecutor:
         if pt.space is AddressSpace.GLOBAL:
             self._count_lines(safe, mask, pt.elem.size)
             self._on_global_access(s.ptr, safe, mask, True, pt.elem.size)
+        if self._san is not None:
+            self._san.on_atomic(
+                pt.space.name.lower(), getattr(s.ptr, "name", "<ptr>"),
+                safe, mask, arr.shape[0], arr.dtype,
+            )
+        cmp_l = None
+        if s.op == "cas":
+            cmp_l = np.broadcast_to(
+                np.asarray(self._eval(s.compare, mask)).astype(
+                    pt.elem.np, copy=False
+                ),
+                mask.shape,
+            )[mask]
         if s.result is not None:
-            # Old values are gathered before this instruction's updates;
-            # CUDA leaves the interleaving among threads unordered, and no
-            # supported workload observes same-instruction collisions.
-            old = arr[safe]
             self._var_types[s.result] = pt.elem
+            # Old values gathered before this instruction's updates; valid
+            # only when no two active lanes target the same location.
+            old = np.broadcast_to(arr[safe], mask.shape).astype(
+                pt.elem.np, copy=True
+            )
             if s.result in self._env and not mask.all():
                 prev = np.asarray(self._env[s.result]).astype(pt.elem.np, copy=False)
-                old = np.where(mask, old, prev)
-            self._env[s.result] = old
-        if s.op == "add":
+                old = np.where(mask, old, prev).astype(pt.elem.np, copy=False)
+        # When several active lanes hit the same location AND the old value
+        # is observed, a vectorized pre-gather would hand every colliding
+        # lane the same "old"; CUDA guarantees each lane sees the value left
+        # by some serial interleaving.  Fall back to a per-lane loop (lane
+        # order is one valid interleaving).  Inactive/retired lanes are
+        # excluded from safe_l/val_l, so they never contribute either way.
+        serial = (
+            s.result is not None
+            and safe_l.size > 1
+            and np.unique(safe_l).size < safe_l.size
+        )
+        if serial:
+            act = np.flatnonzero(mask)
+            with np.errstate(all="ignore"):
+                for i, a_idx in enumerate(safe_l):
+                    cur = arr[a_idx]
+                    old[act[i]] = cur
+                    if s.op == "add":
+                        arr[a_idx] = cur + val_l[i]
+                    elif s.op == "sub":
+                        arr[a_idx] = cur - val_l[i]
+                    elif s.op == "min":
+                        arr[a_idx] = np.minimum(cur, val_l[i])
+                    elif s.op == "max":
+                        arr[a_idx] = np.maximum(cur, val_l[i])
+                    elif s.op == "exch":
+                        arr[a_idx] = val_l[i]
+                    elif s.op == "cas":
+                        if cur == cmp_l[i]:
+                            arr[a_idx] = val_l[i]
+                    else:  # pragma: no cover - guarded by Atomic.__post_init__
+                        raise InterpError(f"unsupported atomic {s.op!r}")
+        elif s.op == "add":
             np.add.at(arr, safe_l, val_l)
         elif s.op == "sub":
             np.subtract.at(arr, safe_l, val_l)
@@ -815,17 +974,13 @@ class BlockExecutor:
         elif s.op == "exch":
             arr[safe_l] = val_l
         elif s.op == "cas":
-            cmp = np.broadcast_to(
-                np.asarray(self._eval(s.compare, mask)).astype(
-                    pt.elem.np, copy=False
-                ),
-                mask.shape,
-            )[mask]
             for i, a_idx in enumerate(safe_l):
-                if arr[a_idx] == cmp[i]:
+                if arr[a_idx] == cmp_l[i]:
                     arr[a_idx] = val_l[i]
         else:  # pragma: no cover - guarded by Atomic.__post_init__
             raise InterpError(f"unsupported atomic {s.op!r}")
+        if s.result is not None:
+            self._env[s.result] = old
         return mask
 
 
@@ -837,14 +992,20 @@ def run_grid(
     block_ids=None,
     bounds_check: bool = True,
     span: int | None = None,
+    sanitize: object = False,
 ) -> BlockExecutor:
     """Execute a kernel launch (all blocks, or ``block_ids``) sequentially.
 
     This is the single-memory-space reference execution used for the GPU
     functional model and the single-CPU baseline.  Returns the executor so
-    callers can inspect state.
+    callers can inspect state.  ``sanitize`` enables the dynamic sanitizer
+    (pass ``True`` or a shared ``DynamicSanitizer``); findings accumulate
+    on ``executor.sanitizer.report``.
     """
-    ex = BlockExecutor(kernel, config, args, counters, bounds_check=bounds_check)
+    ex = BlockExecutor(
+        kernel, config, args, counters, bounds_check=bounds_check,
+        sanitize=sanitize,
+    )
     ids = range(config.num_blocks) if block_ids is None else block_ids
     ex.run_blocks(ids, span=span)
     return ex

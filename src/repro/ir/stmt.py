@@ -47,7 +47,16 @@ __all__ = [
 
 @dataclass
 class Stmt:
-    """Abstract base of every IR statement."""
+    """Abstract base of every IR statement.
+
+    ``loc`` is the 1-based source line the statement came from, stamped
+    by the CUDA frontend (``None`` for DSL-built or synthesized IR).  It
+    is a plain (unannotated) class attribute rather than a dataclass
+    field so subclass field ordering is unaffected; passes that rebuild
+    statements copy it explicitly.
+    """
+
+    loc = None  # int | None — deliberately unannotated (not a field)
 
     def exprs(self) -> tuple[Expr, ...]:
         """Direct sub-expressions of this statement."""

@@ -112,6 +112,12 @@ class CuCCRuntime:
             :mod:`repro.cluster.faults`).  ``None`` (default) disables
             every fault hook — zero overhead, identical modeled times.
         recovery: recovery policy; defaults to :class:`RecoveryPolicy()`.
+        sanitize: run the kernel sanitizer — the static race detector at
+            :meth:`compile` (``CompiledKernel.sanitizer_report``) and the
+            dynamic shadow checks on every launch
+            (``LaunchRecord.sanitizer_report``, one report accumulated
+            across all node executions).  Sanitizer hooks never touch the
+            op counters, so modeled times are identical either way.
     """
 
     def __init__(
@@ -123,12 +129,15 @@ class CuCCRuntime:
         faithful_replication: bool = True,
         fault_plan: FaultPlan | None = None,
         recovery: RecoveryPolicy | None = None,
+        sanitize: bool = False,
     ):
         self.cluster = cluster
         self.params = params
         self.simd_enabled = simd_enabled
         self.bounds_check = bounds_check
         self.faithful_replication = faithful_replication
+        self.sanitize = sanitize
+        self._cur_san = None  # per-launch DynamicSanitizer (shared by nodes)
         self.memory = ClusterMemory(cluster)
         self.launches: list[LaunchRecord] = []
         self.recovery = recovery if recovery is not None else RecoveryPolicy()
@@ -146,15 +155,26 @@ class CuCCRuntime:
 
         ``simplify`` applies the exact constant-folding/identity pass
         before analysis and execution (semantics-preserving; see
-        :mod:`repro.transform.simplify`).
+        :mod:`repro.transform.simplify`).  With ``sanitize`` on, the
+        static race detector runs over the lowered IR and its report is
+        attached as ``CompiledKernel.sanitizer_report``.
         """
         if kernel.name in self._compiled:
             cached = self._compiled[kernel.name]
             if cached.original_kernel is kernel:
+                if self.sanitize and cached.sanitizer_report is None:
+                    from repro.sanitize import sanitize_kernel
+
+                    cached.sanitizer_report = sanitize_kernel(cached.kernel)
                 return cached
         lowered = simplify_kernel(kernel) if simplify else kernel
         analysis = analyze_kernel(lowered)
         vect = analyze_vectorizability(lowered)
+        report = None
+        if self.sanitize:
+            from repro.sanitize import sanitize_kernel
+
+            report = sanitize_kernel(lowered)
         compiled = CompiledKernel(
             kernel=lowered,
             analysis=analysis,
@@ -162,6 +182,7 @@ class CuCCRuntime:
             kernel_module_src=generate_kernel_module(lowered, vect),
             host_module_src=generate_host_module(lowered, analysis.metadata),
             original_kernel=kernel,
+            sanitizer_report=report,
         )
         self._compiled[kernel.name] = compiled
         return compiled
@@ -213,16 +234,28 @@ class CuCCRuntime:
         for node in self.cluster.nodes:
             node.clock.advance(overhead)
 
-        if self.injector is None:
-            record = self._launch_plain(
-                kernel, config, plan, buffer_args, scalar_args,
-                vectorized, working_set, overhead,
-            )
-        else:
-            record = self._launch_fault_tolerant(
-                compiled, kernel, config, plan, buffer_args, scalar_args,
-                vectorized, working_set, overhead,
-            )
+        if self.sanitize:
+            from repro.sanitize import DynamicSanitizer
+
+            # one sanitizer for the whole launch: every node executor
+            # feeds the same shadow state, so divergence *between* the
+            # replicated executions surfaces as a non-replicated write
+            self._cur_san = DynamicSanitizer(kernel.name)
+        try:
+            if self.injector is None:
+                record = self._launch_plain(
+                    kernel, config, plan, buffer_args, scalar_args,
+                    vectorized, working_set, overhead,
+                )
+            else:
+                record = self._launch_fault_tolerant(
+                    compiled, kernel, config, plan, buffer_args, scalar_args,
+                    vectorized, working_set, overhead,
+                )
+        finally:
+            san, self._cur_san = self._cur_san, None
+        if san is not None:
+            record.sanitizer_report = san.report
         self.launches.append(record)
         return record
 
@@ -562,7 +595,8 @@ class CuCCRuntime:
         for pname, bname in buffer_args.items():
             run_args[pname] = node.buffer(bname)
         return BlockExecutor(
-            kernel, config, run_args, counters, bounds_check=self.bounds_check
+            kernel, config, run_args, counters, bounds_check=self.bounds_check,
+            sanitize=self._cur_san if self._cur_san is not None else False,
         )
 
     def _run_replicated(

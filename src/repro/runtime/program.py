@@ -9,6 +9,7 @@ from repro.analysis.metadata import DistributionPlan
 from repro.interp.counters import OpCounters
 from repro.interp.grid import LaunchConfig
 from repro.ir.stmt import Kernel
+from repro.sanitize.report import SanitizerReport
 from repro.transform.vectorize import Vectorization
 
 __all__ = ["CompiledKernel", "PhaseTimes", "LaunchRecord"]
@@ -30,6 +31,8 @@ class CompiledKernel:
     host_module_src: str
     #: the pre-simplification IR as handed to compile() (cache identity)
     original_kernel: Kernel | None = None
+    #: static-sanitizer findings over the lowered IR (None: not requested)
+    sanitizer_report: SanitizerReport | None = None
 
     def __post_init__(self) -> None:
         if self.original_kernel is None:
@@ -101,6 +104,9 @@ class LaunchRecord:
     retries: int = 0
     #: shrink-and-repartition recoveries (permanent node losses survived)
     recoveries: int = 0
+    #: dynamic-sanitizer findings accumulated across every node's
+    #: execution of this launch (None: runtime built without sanitize)
+    sanitizer_report: SanitizerReport | None = None
 
     @property
     def time(self) -> float:

@@ -1,0 +1,388 @@
+"""Dynamic sanitizer: shadow-state checks during interpretation.
+
+The static layer (:mod:`repro.sanitize.static_race`) proves hazards from
+the IR alone; this layer catches what actually happens on a concrete
+launch.  :class:`DynamicSanitizer` hangs off the interpreter
+(``Machine(sanitize=True)`` / ``run_grid(..., sanitize=True)``) and
+shadow-tracks, per memory location, the last writer and reader —
+*(thread, epoch, statement instance)* for shared memory, *(block,
+thread, epoch, generation)* plus the written value for global memory —
+to diagnose:
+
+* **shared races** — conflicting shared-memory accesses from two
+  different threads in the same barrier phase,
+* **global races** — same-block global conflicts without an intervening
+  barrier, and cross-block reads of data written in the same launch,
+* **non-replicated writes** — cross-block global writes that disagree on
+  the value, violating the replication invariant the Allgather-
+  distributable analysis (:mod:`repro.analysis.distributable`) assumes,
+* **barrier divergence** — a ``__syncthreads()`` not reached by every
+  non-retired thread of a block,
+* **out-of-bounds** global / shared / local accesses (reported instead
+  of raised, so one run collects every distinct site), and
+* **uninitialized shared reads** — loads from shared locations no
+  thread has written (the interpreter zero-fills; real hardware does
+  not).
+
+Race model (mirrors the static layer): the interpreter executes each
+statement in lockstep across the block, gathering every load before the
+scatter of the store.  Accesses belonging to the *same statement
+instance* are therefore ordered by construction and exempt; a conflict
+requires two different threads touching the same location from two
+different statement instances within one barrier phase.  Writes that
+store the value already present ("noop" writes) are exempt from race
+findings — replicated execution re-writes identical values by design —
+but still mark the location initialized.
+
+Every hook is cheap vectorized NumPy over the active lanes; when
+``sanitize`` is off the interpreter never calls into this module, so the
+modeled times and operation counts are bit-identical with and without
+the sanitizer (it never touches :class:`~repro.perfmodel.counters.OpCounters`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.stmt import Stmt
+from repro.sanitize.report import Finding, FindingKind, SanitizerReport, snippet_of
+
+__all__ = ["DynamicSanitizer"]
+
+_OOB_KINDS = {
+    "global": FindingKind.OOB_GLOBAL,
+    "shared": FindingKind.OOB_SHARED,
+    "local": FindingKind.OOB_LOCAL,
+}
+
+
+class _SharedShadow:
+    """Shadow state for one shared array (``seg`` cells x ``span`` blocks)."""
+
+    def __init__(self, seg: int, span: int):
+        n = seg * span
+        self.seg = seg
+        self.init = np.zeros(n, dtype=bool)
+        self.atomic = np.zeros(n, dtype=bool)
+        self.writer_thread = np.full(n, -1, dtype=np.int64)
+        self.writer_epoch = np.full(n, -1, dtype=np.int64)
+        self.writer_inst = np.full(n, -1, dtype=np.int64)
+        self.reader_thread = np.full(n, -1, dtype=np.int64)
+        self.reader_epoch = np.full(n, -1, dtype=np.int64)
+        self.reader_inst = np.full(n, -1, dtype=np.int64)
+
+
+class _GlobalShadow:
+    """Shadow state for one global buffer, persistent across spans (and
+    across the replicated per-node executions of one launch when the same
+    sanitizer instance is shared)."""
+
+    def __init__(self, length: int, dtype):
+        self.atomic = np.zeros(length, dtype=bool)
+        self.writer_block = np.full(length, -1, dtype=np.int64)
+        self.writer_thread = np.full(length, -1, dtype=np.int64)
+        self.writer_epoch = np.full(length, -1, dtype=np.int64)
+        self.writer_gen = np.full(length, -1, dtype=np.int64)
+        self.writer_inst = np.full(length, -1, dtype=np.int64)
+        self.value = np.zeros(length, dtype=dtype)
+
+
+class DynamicSanitizer:
+    """Per-launch shadow state; attach via ``Machine(sanitize=...)``.
+
+    One instance may be shared by several executors replaying the same
+    launch (the distributed runtime runs every block on every node):
+    replicated re-execution writes identical values, so the value-compare
+    rules stay silent, while genuine divergence between nodes surfaces as
+    a non-replicated write.
+    """
+
+    def __init__(self, kernel_name: str, report: SanitizerReport | None = None):
+        self.report = report if report is not None else SanitizerReport(kernel_name)
+        self.kernel_name = kernel_name
+        self._cur_stmt: Stmt | None = None
+        self._inst = 0  # statement-instance counter (monotone per executor)
+        self._gen = 0  # span generation, bumped per run_span
+        self._globals: dict[str, _GlobalShadow] = {}
+        # span-local state, reset by on_span:
+        self._span = 0
+        self._tpb = 0
+        self._lane_thread = np.zeros(0, dtype=np.int64)
+        self._lane_block = np.zeros(0, dtype=np.int64)
+        self._lane_pos = np.zeros(0, dtype=np.int64)
+        self._epoch = np.zeros(0, dtype=np.int64)
+        self._shared: dict[str, _SharedShadow] = {}
+
+    # -- bookkeeping hooks ---------------------------------------------
+    def begin_stmt(self, s: Stmt) -> None:
+        """Called at the top of every statement execution: a fresh
+        *instance*.  Loads and the store of one instance are mutually
+        exempt (lockstep gather-before-scatter is defined behavior); the
+        same textual statement re-executed is a distinct instance."""
+        self._cur_stmt = s
+        self._inst += 1
+
+    def on_span(self, span: int, tpb: int, lane_thread: np.ndarray,
+                lane_block: np.ndarray) -> None:
+        self._span = span
+        self._tpb = tpb
+        self._lane_thread = lane_thread
+        self._lane_block = lane_block
+        self._lane_pos = np.repeat(np.arange(span, dtype=np.int64), tpb)
+        self._epoch = np.zeros(span, dtype=np.int64)
+        self._shared = {}
+        self._gen += 1
+
+    def on_alloc_shared(self, name: str, seg: int) -> None:
+        self._shared[name] = _SharedShadow(seg, self._span)
+
+    def on_barrier(self, mask: np.ndarray, ret_mask: np.ndarray) -> None:
+        active = mask.reshape(self._span, self._tpb)
+        expected = (~ret_mask).reshape(self._span, self._tpb)
+        arrived = active.any(axis=1)
+        # retired lanes are exempt; any other lane missing from the
+        # barrier means the block's threads diverged around it
+        missing = (expected & ~active).any(axis=1)
+        if bool((arrived & missing).any()):
+            self._finding(
+                FindingKind.BARRIER_DIVERGENCE,
+                "__syncthreads() not reached by every non-retired thread "
+                "of the block",
+            )
+        self._epoch[arrived] += 1
+
+    # -- shared memory --------------------------------------------------
+    def on_shared_store(self, name: str, idx, mask: np.ndarray, val,
+                        old) -> None:
+        sh = self._shared.get(name)
+        if sh is None:  # pragma: no cover - alloc always precedes access
+            return
+        loc = np.broadcast_to(idx, mask.shape)[mask]
+        if loc.size == 0:
+            return
+        v = np.broadcast_to(val, mask.shape)[mask]
+        o = np.broadcast_to(old, mask.shape)[mask]
+        thr = self._lane_thread[mask]
+        ep = self._epoch[self._lane_pos[mask]]
+        noop = v == o  # re-writing the present value races with nothing
+        # two active lanes of this very instance colliding on one cell
+        # with different values: order of the scatter decides the result
+        if loc.size > 1:
+            order = np.argsort(loc, kind="stable")
+            same = loc[order][1:] == loc[order][:-1]
+            differ = same & (v[order][1:] != v[order][:-1])
+            if bool(differ.any()):
+                self._finding(
+                    FindingKind.SHARED_RACE,
+                    f"threads of one block scatter different values to the "
+                    f"same cell of shared array {name!r} in a single "
+                    f"statement",
+                )
+        live = ~noop & ~sh.atomic[loc]
+        w_conf = (
+            live
+            & (sh.writer_thread[loc] >= 0)
+            & (sh.writer_epoch[loc] == ep)
+            & (sh.writer_thread[loc] != thr)
+            & (sh.writer_inst[loc] != self._inst)
+        )
+        if bool(w_conf.any()):
+            self._finding(
+                FindingKind.SHARED_RACE,
+                f"write/write conflict on shared array {name!r}: two "
+                f"threads store to the same cell in the same barrier phase",
+            )
+        r_conf = (
+            live
+            & (sh.reader_thread[loc] >= 0)
+            & (sh.reader_epoch[loc] == ep)
+            & (sh.reader_thread[loc] != thr)
+            & (sh.reader_inst[loc] != self._inst)
+        )
+        if bool(r_conf.any()):
+            self._finding(
+                FindingKind.SHARED_RACE,
+                f"read/write conflict on shared array {name!r}: a thread "
+                f"overwrites a cell another thread read in the same "
+                f"barrier phase",
+            )
+        upd = loc[~noop]
+        sh.writer_thread[upd] = thr[~noop]
+        sh.writer_epoch[upd] = ep[~noop]
+        sh.writer_inst[upd] = self._inst
+        sh.init[loc] = True  # noop writes still initialize
+
+    def on_shared_load(self, name: str, idx, mask: np.ndarray) -> None:
+        sh = self._shared.get(name)
+        if sh is None:  # pragma: no cover - alloc always precedes access
+            return
+        loc = np.broadcast_to(idx, mask.shape)[mask]
+        if loc.size == 0:
+            return
+        thr = self._lane_thread[mask]
+        ep = self._epoch[self._lane_pos[mask]]
+        if bool((~sh.init[loc]).any()):
+            self._finding(
+                FindingKind.UNINIT_SHARED,
+                f"read of shared array {name!r} at a cell no thread has "
+                f"written (zero-filled here; garbage on real hardware)",
+            )
+        conf = (
+            ~sh.atomic[loc]
+            & (sh.writer_thread[loc] >= 0)
+            & (sh.writer_epoch[loc] == ep)
+            & (sh.writer_thread[loc] != thr)
+            & (sh.writer_inst[loc] != self._inst)
+        )
+        if bool(conf.any()):
+            self._finding(
+                FindingKind.SHARED_RACE,
+                f"read/write conflict on shared array {name!r}: a thread "
+                f"reads a cell another thread wrote in the same barrier "
+                f"phase",
+            )
+        sh.reader_thread[loc] = thr
+        sh.reader_epoch[loc] = ep
+        sh.reader_inst[loc] = self._inst
+
+    # -- global memory --------------------------------------------------
+    def _global_shadow(self, name: str, length: int, dtype) -> _GlobalShadow:
+        g = self._globals.get(name)
+        if g is None:
+            g = self._globals[name] = _GlobalShadow(length, dtype)
+        return g
+
+    def on_global_store(self, name: str, idx, mask: np.ndarray, val, old,
+                        length: int, dtype) -> None:
+        g = self._global_shadow(name, length, dtype)
+        loc = np.broadcast_to(idx, mask.shape)[mask]
+        if loc.size == 0:
+            return
+        v = np.broadcast_to(val, mask.shape)[mask]
+        blk = self._lane_block[mask]
+        thr = self._lane_thread[mask]
+        ep = self._epoch[self._lane_pos[mask]]
+        # same-instance collisions: benign iff every colliding lane agrees
+        # on the value (replicated writes); blocks disagreeing break the
+        # replication invariant, threads of one block disagreeing race
+        if loc.size > 1:
+            order = np.argsort(loc, kind="stable")
+            same = loc[order][1:] == loc[order][:-1]
+            differ = same & (v[order][1:] != v[order][:-1])
+            if bool(differ.any()):
+                cross = differ & (blk[order][1:] != blk[order][:-1])
+                if bool(cross.any()):
+                    self._finding(
+                        FindingKind.NON_REPLICATED_WRITE,
+                        f"two blocks write different values to the same "
+                        f"element of {name!r}; Allgather replication would "
+                        f"pick one arbitrarily",
+                    )
+                if bool((differ & ~cross).any()):
+                    self._finding(
+                        FindingKind.GLOBAL_RACE,
+                        f"threads of one block scatter different values to "
+                        f"the same element of {name!r} in a single "
+                        f"statement",
+                    )
+        live = ~g.atomic[loc]
+        written = g.writer_block[loc] >= 0
+        changed = g.value[loc] != v
+        cross = live & written & changed & (g.writer_block[loc] != blk)
+        if bool(cross.any()):
+            self._finding(
+                FindingKind.NON_REPLICATED_WRITE,
+                f"two blocks write different values to the same element "
+                f"of {name!r}; Allgather replication would pick one "
+                f"arbitrarily",
+            )
+        same_blk = (
+            live
+            & written
+            & changed
+            & (g.writer_block[loc] == blk)
+            & (g.writer_thread[loc] != thr)
+            & (g.writer_gen[loc] == self._gen)
+            & (g.writer_epoch[loc] == ep)
+            & (g.writer_inst[loc] != self._inst)
+        )
+        if bool(same_blk.any()):
+            self._finding(
+                FindingKind.GLOBAL_RACE,
+                f"write/write conflict on {name!r}: two threads of one "
+                f"block store different values to the same element in the "
+                f"same barrier phase",
+            )
+        g.writer_block[loc] = blk
+        g.writer_thread[loc] = thr
+        g.writer_epoch[loc] = ep
+        g.writer_gen[loc] = self._gen
+        g.writer_inst[loc] = self._inst
+        g.value[loc] = v
+
+    def on_global_load(self, name: str, idx, mask: np.ndarray) -> None:
+        g = self._globals.get(name)
+        if g is None:
+            return  # nothing written to this buffer in this launch
+        loc = np.broadcast_to(idx, mask.shape)[mask]
+        if loc.size == 0:
+            return
+        blk = self._lane_block[mask]
+        thr = self._lane_thread[mask]
+        ep = self._epoch[self._lane_pos[mask]]
+        live = ~g.atomic[loc] & (g.writer_block[loc] >= 0)
+        cross = live & (g.writer_block[loc] != blk)
+        if bool(cross.any()):
+            self._finding(
+                FindingKind.GLOBAL_RACE,
+                f"a block reads an element of {name!r} written by another "
+                f"block in the same launch; kernel launches are the only "
+                f"ordering between blocks",
+            )
+        same_blk = (
+            live
+            & (g.writer_block[loc] == blk)
+            & (g.writer_thread[loc] != thr)
+            & (g.writer_gen[loc] == self._gen)
+            & (g.writer_epoch[loc] == ep)
+            & (g.writer_inst[loc] != self._inst)
+        )
+        if bool(same_blk.any()):
+            self._finding(
+                FindingKind.GLOBAL_RACE,
+                f"read/write conflict on {name!r}: a thread reads an "
+                f"element another thread of the block wrote in the same "
+                f"barrier phase",
+            )
+
+    # -- atomics / bounds ----------------------------------------------
+    def on_atomic(self, space: str, name: str, idx, mask: np.ndarray,
+                  length: int, dtype) -> None:
+        loc = np.broadcast_to(idx, mask.shape)[mask]
+        if loc.size == 0:
+            return
+        if space == "shared":
+            sh = self._shared.get(name)
+            if sh is not None:
+                sh.atomic[loc] = True
+                sh.init[loc] = True
+        elif space == "global":
+            g = self._global_shadow(name, length, dtype)
+            g.atomic[loc] = True
+
+    def on_oob(self, kind: str, msg: str) -> None:
+        self._finding(_OOB_KINDS[kind], msg)
+
+    # ------------------------------------------------------------------
+    def _finding(self, kind: FindingKind, msg: str) -> None:
+        s = self._cur_stmt
+        self.report.add(
+            Finding(
+                kind=kind,
+                layer="dynamic",
+                kernel=self.kernel_name,
+                message=msg,
+                line=getattr(s, "loc", None) if s is not None else None,
+                snippet=snippet_of(s),
+            )
+        )

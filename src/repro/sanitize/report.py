@@ -1,0 +1,145 @@
+"""Finding and report containers shared by both sanitizer layers.
+
+A :class:`Finding` is one diagnosed hazard, tagged with the layer that
+produced it (``static`` — IR analysis; ``dynamic`` — shadow-state checks
+during interpretation), a :class:`FindingKind`, and — when the kernel
+came through the CUDA frontend — the 1-based source line plus a printed
+snippet of the offending statement.
+
+Reports deduplicate: a dynamic check that fires on every block of a
+launch collapses into one finding with a ``count``.  This keeps reports
+readable and bounds memory for large grids.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.ir.printer import print_stmt
+from repro.ir.stmt import Stmt
+
+__all__ = ["FindingKind", "Finding", "SanitizerReport", "snippet_of"]
+
+#: Per-kind cap on distinct findings retained in one report; further
+#: distinct findings of that kind only bump ``truncated``.
+MAX_FINDINGS_PER_KIND = 50
+
+
+class FindingKind(enum.Enum):
+    """The hazard classes the sanitizer diagnoses."""
+
+    #: shared-memory conflict between barriers (RAW / WAR / WAW)
+    SHARED_RACE = "shared-race"
+    #: same-block global-memory conflict without an intervening barrier,
+    #: or a cross-block read of data written in the same launch
+    GLOBAL_RACE = "global-race"
+    #: a __syncthreads() not reached by every non-retired thread
+    BARRIER_DIVERGENCE = "barrier-divergence"
+    #: non-atomic cross-block global write violating the replication
+    #: invariant ("every block writes the same value to any overlapping
+    #: location") assumed by the Allgather-distributable analysis
+    NON_REPLICATED_WRITE = "non-replicated-write"
+    #: out-of-bounds global-buffer access
+    OOB_GLOBAL = "out-of-bounds-global"
+    #: shared-memory index outside the per-block extent
+    OOB_SHARED = "out-of-bounds-shared"
+    #: per-thread local-array index outside its extent
+    OOB_LOCAL = "out-of-bounds-local"
+    #: read of a shared-memory location no thread has written
+    UNINIT_SHARED = "uninitialized-shared-read"
+
+
+def snippet_of(stmt: Stmt | None) -> str | None:
+    """One-line printed form of a statement (headers only for blocks)."""
+    if stmt is None:
+        return None
+    lines = print_stmt(stmt, 0)
+    return lines[0] if lines else None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed hazard."""
+
+    kind: FindingKind
+    layer: str  # "static" | "dynamic"
+    kernel: str
+    message: str
+    line: int | None = None  # 1-based source line, when known
+    snippet: str | None = None  # printed offending statement
+
+    def key(self) -> tuple:
+        """Deduplication key: same site + same hazard class."""
+        return (self.kind, self.layer, self.kernel, self.line, self.snippet,
+                self.message)
+
+    def describe(self) -> str:
+        where = f":{self.line}" if self.line is not None else ""
+        text = f"[{self.layer}] {self.kind.value} {self.kernel}{where}: " \
+               f"{self.message}"
+        if self.snippet:
+            text += f"\n    > {self.snippet}"
+        return text
+
+
+class SanitizerReport:
+    """Accumulated findings for one kernel (or one launch)."""
+
+    def __init__(self, kernel_name: str):
+        self.kernel_name = kernel_name
+        self.findings: list[Finding] = []
+        #: distinct findings dropped by the per-kind cap
+        self.truncated = 0
+        self._counts: dict[tuple, int] = {}
+        self._per_kind: dict[FindingKind, int] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, finding: Finding) -> None:
+        key = finding.key()
+        if key in self._counts:
+            self._counts[key] += 1
+            return
+        n = self._per_kind.get(finding.kind, 0)
+        if n >= MAX_FINDINGS_PER_KIND:
+            self.truncated += 1
+            return
+        self._per_kind[finding.kind] = n + 1
+        self._counts[key] = 1
+        self.findings.append(finding)
+
+    def merge(self, other: "SanitizerReport") -> None:
+        for f in other.findings:
+            for _ in range(other.count_of(f)):
+                self.add(f)
+        self.truncated += other.truncated
+
+    # ------------------------------------------------------------------
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.truncated
+
+    def count_of(self, finding: Finding) -> int:
+        return self._counts.get(finding.key(), 0)
+
+    def kinds(self) -> set[FindingKind]:
+        return {f.kind for f in self.findings}
+
+    def by_kind(self, kind: FindingKind) -> list[Finding]:
+        return [f for f in self.findings if f.kind is kind]
+
+    def describe(self) -> str:
+        if self.clean:
+            return f"{self.kernel_name}: sanitizer clean (0 findings)"
+        lines = [
+            f"{self.kernel_name}: {len(self.findings)} sanitizer finding(s)"
+        ]
+        for f in self.findings:
+            text = f.describe()
+            n = self.count_of(f)
+            if n > 1:
+                text += f"  (x{n})"
+            lines.append(text)
+        if self.truncated:
+            lines.append(f"... and {self.truncated} more (truncated)")
+        return "\n".join(lines)

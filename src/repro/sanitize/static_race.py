@@ -1,0 +1,671 @@
+"""Static race detection over the kernel IR.
+
+This is the compile-time half of the sanitizer.  It walks a kernel the
+same way the distributable analysis does (symbolic environment of affine
+polynomials, classified guards) and diagnoses three hazard classes:
+
+1. **Shared-memory races** — two accesses to the same ``__shared__``
+   array in the same *barrier phase* (the region between two
+   ``__syncthreads()``), at least one a write, that can touch the same
+   element from two different threads.
+2. **Barrier divergence** — a ``__syncthreads()`` reachable under a
+   thread-variant condition (some threads of a block arrive, others do
+   not).  The guarded-early-return idiom ``if (id >= n) return;`` does
+   *not* count: retired threads are exempt from barriers, matching both
+   the interpreter and CUDA's exited-thread semantics.
+3. **Replication violations** — non-atomic global-memory writes that can
+   overlap across blocks with block-dependent values, violating the
+   invariant the Allgather-distributable analysis relies on ("every
+   block writes the same value to any location it shares with another
+   block").
+
+Race model
+----------
+The interpreter executes a block's threads in lockstep: within a single
+statement *instance*, every thread's loads complete before any thread's
+store lands (gather before scatter).  Accesses made by one statement
+instance therefore never race with themselves — the single-buffered
+backward induction in the BinomialOption workload
+(``lattice[i] = pu*lattice[i+1] + pd*lattice[i]``) is *defined* under
+this model and must sanitize clean.  A race is a conflicting pair from
+two **different statement instances** in the same barrier phase.
+
+To expose cross-iteration conflicts, every loop body is analyzed
+*twice*, with the induction symbol renamed apart and a fresh instance
+tag — the tail of iteration *i* and the head of iteration *i+1* land in
+the same phase exactly when no barrier separates them.
+
+Every rule errs toward silence only where the conservative direction
+would flag the bundled workloads' universally used idioms; remaining
+false negatives (data-dependent indices crossing iterations, value
+agreement the algebra cannot see) are covered by the dynamic layer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.analysis.affine import (
+    CTAID_SYMBOLS,
+    TID_SYMBOLS,
+    Poly,
+    eval_sym,
+)
+from repro.analysis.guards import (
+    Guard,
+    GuardKind,
+    guards_of_condition,
+    negate_conjunction,
+)
+from repro.ir.expr import Cast, Expr, Load, Param, Var
+from repro.ir.stmt import (
+    AllocLocal,
+    AllocShared,
+    Assign,
+    Atomic,
+    Break,
+    Continue,
+    For,
+    If,
+    Kernel,
+    Return,
+    Stmt,
+    Store,
+    SyncThreads,
+    While,
+)
+from repro.ir.types import AddressSpace
+from repro.ir.visitor import iter_stmts, walk_expr
+from repro.sanitize.report import Finding, FindingKind, SanitizerReport, snippet_of
+
+__all__ = ["analyze_kernel"]
+
+#: Guard against pathological nesting: each loop is walked twice, so the
+#: walk grows as 2^depth.  Bundled kernels nest at most three deep.
+_MAX_LOOP_DEPTH = 6
+
+
+# ---------------------------------------------------------------------------
+# access records
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Access:
+    """One shared-memory access site, in symbolic form.
+
+    ``index`` has the pin (if any) already substituted; ``pin`` is the
+    value of ``tid.x`` the enclosing equality guards force, making the
+    access single-threaded per block.  ``instance`` tags the loop-unroll
+    copy the access came from: the same statement re-walked for
+    "iteration i+1" gets a different tag, so cross-iteration conflicts
+    of one textual statement are still checked.
+    """
+
+    array: str
+    index: Poly | None
+    is_write: bool
+    is_atomic: bool
+    stmt: Stmt
+    instance: int
+    phase: int
+    pin: Poly | None
+    value: Poly | None  # stored value (writes only)
+
+
+def _value_sym(e: Expr, env: dict[str, Poly | None]) -> Poly | None:
+    """Symbolic form of a *stored value*.
+
+    Value polynomials are only inspected for which symbols they mention
+    (thread/block dependence), never for exact magnitude, so peeling
+    float casts — which :func:`eval_sym` soundly refuses for index
+    arithmetic — is fine here: ``y[0] = (float)blockIdx.x`` still has a
+    block-dependent value.
+    """
+    while isinstance(e, Cast):
+        e = e.value
+    return eval_sym(e, env)
+
+
+def _tid_pin(guards: tuple[Guard, ...]) -> Poly | None:
+    """The value equality guards force on ``tid.x``, if they pin it.
+
+    ``if (threadIdx.x == c)`` classifies to ``tid.x - c == 0``; any
+    guard ``p == 0`` linear in ``tid.x`` with coefficient ±1 and a
+    remainder free of thread symbols pins the thread to one value.
+    """
+    for g in guards:
+        if g.rel != "eq" or g.poly is None:
+            continue
+        p = g.poly
+        if p.degree("tid.x") != 1:
+            continue
+        c = p.coeff("tid.x")
+        if not (c.is_constant() and abs(c.constant_value()) in (1,)):
+            continue
+        rest = p - Poly.sym("tid.x").scale(c.constant_value())
+        if rest.symbols() & TID_SYMBOLS:
+            continue
+        # c*tid + rest == 0  =>  tid == -rest/c  ==  -rest*c for c = ±1
+        return (-rest).scale(c.constant_value())
+    return None
+
+
+def _injective_in_threads(p: Poly) -> bool:
+    """Whether distinct ``(tid.x, loop iteration)`` tuples provably hit
+    distinct elements: coefficient ±1 on ``tid.x``, no other thread
+    symbols, and every loop-symbol coefficient a multiple of ``ntid.x``
+    (the coalesced ``k*blockDim.x + threadIdx.x`` stride pattern)."""
+    syms = p.symbols()
+    if (syms & TID_SYMBOLS) - {"tid.x"}:
+        return False
+    if p.degree("tid.x") != 1:
+        return False
+    c = p.coeff("tid.x")
+    if not (c.is_constant() and abs(c.constant_value()) == 1):
+        return False
+    for s in syms:
+        if s.startswith("loop:"):
+            if p.degree(s) > 1:
+                return False
+            lc = p.coeff(s)
+            if not lc.subs("ntid.x", Poly.const(0)).is_zero():
+                return False
+    return True
+
+
+def _pair_conflict(a: _Access, b: _Access) -> str | None:
+    """Whether two same-array, same-phase accesses from different
+    statement instances can conflict from two different threads.
+
+    Returns a human-readable reason, or ``None`` when provably clean.
+    """
+    # Two accesses pinned to the same single thread are program-ordered.
+    if a.pin is not None and b.pin is not None:
+        if a.pin == b.pin:
+            return None
+        if a.index is None or b.index is None:
+            return "two pinned threads access an unanalyzable index"
+        d = a.index - b.index
+        if d.is_constant() and d.constant_value() != 0:
+            return None  # two specific threads, two distinct elements
+        if d.is_zero():
+            return "two different pinned threads touch the same element"
+        return "two pinned threads may touch the same element"
+
+    if a.index is None or b.index is None:
+        return "unanalyzable index may alias across threads"
+
+    # Exactly one access pinned: the other runs on every (guarded)
+    # thread; solve for the thread that would collide with the pinned
+    # element and check it is the pinned thread itself.
+    if (a.pin is None) != (b.pin is None):
+        pinned, free = (a, b) if a.pin is not None else (b, a)
+        fp = free.index
+        if not (fp.symbols() & TID_SYMBOLS):
+            d = fp - pinned.index
+            if d.is_constant():
+                # Same fixed element for every thread of the free access:
+                # with >1 thread live that is already a conflict when the
+                # element matches the pinned one... but when it does not,
+                # the pair itself is clean (the free access's own self-
+                # conflict is diagnosed by the unpaired-write rule).
+                return (
+                    "all threads and a pinned thread touch the same element"
+                    if d.is_zero()
+                    else None
+                )
+            return "thread-invariant index may equal a pinned thread's element"
+        if _injective_in_threads(fp):
+            c = fp.coeff("tid.x").constant_value()
+            rest = fp - Poly.sym("tid.x").scale(c)
+            # c*t + rest == pinned.index  =>  t == (pinned.index - rest)*c
+            t_sol = (pinned.index - rest).scale(c)
+            if t_sol == pinned.pin:
+                return None  # only the pinned thread itself collides
+            d = t_sol - pinned.pin
+            if d.is_constant():  # a specific *other* thread collides
+                return "a second thread collides with a pinned thread's element"
+            return "an unpinned thread may collide with a pinned thread's element"
+        return "unpinned access may collide with a pinned thread's element"
+
+    # Neither pinned: every guarded thread performs both accesses.
+    d = a.index - b.index
+    if d.is_zero():
+        if _injective_in_threads(a.index):
+            return None  # element is private to each (thread, iteration)
+        return "multiple threads touch the same element"
+    if d.is_constant():
+        dv = d.constant_value()
+        if a.index.degree("tid.x") == 0 and b.index.degree("tid.x") == 0:
+            return None  # two distinct thread-invariant elements
+        if a.index.degree("tid.x") == 1:
+            c = a.index.coeff("tid.x")
+            if c.is_constant():
+                cv = c.constant_value()
+                if cv != 0 and dv % cv == 0:
+                    return (
+                        f"threads {abs(dv // cv)} apart touch the same element"
+                    )
+                if cv != 0:
+                    return None  # stride never bridges the offset
+        return "offset accesses may touch the same element"
+    return "indices may alias across threads"
+
+
+# ---------------------------------------------------------------------------
+# the walker
+# ---------------------------------------------------------------------------
+
+class _Walker:
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.report = SanitizerReport(kernel.name)
+        self.accesses: list[_Access] = []
+        self.phase = 0
+        self._loop_counter = itertools.count()
+        self._instance_counter = itertools.count(1)
+        self._flagged_syncs: set[int] = set()
+
+    # -- findings --------------------------------------------------------
+    def _finding(self, kind: FindingKind, stmt: Stmt | None, message: str) -> None:
+        self.report.add(
+            Finding(
+                kind=kind,
+                layer="static",
+                kernel=self.kernel.name,
+                message=message,
+                line=getattr(stmt, "loc", None),
+                snippet=snippet_of(stmt),
+            )
+        )
+
+    # -- shared-access collection ---------------------------------------
+    def _space_of(self, ptr: Expr) -> AddressSpace | None:
+        t = getattr(ptr, "type", None)
+        return getattr(t, "space", None)
+
+    def _array_name(self, ptr: Expr) -> str | None:
+        if isinstance(ptr, (Var, Param)):
+            return ptr.name
+        return None
+
+    def _collect_loads(
+        self,
+        stmt: Stmt,
+        env: dict[str, Poly | None],
+        guards: tuple[Guard, ...],
+        instance: int,
+    ) -> None:
+        """Record shared-memory reads embedded in a statement's
+        expressions (conditions, indices, stored values)."""
+        pin = _tid_pin(guards)
+        for e in stmt.exprs():
+            for node in walk_expr(e):
+                if not isinstance(node, Load):
+                    continue
+                if self._space_of(node.ptr) is not AddressSpace.SHARED:
+                    continue
+                name = self._array_name(node.ptr)
+                if name is None:  # pragma: no cover - shared ptrs are Vars
+                    continue
+                idx = eval_sym(node.index, env)
+                if idx is not None and pin is not None:
+                    idx = idx.subs("tid.x", pin)
+                self.accesses.append(
+                    _Access(
+                        array=name,
+                        index=idx,
+                        is_write=False,
+                        is_atomic=False,
+                        stmt=stmt,
+                        instance=instance,
+                        phase=self.phase,
+                        pin=pin,
+                        value=None,
+                    )
+                )
+
+    def _collect_store(
+        self,
+        stmt: Store | Atomic,
+        env: dict[str, Poly | None],
+        guards: tuple[Guard, ...],
+        instance: int,
+    ) -> None:
+        space = stmt.ptr_type.space
+        name = self._array_name(stmt.ptr)
+        if space is AddressSpace.SHARED and name is not None:
+            pin = _tid_pin(guards)
+            idx = eval_sym(stmt.index, env)
+            if idx is not None and pin is not None:
+                idx = idx.subs("tid.x", pin)
+            val = _value_sym(stmt.value, env)
+            if val is not None and pin is not None:
+                val = val.subs("tid.x", pin)
+            self.accesses.append(
+                _Access(
+                    array=name,
+                    index=idx,
+                    is_write=True,
+                    is_atomic=isinstance(stmt, Atomic),
+                    stmt=stmt,
+                    instance=instance,
+                    phase=self.phase,
+                    pin=pin,
+                    value=val,
+                )
+            )
+        elif space is AddressSpace.GLOBAL and isinstance(stmt, Store):
+            self._check_replication(stmt, env, guards)
+
+    # -- replication invariant ------------------------------------------
+    def _check_replication(
+        self,
+        stmt: Store,
+        env: dict[str, Poly | None],
+        guards: tuple[Guard, ...],
+    ) -> None:
+        """Non-atomic global store: prove blocks cannot disagree.
+
+        Clean when (a) the index strides by the block id with a positive,
+        index-free coefficient — distinct blocks hit distinct elements
+        (the ubiquitous ``blockIdx.x*blockDim.x + threadIdx.x`` family) —
+        or (b) both index and value are block-invariant, so every block
+        that writes the location writes the same value.  Anything else
+        may break the replication invariant.  Launch-geometry corner
+        cases the algebra cannot see (a stride smaller than the block's
+        write extent) are left to the exact dynamic check.
+        """
+        buffer = self._array_name(stmt.ptr) or "<global>"
+        idx = eval_sym(stmt.index, env)
+        if idx is None:
+            self._finding(
+                FindingKind.NON_REPLICATED_WRITE,
+                stmt,
+                f"write to {buffer!r} through an unanalyzable index may "
+                "overlap across blocks with block-dependent values",
+            )
+            return
+        bid_syms = idx.symbols() & CTAID_SYMBOLS
+        if bid_syms:
+            for s in bid_syms:
+                if idx.degree(s) != 1:
+                    continue
+                c = idx.coeff(s)
+                if c.provably_positive() and not (
+                    c.symbols() & (TID_SYMBOLS | CTAID_SYMBOLS)
+                ):
+                    return  # block-strided: disjoint per-block ranges
+            self._finding(
+                FindingKind.NON_REPLICATED_WRITE,
+                stmt,
+                f"block-dependent write index into {buffer!r} is not "
+                "provably disjoint across blocks",
+            )
+            return
+        # Block-invariant index: every block writes the same locations;
+        # the written value must be block-invariant too.
+        val = _value_sym(stmt.value, env)
+        if val is not None and not (val.symbols() & CTAID_SYMBOLS):
+            return
+        if val is not None:
+            self._finding(
+                FindingKind.NON_REPLICATED_WRITE,
+                stmt,
+                f"blocks write different values to the same {buffer!r} "
+                "element (block-dependent value, block-invariant index)",
+            )
+        else:
+            self._finding(
+                FindingKind.NON_REPLICATED_WRITE,
+                stmt,
+                f"blocks overlap on {buffer!r} with an unanalyzable "
+                "value; replicated execution may diverge",
+            )
+
+    # -- barrier divergence ----------------------------------------------
+    def _check_barrier(
+        self,
+        stmt: SyncThreads,
+        div_guards: tuple[Guard, ...],
+        divergent_loop: bool,
+    ) -> None:
+        if id(stmt) in self._flagged_syncs:
+            return
+        reason: str | None = None
+        if divergent_loop:
+            reason = "barrier inside a loop whose trip count varies per thread"
+        else:
+            for g in div_guards:
+                if g.poly is None:
+                    reason = "barrier under a data-dependent condition"
+                    break
+                if g.poly.symbols() & TID_SYMBOLS:
+                    reason = "barrier under a thread-dependent condition"
+                    break
+        if reason is not None:
+            self._flagged_syncs.add(id(stmt))
+            self._finding(FindingKind.BARRIER_DIVERGENCE, stmt, reason)
+
+    @staticmethod
+    def _loop_divergent(
+        start: Poly | None, stop: Poly | None, step: Poly | None
+    ) -> bool:
+        for p in (start, stop, step):
+            if p is None:
+                return True
+            if p.symbols() & TID_SYMBOLS:
+                return True
+        return False
+
+    # -- the walk ----------------------------------------------------------
+    @staticmethod
+    def _terminates(body: list[Stmt]) -> bool:
+        return any(isinstance(s, Return) for s in body)
+
+    def walk(
+        self,
+        body: list[Stmt],
+        env: dict[str, Poly | None],
+        acc_guards: tuple[Guard, ...],
+        div_guards: tuple[Guard, ...],
+        instance: int,
+        divergent_loop: bool,
+        depth: int,
+    ) -> dict[str, Poly | None]:
+        for s in body:
+            if isinstance(s, (Store, Atomic, If, While, Return, Assign)):
+                self._collect_loads(s, env, acc_guards, instance)
+            if isinstance(s, Assign):
+                env[s.name] = eval_sym(s.value, env)
+            elif isinstance(s, (Store, Atomic)):
+                self._collect_store(s, env, acc_guards, instance)
+                if isinstance(s, Atomic) and s.result is not None:
+                    env[s.result] = None
+            elif isinstance(s, SyncThreads):
+                self._check_barrier(s, div_guards, divergent_loop)
+                self.phase += 1
+            elif isinstance(s, If):
+                gs = tuple(guards_of_condition(s.cond, env))
+                neg = tuple(negate_conjunction(list(gs)))
+                then_env = self.walk(
+                    s.then_body, dict(env), acc_guards + gs,
+                    div_guards + gs, instance, divergent_loop, depth,
+                )
+                else_env = self.walk(
+                    s.else_body, dict(env), acc_guards + neg,
+                    div_guards + neg, instance, divergent_loop, depth,
+                )
+                then_ret = self._terminates(s.then_body)
+                else_ret = self._terminates(s.else_body)
+                if then_ret and not else_ret:
+                    # Only the else path falls through.  Its guards hold
+                    # for every still-live thread, but retired threads
+                    # are exempt from barriers — extend the *access*
+                    # guards only, never the divergence guards.
+                    acc_guards = acc_guards + neg
+                    env = else_env
+                elif else_ret and not then_ret:
+                    acc_guards = acc_guards + gs
+                    env = then_env
+                elif then_ret and else_ret:
+                    break
+                else:
+                    env = _merge_envs(env, then_env, else_env)
+            elif isinstance(s, For):
+                self._collect_loads(s, env, acc_guards, instance)
+                start = eval_sym(s.start, env)
+                stop = eval_sym(s.stop, env)
+                step = eval_sym(s.step, env)
+                body_divergent = divergent_loop or self._loop_divergent(
+                    start, stop, step
+                ) or (
+                    _contains_barrier(s.body)
+                    and any(
+                        isinstance(t, (Break, Continue))
+                        for t in iter_stmts(s.body)
+                    )
+                )
+                assigned = _assigned_names(s.body)
+                if depth < _MAX_LOOP_DEPTH:
+                    # Walk the body twice — "iteration i" and
+                    # "iteration i+1" — with the induction symbol
+                    # renamed apart and a fresh instance tag, so the
+                    # tail of one iteration meets the head of the next
+                    # in the same phase when no barrier separates them.
+                    for _ in range(2):
+                        inner = dict(env)
+                        for name in assigned:
+                            inner[name] = None
+                        inner[s.var] = Poly.sym(
+                            f"loop:{s.var}#{next(self._loop_counter)}"
+                        )
+                        self.walk(
+                            s.body, inner, acc_guards, div_guards,
+                            next(self._instance_counter), body_divergent,
+                            depth + 1,
+                        )
+                for name in assigned:
+                    env[name] = None
+                env.pop(s.var, None)
+            elif isinstance(s, While):
+                cond_guards = tuple(guards_of_condition(s.cond, env))
+                body_divergent = divergent_loop or any(
+                    g.poly is None or (g.poly.symbols() & TID_SYMBOLS)
+                    for g in cond_guards
+                )
+                assigned = _assigned_names(s.body)
+                if depth < _MAX_LOOP_DEPTH:
+                    for _ in range(2):
+                        inner = dict(env)
+                        for name in assigned:
+                            inner[name] = None
+                        self.walk(
+                            s.body, inner, acc_guards, div_guards,
+                            next(self._instance_counter), body_divergent,
+                            depth + 1,
+                        )
+                for name in assigned:
+                    env[name] = None
+            elif isinstance(s, Return):
+                break
+            elif isinstance(s, (Break, Continue)):
+                break
+            elif isinstance(s, (AllocShared, AllocLocal)):
+                pass
+        return env
+
+    # -- pair analysis ------------------------------------------------------
+    def check_pairs(self) -> None:
+        by_group: dict[tuple[str, int], list[_Access]] = {}
+        for a in self.accesses:
+            by_group.setdefault((a.array, a.phase), []).append(a)
+        for (array, _phase), group in by_group.items():
+            for i, a in enumerate(group):
+                for b in group[i + 1:]:
+                    if not (a.is_write or b.is_write):
+                        continue
+                    if a.is_atomic and b.is_atomic:
+                        continue  # atomics serialize against each other
+                    if a.stmt is b.stmt and a.instance == b.instance:
+                        continue  # one lockstep instance: defined order
+                    reason = _pair_conflict(a, b)
+                    if reason is None:
+                        continue
+                    w = a if a.is_write else b
+                    kinds = ("write/write" if a.is_write and b.is_write
+                             else "read/write")
+                    self._finding(
+                        FindingKind.SHARED_RACE,
+                        w.stmt,
+                        f"{kinds} conflict on __shared__ {array!r} with "
+                        f"no intervening __syncthreads(): {reason}",
+                    )
+
+    def check_unpaired_writes(self) -> None:
+        """A single thread-invariant-index write performed by many
+        threads with a thread-dependent (or unanalyzable) value is a
+        write/write race all by itself (``s[0] = threadIdx.x``)."""
+        for a in self.accesses:
+            if not a.is_write or a.is_atomic or a.pin is not None:
+                continue
+            if a.index is not None and (a.index.symbols() & TID_SYMBOLS):
+                continue
+            if a.index is None:
+                self._finding(
+                    FindingKind.SHARED_RACE,
+                    a.stmt,
+                    f"unanalyzable write index into __shared__ "
+                    f"{a.array!r} may collide across threads",
+                )
+                continue
+            if a.value is None or (a.value.symbols() & TID_SYMBOLS):
+                self._finding(
+                    FindingKind.SHARED_RACE,
+                    a.stmt,
+                    f"every thread of the block writes __shared__ "
+                    f"{a.array!r} element {a.index} with a "
+                    "thread-dependent value",
+                )
+
+
+def _contains_barrier(body: list[Stmt]) -> bool:
+    return any(isinstance(s, SyncThreads) for s in iter_stmts(body))
+
+
+def _assigned_names(body: list[Stmt]) -> set[str]:
+    names: set[str] = set()
+    for s in iter_stmts(body):
+        if isinstance(s, Assign):
+            names.add(s.name)
+        elif isinstance(s, Atomic) and s.result is not None:
+            names.add(s.result)
+        elif isinstance(s, For):
+            names.add(s.var)
+    return names
+
+
+def _merge_envs(
+    pre: dict[str, Poly | None],
+    a: dict[str, Poly | None],
+    b: dict[str, Poly | None],
+) -> dict[str, Poly | None]:
+    out: dict[str, Poly | None] = {}
+    for name in set(a) | set(b):
+        va = a.get(name, pre.get(name))
+        vb = b.get(name, pre.get(name))
+        out[name] = va if (va is not None and va == vb) else None
+    return out
+
+
+def analyze_kernel(kernel: Kernel) -> SanitizerReport:
+    """Run the static sanitizer over one kernel and return its report."""
+    w = _Walker(kernel)
+    w.walk(
+        list(kernel.body), {}, (), (), instance=0,
+        divergent_loop=False, depth=0,
+    )
+    w.check_pairs()
+    w.check_unpaired_writes()
+    return w.report

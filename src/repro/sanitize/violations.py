@@ -1,0 +1,231 @@
+"""Purpose-built violating kernels for sanitizer calibration.
+
+Each :class:`ViolationCase` is a small CUDA kernel seeded with exactly
+one hazard class, plus a launch recipe that makes the hazard actually
+happen at runtime.  They serve three audiences:
+
+* the test suite asserts every case is caught by the expected layer(s)
+  with the expected :class:`~repro.sanitize.report.FindingKind`,
+* ``repro sanitize --violations`` runs them in CI as a self-check that
+  the sanitizer has not regressed into silence, and
+* they document, in runnable form, what each hazard class looks like.
+
+Expectations are *lower bounds*: a case may additionally trip other
+checks (e.g. an out-of-bounds shared write also leaves cells
+uninitialized), so callers assert ``expect ⊆ found``, not equality.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sanitize.report import FindingKind
+
+__all__ = ["ViolationCase", "VIOLATIONS"]
+
+
+@dataclass(frozen=True)
+class ViolationCase:
+    """One seeded-hazard kernel with its launch recipe."""
+
+    name: str
+    source: str
+    #: kinds the static layer must report (empty: must stay clean)
+    expect_static: frozenset
+    #: kinds the dynamic layer must report on the recipe launch
+    expect_dynamic: frozenset
+    grid: int
+    block: int
+    #: builds the launch args (fresh buffers per call)
+    make_args: Callable[[], dict]
+    hazard: str = ""
+
+    def kernel(self):
+        """Parse the source (source lines stamped for diagnostics)."""
+        from repro.frontend.parser import parse_kernel
+
+        return parse_kernel(self.source)
+
+
+def _case(name, source, static, dynamic, grid, block, make_args, hazard):
+    return ViolationCase(
+        name=name,
+        source=source,
+        expect_static=frozenset(static),
+        expect_dynamic=frozenset(dynamic),
+        grid=grid,
+        block=block,
+        make_args=make_args,
+        hazard=hazard,
+    )
+
+
+_f32 = np.float32
+
+VIOLATIONS: dict[str, ViolationCase] = {}
+
+VIOLATIONS["missing_barrier"] = _case(
+    "missing_barrier",
+    """
+__global__ void missing_barrier(float* x, float* y, int n) {
+    __shared__ float partial[256];
+    int tid = threadIdx.x;
+    int gid = blockIdx.x * blockDim.x + tid;
+    partial[tid] = x[gid];
+    if (tid == 0) {
+        float s = 0.0f;
+        for (int t = 0; t < blockDim.x; t++) { s += partial[t]; }
+        y[blockIdx.x] = s;
+    }
+}""",
+    {FindingKind.SHARED_RACE},
+    {FindingKind.SHARED_RACE},
+    2, 64,
+    lambda: {
+        "x": np.arange(128, dtype=_f32),
+        "y": np.zeros(2, dtype=_f32),
+        "n": 128,
+    },
+    "reduction reads every thread's partial without a __syncthreads()",
+)
+
+VIOLATIONS["divergent_barrier"] = _case(
+    "divergent_barrier",
+    """
+__global__ void divergent_barrier(float* y, int n) {
+    __shared__ float buf[256];
+    int tid = threadIdx.x;
+    buf[tid] = 1.0f;
+    if (tid < 16) { __syncthreads(); }
+    y[blockIdx.x * blockDim.x + tid] = buf[tid];
+}""",
+    {FindingKind.BARRIER_DIVERGENCE},
+    {FindingKind.BARRIER_DIVERGENCE},
+    1, 32,
+    lambda: {"y": np.zeros(32, dtype=_f32), "n": 32},
+    "__syncthreads() under a thread-dependent guard",
+)
+
+VIOLATIONS["cross_block"] = _case(
+    "cross_block",
+    """
+__global__ void cross_block(float* y, int n) {
+    y[0] = blockIdx.x;
+}""",
+    {FindingKind.NON_REPLICATED_WRITE},
+    {FindingKind.NON_REPLICATED_WRITE},
+    4, 8,
+    lambda: {"y": np.zeros(32, dtype=_f32), "n": 0},
+    "blocks write different values to one element, breaking the "
+    "replication invariant",
+)
+
+VIOLATIONS["ww_shared"] = _case(
+    "ww_shared",
+    """
+__global__ void ww_shared(float* y) {
+    __shared__ float s[32];
+    s[0] = threadIdx.x;
+    __syncthreads();
+    y[blockIdx.x * blockDim.x + threadIdx.x] = s[0];
+}""",
+    {FindingKind.SHARED_RACE},
+    {FindingKind.SHARED_RACE},
+    1, 32,
+    lambda: {"y": np.zeros(32, dtype=_f32)},
+    "every thread writes a different value to the same shared cell",
+)
+
+VIOLATIONS["offset_race"] = _case(
+    "offset_race",
+    """
+__global__ void offset_race(float* y, int n) {
+    __shared__ float a[256];
+    int tid = threadIdx.x;
+    a[tid] = y[tid];
+    float v = a[tid + 1];
+    __syncthreads();
+    y[blockIdx.x * blockDim.x + tid] = v;
+}""",
+    {FindingKind.SHARED_RACE},
+    {FindingKind.SHARED_RACE},
+    1, 64,
+    lambda: {"y": np.arange(64, dtype=_f32), "n": 64},
+    "thread t reads the cell thread t+1 writes in the same phase",
+)
+
+VIOLATIONS["loop_no_barrier"] = _case(
+    "loop_no_barrier",
+    """
+__global__ void loop_no_barrier(float* y, int steps) {
+    __shared__ float a[256];
+    int tid = threadIdx.x;
+    a[tid] = y[tid];
+    __syncthreads();
+    for (int t = 0; t < steps; t++) {
+        a[tid] = a[tid + 1] * 0.5f;
+    }
+    __syncthreads();
+    y[blockIdx.x * blockDim.x + tid] = a[tid];
+}""",
+    {FindingKind.SHARED_RACE},
+    {FindingKind.SHARED_RACE},
+    1, 64,
+    lambda: {"y": np.arange(64, dtype=_f32), "steps": 4},
+    "cross-iteration neighbour access with no barrier inside the loop",
+)
+
+VIOLATIONS["oob_global"] = _case(
+    "oob_global",
+    """
+__global__ void oob_global(float* x, float* y, int n) {
+    int gid = blockIdx.x * blockDim.x + threadIdx.x;
+    y[gid * 2] = x[gid];
+}""",
+    set(),
+    {FindingKind.OOB_GLOBAL},
+    1, 32,
+    lambda: {
+        "x": np.arange(32, dtype=_f32),
+        "y": np.zeros(32, dtype=_f32),
+        "n": 32,
+    },
+    "strided store runs past the end of the output buffer",
+)
+
+VIOLATIONS["oob_shared"] = _case(
+    "oob_shared",
+    """
+__global__ void oob_shared(float* y) {
+    __shared__ float s[32];
+    int tid = threadIdx.x;
+    s[tid * 2] = 1.0f;
+    __syncthreads();
+    y[blockIdx.x * blockDim.x + tid] = s[tid];
+}""",
+    set(),
+    {FindingKind.OOB_SHARED},
+    1, 32,
+    lambda: {"y": np.zeros(32, dtype=_f32)},
+    "strided shared store exceeds the per-block extent",
+)
+
+VIOLATIONS["uninit_shared"] = _case(
+    "uninit_shared",
+    """
+__global__ void uninit_shared(float* y) {
+    __shared__ float s[64];
+    int tid = threadIdx.x;
+    if (tid < 16) { s[tid] = 2.0f; }
+    __syncthreads();
+    y[blockIdx.x * blockDim.x + tid] = s[tid];
+}""",
+    set(),
+    {FindingKind.UNINIT_SHARED},
+    1, 32,
+    lambda: {"y": np.zeros(32, dtype=_f32)},
+    "half the threads read shared cells nothing ever wrote",
+)

@@ -231,7 +231,9 @@ def _simplify_stmt(s: Stmt) -> Stmt:
             kwargs[f.name] = _simplify_body(v)
         else:
             kwargs[f.name] = v
-    return dataclasses.replace(s, **kwargs)
+    out = dataclasses.replace(s, **kwargs)
+    out.loc = s.loc  # source location is not a field; carry it explicitly
+    return out
 
 
 def simplify_kernel(kernel: Kernel) -> Kernel:

@@ -1,0 +1,223 @@
+"""Regression tests for interpreter bugs surfaced by the sanitizer sweep.
+
+Three defects, each locked in here:
+
+1. **Atomic old values under colliding indices.**  The vectorized atomic
+   path pre-gathered ``old = arr[safe]`` before applying the update, so
+   when several active lanes hit the same location every one of them saw
+   the *initial* value instead of the value left by the preceding lane
+   of some serial interleaving.  Inactive (guarded-off / retired) lanes
+   must not contribute either way.
+2. **Loop trip counts.**  A thread-variant loop bound with a zero or
+   negative trip count must execute zero iterations for those lanes (no
+   first-iteration leakage), and a zero *step* must only be an error
+   when the loop would actually iterate — a zero-trip zero-step loop is
+   legal and runs no iterations (the variant path previously span to the
+   iteration cap instead of diagnosing the stuck lanes).
+3. **Shared-memory extent faults.**  An index outside the per-block
+   extent raises :class:`InterpError` naming the array, the offending
+   block and thread — and is clamped within the block's *own* segment,
+   never wrapping into a neighbouring block's slice of the span-wide
+   backing array.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import InterpError
+from repro.frontend.parser import parse_kernel
+from repro.interp import LaunchConfig, run_grid
+from repro.ir import I32, IRBuilder
+
+# ---------------------------------------------------------------------------
+# 1. atomics: old values under duplicate indices + divergent guards
+# ---------------------------------------------------------------------------
+
+
+def _atomic_kernel(op="add", value=1, result="old"):
+    b = IRBuilder(f"atomic_{op}")
+    c = b.pointer_param("c", I32)
+    out = b.pointer_param("out", I32)
+    n = b.scalar_param("n", I32)
+    with b.if_(b.tid_x < n):
+        old = b.atomic(op, c, 0, value, result=result)
+        b.store(out, b.tid_x, old)
+    return b.finish()
+
+
+def test_atomic_add_old_values_are_a_serial_interleaving():
+    kernel = _atomic_kernel("add")
+    c = np.array([100], dtype=np.int32)
+    out = np.full(8, -1, dtype=np.int32)
+    run_grid(kernel, LaunchConfig.make(1, 8), {"c": c, "out": out, "n": 5})
+    # five colliding increments: the counter advances by exactly 5 and
+    # each active lane observes a distinct intermediate value
+    assert c[0] == 105
+    assert sorted(out[:5]) == [100, 101, 102, 103, 104]
+    # guarded-off lanes contributed nothing and observed nothing
+    assert list(out[5:]) == [-1, -1, -1]
+
+
+def test_atomic_exch_old_values_chain():
+    b = IRBuilder("atomic_exch")
+    c = b.pointer_param("c", I32)
+    out = b.pointer_param("out", I32)
+    n = b.scalar_param("n", I32)
+    with b.if_(b.tid_x < n):
+        old = b.atomic("exch", c, 0, b.tid_x + 10, result="old")
+        b.store(out, b.tid_x, old)
+    kernel = b.finish()
+    c = np.array([99], dtype=np.int32)
+    out = np.full(8, -1, dtype=np.int32)
+    run_grid(kernel, LaunchConfig.make(1, 8), {"c": c, "out": out, "n": 4})
+    # lane-order interleaving: each lane sees its predecessor's value
+    assert list(out[:4]) == [99, 10, 11, 12]
+    assert c[0] == 13
+
+
+def test_atomic_max_old_values_with_duplicates():
+    b = IRBuilder("atomic_max")
+    c = b.pointer_param("c", I32)
+    out = b.pointer_param("out", I32)
+    old = b.atomic("max", c, 0, b.tid_x * 3, result="old")
+    b.store(out, b.tid_x, old)
+    kernel = b.finish()
+    c = np.array([2], dtype=np.int32)
+    out = np.full(4, -1, dtype=np.int32)
+    run_grid(kernel, LaunchConfig.make(1, 4), {"c": c, "out": out})
+    # lane values 0,3,6,9 against init 2: each lane observes the running
+    # max left by its predecessors, not the initial value
+    assert list(out) == [2, 2, 3, 6]
+    assert c[0] == 9
+
+
+def test_atomic_distinct_indices_keep_vectorized_semantics():
+    b = IRBuilder("atomic_distinct")
+    c = b.pointer_param("c", I32)
+    out = b.pointer_param("out", I32)
+    old = b.atomic("add", c, b.tid_x, 7, result="old")
+    b.store(out, b.tid_x, old)
+    kernel = b.finish()
+    c = np.arange(6, dtype=np.int32)
+    out = np.zeros(6, dtype=np.int32)
+    run_grid(kernel, LaunchConfig.make(1, 6), {"c": c, "out": out})
+    assert list(out) == [0, 1, 2, 3, 4, 5]
+    assert list(c) == [7, 8, 9, 10, 11, 12]
+
+
+# ---------------------------------------------------------------------------
+# 2. loops: zero/negative trip counts and zero steps
+# ---------------------------------------------------------------------------
+
+
+def test_variant_loop_zero_and_negative_trip_lanes_run_zero_iterations():
+    b = IRBuilder("trip")
+    out = b.pointer_param("out", I32)
+    with b.for_("i", 0, b.tid_x - 2) as i:
+        b.store(out, b.tid_x, i)
+    kernel = b.finish()
+    out = np.full(8, -1, dtype=np.int32)
+    run_grid(kernel, LaunchConfig.make(1, 8), {"out": out})
+    # threads 0..2 have stop <= 0: no first-iteration leakage
+    assert list(out[:3]) == [-1, -1, -1]
+    # thread t >= 3 ends with i == t - 3
+    assert list(out[3:]) == [0, 1, 2, 3, 4]
+
+
+def test_variant_loop_negative_step_descends():
+    b = IRBuilder("descend")
+    out = b.pointer_param("out", I32)
+    with b.for_("i", 0, b.tid_x - 2, step=-1) as i:
+        b.store(out, b.tid_x, i)
+    kernel = b.finish()
+    out = np.full(4, 9, dtype=np.int32)
+    run_grid(kernel, LaunchConfig.make(1, 4), {"out": out})
+    # thread 0: i = 0, -1 (stop -2); thread 1: i = 0 (stop -1);
+    # threads 2, 3: stop >= start with a negative step -> zero iterations
+    assert list(out) == [-1, 0, 9, 9]
+
+
+def test_invariant_zero_step_zero_trip_is_legal():
+    kernel = parse_kernel("""
+__global__ void ztrip(int* out, int n) {
+    out[threadIdx.x] = 1;
+    for (int i = 5; i < n; i = i + 0) { out[threadIdx.x] = 2; }
+}""")
+    out = np.zeros(4, dtype=np.int32)
+    run_grid(kernel, LaunchConfig.make(1, 4), {"out": out, "n": 5})
+    assert list(out) == [1, 1, 1, 1]  # loop body never ran, no error
+
+
+def test_invariant_zero_step_nonzero_trip_raises():
+    kernel = parse_kernel("""
+__global__ void zspin(int* out, int n) {
+    for (int i = 0; i < n; i = i + 0) { out[threadIdx.x] = 2; }
+}""")
+    out = np.zeros(4, dtype=np.int32)
+    with pytest.raises(InterpError, match="zero step"):
+        run_grid(kernel, LaunchConfig.make(1, 4), {"out": out, "n": 3})
+
+
+def test_variant_zero_step_stuck_lane_raises_instead_of_spinning():
+    b = IRBuilder("vspin")
+    out = b.pointer_param("out", I32)
+    n = b.scalar_param("n", I32)
+    # thread 0's step is 0 with a nonzero trip: previously ground toward
+    # the 50M-iteration cap; now diagnosed immediately
+    with b.for_("i", 0, n, step=b.tid_x):
+        b.store(out, b.tid_x, 1)
+    kernel = b.finish()
+    out = np.zeros(4, dtype=np.int32)
+    with pytest.raises(InterpError, match="zero step"):
+        run_grid(kernel, LaunchConfig.make(1, 4), {"out": out, "n": 2})
+
+
+def test_variant_zero_step_zero_trip_is_legal():
+    b = IRBuilder("vztrip")
+    out = b.pointer_param("out", I32)
+    n = b.scalar_param("n", I32)
+    with b.for_("i", 0, n, step=b.tid_x):
+        b.store(out, b.tid_x, 1)
+    kernel = b.finish()
+    out = np.zeros(4, dtype=np.int32)
+    run_grid(kernel, LaunchConfig.make(1, 4), {"out": out, "n": 0})
+    assert list(out) == [0, 0, 0, 0]
+
+
+# ---------------------------------------------------------------------------
+# 3. shared-memory extent faults
+# ---------------------------------------------------------------------------
+
+_NOWRAP_SRC = """
+__global__ void nowrap(float* y) {
+    __shared__ float s[4];
+    int tid = threadIdx.x;
+    s[tid] = blockIdx.x * 10.0f + tid;
+    __syncthreads();
+    y[blockIdx.x * blockDim.x + tid] = s[tid + 4];
+}"""
+
+
+def test_shared_oob_raises_with_block_and_thread():
+    kernel = parse_kernel(_NOWRAP_SRC)
+    y = np.zeros(8, dtype=np.float32)
+    with pytest.raises(
+        InterpError,
+        match=r"out-of-bounds shared access to 's'.*extent 4.*"
+              r"blockIdx\.x \d+, threadIdx\.x \d+",
+    ):
+        run_grid(kernel, LaunchConfig.make(2, 4), {"y": y})
+
+
+def test_shared_oob_never_wraps_into_neighbouring_block():
+    kernel = parse_kernel(_NOWRAP_SRC)
+    y = np.zeros(8, dtype=np.float32)
+    ex = run_grid(kernel, LaunchConfig.make(2, 4), {"y": y}, sanitize=True)
+    from repro.sanitize import FindingKind
+
+    assert FindingKind.OOB_SHARED in ex.sanitizer.report.kinds()
+    # every out-of-extent read clamps to cell 0 of the *same* block's
+    # segment: block 0 observes 0.0, block 1 observes 10.0 — if the index
+    # wrapped across segments, block 1 would read block 0's values
+    np.testing.assert_array_equal(y[:4], np.zeros(4, np.float32))
+    np.testing.assert_array_equal(y[4:], np.full(4, 10.0, np.float32))

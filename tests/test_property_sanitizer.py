@@ -1,0 +1,120 @@
+"""Differential property: the sanitizer has zero false positives.
+
+Hypothesis generates small kernels that are race-free *by construction*
+(every store lands at an injective ``gid * stride + j`` footprint and
+values only read an array no thread ever writes), then runs each one
+
+* through the reference interpreter with and without ``sanitize=True``
+  — results must be bit-identical and the report clean,
+* through the full CuCC runtime on a multi-node cluster with the
+  sanitizer on — every node replica must match the reference and both
+  the compile-time (static) and launch-time (dynamic) reports must be
+  clean, and
+* through the single-CPU baseline runtime with the sanitizer on — same
+  contract.
+
+A finding on any of these would be a false positive: the three
+executions agree, so there is no hazard to report.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SingleCPURuntime
+from repro.cluster import Cluster
+from repro.hw import SIMD_FOCUSED_NODE
+from repro.interp import LaunchConfig, run_grid
+from repro.ir import F32, I32, IRBuilder
+from repro.runtime import CuCCRuntime
+
+
+@st.composite
+def clean_kernel_cases(draw):
+    """A randomized race-free (kernel, grid, block, n, out_elems) bundle."""
+    block = draw(st.sampled_from([8, 32, 64]))
+    grid = draw(st.integers(2, 8))
+    writes_per_thread = draw(st.integers(1, 3))
+    guard = draw(st.sampled_from(["none", "if", "return"]))
+    slack = draw(st.integers(0, block + 3))
+    value_kind = draw(st.sampled_from(["affine", "input", "loopmix"]))
+    stride = draw(st.sampled_from([writes_per_thread, writes_per_thread + 1]))
+
+    b = IRBuilder("clean_prop")
+    src = b.pointer_param("src", F32)
+    dest = b.pointer_param("dest", F32)
+    n = b.scalar_param("n", I32)
+    gid = b.let("gid", b.bid_x * b.bdim_x + b.tid_x)
+    if guard == "return":
+        with b.if_(gid >= n):
+            b.ret()
+
+    def emit_stores(bb):
+        with bb.for_("j", 0, writes_per_thread) as j:
+            idx = gid * stride + j
+            if value_kind == "affine":
+                val = bb.cast(F32, gid * 3 + j)
+            elif value_kind == "input":
+                val = bb.load(src, gid) + bb.cast(F32, j)
+            else:
+                val = bb.load(src, (gid + j) % n) * 0.5
+            bb.store(dest, idx, val)
+
+    if guard == "if":
+        with b.if_(gid < n):
+            emit_stores(b)
+    else:
+        emit_stores(b)
+
+    kernel = b.finish()
+    n_bound = grid * block if guard == "none" else grid * block - slack
+    out_elems = grid * block * stride + writes_per_thread
+    return kernel, grid, block, n_bound, out_elems
+
+
+def _run_on_runtime(rt, kernel, grid, block, src, out_elems, n_bound, ref):
+    rt.memory.alloc("src", src.size, src.dtype)
+    rt.memory.memcpy_h2d("src", src)
+    rt.memory.alloc("dest", out_elems, np.float32)
+    rt.memory.memcpy_h2d("dest", np.zeros(out_elems, np.float32))
+    compiled = rt.compile(kernel)
+    record = rt.launch(
+        compiled, grid, block, {"src": "src", "dest": "dest", "n": n_bound}
+    )
+    got = rt.memory.memcpy_d2h("dest", check_consistency=True)
+    np.testing.assert_array_equal(got, ref)
+    assert compiled.sanitizer_report.clean, compiled.sanitizer_report.describe()
+    assert record.sanitizer_report.clean, record.sanitizer_report.describe()
+
+
+@given(clean_kernel_cases(), st.integers(2, 5), st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_sanitizer_zero_false_positives_across_runtimes(case, nodes, seed):
+    kernel, grid, block, n_bound, out_elems = case
+    rng = np.random.default_rng(seed)
+    src = rng.random(max(out_elems, grid * block)).astype(np.float32)
+    cfg = LaunchConfig.make(grid, block)
+
+    # interpreter, plain
+    ref = np.zeros(out_elems, dtype=np.float32)
+    run_grid(kernel, cfg, {"src": src, "dest": ref, "n": n_bound})
+
+    # interpreter, sanitizer on: identical results, clean report
+    dest = np.zeros(out_elems, dtype=np.float32)
+    ex = run_grid(
+        kernel, cfg, {"src": src, "dest": dest, "n": n_bound}, sanitize=True
+    )
+    np.testing.assert_array_equal(dest, ref)
+    assert ex.sanitizer.report.clean, ex.sanitizer.report.describe()
+
+    # full CuCC runtime on a real multi-node cluster
+    _run_on_runtime(
+        CuCCRuntime(Cluster(SIMD_FOCUSED_NODE, nodes), sanitize=True),
+        kernel, grid, block, src, out_elems, n_bound, ref,
+    )
+
+    # single-CPU (CuPBoP-style) baseline
+    _run_on_runtime(
+        SingleCPURuntime(SIMD_FOCUSED_NODE, sanitize=True),
+        kernel, grid, block, src, out_elems, n_bound, ref,
+    )

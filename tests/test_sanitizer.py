@@ -1,0 +1,292 @@
+"""Kernel sanitizer: static race detector + dynamic shadow checks.
+
+Covers the calibration contract of ``repro.sanitize``:
+
+* every bundled workload is clean under both layers (zero false
+  positives), and the dynamic layer perturbs neither results nor
+  modeled op counts;
+* every coverage-zoo kernel the distributable analysis accepts is
+  statically clean (the analysis assumes the replication invariant the
+  sanitizer checks — a distributable-but-dirty kernel would be a
+  soundness bug in one of the two);
+* every seeded-violation kernel is caught by the expected layer(s) with
+  the expected finding kinds and source-located diagnostics;
+* the runtime wiring (``CuCCRuntime(sanitize=True)``) attaches reports
+  to compiled kernels and launch records without changing modeled time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import make_cluster
+from repro.interp import LaunchConfig, OpCounters, run_grid
+from repro.runtime import CuCCRuntime
+from repro.sanitize import (
+    MAX_FINDINGS_PER_KIND,
+    DynamicSanitizer,
+    Finding,
+    FindingKind,
+    SanitizerReport,
+    analyze_kernel,
+    sanitize_kernel,
+    sanitize_launch,
+    sanitize_spec,
+)
+from repro.sanitize.violations import VIOLATIONS
+from repro.transform import simplify_kernel
+from repro.workloads import EXTRA_WORKLOADS, PERF_WORKLOADS
+from repro.workloads.ai_models import AI_KERNELS
+from repro.workloads.heteromark import HETEROMARK_KERNELS, build_kernel
+
+CATALOG = {**PERF_WORKLOADS, **EXTRA_WORKLOADS}
+ALL_ZOO = HETEROMARK_KERNELS + AI_KERNELS
+
+
+# ---------------------------------------------------------------------------
+# report container
+# ---------------------------------------------------------------------------
+def _finding(i=0, kind=FindingKind.SHARED_RACE, msg="conflict"):
+    return Finding(kind=kind, layer="static", kernel="k", message=msg,
+                   line=i, snippet="s[0] = tid;")
+
+
+def test_report_deduplicates_repeats():
+    r = SanitizerReport("k")
+    for _ in range(5):
+        r.add(_finding(3))
+    assert len(r.findings) == 1
+    assert r.count_of(r.findings[0]) == 5
+    assert "(x5)" in r.describe()
+    assert not r.clean
+
+
+def test_report_caps_distinct_findings_per_kind():
+    r = SanitizerReport("k")
+    for i in range(MAX_FINDINGS_PER_KIND + 7):
+        r.add(_finding(i))
+    assert len(r.findings) == MAX_FINDINGS_PER_KIND
+    assert r.truncated == 7
+    assert "truncated" in r.describe()
+    # other kinds have their own budget
+    r.add(_finding(0, kind=FindingKind.OOB_GLOBAL))
+    assert FindingKind.OOB_GLOBAL in r.kinds()
+
+
+def test_report_merge_preserves_counts():
+    a, b = SanitizerReport("k"), SanitizerReport("k")
+    a.add(_finding(1))
+    b.add(_finding(1))
+    b.add(_finding(2))
+    a.merge(b)
+    assert a.count_of(_finding(1)) == 2
+    assert len(a.findings) == 2
+
+
+def test_clean_report_describe():
+    r = SanitizerReport("fir")
+    assert r.clean
+    assert "clean" in r.describe()
+
+
+# ---------------------------------------------------------------------------
+# zero false positives on bundled workloads
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(CATALOG), ids=str)
+def test_workload_static_clean(name):
+    spec = CATALOG[name]("small")
+    assert analyze_kernel(spec.kernel).clean
+    # the simplified IR the runtime executes must be clean too
+    assert analyze_kernel(simplify_kernel(spec.kernel)).clean
+
+
+@pytest.mark.parametrize("name", sorted(CATALOG), ids=str)
+def test_workload_dynamic_clean(name):
+    spec = CATALOG[name]("small")
+    report = sanitize_spec(spec)
+    assert report.clean, report.describe()
+
+
+def test_sanitize_mode_does_not_change_results_or_counts():
+    spec = CATALOG["FIR"]("small")
+    cfg = LaunchConfig.make(spec.grid, spec.block)
+    runs = {}
+    for san in (False, True):
+        arrays = {k: v.copy() for k, v in spec.arrays.items()}
+        counters = OpCounters()
+        run_grid(spec.kernel, cfg, {**arrays, **spec.scalars},
+                 counters=counters, sanitize=san)
+        runs[san] = (arrays, counters)
+    for out in spec.outputs:
+        np.testing.assert_array_equal(runs[False][0][out], runs[True][0][out])
+    assert runs[False][1] == runs[True][1]
+
+
+# ---------------------------------------------------------------------------
+# cross-validation against the distributable analysis
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("z", ALL_ZOO, ids=lambda z: z.name)
+def test_zoo_distributable_implies_statically_clean(z):
+    from repro.analysis import analyze_kernel as distributable_analysis
+
+    kernel = build_kernel(z)
+    report = sanitize_kernel(kernel)
+    if distributable_analysis(kernel).metadata.distributable:
+        assert report.clean, (
+            f"{z.name} is Allgather-distributable but the sanitizer found:\n"
+            + report.describe()
+        )
+
+
+def test_violating_kernels_are_not_distributable_when_replication_broken():
+    from repro.analysis import analyze_kernel as distributable_analysis
+
+    case = VIOLATIONS["cross_block"]
+    k = case.kernel()
+    assert not distributable_analysis(k).metadata.distributable
+    assert FindingKind.NON_REPLICATED_WRITE in sanitize_kernel(k).kinds()
+
+
+# ---------------------------------------------------------------------------
+# seeded violations: both layers, with source locations
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(VIOLATIONS), ids=str)
+def test_violation_static_layer(name):
+    case = VIOLATIONS[name]
+    report = sanitize_kernel(case.kernel())
+    assert case.expect_static <= report.kinds(), report.describe()
+    if not case.expect_static:
+        assert report.clean, report.describe()
+    for f in report.findings:
+        assert f.layer == "static"
+        assert f.line is not None and f.line > 0
+        assert f.snippet
+
+
+@pytest.mark.parametrize("name", sorted(VIOLATIONS), ids=str)
+def test_violation_dynamic_layer(name):
+    case = VIOLATIONS[name]
+    report = sanitize_launch(
+        case.kernel(), case.grid, case.block, case.make_args()
+    )
+    assert case.expect_dynamic <= report.kinds(), report.describe()
+    for f in report.findings:
+        assert f.layer == "dynamic"
+        assert f.line is not None and f.line > 0
+        assert f.snippet
+
+
+def test_violation_classes_cover_requirement():
+    """At least three distinct hazard classes are demonstrably caught."""
+    caught = set()
+    for case in VIOLATIONS.values():
+        caught |= case.expect_static | case.expect_dynamic
+    assert len(caught) >= 3
+
+
+def test_survived_simplification():
+    """Static findings keep their source lines on the lowered IR the
+    runtime actually executes."""
+    case = VIOLATIONS["missing_barrier"]
+    report = sanitize_kernel(simplify_kernel(case.kernel()))
+    assert case.expect_static <= report.kinds()
+    assert all(f.line is not None for f in report.findings)
+
+
+# ---------------------------------------------------------------------------
+# dynamic layer specifics
+# ---------------------------------------------------------------------------
+def test_oob_is_reported_not_raised_under_sanitizer():
+    case = VIOLATIONS["oob_global"]
+    kernel = case.kernel()
+    cfg = LaunchConfig.make(case.grid, case.block)
+    # without the sanitizer, bounds checking raises with located context
+    from repro.errors import InterpError
+
+    with pytest.raises(InterpError, match=r"out-of-bounds.*'y'.*threadIdx"):
+        run_grid(kernel, cfg, case.make_args())
+    # with it, the launch completes and the fault becomes a finding
+    ex = run_grid(kernel, cfg, case.make_args(), sanitize=True)
+    assert FindingKind.OOB_GLOBAL in ex.sanitizer.report.kinds()
+
+
+def test_shared_sanitizer_accumulates_across_launches():
+    case = VIOLATIONS["uninit_shared"]
+    report = sanitize_launch(
+        case.kernel(), case.grid, case.block, case.make_args()
+    )
+    again = sanitize_launch(
+        case.kernel(), case.grid, case.block, case.make_args(), report=report
+    )
+    assert again is report
+    f = report.by_kind(FindingKind.UNINIT_SHARED)[0]
+    assert report.count_of(f) >= 2  # same site, counted per occurrence
+
+
+def test_noop_rewrites_are_exempt():
+    """Blocks overwriting a cell with the value already present (the
+    replication pattern) must not race."""
+    from repro.frontend.parser import parse_kernel
+
+    k = parse_kernel("""
+__global__ void rewrite(float* y, int n) {
+    y[threadIdx.x] = 1.0f;
+}""")
+    # every block writes 1.0 to the same cells: replicated, benign
+    report = sanitize_launch(k, 4, 32, {"y": np.ones(32, np.float32), "n": 0})
+    assert report.clean, report.describe()
+
+
+# ---------------------------------------------------------------------------
+# runtime wiring
+# ---------------------------------------------------------------------------
+def _run_on_runtime(spec, sanitize):
+    rt = CuCCRuntime(make_cluster("simd-focused", 4), sanitize=sanitize)
+    for k, v in spec.arrays.items():
+        rt.memory.alloc(k, v.size, v.dtype)
+        rt.memory.memcpy_h2d(k, v)
+    compiled = rt.compile(spec.kernel)
+    record = rt.launch(compiled, spec.grid, spec.block, spec.args())
+    spec.verify({
+        o: rt.memory.memcpy_d2h(o, check_consistency=True)
+        for o in spec.outputs
+    })
+    return compiled, record
+
+
+def test_runtime_attaches_reports_and_keeps_times():
+    spec = CATALOG["FIR"]("small")
+    compiled_off, record_off = _run_on_runtime(spec, sanitize=False)
+    compiled_on, record_on = _run_on_runtime(spec, sanitize=True)
+    assert compiled_off.sanitizer_report is None
+    assert record_off.sanitizer_report is None
+    assert compiled_on.sanitizer_report.clean
+    assert record_on.sanitizer_report.clean
+    assert record_on.time == record_off.time
+
+
+def test_runtime_catches_non_replicated_launch():
+    case = VIOLATIONS["cross_block"]
+    rt = CuCCRuntime(make_cluster("simd-focused", 2), sanitize=True)
+    args = case.make_args()
+    for name, v in args.items():
+        if isinstance(v, np.ndarray):
+            rt.memory.alloc(name, v.size, v.dtype)
+            rt.memory.memcpy_h2d(name, v)
+    compiled = rt.compile(case.kernel())
+    assert FindingKind.NON_REPLICATED_WRITE in compiled.sanitizer_report.kinds()
+    record = rt.launch(
+        compiled, case.grid, case.block,
+        {n: (n if isinstance(v, np.ndarray) else v) for n, v in args.items()},
+    )
+    assert FindingKind.NON_REPLICATED_WRITE in record.sanitizer_report.kinds()
+
+
+def test_dynamic_sanitizer_shared_across_executors():
+    """One sanitizer fed by several executors keeps one set of shadows."""
+    case = VIOLATIONS["cross_block"]
+    kernel = case.kernel()
+    cfg = LaunchConfig.make(case.grid, case.block)
+    san = DynamicSanitizer(kernel.name)
+    run_grid(kernel, cfg, case.make_args(), sanitize=san)
+    run_grid(kernel, cfg, case.make_args(), sanitize=san)
+    assert FindingKind.NON_REPLICATED_WRITE in san.report.kinds()
