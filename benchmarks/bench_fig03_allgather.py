@@ -6,6 +6,7 @@ workload, parameters and modules behind this experiment.
 """
 
 from repro.bench import figures as F
+from repro.cluster.collectives import ALLGATHER_ALGOS
 
 
 def test_fig03_allgather(benchmark, emit):
@@ -13,3 +14,16 @@ def test_fig03_allgather(benchmark, emit):
         lambda: F.fig03_allgather(), rounds=1, iterations=1
     )
     emit(result, "fig03_allgather")
+
+
+def test_fig03_allgather_zoo(benchmark, emit):
+    """Per-algorithm crossover table over the fat-tree, plus the
+    functional gate: every zoo algorithm must gather byte-identical
+    buffers through the real communicator (the driver raises on any
+    mismatch, failing this test)."""
+    result = benchmark.pedantic(
+        lambda: F.fig03_allgather_zoo(), rounds=1, iterations=1
+    )
+    emit(result, "fig03_allgather_zoo")
+    assert result.data["verified_buckets"] > 0
+    assert set(result.data["winners"].values()) <= set(ALLGATHER_ALGOS)

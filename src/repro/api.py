@@ -19,7 +19,19 @@ from __future__ import annotations
 
 from repro.analysis import analyze_kernel, finalize_plan
 from repro.baselines import GPUDevice, PGASRuntime, SingleCPURuntime
-from repro.cluster import Cluster, FaultPlan, make_cluster
+from repro.cluster import (
+    ALLGATHER_ALGOS,
+    AllgatherAlgo,
+    Cluster,
+    FatTreeTopology,
+    FaultPlan,
+    FlatTopology,
+    RingTopology,
+    Topology,
+    TorusTopology,
+    make_cluster,
+    make_topology,
+)
 from repro.frontend import kernel, parse_cuda, parse_kernel, ptr
 from repro.hw import (
     A100,
@@ -41,6 +53,7 @@ from repro.sanitize import (
     sanitize_spec,
 )
 from repro.transform import analyze_vectorizability
+from repro.tuning import TuningCache, autotune, select_algorithm
 from repro.workloads import PERF_WORKLOADS
 
 #: alias matching the docstring's name
@@ -57,6 +70,11 @@ __all__ = [
     "LaunchRecord", "LaunchConfig", "OpCounters", "run_grid",
     # fault injection + recovery
     "FaultPlan", "RecoveryPolicy",
+    # collective engine: topologies, algorithm zoo, autotuning
+    "Topology", "FlatTopology", "FatTreeTopology", "RingTopology",
+    "TorusTopology", "make_topology",
+    "AllgatherAlgo", "ALLGATHER_ALGOS",
+    "TuningCache", "autotune", "select_algorithm",
     # sanitizer
     "sanitize_kernel", "sanitize_launch", "sanitize_spec",
     "SanitizerReport", "Finding", "FindingKind", "DynamicSanitizer",

@@ -34,6 +34,7 @@ from repro.analysis.distributable import KernelAnalysis, analyze_kernel, finaliz
 from repro.analysis.metadata import DistributionPlan
 from repro.baselines.pgas import PGAS_LOCAL_ACCESS_S
 from repro.cluster import collectives as coll
+from repro.cluster.topology import FlatTopology, Topology
 from repro.hw.cpu import CPUSpec
 from repro.hw.gpu import GPUSpec
 from repro.hw.perfmodel import DEFAULT_PARAMS, ModelParams, cpu_node_time, gpu_time
@@ -43,6 +44,7 @@ from repro.interp.grid import LaunchConfig
 from repro.interp.machine import BlockExecutor
 from repro.runtime.program import PhaseTimes
 from repro.transform.vectorize import analyze_vectorizability
+from repro.tuning.select import select_algorithm
 from repro.workloads import PERF_WORKLOADS
 from repro.workloads.base import WorkloadSpec
 
@@ -193,11 +195,24 @@ def model_cucc_time(
     num_nodes: int,
     simd_enabled: bool = True,
     params: ModelParams = DEFAULT_PARAMS,
+    topology: Topology | None = None,
+    allgather_algo: str = "auto",
+    tuning=None,
 ) -> PhaseTimes:
-    """Three-phase CuCC time on a cluster of ``num_nodes`` x ``node``."""
+    """Three-phase CuCC time on a cluster of ``num_nodes`` x ``node``.
+
+    Phase 2 is priced exactly the way the executing runtime prices it:
+    per written buffer, the ``allgather_algo`` (``"auto"`` resolves
+    through ``tuning`` and then the cost-model selector) runs over
+    ``topology`` — defaulting to the flat fabric ``network`` describes,
+    which is also the default :class:`~repro.cluster.cluster.Cluster`
+    topology, so model and runtime stay phase-for-phase identical.
+    """
     plan = make_plan(prof, num_nodes)
+    topo = topology or FlatTopology(num_nodes, network=network)
     partial = 0.0
     allgather = 0.0
+    algos: list[str] = []
     if not plan.replicated and plan.p_size > 0:
         # all nodes run equally-sized regular ranges; node 0 is representative
         counters = prof.counters_for_range(*_range_tuple(plan.node_blocks(0)))
@@ -212,7 +227,12 @@ def model_cucc_time(
         )
         for bp in plan.buffers:
             payload = plan.executed_blocks * bp.unit_elems * bp.elem_size
-            allgather += coll.allgather_inplace_cost(network, num_nodes, payload)
+            algo = allgather_algo
+            if algo == coll.AllgatherAlgo.AUTO.value:
+                algo = select_algorithm(topo, payload, cache=tuning)
+            if algo not in algos:
+                algos.append(algo)
+            allgather += coll.allgather_algo_cost(algo, topo, payload)
     cb = plan.callback_blocks
     callback = 0.0
     if len(cb) > 0:
@@ -231,6 +251,7 @@ def model_cucc_time(
         allgather=allgather,
         callback=callback,
         overhead=params.cpu_launch_overhead_s,
+        allgather_algo="+".join(algos) if algos else None,
     )
 
 

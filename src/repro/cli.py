@@ -5,6 +5,9 @@
                             --set n=1200         # + launch-time plan
     python -m repro analyze kernel.cu            # verdict table only
     python -m repro run FIR --cluster simd-focused --nodes 4
+    python -m repro tune --nodes 8 --topology fat-tree   # autotune Allgather
+    python -m repro run FIR --nodes 8 --topology fat-tree \\
+                            --tuning .repro-tuning.json  # use cached winners
     python -m repro sanitize FIR                 # static + dynamic sanitizer
     python -m repro sanitize kernel.cu           # static race detector
     python -m repro sanitize --all               # every bundled workload
@@ -131,8 +134,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.cluster.faults import FaultPlan
 
         fault_plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+    tuning = None
+    if args.tuning:
+        from repro.tuning import TuningCache
+
+        tuning = TuningCache.load(args.tuning)
+        print(f"loaded {tuning!r}")
     if args.platform == "cucc":
-        cluster = make_cluster(args.cluster, args.nodes)
+        cluster = make_cluster(
+            args.cluster, args.nodes, topology=args.topology, tuning=tuning
+        )
         res = run_on_cucc(spec, cluster, fault_plan=fault_plan)
         print(res.record.describe())
         print(res.record.plan.describe())
@@ -148,6 +159,39 @@ def _cmd_run(args: argparse.Namespace) -> int:
         gpu = GPUS[args.platform]
         t = run_on_gpu(spec, gpu)
         print(f"{gpu.name} time: {t * 1e3:.4f} ms (verified)")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Autotune the Allgather zoo on a simulated cluster and persist the
+    winners to a JSON tuning cache (hot-loaded by ``run --tuning``)."""
+    from repro.bench.harness import format_table
+    from repro.cluster import make_cluster
+    from repro.tuning import TuningCache, autotune
+
+    cache = TuningCache.load(args.cache)
+    loaded = len(cache)
+    cluster = make_cluster(args.cluster, args.nodes, topology=args.topology)
+    payloads = tuple(int(p) for p in args.payload) if args.payload else None
+    autotune(cluster, payloads=payloads, cache=cache)
+    topo = cluster.comm.topology
+    print(f"tuned {cluster.name} over topology {topo.describe()}")
+    rows = []
+    for key in sorted(cache.entries, key=lambda k: (k.rsplit("|b=", 1)[0],
+                                                    int(k.rsplit("=", 1)[1]))):
+        entry = cache.entries[key]
+        costs = entry.get("costs", {})
+        rows.append(
+            [
+                key,
+                entry["algo"],
+                "  ".join(f"{a}={v * 1e6:.2f}us" for a, v in costs.items()),
+            ]
+        )
+    print(format_table(["bucket", "winner", "modeled costs"], rows))
+    path = cache.save(args.cache)
+    fresh = len(cache) - loaded
+    print(f"wrote {len(cache)} entries ({fresh} new) to {path}")
     return 0
 
 
@@ -268,7 +312,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed for the fault plan's random choices")
+    p.add_argument("--topology", default=None,
+                   choices=("flat", "fat-tree", "ring", "torus"),
+                   help="network topology (default: flat alpha-beta fabric)")
+    p.add_argument("--tuning", metavar="PATH", default=None,
+                   help="JSON tuning cache consulted by the 'auto' "
+                        "Allgather (written by 'repro tune')")
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "tune",
+        help="autotune the Allgather zoo, persist winners to JSON",
+        description=(
+            "Benchmark every Allgather algorithm (ring, recursive "
+            "doubling, Bruck, hierarchical) through the real communicator "
+            "per payload bucket, verify they gather identical bytes, and "
+            "write the winners to a tuning cache that 'run --tuning' and "
+            "the 'auto' algorithm resolution hot-load."
+        ),
+    )
+    p.add_argument("--cluster", default="simd-focused",
+                   choices=("simd-focused", "thread-focused"))
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--topology", default=None,
+                   choices=("flat", "fat-tree", "ring", "torus"),
+                   help="network topology (default: flat alpha-beta fabric)")
+    p.add_argument("--payload", action="append", metavar="BYTES",
+                   help="total Allgather bytes to tune (repeatable; "
+                        "default: 1 KiB .. 4 MiB sweep)")
+    p.add_argument("--cache", metavar="PATH", default=".repro-tuning.json",
+                   help="tuning-cache file to merge into (default: "
+                        "%(default)s)")
+    p.set_defaults(fn=_cmd_tune)
 
     p = sub.add_parser(
         "sanitize",

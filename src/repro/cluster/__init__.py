@@ -20,7 +20,17 @@ from repro.cluster.faults import (
 )
 from repro.cluster.node import Node
 from repro.cluster.simtime import SimClock
-from repro.cluster import collectives, faults
+from repro.cluster.topology import (
+    FatTreeTopology,
+    FlatTopology,
+    RingTopology,
+    Topology,
+    TorusTopology,
+    TOPOLOGY_KINDS,
+    make_topology,
+)
+from repro.cluster.collectives import ALLGATHER_ALGOS, AllgatherAlgo
+from repro.cluster import collectives, faults, topology
 
 __all__ = [
     "Cluster",
@@ -30,6 +40,16 @@ __all__ = [
     "SimClock",
     "collectives",
     "faults",
+    "topology",
+    "Topology",
+    "FlatTopology",
+    "FatTreeTopology",
+    "RingTopology",
+    "TorusTopology",
+    "TOPOLOGY_KINDS",
+    "make_topology",
+    "AllgatherAlgo",
+    "ALLGATHER_ALGOS",
     "FaultPlan",
     "FaultInjector",
     "FaultEvent",

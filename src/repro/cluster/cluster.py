@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.cluster.comm import Communicator
 from repro.cluster.node import Node
+from repro.cluster.topology import Topology, make_topology
 from repro.errors import ClusterError
 from repro.hw.cpu import CPUSpec
 from repro.hw.specs import CLUSTERS, CPU_NODES, INFINIBAND_100G, NetworkSpec
@@ -25,14 +26,20 @@ class Cluster:
         num_nodes: int,
         network: NetworkSpec = INFINIBAND_100G,
         name: str | None = None,
+        topology: Topology | str | None = None,
+        tuning=None,
     ):
         if num_nodes < 1:
             raise ClusterError(f"cluster needs >= 1 node, got {num_nodes}")
         self.name = name or f"{num_nodes}x {node_spec.name}"
         self.node_spec = node_spec
         self.network = network
+        if isinstance(topology, str):
+            topology = make_topology(topology, num_nodes, network=network)
         self.nodes = [Node(r, node_spec) for r in range(num_nodes)]
-        self.comm = Communicator(self.nodes, network)
+        self.comm = Communicator(
+            self.nodes, network, topology=topology, tuning=tuning
+        )
 
     @property
     def num_nodes(self) -> int:
@@ -74,7 +81,16 @@ class Cluster:
             n.rank = i
         self.nodes = survivors
         old = self.comm
-        self.comm = Communicator(survivors, self.network, injector=old.injector)
+        # topology describes physical positions, which survivors keep
+        # (born ranks) — it is carried over unchanged, as is the tuning
+        # cache
+        self.comm = Communicator(
+            survivors,
+            self.network,
+            injector=old.injector,
+            topology=old.topology,
+            tuning=old.tuning,
+        )
         self.comm.comm_seconds = old.comm_seconds
         self.comm.comm_bytes = old.comm_bytes
         return dead
@@ -97,6 +113,8 @@ def make_cluster(
     num_nodes: int,
     cores_per_node: int | None = None,
     network: NetworkSpec | None = None,
+    topology: Topology | str | None = None,
+    tuning=None,
 ) -> Cluster:
     """Build one of the paper's clusters by name.
 
@@ -104,6 +122,9 @@ def make_cluster(
     ``cores_per_node`` optionally caps each node's core count (the
     section 8.2 experiment caps the Thread-Focused node at 64 cores).
     ``num_nodes`` may not exceed the physical cluster size.
+    ``topology`` is a :class:`~repro.cluster.topology.Topology` or a kind
+    name (``"flat"``, ``"fat-tree"``, ``"ring"``, ``"torus"``); ``tuning``
+    an optional :class:`repro.tuning.TuningCache`.
     """
     key = kind.lower()
     if key not in CLUSTERS:
@@ -124,4 +145,6 @@ def make_cluster(
         num_nodes,
         network=network or spec.network,
         name=f"{spec.name} x{num_nodes}",
+        topology=topology,
+        tuning=tuning,
     )

@@ -1,18 +1,39 @@
-"""Collective algorithms and their cost models.
+"""Collective algorithms: the Allgather zoo, schedules, and cost models.
 
-Costs follow the classic alpha-beta (Hockney) model on the ring
-algorithm, which is what MPI implementations select for large-payload
-Allgather.  The three Allgather variants of the paper's section 2.3 are
-modeled:
+Costs follow the classic alpha-beta (Hockney) model.  The seed modeled
+exactly one algorithm — the large-payload ring — over a flat network;
+real MPI/NCCL stacks select among several algorithms per (payload,
+node count, topology) point, which is what this module now provides.
 
-* **balanced in-place** — each node contributes an equal slice that is
-  already resident at its final offset: ``(N-1) * (alpha + S/(N*beta))``
-  for total payload ``S``;
-* **balanced out-of-place** — same wire traffic plus a local copy of the
-  node's own slice from the input buffer to the output buffer, and 2x
-  memory footprint;
-* **imbalanced** — ring steps are paced by the largest contribution:
-  ``(N-1) * (alpha + max_i(S_i)/beta)``.
+**The algorithm zoo.**  Every Allgather algorithm is expressed as a
+*schedule*: an ordered list of rounds, each round a list of concurrent
+``(src_rank, dst_rank, block_indices)`` sends, where block ``b`` is rank
+``b``'s contribution.  The same schedule drives both the functional data
+movement in :class:`~repro.cluster.comm.Communicator` (bit-identical
+final buffers for every algorithm) and the cost model (each round priced
+by the actual links it crosses via
+:meth:`repro.cluster.topology.Topology.round_cost`):
+
+* **ring** — ``n-1`` neighbour rounds, one block per rank per round:
+  ``(n-1) * (alpha + S/(n*beta))`` on a flat fabric (the seed's model);
+* **recursive_doubling** — partners at distance ``2^k`` exchange their
+  accumulated halves; ``log2 n`` rounds for power-of-two ``n`` plus a
+  dissemination fix-up otherwise;
+* **bruck** — dissemination: rank ``r`` receives everything rank
+  ``(r + 2^k) mod n`` holds; always ``ceil(log2 n)`` rounds;
+* **hierarchical** — gather within each topology group (leaf switch)
+  by a ring, exchange whole group slabs across group leaders, then fan
+  out inside each group; minimises spine crossings on fat-trees.
+
+Every schedule sends a block to a rank only while that rank is still
+missing it, so all algorithms move exactly ``n*(n-1)`` block copies and
+end with identical buffers; only their round structure — and therefore
+their modeled cost on a given topology — differs.
+
+The three Allgather *variants* of the paper's section 2.3 (balanced
+in-place / out-of-place / imbalanced) are still modeled on top of
+whichever algorithm is chosen; the legacy ring-only cost entry points
+are kept unchanged.
 
 These functions return *durations*; actual inter-node data movement is
 performed by the :class:`~repro.cluster.comm.Communicator`.
@@ -20,9 +41,19 @@ performed by the :class:`~repro.cluster.comm.Communicator`.
 
 from __future__ import annotations
 
+from enum import Enum
+from functools import lru_cache
+
+from repro.cluster.topology import FlatTopology, Topology
+from repro.errors import ClusterError
 from repro.hw.specs import NetworkSpec
 
 __all__ = [
+    "AllgatherAlgo",
+    "ALLGATHER_ALGOS",
+    "allgather_schedule",
+    "schedule_cost",
+    "allgather_algo_cost",
     "allgather_inplace_cost",
     "allgather_outofplace_cost",
     "allgather_imbalanced_cost",
@@ -33,6 +64,258 @@ __all__ = [
     "ptp_cost",
     "rma_cost",
 ]
+
+
+class AllgatherAlgo(str, Enum):
+    """Zoo members, plus the ``auto`` sentinel resolved by the selector
+    (:func:`repro.tuning.select_algorithm`)."""
+
+    RING = "ring"
+    RECURSIVE_DOUBLING = "recursive_doubling"
+    BRUCK = "bruck"
+    HIERARCHICAL = "hierarchical"
+    AUTO = "auto"
+
+
+#: concrete zoo members, in deterministic tie-break order (the selector
+#: prefers earlier entries on equal cost, so a flat fabric keeps the
+#: seed's ring whenever nothing beats it)
+ALLGATHER_ALGOS = (
+    AllgatherAlgo.RING.value,
+    AllgatherAlgo.RECURSIVE_DOUBLING.value,
+    AllgatherAlgo.BRUCK.value,
+    AllgatherAlgo.HIERARCHICAL.value,
+)
+
+
+# ---------------------------------------------------------------------------
+# schedules
+# ---------------------------------------------------------------------------
+Round = tuple[tuple[int, int, tuple[int, ...]], ...]
+
+
+def _ring_rounds(n: int, order: tuple[int, ...]) -> list[Round]:
+    """Ring over ``order`` (a cycle of ranks), each rank contributing its
+    own block: round ``s`` forwards the block received ``s-1`` rounds ago
+    to the next rank on the cycle."""
+    k = len(order)
+    rounds: list[Round] = []
+    for s in range(1, k):
+        sends = []
+        for i, r in enumerate(order):
+            blk = order[(i - s + 1) % k]
+            sends.append((r, order[(i + 1) % k], (blk,)))
+        rounds.append(tuple(sends))
+    return rounds
+
+
+def _schedule_ring(n: int, groups: tuple[tuple[int, ...], ...]) -> list[Round]:
+    return _ring_rounds(n, tuple(range(n)))
+
+
+def _schedule_recursive_doubling(
+    n: int, groups: tuple[tuple[int, ...], ...]
+) -> list[Round]:
+    held = [{r} for r in range(n)]
+    rounds: list[Round] = []
+    dist = 1
+    while dist < n:
+        sends = []
+        for r in range(n):
+            p = r ^ dist
+            if p >= n or p < r:
+                continue
+            fwd = tuple(sorted(held[r] - held[p]))
+            back = tuple(sorted(held[p] - held[r]))
+            if fwd:
+                sends.append((r, p, fwd))
+            if back:
+                sends.append((p, r, back))
+        for src, dst, blocks in sends:
+            held[dst].update(blocks)
+        if sends:
+            rounds.append(tuple(sends))
+        dist <<= 1
+    # non-power-of-two remainder: dissemination fix-up rounds until every
+    # rank holds every block (completes within ceil(log2 n) extra rounds)
+    dist = 1
+    while any(len(h) < n for h in held):
+        sends = []
+        for r in range(n):
+            src = (r + dist) % n
+            missing = tuple(sorted(held[src] - held[r]))
+            if missing:
+                sends.append((src, r, missing))
+        for src, dst, blocks in sends:
+            held[dst].update(blocks)
+        rounds.append(tuple(sends))
+        dist <<= 1
+    return rounds
+
+
+def _schedule_bruck(n: int, groups: tuple[tuple[int, ...], ...]) -> list[Round]:
+    held = [{r} for r in range(n)]
+    rounds: list[Round] = []
+    dist = 1
+    while dist < n:
+        sends = []
+        for r in range(n):
+            src = (r + dist) % n
+            missing = tuple(sorted(held[src] - held[r]))
+            if missing:
+                sends.append((src, r, missing))
+        for src, dst, blocks in sends:
+            held[dst].update(blocks)
+        rounds.append(tuple(sends))
+        dist <<= 1
+    return rounds
+
+
+def _schedule_hierarchical(
+    n: int, groups: tuple[tuple[int, ...], ...]
+) -> list[Round]:
+    """Two-level: ring inside each group, slab exchange across leaders,
+    fan-out to members.  Degenerates to the plain ring when the topology
+    is one flat group."""
+    groups = tuple(tuple(g) for g in groups if g)
+    if sum(len(g) for g in groups) != n or sorted(
+        r for g in groups for r in g
+    ) != list(range(n)):
+        raise ClusterError(f"groups {groups} do not partition {n} ranks")
+    if len(groups) == 1:
+        return _schedule_ring(n, groups)
+    rounds: list[Round] = []
+    # phase A: intra-group rings, all groups in parallel
+    per_group = [_ring_rounds(n, g) for g in groups]
+    for s in range(max(len(pg) for pg in per_group)):
+        sends = tuple(
+            send for pg in per_group if s < len(pg) for send in pg[s]
+        )
+        if sends:
+            rounds.append(sends)
+    # phase B: ring across group leaders, each carrying whole group slabs
+    leaders = [g[0] for g in groups]
+    ng = len(groups)
+    for s in range(1, ng):
+        sends = []
+        for i in range(ng):
+            slab = groups[(i - s + 1) % ng]
+            sends.append((leaders[i], leaders[(i + 1) % ng], tuple(slab)))
+        rounds.append(tuple(sends))
+    # phase C: binomial fan-out of the remote slabs inside each group —
+    # members that already received forward in parallel with the leader
+    remote = [
+        tuple(sorted(set(range(n)) - set(g))) for g in groups
+    ]
+    covered = [1 for _ in groups]  # members holding the remote slabs
+    while any(c < len(g) for c, g in zip(covered, groups)):
+        sends = []
+        for i, g in enumerate(groups):
+            c = covered[i]
+            fan = min(c, len(g) - c)
+            for j in range(fan):
+                sends.append((g[j], g[c + j], remote[i]))
+            covered[i] = c + fan
+        rounds.append(tuple(sends))
+    return rounds
+
+
+_SCHEDULES = {
+    AllgatherAlgo.RING.value: _schedule_ring,
+    AllgatherAlgo.RECURSIVE_DOUBLING.value: _schedule_recursive_doubling,
+    AllgatherAlgo.BRUCK.value: _schedule_bruck,
+    AllgatherAlgo.HIERARCHICAL.value: _schedule_hierarchical,
+}
+
+
+@lru_cache(maxsize=512)
+def allgather_schedule(
+    algo: str, n: int, groups: tuple[tuple[int, ...], ...] | None = None
+) -> tuple[Round, ...]:
+    """The data-movement schedule of ``algo`` over ``n`` ranks.
+
+    ``groups`` (defaults to one flat group) are the topology's locality
+    domains, expressed in *rank* space; only the hierarchical algorithm
+    reads them.  The result is memoised — schedules depend only on
+    ``(algo, n, groups)``.
+    """
+    if algo not in _SCHEDULES:
+        raise ClusterError(
+            f"unknown allgather algorithm {algo!r}; choose from "
+            f"{ALLGATHER_ALGOS} or 'auto'"
+        )
+    if n <= 1:
+        return ()
+    if groups is None:
+        groups = (tuple(range(n)),)
+    return tuple(_SCHEDULES[algo](n, groups))
+
+
+def rank_groups(
+    topo: Topology, positions: tuple[int, ...]
+) -> tuple[tuple[int, ...], ...]:
+    """Project the topology's physical locality domains onto current
+    ranks: rank ``i`` sits at physical position ``positions[i]`` (born
+    rank), which matters after shrink-recovery removed nodes."""
+    by_pos = {p: i for i, p in enumerate(positions)}
+    out = []
+    for g in topo.groups():
+        members = tuple(by_pos[p] for p in g if p in by_pos)
+        if members:
+            out.append(members)
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# schedule pricing
+# ---------------------------------------------------------------------------
+def schedule_cost(
+    topo: Topology,
+    rounds: tuple[Round, ...],
+    block_bytes: list[float],
+    positions: tuple[int, ...] | None = None,
+) -> float:
+    """Modeled duration of a schedule: rounds execute back to back, each
+    priced by the topology (including any link contention) over the
+    physical positions its messages actually cross."""
+    if positions is None:
+        positions = tuple(range(len(block_bytes)))
+    total = 0.0
+    for sends in rounds:
+        if not sends:
+            continue
+        priced = [
+            (
+                positions[src],
+                positions[dst],
+                float(sum(block_bytes[b] for b in blocks)),
+            )
+            for src, dst, blocks in sends
+        ]
+        total += topo.round_cost(priced)
+    return total
+
+
+def allgather_algo_cost(
+    algo: str,
+    topo: Topology,
+    total_bytes: float,
+    positions: tuple[int, ...] | None = None,
+) -> float:
+    """Balanced Allgather cost of one zoo algorithm on a topology.
+
+    ``positions`` maps current ranks to physical positions (defaults to
+    the identity over the whole topology).  For the ring on a flat
+    topology this reproduces :func:`allgather_inplace_cost` exactly.
+    """
+    if positions is None:
+        positions = tuple(range(topo.num_nodes))
+    n = len(positions)
+    if n <= 1 or total_bytes <= 0:
+        return 0.0
+    rounds = allgather_schedule(algo, n, rank_groups(topo, positions))
+    per_block = total_bytes / n
+    return schedule_cost(topo, rounds, [per_block] * n, positions)
 
 
 def ptp_cost(net: NetworkSpec, nbytes: float) -> float:

@@ -15,6 +15,7 @@ import numpy as np
 from repro.cluster import collectives as coll
 from repro.cluster.faults import CorruptionFault, FaultInjector, TransientFault
 from repro.cluster.node import Node
+from repro.cluster.topology import FlatTopology, Topology
 from repro.errors import ClusterError, CollectiveTimeout, DataCorruptionError, NodeFailure
 from repro.hw.specs import NetworkSpec
 
@@ -31,6 +32,14 @@ class Communicator:
     :class:`~repro.errors.CollectiveTimeout` and
     :class:`~repro.errors.DataCorruptionError`.  Without an injector
     (the default) no hook runs and behaviour is exactly fault-free.
+
+    The Allgather variants accept an ``algo`` parameter naming a zoo
+    member (see :data:`repro.cluster.collectives.ALLGATHER_ALGOS`) or
+    ``"auto"`` (default), which resolves through the tuning cache when
+    one is attached and otherwise through the cost-model selector over
+    the communicator's :class:`~repro.cluster.topology.Topology`.  Every
+    algorithm moves bytes through the same schedule machinery and ends
+    with bit-identical buffers; only the modeled duration differs.
     """
 
     def __init__(
@@ -38,12 +47,26 @@ class Communicator:
         nodes: list[Node],
         network: NetworkSpec,
         injector: FaultInjector | None = None,
+        topology: Topology | None = None,
+        tuning=None,
     ):
         if not nodes:
             raise ClusterError("communicator needs at least one node")
         self.nodes = nodes
         self.network = network
         self.injector = injector
+        #: network topology used for schedule pricing and auto-selection;
+        #: defaults to the flat fabric the NetworkSpec describes
+        self.topology = topology or FlatTopology(len(nodes), network=network)
+        if self.topology.num_nodes < len(nodes):
+            raise ClusterError(
+                f"topology has {self.topology.num_nodes} positions for "
+                f"{len(nodes)} nodes"
+            )
+        #: optional :class:`repro.tuning.TuningCache` consulted by "auto"
+        self.tuning = tuning
+        #: algorithm chosen by the most recent Allgather call
+        self.last_algorithm: str | None = None
         #: cumulative modeled seconds spent in communication (all ops)
         self.comm_seconds = 0.0
         #: cumulative payload bytes moved between nodes
@@ -52,6 +75,76 @@ class Communicator:
     @property
     def size(self) -> int:
         return len(self.nodes)
+
+    def _positions(self) -> tuple[int, ...]:
+        """Physical network positions of the current ranks (born ranks —
+        stable across shrink-recovery re-ranking)."""
+        return tuple(n.born_rank for n in self.nodes)
+
+    def _resolve_algo(self, algo: str, total_bytes: float) -> str:
+        """Map an ``algo`` argument to a concrete zoo member."""
+        if isinstance(algo, coll.AllgatherAlgo):
+            algo = algo.value
+        if algo == coll.AllgatherAlgo.AUTO.value:
+            if self.size <= 1:
+                return coll.AllgatherAlgo.RING.value
+            from repro.tuning.select import select_algorithm
+
+            return select_algorithm(
+                self.topology,
+                total_bytes,
+                positions=self._positions(),
+                cache=self.tuning,
+            )
+        if algo not in coll.ALLGATHER_ALGOS:
+            raise ClusterError(
+                f"unknown allgather algorithm {algo!r}; choose from "
+                f"{coll.ALLGATHER_ALGOS} or 'auto'"
+            )
+        return algo
+
+    def _move_blocks(
+        self,
+        buffer: str,
+        rounds,
+        bounds: list[tuple[int, int]],
+        corrupt_src: int | None,
+    ) -> int:
+        """Apply an Allgather schedule to every node's replica of
+        ``buffer``; block ``b`` lives at element range ``bounds[b]``.
+
+        Zero-length blocks are per-rank no-ops.  When ``corrupt_src`` is
+        set, every copy of that rank's block *sent by the rank itself*
+        carries the same corrupted bytes (one RNG draw); forwarding then
+        propagates the corruption naturally while the source replica
+        stays intact.  Returns the payload bytes moved.
+        """
+        total = 0
+        corrupted = None
+        for sends in rounds:
+            for src_r, dst_r, blocks in sends:
+                src_buf = self.nodes[src_r].buffer(buffer)
+                dst_buf = self.nodes[dst_r].buffer(buffer)
+                for b in blocks:
+                    lo, hi = bounds[b]
+                    if lo == hi:
+                        continue
+                    chunk = src_buf[lo:hi]
+                    if b == corrupt_src and src_r == corrupt_src:
+                        if corrupted is None:
+                            corrupted = self.injector.corrupt(chunk)
+                        chunk = corrupted
+                    dst_buf[lo:hi] = chunk
+                    total += chunk.nbytes
+        return total
+
+    def _schedule(self, algo_name: str):
+        """(rounds, positions) of ``algo_name`` over the current ranks."""
+        positions = self._positions()
+        rounds = coll.allgather_schedule(
+            algo_name, self.size, coll.rank_groups(self.topology, positions)
+        )
+        return rounds, positions
 
     # -- clock helpers ---------------------------------------------------
     def _sync_start(self) -> float:
@@ -97,7 +190,9 @@ class Communicator:
         start = self._sync_start()
         self._finish(start, coll.barrier_cost(self.network, self.size))
 
-    def allgather_in_place(self, buffer: str, base: int, per_rank: int) -> float:
+    def allgather_in_place(
+        self, buffer: str, base: int, per_rank: int, algo: str = "auto"
+    ) -> float:
         """Balanced in-place Allgather (the paper's phase 2).
 
         Rank ``r`` owns elements ``[base + r*per_rank, base + (r+1)*per_rank)``
@@ -111,6 +206,21 @@ class Communicator:
             # clock synchronization (MPI implementations short-circuit
             # zero-byte collectives the same way)
             return 0.0
+        bounds: list[tuple[int, int]] = []
+        for r, node in enumerate(self.nodes):
+            lo = base + r * per_rank
+            hi = lo + per_rank
+            length = node.buffer(buffer).shape[0]
+            if lo < 0 or hi > length:
+                raise ClusterError(
+                    f"allgather slice [{lo}:{hi}) out of range for "
+                    f"{buffer!r} (len {length})"
+                )
+            bounds.append((lo, hi))
+        itemsize = self.nodes[0].buffer(buffer).itemsize
+        block_bytes = itemsize * per_rank
+        algo_name = self._resolve_algo(algo, block_bytes * self.size)
+        self.last_algorithm = algo_name
         fault = self._guard("allgather")
         corrupt_rank = fault.rank if isinstance(fault, CorruptionFault) else None
         if corrupt_rank is not None and (
@@ -118,29 +228,21 @@ class Communicator:
             or not any(n.born_rank == corrupt_rank for n in self.nodes)
         ):
             corrupt_rank = None  # no in-flight copy exists to corrupt
+        corrupt_src = None
+        if corrupt_rank is not None:
+            corrupt_src = next(
+                i for i, n in enumerate(self.nodes)
+                if n.born_rank == corrupt_rank
+            )
         start = self._sync_start()
         total_bytes = 0
+        duration = 0.0
         if self.size > 1:
-            for r, src_node in enumerate(self.nodes):
-                src = src_node.buffer(buffer)
-                lo = base + r * per_rank
-                hi = lo + per_rank
-                if lo < 0 or hi > src.shape[0]:
-                    raise ClusterError(
-                        f"allgather slice [{lo}:{hi}) out of range for "
-                        f"{buffer!r} (len {src.shape[0]})"
-                    )
-                chunk = src[lo:hi]
-                if corrupt_rank is not None and src_node.born_rank == corrupt_rank:
-                    # corrupted in flight: destinations receive flipped
-                    # bits, the source replica stays intact
-                    chunk = self.injector.corrupt(chunk)
-                total_bytes += chunk.nbytes * (self.size - 1)
-                for dst_node in self.nodes:
-                    if dst_node is not src_node:
-                        dst_node.buffer(buffer)[lo:hi] = chunk
-        payload = self.nodes[0].buffer(buffer).itemsize * per_rank * self.size
-        duration = coll.allgather_inplace_cost(self.network, self.size, payload)
+            rounds, positions = self._schedule(algo_name)
+            total_bytes = self._move_blocks(buffer, rounds, bounds, corrupt_src)
+            duration = coll.schedule_cost(
+                self.topology, rounds, [block_bytes] * self.size, positions
+            )
         self.comm_bytes += total_bytes
         self._finish(start, duration)
         if corrupt_rank is not None:
@@ -152,53 +254,92 @@ class Communicator:
         return duration
 
     def allgather_out_of_place(
-        self, src_buffer: str, dst_buffer: str, per_rank: int, copy_GBs: float
+        self,
+        src_buffer: str,
+        dst_buffer: str,
+        per_rank: int,
+        copy_GBs: float,
+        algo: str = "auto",
     ) -> float:
         """Out-of-place Allgather: rank r's ``src_buffer[:per_rank]`` lands
         at ``dst_buffer[r*per_rank:]`` on every node (section 2.3's costlier
         variant — used by the Allgather micro-benchmark)."""
+        if per_rank < 0:
+            raise ClusterError(f"negative per-rank extent {per_rank}")
+        itemsize = self.nodes[0].buffer(src_buffer).itemsize
+        block_bytes = itemsize * per_rank
+        algo_name = self._resolve_algo(algo, block_bytes * self.size)
+        self.last_algorithm = algo_name
         self._guard("allgather-oop")
         start = self._sync_start()
         total_bytes = 0
+        duration = 0.0
         if per_rank > 0:
-            for r, src_node in enumerate(self.nodes):
-                chunk = src_node.buffer(src_buffer)[:per_rank]
+            bounds: list[tuple[int, int]] = []
+            for r, node in enumerate(self.nodes):
                 lo = r * per_rank
-                for dst_node in self.nodes:
-                    dst_node.buffer(dst_buffer)[lo : lo + per_rank] = chunk
-                    if dst_node is not src_node:
-                        total_bytes += chunk.nbytes
-        payload = self.nodes[0].buffer(src_buffer).itemsize * per_rank * self.size
-        duration = coll.allgather_outofplace_cost(
-            self.network, self.size, payload, copy_GBs
-        )
+                hi = lo + per_rank
+                src = node.buffer(src_buffer)
+                dst = node.buffer(dst_buffer)
+                if per_rank > src.shape[0] or hi > dst.shape[0]:
+                    raise ClusterError(
+                        f"allgather-oop slice [{lo}:{hi}) out of range for "
+                        f"{dst_buffer!r} (src len {src.shape[0]}, dst len "
+                        f"{dst.shape[0]})"
+                    )
+                # local phase: every rank's own slice moves into place
+                dst[lo:hi] = src[:per_rank]
+                bounds.append((lo, hi))
+            if self.size > 1:
+                rounds, positions = self._schedule(algo_name)
+                total_bytes = self._move_blocks(dst_buffer, rounds, bounds, None)
+                duration = coll.schedule_cost(
+                    self.topology, rounds, [block_bytes] * self.size, positions
+                )
+                # the input->output copy is what makes this variant
+                # costlier than the in-place one (section 2.3)
+                duration += 2.0 * block_bytes / (copy_GBs * 1e9)
         self.comm_bytes += total_bytes
         self._finish(start, duration)
         return duration
 
     def allgatherv_in_place(
-        self, buffer: str, base: int, counts: list[int]
+        self, buffer: str, base: int, counts: list[int], algo: str = "auto"
     ) -> float:
         """Imbalanced (v-variant) in-place Allgather: rank r contributes
-        ``counts[r]`` elements at its running offset."""
+        ``counts[r]`` elements at its running offset.  Zero-length
+        contributions are per-rank no-ops."""
         if len(counts) != self.size:
             raise ClusterError("counts must have one entry per rank")
+        counts = [int(c) for c in counts]
+        if any(c < 0 for c in counts):
+            raise ClusterError(f"negative contribution in counts {counts}")
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        bounds: list[tuple[int, int]] = []
+        for r, node in enumerate(self.nodes):
+            lo = base + int(offsets[r])
+            hi = lo + counts[r]
+            length = node.buffer(buffer).shape[0]
+            if counts[r] and (lo < 0 or hi > length):
+                raise ClusterError(
+                    f"allgatherv slice [{lo}:{hi}) out of range for "
+                    f"{buffer!r} (len {length})"
+                )
+            bounds.append((lo, hi))
+        itemsize = self.nodes[0].buffer(buffer).itemsize
+        byte_counts = [c * itemsize for c in counts]
+        algo_name = self._resolve_algo(algo, float(sum(byte_counts)))
+        self.last_algorithm = algo_name
         self._guard("allgatherv")
         start = self._sync_start()
-        offsets = np.concatenate([[0], np.cumsum(counts)])
         total_bytes = 0
-        itemsize = self.nodes[0].buffer(buffer).itemsize
-        for r, src_node in enumerate(self.nodes):
-            lo = base + int(offsets[r])
-            hi = lo + int(counts[r])
-            chunk = src_node.buffer(buffer)[lo:hi]
-            total_bytes += chunk.nbytes * (self.size - 1)
-            for dst_node in self.nodes:
-                if dst_node is not src_node:
-                    dst_node.buffer(buffer)[lo:hi] = chunk
-        duration = coll.allgather_imbalanced_cost(
-            self.network, [c * itemsize for c in counts]
-        )
+        duration = 0.0
+        if self.size > 1 and sum(byte_counts) > 0:
+            rounds, positions = self._schedule(algo_name)
+            total_bytes = self._move_blocks(buffer, rounds, bounds, None)
+            duration = coll.schedule_cost(
+                self.topology, rounds, byte_counts, positions
+            )
         self.comm_bytes += total_bytes
         self._finish(start, duration)
         return duration

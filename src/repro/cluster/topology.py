@@ -1,0 +1,326 @@
+"""Hierarchical network topologies for the simulated cluster.
+
+The flat alpha-beta :class:`~repro.hw.specs.NetworkSpec` prices every
+pair of nodes identically, which is what the seed's ring-only cost model
+assumed.  Real clusters are not flat: the paper's 32-node SIMD-Focused
+partition is a two-level InfiniBand fat-tree (cheap intra-switch links,
+a shared spine between leaf switches), and the 4-node EPYC cluster is
+effectively a single switch.  Collective-algorithm choice depends on
+that structure — a ring only ever crosses neighbour links, recursive
+doubling crosses the spine with its largest payloads, a hierarchical
+allgather confines almost all traffic inside the leaf switches.
+
+A :class:`Topology` therefore answers three questions the collective
+engine asks:
+
+* :meth:`~Topology.link` — the (alpha, beta) pair a message between two
+  *physical positions* crosses (multi-hop paths fold the per-hop latency
+  into alpha and divide beta);
+* :meth:`~Topology.groups` — the locality domains (leaf switches) that
+  the hierarchical algorithm gathers within before exchanging across;
+* :meth:`~Topology.round_cost` — the modeled duration of one schedule
+  round, where a topology may model *contention*: a leaf switch's uplink
+  is shared, so many concurrent inter-switch senders from the same
+  switch serialize on it (this is why hierarchical beats recursive
+  doubling on oversubscribed fat-trees at large payloads).
+
+Positions are *born ranks*: after shrink-and-repartition recovery the
+surviving nodes keep their physical place in the network, so link
+pricing keeps using the positions they were born at.
+
+All topologies are frozen (hashable) dataclasses, so schedules and costs
+can be memoised per (algorithm, size, topology) point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClusterError
+from repro.hw.specs import NetworkSpec
+
+__all__ = [
+    "Topology",
+    "FlatTopology",
+    "FatTreeTopology",
+    "RingTopology",
+    "TorusTopology",
+    "make_topology",
+    "fat_tree_from_network",
+    "TOPOLOGY_KINDS",
+]
+
+#: CLI-facing topology kinds accepted by :func:`make_topology`.
+TOPOLOGY_KINDS = ("flat", "fat-tree", "ring", "torus")
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Base class: a network over ``num_nodes`` physical positions.
+
+    Subclasses define :meth:`link`; the default :meth:`groups` is one
+    flat domain and the default :meth:`round_cost` is the classic
+    alpha-beta maximum over a round's concurrent messages.
+    """
+
+    num_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ClusterError(
+                f"topology needs >= 1 node, got {self.num_nodes}"
+            )
+
+    # -- structure ------------------------------------------------------
+    def link(self, src: int, dst: int) -> tuple[float, float]:
+        """(alpha_s, beta_bytes_per_s) of the path ``src -> dst``."""
+        raise NotImplementedError
+
+    def groups(self) -> tuple[tuple[int, ...], ...]:
+        """Locality domains (physical positions) for the hierarchical
+        algorithm; one flat domain unless the topology has structure."""
+        return (tuple(range(self.num_nodes)),)
+
+    # -- pricing --------------------------------------------------------
+    def round_cost(self, sends: list[tuple[int, int, float]]) -> float:
+        """Duration of one schedule round: ``sends`` are concurrent
+        ``(src_pos, dst_pos, nbytes)`` messages; the round finishes when
+        the slowest message does."""
+        worst = 0.0
+        for src, dst, nbytes in sends:
+            alpha, beta = self.link(src, dst)
+            worst = max(worst, alpha + nbytes / beta)
+        return worst
+
+    @property
+    def signature(self) -> str:
+        """Stable identity used as a tuning-cache key component."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.signature
+
+
+@dataclass(frozen=True)
+class FlatTopology(Topology):
+    """Every pair of nodes sees the same alpha-beta link — the seed's
+    :class:`~repro.hw.specs.NetworkSpec` behaviour, unchanged."""
+
+    network: NetworkSpec = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.network is None:
+            raise ClusterError("FlatTopology needs a NetworkSpec")
+
+    def link(self, src: int, dst: int) -> tuple[float, float]:
+        return self.network.alpha_s, self.network.beta_bytes_per_s
+
+    @property
+    def signature(self) -> str:
+        n = self.network
+        return f"flat(a={n.alpha_s:g},b={n.beta_GBs:g})"
+
+
+@dataclass(frozen=True)
+class FatTreeTopology(Topology):
+    """Two-level fat-tree: leaf switches of ``nodes_per_switch`` ports
+    with an (intra_alpha, intra_beta) pair inside a switch and an
+    (inter_alpha, inter_beta) pair across the spine.
+
+    ``uplinks`` models oversubscription: concurrent inter-switch senders
+    hanging off the same leaf switch share its uplinks, so a round with
+    ``c`` such senders sees its spine bandwidth divided by
+    ``ceil(c / uplinks)``.  This is the property that makes the
+    gather-within-switch-then-exchange hierarchical allgather the right
+    algorithm at scale.
+    """
+
+    nodes_per_switch: int = 1
+    intra_alpha_s: float = 1.0e-6
+    intra_beta_GBs: float = 12.0
+    inter_alpha_s: float = 2.0e-6
+    inter_beta_GBs: float = 11.0
+    uplinks: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.nodes_per_switch < 1:
+            raise ClusterError(
+                f"fat-tree needs >= 1 node per switch, got "
+                f"{self.nodes_per_switch}"
+            )
+        if self.uplinks < 1:
+            raise ClusterError(f"fat-tree needs >= 1 uplink, got {self.uplinks}")
+
+    def switch_of(self, pos: int) -> int:
+        return pos // self.nodes_per_switch
+
+    def link(self, src: int, dst: int) -> tuple[float, float]:
+        if self.switch_of(src) == self.switch_of(dst):
+            return self.intra_alpha_s, self.intra_beta_GBs * 1e9
+        return self.inter_alpha_s, self.inter_beta_GBs * 1e9
+
+    def groups(self) -> tuple[tuple[int, ...], ...]:
+        k = self.nodes_per_switch
+        return tuple(
+            tuple(range(lo, min(lo + k, self.num_nodes)))
+            for lo in range(0, self.num_nodes, k)
+        )
+
+    def round_cost(self, sends: list[tuple[int, int, float]]) -> float:
+        # uplink contention: count concurrent spine-crossing senders per
+        # leaf switch, then price each such message with its share of the
+        # switch's uplink bandwidth
+        crossing: dict[int, int] = {}
+        for src, dst, _ in sends:
+            s = self.switch_of(src)
+            if s != self.switch_of(dst):
+                crossing[s] = crossing.get(s, 0) + 1
+        worst = 0.0
+        for src, dst, nbytes in sends:
+            alpha, beta = self.link(src, dst)
+            s = self.switch_of(src)
+            if s != self.switch_of(dst):
+                share = -(-crossing[s] // self.uplinks)  # ceil
+                beta /= share
+            worst = max(worst, alpha + nbytes / beta)
+        return worst
+
+    @property
+    def signature(self) -> str:
+        return (
+            f"fat-tree(k={self.nodes_per_switch},u={self.uplinks},"
+            f"ai={self.intra_alpha_s:g},bi={self.intra_beta_GBs:g},"
+            f"ax={self.inter_alpha_s:g},bx={self.inter_beta_GBs:g})"
+        )
+
+
+@dataclass(frozen=True)
+class RingTopology(Topology):
+    """Physical ring: only neighbour links exist; a message between
+    positions ``d`` hops apart pays ``d`` link latencies and traverses
+    ``d`` store-and-forward hops (beta divided by the hop count)."""
+
+    alpha_s: float = 2.0e-6
+    beta_GBs: float = 11.0
+
+    def hops(self, src: int, dst: int) -> int:
+        d = abs(src - dst) % self.num_nodes
+        return min(d, self.num_nodes - d)
+
+    def link(self, src: int, dst: int) -> tuple[float, float]:
+        d = max(1, self.hops(src, dst))
+        return d * self.alpha_s, self.beta_GBs * 1e9 / d
+
+    @property
+    def signature(self) -> str:
+        return f"ring(a={self.alpha_s:g},b={self.beta_GBs:g})"
+
+
+@dataclass(frozen=True)
+class TorusTopology(Topology):
+    """2-D torus of ``dims = (x, y)`` with wraparound in both dimensions;
+    hop count is the Manhattan distance on the torus."""
+
+    dims: tuple[int, int] = (1, 1)
+    alpha_s: float = 2.0e-6
+    beta_GBs: float = 11.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        dx, dy = self.dims
+        if dx * dy != self.num_nodes:
+            raise ClusterError(
+                f"torus dims {self.dims} cover {dx * dy} nodes, "
+                f"not {self.num_nodes}"
+            )
+
+    def hops(self, src: int, dst: int) -> int:
+        dx, dy = self.dims
+        sx, sy = src % dx, src // dx
+        tx, ty = dst % dx, dst // dx
+        hx = min(abs(sx - tx), dx - abs(sx - tx))
+        hy = min(abs(sy - ty), dy - abs(sy - ty))
+        return hx + hy
+
+    def link(self, src: int, dst: int) -> tuple[float, float]:
+        d = max(1, self.hops(src, dst))
+        return d * self.alpha_s, self.beta_GBs * 1e9 / d
+
+    def groups(self) -> tuple[tuple[int, ...], ...]:
+        # rows of the torus are its natural locality domains
+        dx, _ = self.dims
+        return tuple(
+            tuple(range(lo, lo + dx)) for lo in range(0, self.num_nodes, dx)
+        )
+
+    @property
+    def signature(self) -> str:
+        return (
+            f"torus(d={self.dims[0]}x{self.dims[1]},"
+            f"a={self.alpha_s:g},b={self.beta_GBs:g})"
+        )
+
+
+def fat_tree_from_network(
+    network: NetworkSpec, num_nodes: int, nodes_per_switch: int | None = None
+) -> FatTreeTopology:
+    """Build the two-level fat-tree a :class:`NetworkSpec` describes.
+
+    Uses the spec's ``switch_radix`` / ``intra_*`` fields when present,
+    falling back to the inter-switch parameters for both levels.
+    """
+    k = nodes_per_switch or network.switch_radix or max(1, num_nodes)
+    return FatTreeTopology(
+        num_nodes=num_nodes,
+        nodes_per_switch=k,
+        intra_alpha_s=network.intra_alpha_s or network.alpha_s,
+        intra_beta_GBs=network.intra_beta_GBs or network.beta_GBs,
+        inter_alpha_s=network.alpha_s,
+        inter_beta_GBs=network.beta_GBs,
+    )
+
+
+def _torus_dims(n: int) -> tuple[int, int]:
+    """The most-square factorisation of ``n`` (x >= y)."""
+    best = (n, 1)
+    y = 1
+    while y * y <= n:
+        if n % y == 0:
+            best = (n // y, y)
+        y += 1
+    return best
+
+
+def make_topology(
+    kind: str,
+    num_nodes: int,
+    network: NetworkSpec | None = None,
+    **kwargs: object,
+) -> Topology:
+    """Build a topology by CLI name (see :data:`TOPOLOGY_KINDS`)."""
+    from repro.hw.specs import INFINIBAND_100G
+
+    net = network or INFINIBAND_100G
+    key = kind.lower()
+    if key == "flat":
+        return FlatTopology(num_nodes, network=net)
+    if key == "fat-tree":
+        k = kwargs.pop("nodes_per_switch", None)
+        return fat_tree_from_network(net, num_nodes, nodes_per_switch=k)
+    if key == "ring":
+        return RingTopology(
+            num_nodes, alpha_s=net.alpha_s, beta_GBs=net.beta_GBs
+        )
+    if key == "torus":
+        dims = kwargs.pop("dims", None) or _torus_dims(num_nodes)
+        return TorusTopology(
+            num_nodes,
+            dims=tuple(dims),
+            alpha_s=net.alpha_s,
+            beta_GBs=net.beta_GBs,
+        )
+    raise ClusterError(
+        f"unknown topology {kind!r}; choose from {TOPOLOGY_KINDS}"
+    )

@@ -58,6 +58,14 @@ class NetworkSpec:
     #: aggregate small-message injection rate per node (ops/s) — caps how
     #: fast many cores can issue fine-grained RMA concurrently
     rma_rate_per_node: float
+    #: physical two-level structure (None: the fabric is flat).  A leaf
+    #: switch hosts ``switch_radix`` nodes; same-switch traffic sees the
+    #: ``intra_*`` alpha-beta pair instead of the spine-crossing
+    #: ``alpha_s``/``beta_GBs`` above.  Consumed by
+    #: :func:`repro.cluster.topology.fat_tree_from_network`.
+    switch_radix: int | None = None
+    intra_alpha_s: float | None = None
+    intra_beta_GBs: float | None = None
 
     @property
     def beta_bytes_per_s(self) -> float:
@@ -65,6 +73,9 @@ class NetworkSpec:
 
 
 #: 100 Gb/s InfiniBand (EDR/HDR100-class) with RDMA, as in Table 1.
+#: The 32-node partition hangs off 16-port leaf switches in a two-level
+#: fat-tree; same-switch messages skip the spine hop (lower latency,
+#: slightly better achievable bandwidth).
 INFINIBAND_100G = NetworkSpec(
     name="100 Gbps IB",
     link_gbps=100.0,
@@ -72,6 +83,9 @@ INFINIBAND_100G = NetworkSpec(
     rma_alpha_s=1.0e-6,
     beta_GBs=11.0,  # achievable payload bandwidth of a 12.5 GB/s link
     rma_rate_per_node=10e6,
+    switch_radix=16,
+    intra_alpha_s=1.2e-6,
+    intra_beta_GBs=11.6,
 )
 
 

@@ -130,6 +130,7 @@ class CuCCRuntime:
         fault_plan: FaultPlan | None = None,
         recovery: RecoveryPolicy | None = None,
         sanitize: bool = False,
+        allgather_algo: str = "auto",
     ):
         self.cluster = cluster
         self.params = params
@@ -137,6 +138,12 @@ class CuCCRuntime:
         self.bounds_check = bounds_check
         self.faithful_replication = faithful_replication
         self.sanitize = sanitize
+        #: Allgather algorithm for phase 2: a zoo member (see
+        #: repro.cluster.collectives.ALLGATHER_ALGOS) or "auto" (default),
+        #: which resolves through the cluster's tuning cache / topology
+        #: cost model; what each launch actually ran is recorded in its
+        #: LaunchRecord.allgather_algo
+        self.allgather_algo = allgather_algo
         self._cur_san = None  # per-launch DynamicSanitizer (shared by nodes)
         self.memory = ClusterMemory(cluster)
         self.launches: list[LaunchRecord] = []
@@ -270,7 +277,7 @@ class CuCCRuntime:
             kernel, config, plan, buffer_args, scalar_args, vectorized,
             working_set,
         )
-        allgather_time = self._run_allgather_phase(plan, buffer_args)
+        allgather_time, algo = self._run_allgather_phase(plan, buffer_args)
         callback_counters = OpCounters()
         callback_time = 0.0
         cb = plan.callback_blocks
@@ -288,6 +295,7 @@ class CuCCRuntime:
                 allgather=allgather_time,
                 callback=callback_time,
                 overhead=overhead,
+                allgather_algo=algo,
             ),
             partial_counters=partial_counters,
             callback_counters=callback_counters,
@@ -327,6 +335,7 @@ class CuCCRuntime:
         recoveries = 0
         recovery_time = 0.0
         allgather_done = False
+        allgather_algo: str | None = None
         partial_time = allgather_time = callback_time = 0.0
         partial_counters: list[OpCounters] = []
         callback_counters = OpCounters()
@@ -343,7 +352,7 @@ class CuCCRuntime:
                     )
                     self._check_stragglers(plan, node_times)
                     self._fault_boundary("allgather")
-                    attempt_allgather, extra, nretry = (
+                    attempt_allgather, extra, nretry, allgather_algo = (
                         self._run_allgather_retrying(plan, buffer_args)
                     )
                     retries += nretry
@@ -394,6 +403,7 @@ class CuCCRuntime:
                 callback=callback_time,
                 overhead=overhead,
                 recovery=recovery_time,
+                allgather_algo=allgather_algo,
             ),
             partial_counters=partial_counters,
             callback_counters=callback_counters,
@@ -452,26 +462,32 @@ class CuCCRuntime:
     def _run_allgather_retrying(self, plan, buffer_args):
         """Phase 2 under the retry policy.
 
-        Returns ``(productive_time, recovery_time, retries)``: the cost
-        of the successful collectives vs. the time burned on failed
-        attempts, timeouts and exponential backoff.
+        Returns ``(productive_time, recovery_time, retries, algo)``: the
+        cost of the successful collectives vs. the time burned on failed
+        attempts, timeouts and exponential backoff, plus the concrete
+        algorithm(s) the communicator ran.
         """
         pol = self.recovery
+        comm = self.cluster.comm
         total = 0.0
         extra = 0.0
         retries = 0
+        algos: list[str] = []
         if plan.replicated or plan.p_size <= 0:
-            return total, extra, retries
+            return total, extra, retries, None
         for bp in plan.buffers:
             attempt = 0
             while True:
                 before = self.cluster.max_clock
                 try:
-                    total += self.cluster.comm.allgather_in_place(
+                    total += comm.allgather_in_place(
                         buffer_args[bp.buffer],
                         bp.base_elem,
                         plan.p_size * bp.unit_elems,
+                        algo=self.allgather_algo,
                     )
+                    if comm.last_algorithm and comm.last_algorithm not in algos:
+                        algos.append(comm.last_algorithm)
                     break
                 except (CollectiveTimeout, DataCorruptionError):
                     # the failed attempt's wire/timeout cost is already on
@@ -497,7 +513,7 @@ class CuCCRuntime:
                             f"{backoff * 1e3:.3f} ms backoff"
                         ),
                     )
-        return total, extra, retries
+        return total, extra, retries, "+".join(algos) if algos else None
 
     def _recover_from_node_loss(
         self, failure, compiled, config, scalar_args, ckpt, allgather_done
@@ -577,17 +593,25 @@ class CuCCRuntime:
                 partial_time = max(partial_time, t)
         return partial_time, partial_counters
 
-    def _run_allgather_phase(self, plan, buffer_args) -> float:
-        """Phase 2: one balanced in-place Allgather per written buffer."""
+    def _run_allgather_phase(self, plan, buffer_args) -> tuple[float, str | None]:
+        """Phase 2: one balanced in-place Allgather per written buffer.
+
+        Returns the phase duration and the concrete algorithm(s) the
+        communicator ran ("+"-joined if buffers resolved differently)."""
         allgather_time = 0.0
+        algos: list[str] = []
         if not plan.replicated and plan.p_size > 0:
+            comm = self.cluster.comm
             for bp in plan.buffers:
-                allgather_time += self.cluster.comm.allgather_in_place(
+                allgather_time += comm.allgather_in_place(
                     buffer_args[bp.buffer],
                     bp.base_elem,
                     plan.p_size * bp.unit_elems,
+                    algo=self.allgather_algo,
                 )
-        return allgather_time
+                if comm.last_algorithm and comm.last_algorithm not in algos:
+                    algos.append(comm.last_algorithm)
+        return allgather_time, "+".join(algos) if algos else None
 
     # ------------------------------------------------------------------
     def _executor(self, kernel, config, buffer_args, scalar_args, node, counters):

@@ -66,6 +66,10 @@ class PhaseTimes:
     #: time lost to faults and their recovery: failed attempts, collective
     #: timeouts, retry backoff, failure detection, restore + re-plan work
     recovery: float = 0.0
+    #: concrete Allgather algorithm(s) phase 2 ran — what ``"auto"``
+    #: resolved to ("+"-joined when buffers picked differently); ``None``
+    #: for replicated launches that never communicated
+    allgather_algo: str | None = None
 
     @property
     def total(self) -> float:
@@ -112,14 +116,21 @@ class LaunchRecord:
     def time(self) -> float:
         return self.phases.total
 
+    @property
+    def allgather_algo(self) -> str | None:
+        """Concrete Allgather algorithm phase 2 ran (``None`` when the
+        launch was replicated and never communicated)."""
+        return self.phases.allgather_algo
+
     def describe(self) -> str:
         p = self.phases
+        algo = f", {p.allgather_algo} allgather" if p.allgather_algo else ""
         text = (
             f"{self.kernel_name}<<<{self.config.grid},{self.config.block}>>> "
             f"{'replicated' if self.plan.replicated else 'distributed'}: "
             f"total {p.total * 1e3:.3f} ms (partial {p.partial * 1e3:.3f}, "
             f"allgather {p.allgather * 1e3:.3f}, callback "
-            f"{p.callback * 1e3:.3f})"
+            f"{p.callback * 1e3:.3f}{algo})"
         )
         if p.recovery > 0 or self.retries or self.recoveries:
             text += (

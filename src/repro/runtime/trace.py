@@ -32,6 +32,9 @@ class KernelStats:
     retries: int = 0
     recoveries: int = 0
     fault_events: int = 0
+    #: concrete Allgather algorithms phase 2 ran across the launches,
+    #: in first-use order (empty: never communicated)
+    algos: list[str] = field(default_factory=list)
 
     @property
     def network_fraction(self) -> float:
@@ -54,6 +57,10 @@ class KernelStats:
         self.retries += rec.retries
         self.recoveries += rec.recoveries
         self.fault_events += len(rec.fault_events)
+        if rec.allgather_algo:
+            for a in rec.allgather_algo.split("+"):
+                if a not in self.algos:
+                    self.algos.append(a)
 
 
 def summarize_launches(launches: list[LaunchRecord]) -> list[KernelStats]:
@@ -80,6 +87,7 @@ def format_trace_report(launches: list[LaunchRecord]) -> str:
                 f"{s.total_s * 1e6:.1f}",
                 f"{s.partial_s * 1e6:.1f}",
                 f"{s.allgather_s * 1e6:.1f}",
+                "+".join(s.algos) or "-",
                 f"{s.callback_s * 1e6:.1f}",
                 f"{100 * s.network_fraction:.0f}%",
                 s.comm_bytes,
@@ -89,7 +97,7 @@ def format_trace_report(launches: list[LaunchRecord]) -> str:
     comm = sum(s.allgather_s for s in stats)
     table = format_table(
         ["kernel", "launches", "total (us)", "partial", "allgather",
-         "callback", "net%", "bytes"],
+         "algo", "callback", "net%", "bytes"],
         rows,
     )
     report = (

@@ -1,0 +1,29 @@
+"""Collective autotuning: cost-model selection + empirical tuning cache.
+
+The zoo in :mod:`repro.cluster.collectives` gives the runtime several
+functionally identical Allgather algorithms with different modeled
+costs.  This package decides which one to run:
+
+* :func:`select_algorithm` — the cost-model selector: price every zoo
+  member on the communicator's topology and take the argmin (stable
+  tie-break: earlier entries of ``ALLGATHER_ALGOS`` win);
+* :func:`autotune` — the empirical autotuner: run every algorithm
+  through the real :class:`~repro.cluster.comm.Communicator` on the
+  simulated cluster per payload bucket, verify the results are
+  bit-identical, and record the measured winners;
+* :class:`TuningCache` — the persistent JSON store of winners, keyed by
+  (topology signature, node count, power-of-two payload bucket) and
+  hot-loaded by ``"auto"`` resolution on the next run.
+"""
+
+from repro.tuning.autotune import autotune
+from repro.tuning.cache import DEFAULT_CACHE_PATH, TuningCache, payload_bucket
+from repro.tuning.select import select_algorithm
+
+__all__ = [
+    "TuningCache",
+    "payload_bucket",
+    "DEFAULT_CACHE_PATH",
+    "select_algorithm",
+    "autotune",
+]

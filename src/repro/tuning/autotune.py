@@ -1,0 +1,113 @@
+"""The empirical autotuner.
+
+Benchmarks every zoo algorithm through the *real*
+:class:`~repro.cluster.comm.Communicator` — scratch buffers, actual
+schedule-driven data movement, modeled durations — per payload bucket on
+the given cluster, verifies that every algorithm reproduces the exact
+gathered bytes, and records the measured winners in a
+:class:`~repro.tuning.cache.TuningCache`.
+
+Tuning is side-effect-free on the cluster: simulated clocks, traffic
+accounting and the fault injector are snapshotted and restored, and the
+scratch buffers are freed, so a tuning sweep never perturbs a subsequent
+experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.collectives import ALLGATHER_ALGOS
+from repro.errors import ClusterError
+from repro.tuning.cache import TuningCache
+
+__all__ = ["autotune", "DEFAULT_PAYLOADS"]
+
+#: default payload sweep: 1 KiB .. 4 MiB total Allgather bytes
+DEFAULT_PAYLOADS = tuple(1 << k for k in range(10, 23, 2))
+
+_SCRATCH = "__tuning_scratch__"
+
+
+def autotune(
+    cluster,
+    payloads: tuple[int, ...] | None = None,
+    algorithms: tuple[str, ...] = ALLGATHER_ALGOS,
+    cache: TuningCache | None = None,
+    verify: bool = True,
+) -> TuningCache:
+    """Measure every algorithm per payload and cache the winners.
+
+    ``payloads`` are *total* Allgather bytes (defaults to
+    :data:`DEFAULT_PAYLOADS`); each is rounded down to a whole number of
+    bytes per rank.  Returns the (possibly given) ``cache`` with one
+    entry per payload bucket; ties break toward earlier ``algorithms``
+    entries.  With ``verify`` (default), a functional mismatch between
+    any algorithm's gathered bytes and the expected concatenation raises
+    :class:`~repro.errors.ClusterError` — tuning must never trade
+    correctness for speed.
+    """
+    comm = cluster.comm
+    n = comm.size
+    if cache is None:
+        cache = TuningCache()
+    if n <= 1:
+        return cache  # nothing to gather, nothing to tune
+    payloads = tuple(payloads if payloads is not None else DEFAULT_PAYLOADS)
+
+    saved_clocks = [nd.clock.now for nd in comm.nodes]
+    saved_seconds = comm.comm_seconds
+    saved_bytes = comm.comm_bytes
+    saved_injector = comm.injector
+    comm.injector = None  # faults target experiments, not tuning sweeps
+
+    def restore_accounting() -> None:
+        for nd, t in zip(comm.nodes, saved_clocks):
+            nd.clock.reset(t)
+        comm.comm_seconds = saved_seconds
+        comm.comm_bytes = saved_bytes
+
+    try:
+        for payload in payloads:
+            per_rank = max(1, int(payload) // n)
+            total = per_rank * n
+            expected = np.concatenate(
+                [_pattern(nd.born_rank, per_rank) for nd in comm.nodes]
+            )
+            measured: dict[str, float] = {}
+            for algo in algorithms:
+                for r, nd in enumerate(comm.nodes):
+                    buf = nd.alloc(_SCRATCH, total, np.uint8)
+                    buf[r * per_rank : (r + 1) * per_rank] = _pattern(
+                        nd.born_rank, per_rank
+                    )
+                duration = comm.allgather_in_place(
+                    _SCRATCH, 0, per_rank, algo=algo
+                )
+                if verify:
+                    for nd in comm.nodes:
+                        if not np.array_equal(nd.buffer(_SCRATCH), expected):
+                            raise ClusterError(
+                                f"autotune: {algo!r} produced wrong bytes on "
+                                f"rank {nd.rank} at {total} B over {n} ranks"
+                            )
+                for nd in comm.nodes:
+                    nd.free(_SCRATCH)
+                measured[algo] = duration
+                restore_accounting()
+            winner = min(measured, key=measured.__getitem__)
+            cache.record(comm.topology, n, total, winner, measured)
+    finally:
+        comm.injector = saved_injector
+        for nd in comm.nodes:
+            if nd.has_buffer(_SCRATCH):
+                nd.free(_SCRATCH)
+        restore_accounting()
+    return cache
+
+
+def _pattern(born_rank: int, per_rank: int) -> np.ndarray:
+    """Deterministic, rank-distinguishing byte pattern."""
+    return (
+        np.arange(per_rank, dtype=np.int64) * 131 + 17 * (born_rank + 1)
+    ).astype(np.uint8)

@@ -1,0 +1,136 @@
+"""The persistent tuning cache.
+
+One entry per ``(topology signature, node count, payload bucket)``:
+the winning algorithm plus the per-algorithm costs that decided it.
+Payloads are bucketed by power of two — bucket ``b`` covers
+``(2**(b-1), 2**b]`` bytes — so one autotuning sweep generalizes to
+nearby sizes, exactly how MPI tuning tables are keyed.
+
+On-disk format (``version`` guards future schema changes)::
+
+    {
+      "version": 1,
+      "entries": {
+        "flat(a=2e-06,b=11)|n=4|b=20": {
+          "algo": "recursive_doubling",
+          "costs": {"ring": 3.1e-4, "recursive_doubling": 2.9e-4, ...}
+        }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cluster.collectives import ALLGATHER_ALGOS
+from repro.cluster.topology import Topology
+from repro.errors import ClusterError
+
+__all__ = ["TuningCache", "payload_bucket", "DEFAULT_CACHE_PATH"]
+
+SCHEMA_VERSION = 1
+
+#: default cache file written by ``repro tune`` and read by ``repro run``
+DEFAULT_CACHE_PATH = ".repro-tuning.json"
+
+
+def payload_bucket(nbytes: float) -> int:
+    """Power-of-two bucket index of a payload: ``2**(b-1) < nbytes <= 2**b``
+    (bucket 0 holds everything up to one byte)."""
+    n = int(nbytes)
+    if n <= 1:
+        return 0
+    return (n - 1).bit_length()
+
+
+class TuningCache:
+    """In-memory view of the tuning table, JSON round-trippable."""
+
+    def __init__(
+        self,
+        entries: dict[str, dict] | None = None,
+        path: str | Path | None = None,
+    ):
+        self.entries: dict[str, dict] = dict(entries or {})
+        self.path = Path(path) if path is not None else None
+
+    # -- keying ---------------------------------------------------------
+    @staticmethod
+    def key(signature: str, n: int, nbytes: float) -> str:
+        return f"{signature}|n={n}|b={payload_bucket(nbytes)}"
+
+    # -- access ---------------------------------------------------------
+    def lookup(self, topo: Topology, n: int, nbytes: float) -> str | None:
+        """The cached winner for this bucket, or ``None`` on a miss (or
+        when the cached name is no longer a known algorithm)."""
+        entry = self.entries.get(self.key(topo.signature, n, nbytes))
+        if entry is None:
+            return None
+        algo = entry.get("algo")
+        return algo if algo in ALLGATHER_ALGOS else None
+
+    def record(
+        self,
+        topo: Topology,
+        n: int,
+        nbytes: float,
+        algo: str,
+        costs: dict[str, float] | None = None,
+    ) -> None:
+        if algo not in ALLGATHER_ALGOS:
+            raise ClusterError(f"cannot cache unknown algorithm {algo!r}")
+        self.entries[self.key(topo.signature, n, nbytes)] = {
+            "algo": algo,
+            "costs": {k: float(v) for k, v in (costs or {}).items()},
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def merge(self, other: TuningCache) -> None:
+        """Adopt every entry of ``other`` (theirs win on conflict)."""
+        self.entries.update(other.entries)
+
+    # -- persistence ----------------------------------------------------
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write the cache as JSON; returns the path written."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ClusterError("tuning cache has no path to save to")
+        target.write_text(
+            json.dumps(
+                {"version": SCHEMA_VERSION, "entries": self.entries},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        self.path = target
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> TuningCache:
+        """Read a cache file; a missing file yields an empty cache bound
+        to the same path (so a later :meth:`save` creates it)."""
+        p = Path(path)
+        if not p.exists():
+            return cls(path=p)
+        try:
+            doc = json.loads(p.read_text())
+        except json.JSONDecodeError as e:
+            raise ClusterError(f"tuning cache {p} is not valid JSON: {e}")
+        if not isinstance(doc, dict) or doc.get("version") != SCHEMA_VERSION:
+            raise ClusterError(
+                f"tuning cache {p} has unsupported version "
+                f"{doc.get('version') if isinstance(doc, dict) else doc!r}"
+            )
+        entries = doc.get("entries", {})
+        if not isinstance(entries, dict):
+            raise ClusterError(f"tuning cache {p}: entries must be an object")
+        return cls(entries=entries, path=p)
+
+    def __repr__(self) -> str:
+        where = f" @ {self.path}" if self.path else ""
+        return f"TuningCache({len(self)} entries{where})"

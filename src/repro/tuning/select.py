@@ -1,0 +1,47 @@
+"""Cost-model-driven algorithm selection (the ``"auto"`` resolution)."""
+
+from __future__ import annotations
+
+from repro.cluster.collectives import ALLGATHER_ALGOS, allgather_algo_cost
+from repro.cluster.topology import Topology
+
+__all__ = ["select_algorithm", "algorithm_costs"]
+
+
+def algorithm_costs(
+    topo: Topology,
+    nbytes: float,
+    positions: tuple[int, ...] | None = None,
+    algorithms: tuple[str, ...] = ALLGATHER_ALGOS,
+) -> dict[str, float]:
+    """Modeled balanced-Allgather cost of every candidate algorithm, in
+    candidate order (which is also the selector's tie-break order)."""
+    return {
+        a: allgather_algo_cost(a, topo, nbytes, positions) for a in algorithms
+    }
+
+
+def select_algorithm(
+    topo: Topology,
+    nbytes: float,
+    positions: tuple[int, ...] | None = None,
+    cache=None,
+    algorithms: tuple[str, ...] = ALLGATHER_ALGOS,
+) -> str:
+    """The algorithm ``"auto"`` resolves to for this payload.
+
+    A :class:`~repro.tuning.cache.TuningCache` hit wins outright (the
+    empirical measurement trumps the model); otherwise the cost model
+    prices every candidate on ``topo`` and the cheapest wins, earlier
+    ``algorithms`` entries breaking ties (ring first, so a fabric where
+    nothing beats the seed's ring keeps it).
+    """
+    n = len(positions) if positions is not None else topo.num_nodes
+    if n <= 1:
+        return algorithms[0]
+    if cache is not None:
+        hit = cache.lookup(topo, n, nbytes)
+        if hit is not None and hit in algorithms:
+            return hit
+    costs = algorithm_costs(topo, nbytes, positions, algorithms)
+    return min(costs, key=costs.__getitem__)

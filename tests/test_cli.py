@@ -70,6 +70,29 @@ def test_missing_file(capsys):
     assert "cannot read" in capsys.readouterr().err
 
 
+def test_tune_writes_cache_and_run_loads_it(tmp_path, capsys):
+    cache = str(tmp_path / "tuning.json")
+    assert main(["tune", "--nodes", "8", "--topology", "fat-tree",
+                 "--cache", cache]) == 0
+    out = capsys.readouterr().out
+    assert "winner" in out and "0 new" not in out
+    # second invocation finds every bucket already tuned
+    assert main(["tune", "--nodes", "8", "--topology", "fat-tree",
+                 "--cache", cache]) == 0
+    assert "(0 new)" in capsys.readouterr().out
+    assert main(["run", "FIR", "--nodes", "4", "--size", "small",
+                 "--tuning", cache]) == 0
+    out = capsys.readouterr().out
+    assert "loaded" in out and "allgather" in out
+
+
+def test_tune_custom_payloads(tmp_path, capsys):
+    cache = str(tmp_path / "t.json")
+    assert main(["tune", "--nodes", "4", "--payload", "4096",
+                 "--payload", "65536", "--cache", cache]) == 0
+    assert "wrote 2 entries (2 new)" in capsys.readouterr().out
+
+
 def test_bench_delegation(capsys):
     assert main(["bench", "tab01"]) == 0
     assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,210 @@
+"""Property tests for the Allgather algorithm zoo.
+
+Every zoo member must be *functionally* indistinguishable from the
+seed's ring — byte-identical node memories on the same buffers — while
+its modeled cost differs.  Hypothesis drives random buffers, rank
+counts, payloads and topologies through both claims.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, collectives as coll, make_topology
+from repro.cluster.collectives import (
+    ALLGATHER_ALGOS,
+    allgather_algo_cost,
+    allgather_schedule,
+)
+from repro.cluster.topology import FatTreeTopology, FlatTopology
+from repro.errors import ClusterError
+from repro.hw import INFINIBAND_100G, SIMD_FOCUSED_NODE
+
+NET = INFINIBAND_100G
+
+TOPOLOGY_BUILDERS = {
+    "flat": lambda n: FlatTopology(n, network=NET),
+    "fat-tree": lambda n: FatTreeTopology(n, nodes_per_switch=2),
+    "ring": lambda n: make_topology("ring", n, network=NET),
+    "torus": lambda n: make_topology("torus", n, network=NET),
+}
+
+
+def _cluster_with_random_memory(n, total, seed, topology=None):
+    """A cluster whose nodes each hold `total` *distinct* random bytes in
+    buffer "d" — so any block a schedule fails to deliver (or delivers to
+    the wrong range) leaves a visible difference."""
+    cl = Cluster(SIMD_FOCUSED_NODE, n, topology=topology)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(n, total), dtype=np.uint8)
+    for r, node in enumerate(cl.nodes):
+        node.alloc("d", total, np.uint8)[:] = data[r]
+    return cl
+
+
+def _memories(cl):
+    return [node.buffer("d").copy() for node in cl.nodes]
+
+
+# ---------------------------------------------------------------------------
+# schedules deliver exactly the Allgather post-state
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("algo", ALLGATHER_ALGOS)
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9])
+def test_schedule_completes_and_sends_only_held_blocks(algo, n):
+    groups = ((tuple(range(n)),) if n < 4
+              else tuple(tuple(range(i, min(i + 3, n))) for i in range(0, n, 3)))
+    held = [{r} for r in range(n)]
+    for rounds in allgather_schedule(algo, n, groups):
+        received = []
+        for src, dst, blocks in rounds:
+            assert src != dst
+            assert set(blocks) <= held[src], "rank forwarded a block it lacks"
+            received.append((dst, blocks))
+        for dst, blocks in received:
+            held[dst].update(blocks)
+    assert all(h == set(range(n)) for h in held)
+
+
+@given(
+    algo=st.sampled_from(ALLGATHER_ALGOS),
+    n=st.integers(2, 9),
+)
+@settings(max_examples=60, deadline=None)
+def test_schedule_never_resends_a_held_block(algo, n):
+    """No rank receives a block twice — every algorithm moves the minimal
+    n*(n-1) block copies on a flat group (the hierarchical algorithm's
+    leader exchange re-ships whole slabs, so it is exempt by design)."""
+    held = [{r} for r in range(n)]
+    copies = 0
+    for rounds in allgather_schedule(algo, n, None):
+        for src, dst, blocks in rounds:
+            if algo != "hierarchical":
+                assert not (set(blocks) & held[dst]), "duplicate delivery"
+            copies += len(blocks)
+            held[dst].update(blocks)
+    if algo != "hierarchical":
+        assert copies == n * (n - 1)
+
+
+# ---------------------------------------------------------------------------
+# functional equivalence with ring (the acceptance criterion)
+# ---------------------------------------------------------------------------
+@given(
+    algo=st.sampled_from(ALLGATHER_ALGOS),
+    kind=st.sampled_from(sorted(TOPOLOGY_BUILDERS)),
+    n=st.integers(2, 6),
+    per_rank=st.integers(1, 9),
+    base=st.integers(0, 5),
+    extra=st.integers(0, 4),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_zoo_is_bit_identical_to_ring(algo, kind, n, per_rank, base, extra, seed):
+    total = base + n * per_rank + extra
+    topo = TOPOLOGY_BUILDERS[kind](n)
+    ref = _cluster_with_random_memory(n, total, seed, topology=topo)
+    ref.comm.allgather_in_place("d", base, per_rank, algo="ring")
+    got = _cluster_with_random_memory(n, total, seed, topology=topo)
+    got.comm.allgather_in_place("d", base, per_rank, algo=algo)
+    for a, b in zip(_memories(ref), _memories(got)):
+        assert np.array_equal(a, b)
+
+
+@given(
+    algo=st.sampled_from(ALLGATHER_ALGOS),
+    n=st.integers(2, 6),
+    counts=st.lists(st.integers(0, 7), min_size=2, max_size=6),
+    base=st.integers(0, 3),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_allgatherv_zoo_is_bit_identical_to_ring(algo, n, counts, base, seed):
+    counts = (counts * n)[:n]
+    total = base + sum(counts) + 2
+    ref = _cluster_with_random_memory(n, total, seed)
+    ref.comm.allgatherv_in_place("d", base, counts, algo="ring")
+    got = _cluster_with_random_memory(n, total, seed)
+    got.comm.allgatherv_in_place("d", base, counts, algo=algo)
+    for a, b in zip(_memories(ref), _memories(got)):
+        assert np.array_equal(a, b)
+
+
+def test_allgather_reconstructs_concatenation_under_every_algo():
+    """Direct post-state check (not just ring-relative): every node ends
+    holding rank r's slice at offset r — under every algorithm."""
+    n, per = 5, 4
+    for algo in ALLGATHER_ALGOS:
+        cl = Cluster(SIMD_FOCUSED_NODE, n)
+        for r, node in enumerate(cl.nodes):
+            buf = node.alloc("d", n * per, np.int32)
+            buf[r * per:(r + 1) * per] = np.arange(per) + 100 * r
+        cl.comm.allgather_in_place("d", 0, per, algo=algo)
+        expect = np.concatenate([np.arange(per) + 100 * r for r in range(n)])
+        for node in cl.nodes:
+            assert np.array_equal(node.buffer("d"), expect), algo
+
+
+# ---------------------------------------------------------------------------
+# cost-model properties
+# ---------------------------------------------------------------------------
+@given(
+    algo=st.sampled_from(ALLGATHER_ALGOS),
+    kind=st.sampled_from(sorted(TOPOLOGY_BUILDERS)),
+    n=st.integers(2, 12),
+    lo_kb=st.floats(0.001, 1e3),
+    hi_kb=st.floats(0.001, 1e3),
+)
+@settings(max_examples=120, deadline=None)
+def test_zoo_costs_monotone_in_payload(algo, kind, n, lo_kb, hi_kb):
+    lo, hi = sorted((lo_kb, hi_kb))
+    topo = TOPOLOGY_BUILDERS[kind](n)
+    c_lo = allgather_algo_cost(algo, topo, lo * 1e3)
+    c_hi = allgather_algo_cost(algo, topo, hi * 1e3)
+    assert 0.0 <= c_lo <= c_hi
+
+
+@pytest.mark.parametrize("algo", ALLGATHER_ALGOS)
+@pytest.mark.parametrize("kind", sorted(TOPOLOGY_BUILDERS))
+def test_zoo_cost_edges(algo, kind):
+    assert allgather_algo_cost(algo, TOPOLOGY_BUILDERS[kind](1), 1e9) == 0.0
+    topo = TOPOLOGY_BUILDERS[kind](8)
+    assert allgather_algo_cost(algo, topo, 0.0) == 0.0
+    assert allgather_algo_cost(algo, topo, -5.0) == 0.0
+    assert allgather_algo_cost(algo, topo, 64e6) > 0.0
+
+
+def test_ring_on_flat_matches_seed_cost_model():
+    """The zoo's ring over a flat topology is *exactly* the seed's
+    closed-form (n-1)(alpha + S/(n beta)) — no drift allowed."""
+    for n in (2, 3, 8, 17):
+        for payload in (1.0, 1e3, 64e6):
+            topo = FlatTopology(n, network=NET)
+            assert allgather_algo_cost("ring", topo, payload) == pytest.approx(
+                coll.allgather_inplace_cost(NET, n, payload), rel=1e-12
+            )
+
+
+def test_zoo_costs_differ_and_selection_is_argmin():
+    """On a structured topology the four algorithms price differently,
+    and the selector picks the cheapest (the acceptance criterion)."""
+    from repro.tuning import select_algorithm
+    from repro.tuning.select import algorithm_costs
+
+    topo = FatTreeTopology(num_nodes=8, nodes_per_switch=2)
+    for payload in (1e3, 1e6, 64e6):
+        costs = algorithm_costs(topo, payload)
+        assert len(set(costs.values())) > 1, "zoo costs did not differ"
+        best = select_algorithm(topo, payload)
+        assert costs[best] == min(costs.values())
+
+
+def test_unknown_algorithm_rejected():
+    cl = Cluster(SIMD_FOCUSED_NODE, 2)
+    for node in cl.nodes:
+        node.alloc("d", 8, np.uint8)
+    with pytest.raises(ClusterError, match="unknown allgather algorithm"):
+        cl.comm.allgather_in_place("d", 0, 4, algo="nope")
+    with pytest.raises(ClusterError, match="unknown allgather algorithm"):
+        allgather_schedule("nope", 4)
