@@ -42,6 +42,7 @@ from repro.hw import (
 )
 from repro.interp import LaunchConfig, OpCounters, run_grid
 from repro.ir import IRBuilder, Kernel, print_kernel
+from repro.obs import METRICS, MetricsRegistry, Span, SpanKind, Tracer, get_metrics
 from repro.runtime import CompiledKernel, CuCCRuntime, LaunchRecord, RecoveryPolicy
 from repro.sanitize import (
     DynamicSanitizer,
@@ -75,6 +76,10 @@ __all__ = [
     "TorusTopology", "make_topology",
     "AllgatherAlgo", "ALLGATHER_ALGOS",
     "TuningCache", "autotune", "select_algorithm",
+    # observability: span tracing + metrics (export helpers load lazily
+    # from repro.obs — chrome_trace, write_chrome_trace,
+    # format_critical_report, phase_times_from_spans)
+    "Tracer", "Span", "SpanKind", "MetricsRegistry", "METRICS", "get_metrics",
     # sanitizer
     "sanitize_kernel", "sanitize_launch", "sanitize_spec",
     "SanitizerReport", "Finding", "FindingKind", "DynamicSanitizer",

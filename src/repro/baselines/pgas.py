@@ -42,6 +42,7 @@ from repro.interp.grid import LaunchConfig
 from repro.interp.machine import BlockExecutor
 from repro.ir.expr import Expr
 from repro.ir.stmt import Kernel
+from repro.obs.tracer import NULL_TRACER, SpanKind, Tracer
 from repro.transform.vectorize import analyze_vectorizability
 
 __all__ = ["PGASRuntime", "PGASLaunchRecord", "PGAS_LOCAL_ACCESS_S"]
@@ -111,10 +112,18 @@ class PGASRuntime:
         cluster: Cluster,
         params: ModelParams = DEFAULT_PARAMS,
         bounds_check: bool = True,
+        trace: bool | Tracer = False,
     ):
         self.cluster = cluster
         self.params = params
         self.bounds_check = bounds_check
+        #: span tracer (see repro.obs); shared with the communicator so
+        #: the final barrier shows up as a collective span
+        self.tracer: Tracer = (
+            trace if isinstance(trace, Tracer)
+            else (Tracer() if trace else NULL_TRACER)
+        )
+        cluster.comm.tracer = self.tracer
         self.launches: list[PGASLaunchRecord] = []
         self._memory: dict[str, np.ndarray] = {}
 
@@ -177,6 +186,11 @@ class PGASRuntime:
         q = math.ceil(B / n)
         net = self.cluster.network
         start = max(node.clock.now for node in self.cluster.nodes)
+        lspan = (
+            self.tracer.begin(f"launch {kernel.name}", SpanKind.LAUNCH, start)
+            if self.tracer.enabled
+            else None
+        )
         per_node_compute: list[float] = []
         tot_local = tot_remote = tot_rbytes = 0.0
         for node in self.cluster.nodes:
@@ -202,6 +216,18 @@ class PGASRuntime:
                 params=self.params,
             )
             local_t = ex.local_ops * PGAS_LOCAL_ACCESS_S / max(1, node.spec.cores)
+            if lspan is not None:
+                t0 = node.clock.now
+                self.tracer.add(
+                    f"pgas rank {node.born_rank}",
+                    SpanKind.EXEC,
+                    t0,
+                    t0 + compute + local_t,
+                    rank=node.born_rank,
+                    phase="pgas",
+                    blocks=nblocks,
+                    dur_s=compute + local_t,
+                )
             node.clock.advance(compute + local_t)
             per_node_compute.append(compute)
             tot_local += ex.local_ops
@@ -216,12 +242,30 @@ class PGASRuntime:
         )
         if incast:
             end_compute = max(node.clock.now for node in self.cluster.nodes)
+            if lspan is not None:
+                self.tracer.add(
+                    "incast",
+                    SpanKind.COLLECTIVE,
+                    end_compute,
+                    end_compute + incast,
+                    remote_ops=tot_remote,
+                    remote_bytes=tot_rbytes,
+                    dur_s=incast,
+                )
             for node in self.cluster.nodes:
                 node.clock.wait_until(end_compute + incast)
             self.cluster.comm.comm_seconds += incast
             self.cluster.comm.comm_bytes += int(tot_rbytes)
         self.cluster.comm.barrier()
         end = max(node.clock.now for node in self.cluster.nodes)
+        if lspan is not None:
+            lspan.args.update(
+                kernel=kernel.name,
+                dur_s=end - start,
+                remote_ops=tot_remote,
+                remote_bytes=tot_rbytes,
+            )
+            self.tracer.end(lspan, end)
         record = PGASLaunchRecord(
             kernel_name=kernel.name,
             config=config,

@@ -14,6 +14,7 @@ from repro.cluster.cluster import Cluster
 from repro.hw.cpu import CPUSpec
 from repro.hw.perfmodel import DEFAULT_PARAMS, ModelParams
 from repro.hw.specs import INFINIBAND_100G
+from repro.obs.tracer import Tracer
 from repro.runtime.cucc import CuCCRuntime
 
 __all__ = ["SingleCPURuntime"]
@@ -29,6 +30,7 @@ class SingleCPURuntime(CuCCRuntime):
         simd_enabled: bool = True,
         bounds_check: bool = True,
         sanitize: bool = False,
+        trace: bool | Tracer = False,
     ):
         cluster = Cluster(
             node_spec, 1, network=INFINIBAND_100G,
@@ -40,4 +42,5 @@ class SingleCPURuntime(CuCCRuntime):
             simd_enabled=simd_enabled,
             bounds_check=bounds_check,
             sanitize=sanitize,
+            trace=trace,
         )

@@ -51,12 +51,15 @@ def run_on_cucc(
     faithful_replication: bool = False,
     fault_plan=None,
     recovery=None,
+    trace=False,
 ) -> CuCCResult:
     """Run a workload through the three-phase CuCC runtime.
 
     ``fault_plan``/``recovery`` (see :mod:`repro.cluster.faults` and
     :class:`~repro.runtime.cucc.RecoveryPolicy`) execute the launch under
     fault injection; verification then checks the *recovered* output.
+    ``trace`` (a bool or a :class:`~repro.obs.tracer.Tracer`) forwards to
+    the runtime; the spans are reachable via ``result.runtime.tracer``.
     """
     rt = CuCCRuntime(
         cluster,
@@ -65,6 +68,7 @@ def run_on_cucc(
         faithful_replication=faithful_replication,
         fault_plan=fault_plan,
         recovery=recovery,
+        trace=trace,
     )
     for name, arr in spec.arrays.items():
         rt.memory.alloc(name, arr.size, arr.dtype)

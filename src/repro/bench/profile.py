@@ -251,7 +251,7 @@ def model_cucc_time(
         allgather=allgather,
         callback=callback,
         overhead=params.cpu_launch_overhead_s,
-        allgather_algo="+".join(algos) if algos else None,
+        allgather_algos=tuple(algos),
     )
 
 

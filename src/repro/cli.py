@@ -8,6 +8,8 @@
     python -m repro tune --nodes 8 --topology fat-tree   # autotune Allgather
     python -m repro run FIR --nodes 8 --topology fat-tree \\
                             --tuning .repro-tuning.json  # use cached winners
+    python -m repro run kmeans --nodes 4 --trace t.json  # span tracing
+    python -m repro report t.json                # critical-path report
     python -m repro sanitize FIR                 # static + dynamic sanitizer
     python -m repro sanitize kernel.cu           # static race detector
     python -m repro sanitize --all               # every bundled workload
@@ -118,12 +120,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.workloads import EXTRA_WORKLOADS, PERF_WORKLOADS
 
     catalog = {**PERF_WORKLOADS, **EXTRA_WORKLOADS}
-    if args.workload not in catalog:
+    # case-insensitive lookup: `repro run kmeans` finds "KMeans"
+    by_lower = {k.lower(): k for k in catalog}
+    key = by_lower.get(args.workload.lower())
+    if key is None:
         raise ReproError(
             f"unknown workload {args.workload!r}; available: "
             f"{', '.join(sorted(catalog))}"
         )
-    build = catalog[args.workload]
+    build = catalog[key]
     spec = build(args.size, seed=args.seed)
     print(f"workload {spec.name} ({args.size}): grid={spec.grid} "
           f"block={spec.block}")
@@ -140,17 +145,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         tuning = TuningCache.load(args.tuning)
         print(f"loaded {tuning!r}")
+    if args.trace and args.platform != "cucc":
+        raise ReproError("--trace requires --platform cucc")
     if args.platform == "cucc":
         cluster = make_cluster(
             args.cluster, args.nodes, topology=args.topology, tuning=tuning
         )
-        res = run_on_cucc(spec, cluster, fault_plan=fault_plan)
+        res = run_on_cucc(
+            spec, cluster, fault_plan=fault_plan, trace=bool(args.trace)
+        )
         print(res.record.describe())
         print(res.record.plan.describe())
         for ev in res.record.fault_events:
             print(ev.describe())
         survivors = res.runtime.cluster.num_nodes
         print(f"verified on all {survivors} node replicas")
+        if args.trace:
+            from repro.obs.export import write_chrome_trace
+
+            path = write_chrome_trace(res.runtime.tracer, args.trace)
+            n_spans = len(res.runtime.tracer)
+            print(f"wrote {n_spans} spans to {path} (load in Perfetto or "
+                  f"inspect with 'python -m repro report {path}')")
+        if args.metrics:
+            from repro.obs.metrics import METRICS
+
+            print()
+            print(METRICS.render())
     elif args.platform == "pgas":
         cluster = make_cluster(args.cluster, args.nodes)
         t = run_on_pgas(spec, cluster)
@@ -192,6 +213,24 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     path = cache.save(args.cache)
     fresh = len(cache) - loaded
     print(f"wrote {len(cache)} entries ({fresh} new) to {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Critical-path / imbalance report over an exported trace file."""
+    import os
+
+    from repro.obs.export import format_critical_report
+
+    if not os.path.exists(args.trace_file):
+        raise ReproError(f"no such trace file: {args.trace_file!r}")
+    try:
+        print(format_critical_report(args.trace_file))
+    except (ValueError, KeyError) as e:
+        raise ReproError(
+            f"cannot analyze {args.trace_file!r}: {e} "
+            "(is it a trace written by 'repro run --trace'?)"
+        ) from e
     return 0
 
 
@@ -318,7 +357,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tuning", metavar="PATH", default=None,
                    help="JSON tuning cache consulted by the 'auto' "
                         "Allgather (written by 'repro tune')")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="record spans (cucc only) and export Chrome "
+                        "trace-event JSON (Perfetto / chrome://tracing)")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the metrics-registry snapshot after the run")
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "report",
+        help="critical-path / imbalance report from an exported trace",
+        description=(
+            "Analyze a Chrome trace-event JSON file written by "
+            "'repro run --trace': per launch, the straggler rank of the "
+            "partial phase, its slack over the fastest rank, and the "
+            "phase split along the critical path."
+        ),
+    )
+    p.add_argument("trace_file", help="trace JSON written by 'run --trace'")
+    p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser(
         "tune",

@@ -93,6 +93,8 @@ class Cluster:
         )
         self.comm.comm_seconds = old.comm_seconds
         self.comm.comm_bytes = old.comm_bytes
+        self.comm.tracer = old.tracer
+        self.comm.metrics = old.metrics
         return dead
 
     def reset_clocks(self) -> None:

@@ -52,6 +52,7 @@ __all__ = [
     "AllgatherAlgo",
     "ALLGATHER_ALGOS",
     "allgather_schedule",
+    "round_costs",
     "schedule_cost",
     "allgather_algo_cost",
     "allgather_inplace_cost",
@@ -269,20 +270,26 @@ def rank_groups(
 # ---------------------------------------------------------------------------
 # schedule pricing
 # ---------------------------------------------------------------------------
-def schedule_cost(
+def round_costs(
     topo: Topology,
     rounds: tuple[Round, ...],
     block_bytes: list[float],
     positions: tuple[int, ...] | None = None,
-) -> float:
-    """Modeled duration of a schedule: rounds execute back to back, each
-    priced by the topology (including any link contention) over the
-    physical positions its messages actually cross."""
+) -> list[float]:
+    """Per-round modeled durations of a schedule, in round order.
+
+    Each round is priced by the topology (including any link contention)
+    over the physical positions its messages actually cross.  This is
+    the per-round structure the tracer's ``round`` spans expose;
+    :func:`schedule_cost` is exactly the left-to-right sum of this list,
+    so traced round spans always tile the collective span precisely.
+    """
     if positions is None:
         positions = tuple(range(len(block_bytes)))
-    total = 0.0
+    costs: list[float] = []
     for sends in rounds:
         if not sends:
+            costs.append(0.0)
             continue
         priced = [
             (
@@ -292,7 +299,21 @@ def schedule_cost(
             )
             for src, dst, blocks in sends
         ]
-        total += topo.round_cost(priced)
+        costs.append(topo.round_cost(priced))
+    return costs
+
+
+def schedule_cost(
+    topo: Topology,
+    rounds: tuple[Round, ...],
+    block_bytes: list[float],
+    positions: tuple[int, ...] | None = None,
+) -> float:
+    """Modeled duration of a schedule: rounds execute back to back (the
+    left-to-right sum of :func:`round_costs`)."""
+    total = 0.0
+    for c in round_costs(topo, rounds, block_bytes, positions):
+        total += c
     return total
 
 

@@ -18,6 +18,8 @@ from repro.cluster.node import Node
 from repro.cluster.topology import FlatTopology, Topology
 from repro.errors import ClusterError, CollectiveTimeout, DataCorruptionError, NodeFailure
 from repro.hw.specs import NetworkSpec
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import NULL_TRACER, SpanKind
 
 __all__ = ["Communicator"]
 
@@ -65,6 +67,11 @@ class Communicator:
             )
         #: optional :class:`repro.tuning.TuningCache` consulted by "auto"
         self.tuning = tuning
+        #: span tracer (the runtime attaches its own; disabled by default)
+        self.tracer = NULL_TRACER
+        #: metrics registry fed per collective (the autotuner swaps in a
+        #: disabled one so sweep traffic does not pollute run statistics)
+        self.metrics = METRICS
         #: algorithm chosen by the most recent Allgather call
         self.last_algorithm: str | None = None
         #: cumulative modeled seconds spent in communication (all ops)
@@ -121,10 +128,12 @@ class Communicator:
         """
         total = 0
         corrupted = None
+        link_bytes: dict[tuple[int, int], int] = {}
         for sends in rounds:
             for src_r, dst_r, blocks in sends:
                 src_buf = self.nodes[src_r].buffer(buffer)
                 dst_buf = self.nodes[dst_r].buffer(buffer)
+                moved = 0
                 for b in blocks:
                     lo, hi = bounds[b]
                     if lo == hi:
@@ -135,7 +144,17 @@ class Communicator:
                             corrupted = self.injector.corrupt(chunk)
                         chunk = corrupted
                     dst_buf[lo:hi] = chunk
-                    total += chunk.nbytes
+                    moved += chunk.nbytes
+                total += moved
+                if moved:
+                    link = (
+                        self.nodes[src_r].born_rank,
+                        self.nodes[dst_r].born_rank,
+                    )
+                    link_bytes[link] = link_bytes.get(link, 0) + moved
+        if self.metrics.enabled:
+            for (src, dst), nbytes in link_bytes.items():
+                self.metrics.inc("comm.link_bytes", nbytes, src=src, dst=dst)
         return total
 
     def _schedule(self, algo_name: str):
@@ -151,14 +170,71 @@ class Communicator:
         """Collectives start when the last participant arrives."""
         return max(n.clock.now for n in self.nodes)
 
+    def _pace(self) -> float:
+        """Collective pacing factor: a degraded link slows everyone
+        (1.0 without an injector — the fault-free fast path)."""
+        if self.injector is None:
+            return 1.0
+        return max(n.network_multiplier for n in self.nodes)
+
     def _finish(self, start: float, duration: float) -> None:
-        if self.injector is not None:
-            # a degraded link paces the whole collective
-            duration *= max(n.network_multiplier for n in self.nodes)
+        duration *= self._pace()
         end = start + duration
         for n in self.nodes:
             n.clock.wait_until(end)
         self.comm_seconds += duration
+
+    # -- observability hooks ----------------------------------------------
+    def _trace_collective(
+        self,
+        op: str,
+        buffer: str,
+        algo_name: str | None,
+        start: float,
+        duration: float,
+        total_bytes: int,
+        rounds=None,
+        byte_counts=None,
+        positions=None,
+    ) -> None:
+        """Record one collective span (and its per-round child spans) —
+        called only when the tracer is enabled.  Round costs come from
+        the same :func:`~repro.cluster.collectives.round_costs` sum that
+        priced the collective, so rounds tile the span exactly."""
+        pace = self._pace()
+        span_args = {"op": op, "dur_s": duration * pace}
+        if buffer:
+            span_args["buffer"] = buffer
+        if algo_name:
+            span_args["algo"] = algo_name
+        if total_bytes:
+            span_args["bytes"] = int(total_bytes)
+        if rounds:
+            span_args["rounds"] = len(rounds)
+        self.tracer.add(
+            f"{op} {buffer}" if buffer else op,
+            SpanKind.COLLECTIVE,
+            start,
+            start + duration * pace,
+            **span_args,
+        )
+        if rounds:
+            cur = start
+            costs = coll.round_costs(
+                self.topology, rounds, byte_counts, positions
+            )
+            for i, c in enumerate(costs):
+                c *= pace
+                self.tracer.add(
+                    f"round {i}",
+                    SpanKind.ROUND,
+                    cur,
+                    cur + c,
+                    round=i,
+                    sends=len(rounds[i]),
+                    dur_s=c,
+                )
+                cur += c
 
     # -- fault hooks ------------------------------------------------------
     def _guard(self, op: str):
@@ -188,7 +264,10 @@ class Communicator:
     def barrier(self) -> None:
         self._guard("barrier")
         start = self._sync_start()
-        self._finish(start, coll.barrier_cost(self.network, self.size))
+        duration = coll.barrier_cost(self.network, self.size)
+        if self.tracer.enabled:
+            self._trace_collective("barrier", "", None, start, duration, 0)
+        self._finish(start, duration)
 
     def allgather_in_place(
         self, buffer: str, base: int, per_rank: int, algo: str = "auto"
@@ -243,7 +322,14 @@ class Communicator:
             duration = coll.schedule_cost(
                 self.topology, rounds, [block_bytes] * self.size, positions
             )
+            if self.tracer.enabled:
+                self._trace_collective(
+                    "allgather", buffer, algo_name, start, duration,
+                    total_bytes, rounds, [block_bytes] * self.size, positions,
+                )
         self.comm_bytes += total_bytes
+        if self.metrics.enabled:
+            self.metrics.inc("comm.gathers", algo=algo_name)
         self._finish(start, duration)
         if corrupt_rank is not None:
             # receiver-side checksum flags the payload after the transfer
@@ -299,7 +385,15 @@ class Communicator:
                 # the input->output copy is what makes this variant
                 # costlier than the in-place one (section 2.3)
                 duration += 2.0 * block_bytes / (copy_GBs * 1e9)
+                if self.tracer.enabled:
+                    self._trace_collective(
+                        "allgather-oop", dst_buffer, algo_name, start,
+                        duration, total_bytes, rounds,
+                        [block_bytes] * self.size, positions,
+                    )
         self.comm_bytes += total_bytes
+        if self.metrics.enabled:
+            self.metrics.inc("comm.gathers", algo=algo_name)
         self._finish(start, duration)
         return duration
 
@@ -340,7 +434,14 @@ class Communicator:
             duration = coll.schedule_cost(
                 self.topology, rounds, byte_counts, positions
             )
+            if self.tracer.enabled:
+                self._trace_collective(
+                    "allgatherv", buffer, algo_name, start, duration,
+                    total_bytes, rounds, byte_counts, positions,
+                )
         self.comm_bytes += total_bytes
+        if self.metrics.enabled:
+            self.metrics.inc("comm.gathers", algo=algo_name)
         self._finish(start, duration)
         return duration
 
@@ -368,7 +469,12 @@ class Communicator:
         for node in self.nodes:
             node.buffer(buffer)[:] = result
         duration = coll.allreduce_cost(self.network, self.size, ref.nbytes)
-        self.comm_bytes += 2 * ref.nbytes * max(0, self.size - 1)
+        moved = 2 * ref.nbytes * max(0, self.size - 1)
+        self.comm_bytes += moved
+        if self.tracer.enabled:
+            self._trace_collective(
+                "allreduce", buffer, None, start, duration, moved
+            )
         self._finish(start, duration)
         return duration
 
@@ -390,6 +496,11 @@ class Communicator:
                 dst[:] = src
                 self.comm_bytes += src.nbytes
         duration = coll.bcast_cost(self.network, self.size, src.nbytes)
+        if self.tracer.enabled:
+            self._trace_collective(
+                "bcast", buffer, None, start, duration,
+                src.nbytes * max(0, self.size - 1),
+            )
         self._finish(start, duration)
         return duration
 

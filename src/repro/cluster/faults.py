@@ -35,6 +35,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ClusterError
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import NULL_TRACER, SpanKind
 
 __all__ = [
     "PHASES",
@@ -291,6 +293,9 @@ class FaultInjector:
         self.events: list[FaultEvent] = []
         self.op_index = 0
         self.launch_index = 0
+        #: span tracer mirrored by :meth:`record` (the runtime attaches
+        #: its own; disabled by default)
+        self.tracer = NULL_TRACER
         self._fired: set[int] = set()
         #: (plan index, remaining extra failures) for a multi-shot
         #: transient currently being retried
@@ -302,6 +307,11 @@ class FaultInjector:
     ) -> FaultEvent:
         ev = FaultEvent(kind=kind, time=time, rank=rank, detail=detail)
         self.events.append(ev)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                kind, SpanKind.FAULT, time, rank=rank, detail=detail
+            )
+        METRICS.inc("faults.events", kind=kind)
         return ev
 
     # -- launch arming -----------------------------------------------------

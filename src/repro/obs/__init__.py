@@ -1,0 +1,43 @@
+"""Observability: span tracing, metrics, and timeline export.
+
+Three pieces (see DESIGN.md section 10):
+
+* :mod:`repro.obs.tracer` — nested spans stamped from the simulated
+  clocks, zero-overhead when disabled;
+* :mod:`repro.obs.metrics` — the process-wide counters / gauges /
+  histograms registry fed by the runtime and cluster layers;
+* :mod:`repro.obs.export` — Chrome-trace-event JSON (Perfetto) export
+  and the critical-path / imbalance report, **loaded lazily**: importing
+  ``repro.obs`` (or ``repro.api``) does not import the export module.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import METRICS, MetricsRegistry, get_metrics
+from repro.obs.tracer import NULL_TRACER, Span, SpanKind, Tracer
+
+__all__ = [
+    "Tracer", "Span", "SpanKind", "NULL_TRACER",
+    "MetricsRegistry", "METRICS", "get_metrics",
+    # lazily resolved from repro.obs.export:
+    "chrome_trace", "write_chrome_trace", "load_trace",
+    "phase_times_from_spans", "format_critical_report",
+]
+
+_EXPORT_NAMES = frozenset(
+    [
+        "chrome_trace",
+        "write_chrome_trace",
+        "load_trace",
+        "phase_times_from_spans",
+        "format_critical_report",
+    ]
+)
+
+
+def __getattr__(name: str):
+    if name in _EXPORT_NAMES:
+        from repro.obs import export
+
+        return getattr(export, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,316 @@
+"""Trace export and span-tree analysis.
+
+Two consumers of the :class:`~repro.obs.tracer.Tracer`'s span data:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — Chrome trace-event
+  JSON (the ``traceEvents`` array format) loadable in Perfetto or
+  ``chrome://tracing``.  One ``pid`` per timeline: pid 0 is the cluster
+  (launches, phases, collectives, rounds), pid ``1 + rank`` is each
+  node's born rank (its block execution), pid 999 the autotuner.  Fault
+  and recovery events render as instant events.  Output is fully
+  deterministic — timestamps are simulated seconds scaled to
+  microseconds, keys are sorted, and no wall-clock value ever enters the
+  file — so the same seeded run exports byte-identical JSON.
+
+* :func:`format_critical_report` — a text critical-path / imbalance
+  report computed from the span tree (or from a previously exported
+  JSON file, which carries the same ``id``/``parent`` linkage in every
+  event's ``args``): per launch, the straggler rank, its slack over the
+  fastest rank, and the phase split along the critical path.
+
+:func:`phase_times_from_spans` rebuilds each launch's
+:class:`~repro.runtime.program.PhaseTimes` from the span data alone.
+The runtime publishes the exact phase durations into the launch span's
+``args``, so the reconstruction is bit-identical to the
+``LaunchRecord`` — the test suite pins the two views together, which is
+what keeps the span path and the ``format_trace_report`` path from
+drifting.
+
+This module is imported lazily (``repro.obs`` exposes it via
+``__getattr__``) so that building a runtime with tracing enabled never
+pays for JSON machinery it may not use.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.tracer import Span, SpanKind, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "load_trace",
+    "phase_times_from_spans",
+    "format_critical_report",
+]
+
+#: pid of the cluster-scope timeline in the exported trace
+CLUSTER_PID = 0
+#: pid of the autotuner timeline (tune spans overlay restored clocks, so
+#: they get their own row instead of corrupting the cluster's nesting)
+TUNER_PID = 999
+
+
+def _pid(span: Span) -> int:
+    if span.kind == SpanKind.TUNE:
+        return TUNER_PID
+    return CLUSTER_PID if span.rank is None else 1 + span.rank
+
+
+def chrome_trace(source: Tracer | list[Span]) -> dict:
+    """The Chrome trace-event object for a tracer's spans."""
+    spans = source.spans if isinstance(source, Tracer) else list(source)
+    events: list[dict] = []
+    pids: dict[int, str] = {}
+    for s in spans:
+        pid = _pid(s)
+        if pid not in pids:
+            if pid == CLUSTER_PID:
+                pids[pid] = "cluster"
+            elif pid == TUNER_PID:
+                pids[pid] = "autotuner"
+            else:
+                pids[pid] = f"rank {s.rank}"
+        args = {"id": s.id}
+        if s.parent is not None:
+            args["parent"] = s.parent
+        if s.rank is not None:
+            args["rank"] = s.rank
+        args.update(s.args)
+        ev = {
+            "name": s.name,
+            "cat": s.kind,
+            "pid": pid,
+            "tid": 0,
+            "ts": s.t0 * 1e6,
+            "args": args,
+        }
+        if s.instant:
+            ev["ph"] = "i"
+            ev["s"] = "g" if s.rank is None else "t"
+        else:
+            ev["ph"] = "X"
+            ev["dur"] = s.duration * 1e6
+        events.append(ev)
+    meta = []
+    for pid in sorted(pids):
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": pids[pid]},
+            }
+        )
+        meta.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"sort_index": pid},
+            }
+        )
+    return {"displayTimeUnit": "ms", "traceEvents": meta + events}
+
+
+def write_chrome_trace(source: Tracer | list[Span], path: str | Path) -> Path:
+    """Write the trace JSON (sorted keys, deterministic bytes)."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(chrome_trace(source), sort_keys=True, indent=1) + "\n"
+    )
+    return target
+
+
+def load_trace(path: str | Path) -> dict:
+    """Read back a previously exported trace file."""
+    return json.loads(Path(path).read_text())
+
+
+# ---------------------------------------------------------------------------
+# span-tree analysis (works on Span objects or exported JSON events)
+# ---------------------------------------------------------------------------
+class _View:
+    """Uniform read view over a Span or an exported JSON event."""
+
+    __slots__ = ("name", "kind", "id", "parent", "rank", "args")
+
+    def __init__(self, name, kind, id, parent, rank, args):
+        self.name = name
+        self.kind = kind
+        self.id = id
+        self.parent = parent
+        self.rank = rank
+        self.args = args
+
+
+def _views(source) -> list[_View]:
+    if isinstance(source, (str, Path)):
+        source = load_trace(source)
+    if isinstance(source, Tracer):
+        source = source.spans
+    if isinstance(source, dict):
+        out = []
+        for ev in source.get("traceEvents", ()):
+            if ev.get("ph") not in ("X", "i"):
+                continue
+            args = ev.get("args", {})
+            out.append(
+                _View(ev["name"], ev.get("cat", ""), args.get("id"),
+                      args.get("parent"), args.get("rank"), args)
+            )
+        return out
+    return [
+        _View(s.name, s.kind, s.id, s.parent, s.rank,
+              {"rank": s.rank, **s.args})
+        for s in source
+    ]
+
+
+def phase_times_from_spans(source):
+    """Rebuild each launch's ``PhaseTimes`` from span data alone.
+
+    Returns ``[(kernel_name, PhaseTimes), ...]`` in launch order.  The
+    durations come from the exact floats the runtime published into the
+    launch span's ``args``, so each entry is bit-identical to the
+    corresponding ``LaunchRecord.phases``.
+    """
+    from repro.runtime.program import PhaseTimes
+
+    out = []
+    for v in _views(source):
+        if v.kind != SpanKind.LAUNCH:
+            continue
+        a = v.args
+        out.append(
+            (
+                a.get("kernel", v.name),
+                PhaseTimes(
+                    partial=a["partial_s"],
+                    allgather=a["allgather_s"],
+                    callback=a["callback_s"],
+                    overhead=a["overhead_s"],
+                    recovery=a["recovery_s"],
+                    allgather_algos=tuple(a.get("algos", ())),
+                ),
+            )
+        )
+    return out
+
+
+def format_critical_report(source) -> str:
+    """Critical-path / per-rank imbalance report from the span tree.
+
+    For every distributed launch: the slowest (straggler) rank of the
+    partial phase, its slack over the fastest rank, and the imbalance
+    (max over mean).  The footer aggregates which rank straggled most
+    and the phase split of the whole trace.  ``source`` may be a
+    :class:`Tracer`, a span list, a loaded trace dict, or a path to an
+    exported JSON file.
+    """
+    from repro.bench.harness import format_table
+
+    views = _views(source)
+    launches = [v for v in views if v.kind == SpanKind.LAUNCH]
+    if not launches:
+        return "critical-path report: no launch spans in trace"
+    # exec spans nest under phase spans, which nest under the launch:
+    # walk each span's parent chain up to its owning launch
+    parent_of = {v.id: v.parent for v in views if v.id is not None}
+    launch_ids = {v.id for v in launches}
+
+    def _owner(vid):
+        seen = set()
+        while vid is not None and vid not in seen:
+            if vid in launch_ids:
+                return vid
+            seen.add(vid)
+            vid = parent_of.get(vid)
+        return None
+
+    execs_by_launch: dict[int, list[_View]] = {}
+    for v in views:
+        if v.kind == SpanKind.EXEC and v.parent is not None:
+            owner = _owner(v.parent)
+            if owner is not None:
+                execs_by_launch.setdefault(owner, []).append(v)
+
+    rows = []
+    straggles: dict[int, int] = {}
+    slack_total = 0.0
+    agg = {"partial": 0.0, "allgather": 0.0, "callback": 0.0,
+           "overhead": 0.0, "recovery": 0.0}
+    total = 0.0
+    for i, launch in enumerate(launches, start=1):
+        a = launch.args
+        phases = {
+            "partial": a.get("partial_s", 0.0),
+            "allgather": a.get("allgather_s", 0.0),
+            "callback": a.get("callback_s", 0.0),
+            "overhead": a.get("overhead_s", 0.0),
+            "recovery": a.get("recovery_s", 0.0),
+        }
+        for k in agg:
+            agg[k] += phases[k]
+        launch_total = sum(phases.values())
+        total += launch_total
+        ranks = {
+            v.rank: v.args.get("dur_s", 0.0)
+            for v in execs_by_launch.get(launch.id, ())
+            if v.args.get("phase") == "partial" and v.rank is not None
+        }
+        if ranks:
+            slowest = max(ranks, key=lambda r: (ranks[r], -r))
+            fastest = min(ranks, key=lambda r: (ranks[r], r))
+            slack = ranks[slowest] - ranks[fastest]
+            mean = sum(ranks.values()) / len(ranks)
+            imbal = (ranks[slowest] / mean - 1.0) * 100 if mean > 0 else 0.0
+            straggles[slowest] = straggles.get(slowest, 0) + 1
+            slack_total += slack
+            who = f"rank {slowest}"
+            slack_txt = f"{slack * 1e6:.2f}"
+            imbal_txt = f"{imbal:.1f}%"
+        else:
+            who, slack_txt, imbal_txt = "-", "-", "-"
+        rows.append(
+            [
+                i,
+                a.get("kernel", launch.name),
+                f"{launch_total * 1e6:.1f}",
+                f"{phases['partial'] * 1e6:.1f}",
+                who,
+                slack_txt,
+                imbal_txt,
+                f"{phases['allgather'] * 1e6:.1f}",
+                f"{phases['callback'] * 1e6:.1f}",
+            ]
+        )
+    table = format_table(
+        ["launch", "kernel", "total (us)", "partial", "straggler",
+         "slack (us)", "imbal", "allgather", "callback"],
+        rows,
+    )
+    lines = [f"critical-path report: {len(launches)} launch(es), "
+             f"{total * 1e6:.1f} us total", table]
+    if straggles:
+        worst = max(straggles, key=lambda r: (straggles[r], -r))
+        lines.append(
+            f"straggler: rank {worst} was slowest in "
+            f"{straggles[worst]}/{sum(straggles.values())} distributed "
+            f"launch(es); total straggler slack "
+            f"{slack_total * 1e6:.2f} us"
+            + (f" ({100 * slack_total / total:.1f}% of trace)"
+               if total > 0 else "")
+        )
+    else:
+        lines.append("straggler: no distributed partial phases in trace")
+    if total > 0:
+        split = " | ".join(
+            f"{k} {100 * v / total:.1f}%" for k, v in agg.items() if v > 0
+        )
+        lines.append(f"critical path split: {split}")
+    return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The runtime and cluster layers feed a single registry as they work —
+payload bytes per physical link, Allgather invocations per algorithm,
+tuning-cache hits and misses, collective retries, sanitizer findings —
+so that after any run (traced or not) ``repro.obs.metrics.METRICS``
+answers "how many / how much" questions without re-running anything.
+
+Metrics never feed back into the simulation: incrementing a counter
+cannot change a modeled time or a buffer byte, so determinism of the
+simulated execution is unaffected.  The registry can be disabled
+(:attr:`MetricsRegistry.enabled`) to measure its own (small, wall-clock
+only) overhead — the observability benchmark gates on that.
+
+Label cardinality is the caller's responsibility; the per-link byte
+counters are bounded by ``nodes**2`` pairs, everything else by small
+enums (algorithm names, fault kinds).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+    "get_metrics",
+]
+
+#: label-set key: a deterministically ordered tuple of (label, value)
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _labels_key(labels: dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Power-of-two bucketed distribution (count/sum/min/max + buckets).
+
+    Bucket ``b`` counts observations in ``(2**(b-1), 2**b]`` (bucket 0
+    holds everything up to 1), mirroring the tuning cache's payload
+    bucketing so the two views line up.
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        v = abs(float(value))
+        b = 0 if v <= 1.0 else (int(v) - 1).bit_length()
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named, labeled metric instruments behind one flat namespace.
+
+    One instrument per ``(name, sorted labels)`` pair; a name must keep
+    one instrument type for its lifetime (mixing raises ``TypeError``).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: dict[str, dict[LabelKey, object]] = {}
+        self._types: dict[str, type] = {}
+
+    # -- instrument access --------------------------------------------
+    def _get(self, cls: type, name: str, labels: dict[str, object]):
+        want = self._types.setdefault(name, cls)
+        if want is not cls:
+            raise TypeError(
+                f"metric {name!r} is a {want.__name__}, not a {cls.__name__}"
+            )
+        series = self._metrics.setdefault(name, {})
+        key = _labels_key(labels)
+        inst = series.get(key)
+        if inst is None:
+            inst = series[key] = cls()
+        return inst
+
+    def inc(self, name: str, amount: float = 1.0, **labels) -> None:
+        """Increment the counter ``name`` (creating it at 0)."""
+        if not self.enabled:
+            return
+        self._get(Counter, name, labels).inc(amount)
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        if not self.enabled:
+            return
+        self._get(Gauge, name, labels).set(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record one observation into the histogram ``name``."""
+        if not self.enabled:
+            return
+        self._get(Histogram, name, labels).observe(value)
+
+    # -- reads ---------------------------------------------------------
+    def value(self, name: str, **labels) -> float:
+        """Current value of a counter/gauge (0.0 when never touched)."""
+        inst = self._metrics.get(name, {}).get(_labels_key(labels))
+        return inst.value if inst is not None else 0.0
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge across every label combination."""
+        return sum(m.value for m in self._metrics.get(name, {}).values())
+
+    def histogram(self, name: str, **labels) -> Histogram | None:
+        inst = self._metrics.get(name, {}).get(_labels_key(labels))
+        return inst if isinstance(inst, Histogram) else None
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """A plain-dict view (sorted keys) of every instrument."""
+        out: dict[str, dict[str, object]] = {}
+        for name in self.names():
+            series = {}
+            for key in sorted(self._metrics[name]):
+                inst = self._metrics[name][key]
+                label = ",".join(f"{k}={v}" for k, v in key)
+                if isinstance(inst, Histogram):
+                    series[label] = {
+                        "count": inst.count,
+                        "sum": inst.sum,
+                        "min": inst.min if inst.count else 0.0,
+                        "max": inst.max if inst.count else 0.0,
+                    }
+                else:
+                    series[label] = inst.value
+            out[name] = series
+        return out
+
+    def render(self) -> str:
+        """Text snapshot, one ``name{labels} value`` line per series."""
+        lines = []
+        for name, series in self.snapshot().items():
+            for label, value in series.items():
+                tag = f"{{{label}}}" if label else ""
+                if isinstance(value, dict):
+                    body = (
+                        f"count={value['count']} sum={value['sum']:.6g} "
+                        f"min={value['min']:.6g} max={value['max']:.6g}"
+                    )
+                else:
+                    body = f"{value:.6g}"
+                lines.append(f"{name}{tag} {body}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def reset(self) -> None:
+        """Drop every instrument (test isolation)."""
+        self._metrics.clear()
+        self._types.clear()
+
+
+#: the process-wide registry every layer feeds
+METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry (one per interpreter)."""
+    return METRICS

@@ -60,6 +60,8 @@ from repro.interp.counters import OpCounters
 from repro.interp.grid import LaunchConfig
 from repro.interp.machine import BlockExecutor
 from repro.ir.stmt import Kernel
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import NULL_TRACER, SpanKind, Tracer
 from repro.runtime.memory_manager import ClusterMemory
 from repro.runtime.program import CompiledKernel, LaunchRecord, PhaseTimes
 from repro.transform.blockwrap import generate_kernel_module
@@ -118,6 +120,11 @@ class CuCCRuntime:
             (``LaunchRecord.sanitizer_report``, one report accumulated
             across all node executions).  Sanitizer hooks never touch the
             op counters, so modeled times are identical either way.
+        trace: span tracing (see :mod:`repro.obs`).  ``True`` builds a
+            fresh :class:`~repro.obs.tracer.Tracer`; an existing tracer
+            is adopted as-is (shared across runtimes).  ``False``
+            (default) attaches the disabled :data:`NULL_TRACER` — zero
+            overhead, bit-identical modeled times and buffers.
     """
 
     def __init__(
@@ -131,6 +138,7 @@ class CuCCRuntime:
         recovery: RecoveryPolicy | None = None,
         sanitize: bool = False,
         allgather_algo: str = "auto",
+        trace: bool | Tracer = False,
     ):
         self.cluster = cluster
         self.params = params
@@ -138,6 +146,11 @@ class CuCCRuntime:
         self.bounds_check = bounds_check
         self.faithful_replication = faithful_replication
         self.sanitize = sanitize
+        #: span tracer shared with the communicator and fault injector
+        self.tracer: Tracer = (
+            trace if isinstance(trace, Tracer)
+            else (Tracer() if trace else NULL_TRACER)
+        )
         #: Allgather algorithm for phase 2: a zoo member (see
         #: repro.cluster.collectives.ALLGATHER_ALGOS) or "auto" (default),
         #: which resolves through the cluster's tuning cache / topology
@@ -154,6 +167,9 @@ class CuCCRuntime:
             else None
         )
         cluster.comm.injector = self.injector
+        cluster.comm.tracer = self.tracer
+        if self.injector is not None:
+            self.injector.tracer = self.tracer
         self._compiled: dict[str, CompiledKernel] = {}
 
     # ------------------------------------------------------------------
@@ -192,6 +208,21 @@ class CuCCRuntime:
             sanitizer_report=report,
         )
         self._compiled[kernel.name] = compiled
+        if self.tracer.enabled:
+            # compilation is host-side work: zero simulated duration,
+            # stamped at the cluster's current makespan
+            t = self.cluster.max_clock
+            self.tracer.add(
+                f"compile {kernel.name}",
+                SpanKind.COMPILE,
+                t,
+                t,
+                kernel=kernel.name,
+                distributable=analysis.distributable,
+                vectorizable=vect.vectorizable,
+            )
+        if METRICS.enabled:
+            METRICS.inc("runtime.compiles")
         return compiled
 
     # ------------------------------------------------------------------
@@ -238,6 +269,15 @@ class CuCCRuntime:
         )
 
         overhead = self.params.cpu_launch_overhead_s
+        lspan = (
+            self.tracer.begin(
+                f"launch {kernel.name}",
+                SpanKind.LAUNCH,
+                self.cluster.max_clock,
+            )
+            if self.tracer.enabled
+            else None
+        )
         for node in self.cluster.nodes:
             node.clock.advance(overhead)
 
@@ -261,8 +301,36 @@ class CuCCRuntime:
                 )
         finally:
             san, self._cur_san = self._cur_san, None
+            if lspan is not None:
+                self.tracer.end(lspan, self.cluster.max_clock)
         if san is not None:
             record.sanitizer_report = san.report
+        if lspan is not None:
+            # the launch span carries the *exact* PhaseTimes floats, so
+            # exported traces reconstruct PhaseTimes bit-identically
+            p = record.phases
+            lspan.args.update(
+                kernel=kernel.name,
+                replicated=record.plan.replicated,
+                partial_s=p.partial,
+                allgather_s=p.allgather,
+                callback_s=p.callback,
+                overhead_s=p.overhead,
+                recovery_s=p.recovery,
+                algos=list(p.allgather_algos),
+                comm_bytes=record.comm_bytes,
+                retries=record.retries,
+                recoveries=record.recoveries,
+            )
+        if METRICS.enabled:
+            METRICS.inc("runtime.launches", kernel=kernel.name)
+            if record.retries:
+                METRICS.inc("runtime.retries", record.retries)
+            if record.recoveries:
+                METRICS.inc("runtime.recoveries", record.recoveries)
+            rep = record.sanitizer_report
+            if rep is not None and rep.findings:
+                METRICS.inc("sanitize.findings", len(rep.findings))
         self.launches.append(record)
         return record
 
@@ -277,7 +345,7 @@ class CuCCRuntime:
             kernel, config, plan, buffer_args, scalar_args, vectorized,
             working_set,
         )
-        allgather_time, algo = self._run_allgather_phase(plan, buffer_args)
+        allgather_time, algos = self._run_allgather_phase(plan, buffer_args)
         callback_counters = OpCounters()
         callback_time = 0.0
         cb = plan.callback_blocks
@@ -295,7 +363,7 @@ class CuCCRuntime:
                 allgather=allgather_time,
                 callback=callback_time,
                 overhead=overhead,
-                allgather_algo=algo,
+                allgather_algos=tuple(algos),
             ),
             partial_counters=partial_counters,
             callback_counters=callback_counters,
@@ -335,7 +403,7 @@ class CuCCRuntime:
         recoveries = 0
         recovery_time = 0.0
         allgather_done = False
-        allgather_algo: str | None = None
+        allgather_algos: list[str] = []
         partial_time = allgather_time = callback_time = 0.0
         partial_counters: list[OpCounters] = []
         callback_counters = OpCounters()
@@ -352,7 +420,7 @@ class CuCCRuntime:
                     )
                     self._check_stragglers(plan, node_times)
                     self._fault_boundary("allgather")
-                    attempt_allgather, extra, nretry, allgather_algo = (
+                    attempt_allgather, extra, nretry, allgather_algos = (
                         self._run_allgather_retrying(plan, buffer_args)
                     )
                     retries += nretry
@@ -403,7 +471,7 @@ class CuCCRuntime:
                 callback=callback_time,
                 overhead=overhead,
                 recovery=recovery_time,
-                allgather_algo=allgather_algo,
+                allgather_algos=tuple(allgather_algos),
             ),
             partial_counters=partial_counters,
             callback_counters=callback_counters,
@@ -462,10 +530,10 @@ class CuCCRuntime:
     def _run_allgather_retrying(self, plan, buffer_args):
         """Phase 2 under the retry policy.
 
-        Returns ``(productive_time, recovery_time, retries, algo)``: the
+        Returns ``(productive_time, recovery_time, retries, algos)``: the
         cost of the successful collectives vs. the time burned on failed
-        attempts, timeouts and exponential backoff, plus the concrete
-        algorithm(s) the communicator ran.
+        attempts, timeouts and exponential backoff, plus the unique
+        concrete algorithm(s) the communicator ran, in first-use order.
         """
         pol = self.recovery
         comm = self.cluster.comm
@@ -474,46 +542,60 @@ class CuCCRuntime:
         retries = 0
         algos: list[str] = []
         if plan.replicated or plan.p_size <= 0:
-            return total, extra, retries, None
-        for bp in plan.buffers:
-            attempt = 0
-            while True:
-                before = self.cluster.max_clock
-                try:
-                    total += comm.allgather_in_place(
-                        buffer_args[bp.buffer],
-                        bp.base_elem,
-                        plan.p_size * bp.unit_elems,
-                        algo=self.allgather_algo,
-                    )
-                    if comm.last_algorithm and comm.last_algorithm not in algos:
-                        algos.append(comm.last_algorithm)
-                    break
-                except (CollectiveTimeout, DataCorruptionError):
-                    # the failed attempt's wire/timeout cost is already on
-                    # the clocks; book it as recovery, then back off
-                    extra += self.cluster.max_clock - before
-                    attempt += 1
-                    retries += 1
-                    if attempt > pol.max_retries:
-                        raise
-                    backoff = pol.backoff_base_s * (
-                        pol.backoff_factor ** (attempt - 1)
-                    )
-                    start = self.cluster.max_clock
-                    for n in self.cluster.nodes:
-                        n.clock.wait_until(start + backoff)
-                    extra += backoff
-                    self.injector.record(
-                        "retry",
-                        self.cluster.max_clock,
-                        detail=(
-                            f"allgather {bp.buffer!r} attempt "
-                            f"{attempt}/{pol.max_retries} after "
-                            f"{backoff * 1e3:.3f} ms backoff"
-                        ),
-                    )
-        return total, extra, retries, "+".join(algos) if algos else None
+            return total, extra, retries, algos
+        tracer = self.tracer
+        aspan = (
+            tracer.begin("allgather", SpanKind.PHASE, self.cluster.max_clock)
+            if tracer.enabled
+            else None
+        )
+        try:
+            for bp in plan.buffers:
+                attempt = 0
+                while True:
+                    before = self.cluster.max_clock
+                    try:
+                        total += comm.allgather_in_place(
+                            buffer_args[bp.buffer],
+                            bp.base_elem,
+                            plan.p_size * bp.unit_elems,
+                            algo=self.allgather_algo,
+                        )
+                        if (
+                            comm.last_algorithm
+                            and comm.last_algorithm not in algos
+                        ):
+                            algos.append(comm.last_algorithm)
+                        break
+                    except (CollectiveTimeout, DataCorruptionError):
+                        # the failed attempt's wire/timeout cost is already
+                        # on the clocks; book it as recovery, then back off
+                        extra += self.cluster.max_clock - before
+                        attempt += 1
+                        retries += 1
+                        if attempt > pol.max_retries:
+                            raise
+                        backoff = pol.backoff_base_s * (
+                            pol.backoff_factor ** (attempt - 1)
+                        )
+                        start = self.cluster.max_clock
+                        for n in self.cluster.nodes:
+                            n.clock.wait_until(start + backoff)
+                        extra += backoff
+                        self.injector.record(
+                            "retry",
+                            self.cluster.max_clock,
+                            detail=(
+                                f"allgather {bp.buffer!r} attempt "
+                                f"{attempt}/{pol.max_retries} after "
+                                f"{backoff * 1e3:.3f} ms backoff"
+                            ),
+                        )
+        finally:
+            if aspan is not None:
+                aspan.args["algos"] = list(algos)
+                tracer.end(aspan, self.cluster.max_clock)
+        return total, extra, retries, algos
 
     def _recover_from_node_loss(
         self, failure, compiled, config, scalar_args, ckpt, allgather_done
@@ -529,6 +611,17 @@ class CuCCRuntime:
                 f"below the policy minimum of {max(1, pol.min_nodes)} "
                 f"({failure})"
             )
+        tracer = self.tracer
+        rspan = (
+            tracer.begin(
+                "recovery",
+                SpanKind.PHASE,
+                max(n.clock.now for n in survivors),
+                ranks=list(failure.ranks),
+            )
+            if tracer.enabled
+            else None
+        )
         # failure detection: survivors wait out the heartbeat timeout
         start = max(n.clock.now for n in survivors)
         for n in survivors:
@@ -553,6 +646,8 @@ class CuCCRuntime:
                     f"({ckpt.nbytes} B x {len(survivors)} replicas)"
                 ),
             )
+        if rspan is not None:
+            tracer.end(rspan, self.cluster.max_clock)
         return pol.failure_detect_s
 
     # ------------------------------------------------------------------
@@ -571,6 +666,12 @@ class CuCCRuntime:
         partial_counters: list[OpCounters] = []
         partial_time = 0.0
         if not plan.replicated and plan.p_size > 0:
+            tracer = self.tracer
+            pspan = (
+                tracer.begin("partial", SpanKind.PHASE, self.cluster.max_clock)
+                if tracer.enabled
+                else None
+            )
             for node in self.cluster.nodes:
                 counters = OpCounters()
                 ex = self._executor(kernel, config, buffer_args, scalar_args,
@@ -586,21 +687,45 @@ class CuCCRuntime:
                     working_set_bytes=working_set,
                     params=self.params,
                 ) * node.compute_multiplier
+                if pspan is not None:
+                    t0 = node.clock.now
+                    tracer.add(
+                        f"partial rank {node.born_rank}",
+                        SpanKind.EXEC,
+                        t0,
+                        t0 + t,
+                        rank=node.born_rank,
+                        phase="partial",
+                        blocks=len(blocks),
+                        dur_s=t,
+                    )
                 node.clock.advance(t)
                 partial_counters.append(counters)
                 if node_times is not None:
                     node_times.append(t)
                 partial_time = max(partial_time, t)
+            if pspan is not None:
+                tracer.end(pspan, self.cluster.max_clock)
         return partial_time, partial_counters
 
-    def _run_allgather_phase(self, plan, buffer_args) -> tuple[float, str | None]:
+    def _run_allgather_phase(
+        self, plan, buffer_args
+    ) -> tuple[float, list[str]]:
         """Phase 2: one balanced in-place Allgather per written buffer.
 
-        Returns the phase duration and the concrete algorithm(s) the
-        communicator ran ("+"-joined if buffers resolved differently)."""
+        Returns the phase duration and the unique concrete algorithm(s)
+        the communicator ran, in first-use order."""
         allgather_time = 0.0
         algos: list[str] = []
         if not plan.replicated and plan.p_size > 0:
+            tracer = self.tracer
+            aspan = (
+                tracer.begin(
+                    "allgather", SpanKind.PHASE, self.cluster.max_clock
+                )
+                if tracer.enabled
+                else None
+            )
             comm = self.cluster.comm
             for bp in plan.buffers:
                 allgather_time += comm.allgather_in_place(
@@ -611,7 +736,10 @@ class CuCCRuntime:
                 )
                 if comm.last_algorithm and comm.last_algorithm not in algos:
                     algos.append(comm.last_algorithm)
-        return allgather_time, "+".join(algos) if algos else None
+            if aspan is not None:
+                aspan.args["algos"] = list(algos)
+                tracer.end(aspan, self.cluster.max_clock)
+        return allgather_time, algos
 
     # ------------------------------------------------------------------
     def _executor(self, kernel, config, buffer_args, scalar_args, node, counters):
@@ -641,6 +769,12 @@ class CuCCRuntime:
         copied — either way every node's clock advances by the full cost.
         """
         nodes = self.cluster.nodes
+        tracer = self.tracer
+        cspan = (
+            tracer.begin("callback", SpanKind.PHASE, self.cluster.max_clock)
+            if tracer.enabled
+            else None
+        )
         first = nodes[0]
         ex = self._executor(kernel, config, buffer_args, scalar_args, first,
                             counters)
@@ -668,7 +802,22 @@ class CuCCRuntime:
                 for node in nodes[1:]:
                     node.buffer(bname)[:] = src
         for node in nodes:
-            node.clock.advance(t * node.compute_multiplier)
+            tn = t * node.compute_multiplier
+            if cspan is not None:
+                t0 = node.clock.now
+                tracer.add(
+                    f"callback rank {node.born_rank}",
+                    SpanKind.EXEC,
+                    t0,
+                    t0 + tn,
+                    rank=node.born_rank,
+                    phase="callback",
+                    blocks=len(blocks),
+                    dur_s=tn,
+                )
+            node.clock.advance(tn)
+        if cspan is not None:
+            tracer.end(cspan, self.cluster.max_clock)
         return t
 
     # ------------------------------------------------------------------

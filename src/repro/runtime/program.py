@@ -66,10 +66,10 @@ class PhaseTimes:
     #: time lost to faults and their recovery: failed attempts, collective
     #: timeouts, retry backoff, failure detection, restore + re-plan work
     recovery: float = 0.0
-    #: concrete Allgather algorithm(s) phase 2 ran — what ``"auto"``
-    #: resolved to ("+"-joined when buffers picked differently); ``None``
-    #: for replicated launches that never communicated
-    allgather_algo: str | None = None
+    #: concrete Allgather algorithms phase 2 ran — what ``"auto"``
+    #: resolved to, unique, in first-use order (empty for replicated
+    #: launches that never communicated)
+    allgather_algos: tuple[str, ...] = ()
 
     @property
     def total(self) -> float:
@@ -80,6 +80,12 @@ class PhaseTimes:
             + self.overhead
             + self.recovery
         )
+
+    @property
+    def allgather_algo(self) -> str | None:
+        """The algorithm list rendered the legacy way ("+"-joined when
+        buffers picked differently; ``None`` when never communicated)."""
+        return "+".join(self.allgather_algos) if self.allgather_algos else None
 
     @property
     def network_fraction(self) -> float:
@@ -121,6 +127,11 @@ class LaunchRecord:
         """Concrete Allgather algorithm phase 2 ran (``None`` when the
         launch was replicated and never communicated)."""
         return self.phases.allgather_algo
+
+    @property
+    def allgather_algos(self) -> tuple[str, ...]:
+        """Unique algorithms phase 2 ran, in first-use order."""
+        return self.phases.allgather_algos
 
     def describe(self) -> str:
         p = self.phases

@@ -5,6 +5,12 @@ the runtime holds one :class:`~repro.runtime.program.LaunchRecord` per
 launch.  :func:`summarize_launches` folds them into a per-kernel table —
 counts, time split by phase, communication volume — the data behind the
 paper's Figure 9-style breakdowns for whole applications.
+
+The same per-launch phase data is also available as spans when the
+runtime is traced (``trace=True``); see
+:func:`repro.obs.export.phase_times_from_spans`, which reconstructs
+each launch's :class:`~repro.runtime.program.PhaseTimes` bit-identically
+from the exported span tree.
 """
 
 from __future__ import annotations
@@ -14,6 +20,11 @@ from dataclasses import dataclass, field
 from repro.runtime.program import LaunchRecord
 
 __all__ = ["KernelStats", "summarize_launches", "format_trace_report"]
+
+
+def _pct(part: float, total: float) -> float:
+    """Percentage with a zero-total guard (0.0 when nothing to divide)."""
+    return 100.0 * part / total if total > 0 else 0.0
 
 
 @dataclass
@@ -33,7 +44,7 @@ class KernelStats:
     recoveries: int = 0
     fault_events: int = 0
     #: concrete Allgather algorithms phase 2 ran across the launches,
-    #: in first-use order (empty: never communicated)
+    #: unique, in first-use order (empty: never communicated)
     algos: list[str] = field(default_factory=list)
 
     @property
@@ -57,10 +68,9 @@ class KernelStats:
         self.retries += rec.retries
         self.recoveries += rec.recoveries
         self.fault_events += len(rec.fault_events)
-        if rec.allgather_algo:
-            for a in rec.allgather_algo.split("+"):
-                if a not in self.algos:
-                    self.algos.append(a)
+        for a in rec.phases.allgather_algos:
+            if a not in self.algos:
+                self.algos.append(a)
 
 
 def summarize_launches(launches: list[LaunchRecord]) -> list[KernelStats]:
@@ -78,35 +88,43 @@ def format_trace_report(launches: list[LaunchRecord]) -> str:
     from repro.bench.harness import format_table
 
     stats = summarize_launches(launches)
+    # the recovery column appears only when some launch actually lost
+    # time to faults, so fault-free traces render byte-identically to a
+    # build without fault injection
+    show_recovery = any(s.recovery_s > 0 for s in stats)
     rows = []
     for s in stats:
-        rows.append(
-            [
-                s.kernel,
-                f"{s.launches} ({s.distributed} dist)",
-                f"{s.total_s * 1e6:.1f}",
-                f"{s.partial_s * 1e6:.1f}",
-                f"{s.allgather_s * 1e6:.1f}",
-                "+".join(s.algos) or "-",
-                f"{s.callback_s * 1e6:.1f}",
-                f"{100 * s.network_fraction:.0f}%",
-                s.comm_bytes,
-            ]
-        )
+        row = [
+            s.kernel,
+            f"{s.launches} ({s.distributed} dist)",
+            f"{s.total_s * 1e6:.1f}",
+            f"{s.partial_s * 1e6:.1f}",
+            f"{s.allgather_s * 1e6:.1f}",
+            "+".join(s.algos) or "-",
+            f"{s.callback_s * 1e6:.1f}",
+        ]
+        if show_recovery:
+            row.append(f"{s.recovery_s * 1e6:.1f}")
+        row += [
+            f"{_pct(s.allgather_s, s.total_s):.0f}%",
+            s.comm_bytes,
+        ]
+        rows.append(row)
     total = sum(s.total_s for s in stats)
     comm = sum(s.allgather_s for s in stats)
-    table = format_table(
-        ["kernel", "launches", "total (us)", "partial", "allgather",
-         "algo", "callback", "net%", "bytes"],
-        rows,
-    )
+    headers = ["kernel", "launches", "total (us)", "partial", "allgather",
+               "algo", "callback"]
+    if show_recovery:
+        headers.append("recovery")
+    headers += ["net%", "bytes"]
+    table = format_table(headers, rows)
     report = (
         table
         + f"\ntotal {total * 1e6:.1f} us across {sum(s.launches for s in stats)}"
-        f" launches; {100 * comm / total if total else 0:.1f}% in Allgather"
+        f" launches; {_pct(comm, total):.1f}% in Allgather"
     )
-    # fault summary only when something was injected, so fault-free traces
-    # render byte-identically to a build without fault injection
+    # fault summary only when something was injected (same reasoning as
+    # the recovery column)
     events = sum(s.fault_events for s in stats)
     if events or any(s.retries or s.recoveries for s in stats):
         recovery = sum(s.recovery_s for s in stats)
@@ -114,7 +132,7 @@ def format_trace_report(launches: list[LaunchRecord]) -> str:
             f"\nfaults: {events} events, "
             f"{sum(s.retries for s in stats)} retries, "
             f"{sum(s.recoveries for s in stats)} recoveries; "
-            f"{recovery * 1e6:.1f} us ({100 * recovery / total if total else 0:.1f}%)"
+            f"{recovery * 1e6:.1f} us ({_pct(recovery, total):.1f}%)"
             " lost to recovery"
         )
     return report

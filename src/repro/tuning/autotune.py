@@ -19,6 +19,8 @@ import numpy as np
 
 from repro.cluster.collectives import ALLGATHER_ALGOS
 from repro.errors import ClusterError
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, SpanKind
 from repro.tuning.cache import TuningCache
 
 __all__ = ["autotune", "DEFAULT_PAYLOADS"]
@@ -60,6 +62,15 @@ def autotune(
     saved_bytes = comm.comm_bytes
     saved_injector = comm.injector
     comm.injector = None  # faults target experiments, not tuning sweeps
+    # trial collectives replay at restored clock times and their traffic
+    # is not experiment traffic: detach the communicator's tracer and
+    # metrics for the sweep, and lay the trials out on a synthetic
+    # sequential timeline of their own instead
+    tracer = comm.tracer
+    comm.tracer = NULL_TRACER
+    saved_metrics = comm.metrics
+    comm.metrics = MetricsRegistry(enabled=False)
+    cursor = 0.0
 
     def restore_accounting() -> None:
         for nd, t in zip(comm.nodes, saved_clocks):
@@ -94,11 +105,25 @@ def autotune(
                 for nd in comm.nodes:
                     nd.free(_SCRATCH)
                 measured[algo] = duration
+                if tracer.enabled:
+                    tracer.add(
+                        f"trial {algo} {total}B",
+                        SpanKind.TUNE,
+                        cursor,
+                        cursor + duration,
+                        algo=algo,
+                        payload=total,
+                        dur_s=duration,
+                    )
+                    cursor += duration
+                METRICS.inc("tuning.autotune_trials", algo=algo)
                 restore_accounting()
             winner = min(measured, key=measured.__getitem__)
             cache.record(comm.topology, n, total, winner, measured)
     finally:
         comm.injector = saved_injector
+        comm.tracer = tracer
+        comm.metrics = saved_metrics
         for nd in comm.nodes:
             if nd.has_buffer(_SCRATCH):
                 nd.free(_SCRATCH)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.cluster.collectives import ALLGATHER_ALGOS, allgather_algo_cost
 from repro.cluster.topology import Topology
+from repro.obs.metrics import METRICS
 
 __all__ = ["select_algorithm", "algorithm_costs"]
 
@@ -42,6 +43,8 @@ def select_algorithm(
     if cache is not None:
         hit = cache.lookup(topo, n, nbytes)
         if hit is not None and hit in algorithms:
+            METRICS.inc("tuning.cache_hits")
             return hit
+        METRICS.inc("tuning.cache_misses")
     costs = algorithm_costs(topo, nbytes, positions, algorithms)
     return min(costs, key=costs.__getitem__)

@@ -1,0 +1,134 @@
+"""Schema checker for exported Chrome trace-event JSON files.
+
+Validates the structural contract of traces written by
+``repro.obs.export.write_chrome_trace`` (and ``repro run --trace``):
+the trace-event envelope, per-phase event fields, span-id/parent
+linkage, and the monotonic non-negativity of simulated timestamps.
+
+Usable two ways:
+
+* from pytest — ``validate_chrome_trace(obj)`` returns a list of
+  problem strings (empty list == valid);
+* as a CLI gate for CI — ``python tests/trace_schema.py trace.json``
+  exits 0 on a valid file and 1 with the problems printed otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: span categories the exporter may emit (mirrors repro.obs.tracer.SpanKind
+#: without importing it, so the checker stands alone as a CI tool)
+KNOWN_CATS = {
+    "compile", "launch", "phase", "exec", "collective", "round",
+    "fault", "tune",
+}
+
+#: metadata record names the exporter emits
+KNOWN_META = {"process_name", "process_sort_index"}
+
+
+def validate_chrome_trace(obj) -> list[str]:
+    """Every schema violation in ``obj`` (a parsed trace), best-effort.
+
+    An empty list means the trace is valid.
+    """
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array 'traceEvents'"]
+    if obj.get("displayTimeUnit") not in ("ms", "ns"):
+        problems.append("'displayTimeUnit' must be 'ms' or 'ns'")
+
+    ids: set[int] = set()
+    parents: list[tuple[int, int]] = []  # (event index, parent id)
+    for i, ev in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            problems.append(f"{where}: ph must be 'X', 'i' or 'M', got {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"{where}: missing non-empty 'name'")
+        if not isinstance(ev.get("pid"), int) or ev.get("pid", -1) < 0:
+            problems.append(f"{where}: 'pid' must be a non-negative int")
+        if not isinstance(ev.get("tid"), int):
+            problems.append(f"{where}: 'tid' must be an int")
+        if ph == "M":
+            if ev.get("name") not in KNOWN_META:
+                problems.append(
+                    f"{where}: unknown metadata record {ev.get('name')!r}"
+                )
+            continue
+        # duration ("X") and instant ("i") events
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: 'ts' must be a number >= 0, got {ts!r}")
+        if ev.get("cat") not in KNOWN_CATS:
+            problems.append(f"{where}: unknown 'cat' {ev.get('cat')!r}")
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            problems.append(f"{where}: 'args' must be an object")
+            args = {}
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    f"{where}: 'dur' must be a number >= 0, got {dur!r}"
+                )
+        else:  # instant
+            if ev.get("s") not in ("g", "p", "t"):
+                problems.append(
+                    f"{where}: instant scope 's' must be g/p/t, "
+                    f"got {ev.get('s')!r}"
+                )
+        sid = args.get("id")
+        if not isinstance(sid, int):
+            problems.append(f"{where}: args.id must be an int span id")
+        elif sid in ids:
+            problems.append(f"{where}: duplicate span id {sid}")
+        else:
+            ids.add(sid)
+        if "parent" in args:
+            if not isinstance(args["parent"], int):
+                problems.append(f"{where}: args.parent must be an int")
+            else:
+                parents.append((i, args["parent"]))
+    for i, parent in parents:
+        if parent not in ids:
+            problems.append(
+                f"event[{i}]: parent {parent} is not any event's span id"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: python tests/trace_schema.py TRACE.json", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[0]) as f:
+            obj = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"cannot load {argv[0]!r}: {e}", file=sys.stderr)
+        return 1
+    problems = validate_chrome_trace(obj)
+    if problems:
+        for p in problems:
+            print(f"SCHEMA: {p}", file=sys.stderr)
+        print(f"{argv[0]}: INVALID ({len(problems)} problem(s))",
+              file=sys.stderr)
+        return 1
+    n = len(obj["traceEvents"])
+    print(f"{argv[0]}: valid Chrome trace ({n} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
