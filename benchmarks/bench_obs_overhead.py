@@ -1,23 +1,27 @@
-"""Observability overhead: cost of tracing and metrics hooks.
+"""Observability overhead: cost of tracing, metrics and profiler hooks.
 
-Runs KMeans and the composed BERT encoder layer three ways —
+Runs KMeans and the composed BERT encoder layer four ways —
 
 * **baseline**: metrics registry disabled, tracing off (approximates the
   pre-observability build: every hook short-circuits);
-* **off-path**: metrics on (the default), tracing off — the
-  configuration every ordinary run pays for;
-* **traced**: metrics on, tracing on, spans collected.
+* **off-path**: metrics on (the default), tracing off, profiling off —
+  the configuration every ordinary run pays for;
+* **traced**: metrics on, tracing on, spans collected;
+* **profiled**: metrics on, tracing off, per-line profiling on.
 
-Two hard gates:
+Three hard gates:
 
 * the off path must do < 2% more work than the hooks-disabled baseline.
   "Work" is the deterministic count of Python/C function calls
   (``sys.setprofile``): identical on every machine and immune to the
   multi-percent wall-clock noise of shared CI runners, it measures
   exactly what the zero-overhead-when-disabled promise claims — the
-  extra calls the hooks add to an untraced run;
-* traced and untraced runs must produce bit-identical *modeled* times —
-  observability may cost wall-clock, never simulated time.
+  extra calls the hooks add to an untraced run.  The profiler's hook is
+  part of this budget: disabled, it is two attribute checks on the
+  statement-dispatch path, zero extra calls;
+* traced and untraced runs must produce bit-identical *modeled* times;
+* profiled and unprofiled runs must produce bit-identical modeled times
+  — attribution mirrors counts, it never changes them.
 
 Wall-clock is still measured and reported (min over paired rounds run
 in rotating order, plus the median per-round paired delta) but is
@@ -52,18 +56,21 @@ REPS = 5
 OFF_PATH_BUDGET = 0.02
 
 
-def _kmeans_case(trace: bool) -> float:
+def _kmeans_case(trace: bool, profile: bool = False) -> float:
     spec = PERF_WORKLOADS["KMeans"]("small", seed=0)
-    res = run_on_cucc(spec, make_cluster("simd-focused", NODES), trace=trace)
+    res = run_on_cucc(
+        spec, make_cluster("simd-focused", NODES), trace=trace, profile=profile
+    )
     return res.runtime.sim_time
 
 
-def _bert_case(trace: bool) -> float:
+def _bert_case(trace: bool, profile: bool = False) -> float:
     w = BertWeights.create(32, 64, seed=5)
     tokens = np.random.default_rng(6).standard_normal((32, 32)).astype(
         np.float32
     )
-    rt = CuCCRuntime(Cluster(SIMD_FOCUSED_NODE, NODES), trace=trace)
+    rt = CuCCRuntime(Cluster(SIMD_FOCUSED_NODE, NODES), trace=trace,
+                     profile=profile)
     BertLayer(rt, 32, w).forward(tokens)
     return rt.sim_time
 
@@ -120,9 +127,13 @@ def _measure(case) -> dict:
     def run_on():
         return _sample(lambda: case(True))
 
+    def run_prof():
+        return _sample(lambda: case(False, True))
+
     # warm every path once (imports, parser caches, allocator)
     case(False)
     case(True)
+    case(False, True)
 
     METRICS.enabled = False
     try:
@@ -131,21 +142,24 @@ def _measure(case) -> dict:
         METRICS.enabled = True
     calls_off = _count_calls(lambda: case(False))
     calls_on = _count_calls(lambda: case(True))
+    calls_prof = _count_calls(lambda: case(False, True))
 
-    configs = [("base", run_base), ("off", run_off), ("on", run_on)]
-    best = {"base": float("inf"), "off": float("inf"), "on": float("inf")}
+    configs = [("base", run_base), ("off", run_off), ("on", run_on),
+               ("prof", run_prof)]
+    best = {k: float("inf") for k, _ in configs}
     sims: dict = {}
     off_deltas = []
     for r in range(REPS):
         times = {}
-        for k, run in configs[r % 3:] + configs[: r % 3]:  # rotate order
+        for k, run in configs[r % 4:] + configs[: r % 4]:  # rotate order
             times[k], sims[k] = run()
             best[k] = min(best[k], times[k])
         off_deltas.append(times["off"] / times["base"] - 1.0)
     return {
         "best": best,
         "sims": sims,
-        "calls": {"base": calls_base, "off": calls_off, "on": calls_on},
+        "calls": {"base": calls_base, "off": calls_off, "on": calls_on,
+                  "prof": calls_prof},
         "off_wall_delta": statistics.median(off_deltas),
     }
 
@@ -156,9 +170,15 @@ def obs_overhead() -> FigureResult:
     for name, case in CASES:
         m = _measure(case)
         sim_off, sim_on = m["sims"]["off"], m["sims"]["on"]
+        sim_prof = m["sims"]["prof"]
         if sim_off != sim_on:
             failures.append(
                 f"{name}: traced sim time {sim_on!r} != untraced {sim_off!r}"
+            )
+        if sim_off != sim_prof:
+            failures.append(
+                f"{name}: profiled sim time {sim_prof!r} != unprofiled "
+                f"{sim_off!r}"
             )
         calls = m["calls"]
         off_reg = calls["off"] / calls["base"] - 1.0
@@ -178,7 +198,9 @@ def obs_overhead() -> FigureResult:
                 f"{m['off_wall_delta'] * 100:+.2f}%",
                 f"{m['best']['on'] * 1e3:.1f}",
                 f"{(calls['on'] / calls['base'] - 1.0) * 100:+.2f}%",
-                "yes" if sim_off == sim_on else "NO",
+                f"{m['best']['prof'] * 1e3:.1f}",
+                f"{(calls['prof'] / calls['base'] - 1.0) * 100:+.2f}%",
+                "yes" if sim_off == sim_on == sim_prof else "NO",
             ]
         )
     if failures:
@@ -189,7 +211,8 @@ def obs_overhead() -> FigureResult:
         f"deterministic, wall-clock min of {REPS} paired rounds)",
         headers=[
             "workload", "baseline (ms)", "trace off (ms)", "off calls",
-            "off wall", "traced (ms)", "traced calls", "sim identical",
+            "off wall", "traced (ms)", "traced calls", "profiled (ms)",
+            "prof calls", "sim identical",
         ],
         rows=rows,
         notes=[
@@ -197,9 +220,9 @@ def obs_overhead() -> FigureResult:
             "pre-observability build); 'calls' columns are deterministic "
             "function-call deltas vs. baseline, 'off wall' is the median "
             "per-round paired wall-clock delta (informational)",
-            f"gate: tracing-off path within {OFF_PATH_BUDGET * 100:.0f}% "
-            "extra calls of baseline; traced runs bit-identical in "
-            "simulated time",
+            f"gate: tracing-off path (profiler also off) within "
+            f"{OFF_PATH_BUDGET * 100:.0f}% extra calls of baseline; traced "
+            "and profiled runs bit-identical in simulated time",
         ],
     )
 

@@ -5,6 +5,9 @@ Usage::
     python -m repro.bench                 # all figures, paper-size
     python -m repro.bench --size small    # fast pass (CI-sized problems)
     python -m repro.bench fig08 fig11     # a subset, by figure id
+    python -m repro.bench --json out/     # continuous-benchmark mode:
+                                          # write BENCH_*.json documents
+                                          # (defaults to --size small)
 """
 
 from __future__ import annotations
@@ -29,16 +32,38 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--size",
-        default="paper",
+        default=None,
         choices=("small", "paper"),
-        help="workload size preset (default: paper)",
+        help="workload size preset (default: paper; small with --json)",
     )
     parser.add_argument(
         "--json",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        help="continuous-benchmark mode: run the tracked benchmark subset "
+        "and write schema-validated BENCH_*.json files into DIR "
+        "(default: current directory) instead of rendering figures; "
+        "positional names select benchmarks instead of figures",
+    )
+    parser.add_argument(
+        "--figures-json",
         metavar="PATH",
-        help="also write all results (headers/rows/notes) as JSON",
+        help="also write all figure results (headers/rows/notes) as JSON",
     )
     args = parser.parse_args(argv)
+    size = args.size or ("small" if args.json is not None else "paper")
+
+    if args.json is not None:
+        from repro.bench.continuous import run_continuous
+
+        t0 = time.time()
+        paths = run_continuous(args.json, size=size, names=args.figures or None)
+        for p in paths:
+            print(f"wrote {p}")
+        print(f"total: {time.time() - t0:.1f}s")
+        return 0
 
     selected = []
     for fn in ALL_FIGURES:
@@ -53,7 +78,7 @@ def main(argv: list[str] | None = None) -> int:
     for fn in selected:
         t1 = time.time()
         kwargs = (
-            {"size": args.size}
+            {"size": size}
             if "size" in inspect.signature(fn).parameters
             else {}
         )
@@ -62,7 +87,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  [{fn.__name__}: {time.time() - t1:.1f}s]\n")
         collected.append(result)
     print(f"total: {time.time() - t0:.1f}s")
-    if args.json:
+    if args.figures_json:
         import json
 
         payload = [
@@ -75,9 +100,9 @@ def main(argv: list[str] | None = None) -> int:
             }
             for r in collected
         ]
-        with open(args.json, "w") as f:
+        with open(args.figures_json, "w") as f:
             json.dump(payload, f, indent=2)
-        print(f"wrote {args.json}")
+        print(f"wrote {args.figures_json}")
     return 0
 
 

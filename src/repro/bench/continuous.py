@@ -1,0 +1,240 @@
+"""Continuous benchmarking: schema-validated ``BENCH_<name>.json`` files.
+
+``repro bench --json DIR`` runs a small, deterministic benchmark subset
+through :mod:`repro.bench.harness` and writes one JSON document per
+benchmark — geomean speedups, phase splits, network fractions and
+profiler hotspot digests — that the repository tracks over time.  A CI
+job regenerates them on every change and
+``benchmarks/check_regression.py`` diffs the fresh numbers against the
+committed baseline under ``benchmarks/baselines/`` with tolerances.
+
+The document schema (version 1, validated by
+:func:`validate_bench_json`; see DESIGN.md section 11):
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "name": "scaling",
+      "size": "small",
+      "metrics": {"geomean_speedup_2to4": 1.93},
+      "hotspots": [
+        {"kernel": "kmeans_assign", "line": 12, "source": "...",
+         "ops_share": 0.65}
+      ],
+      "details": {}
+    }
+
+``metrics`` is a flat map of metric name to finite number — the only
+part the regression gate compares.  ``hotspots`` (optional) carries the
+profiler's top-line digest; ``details`` (optional) holds auxiliary
+context excluded from regression checking.  Everything is derived from
+the simulated clocks and seeded workloads, so the files are
+deterministic — no timestamps, no environment capture.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "validate_bench_json",
+    "run_continuous",
+    "BENCHMARKS",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9_]+$")
+_SIZES = ("small", "paper")
+
+
+def validate_bench_json(obj) -> list[str]:
+    """Validate one BENCH document; returns a list of problems (empty =
+    valid).  Pure structural check — no file IO, usable on parsed JSON."""
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"document must be an object, got {type(obj).__name__}"]
+    if obj.get("schema_version") != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version must be {BENCH_SCHEMA_VERSION}, "
+            f"got {obj.get('schema_version')!r}"
+        )
+    name = obj.get("name")
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        problems.append(f"name must match {_NAME_RE.pattern}, got {name!r}")
+    if obj.get("size") not in _SIZES:
+        problems.append(f"size must be one of {_SIZES}, got {obj.get('size')!r}")
+    metrics = obj.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append("metrics must be a non-empty object")
+    else:
+        for k, v in metrics.items():
+            if not isinstance(k, str):
+                problems.append(f"metric key {k!r} is not a string")
+            if (
+                isinstance(v, bool)
+                or not isinstance(v, (int, float))
+                or v != v
+                or v in (float("inf"), float("-inf"))
+            ):
+                problems.append(f"metric {k!r} must be a finite number, got {v!r}")
+    hotspots = obj.get("hotspots", [])
+    if not isinstance(hotspots, list):
+        problems.append("hotspots must be a list")
+    else:
+        for i, h in enumerate(hotspots):
+            if not isinstance(h, dict):
+                problems.append(f"hotspots[{i}] must be an object")
+                continue
+            if not isinstance(h.get("kernel"), str):
+                problems.append(f"hotspots[{i}].kernel must be a string")
+            share = h.get("ops_share")
+            if isinstance(share, bool) or not isinstance(share, (int, float)):
+                problems.append(f"hotspots[{i}].ops_share must be a number")
+    if not isinstance(obj.get("details", {}), dict):
+        problems.append("details must be an object")
+    unknown = set(obj) - {
+        "schema_version", "name", "size", "metrics", "hotspots", "details",
+    }
+    if unknown:
+        problems.append(f"unknown top-level keys: {sorted(unknown)}")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# benchmark builders — each returns one schema-valid document
+# ---------------------------------------------------------------------------
+def _run(workload: str, size: str, nodes: int, **kw):
+    from repro.bench.harness import run_on_cucc
+    from repro.cluster import make_cluster
+    from repro.workloads import PERF_WORKLOADS
+
+    spec = PERF_WORKLOADS[workload](size, seed=0)
+    return run_on_cucc(spec, make_cluster("simd-focused", nodes), **kw)
+
+
+def bench_scaling(size: str) -> dict:
+    """Strong scaling 2 → 4 nodes on the SIMD-focused cluster, with the
+    4-node runs profiled for a hotspot digest."""
+    from repro.bench.harness import geomean
+    from repro.obs.profiler import Profiler
+
+    workloads = ("FIR", "KMeans", "Transpose")
+    profiler = Profiler()
+    metrics: dict[str, float] = {}
+    speedups = []
+    for w in workloads:
+        t2 = _run(w, size, 2).time
+        t4 = _run(w, size, 4, profile=profiler).time
+        metrics[f"speedup_2to4.{w}"] = t2 / t4
+        metrics[f"time_4n_s.{w}"] = t4
+        speedups.append(t2 / t4)
+    metrics["geomean_speedup_2to4"] = geomean(speedups)
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": "scaling",
+        "size": size,
+        "metrics": metrics,
+        "hotspots": profiler.hotspot_digest(top=2),
+    }
+
+
+def bench_phase_split(size: str) -> dict:
+    """Phase-time composition of 4-node runs (the paper's figure 10
+    signal): fraction of each launch spent per phase, plus network
+    fractions."""
+    workloads = ("FIR", "KMeans", "Transpose")
+    metrics: dict[str, float] = {}
+    net_fracs = []
+    for w in workloads:
+        res = _run(w, size, 4)
+        p = res.record.phases
+        total = p.total
+        for phase, v in (
+            ("partial", p.partial),
+            ("allgather", p.allgather),
+            ("callback", p.callback),
+        ):
+            metrics[f"phase_frac.{w}.{phase}"] = v / total if total > 0 else 0.0
+        metrics[f"network_fraction.{w}"] = res.network_fraction
+        net_fracs.append(res.network_fraction)
+    metrics["mean_network_fraction"] = sum(net_fracs) / len(net_fracs)
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": "phase_split",
+        "size": size,
+        "metrics": metrics,
+    }
+
+
+def bench_collectives(size: str) -> dict:
+    """Collective behaviour: an 8-node fat-tree KMeans run with drift
+    telemetry on, plus the algorithm zoo's modeled Allgather costs."""
+    from repro.bench.harness import run_on_cucc
+    from repro.cluster import make_cluster
+    from repro.cluster.collectives import ALLGATHER_ALGOS
+    from repro.tuning.select import algorithm_costs
+    from repro.workloads import PERF_WORKLOADS
+
+    spec = PERF_WORKLOADS["KMeans"](size, seed=0)
+    cluster = make_cluster("simd-focused", 8, topology="fat-tree")
+    res = run_on_cucc(spec, cluster, drift=True)
+    metrics: dict[str, float] = {
+        "kmeans_fat_tree_8n_time_s": res.time,
+        "kmeans_fat_tree_8n_network_fraction": res.network_fraction,
+    }
+    topo = cluster.comm.topology
+    for payload in (65536, 1048576):
+        for algo, cost in algorithm_costs(topo, payload).items():
+            metrics[f"allgather_cost_us.{algo}.{payload}"] = cost * 1e6
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": "collectives",
+        "size": size,
+        "metrics": metrics,
+        "details": {"algos": list(ALLGATHER_ALGOS)},
+    }
+
+
+#: benchmark name -> builder(size) (the ``--json`` runner's registry)
+BENCHMARKS = {
+    "scaling": bench_scaling,
+    "phase_split": bench_phase_split,
+    "collectives": bench_collectives,
+}
+
+
+def run_continuous(
+    out_dir, size: str = "small", names: list[str] | None = None
+) -> list[Path]:
+    """Run the continuous-benchmark subset, write ``BENCH_<name>.json``
+    files into ``out_dir`` (created if missing), return the paths.
+
+    Every document is self-validated against the schema before it is
+    written — an invalid document is a bug, not an artifact.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    selected = names or list(BENCHMARKS)
+    unknown = [n for n in selected if n not in BENCHMARKS]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmark(s) {unknown}; known: {sorted(BENCHMARKS)}"
+        )
+    paths = []
+    for name in selected:
+        doc = BENCHMARKS[name](size)
+        problems = validate_bench_json(doc)
+        if problems:
+            raise AssertionError(
+                f"benchmark {name!r} produced an invalid document: "
+                + "; ".join(problems)
+            )
+        path = out / f"BENCH_{name}.json"
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        paths.append(path)
+    return paths

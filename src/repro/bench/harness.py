@@ -52,6 +52,8 @@ def run_on_cucc(
     fault_plan=None,
     recovery=None,
     trace=False,
+    profile=False,
+    drift=False,
 ) -> CuCCResult:
     """Run a workload through the three-phase CuCC runtime.
 
@@ -60,6 +62,9 @@ def run_on_cucc(
     fault injection; verification then checks the *recovered* output.
     ``trace`` (a bool or a :class:`~repro.obs.tracer.Tracer`) forwards to
     the runtime; the spans are reachable via ``result.runtime.tracer``.
+    ``profile`` (a bool or a :class:`~repro.obs.profiler.Profiler`) and
+    ``drift`` likewise forward; the per-line profile is reachable via
+    ``result.runtime.profiler``.
     """
     rt = CuCCRuntime(
         cluster,
@@ -69,6 +74,8 @@ def run_on_cucc(
         fault_plan=fault_plan,
         recovery=recovery,
         trace=trace,
+        profile=profile,
+        drift=drift,
     )
     for name, arr in spec.arrays.items():
         rt.memory.alloc(name, arr.size, arr.dtype)
@@ -123,7 +130,10 @@ def geomean(values) -> float:
 
     vals = [v for v in values]
     if not vals:
-        return float("nan")
+        raise ValueError(
+            "geomean of an empty sequence is undefined — no values were "
+            "collected (did every run get filtered out?)"
+        )
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 

@@ -10,6 +10,9 @@
                             --tuning .repro-tuning.json  # use cached winners
     python -m repro run kmeans --nodes 4 --trace t.json  # span tracing
     python -m repro report t.json                # critical-path report
+    python -m repro profile kmeans --nodes 4     # per-line hotspot table
+    python -m repro run kmeans --trace t.json --drift    # drift telemetry
+    python -m repro report t.json --drift        # model-vs-executed table
     python -m repro sanitize FIR                 # static + dynamic sanitizer
     python -m repro sanitize kernel.cu           # static race detector
     python -m repro sanitize --all               # every bundled workload
@@ -42,6 +45,28 @@ from repro.transform import (
 )
 
 __all__ = ["main"]
+
+
+def _ensure_parent(path: str) -> None:
+    """Create the parent directory of an output path (``run --trace
+    out/t.json`` into a missing ``out/`` must not crash)."""
+    from pathlib import Path
+
+    Path(path).expanduser().resolve().parent.mkdir(parents=True, exist_ok=True)
+
+
+def _find_workload(name: str):
+    """Case-insensitive workload lookup over the full catalog."""
+    from repro.workloads import EXTRA_WORKLOADS, PERF_WORKLOADS
+
+    catalog = {**PERF_WORKLOADS, **EXTRA_WORKLOADS}
+    key = {k.lower(): k for k in catalog}.get(name.lower())
+    if key is None:
+        raise ReproError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(sorted(catalog))}"
+        )
+    return catalog[key]
 
 
 def _parse_scalar_args(pairs: list[str]) -> dict[str, float]:
@@ -117,18 +142,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.bench.harness import run_on_cucc, run_on_gpu, run_on_pgas
     from repro.cluster import make_cluster
     from repro.hw import GPUS
-    from repro.workloads import EXTRA_WORKLOADS, PERF_WORKLOADS
 
-    catalog = {**PERF_WORKLOADS, **EXTRA_WORKLOADS}
-    # case-insensitive lookup: `repro run kmeans` finds "KMeans"
-    by_lower = {k.lower(): k for k in catalog}
-    key = by_lower.get(args.workload.lower())
-    if key is None:
-        raise ReproError(
-            f"unknown workload {args.workload!r}; available: "
-            f"{', '.join(sorted(catalog))}"
-        )
-    build = catalog[key]
+    build = _find_workload(args.workload)
     spec = build(args.size, seed=args.seed)
     print(f"workload {spec.name} ({args.size}): grid={spec.grid} "
           f"block={spec.block}")
@@ -145,14 +160,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         tuning = TuningCache.load(args.tuning)
         print(f"loaded {tuning!r}")
-    if args.trace and args.platform != "cucc":
-        raise ReproError("--trace requires --platform cucc")
+    for flag in ("trace", "profile", "drift"):
+        if getattr(args, flag) and args.platform != "cucc":
+            raise ReproError(f"--{flag} requires --platform cucc")
     if args.platform == "cucc":
         cluster = make_cluster(
             args.cluster, args.nodes, topology=args.topology, tuning=tuning
         )
         res = run_on_cucc(
-            spec, cluster, fault_plan=fault_plan, trace=bool(args.trace)
+            spec, cluster, fault_plan=fault_plan, trace=bool(args.trace),
+            profile=bool(args.profile), drift=bool(args.drift),
         )
         print(res.record.describe())
         print(res.record.plan.describe())
@@ -163,10 +180,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.trace:
             from repro.obs.export import write_chrome_trace
 
+            _ensure_parent(args.trace)
             path = write_chrome_trace(res.runtime.tracer, args.trace)
             n_spans = len(res.runtime.tracer)
             print(f"wrote {n_spans} spans to {path} (load in Perfetto or "
                   f"inspect with 'python -m repro report {path}')")
+        if args.profile:
+            report = res.runtime.profiler.report(
+                spec=res.runtime.cluster.nodes[0].spec,
+                simd_enabled=res.runtime.simd_enabled,
+                params=res.runtime.params,
+            )
+            _ensure_parent(args.profile)
+            with open(args.profile, "w") as f:
+                f.write(report + "\n")
+            print(f"wrote per-line profile to {args.profile}")
         if args.metrics:
             from repro.obs.metrics import METRICS
 
@@ -181,6 +209,47 @@ def _cmd_run(args: argparse.Namespace) -> int:
         t = run_on_gpu(spec, gpu)
         print(f"{gpu.name} time: {t * 1e3:.4f} ms (verified)")
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Per-line hotspot profile of one workload on the CuCC runtime.
+
+    Exits 1 if the per-line totals fail to reproduce the aggregate
+    OpCounters exactly — that invariant is what makes the table
+    trustworthy, so the CLI checks it on every run.
+    """
+    from repro.bench.harness import run_on_cucc
+    from repro.cluster import make_cluster
+    from repro.interp.counters import OpCounters
+
+    build = _find_workload(args.workload)
+    spec = build(args.size, seed=args.seed)
+    cluster = make_cluster(args.cluster, args.nodes, topology=args.topology)
+    res = run_on_cucc(spec, cluster, profile=True)
+    rt = res.runtime
+    report = rt.profiler.report(
+        spec=rt.cluster.nodes[0].spec,
+        simd_enabled=rt.simd_enabled,
+        params=rt.params,
+    )
+    print(f"workload {spec.name} ({args.size}) on {args.nodes} nodes, "
+          f"time {res.time * 1e3:.4f} ms")
+    print()
+    print(report)
+    if args.out:
+        _ensure_parent(args.out)
+        with open(args.out, "w") as f:
+            f.write(report + "\n")
+        print(f"\nwrote profile to {args.out}")
+    aggregate = OpCounters()
+    for c in res.record.partial_counters:
+        aggregate.add(c)
+    aggregate.add(res.record.callback_counters)
+    match = rt.profiler.total(res.record.kernel_name).as_dict() == aggregate.as_dict()
+    print()
+    print(f"per-line totals match aggregate OpCounters: "
+          f"{'yes' if match else 'NO'}")
+    return 0 if match else 1
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -210,6 +279,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             ]
         )
     print(format_table(["bucket", "winner", "modeled costs"], rows))
+    _ensure_parent(args.cache)
     path = cache.save(args.cache)
     fresh = len(cache) - loaded
     print(f"wrote {len(cache)} entries ({fresh} new) to {path}")
@@ -226,6 +296,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
         raise ReproError(f"no such trace file: {args.trace_file!r}")
     try:
         print(format_critical_report(args.trace_file))
+        if args.drift:
+            from repro.obs.drift import DEFAULT_DRIFT_BOUND, format_drift_report
+
+            bound = (
+                args.drift_bound
+                if args.drift_bound is not None
+                else DEFAULT_DRIFT_BOUND
+            )
+            print()
+            print(format_drift_report(args.trace_file, bound=bound))
     except (ValueError, KeyError) as e:
         raise ReproError(
             f"cannot analyze {args.trace_file!r}: {e} "
@@ -362,7 +442,39 @@ def build_parser() -> argparse.ArgumentParser:
                         "trace-event JSON (Perfetto / chrome://tracing)")
     p.add_argument("--metrics", action="store_true",
                    help="print the metrics-registry snapshot after the run")
+    p.add_argument("--profile", metavar="PATH", default=None,
+                   help="attribute op counts per kernel source line (cucc "
+                        "only) and write the hotspot report to PATH")
+    p.add_argument("--drift", action="store_true",
+                   help="record model-vs-executed phase-time drift (cucc "
+                        "only); view with --metrics or "
+                        "'repro report --drift <trace>'")
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-source-line hotspot profile of a workload",
+        description=(
+            "Run a workload on the CuCC runtime with per-line profiling "
+            "and print, for each kernel, its roofline placement, phase "
+            "split, and a hotspot table attributing every counted op and "
+            "byte to the kernel source line that executed it.  Exits 1 "
+            "if the per-line totals do not reproduce the aggregate "
+            "OpCounters exactly."
+        ),
+    )
+    p.add_argument("workload", help="e.g. FIR, KMeans, BinomialOption")
+    p.add_argument("--cluster", default="simd-focused",
+                   choices=("simd-focused", "thread-focused"))
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--size", default="small", choices=("small", "paper"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--topology", default=None,
+                   choices=("flat", "fat-tree", "ring", "torus"),
+                   help="network topology (default: flat alpha-beta fabric)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="also write the report to a file")
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser(
         "report",
@@ -375,6 +487,12 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.add_argument("trace_file", help="trace JSON written by 'run --trace'")
+    p.add_argument("--drift", action="store_true",
+                   help="also print the model-drift table (needs a trace "
+                        "recorded by 'run --trace ... --drift')")
+    p.add_argument("--drift-bound", type=float, default=None,
+                   help="|relative error| that flags a prediction "
+                        "(default 0.25)")
     p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser(

@@ -140,6 +140,15 @@ class BlockExecutor:
             Sanitizer hooks never touch ``counters``, so modeled times
             are identical with and without it; memory faults are recorded
             as findings (and clamped) instead of raising.
+        profile: per-line count attribution — a line sink (something with
+            ``line(loc) -> OpCounters``, see
+            :mod:`repro.obs.profiler`), a whole
+            :class:`~repro.obs.profiler.Profiler` (a ``grid`` phase sink
+            is taken from it), or falsy (default) for no attribution.
+            Every count booked into ``counters`` is mirrored into the
+            bucket of the statement's source line, so per-line counts
+            sum exactly to the aggregate; the aggregate itself (and
+            therefore modeled time) is untouched.
     """
 
     def __init__(
@@ -150,6 +159,7 @@ class BlockExecutor:
         counters: OpCounters | None = None,
         bounds_check: bool = True,
         sanitize: object = False,
+        profile: object = None,
     ):
         self.kernel = kernel
         self.config = config
@@ -166,6 +176,16 @@ class BlockExecutor:
                 sanitize
                 if isinstance(sanitize, DynamicSanitizer)
                 else DynamicSanitizer(kernel.name)
+            )
+        self._prof = None
+        self._prof_line = None  # current statement's per-line bucket
+        if profile:
+            # duck-typed: a Profiler grows a standalone "grid" phase
+            # sink; anything else is used as the sink directly (the
+            # runtime passes one per-phase sink shared across ranks)
+            sinkf = getattr(profile, "sink", None)
+            self._prof = (
+                sinkf(kernel, "grid") if sinkf is not None else profile
             )
         self._span_ok = span_eligible(kernel)
         self._span_len = 1
@@ -318,6 +338,9 @@ class BlockExecutor:
     def _count(self, kind: str, amount: float) -> None:
         if self.counters is not None and amount:
             setattr(self.counters, kind, getattr(self.counters, kind) + amount)
+            line = self._prof_line
+            if line is not None:
+                setattr(line, kind, getattr(line, kind) + amount)
 
     def _count_lines(self, idx, mask: np.ndarray, elem_size: int) -> None:
         """Meter 64-byte-line-granular traffic of one access statement.
@@ -339,6 +362,8 @@ class BlockExecutor:
             span_lines = (hi - lo) // 64 + 1
             n = float(min(self._cur_n, span_lines))
         self.counters.global_line_bytes += 64.0 * n
+        if self._prof_line is not None:
+            self._prof_line.global_line_bytes += 64.0 * n
 
     # ------------------------------------------------------------------
     # expression evaluation (vectorized over lanes)
@@ -654,6 +679,8 @@ class BlockExecutor:
 
     def _exec_stmt(self, s: Stmt, mask: np.ndarray) -> np.ndarray:
         self._cur_n = float(np.count_nonzero(mask))
+        if self._prof is not None:
+            self._prof_line = self._prof.line(s.loc)
         if self._san is not None:
             # every execution of a statement is a fresh *instance*: loads
             # and the store of one instance are exempt from race checks
@@ -874,6 +901,10 @@ class BlockExecutor:
                 if not self._any(cur):
                     break
                 self._cur_n = float(np.count_nonzero(cur))
+                if self._prof is not None:
+                    # body statements moved the bucket; the re-evaluated
+                    # loop condition bills the while header's line
+                    self._prof_line = self._prof.line(s.loc)
                 cond = self._truthy(self._eval(s.cond, cur))
                 cur = cur & cond
                 if not self._any(cur):
@@ -993,6 +1024,7 @@ def run_grid(
     bounds_check: bool = True,
     span: int | None = None,
     sanitize: object = False,
+    profile: object = None,
 ) -> BlockExecutor:
     """Execute a kernel launch (all blocks, or ``block_ids``) sequentially.
 
@@ -1000,11 +1032,13 @@ def run_grid(
     functional model and the single-CPU baseline.  Returns the executor so
     callers can inspect state.  ``sanitize`` enables the dynamic sanitizer
     (pass ``True`` or a shared ``DynamicSanitizer``); findings accumulate
-    on ``executor.sanitizer.report``.
+    on ``executor.sanitizer.report``.  ``profile`` attributes counts per
+    source line (a :class:`~repro.obs.profiler.Profiler` or a line sink;
+    see :class:`BlockExecutor`).
     """
     ex = BlockExecutor(
         kernel, config, args, counters, bounds_check=bounds_check,
-        sanitize=sanitize,
+        sanitize=sanitize, profile=profile,
     )
     ids = range(config.num_blocks) if block_ids is None else block_ids
     ex.run_blocks(ids, span=span)

@@ -1,6 +1,6 @@
-"""Observability: span tracing, metrics, and timeline export.
+"""Observability: span tracing, metrics, timeline export, profiling.
 
-Three pieces (see DESIGN.md section 10):
+Five pieces (see DESIGN.md sections 10-11):
 
 * :mod:`repro.obs.tracer` — nested spans stamped from the simulated
   clocks, zero-overhead when disabled;
@@ -8,7 +8,11 @@ Three pieces (see DESIGN.md section 10):
   histograms registry fed by the runtime and cluster layers;
 * :mod:`repro.obs.export` — Chrome-trace-event JSON (Perfetto) export
   and the critical-path / imbalance report, **loaded lazily**: importing
-  ``repro.obs`` (or ``repro.api``) does not import the export module.
+  ``repro.obs`` (or ``repro.api``) does not import the export module;
+* :mod:`repro.obs.profiler` — per-source-line hotspot attribution over
+  the interpreter's op counters, also loaded lazily;
+* :mod:`repro.obs.drift` — model-vs-executed phase-time drift telemetry,
+  also loaded lazily.
 """
 
 from __future__ import annotations
@@ -22,6 +26,11 @@ __all__ = [
     # lazily resolved from repro.obs.export:
     "chrome_trace", "write_chrome_trace", "load_trace",
     "phase_times_from_spans", "format_critical_report",
+    # lazily resolved from repro.obs.profiler:
+    "Profiler", "KernelProfile", "roofline_placement",
+    # lazily resolved from repro.obs.drift:
+    "observe_launch_drift", "format_drift_report", "predicted_phase_times",
+    "signed_rel_error", "DEFAULT_DRIFT_BOUND",
 ]
 
 _EXPORT_NAMES = frozenset(
@@ -34,10 +43,30 @@ _EXPORT_NAMES = frozenset(
     ]
 )
 
+_PROFILER_NAMES = frozenset(["Profiler", "KernelProfile", "roofline_placement"])
+
+_DRIFT_NAMES = frozenset(
+    [
+        "observe_launch_drift",
+        "format_drift_report",
+        "predicted_phase_times",
+        "signed_rel_error",
+        "DEFAULT_DRIFT_BOUND",
+    ]
+)
+
 
 def __getattr__(name: str):
     if name in _EXPORT_NAMES:
         from repro.obs import export
 
         return getattr(export, name)
+    if name in _PROFILER_NAMES:
+        from repro.obs import profiler
+
+        return getattr(profiler, name)
+    if name in _DRIFT_NAMES:
+        from repro.obs import drift
+
+        return getattr(drift, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,221 @@
+"""Model-drift telemetry: predicted vs. executed phase times.
+
+The analytical cost model (:func:`repro.hw.perfmodel.cpu_node_time`, the
+tuning selector's :func:`repro.cluster.collectives.allgather_algo_cost`)
+is what `repro.bench.profile.model_cucc_time` and the autotuner's
+cache-miss path reason with — if it drifts from what the simulated
+runtime actually executes, every capacity-planning answer built on it is
+wrong.  This module closes the loop: after every CuCC launch (opt-in,
+``CuCCRuntime(drift=True)``) it re-predicts the partial and Allgather
+phase times *from the launch's own dynamic counts and plan*, compares
+them against the executed :class:`~repro.runtime.program.PhaseTimes`,
+and records the signed relative error
+
+    err = (executed - predicted) / predicted
+
+into the process-wide :data:`~repro.obs.metrics.METRICS` registry as the
+``model.drift_rel_err`` histogram, labelled by phase, kernel, topology
+kind and collective algorithm.  The predictions are also published into
+the launch span's args so ``repro report --drift`` can tabulate them
+from a saved trace and flag any prediction off by more than a
+configurable bound (default ±25%).
+
+Drift is **opt-in** precisely because the prediction pass calls the
+tuning selector, which counts cache hits/misses — running it by default
+would perturb metrics (and traced-run bytes) of ordinary runs.
+"""
+
+from __future__ import annotations
+
+from repro.hw.perfmodel import cpu_node_time
+from repro.obs.metrics import METRICS
+
+__all__ = [
+    "DEFAULT_DRIFT_BOUND",
+    "predicted_phase_times",
+    "signed_rel_error",
+    "observe_launch_drift",
+    "format_drift_report",
+]
+
+#: default |relative error| above which ``report --drift`` flags a launch
+DEFAULT_DRIFT_BOUND = 0.25
+
+#: histogram observations are clamped to this magnitude — the executed >
+#: 0 / predicted = 0 corner yields an infinite relative error, and the
+#: power-of-two histogram cannot bucket infinity
+_OBSERVE_CLAMP = 1e9
+
+
+def _topology_kind(topo) -> str:
+    """``FatTreeTopology`` → ``"fattree"`` — the metrics label value."""
+    name = type(topo).__name__
+    if name.endswith("Topology"):
+        name = name[: -len("Topology")]
+    return name.lower()
+
+
+def signed_rel_error(executed: float, predicted: float) -> float:
+    """Signed relative error of ``executed`` against ``predicted``.
+
+    Both zero (e.g. an empty phase) is perfect agreement; a positive
+    prediction gives the usual ratio; predicting zero for real executed
+    time is infinitely wrong.
+    """
+    if predicted > 0:
+        return (executed - predicted) / predicted
+    if executed <= 0:
+        return 0.0
+    return float("inf")
+
+
+def predicted_phase_times(runtime, record, vectorized, working_set) -> dict | None:
+    """Re-predict partial/Allgather times for one launch from its plan.
+
+    Uses exactly the model the offline estimator
+    (`repro.bench.profile.model_cucc_time`) uses: rank 0's partial
+    counters through :func:`cpu_node_time`, and the plan's per-buffer
+    Allgather payloads through the tuning selector +
+    :func:`allgather_algo_cost`.  Returns ``None`` for replicated
+    launches (nothing modeled phase-wise) and plans without partial
+    work.
+    """
+    plan = record.plan
+    if plan.replicated or plan.p_size <= 0 or not record.partial_counters:
+        return None
+    from repro.cluster.collectives import allgather_algo_cost
+    from repro.tuning.select import select_algorithm
+
+    comm = runtime.cluster.comm
+    topo = comm.topology
+    nodes = runtime.cluster.nodes
+    nblocks0 = len(plan.node_blocks(0))
+    partial = cpu_node_time(
+        nodes[0].spec,
+        record.partial_counters[0],
+        nblocks0,
+        vectorized,
+        simd_enabled=runtime.simd_enabled,
+        working_set_bytes=working_set,
+        params=runtime.params,
+    )
+    allgather = 0.0
+    algos: list[str] = []
+    for bp in plan.buffers:
+        payload = plan.p_size * bp.unit_elems * bp.elem_size * comm.size
+        if payload <= 0:
+            continue
+        algo = runtime.allgather_algo
+        if algo == "auto":
+            algo = select_algorithm(topo, payload, cache=comm.tuning)
+        allgather += allgather_algo_cost(algo, topo, payload)
+        if algo not in algos:
+            algos.append(algo)
+    return {"partial": partial, "allgather": allgather, "algos": tuple(algos)}
+
+
+def observe_launch_drift(
+    runtime, kernel, record, vectorized, working_set, lspan=None
+) -> dict | None:
+    """Record model-vs-executed drift of one launch into METRICS.
+
+    Observes ``model.drift_rel_err`` once per phase (partial, allgather)
+    with labels ``phase``/``kernel``/``topology``/``algo``, skipping
+    phases that are empty in both views.  When ``lspan`` (the launch's
+    open trace span) is given, the predictions are published into its
+    args for trace-side reporting.  Returns the prediction dict (or
+    ``None`` when the launch has no phase predictions).
+    """
+    pred = predicted_phase_times(runtime, record, vectorized, working_set)
+    if pred is None:
+        return None
+    topo_kind = _topology_kind(runtime.cluster.comm.topology)
+    times = record.phases
+    executed_algo = "+".join(times.allgather_algos) or "-"
+    for phase, predicted, executed, algo in (
+        ("partial", pred["partial"], times.partial, "-"),
+        ("allgather", pred["allgather"], times.allgather, executed_algo),
+    ):
+        if predicted <= 0 and executed <= 0:
+            continue
+        err = signed_rel_error(executed, predicted)
+        METRICS.observe(
+            "model.drift_rel_err",
+            max(-_OBSERVE_CLAMP, min(_OBSERVE_CLAMP, err)),
+            phase=phase,
+            kernel=kernel.name,
+            topology=topo_kind,
+            algo=algo,
+        )
+    if lspan is not None:
+        lspan.args["predicted_partial_s"] = pred["partial"]
+        lspan.args["predicted_allgather_s"] = pred["allgather"]
+        lspan.args["predicted_algos"] = "+".join(pred["algos"]) or "-"
+    return pred
+
+
+def format_drift_report(source, bound: float = DEFAULT_DRIFT_BOUND) -> str:
+    """Model-drift table from a trace file / span list with predictions.
+
+    ``source`` is anything :func:`repro.obs.export.load_trace` accepts
+    (path or parsed events) or a list of spans.  Only launches recorded
+    with drift telemetry on (``predicted_partial_s`` in the launch args)
+    appear; others are skipped silently.
+    """
+    from repro.bench.harness import format_table
+    from repro.obs.export import _views
+    from repro.obs.tracer import SpanKind
+
+    launches = [v for v in _views(source) if v.kind == SpanKind.LAUNCH]
+    rows = []
+    over = 0
+    for i, ev in enumerate(launches):
+        args = ev.args
+        if "predicted_partial_s" not in args:
+            continue
+        for phase, pkey, ekey, algo in (
+            ("partial", "predicted_partial_s", "partial_s", "-"),
+            (
+                "allgather",
+                "predicted_allgather_s",
+                "allgather_s",
+                args.get("predicted_algos", "-"),
+            ),
+        ):
+            predicted = float(args.get(pkey, 0.0))
+            executed = float(args.get(ekey, 0.0))
+            if predicted <= 0 and executed <= 0:
+                continue
+            err = signed_rel_error(executed, predicted)
+            flagged = not (abs(err) <= bound)
+            over += flagged
+            rows.append(
+                [
+                    i,
+                    args.get("kernel", ev.name),
+                    phase,
+                    algo,
+                    f"{predicted * 1e6:.2f}",
+                    f"{executed * 1e6:.2f}",
+                    f"{err * 100:+.1f}%" if err != float("inf") else "+inf",
+                    "OVER" if flagged else "ok",
+                ]
+            )
+    if not rows:
+        return (
+            "drift: no launches with model predictions in this trace "
+            "(re-run with --drift to record them)"
+        )
+    table = format_table(
+        ["launch", "kernel", "phase", "algo", "model (us)", "executed (us)",
+         "err", f"|err|<={bound * 100:.0f}%"],
+        rows,
+    )
+    verdict = (
+        f"{over} of {len(rows)} phase predictions exceed the "
+        f"{bound * 100:.0f}% drift bound"
+        if over
+        else f"all {len(rows)} phase predictions within the "
+        f"{bound * 100:.0f}% drift bound"
+    )
+    return f"{table}\n{verdict}"

@@ -73,6 +73,21 @@ def chrome_trace(source: Tracer | list[Span]) -> dict:
                 pids[pid] = "autotuner"
             else:
                 pids[pid] = f"rank {s.rank}"
+        if s.kind == SpanKind.COUNTER:
+            # Perfetto counter-track sample: numeric args only, no span
+            # identity (counters are a value series, not an interval)
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": s.kind,
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": s.t0 * 1e6,
+                    "ph": "C",
+                    "args": dict(s.args),
+                }
+            )
+            continue
         args = {"id": s.id}
         if s.parent is not None:
             args["parent"] = s.parent

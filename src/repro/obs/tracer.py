@@ -38,8 +38,10 @@ class SpanKind:
     ROUND = "round"  # one send round of a collective schedule
     FAULT = "fault"  # injected fault / recovery decision (instant)
     TUNE = "tune"  # one autotuner trial
+    COUNTER = "counter"  # Perfetto counter-track sample (profiler)
 
-    ALL = (COMPILE, LAUNCH, PHASE, EXEC, COLLECTIVE, ROUND, FAULT, TUNE)
+    ALL = (COMPILE, LAUNCH, PHASE, EXEC, COLLECTIVE, ROUND, FAULT, TUNE,
+           COUNTER)
 
 
 class Span:

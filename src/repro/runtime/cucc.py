@@ -125,6 +125,20 @@ class CuCCRuntime:
             is adopted as-is (shared across runtimes).  ``False``
             (default) attaches the disabled :data:`NULL_TRACER` — zero
             overhead, bit-identical modeled times and buffers.
+        profile: per-line hotspot profiling (see
+            :mod:`repro.obs.profiler`).  ``True`` builds a fresh
+            :class:`~repro.obs.profiler.Profiler`; an existing profiler
+            is adopted as-is (shared across runtimes).  ``False``
+            (default) leaves the interpreter's profile hook dormant —
+            identical counters, traces and modeled times.  With tracing
+            also on, each launch additionally emits Perfetto
+            counter-track samples of cumulative profiled work.
+        drift: model-drift telemetry (see :mod:`repro.obs.drift`) —
+            after every distributed launch, re-predict the partial /
+            Allgather phase times with the analytical cost model and
+            record the signed relative error into METRICS.  Opt-in
+            because the prediction pass exercises the tuning selector
+            (cache hit/miss counters) and annotates launch spans.
     """
 
     def __init__(
@@ -139,6 +153,8 @@ class CuCCRuntime:
         sanitize: bool = False,
         allgather_algo: str = "auto",
         trace: bool | Tracer = False,
+        profile: object = False,
+        drift: bool = False,
     ):
         self.cluster = cluster
         self.params = params
@@ -146,6 +162,18 @@ class CuCCRuntime:
         self.bounds_check = bounds_check
         self.faithful_replication = faithful_replication
         self.sanitize = sanitize
+        self.drift = bool(drift)
+        #: per-line hotspot profiler; ``None`` = profiling off (the
+        #: import is deferred so an unprofiled runtime never loads it)
+        self.profiler = None
+        if profile:
+            from repro.obs.profiler import Profiler
+
+            self.profiler = (
+                profile if isinstance(profile, Profiler) else Profiler()
+            )
+            # cumulative counter-track state (Perfetto "C" samples)
+            self._counter_cum = {"ops": 0.0, "bytes": 0.0}
         #: span tracer shared with the communicator and fault injector
         self.tracer: Tracer = (
             trace if isinstance(trace, Tracer)
@@ -331,8 +359,37 @@ class CuCCRuntime:
             rep = record.sanitizer_report
             if rep is not None and rep.findings:
                 METRICS.inc("sanitize.findings", len(rep.findings))
+        if self.drift:
+            from repro.obs.drift import observe_launch_drift
+
+            observe_launch_drift(
+                self, kernel, record, vectorized, working_set, lspan=lspan
+            )
+        if self.profiler is not None and lspan is not None:
+            self._emit_counter_samples(lspan, record)
         self.launches.append(record)
         return record
+
+    def _emit_counter_samples(self, lspan, record) -> None:
+        """Perfetto counter-track samples (ph ``C``): cumulative profiled
+        work sampled at the launch span's boundaries, so the exported
+        trace renders a work-over-time track alongside the spans."""
+        tot = OpCounters()
+        for c in record.partial_counters:
+            tot.add(c)
+        tot.add(record.callback_counters)
+        cum = self._counter_cum
+        t1 = lspan.t1 if lspan.t1 is not None else self.cluster.max_clock
+        self.tracer.add(
+            "profile.cumulative", SpanKind.COUNTER, lspan.t0, lspan.t0,
+            weighted_ops=cum["ops"], dram_bytes=cum["bytes"],
+        )
+        cum["ops"] += tot.weighted_ops
+        cum["bytes"] += tot.global_line_bytes or tot.global_bytes
+        self.tracer.add(
+            "profile.cumulative", SpanKind.COUNTER, t1, t1,
+            weighted_ops=cum["ops"], dram_bytes=cum["bytes"],
+        )
 
     # ------------------------------------------------------------------
     # fault-free path (exactly the seed behaviour)
@@ -672,10 +729,17 @@ class CuCCRuntime:
                 if tracer.enabled
                 else None
             )
+            # one shared line sink per phase: every rank's executor feeds
+            # it, merging per-line counts across the cluster
+            prof = (
+                self.profiler.sink(kernel, "partial", vectorized=vectorized)
+                if self.profiler is not None
+                else None
+            )
             for node in self.cluster.nodes:
                 counters = OpCounters()
                 ex = self._executor(kernel, config, buffer_args, scalar_args,
-                                    node, counters)
+                                    node, counters, prof)
                 blocks = plan.node_blocks(node.rank)
                 ex.run_blocks(blocks)
                 t = cpu_node_time(
@@ -742,13 +806,15 @@ class CuCCRuntime:
         return allgather_time, algos
 
     # ------------------------------------------------------------------
-    def _executor(self, kernel, config, buffer_args, scalar_args, node, counters):
+    def _executor(self, kernel, config, buffer_args, scalar_args, node,
+                  counters, prof=None):
         run_args: dict[str, object] = dict(scalar_args)
         for pname, bname in buffer_args.items():
             run_args[pname] = node.buffer(bname)
         return BlockExecutor(
             kernel, config, run_args, counters, bounds_check=self.bounds_check,
             sanitize=self._cur_san if self._cur_san is not None else False,
+            profile=prof,
         )
 
     def _run_replicated(
@@ -776,8 +842,16 @@ class CuCCRuntime:
             else None
         )
         first = nodes[0]
+        # only the first executor profiles: its counters are the phase's
+        # accounting (scratch replicas below are charged but not counted),
+        # so per-line totals keep summing exactly to the aggregate
+        prof = (
+            self.profiler.sink(kernel, "callback", vectorized=vectorized)
+            if self.profiler is not None
+            else None
+        )
         ex = self._executor(kernel, config, buffer_args, scalar_args, first,
-                            counters)
+                            counters, prof)
         ex.run_blocks(blocks)
         t = cpu_node_time(
             first.spec,

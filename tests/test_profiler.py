@@ -1,0 +1,512 @@
+"""Per-line profiler, model-drift telemetry, continuous benchmarks.
+
+Covers the PR's three legs end to end: the exact-attribution invariant
+of the per-line profiler (per-line counts sum field-by-field to the
+aggregate OpCounters — pinned with a hypothesis property over random
+divergent kernels), the Perfetto counter-track export, the drift
+telemetry for ring and hierarchical Allgather paths, the CLI surface
+(``repro profile``, ``run --profile/--drift``, ``report --drift``,
+parent-directory creation for output paths), and the ``BENCH_*.json``
+continuous-benchmark pipeline with its regression gate.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.continuous import run_continuous, validate_bench_json
+from repro.bench.harness import geomean, run_on_cucc
+from repro.cli import main as cli_main
+from repro.cluster import make_cluster
+from repro.interp import BlockExecutor, LaunchConfig
+from repro.interp.counters import OpCounters
+from repro.ir import F32, IRBuilder
+from repro.ir.visitor import iter_stmts
+from repro.obs import METRICS
+from repro.obs.drift import (
+    DEFAULT_DRIFT_BOUND,
+    format_drift_report,
+    signed_rel_error,
+)
+from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.profiler import KernelProfile, Profiler, roofline_placement
+from repro.runtime import CuCCRuntime
+from repro.workloads import PERF_WORKLOADS
+from trace_schema import validate_chrome_trace
+
+NODES = 4
+TPB = 32
+GRID = 3
+N = TPB * GRID
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    """Isolate the process-wide registry per test."""
+    METRICS.reset()
+    yield
+    METRICS.reset()
+
+
+def _run(name="KMeans", nodes=NODES, **kw):
+    spec = PERF_WORKLOADS[name]("small", seed=0)
+    return run_on_cucc(spec, make_cluster("simd-focused", nodes), **kw)
+
+
+def _aggregate(record) -> OpCounters:
+    """Aggregate counters of one launch, the way the runtime books them."""
+    agg = OpCounters()
+    for c in record.partial_counters:
+        agg.add(c)
+    agg.add(record.callback_counters)
+    return agg
+
+
+# ---------------------------------------------------------------------------
+# runtime attribution: per-line sums reproduce the aggregate exactly
+# ---------------------------------------------------------------------------
+def test_runtime_per_line_totals_match_aggregate():
+    res = _run(profile=True)
+    prof = res.runtime.profiler
+    rec = res.record
+    assert prof.total(rec.kernel_name).as_dict() == _aggregate(rec).as_dict()
+    profile = prof.profiles[rec.kernel_name]
+    # both execution phases were attributed, kept apart
+    assert set(profile.phases) == {"partial", "callback"}
+    split = profile.phase_split()
+    assert sum(split.values()) == pytest.approx(1.0)
+    # per-phase totals also reproduce the per-phase aggregates
+    part = OpCounters()
+    for c in rec.partial_counters:
+        part.add(c)
+    assert profile.total("partial").as_dict() == part.as_dict()
+    assert (
+        profile.total("callback").as_dict() == rec.callback_counters.as_dict()
+    )
+
+
+def test_profiler_shared_across_launches_accumulates():
+    prof = Profiler()
+    _run(name="FIR", nodes=2, profile=prof)
+    _run(name="KMeans", nodes=2, profile=prof)
+    assert set(prof.profiles) >= {"fir1d", "kmeans_assign"} or len(
+        prof.profiles
+    ) == 2
+    for kp in prof.profiles.values():
+        assert kp.total().weighted_ops > 0
+
+
+def test_profiling_off_and_on_keep_modeled_times_identical():
+    off = _run(trace=True)
+    on = _run(trace=True, profile=True)
+    assert off.record.phases == on.record.phases
+    assert off.runtime.sim_time == on.runtime.sim_time
+    # unprofiled traces carry no counter events at all
+    obj_off = chrome_trace(off.runtime.tracer)
+    assert all(e["ph"] != "C" for e in obj_off["traceEvents"])
+    assert _run().runtime.profiler is None  # off by default
+
+
+# ---------------------------------------------------------------------------
+# hypothesis property: exact per-line attribution under divergence
+# ---------------------------------------------------------------------------
+@st.composite
+def profiled_kernels(draw):
+    """Random DSL kernels with if/for/while divergence, locs stamped
+    pseudo-randomly (including collisions and loc-less statements)."""
+    k = draw(st.integers(2, 5))
+    m = draw(st.integers(1, k))
+    trip = draw(st.integers(1, 3))
+    wtrip = draw(st.integers(0, 3))
+    stride = draw(st.integers(1, 4))
+    offset = draw(st.integers(0, 6))
+
+    b = IRBuilder("prop_prof")
+    in0 = b.pointer_param("in0", F32)
+    out = b.pointer_param("out", F32)
+    gid = b.let("gid", b.bid_x * b.bdim_x + b.tid_x)
+    acc = b.let("acc", b.load(in0, gid))
+    with b.if_(gid % k < m):  # lane divergence
+        with b.for_("i", 0, trip):
+            b.assign(acc, acc + b.load(in0, gid))
+    j = b.let("j", gid % k)
+    with b.while_(j < wtrip):  # per-lane trip counts
+        b.assign(acc, acc * 1.5)
+        b.assign(j, j + 1)
+    b.store(out, gid, acc)
+    kernel = b.finish()
+
+    # stamp source lines: collisions and None both allowed
+    for i, s in enumerate(iter_stmts(kernel.body)):
+        v = (i * stride + offset) % 7
+        s.loc = None if v == 0 else v
+    return kernel
+
+
+@given(profiled_kernels(), st.integers(0, 2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_per_line_counts_sum_exactly_to_aggregate(kernel, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.5, 2.0, N).astype(np.float32)
+    outb = np.zeros(N, dtype=np.float32)
+    prof = Profiler()
+    agg = OpCounters()
+    ex = BlockExecutor(
+        kernel,
+        LaunchConfig.make(GRID, TPB),
+        {"in0": x, "out": outb},
+        counters=agg,
+        profile=prof,
+    )
+    ex.run_blocks(range(GRID), span=2)
+    # exact, field by field — not approx: attribution mirrors every add
+    assert prof.total(kernel.name).as_dict() == agg.as_dict()
+    assert set(prof.profiles[kernel.name].phases) == {"grid"}
+
+
+def test_while_condition_bills_loop_header_line():
+    b = IRBuilder("while_attr")
+    out = b.pointer_param("out", F32)
+    gid = b.let("gid", b.bid_x * b.bdim_x + b.tid_x)
+    j = b.let("j", gid * 0)
+    with b.while_(j < 3):
+        b.assign(j, j + 1)
+    b.store(out, gid, 1.0)
+    kernel = b.finish()
+    stmts = list(iter_stmts(kernel.body))
+    for i, s in enumerate(stmts):
+        s.loc = i + 1
+    while_loc = next(
+        s.loc for s in stmts if type(s).__name__ == "While"
+    )
+    prof = Profiler()
+    agg = OpCounters()
+    ex = BlockExecutor(
+        kernel,
+        LaunchConfig.make(1, TPB),
+        {"out": np.zeros(TPB, dtype=np.float32)},
+        counters=agg,
+        profile=prof,
+    )
+    ex.run_blocks(range(1))
+    lines = prof.profiles[kernel.name].lines()
+    # 4 condition evaluations per lane (3 true + 1 final false), all
+    # billed to the loop-header line, none lost to the body's bucket
+    assert lines[while_loc].int_ops == 4.0 * TPB
+    assert prof.total(kernel.name).as_dict() == agg.as_dict()
+
+
+def test_rollups_fold_loop_body_into_header_total():
+    b = IRBuilder("rollup")
+    in0 = b.pointer_param("in0", F32)
+    out = b.pointer_param("out", F32)
+    gid = b.let("gid", b.bid_x * b.bdim_x + b.tid_x)
+    acc = b.let("acc", 0.0)
+    with b.for_("i", 0, 4):
+        b.assign(acc, acc + b.load(in0, gid))
+    b.store(out, gid, acc)
+    kernel = b.finish()
+    stmts = list(iter_stmts(kernel.body))
+    for i, s in enumerate(stmts):
+        s.loc = i + 1
+    for_loc = next(s.loc for s in stmts if type(s).__name__ == "For")
+    x = np.ones(TPB, dtype=np.float32)
+    prof = Profiler()
+    agg = OpCounters()
+    ex = BlockExecutor(
+        kernel,
+        LaunchConfig.make(1, TPB),
+        {"in0": x, "out": np.zeros(TPB, dtype=np.float32)},
+        counters=agg,
+        profile=prof,
+    )
+    ex.run_blocks(range(1))
+    kp = prof.profiles[kernel.name]
+    rolled = {loc: (own, tot) for loc, own, tot in kp.rollups()}
+    own, tot = rolled[for_loc]
+    # the header's total folds in the body's adds/loads; its self does not
+    assert tot.weighted_ops > own.weighted_ops
+    body_loc = for_loc + 1
+    assert tot.weighted_ops == pytest.approx(
+        own.weighted_ops + rolled[body_loc][1].weighted_ops
+    )
+    table = kp.hotspot_table()
+    assert "TOTAL" in table and "w.ops" in table
+
+
+def test_report_includes_roofline_and_source():
+    res = _run(profile=True)
+    rt = res.runtime
+    report = rt.profiler.report(
+        spec=rt.cluster.nodes[0].spec,
+        simd_enabled=rt.simd_enabled,
+        params=rt.params,
+    )
+    assert "roofline:" in report and "-bound" in report
+    assert "phase split" in report
+    r = roofline_placement(
+        rt.profiler.total(res.record.kernel_name),
+        rt.cluster.nodes[0].spec,
+        vectorized=True,
+    )
+    assert r["bound"] in ("compute", "memory")
+    assert r["intensity_ops_per_byte"] > 0
+    digest = rt.profiler.hotspot_digest(top=2)
+    assert digest and all(0.0 <= h["ops_share"] <= 1.0 for h in digest)
+
+
+def test_kernel_profile_source_line_lookup():
+    b = IRBuilder("nosrc")
+    out = b.pointer_param("out", F32)
+    b.store(out, b.tid_x, 1.0)
+    kp = KernelProfile(b.finish())
+    assert kp.source_line(None) == "<no source loc>"
+    assert kp.source_line(999) == "?"
+
+
+# ---------------------------------------------------------------------------
+# Perfetto counter-track export
+# ---------------------------------------------------------------------------
+def test_counter_events_exported_and_schema_valid(tmp_path):
+    res = _run(trace=True, profile=True)
+    path = write_chrome_trace(res.runtime.tracer, tmp_path / "t.json")
+    obj = json.loads(path.read_text())
+    assert validate_chrome_trace(obj) == []
+    counters = [e for e in obj["traceEvents"] if e["ph"] == "C"]
+    assert len(counters) >= 2
+    assert all(e["name"] == "profile.cumulative" for e in counters)
+    ops = [e["args"]["weighted_ops"] for e in counters]
+    assert ops == sorted(ops)  # cumulative series never decreases
+    assert ops[0] == 0.0
+    # the final sample equals the profiler's own aggregate
+    assert ops[-1] == pytest.approx(
+        res.runtime.profiler.total(res.record.kernel_name).weighted_ops
+    )
+    assert all("id" not in e["args"] for e in counters)
+
+
+def test_counter_schema_checker_rejects_bad_series():
+    bad = {
+        "displayTimeUnit": "ms",
+        "traceEvents": [
+            {"name": "c", "cat": "counter", "pid": 0, "tid": 0, "ts": 0.0,
+             "ph": "C", "args": {"v": "high"}},
+            {"name": "c", "cat": "counter", "pid": 0, "tid": 0, "ts": 0.0,
+             "ph": "C", "args": {}},
+        ],
+    }
+    problems = validate_chrome_trace(bad)
+    assert any("must be a number" in p for p in problems)
+    assert any("empty args" in p for p in problems)
+
+
+# ---------------------------------------------------------------------------
+# model-drift telemetry
+# ---------------------------------------------------------------------------
+def test_signed_rel_error_corners():
+    assert signed_rel_error(1.2, 1.0) == pytest.approx(0.2)
+    assert signed_rel_error(0.8, 1.0) == pytest.approx(-0.2)
+    assert signed_rel_error(0.0, 0.0) == 0.0
+    assert signed_rel_error(1.0, 0.0) == float("inf")
+
+
+def _drift_run(algo, topology=None, nodes=8):
+    """A KMeans launch with a forced Allgather algorithm, drift on."""
+    spec = PERF_WORKLOADS["KMeans"]("small", seed=0)
+    cluster = make_cluster("simd-focused", nodes, topology=topology)
+    rt = CuCCRuntime(
+        cluster,
+        faithful_replication=False,
+        allgather_algo=algo,
+        trace=True,
+        drift=True,
+    )
+    for name, arr in spec.arrays.items():
+        rt.memory.alloc(name, arr.size, arr.dtype)
+        rt.memory.memcpy_h2d(name, arr)
+    rt.launch(rt.compile(spec.kernel), spec.grid, spec.block, spec.args())
+    return rt
+
+
+@pytest.mark.parametrize(
+    "algo,topology",
+    [("ring", None), ("hierarchical", "fat-tree")],
+)
+def test_drift_covers_ring_and_hierarchical_paths(algo, topology):
+    rt = _drift_run(algo, topology)
+    report = format_drift_report(rt.tracer)
+    assert algo in report
+    assert "partial" in report and "allgather" in report
+    # fault-free, the executed run prices phases with the same model the
+    # prediction uses — every row must sit inside the default bound
+    assert "OVER" not in report
+    assert f"within the {DEFAULT_DRIFT_BOUND * 100:.0f}% drift bound" in report
+    # histogram series landed with the right labels
+    snap = METRICS.snapshot()["model.drift_rel_err"]
+    assert any(f"algo={algo}" in label for label in snap)
+    assert any("phase=partial" in label for label in snap)
+
+
+def test_drift_off_records_nothing_and_leaves_spans_clean():
+    res = _run(trace=True)
+    assert "model.drift_rel_err" not in METRICS.names()
+    assert format_drift_report(res.runtime.tracer).startswith(
+        "drift: no launches"
+    )
+
+
+def test_drift_on_does_not_change_modeled_times():
+    off = _run()
+    on = _run(drift=True)
+    assert off.record.phases == on.record.phases
+    assert off.runtime.sim_time == on.runtime.sim_time
+
+
+def test_drift_report_flags_inflated_predictions(tmp_path):
+    rt = _drift_run("ring")
+    path = write_chrome_trace(rt.tracer, tmp_path / "t.json")
+    obj = json.loads(path.read_text())
+    for ev in obj["traceEvents"]:
+        if "predicted_partial_s" in ev.get("args", {}):
+            ev["args"]["predicted_partial_s"] *= 10.0  # fake a drifted model
+    doctored = tmp_path / "d.json"
+    doctored.write_text(json.dumps(obj))
+    report = format_drift_report(str(doctored))
+    assert "OVER" in report and "exceed" in report
+    # a tighter bound flags the honest file too
+    assert "OVER" in format_drift_report(str(path), bound=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# CLI: parent-dir creation, profile command, report --drift
+# ---------------------------------------------------------------------------
+def test_cli_run_creates_missing_output_parent_dirs(tmp_path, capsys):
+    trace = tmp_path / "deep" / "nested" / "t.json"
+    profile = tmp_path / "other" / "profile.txt"
+    rc = cli_main(
+        ["run", "kmeans", "--nodes", "2", "--trace", str(trace),
+         "--profile", str(profile), "--drift"]
+    )
+    assert rc == 0
+    assert trace.exists() and profile.exists()
+    assert validate_chrome_trace(json.loads(trace.read_text())) == []
+    assert "TOTAL" in profile.read_text()
+    capsys.readouterr()
+    rc = cli_main(["report", str(trace), "--drift"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "drift bound" in out
+
+
+def test_cli_report_drift_without_telemetry_says_so(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    assert cli_main(
+        ["run", "kmeans", "--nodes", "2", "--trace", str(trace)]
+    ) == 0
+    capsys.readouterr()
+    assert cli_main(["report", str(trace), "--drift"]) == 0
+    assert "re-run with --drift" in capsys.readouterr().out
+
+
+def test_cli_profile_command_checks_totals(capsys):
+    rc = cli_main(["profile", "kmeans", "--nodes", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "per-line totals match aggregate OpCounters: yes" in out
+    assert "TOTAL" in out and "roofline:" in out
+
+
+def test_cli_profile_and_drift_flags_require_cucc(capsys):
+    rc = cli_main(
+        ["run", "FIR", "--platform", "pgas", "--profile", "x.txt"]
+    )
+    assert rc == 1
+    assert "--profile requires" in capsys.readouterr().err
+    rc = cli_main(["run", "FIR", "--platform", "pgas", "--drift"])
+    assert rc == 1
+    assert "--drift requires" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# harness satellite: geomean of an empty sequence
+# ---------------------------------------------------------------------------
+def test_geomean_rejects_empty_sequence():
+    with pytest.raises(ValueError, match="empty sequence"):
+        geomean([])
+    with pytest.raises(ValueError, match="empty sequence"):
+        geomean(v for v in [1.0] if v < 0)
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+
+# ---------------------------------------------------------------------------
+# continuous benchmarking: BENCH_*.json + regression gate
+# ---------------------------------------------------------------------------
+def test_validate_bench_json_rejects_malformed():
+    good = {
+        "schema_version": 1,
+        "name": "scaling",
+        "size": "small",
+        "metrics": {"t": 1.0},
+    }
+    assert validate_bench_json(good) == []
+    cases = [
+        ({**good, "schema_version": 2}, "schema_version"),
+        ({**good, "name": "bad name!"}, "name"),
+        ({**good, "size": "huge"}, "size"),
+        ({**good, "metrics": {}}, "non-empty"),
+        ({**good, "metrics": {"t": float("inf")}}, "finite"),
+        ({**good, "metrics": {"t": True}}, "finite"),
+        ({**good, "hotspots": [{"ops_share": "no"}]}, "hotspots"),
+        ({**good, "extra": 1}, "unknown"),
+        ([], "object"),
+    ]
+    for doc, needle in cases:
+        problems = validate_bench_json(doc)
+        assert problems and any(needle in p for p in problems), (doc, needle)
+
+
+def test_run_continuous_emits_documents_matching_baselines(tmp_path):
+    out = tmp_path / "bench-out"
+    paths = run_continuous(out)
+    assert sorted(p.name for p in paths) == [
+        "BENCH_collectives.json",
+        "BENCH_phase_split.json",
+        "BENCH_scaling.json",
+    ]
+    for p in paths:
+        doc = json.loads(p.read_text())
+        assert validate_bench_json(doc) == []
+        assert doc["size"] == "small"
+    scaling = json.loads((out / "BENCH_scaling.json").read_text())
+    assert "geomean_speedup_2to4" in scaling["metrics"]
+    assert scaling["hotspots"], "profiler digest missing from scaling doc"
+    # the regression gate passes against the committed baselines (the
+    # simulation is deterministic, so this is an exact-agreement check)
+    gate = REPO_ROOT / "benchmarks" / "check_regression.py"
+    proc = subprocess.run(
+        [sys.executable, str(gate), "--current", str(out)],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    # ... and fails loudly once a metric moves beyond tolerance
+    scaling["metrics"]["geomean_speedup_2to4"] *= 1.5
+    (out / "BENCH_scaling.json").write_text(json.dumps(scaling))
+    proc = subprocess.run(
+        [sys.executable, str(gate), "--current", str(out)],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 1
+    assert "geomean_speedup_2to4" in proc.stdout
+
+
+def test_run_continuous_rejects_unknown_benchmark(tmp_path):
+    with pytest.raises(ValueError, match="unknown benchmark"):
+        run_continuous(tmp_path, names=["nope"])

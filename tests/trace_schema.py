@@ -22,7 +22,7 @@ import sys
 #: without importing it, so the checker stands alone as a CI tool)
 KNOWN_CATS = {
     "compile", "launch", "phase", "exec", "collective", "round",
-    "fault", "tune",
+    "fault", "tune", "counter",
 }
 
 #: metadata record names the exporter emits
@@ -51,8 +51,10 @@ def validate_chrome_trace(obj) -> list[str]:
             problems.append(f"{where}: not an object")
             continue
         ph = ev.get("ph")
-        if ph not in ("X", "i", "M"):
-            problems.append(f"{where}: ph must be 'X', 'i' or 'M', got {ph!r}")
+        if ph not in ("X", "i", "M", "C"):
+            problems.append(
+                f"{where}: ph must be 'X', 'i', 'M' or 'C', got {ph!r}"
+            )
             continue
         if not isinstance(ev.get("name"), str) or not ev["name"]:
             problems.append(f"{where}: missing non-empty 'name'")
@@ -76,6 +78,18 @@ def validate_chrome_trace(obj) -> list[str]:
         if not isinstance(args, dict):
             problems.append(f"{where}: 'args' must be an object")
             args = {}
+        if ph == "C":
+            # Perfetto counter-track sample: one numeric series value per
+            # args key; no span id/parent (counters are not intervals)
+            if not args:
+                problems.append(f"{where}: counter event has empty args")
+            for k, v in args.items():
+                if isinstance(v, bool) or not isinstance(v, (int, float)):
+                    problems.append(
+                        f"{where}: counter series {k!r} must be a number, "
+                        f"got {v!r}"
+                    )
+            continue
         if ph == "X":
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
