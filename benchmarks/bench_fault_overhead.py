@@ -74,6 +74,7 @@ def fault_overhead(size: str = "small") -> FigureResult:
                 f"{res.time / ref.time:.2f}x",
             ]
         )
+    rows.extend(_elastic_rows(spec, ref, ref_out))
     return FigureResult(
         figure="fault-overhead",
         title=f"completion time under injected faults (FIR {size}, "
@@ -86,8 +87,99 @@ def fault_overhead(size: str = "small") -> FigureResult:
         notes=[
             "every faulty run's output verified bit-identical to the "
             "fault-free reference",
+            "checkpointed rows assert zero simulated-time overhead; the "
+            "resumed row asserts bit-identical convergence after a "
+            "mid-run halt",
         ],
     )
+
+
+def _elastic_rows(spec, ref, ref_out):
+    """Checkpointed and halt/resume configurations of the crash scenario.
+
+    Durable checkpoints must be invisible to simulated time, and a run
+    interrupted at its first checkpoint and resumed from disk must
+    reproduce the uninterrupted run bit-for-bit — both are *asserted*
+    here, so the benchmark doubles as the elastic differential gate.
+    """
+    import tempfile
+
+    from repro.errors import CheckpointHalt
+    from repro.ops import CheckpointPolicy, latest_checkpoint, resume_on_cucc
+
+    def crash_plan():
+        return FaultPlan((NodeCrash(rank=3, phase="allgather"),), seed=1)
+
+    def row(label, res):
+        rec = res.record
+        return [
+            label,
+            res.runtime.cluster.num_nodes,
+            rec.retries,
+            rec.recoveries,
+            f"{rec.phases.recovery * 1e3:.3f}",
+            f"{res.time * 1e3:.3f}",
+            f"{res.time / ref.time:.2f}x",
+        ]
+
+    rows = []
+    with tempfile.TemporaryDirectory() as td:
+        meta = {"workload": spec.name, "size": "bench"}
+        ck_free = run_on_cucc(
+            spec, make_cluster("simd-focused", NODES),
+            checkpoint=CheckpointPolicy(directory=f"{td}/free"),
+            app_meta=meta,
+        )
+        if ck_free.time != ref.time:
+            raise AssertionError(
+                "checkpointing perturbed the fault-free simulated time"
+            )
+        rows.append(row("ckpt'd fault-free", ck_free))
+
+        crash_ref = run_on_cucc(
+            spec, make_cluster("simd-focused", NODES),
+            fault_plan=crash_plan(),
+        )
+        ck_crash = run_on_cucc(
+            spec, make_cluster("simd-focused", NODES),
+            fault_plan=crash_plan(),
+            checkpoint=CheckpointPolicy(directory=f"{td}/crash"),
+            app_meta=meta,
+        )
+        if ck_crash.time != crash_ref.time:
+            raise AssertionError(
+                "checkpointing perturbed the faulted simulated time"
+            )
+        rows.append(row("ckpt'd crash", ck_crash))
+
+        try:
+            run_on_cucc(
+                spec, make_cluster("simd-focused", NODES),
+                fault_plan=crash_plan(),
+                checkpoint=CheckpointPolicy(
+                    directory=f"{td}/halt", halt_after=1
+                ),
+                app_meta=meta,
+            )
+        except CheckpointHalt:
+            pass
+        else:
+            raise AssertionError("--halt-after drill never halted")
+        resumed = resume_on_cucc(spec, latest_checkpoint(f"{td}/halt"))
+        if resumed.time != crash_ref.time:
+            raise AssertionError(
+                "resumed run's time differs from the uninterrupted run"
+            )
+        for o in spec.outputs:
+            got = resumed.runtime.memory.memcpy_d2h(
+                o, check_consistency=True
+            )
+            if not np.array_equal(got, ref_out[o]):
+                raise AssertionError(
+                    f"resumed run: {o!r} differs from the reference"
+                )
+        rows.append(row("halt+resume crash", resumed))
+    return rows
 
 
 def test_fault_overhead(benchmark, emit, bench_size):

@@ -43,6 +43,13 @@ from repro.hw import (
 from repro.interp import LaunchConfig, OpCounters, run_grid
 from repro.ir import IRBuilder, Kernel, print_kernel
 from repro.obs import METRICS, MetricsRegistry, Span, SpanKind, Tracer, get_metrics
+from repro.ops import (
+    CheckpointPolicy,
+    DriftGuardPolicy,
+    grow_cluster,
+    resume_on_cucc,
+    resume_runtime,
+)
 from repro.runtime import CompiledKernel, CuCCRuntime, LaunchRecord, RecoveryPolicy
 from repro.sanitize import (
     DynamicSanitizer,
@@ -71,6 +78,10 @@ __all__ = [
     "LaunchRecord", "LaunchConfig", "OpCounters", "run_grid",
     # fault injection + recovery
     "FaultPlan", "RecoveryPolicy",
+    # elastic operations: durable checkpoint/restart, grow recovery,
+    # drift breaker (full surface in repro.ops)
+    "CheckpointPolicy", "resume_runtime", "resume_on_cucc",
+    "grow_cluster", "DriftGuardPolicy",
     # collective engine: topologies, algorithm zoo, autotuning
     "Topology", "FlatTopology", "FatTreeTopology", "RingTopology",
     "TorusTopology", "make_topology",

@@ -200,11 +200,80 @@ def bench_collectives(size: str) -> dict:
     }
 
 
+def bench_fault_overhead(size: str) -> dict:
+    """Fault recovery + elastic operations: modeled cost of crash
+    recovery, and the (asserted-zero) overhead of durable checkpointing
+    and the halt/resume drill."""
+    import tempfile
+
+    from repro.bench.harness import run_on_cucc
+    from repro.cluster import make_cluster
+    from repro.cluster.faults import FaultPlan, NodeCrash
+    from repro.errors import CheckpointHalt
+    from repro.ops import CheckpointPolicy, latest_checkpoint, resume_on_cucc
+    from repro.workloads import fir
+
+    nodes = 4
+    spec = fir.build(size, seed=0)
+
+    def crash_plan():
+        return FaultPlan((NodeCrash(rank=3, phase="allgather"),), seed=1)
+
+    ref = run_on_cucc(spec, make_cluster("simd-focused", nodes))
+    crash = run_on_cucc(
+        spec, make_cluster("simd-focused", nodes), fault_plan=crash_plan()
+    )
+    with tempfile.TemporaryDirectory() as td:
+        meta = {"workload": spec.name, "size": size}
+        ck = run_on_cucc(
+            spec, make_cluster("simd-focused", nodes),
+            fault_plan=crash_plan(),
+            checkpoint=CheckpointPolicy(directory=td), app_meta=meta,
+        )
+        halt_dir = td + "/halt"
+        try:
+            run_on_cucc(
+                spec, make_cluster("simd-focused", nodes),
+                fault_plan=crash_plan(),
+                checkpoint=CheckpointPolicy(
+                    directory=halt_dir, halt_after=1
+                ),
+                app_meta=meta,
+            )
+            raise AssertionError("halt-after drill never halted")
+        except CheckpointHalt:
+            pass
+        resumed = resume_on_cucc(spec, latest_checkpoint(halt_dir))
+        checkpoints_written = ck.runtime.ops.written
+    metrics = {
+        "fault_free_time_s": ref.time,
+        "crash_allgather_time_s": crash.time,
+        "crash_recovery_ratio": crash.time / ref.time,
+        "crash_recoveries": float(crash.record.recoveries),
+        # contract metrics: must be exactly 0.0 (checked at tight atol
+        # by check_regression.py, asserted here too)
+        "checkpoint_time_delta_s": ck.time - crash.time,
+        "resume_time_delta_s": resumed.time - crash.time,
+        "checkpoints_written": float(checkpoints_written),
+    }
+    if metrics["checkpoint_time_delta_s"] != 0.0:
+        raise AssertionError("checkpointing perturbed simulated time")
+    if metrics["resume_time_delta_s"] != 0.0:
+        raise AssertionError("resumed run diverged from uninterrupted run")
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": "fault_overhead",
+        "size": size,
+        "metrics": metrics,
+    }
+
+
 #: benchmark name -> builder(size) (the ``--json`` runner's registry)
 BENCHMARKS = {
     "scaling": bench_scaling,
     "phase_split": bench_phase_split,
     "collectives": bench_collectives,
+    "fault_overhead": bench_fault_overhead,
 }
 
 

@@ -54,6 +54,9 @@ def run_on_cucc(
     trace=False,
     profile=False,
     drift=False,
+    checkpoint=None,
+    drift_guard=None,
+    app_meta=None,
 ) -> CuCCResult:
     """Run a workload through the three-phase CuCC runtime.
 
@@ -64,7 +67,11 @@ def run_on_cucc(
     the runtime; the spans are reachable via ``result.runtime.tracer``.
     ``profile`` (a bool or a :class:`~repro.obs.profiler.Profiler`) and
     ``drift`` likewise forward; the per-line profile is reachable via
-    ``result.runtime.profiler``.
+    ``result.runtime.profiler``.  ``checkpoint`` (a
+    :class:`~repro.ops.policy.CheckpointPolicy`) and ``drift_guard`` (a
+    :class:`~repro.ops.guard.DriftGuardPolicy`) arm the elastic
+    operations layer; ``app_meta`` is stored verbatim in every durable
+    checkpoint (the workload identity the resume side validates).
     """
     rt = CuCCRuntime(
         cluster,
@@ -76,7 +83,11 @@ def run_on_cucc(
         trace=trace,
         profile=profile,
         drift=drift,
+        checkpoint=checkpoint,
+        drift_guard=drift_guard,
     )
+    if app_meta and rt.ops is not None:
+        rt.ops.app.update(app_meta)
     for name, arr in spec.arrays.items():
         rt.memory.alloc(name, arr.size, arr.dtype)
         rt.memory.memcpy_h2d(name, arr)

@@ -13,6 +13,13 @@
     python -m repro profile kmeans --nodes 4     # per-line hotspot table
     python -m repro run kmeans --trace t.json --drift    # drift telemetry
     python -m repro report t.json --drift        # model-vs-executed table
+    python -m repro run FIR --checkpoint ckpts/  # durable checkpoints
+    python -m repro run FIR --checkpoint ckpts/ --halt-after 1  # exit 3
+    python -m repro run FIR --resume ckpts/      # continue where it died
+    python -m repro ckpt inspect ckpts/          # summarize latest .rckp
+    python -m repro ckpt validate ckpts/latest.rckp   # integrity check
+    python -m repro ckpt diff a.rckp b.rckp      # exit 1 when state differs
+    python -m repro run FIR --drift-guard 0.25   # arm the drift breaker
     python -m repro sanitize FIR                 # static + dynamic sanitizer
     python -m repro sanitize kernel.cu           # static race detector
     python -m repro sanitize --all               # every bundled workload
@@ -35,7 +42,7 @@ import sys
 import numpy as np
 
 from repro.analysis import analyze_kernel, finalize_plan
-from repro.errors import ReproError
+from repro.errors import CheckpointHalt, ReproError
 from repro.frontend.parser import parse_cuda
 from repro.interp.grid import LaunchConfig
 from repro.transform import (
@@ -163,14 +170,69 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for flag in ("trace", "profile", "drift"):
         if getattr(args, flag) and args.platform != "cucc":
             raise ReproError(f"--{flag} requires --platform cucc")
+    for flag in ("checkpoint", "resume", "drift_guard"):
+        if getattr(args, flag) and args.platform != "cucc":
+            opt = flag.replace("_", "-")
+            raise ReproError(f"--{opt} requires --platform cucc")
+    checkpoint = None
+    if args.checkpoint:
+        from repro.ops import CheckpointPolicy
+
+        checkpoint = CheckpointPolicy(
+            directory=args.checkpoint,
+            mode=args.checkpoint_mode,
+            interval_s=args.checkpoint_interval,
+            keep=args.checkpoint_keep,
+            halt_after=args.halt_after,
+        )
+    elif args.halt_after is not None:
+        raise ReproError("--halt-after requires --checkpoint DIR")
+    drift_guard = None
+    if args.drift_guard is not None:
+        from repro.ops import DriftGuardPolicy
+
+        drift_guard = DriftGuardPolicy(bound=args.drift_guard)
     if args.platform == "cucc":
-        cluster = make_cluster(
-            args.cluster, args.nodes, topology=args.topology, tuning=tuning
-        )
-        res = run_on_cucc(
-            spec, cluster, fault_plan=fault_plan, trace=bool(args.trace),
-            profile=bool(args.profile), drift=bool(args.drift),
-        )
+        if args.resume:
+            if args.faults:
+                raise ReproError(
+                    "--resume restores the fault schedule from the "
+                    "checkpoint itself; drop --faults"
+                )
+            import os
+
+            from repro.ops import latest_checkpoint, resume_on_cucc
+
+            if os.path.isdir(args.resume):
+                latest = latest_checkpoint(args.resume)
+                if latest is None:
+                    raise ReproError(
+                        f"no checkpoints in directory {args.resume!r}"
+                    )
+                args.resume = str(latest)
+            res = resume_on_cucc(
+                spec, args.resume, checkpoint=checkpoint,
+                drift_guard=drift_guard, trace=bool(args.trace),
+                profile=bool(args.profile),
+            )
+            done = len(res.runtime.launches) - 1
+            print(f"resumed from {args.resume} on "
+                  f"{res.runtime.cluster.num_nodes} nodes "
+                  f"({done} completed launch(es) replayed)")
+        else:
+            cluster = make_cluster(
+                args.cluster, args.nodes, topology=args.topology,
+                tuning=tuning,
+            )
+            res = run_on_cucc(
+                spec, cluster, fault_plan=fault_plan, trace=bool(args.trace),
+                profile=bool(args.profile), drift=bool(args.drift),
+                checkpoint=checkpoint, drift_guard=drift_guard,
+                app_meta={"workload": spec.name, "size": args.size},
+            )
+        if res.runtime.ops is not None and res.runtime.ops.written:
+            print(f"wrote {res.runtime.ops.written} checkpoint(s) to "
+                  f"{args.checkpoint}")
         print(res.record.describe())
         print(res.record.plan.describe())
         for ev in res.record.fault_events:
@@ -314,6 +376,58 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ckpt(args: argparse.Namespace) -> int:
+    """Durable-checkpoint toolbox: inspect / validate / diff.
+
+    ``validate`` and ``diff`` exit 1 when problems or differences exist,
+    so CI can gate on them (the elastic-smoke job diffs the resumed
+    run's final checkpoint against the uninterrupted baseline's).
+    """
+    import os
+
+    from repro.ops import (
+        diff_checkpoints,
+        inspect_checkpoint,
+        latest_checkpoint,
+        validate_checkpoint,
+    )
+
+    def resolve(path: str) -> str:
+        # a directory means "its latest checkpoint"
+        if os.path.isdir(path):
+            latest = latest_checkpoint(path)
+            if latest is None:
+                raise ReproError(f"no checkpoints in directory {path!r}")
+            return str(latest)
+        if not os.path.exists(path):
+            raise ReproError(f"no such checkpoint: {path!r}")
+        return path
+
+    if args.ckpt_command == "inspect":
+        print(inspect_checkpoint(resolve(args.file)))
+        return 0
+    if args.ckpt_command == "validate":
+        path = resolve(args.file)
+        problems = validate_checkpoint(path)
+        if problems:
+            for p in problems:
+                print(p)
+            print(f"{path}: INVALID ({len(problems)} problem(s))")
+            return 1
+        print(f"{path}: ok")
+        return 0
+    # diff
+    diffs = diff_checkpoints(resolve(args.a), resolve(args.b))
+    if diffs:
+        for d in diffs:
+            print(d)
+        print(f"{len(diffs)} difference(s)")
+        return 1
+    print("checkpoints describe identical simulator state "
+          "(volatile fields ignored)")
+    return 0
+
+
 def _cmd_specs(_args: argparse.Namespace) -> int:
     from repro.bench.figures import tab01_specs
 
@@ -449,6 +563,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record model-vs-executed phase-time drift (cucc "
                         "only); view with --metrics or "
                         "'repro report --drift <trace>'")
+    p.add_argument("--checkpoint", metavar="DIR", default=None,
+                   help="write durable checkpoints to DIR at phase "
+                        "boundaries (cucc only); resume with --resume")
+    from repro.ops.policy import CHECKPOINT_MODES
+
+    p.add_argument("--checkpoint-mode", default="phase-boundary",
+                   choices=CHECKPOINT_MODES,
+                   help="when checkpoints are due (default: %(default)s)")
+    p.add_argument("--checkpoint-interval", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="minimum simulated seconds between checkpoints "
+                        "(with --checkpoint-mode interval)")
+    p.add_argument("--checkpoint-keep", type=int, default=0, metavar="N",
+                   help="keep only the N newest checkpoints (0 = all)")
+    p.add_argument("--halt-after", type=int, default=None, metavar="N",
+                   help="stop (exit status 3) after the Nth checkpoint is "
+                        "written — simulates a mid-run kill for the "
+                        "restart drill")
+    p.add_argument("--resume", metavar="PATH", default=None,
+                   help="resume from a checkpoint file or directory "
+                        "written by --checkpoint (cucc only; cluster, "
+                        "faults and feature flags come from the file, so "
+                        "--nodes/--topology/--faults are rejected or "
+                        "ignored)")
+    p.add_argument("--drift-guard", type=float, default=None,
+                   metavar="BOUND",
+                   help="arm the drift breaker (cucc only): refuse "
+                        "launches after repeated |relative model error| "
+                        "above BOUND (implies --drift)")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser(
@@ -540,6 +683,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", default="small", choices=("small", "paper"))
     p.set_defaults(fn=_cmd_sanitize)
 
+    p = sub.add_parser(
+        "ckpt",
+        help="inspect / validate / diff durable checkpoints",
+        description=(
+            "Toolbox for the .rckp files written by 'repro run "
+            "--checkpoint'.  Paths may be files or checkpoint "
+            "directories (a directory means its latest checkpoint)."
+        ),
+    )
+    ckpt_sub = p.add_subparsers(dest="ckpt_command", required=True)
+    q = ckpt_sub.add_parser("inspect", help="human-readable summary")
+    q.add_argument("file", help="checkpoint file or directory")
+    q.set_defaults(fn=_cmd_ckpt)
+    q = ckpt_sub.add_parser(
+        "validate",
+        help="integrity check; exit 1 when corrupt",
+    )
+    q.add_argument("file", help="checkpoint file or directory")
+    q.set_defaults(fn=_cmd_ckpt)
+    q = ckpt_sub.add_parser(
+        "diff",
+        help="compare simulator state; exit 1 when it differs",
+    )
+    q.add_argument("a", help="checkpoint file or directory")
+    q.add_argument("b", help="checkpoint file or directory")
+    q.set_defaults(fn=_cmd_ckpt)
+
     p = sub.add_parser("specs", help="print Table 1")
     p.set_defaults(fn=_cmd_specs)
 
@@ -556,6 +726,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
+    except CheckpointHalt as e:
+        # the --halt-after restart drill: the checkpoint landed on disk
+        # and the process "dies" — a distinct status so scripts can tell
+        # the planned kill (3) from a real failure (1)
+        print(f"halted: {e}")
+        return 3
     except ReproError as e:
         print(f"error: {e}", file=sys.stderr)
         return 1

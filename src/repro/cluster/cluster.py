@@ -97,6 +97,57 @@ class Cluster:
         self.comm.metrics = old.metrics
         return dead
 
+    def grow(self, born_ranks) -> list:
+        """Rejoin replacement nodes at freed physical positions.
+
+        The inverse of :meth:`remove_dead`: each ``born_rank`` must be a
+        physical position not currently occupied (typically one a dead
+        node freed).  Replacement nodes start with empty memory and a
+        clock synchronized to the cluster makespan (a node cannot join
+        in the past), and the whole cluster is re-ranked in born-rank
+        order — growing back to full width therefore restores the exact
+        original rank layout, and with it the original partition widths.
+        The communicator is rebuilt over the new node set, carrying the
+        injector, topology, tuning cache, tracer, metrics and cumulative
+        traffic accounting, exactly as shrink recovery does.
+
+        Returns the new nodes.  Raises :class:`ClusterError` on a
+        position that is still occupied.
+        """
+        born_ranks = sorted(int(r) for r in born_ranks)
+        if not born_ranks:
+            return []
+        taken = {n.born_rank for n in self.nodes}
+        clash = [r for r in born_ranks if r in taken]
+        if clash:
+            raise ClusterError(
+                f"cannot grow onto occupied position(s) {clash}"
+            )
+        if len(set(born_ranks)) != len(born_ranks):
+            raise ClusterError(f"duplicate grow position(s) in {born_ranks}")
+        start = self.max_clock
+        fresh = []
+        for br in born_ranks:
+            node = Node(br, self.node_spec, born_rank=br)
+            node.clock.reset(start)
+            fresh.append(node)
+        self.nodes = sorted(self.nodes + fresh, key=lambda n: n.born_rank)
+        for i, n in enumerate(self.nodes):
+            n.rank = i
+        old = self.comm
+        self.comm = Communicator(
+            self.nodes,
+            self.network,
+            injector=old.injector,
+            topology=old.topology,
+            tuning=old.tuning,
+        )
+        self.comm.comm_seconds = old.comm_seconds
+        self.comm.comm_bytes = old.comm_bytes
+        self.comm.tracer = old.tracer
+        self.comm.metrics = old.metrics
+        return fresh
+
     def reset_clocks(self) -> None:
         for n in self.nodes:
             n.clock.reset()

@@ -48,6 +48,10 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "parse_fault_spec",
+    "fault_to_dict",
+    "fault_from_dict",
+    "event_to_dict",
+    "event_from_dict",
 ]
 
 #: Phase-boundary names at which scheduled crashes can fire, in workflow
@@ -408,6 +412,92 @@ class FaultInjector:
         raw = bad.view(np.uint8).reshape(-1)
         raw[int(self.rng.integers(raw.size))] ^= 0xFF
         return bad
+
+    # -- durable-checkpoint support ---------------------------------------
+    def export_state(self) -> dict:
+        """Full mutable state as a JSON-serializable dict.
+
+        Together with the plan this captures everything a durable
+        checkpoint needs to resume fault delivery bit-identically: the
+        collective/launch cursors, which plan entries already fired, the
+        in-flight multi-shot transient, the RNG's bit-generator state and
+        the complete event log.
+        """
+        return {
+            "seed": self.plan.seed,
+            "faults": [fault_to_dict(f) for f in self.plan.faults],
+            "op_index": self.op_index,
+            "launch_index": self.launch_index,
+            "fired": sorted(self._fired),
+            "active_transient": (
+                list(self._active_transient)
+                if self._active_transient is not None
+                else None
+            ),
+            "rng_state": self.rng.bit_generator.state,
+            "events": [event_to_dict(e) for e in self.events],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> FaultInjector:
+        """Rebuild an injector from :meth:`export_state` output."""
+        plan = FaultPlan(
+            faults=tuple(fault_from_dict(d) for d in state["faults"]),
+            seed=int(state["seed"]),
+        )
+        inj = cls(plan)
+        inj.op_index = int(state["op_index"])
+        inj.launch_index = int(state["launch_index"])
+        inj._fired = set(int(i) for i in state["fired"])
+        at = state.get("active_transient")
+        inj._active_transient = (
+            (int(at[0]), int(at[1])) if at is not None else None
+        )
+        inj.rng.bit_generator.state = state["rng_state"]
+        inj.events = [event_from_dict(d) for d in state["events"]]
+        return inj
+
+
+#: serialized-kind tag -> fault class (durable-checkpoint codec)
+_FAULT_KINDS: dict[str, type] = {
+    "crash": NodeCrash,
+    "transient": TransientFault,
+    "corrupt": CorruptionFault,
+    "straggler": StragglerFault,
+}
+
+
+def fault_to_dict(fault: Fault) -> dict:
+    """One fault as a JSON-serializable dict (see :func:`fault_from_dict`)."""
+    import dataclasses
+
+    for tag, klass in _FAULT_KINDS.items():
+        if type(fault) is klass:
+            return {"kind": tag, **dataclasses.asdict(fault)}
+    raise ClusterError(f"cannot serialize fault {fault!r}")
+
+
+def fault_from_dict(d: dict) -> Fault:
+    """Inverse of :func:`fault_to_dict`."""
+    d = dict(d)
+    tag = d.pop("kind", None)
+    klass = _FAULT_KINDS.get(tag)
+    if klass is None:
+        raise ClusterError(f"unknown serialized fault kind {tag!r}")
+    return klass(**d)
+
+
+def event_to_dict(ev: FaultEvent) -> dict:
+    return {
+        "kind": ev.kind, "time": ev.time, "rank": ev.rank,
+        "detail": ev.detail,
+    }
+
+
+def event_from_dict(d: dict) -> FaultEvent:
+    return FaultEvent(
+        kind=d["kind"], time=d["time"], rank=d["rank"], detail=d["detail"]
+    )
 
 
 def _find(nodes, born_rank: int):

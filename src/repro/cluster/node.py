@@ -28,11 +28,13 @@ __all__ = ["Node"]
 class Node:
     """One CPU node: rank, hardware spec, private memory, simulated clock."""
 
-    def __init__(self, rank: int, spec: CPUSpec):
+    def __init__(self, rank: int, spec: CPUSpec, born_rank: int | None = None):
         self.rank = rank
         #: rank at cluster construction; stable across shrink-recovery
-        #: re-ranking, and the rank fault plans address
-        self.born_rank = rank
+        #: re-ranking, and the rank fault plans address.  A replacement
+        #: node joining after grow-recovery is *born into* the physical
+        #: position (and therefore born rank) its dead predecessor freed.
+        self.born_rank = rank if born_rank is None else born_rank
         self.spec = spec
         self.clock = SimClock()
         self.alive = True

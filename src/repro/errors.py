@@ -94,6 +94,43 @@ class DataCorruptionError(ClusterError):
     """
 
 
+class CheckpointError(ReproError):
+    """A durable checkpoint could not be written, read, or applied.
+
+    Raised with a *source-located* message: loading a corrupt or
+    truncated file reports the path and the offset/section where the
+    damage was detected, so operators can tell a bad disk from a bad
+    run.  ``path`` carries the file involved when one is known.
+    """
+
+    def __init__(self, message: str, path: str | None = None):
+        if path is not None:
+            message = f"{path}: {message}"
+        super().__init__(message)
+        self.path = path
+
+
+class CheckpointHalt(ReproError):
+    """Deliberate stop after writing a checkpoint (``halt_after``).
+
+    Not a failure: the run was interrupted *on purpose* at a durable
+    point (deterministic stand-in for kill -9 in tests and CI), and can
+    be continued with ``CuCCRuntime.resume``.  ``path`` is the
+    checkpoint the run can resume from.
+    """
+
+    def __init__(self, message: str, path: str | None = None):
+        super().__init__(message)
+        self.path = path
+
+
+class DriftBreakerOpen(ReproError):
+    """The drift guard refused a launch: model predictions have been
+    outside the configured bound for too many consecutive launches and
+    escalation (warn, force-retune) did not restore prediction quality.
+    """
+
+
 class InterpError(ReproError):
     """The SPMD interpreter encountered an unsupported construct at runtime."""
 

@@ -39,9 +39,10 @@ class SpanKind:
     FAULT = "fault"  # injected fault / recovery decision (instant)
     TUNE = "tune"  # one autotuner trial
     COUNTER = "counter"  # Perfetto counter-track sample (profiler)
+    CKPT = "ckpt"  # durable checkpoint written (instant; repro.ops)
 
     ALL = (COMPILE, LAUNCH, PHASE, EXEC, COLLECTIVE, ROUND, FAULT, TUNE,
-           COUNTER)
+           COUNTER, CKPT)
 
 
 class Span:

@@ -1,0 +1,57 @@
+"""Elastic operations: durable checkpoint/restart, grow recovery,
+drift-guarded execution.
+
+The runtime's built-in fault tolerance (shrink recovery, retries —
+:mod:`repro.runtime.cucc`) keeps one launch alive *inside* one process.
+This package is the layer above it: keeping a whole *run* alive across
+process death and cluster-shape changes.
+
+* :mod:`repro.ops.policy` / :mod:`repro.ops.manager` /
+  :mod:`repro.ops.checkpoint` — versioned, checksummed on-disk
+  checkpoints written at phase boundaries (atomic, corruption-detected,
+  inspectable via ``repro ckpt``);
+* :mod:`repro.ops.resume` — rebuild a runtime from a checkpoint and
+  continue bit-identically to the uninterrupted run;
+* :mod:`repro.ops.elastic` — rejoin replacement nodes after shrink
+  recovery, restoring the original partition widths;
+* :mod:`repro.ops.guard` — a circuit breaker on cost-model drift
+  (warn → force-retune → refuse-launch).
+
+Zero-cost contract: none of this is imported unless a policy object is
+passed to the runtime, and a runtime without one takes exactly the seed
+code path — the ``bench_obs_overhead`` gate proves both the call-count
+budget and bit-identical modeled times.
+"""
+
+from repro.ops.checkpoint import (
+    diff_checkpoints,
+    inspect_checkpoint,
+    latest_checkpoint,
+    read_checkpoint,
+    validate_checkpoint,
+    write_checkpoint,
+)
+from repro.ops.elastic import freed_positions, grow_cluster, rebalance_workload
+from repro.ops.guard import DriftGuard, DriftGuardPolicy
+from repro.ops.manager import CheckpointManager
+from repro.ops.policy import CHECKPOINT_MODES, CheckpointPolicy
+from repro.ops.resume import resume_on_cucc, resume_runtime
+
+__all__ = [
+    "CheckpointPolicy",
+    "CHECKPOINT_MODES",
+    "CheckpointManager",
+    "write_checkpoint",
+    "read_checkpoint",
+    "validate_checkpoint",
+    "inspect_checkpoint",
+    "diff_checkpoints",
+    "latest_checkpoint",
+    "resume_runtime",
+    "resume_on_cucc",
+    "freed_positions",
+    "grow_cluster",
+    "rebalance_workload",
+    "DriftGuard",
+    "DriftGuardPolicy",
+]

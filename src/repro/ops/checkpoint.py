@@ -1,0 +1,389 @@
+"""The durable checkpoint file format (``.rckp``) and its tools.
+
+Layout (all integers little-endian)::
+
+    offset 0   magic  b"RCKP"
+           4   u32    format version (1)
+           8   u64    metadata length in bytes
+          16   u32    CRC32 of the metadata bytes
+          20   metadata: UTF-8 JSON, sorted keys
+    20+len     data region: concatenated raw per-rank buffer segments
+
+The metadata object carries everything non-bulk — cluster shape,
+runtime configuration, simulated clocks, fault-injector state, the
+completed-launch log and the optional mid-launch pending state — plus a
+``segments`` list describing each raw segment in the data region
+(buffer name, born rank, dtype, element count, offset, byte length and
+its own CRC32).  Segment data is stored per *born rank* because a
+checkpoint taken between the partial phase and the Allgather captures
+legitimately divergent replicas.
+
+Every field a resume depends on is integrity-checked: a flipped byte in
+the header, the metadata or any segment is reported as a
+:class:`~repro.errors.CheckpointError` that names the file and the
+corrupted region, never as a crash deeper in the stack.
+
+Determinism: nothing in the format depends on wall-clock time, file
+paths or dict iteration order (keys are sorted, segments are emitted in
+a canonical order), so two identical simulator states serialize to
+byte-identical checkpoints — which is what lets ``repro ckpt diff``
+prove a resumed run converged to the uninterrupted one.
+
+Writes are atomic (temp file + ``os.replace``) and also refresh a
+``latest.rckp`` alias, so a crash mid-write can never destroy the
+previous good checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CheckpointError
+
+__all__ = [
+    "CKPT_MAGIC",
+    "CKPT_VERSION",
+    "CKPT_SUFFIX",
+    "LATEST_NAME",
+    "encode_checkpoint",
+    "write_checkpoint",
+    "read_checkpoint",
+    "validate_checkpoint",
+    "inspect_checkpoint",
+    "diff_checkpoints",
+    "latest_checkpoint",
+]
+
+CKPT_MAGIC = b"RCKP"
+CKPT_VERSION = 1
+CKPT_SUFFIX = ".rckp"
+LATEST_NAME = "latest" + CKPT_SUFFIX
+
+_HEADER = struct.Struct("<4sIQI")  # magic, version, meta_len, meta_crc
+
+#: metadata keys that differ between equivalent states (write ordinal,
+#: free-form label) — ignored by :func:`diff_checkpoints`
+VOLATILE_META_KEYS = ("seq", "label")
+
+
+# ---------------------------------------------------------------------------
+# encode / write
+# ---------------------------------------------------------------------------
+def encode_checkpoint(meta: dict, segments) -> bytes:
+    """Serialize a checkpoint to bytes.
+
+    ``segments`` is an iterable of ``(buffer, born_rank, array)``; the
+    canonical on-disk order is (buffer name, born rank).  ``meta`` must
+    be JSON-serializable; its ``segments`` key is overwritten with the
+    generated descriptors.
+    """
+    ordered = sorted(segments, key=lambda s: (s[0], s[1]))
+    descs = []
+    chunks = []
+    offset = 0
+    for name, born, arr in ordered:
+        arr = np.ascontiguousarray(arr)
+        raw = arr.tobytes()
+        descs.append(
+            {
+                "buffer": name,
+                "born_rank": int(born),
+                "dtype": arr.dtype.str,
+                "size": int(arr.size),
+                "offset": offset,
+                "nbytes": len(raw),
+                "crc32": zlib.crc32(raw),
+            }
+        )
+        chunks.append(raw)
+        offset += len(raw)
+    meta = dict(meta)
+    meta["segments"] = descs
+    meta_bytes = json.dumps(meta, sort_keys=True).encode("utf-8")
+    header = _HEADER.pack(
+        CKPT_MAGIC, CKPT_VERSION, len(meta_bytes), zlib.crc32(meta_bytes)
+    )
+    return b"".join([header, meta_bytes, *chunks])
+
+
+def write_checkpoint(path, meta: dict, segments) -> Path:
+    """Atomically write a checkpoint file and refresh ``latest.rckp``.
+
+    The payload is fully serialized first, written to a temp file in the
+    target directory and renamed into place, so readers only ever see
+    complete checkpoints.  Returns the written path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = encode_checkpoint(meta, segments)
+    _atomic_write(path, payload)
+    latest = path.parent / LATEST_NAME
+    if path.name != LATEST_NAME:
+        _atomic_write(latest, payload)
+    return path
+
+
+def _atomic_write(path: Path, payload: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as f:
+            f.write(payload)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except OSError as e:
+        raise CheckpointError(f"write failed: {e}", path=str(path)) from e
+    finally:
+        if tmp.exists():
+            tmp.unlink(missing_ok=True)
+
+
+def latest_checkpoint(directory) -> Path | None:
+    """The ``latest.rckp`` alias in ``directory``, or the
+    highest-numbered checkpoint, or ``None`` when there is none."""
+    directory = Path(directory)
+    latest = directory / LATEST_NAME
+    if latest.exists():
+        return latest
+    numbered = sorted(directory.glob("ckpt-*" + CKPT_SUFFIX))
+    return numbered[-1] if numbered else None
+
+
+# ---------------------------------------------------------------------------
+# read / validate
+# ---------------------------------------------------------------------------
+def read_checkpoint(path) -> tuple[dict, dict[tuple[str, int], np.ndarray]]:
+    """Load and integrity-check a checkpoint file.
+
+    Returns ``(meta, data)`` where ``data`` maps ``(buffer, born_rank)``
+    to a fresh writable array.  Any corruption — bad magic, truncation,
+    checksum mismatch in metadata or any segment — raises
+    :class:`CheckpointError` naming the file and the damaged region.
+    """
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as e:
+        raise CheckpointError(f"cannot read: {e}", path=str(path)) from e
+    if len(blob) < _HEADER.size:
+        raise CheckpointError(
+            f"truncated header: {len(blob)} bytes, need {_HEADER.size}",
+            path=str(path),
+        )
+    magic, version, meta_len, meta_crc = _HEADER.unpack_from(blob, 0)
+    if magic != CKPT_MAGIC:
+        raise CheckpointError(
+            f"bad magic {magic!r} (not a checkpoint file)", path=str(path)
+        )
+    if version != CKPT_VERSION:
+        raise CheckpointError(
+            f"unsupported format version {version} "
+            f"(this build reads version {CKPT_VERSION})",
+            path=str(path),
+        )
+    meta_end = _HEADER.size + meta_len
+    if len(blob) < meta_end:
+        raise CheckpointError(
+            f"truncated metadata: header promises {meta_len} bytes, "
+            f"file holds {len(blob) - _HEADER.size}",
+            path=str(path),
+        )
+    meta_bytes = blob[_HEADER.size:meta_end]
+    got_crc = zlib.crc32(meta_bytes)
+    if got_crc != meta_crc:
+        raise CheckpointError(
+            f"metadata checksum mismatch at offset {_HEADER.size} "
+            f"(stored {meta_crc:#010x}, computed {got_crc:#010x})",
+            path=str(path),
+        )
+    try:
+        meta = json.loads(meta_bytes.decode("utf-8"))
+    except ValueError as e:
+        raise CheckpointError(
+            f"metadata is not valid JSON: {e}", path=str(path)
+        ) from e
+    data_region = blob[meta_end:]
+    data: dict[tuple[str, int], np.ndarray] = {}
+    expected_end = 0
+    for d in meta.get("segments", ()):
+        name, born = d["buffer"], int(d["born_rank"])
+        off, nbytes = int(d["offset"]), int(d["nbytes"])
+        where = f"segment {name!r} rank {born}"
+        if off < 0 or off + nbytes > len(data_region):
+            raise CheckpointError(
+                f"{where}: extends past end of file "
+                f"(offset {off} + {nbytes} B > {len(data_region)} B "
+                f"of data)",
+                path=str(path),
+            )
+        raw = data_region[off:off + nbytes]
+        got = zlib.crc32(raw)
+        if got != int(d["crc32"]):
+            raise CheckpointError(
+                f"{where}: checksum mismatch at data offset {off} "
+                f"(stored {int(d['crc32']):#010x}, computed {got:#010x})",
+                path=str(path),
+            )
+        arr = np.frombuffer(raw, dtype=np.dtype(d["dtype"]))
+        if arr.size != int(d["size"]):
+            raise CheckpointError(
+                f"{where}: holds {arr.size} elements, descriptor "
+                f"promises {int(d['size'])}",
+                path=str(path),
+            )
+        data[(name, born)] = arr.copy()
+        expected_end = max(expected_end, off + nbytes)
+    if len(data_region) != expected_end:
+        raise CheckpointError(
+            f"data region is {len(data_region)} bytes but segments "
+            f"account for {expected_end}",
+            path=str(path),
+        )
+    return meta, data
+
+
+def validate_checkpoint(path) -> list[str]:
+    """Every integrity problem in a checkpoint file, as strings
+    (an empty list means the file is valid)."""
+    try:
+        read_checkpoint(path)
+    except CheckpointError as e:
+        return [str(e)]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# inspect / diff
+# ---------------------------------------------------------------------------
+def inspect_checkpoint(path) -> str:
+    """Human-readable summary of one checkpoint file."""
+    meta, data = read_checkpoint(path)
+    c = meta.get("cluster", {})
+    lines = [
+        f"checkpoint {path}",
+        (
+            f"  format v{CKPT_VERSION}, seq {meta.get('seq', '?')}, "
+            f"stage {meta.get('stage', '?')!r}, "
+            f"label {meta.get('label', '')!r}"
+        ),
+        f"  sim time {meta.get('sim_time', 0.0):.9f} s",
+        (
+            f"  cluster {c.get('name', '?')!r}: "
+            f"{len(c.get('nodes', ()))}/{c.get('born_nodes', '?')} nodes "
+            f"alive, topology {c.get('topology_kind', '?')}"
+        ),
+        (
+            f"  launches completed: {len(meta.get('launches', ()))}; "
+            f"pending: "
+            + (
+                f"{meta['pending']['kernel']!r} at stage "
+                f"{meta['pending']['stage']!r}"
+                if meta.get("pending")
+                else "none"
+            )
+        ),
+    ]
+    inj = meta.get("injector")
+    if inj is not None:
+        lines.append(
+            f"  faults: {len(inj.get('events', ()))} events, "
+            f"{len(inj.get('fired', ()))}/{len(inj.get('faults', ()))} "
+            f"fired, op cursor {inj.get('op_index', 0)}"
+        )
+    app = meta.get("app") or {}
+    if app:
+        ctx = ", ".join(f"{k}={v!r}" for k, v in sorted(app.items()))
+        lines.append(f"  app: {ctx}")
+    by_buffer: dict[str, list] = {}
+    for d in meta.get("segments", ()):
+        by_buffer.setdefault(d["buffer"], []).append(d)
+    lines.append(f"  buffers ({len(by_buffer)}):")
+    for name in sorted(by_buffer):
+        segs = by_buffer[name]
+        total = sum(d["nbytes"] for d in segs)
+        ranks = sorted(d["born_rank"] for d in segs)
+        lines.append(
+            f"    {name}: {segs[0]['size']} x {segs[0]['dtype']} "
+            f"on rank(s) {ranks}, {total} B total"
+        )
+    return "\n".join(lines)
+
+
+def diff_checkpoints(path_a, path_b) -> list[str]:
+    """Differences between two checkpoints, as strings.
+
+    An empty list means the two files describe the same simulator state:
+    identical metadata (modulo the write ordinal and free-form label —
+    see :data:`VOLATILE_META_KEYS`) and bit-identical segment data.
+    This is the differential gate's primitive: a resumed run and the
+    uninterrupted baseline must diff clean.
+    """
+    meta_a, data_a = read_checkpoint(path_a)
+    meta_b, data_b = read_checkpoint(path_b)
+    diffs: list[str] = []
+    _diff_value("meta", _strip(meta_a), _strip(meta_b), diffs)
+    for key in sorted(set(data_a) | set(data_b)):
+        name, born = key
+        where = f"data {name!r} rank {born}"
+        if key not in data_a:
+            diffs.append(f"{where}: only in {path_b}")
+        elif key not in data_b:
+            diffs.append(f"{where}: only in {path_a}")
+        elif not np.array_equal(data_a[key], data_b[key], equal_nan=True):
+            bad = np.flatnonzero(
+                data_a[key].view(np.uint8) != data_b[key].view(np.uint8)
+            )
+            diffs.append(
+                f"{where}: {bad.size} differing byte(s), "
+                f"first at byte {int(bad[0])}"
+            )
+    return diffs
+
+
+def _strip(meta: dict) -> dict:
+    out = {
+        k: v
+        for k, v in meta.items()
+        if k not in VOLATILE_META_KEYS and k != "segments"
+    }
+    # a pending state carries the same volatile keys nested one level in
+    if isinstance(out.get("pending"), dict):
+        out["pending"] = {
+            k: v
+            for k, v in out["pending"].items()
+            if k not in VOLATILE_META_KEYS
+        }
+    return out
+
+
+def _diff_value(where: str, a, b, diffs: list[str]) -> None:
+    if type(a) is not type(b) and not (
+        isinstance(a, (int, float)) and isinstance(b, (int, float))
+    ):
+        diffs.append(
+            f"{where}: type {type(a).__name__} vs {type(b).__name__}"
+        )
+        return
+    if isinstance(a, dict):
+        for k in sorted(set(a) | set(b)):
+            sub = f"{where}.{k}"
+            if k not in a:
+                diffs.append(f"{sub}: only in second")
+            elif k not in b:
+                diffs.append(f"{sub}: only in first")
+            else:
+                _diff_value(sub, a[k], b[k], diffs)
+    elif isinstance(a, list):
+        if len(a) != len(b):
+            diffs.append(f"{where}: length {len(a)} vs {len(b)}")
+            return
+        for i, (x, y) in enumerate(zip(a, b)):
+            _diff_value(f"{where}[{i}]", x, y, diffs)
+    elif a != b:
+        diffs.append(f"{where}: {a!r} vs {b!r}")

@@ -1,0 +1,106 @@
+"""Grow recovery: rejoin replacement nodes after shrink recovery.
+
+Shrink recovery (see :class:`~repro.runtime.cucc.CuCCRuntime`) keeps a
+job alive through permanent node loss by re-partitioning over the
+survivors — but the job then runs narrow forever.  This module is the
+other half of elasticity: when replacement hardware comes back (a
+repaired node, a new allocation), :func:`grow_cluster` rejoins nodes at
+the freed physical positions and restores the cluster's original
+execution shape:
+
+* the cluster is re-ranked in born-rank order
+  (:meth:`~repro.cluster.cluster.Cluster.grow`), so growing back to
+  full width restores the *exact original rank layout* — and with it
+  the original partition widths of every subsequent launch;
+* replacement nodes join with empty memory; every buffer is
+  re-replicated onto them from rank 0 (grow is only legal at a
+  replication-invariant point, i.e. between launches) and the broadcast
+  is charged to **every** node's simulated clock, so elasticity costs
+  show up in modeled time exactly like shrink-recovery costs do;
+* the tracer/metrics/tuning state and the fault injector carry over
+  through the communicator rebuild, and the rejoin is recorded as a
+  ``recover-grow`` event in the injector's log.
+
+:func:`rebalance_workload` re-grids a workload spec onto the restored
+core count (see :mod:`repro.transform.regrid`) — re-gridding an
+already-re-gridded spec recomputes the geometry only, so workloads can
+be rebalanced at every width change.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.collectives import bcast_cost
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import SpanKind
+
+__all__ = ["freed_positions", "grow_cluster", "rebalance_workload"]
+
+
+def freed_positions(cluster) -> tuple[int, ...]:
+    """Physical positions (born ranks) not currently occupied.
+
+    The communicator's topology keeps the cluster's *born* width through
+    shrink recovery, which is what makes the freed positions knowable
+    after the dead nodes themselves are gone.
+    """
+    born = cluster.comm.topology.num_nodes
+    taken = {n.born_rank for n in cluster.nodes}
+    return tuple(r for r in range(born) if r not in taken)
+
+
+def grow_cluster(runtime, born_ranks=None) -> list:
+    """Rejoin replacement nodes and restore the replication invariant.
+
+    ``born_ranks`` defaults to every freed position — i.e. grow back to
+    full born width.  Must be called between launches (the replication
+    invariant is what makes rank 0 a valid re-replication source).
+    Returns the new nodes (empty when nothing was freed).
+    """
+    cluster = runtime.cluster
+    if born_ranks is None:
+        born_ranks = freed_positions(cluster)
+    born_ranks = tuple(born_ranks)
+    if not born_ranks:
+        return []
+    fresh = cluster.grow(born_ranks)
+    # replacement nodes join empty: re-replicate every buffer from rank
+    # 0 and charge the broadcast to the whole cluster's clocks
+    runtime.memory.replicate_to(fresh)
+    nbytes = runtime.memory.total_bytes_per_node()
+    dur = (
+        bcast_cost(cluster.network, cluster.num_nodes, nbytes)
+        if nbytes > 0
+        else 0.0
+    )
+    start = cluster.max_clock
+    for n in cluster.nodes:
+        n.clock.wait_until(start + dur)
+    detail = (
+        f"rejoined position(s) {sorted(born_ranks)}, re-replicated "
+        f"{nbytes} B/node in {dur * 1e3:.3f} ms, "
+        f"{cluster.num_nodes} nodes now"
+    )
+    if runtime.injector is not None:
+        runtime.injector.record(
+            "recover-grow", cluster.max_clock, detail=detail
+        )
+    elif runtime.tracer.enabled:
+        runtime.tracer.instant(
+            "recover-grow", SpanKind.FAULT, cluster.max_clock, detail=detail
+        )
+    if METRICS.enabled:
+        METRICS.inc("ops.grow_nodes", len(fresh))
+    return fresh
+
+
+def rebalance_workload(spec, cluster):
+    """Re-grid a workload onto the cluster's current core count.
+
+    Returns the re-gridded spec, or ``None`` when the workload is not
+    re-griddable (see :func:`repro.transform.regrid.regrid_workload`).
+    Safe to call after every width change — an already-re-gridded spec
+    gets its geometry recomputed rather than double-wrapped.
+    """
+    from repro.transform.regrid import regrid_workload
+
+    return regrid_workload(spec, cluster.total_cores)

@@ -1,0 +1,150 @@
+"""Drift guard: a circuit breaker on the cost model's honesty.
+
+The drift telemetry (:mod:`repro.obs.drift`) *records* how far the
+analytical cost model strays from what the runtime executes; this
+module *acts* on it.  A :class:`DriftGuard` (installed via
+``CuCCRuntime(drift_guard=policy)``) watches the per-launch
+``model.drift_rel_err`` observations and escalates through three
+responses as consecutive launches breach the policy's bound:
+
+1. **warn** — after ``warn_after`` consecutive breaches the guard logs
+   a warning entry (``guard.log``) and counts
+   ``ops.drift_breaches`` in METRICS;
+2. **force-retune** — after ``retune_after`` consecutive breaches it
+   re-runs the collective autotuner against the live cluster (the
+   autotuner is clock-side-effect-free, so modeled times are not
+   perturbed) — stale tuning tables are the most common drift source;
+3. **refuse** — after ``refuse_after`` consecutive breaches the
+   breaker opens and the *next* launch admission raises
+   :class:`~repro.errors.DriftBreakerOpen`: the model can no longer be
+   trusted and capacity-planning answers built on it would be wrong.
+
+A launch back inside the bound closes the streak (the breaker itself,
+once open, stays open — operators resolve the drift and restart).
+Constructing a runtime with a guard implies ``drift=True``; without a
+guard the runtime never imports this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DriftBreakerOpen
+from repro.obs.drift import DEFAULT_DRIFT_BOUND, signed_rel_error
+from repro.obs.metrics import METRICS
+
+__all__ = ["DriftGuardPolicy", "DriftGuard"]
+
+
+@dataclass(frozen=True)
+class DriftGuardPolicy:
+    """Escalation thresholds of the drift breaker (validated)."""
+
+    #: |relative error| above which a launch counts as a breach
+    bound: float = DEFAULT_DRIFT_BOUND
+    #: consecutive breaches before a warning is logged
+    warn_after: int = 1
+    #: consecutive breaches before the autotuner is forced
+    retune_after: int = 3
+    #: consecutive breaches before the breaker opens (refuse launches)
+    refuse_after: int = 5
+
+    def __post_init__(self) -> None:
+        if not self.bound > 0:
+            raise ValueError(f"bound must be > 0, got {self.bound}")
+        for name in ("warn_after", "retune_after", "refuse_after"):
+            v = getattr(self, name)
+            if v < 1:
+                raise ValueError(f"{name} must be >= 1, got {v}")
+        if not (
+            self.warn_after <= self.retune_after <= self.refuse_after
+        ):
+            raise ValueError(
+                "thresholds must escalate: warn_after <= retune_after "
+                f"<= refuse_after, got {self.warn_after} / "
+                f"{self.retune_after} / {self.refuse_after}"
+            )
+
+
+class DriftGuard:
+    """Consecutive-breach tracker + breaker for one runtime."""
+
+    def __init__(self, policy: DriftGuardPolicy | None = None):
+        self.policy = policy if policy is not None else DriftGuardPolicy()
+        #: current run of consecutive out-of-bound launches
+        self.consecutive = 0
+        #: worst |error| seen during the current streak
+        self.worst = 0.0
+        #: breaker state; once open, admission refuses every launch
+        self.open = False
+        self.retunes = 0
+        #: escalation history: dicts with action/kernel/err/consecutive
+        self.log: list[dict] = []
+
+    # -- admission (called before every launch) ------------------------
+    def admit(self, kernel_name: str) -> None:
+        if self.open:
+            raise DriftBreakerOpen(
+                f"drift breaker is open: {self.consecutive} consecutive "
+                f"launches exceeded the ±{self.policy.bound:.0%} model "
+                f"bound (worst |err| {self.worst:.2f}); refusing to "
+                f"launch {kernel_name!r} — re-tune or fix the cost "
+                f"model, then restart"
+            )
+
+    # -- observation (called after every drift-telemetry launch) -------
+    def observe(self, runtime, kernel_name: str, record, pred) -> None:
+        """Feed one launch's executed-vs-predicted phase times."""
+        times = record.phases
+        worst = 0.0
+        for predicted, executed in (
+            (pred["partial"], times.partial),
+            (pred["allgather"], times.allgather),
+        ):
+            if predicted <= 0 and executed <= 0:
+                continue
+            worst = max(worst, abs(signed_rel_error(executed, predicted)))
+        if worst <= self.policy.bound:
+            self.consecutive = 0
+            self.worst = 0.0
+            return
+        self.consecutive += 1
+        self.worst = max(self.worst, worst)
+        if METRICS.enabled:
+            METRICS.inc("ops.drift_breaches", kernel=kernel_name)
+        if self.consecutive >= self.policy.warn_after:
+            self._log("warn", kernel_name, worst)
+        if self.consecutive == self.policy.retune_after:
+            self._force_retune(runtime, kernel_name, worst)
+        if self.consecutive >= self.policy.refuse_after:
+            self.open = True
+            self._log("open", kernel_name, worst)
+
+    def _force_retune(self, runtime, kernel_name: str, err: float) -> None:
+        """Re-tune the collective selector against the live cluster.
+
+        ``autotune`` snapshots and restores clocks, comm counters and
+        observers, so forcing it mid-run cannot perturb modeled time —
+        only the tuning table the next launches select from.
+        """
+        from repro.tuning.autotune import autotune
+        from repro.tuning.cache import TuningCache
+
+        comm = runtime.cluster.comm
+        if comm.tuning is None:
+            comm.tuning = TuningCache()
+        autotune(runtime.cluster, cache=comm.tuning)
+        self.retunes += 1
+        if METRICS.enabled:
+            METRICS.inc("ops.drift_forced_retunes")
+        self._log("retune", kernel_name, err)
+
+    def _log(self, action: str, kernel_name: str, err: float) -> None:
+        self.log.append(
+            {
+                "action": action,
+                "kernel": kernel_name,
+                "worst_abs_err": err,
+                "consecutive": self.consecutive,
+            }
+        )

@@ -1,0 +1,80 @@
+"""Checkpoint policy: when the elastic-operations layer writes to disk.
+
+A :class:`CheckpointPolicy` is the only thing a user passes to turn
+durable checkpointing on (``CuCCRuntime(checkpoint=policy)`` or
+``repro run --checkpoint DIR``); without one the runtime never imports
+this package and takes exactly the seed code path.
+
+Three modes, all evaluated at the runtime's stage points (the
+replication-relevant boundaries of the three-phase workflow, plus the
+end of every launch):
+
+``phase-boundary``
+    write at every stage point — maximum resumability, one file per
+    phase transition;
+``interval``
+    write at a stage point only when at least ``interval_s`` of
+    *simulated* time has passed since the last write (the simulator has
+    no wall clock, and determinism forbids one);
+``on-recovery``
+    write only at stage points reached after a shrink recovery in the
+    current launch, and at the end of launches that recovered — the
+    cheapest mode, capturing exactly the states that are expensive to
+    recompute.
+
+``halt_after`` deliberately stops the process (exit code 3 from the
+CLI) right after the N-th checkpoint is written — a deterministic
+"kill -9" for restart drills and the CI elastic-smoke gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CheckpointPolicy", "CHECKPOINT_MODES"]
+
+#: recognized values of :attr:`CheckpointPolicy.mode`
+CHECKPOINT_MODES = ("phase-boundary", "interval", "on-recovery")
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Knobs of durable checkpointing (validated at construction)."""
+
+    #: directory the manager writes ``ckpt-NNNNNN.rckp`` files (and the
+    #: ``latest.rckp`` alias) into; created on first write
+    directory: str
+    #: one of :data:`CHECKPOINT_MODES`
+    mode: str = "phase-boundary"
+    #: minimum simulated seconds between writes (``interval`` mode only)
+    interval_s: float = 0.0
+    #: keep only the newest N numbered checkpoints (0 = keep all);
+    #: ``latest.rckp`` is never pruned
+    keep: int = 0
+    #: stop deliberately (:class:`~repro.errors.CheckpointHalt`) after
+    #: writing this many checkpoints; ``None`` = never
+    halt_after: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.directory:
+            raise ValueError("checkpoint directory must be non-empty")
+        if self.mode not in CHECKPOINT_MODES:
+            raise ValueError(
+                f"unknown checkpoint mode {self.mode!r}; "
+                f"expected one of {CHECKPOINT_MODES}"
+            )
+        if self.interval_s < 0:
+            raise ValueError(
+                f"interval_s must be >= 0, got {self.interval_s}"
+            )
+        if self.mode == "interval" and self.interval_s <= 0:
+            raise ValueError(
+                "interval mode needs interval_s > 0 "
+                f"(got {self.interval_s})"
+            )
+        if self.keep < 0:
+            raise ValueError(f"keep must be >= 0, got {self.keep}")
+        if self.halt_after is not None and self.halt_after < 1:
+            raise ValueError(
+                f"halt_after must be >= 1 or None, got {self.halt_after}"
+            )

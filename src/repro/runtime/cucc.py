@@ -95,6 +95,30 @@ class RecoveryPolicy:
     #: recovery is refused (ClusterError) below this many surviving nodes
     min_nodes: int = 1
 
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base_s < 0:
+            raise ValueError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_factor <= 0:
+            raise ValueError(
+                f"backoff_factor must be > 0, got {self.backoff_factor}"
+            )
+        if self.failure_detect_s < 0:
+            raise ValueError(
+                f"failure_detect_s must be >= 0, got {self.failure_detect_s}"
+            )
+        if self.straggler_factor <= 0:
+            raise ValueError(
+                f"straggler_factor must be > 0, got {self.straggler_factor}"
+            )
+        if self.min_nodes < 1:
+            raise ValueError(f"min_nodes must be >= 1, got {self.min_nodes}")
+
 
 class CuCCRuntime:
     """Compile-and-launch interface over a simulated CPU cluster.
@@ -139,6 +163,18 @@ class CuCCRuntime:
             record the signed relative error into METRICS.  Opt-in
             because the prediction pass exercises the tuning selector
             (cache hit/miss counters) and annotates launch spans.
+        checkpoint: durable checkpointing (see :mod:`repro.ops`): a
+            :class:`~repro.ops.policy.CheckpointPolicy` makes the
+            runtime serialize its full state to disk at phase
+            boundaries, resumable via
+            :func:`repro.ops.resume.resume_runtime`.  ``None``
+            (default) never imports the ops layer — zero overhead,
+            bit-identical modeled times (checkpoint writes charge zero
+            simulated time either way: durability is host I/O).
+        drift_guard: a :class:`~repro.ops.guard.DriftGuardPolicy`
+            installs a circuit breaker on the drift telemetry
+            (warn → force-retune → refuse-launch); implies
+            ``drift=True``.  ``None`` (default) installs nothing.
     """
 
     def __init__(
@@ -155,6 +191,8 @@ class CuCCRuntime:
         trace: bool | Tracer = False,
         profile: object = False,
         drift: bool = False,
+        checkpoint: object = None,
+        drift_guard: object = None,
     ):
         self.cluster = cluster
         self.params = params
@@ -199,6 +237,23 @@ class CuCCRuntime:
         if self.injector is not None:
             self.injector.tracer = self.tracer
         self._compiled: dict[str, CompiledKernel] = {}
+        #: elastic-operations hooks (repro.ops); ``None`` = layer absent,
+        #: the imports below are deferred so an un-checkpointed runtime
+        #: never loads the package
+        self.ops = None
+        if checkpoint is not None:
+            from repro.ops.manager import CheckpointManager
+
+            self.ops = CheckpointManager(self, checkpoint)
+        #: drift circuit breaker; a guard needs the telemetry it watches
+        self.guard = None
+        if drift_guard is not None:
+            from repro.ops.guard import DriftGuard
+
+            self.guard = DriftGuard(drift_guard)
+            self.drift = True
+        #: execution cursor set by repro.ops.resume.resume_runtime
+        self._resume = None
 
     # ------------------------------------------------------------------
     def compile(self, kernel: Kernel, simplify: bool = True) -> CompiledKernel:
@@ -287,6 +342,9 @@ class CuCCRuntime:
             else:
                 scalar_args[p.name] = v
 
+        if self.guard is not None:
+            self.guard.admit(kernel.name)
+
         plan = finalize_plan(
             compiled.analysis, config, scalar_args, self.cluster.num_nodes
         )
@@ -297,6 +355,21 @@ class CuCCRuntime:
         )
 
         overhead = self.params.cpu_launch_overhead_s
+        pending = None
+        if self._resume is not None:
+            ff, pending = self._take_resume_step(kernel, config)
+            if ff is not None:
+                # launch completed before the checkpoint: replay its
+                # record verbatim, zero clock movement
+                from repro.ops.resume import record_from_dict
+
+                record = record_from_dict(ff, config, plan)
+                self.launches.append(record)
+                return record
+            if pending is not None:
+                # mid-flight launch: its overhead was charged (and
+                # checkpointed into the clocks) before the interrupt
+                overhead = float(pending["overhead"])
         lspan = (
             self.tracer.begin(
                 f"launch {kernel.name}",
@@ -306,8 +379,9 @@ class CuCCRuntime:
             if self.tracer.enabled
             else None
         )
-        for node in self.cluster.nodes:
-            node.clock.advance(overhead)
+        if pending is None:
+            for node in self.cluster.nodes:
+                node.clock.advance(overhead)
 
         if self.sanitize:
             from repro.sanitize import DynamicSanitizer
@@ -320,12 +394,12 @@ class CuCCRuntime:
             if self.injector is None:
                 record = self._launch_plain(
                     kernel, config, plan, buffer_args, scalar_args,
-                    vectorized, working_set, overhead,
+                    vectorized, working_set, overhead, pending=pending,
                 )
             else:
                 record = self._launch_fault_tolerant(
                     compiled, kernel, config, plan, buffer_args, scalar_args,
-                    vectorized, working_set, overhead,
+                    vectorized, working_set, overhead, pending=pending,
                 )
         finally:
             san, self._cur_san = self._cur_san, None
@@ -362,13 +436,53 @@ class CuCCRuntime:
         if self.drift:
             from repro.obs.drift import observe_launch_drift
 
-            observe_launch_drift(
+            pred = observe_launch_drift(
                 self, kernel, record, vectorized, working_set, lspan=lspan
             )
+            if self.guard is not None and pred is not None:
+                self.guard.observe(self, kernel.name, record, pred)
         if self.profiler is not None and lspan is not None:
             self._emit_counter_samples(lspan, record)
         self.launches.append(record)
+        if self.ops is not None:
+            self.ops.on_launch_end(record)
         return record
+
+    def _take_resume_step(self, kernel, config):
+        """Consume one step of the resume cursor (see repro.ops.resume).
+
+        Returns ``(fast_forward_dict, pending_dict)``: exactly one is
+        non-None while the cursor lasts.  Raises CheckpointError when
+        the replayed launch sequence diverges from the checkpointed one.
+        """
+        from repro.errors import CheckpointError
+
+        rs = self._resume
+        step = (
+            rs.completed.pop(0) if rs.completed else rs.pending
+        )
+        if not rs.completed:
+            # pending (if any) is handed out on this or the next call
+            if step is rs.pending:
+                rs.pending = None
+            if rs.exhausted:
+                self._resume = None
+        if (
+            step["kernel"] != kernel.name
+            or tuple(step["grid"]) != config.grid
+            or tuple(step["block"]) != config.block
+        ):
+            raise CheckpointError(
+                f"resume mismatch: checkpoint recorded launch "
+                f"{step['kernel']}<<<{tuple(step['grid'])},"
+                f"{tuple(step['block'])}>>>, caller replayed "
+                f"{kernel.name}<<<{config.grid},{config.block}>>> — "
+                f"resume must replay the original launch sequence",
+                path=rs.path,
+            )
+        if "stage" in step:
+            return None, step
+        return step, None
 
     def _emit_counter_samples(self, lspan, record) -> None:
         """Perfetto counter-track samples (ph ``C``): cumulative profiled
@@ -396,13 +510,45 @@ class CuCCRuntime:
     # ------------------------------------------------------------------
     def _launch_plain(
         self, kernel, config, plan, buffer_args, scalar_args,
-        vectorized, working_set, overhead,
+        vectorized, working_set, overhead, pending=None,
     ) -> LaunchRecord:
-        partial_time, partial_counters = self._run_partial_phase(
-            kernel, config, plan, buffer_args, scalar_args, vectorized,
-            working_set,
-        )
-        allgather_time, algos = self._run_allgather_phase(plan, buffer_args)
+        stage = pending["stage"] if pending is not None else None
+        if stage is None:
+            partial_time, partial_counters = self._run_partial_phase(
+                kernel, config, plan, buffer_args, scalar_args, vectorized,
+                working_set,
+            )
+            if self.ops is not None:
+                self.ops.on_stage(
+                    "allgather",
+                    self._pending_dict(
+                        "allgather", kernel, config, overhead,
+                        partial_time, partial_counters,
+                    ),
+                )
+        else:
+            # resumed mid-launch: the partial phase already ran (its
+            # results are in the restored replicas and clocks)
+            partial_time = float(pending["partial_time"])
+            partial_counters = [
+                OpCounters(**c) for c in pending["partial_counters"]
+            ]
+        if stage != "callback":
+            allgather_time, algos = self._run_allgather_phase(
+                plan, buffer_args
+            )
+            if self.ops is not None:
+                self.ops.on_stage(
+                    "callback",
+                    self._pending_dict(
+                        "callback", kernel, config, overhead,
+                        partial_time, partial_counters,
+                        allgather_time=allgather_time, algos=algos,
+                    ),
+                )
+        else:
+            allgather_time = float(pending["allgather_time"])
+            algos = list(pending["allgather_algos"])
         callback_counters = OpCounters()
         callback_time = 0.0
         cb = plan.callback_blocks
@@ -432,17 +578,22 @@ class CuCCRuntime:
     # ------------------------------------------------------------------
     def _launch_fault_tolerant(
         self, compiled, kernel, config, plan, buffer_args, scalar_args,
-        vectorized, working_set, overhead,
+        vectorized, working_set, overhead, pending=None,
     ) -> LaunchRecord:
         """Drive the three phases under the recovery policy.
 
         The loop re-enters after every survived permanent failure; the
         ``allgather_done`` flag encodes the replication-invariant point
         reached, which decides how much work a recovery must replay.
+
+        ``pending`` (from a durable-checkpoint resume) re-enters the
+        loop at the recorded stage with the restored phase accounting;
+        completed phases are skipped structurally, so the stage points a
+        resumed launch reaches are exactly the uninterrupted run's
+        remaining ones.
         """
         inj = self.injector
         pol = self.recovery
-        events_start = inj.begin_launch(self.cluster.nodes)
         written = sorted(
             {
                 buffer_args[r.buffer]
@@ -450,32 +601,70 @@ class CuCCRuntime:
                 if r.buffer in buffer_args
             }
         )
-        ckpt = (
-            self.memory.checkpoint(written, label=f"launch:{kernel.name}")
-            if written
-            else None
-        )
-
-        retries = 0
-        recoveries = 0
-        recovery_time = 0.0
-        allgather_done = False
-        allgather_algos: list[str] = []
-        partial_time = allgather_time = callback_time = 0.0
-        partial_counters: list[OpCounters] = []
+        if pending is None:
+            events_start = inj.begin_launch(self.cluster.nodes)
+            ckpt = (
+                self.memory.checkpoint(written, label=f"launch:{kernel.name}")
+                if written
+                else None
+            )
+            retries = 0
+            recoveries = 0
+            recovery_time = 0.0
+            allgather_done = False
+            allgather_algos: list[str] = []
+            partial_time = allgather_time = 0.0
+            partial_counters: list[OpCounters] = []
+            resume_stage = None
+        else:
+            events_start = int(pending["events_start"])
+            ckpt = pending.get("_ckpt_obj")
+            retries = int(pending["retries"])
+            recoveries = int(pending["recoveries"])
+            recovery_time = float(pending["recovery_time"])
+            partial_time = float(pending["partial_time"])
+            partial_counters = [
+                OpCounters(**c) for c in pending["partial_counters"]
+            ]
+            allgather_time = float(pending["allgather_time"])
+            allgather_algos = list(pending["allgather_algos"])
+            resume_stage = pending["stage"]
+            allgather_done = resume_stage == "callback"
+        callback_time = 0.0
         callback_counters = OpCounters()
 
         while True:
             attempt_partial = attempt_allgather = 0.0
             try:
                 if not allgather_done:
-                    self._fault_boundary("partial")
-                    attempt_partial, partial_counters = self._run_partial_phase(
-                        kernel, config, plan, buffer_args, scalar_args,
-                        vectorized, working_set,
-                        node_times=(node_times := []),
-                    )
-                    self._check_stragglers(plan, node_times)
+                    if resume_stage == "allgather":
+                        # resumed right before phase 2: the partial
+                        # phase's work and time are already restored
+                        resume_stage = None
+                        attempt_partial = partial_time
+                    else:
+                        self._fault_boundary("partial")
+                        attempt_partial, partial_counters = (
+                            self._run_partial_phase(
+                                kernel, config, plan, buffer_args,
+                                scalar_args, vectorized, working_set,
+                                node_times=(node_times := []),
+                            )
+                        )
+                        self._check_stragglers(plan, node_times)
+                        if self.ops is not None:
+                            self.ops.on_stage(
+                                "allgather",
+                                self._pending_dict(
+                                    "allgather", kernel, config, overhead,
+                                    attempt_partial, partial_counters,
+                                    retries=retries, recoveries=recoveries,
+                                    recovery_time=recovery_time,
+                                    events_start=events_start, ckpt=ckpt,
+                                ),
+                                ckpt=ckpt,
+                                recovered=recoveries > 0,
+                            )
                     self._fault_boundary("allgather")
                     attempt_allgather, extra, nretry, allgather_algos = (
                         self._run_allgather_retrying(plan, buffer_args)
@@ -486,6 +675,21 @@ class CuCCRuntime:
                         attempt_partial, attempt_allgather,
                     )
                     allgather_done = True
+                    if self.ops is not None:
+                        self.ops.on_stage(
+                            "callback",
+                            self._pending_dict(
+                                "callback", kernel, config, overhead,
+                                partial_time, partial_counters,
+                                allgather_time=allgather_time,
+                                algos=allgather_algos,
+                                retries=retries, recoveries=recoveries,
+                                recovery_time=recovery_time,
+                                events_start=events_start, ckpt=ckpt,
+                            ),
+                            ckpt=ckpt,
+                            recovered=recoveries > 0,
+                        )
                 self._fault_boundary("callback")
                 callback_counters = OpCounters()
                 callback_time = 0.0
@@ -537,6 +741,39 @@ class CuCCRuntime:
             retries=retries,
             recoveries=recoveries,
         )
+
+    def _pending_dict(
+        self, stage, kernel, config, overhead, partial_time,
+        partial_counters, allgather_time=0.0, algos=(), retries=0,
+        recoveries=0, recovery_time=0.0, events_start=0, ckpt=None,
+    ) -> dict:
+        """The mid-launch state a durable checkpoint needs to resume the
+        current launch at ``stage`` (see repro.ops.manager); the ckpt's
+        bulk data travels separately as PENDING_RANK segments."""
+        return {
+            "stage": stage,
+            "kernel": kernel.name,
+            "grid": list(config.grid),
+            "block": list(config.block),
+            "overhead": overhead,
+            "partial_time": partial_time,
+            "partial_counters": [c.as_dict() for c in partial_counters],
+            "allgather_time": allgather_time,
+            "allgather_algos": list(algos),
+            "retries": retries,
+            "recoveries": recoveries,
+            "recovery_time": recovery_time,
+            "events_start": events_start,
+            "ckpt": (
+                None
+                if ckpt is None
+                else {
+                    "label": ckpt.label,
+                    "sim_time": ckpt.sim_time,
+                    "buffers": sorted(ckpt.data),
+                }
+            ),
+        }
 
     def _fault_boundary(self, phase: str) -> None:
         """Deliver scheduled crashes due at this phase boundary; any dead
@@ -624,14 +861,22 @@ class CuCCRuntime:
                         ):
                             algos.append(comm.last_algorithm)
                         break
-                    except (CollectiveTimeout, DataCorruptionError):
+                    except (CollectiveTimeout, DataCorruptionError) as e:
                         # the failed attempt's wire/timeout cost is already
                         # on the clocks; book it as recovery, then back off
                         extra += self.cluster.max_clock - before
                         attempt += 1
                         retries += 1
                         if attempt > pol.max_retries:
-                            raise
+                            # preserve the concrete failure class; enrich
+                            # the message so the CLI's one-line diagnosis
+                            # names the exhausted policy, not just the
+                            # last symptom
+                            raise type(e)(
+                                f"recovery exhausted: allgather of "
+                                f"{bp.buffer!r} still failing after "
+                                f"{pol.max_retries} retries ({e})"
+                            ) from e
                         backoff = pol.backoff_base_s * (
                             pol.backoff_factor ** (attempt - 1)
                         )

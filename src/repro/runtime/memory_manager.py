@@ -161,6 +161,62 @@ class ClusterMemory:
             for node in self.cluster.nodes:
                 node.buffer(name)[:] = arr
 
+    # -- durable-checkpoint support -----------------------------------------
+    def export_rank_states(
+        self, names: list[str] | None = None
+    ) -> list[tuple[str, int, np.ndarray]]:
+        """Per-rank raw buffer state as ``(buffer, born_rank, array)``.
+
+        Unlike :meth:`checkpoint` (one canonical copy, valid only at
+        replication-invariant points) this captures *every* replica, so a
+        durable checkpoint taken mid-launch — after the partial phase,
+        when replicas legitimately diverge — still restores exactly.
+        Arrays are views; callers serialize them before mutating buffers.
+        """
+        names = self.buffer_names if names is None else names
+        for n in names:
+            self._require(n)
+        return [
+            (name, node.born_rank, node.buffer(name))
+            for name in names
+            for node in self.cluster.nodes
+        ]
+
+    def import_rank_state(
+        self, name: str, born_rank: int, data: np.ndarray
+    ) -> None:
+        """Write one rank's replica of ``name`` (inverse of
+        :meth:`export_rank_states`); unknown buffers or absent ranks are
+        an error — a resume must account for every byte it was given."""
+        self._require(name)
+        size, dtype = self._sizes[name]
+        arr = np.frombuffer(data, dtype=dtype) if data.dtype != dtype else data
+        if arr.size != size:
+            raise DeviceMemoryError(
+                f"import_rank_state {name!r}: got {arr.size} elements, "
+                f"buffer holds {size}"
+            )
+        for node in self.cluster.nodes:
+            if node.born_rank == born_rank:
+                node.buffer(name)[:] = arr
+                return
+        raise DeviceMemoryError(
+            f"import_rank_state {name!r}: no node with born rank {born_rank}"
+        )
+
+    def replicate_to(self, nodes) -> None:
+        """Copy rank 0's replica of every buffer onto ``nodes`` (grow
+        recovery: replacement nodes join with empty memory and must be
+        brought back to the replication invariant).  Buffers are
+        allocated on the target nodes as needed."""
+        src = self.cluster.nodes[0]
+        for name, (size, dtype) in self._sizes.items():
+            data = src.buffer(name)
+            for node in nodes:
+                if not node.has_buffer(name):
+                    node.alloc(name, size, dtype)
+                node.buffer(name)[:] = data
+
     def consistent(self, name: str) -> bool:
         """Whether all replicas of ``name`` agree."""
         self._require(name)

@@ -33,6 +33,14 @@ class Job:
     start_time: float = field(default=-1.0, compare=False)
     #: times this job was killed by a node failure and requeued
     requeues: int = field(default=0, compare=False)
+    #: node count as submitted (failure requeues shrink ``nodes``; node
+    #: returns let a requeued job reclaim up to this — grow recovery at
+    #: the scheduler level).  Defaults to ``nodes``.
+    born_nodes: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.born_nodes <= 0:
+            self.born_nodes = self.nodes
 
     @property
     def wait_s(self) -> float:

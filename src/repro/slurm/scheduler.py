@@ -119,13 +119,38 @@ class PartitionScheduler:
         idx = max(range(len(self.running)), key=lambda i: self.running[i][:2])
         _, _, job = self.running.pop(idx)
         heapq.heapify(self.running)
-        self.finished.remove(job)
+        # Job.__eq__ compares submit_time only (the sort key), so remove
+        # by identity — list.remove could evict a same-time sibling.
+        del self.finished[
+            next(k for k, fj in enumerate(self.finished) if fj is job)
+        ]
         self.free_nodes += job.nodes - 1
         job.nodes = max(1, job.nodes - 1)
         job.start_time = -1.0
         job.requeues += 1
         self.queue.insert(0, job)
         return job
+
+    def return_node(self, now: float) -> Job | None:
+        """A replacement node rejoins at ``now``: capacity grows by one.
+
+        The inverse of :meth:`fail_node` (Slurm's ``scontrol update
+        state=resume``).  A queued job that a failure previously shrank
+        (``requeues > 0`` and fewer nodes than it was born with) reclaims
+        the returned node — head-most first, so the job the failure hurt
+        most recently is made whole first and a requeued job that waits
+        long enough gets its original allocation back.  Returns the job
+        whose allocation grew, or ``None`` if the node simply joined the
+        free pool.
+        """
+        self._release_until(now)
+        self.num_nodes += 1
+        self.free_nodes += 1
+        for job in self.queue:
+            if job.requeues > 0 and job.nodes < job.born_nodes:
+                job.nodes += 1
+                return job
+        return None
 
     @property
     def next_completion(self) -> float | None:
@@ -137,6 +162,7 @@ def simulate_partition(
     num_nodes: int,
     jobs: list[Job],
     failure_times: list[float] | None = None,
+    return_times: list[float] | None = None,
 ) -> list[Job]:
     """Run one partition's trace to completion; returns jobs with start
     times filled in.
@@ -144,31 +170,48 @@ def simulate_partition(
     ``failure_times`` optionally injects node failures: at each given
     time one node dies (capacity shrinks; a killed job is requeued with
     its surviving node count — see :meth:`PartitionScheduler.fail_node`).
-    Without failures the simulation is exactly the failure-free one.
+    ``return_times`` injects node *returns*: at each given time one
+    replacement node rejoins (capacity grows; a requeued job waiting in
+    the queue reclaims it up to its born width — see
+    :meth:`PartitionScheduler.return_node`).  Without either the
+    simulation is exactly the failure-free one.
     """
     sched = PartitionScheduler(name, num_nodes)
     pending = sorted(jobs)
     failures = sorted(failure_times) if failure_times else []
+    returns = sorted(return_times) if return_times else []
     i = 0
     f = 0
+    r = 0
     now = 0.0
     while (
         i < len(pending)
         or sched.queue
         or (f < len(failures) and sched.running)
+        or (r < len(returns) and (sched.running or sched.queue))
     ):
-        # next event: arrival, completion, or node failure
+        # next event: arrival, completion, node failure, or node return
         arrival = pending[i].submit_time if i < len(pending) else None
         completion = sched.next_completion
         failure = failures[f] if f < len(failures) else None
+        ret = returns[r] if r < len(returns) else None
         if (
             failure is not None
             and (arrival is None or failure < arrival)
             and (completion is None or failure < completion)
+            and (ret is None or failure <= ret)
         ):
             now = max(now, failure)
             f += 1
             sched.fail_node(now)
+        elif (
+            ret is not None
+            and (arrival is None or ret < arrival)
+            and (completion is None or ret < completion)
+        ):
+            now = max(now, ret)
+            r += 1
+            sched.return_node(now)
         elif arrival is None and completion is None:
             break  # queue non-empty but nothing running: handled below
         elif completion is None or (arrival is not None and arrival <= completion):
@@ -179,7 +222,12 @@ def simulate_partition(
         else:
             now = max(now, completion)
         sched.schedule(now)
-        if not sched.running and sched.queue and i >= len(pending):
+        if (
+            not sched.running
+            and sched.queue
+            and i >= len(pending)
+            and r >= len(returns)
+        ):
             raise ReproError(
                 f"partition {name!r} deadlocked with {len(sched.queue)} queued jobs"
             )

@@ -189,8 +189,19 @@ def regrid_workload(spec, total_cores: int):
 
     The rewritten spec computes exactly the same outputs (same reference,
     same verification), only the launch geometry changes.
+
+    Idempotent: a spec whose kernel already carries :data:`GID_PARAM`
+    (i.e. one this function produced) is not rewritten again — only its
+    geometry is recomputed for the new core count.  This is what grow
+    recovery relies on to rebalance an already-regridded workload onto a
+    restored cluster width.
     """
     from dataclasses import replace as dc_replace
+
+    if any(p.name == GID_PARAM for p in spec.kernel.params):
+        logical = int(spec.scalars[GID_PARAM])
+        grid, block = choose_geometry(logical, total_cores)
+        return dc_replace(spec, grid=grid, block=block)
 
     rg = regrid_kernel(spec.kernel)
     if rg is None:

@@ -96,3 +96,104 @@ def test_tune_custom_payloads(tmp_path, capsys):
 def test_bench_delegation(capsys):
     assert main(["bench", "tab01"]) == 0
     assert "Table 1" in capsys.readouterr().out
+
+
+# -- elastic operations: checkpoints, restart drill, drift guard -------------
+
+
+def _drill(tmp_path, capsys):
+    """Baseline checkpointed run + interrupted run; returns both dirs."""
+    base = tmp_path / "base"
+    inter = tmp_path / "int"
+    faults = "crash:rank=1,phase=allgather"
+    assert main(["run", "FIR", "--nodes", "4", "--faults", faults,
+                 "--checkpoint", str(base)]) == 0
+    rc = main(["run", "FIR", "--nodes", "4", "--faults", faults,
+               "--checkpoint", str(inter), "--halt-after", "1"])
+    out = capsys.readouterr().out
+    assert rc == 3
+    assert "halted" in out and ".rckp" in out
+    return base, inter
+
+
+def test_run_halt_resume_and_diff_clean(tmp_path, capsys):
+    base, inter = _drill(tmp_path, capsys)
+    rc = main(["run", "FIR", "--resume", str(inter),
+               "--checkpoint", str(inter)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "resumed from" in out
+    assert "verified on all 3 node replicas" in out
+    assert main(["ckpt", "diff", str(base), str(inter)]) == 0
+    assert "identical simulator state" in capsys.readouterr().out
+
+
+def test_ckpt_inspect_and_validate(tmp_path, capsys):
+    base, _ = _drill(tmp_path, capsys)
+    assert main(["ckpt", "inspect", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "workload='FIR'" in out and "format v1" in out
+    assert main(["ckpt", "validate", str(base)]) == 0
+    assert ": ok" in capsys.readouterr().out
+
+
+def test_ckpt_validate_flags_corruption(tmp_path, capsys):
+    base, _ = _drill(tmp_path, capsys)
+    victim = base / "latest.rckp"
+    payload = bytearray(victim.read_bytes())
+    payload[-1] ^= 0xFF
+    victim.write_bytes(bytes(payload))
+    assert main(["ckpt", "validate", str(victim)]) == 1
+    assert "INVALID" in capsys.readouterr().out
+
+
+def test_ckpt_diff_reports_differences(tmp_path, capsys):
+    base, _ = _drill(tmp_path, capsys)
+    other = tmp_path / "other"
+    assert main(["run", "FIR", "--nodes", "4",
+                 "--checkpoint", str(other)]) == 0
+    capsys.readouterr()
+    assert main(["ckpt", "diff", str(base), str(other)]) == 1
+    assert "difference(s)" in capsys.readouterr().out
+
+
+def test_ckpt_on_empty_directory(tmp_path, capsys):
+    assert main(["ckpt", "inspect", str(tmp_path)]) == 1
+    assert "no checkpoints" in capsys.readouterr().err
+
+
+def test_run_recovery_exhausted_one_line_diagnosis(capsys):
+    rc = main([
+        "run", "FIR", "--nodes", "2",
+        "--faults", "crash:rank=0,phase=allgather;crash:rank=1,phase=callback",
+    ])
+    err = capsys.readouterr().err
+    assert rc == 1
+    line = [l for l in err.splitlines() if l.startswith("error:")]
+    assert len(line) == 1
+    assert "unrecoverable" in line[0]
+
+
+def test_run_halt_after_requires_checkpoint(capsys):
+    assert main(["run", "FIR", "--halt-after", "1"]) == 1
+    assert "--halt-after requires --checkpoint" in capsys.readouterr().err
+
+
+def test_run_checkpoint_requires_cucc(capsys):
+    assert main(["run", "FIR", "--platform", "a100",
+                 "--checkpoint", "x"]) == 1
+    assert "requires --platform cucc" in capsys.readouterr().err
+
+
+def test_run_resume_rejects_faults(tmp_path, capsys):
+    _, inter = _drill(tmp_path, capsys)
+    rc = main(["run", "FIR", "--resume", str(inter),
+               "--faults", "transient:op=1"])
+    assert rc == 1
+    assert "drop --faults" in capsys.readouterr().err
+
+
+def test_run_drift_guard_flag(capsys):
+    assert main(["run", "FIR", "--nodes", "4",
+                 "--drift-guard", "0.25"]) == 0
+    assert "verified" in capsys.readouterr().out

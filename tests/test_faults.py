@@ -431,3 +431,33 @@ def test_cli_rejects_bad_fault_spec(capsys):
     rc = main(["run", "VecAdd", "--faults", "explode:rank=1"])
     assert rc == 1
     assert "unknown fault kind" in capsys.readouterr().err
+
+
+# -- RecoveryPolicy validation (elastic-ops satellite) -----------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs, msg",
+    [
+        (dict(max_retries=-1), "max_retries"),
+        (dict(backoff_base_s=-0.1), "backoff_base_s"),
+        (dict(backoff_factor=0.0), "backoff_factor"),
+        (dict(failure_detect_s=-1.0), "failure_detect_s"),
+        (dict(straggler_factor=0.0), "straggler_factor"),
+        (dict(min_nodes=0), "min_nodes"),
+    ],
+)
+def test_recovery_policy_validates_fields(kwargs, msg):
+    with pytest.raises(ValueError, match=msg):
+        RecoveryPolicy(**kwargs)
+
+
+def test_recovery_exhausted_diagnosis_names_cause(spec):
+    """The surfaced error keeps its concrete class and carries a
+    one-line diagnosis (what failed, which boundary, what survived)."""
+    plan = FaultPlan((TransientFault(op=1, count=5),), seed=3)
+    with pytest.raises(CollectiveTimeout) as ei:
+        run_on_cucc(spec, _cluster(), fault_plan=plan, verify=False)
+    msg = str(ei.value)
+    assert "recovery exhausted" in msg
+    assert "after 3 retries" in msg

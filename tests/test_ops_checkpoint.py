@@ -1,0 +1,187 @@
+"""Durable checkpoint format: round-trip, corruption, policy, tools.
+
+The property test is the ISSUE's satellite (c): serializing any
+simulator-ish state and reading it back is bit-identical, and *any*
+single flipped byte in the file is rejected with a
+:class:`~repro.errors.CheckpointError` that names the file — never a
+crash deeper in the stack or, worse, silently wrong data.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CheckpointError
+from repro.ops import (
+    CheckpointPolicy,
+    diff_checkpoints,
+    latest_checkpoint,
+    validate_checkpoint,
+)
+from repro.ops.checkpoint import (
+    LATEST_NAME,
+    encode_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+# -- policy validation (satellite a twin for the ops layer) -----------------
+
+
+def test_policy_defaults_valid(tmp_path):
+    p = CheckpointPolicy(directory=str(tmp_path))
+    assert p.mode == "phase-boundary"
+
+
+@pytest.mark.parametrize(
+    "kwargs, msg",
+    [
+        (dict(directory=""), "directory"),
+        (dict(directory="d", mode="hourly"), "mode"),
+        (dict(directory="d", interval_s=-1.0), "interval_s"),
+        (dict(directory="d", mode="interval"), "interval"),
+        (dict(directory="d", keep=-1), "keep"),
+        (dict(directory="d", halt_after=0), "halt_after"),
+    ],
+)
+def test_policy_validation(kwargs, msg):
+    with pytest.raises(ValueError, match=msg):
+        CheckpointPolicy(**kwargs)
+
+
+# -- round-trip property -----------------------------------------------------
+
+_DTYPES = st.sampled_from(["<f4", "<f8", "<i4", "<i8", "|u1"])
+
+
+@st.composite
+def _segments(draw):
+    names = draw(
+        st.lists(
+            st.text(
+                alphabet="abcxyz_", min_size=1, max_size=6
+            ),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    segs = []
+    for name in names:
+        dtype = np.dtype(draw(_DTYPES))
+        size = draw(st.integers(1, 64))
+        ranks = draw(
+            st.lists(st.integers(0, 5), min_size=1, max_size=4, unique=True)
+        )
+        for born in ranks:
+            raw = draw(st.binary(min_size=size * dtype.itemsize,
+                                 max_size=size * dtype.itemsize))
+            segs.append((name, born, np.frombuffer(raw, dtype=dtype)))
+    return segs
+
+
+@st.composite
+def _metas(draw):
+    return {
+        "seq": draw(st.integers(0, 99)),
+        "label": draw(st.text(max_size=12)),
+        "sim_time": draw(
+            st.floats(0, 1e6, allow_nan=False, allow_infinity=False)
+        ),
+        "nested": {"clock": [draw(st.floats(0, 1, allow_nan=False))]},
+    }
+
+
+@given(meta=_metas(), segs=_segments())
+@settings(max_examples=30, deadline=None)
+def test_roundtrip_bit_identical(tmp_path_factory, meta, segs):
+    path = tmp_path_factory.mktemp("ck") / "a.rckp"
+    write_checkpoint(path, meta, segs)
+    got_meta, got_data = read_checkpoint(path)
+    for k, v in meta.items():
+        assert got_meta[k] == v
+    assert len(got_data) == len(segs)
+    for name, born, arr in segs:
+        back = got_data[(name, born)]
+        assert back.dtype == arr.dtype
+        assert back.tobytes() == arr.tobytes()
+        back[...] = 0  # returned arrays must be writable copies
+
+
+@given(meta=_metas(), segs=_segments(), data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_any_flipped_byte_is_rejected(tmp_path_factory, meta, segs, data):
+    """Satellite (c): corrupting one byte anywhere is caught, and the
+    error names the corrupted file."""
+    path = tmp_path_factory.mktemp("ck") / "a.rckp"
+    write_checkpoint(path, meta, segs)
+    payload = bytearray(path.read_bytes())
+    pos = data.draw(st.integers(0, len(payload) - 1))
+    bit = data.draw(st.integers(0, 7))
+    payload[pos] ^= 1 << bit
+    path.write_bytes(bytes(payload))
+    with pytest.raises(CheckpointError) as ei:
+        read_checkpoint(path)
+    assert path.name in str(ei.value)
+
+
+def test_truncation_rejected(tmp_path):
+    path = tmp_path / "a.rckp"
+    write_checkpoint(path, {"seq": 0}, [("x", 0, np.arange(8, dtype="<i4"))])
+    payload = path.read_bytes()
+    for cut in (0, 3, 10, len(payload) - 1):
+        path.write_bytes(payload[:cut])
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+
+def test_deterministic_encoding():
+    """Identical state -> byte-identical file (the diff primitive)."""
+    meta = {"b": 1, "a": {"y": 2, "x": 3}}
+    segs = [("v", 1, np.arange(4, dtype="<f4")),
+            ("v", 0, np.arange(4, dtype="<f4"))]
+    assert encode_checkpoint(meta, segs) == encode_checkpoint(
+        dict(reversed(meta.items())), list(reversed(segs))
+    )
+
+
+# -- tools -------------------------------------------------------------------
+
+
+def test_latest_checkpoint_alias_and_fallback(tmp_path):
+    assert latest_checkpoint(tmp_path) is None
+    a = write_checkpoint(tmp_path / "ckpt-000001.rckp", {"seq": 1}, [])
+    assert latest_checkpoint(tmp_path).name == LATEST_NAME
+    (tmp_path / LATEST_NAME).unlink()
+    assert latest_checkpoint(tmp_path) == a
+
+
+def test_validate_reports_problems(tmp_path):
+    path = write_checkpoint(tmp_path / "a.rckp", {"seq": 0},
+                            [("x", 0, np.zeros(4, dtype="<f4"))])
+    assert validate_checkpoint(path) == []
+    payload = bytearray(path.read_bytes())
+    payload[-1] ^= 0xFF
+    path.write_bytes(bytes(payload))
+    problems = validate_checkpoint(path)
+    assert problems and "a.rckp" in problems[0]
+
+
+def test_diff_ignores_volatile_keys(tmp_path):
+    segs = [("x", 0, np.arange(4, dtype="<i4"))]
+    a = write_checkpoint(tmp_path / "a.rckp",
+                         {"seq": 1, "label": "first", "t": 2.5}, segs)
+    b = write_checkpoint(tmp_path / "b.rckp",
+                         {"seq": 9, "label": "other", "t": 2.5}, segs)
+    assert diff_checkpoints(a, b) == []
+
+
+def test_diff_reports_meta_and_data_differences(tmp_path):
+    a = write_checkpoint(tmp_path / "a.rckp", {"seq": 1, "t": 2.5},
+                         [("x", 0, np.arange(4, dtype="<i4"))])
+    b = write_checkpoint(tmp_path / "b.rckp", {"seq": 1, "t": 3.5},
+                         [("x", 0, np.array([0, 1, 9, 3], dtype="<i4"))])
+    diffs = diff_checkpoints(a, b)
+    assert any("t" in d for d in diffs)
+    assert any("x" in d for d in diffs)

@@ -1,0 +1,104 @@
+"""Drift-guarded execution: escalation ladder and the breaker.
+
+In the simulator the executed phase times normally *are* the model's
+predictions (zero drift), so the tests manufacture real drift with a
+straggler fault: the compute multiplier inflates the executed partial
+phase while the prediction is built from unscaled counters.
+"""
+
+import pytest
+
+from repro.bench.harness import run_on_cucc
+from repro.cluster import FaultPlan, make_cluster
+from repro.errors import DriftBreakerOpen
+from repro.ops import DriftGuardPolicy
+from repro.ops.guard import DriftGuard
+from repro.workloads import fir
+
+
+def _drifting_runtime(policy):
+    spec = fir.build("small")
+    res = run_on_cucc(
+        spec,
+        make_cluster("simd-focused", 4),
+        fault_plan=FaultPlan.parse("straggler:rank=3,compute=3.0"),
+        drift_guard=policy,
+    )
+    return spec, res.runtime
+
+
+@pytest.mark.parametrize(
+    "kwargs, msg",
+    [
+        (dict(bound=0.0), "bound"),
+        (dict(warn_after=0), "warn_after"),
+        (dict(retune_after=0), "retune_after"),
+        (dict(refuse_after=0), "refuse_after"),
+        (dict(warn_after=3, retune_after=2), "warn_after"),
+        (dict(retune_after=5, refuse_after=4), "retune_after"),
+    ],
+)
+def test_policy_validation(kwargs, msg):
+    with pytest.raises(ValueError, match=msg):
+        DriftGuardPolicy(**kwargs)
+
+
+def test_guard_implies_drift_telemetry():
+    _, rt = _drifting_runtime(DriftGuardPolicy(bound=1e9))
+    assert rt.drift is True
+    assert rt.guard is not None and not rt.guard.open
+
+
+def test_escalation_warn_retune_open():
+    policy = DriftGuardPolicy(
+        bound=1e-9, warn_after=1, retune_after=2, refuse_after=3
+    )
+    spec, rt = _drifting_runtime(policy)
+    compiled = rt.compile(spec.kernel)
+    # launch 1 drifted: warn.  launches 2 and 3 escalate.
+    assert [e["action"] for e in rt.guard.log] == ["warn"]
+    rt.launch(compiled, spec.grid, spec.block, spec.args())
+    assert rt.guard.retunes == 1 and not rt.guard.open
+    rt.launch(compiled, spec.grid, spec.block, spec.args())
+    assert rt.guard.open
+    with pytest.raises(DriftBreakerOpen, match="drift"):
+        rt.launch(compiled, spec.grid, spec.block, spec.args())
+
+
+def test_breach_streak_resets_on_accurate_launch():
+    guard = DriftGuard(DriftGuardPolicy(bound=0.5, refuse_after=5))
+    guard.consecutive = 3
+    pred = {"partial": 1.0, "allgather": 1.0}
+
+    class _Ph:
+        partial = 1.0
+        allgather = 1.0
+
+    class _Rec:
+        phases = _Ph()
+
+    guard.observe(None, "k", _Rec(), pred)
+    assert guard.consecutive == 0 and not guard.open
+
+
+def test_forced_retune_fires_exactly_once_per_streak():
+    policy = DriftGuardPolicy(
+        bound=1e-9, warn_after=1, retune_after=1, refuse_after=99
+    )
+    spec, rt = _drifting_runtime(policy)
+    compiled = rt.compile(spec.kernel)
+    assert rt.guard.retunes == 1
+    rt.launch(compiled, spec.grid, spec.block, spec.args())
+    rt.launch(compiled, spec.grid, spec.block, spec.args())
+    assert rt.guard.retunes == 1  # same streak: no repeat retune
+
+
+def test_in_bound_run_never_trips():
+    spec = fir.build("small")
+    res = run_on_cucc(
+        spec,
+        make_cluster("simd-focused", 4),
+        drift_guard=DriftGuardPolicy(bound=0.25),
+    )
+    g = res.runtime.guard
+    assert g.consecutive == 0 and g.log == [] and not g.open

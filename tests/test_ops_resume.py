@@ -1,0 +1,163 @@
+"""The restart differential gate.
+
+Interrupt a run at *every* checkpoint ordinal (the --halt-after drill),
+resume from the file, and require results bit-identical to the
+uninterrupted run: final buffers, op counters, PhaseTimes floats, fault
+events — and the final checkpoints themselves must ``diff`` clean.
+Fault-free and faulted (crash + transient) schedules are both gated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import run_on_cucc
+from repro.cluster import FaultPlan, make_cluster
+from repro.errors import CheckpointError, CheckpointHalt
+from repro.ops import (
+    CheckpointPolicy,
+    diff_checkpoints,
+    latest_checkpoint,
+    resume_on_cucc,
+)
+from repro.workloads import fir
+
+
+def _policy(directory, halt_after=None):
+    return CheckpointPolicy(directory=str(directory), halt_after=halt_after)
+
+
+def _baseline(tmp_path, fault_plan=None):
+    spec = fir.build("small")
+    cluster = make_cluster("simd-focused", 4)
+    res = run_on_cucc(
+        spec,
+        cluster,
+        fault_plan=fault_plan,
+        checkpoint=_policy(tmp_path / "base"),
+        app_meta={"workload": spec.name, "size": "small"},
+    )
+    outs = {
+        o: res.runtime.memory.memcpy_d2h(o, check_consistency=True)
+        for o in spec.outputs
+    }
+    return spec, res, outs
+
+
+def _assert_identical(spec, base_res, base_outs, res):
+    assert res.time == base_res.time
+    assert res.record.phases == base_res.record.phases
+    assert res.record.retries == base_res.record.retries
+    assert res.record.recoveries == base_res.record.recoveries
+    assert len(res.record.fault_events) == len(base_res.record.fault_events)
+    assert (
+        res.record.callback_counters.as_dict()
+        == base_res.record.callback_counters.as_dict()
+    )
+    assert [c.as_dict() for c in res.record.partial_counters] == [
+        c.as_dict() for c in base_res.record.partial_counters
+    ]
+    for name, want in base_outs.items():
+        got = res.runtime.memory.memcpy_d2h(name, check_consistency=True)
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want)
+
+
+def _interrupt_resume_gate(tmp_path, fault_plan_str=None):
+    plan = (
+        FaultPlan.parse(fault_plan_str, seed=7) if fault_plan_str else None
+    )
+    spec, base_res, base_outs = _baseline(tmp_path, fault_plan=plan)
+    total = base_res.runtime.ops.written
+    assert total >= 3  # allgather, callback, launch-end at minimum
+    for k in range(1, total + 1):
+        ckdir = tmp_path / f"halt{k}"
+        plan_k = (
+            FaultPlan.parse(fault_plan_str, seed=7)
+            if fault_plan_str
+            else None
+        )
+        with pytest.raises(CheckpointHalt) as ei:
+            run_on_cucc(
+                spec,
+                make_cluster("simd-focused", 4),
+                fault_plan=plan_k,
+                checkpoint=_policy(ckdir, halt_after=k),
+                app_meta={"workload": spec.name, "size": "small"},
+            )
+        assert str(ei.value.path).endswith(".rckp")
+        res = resume_on_cucc(
+            spec, latest_checkpoint(ckdir), checkpoint=_policy(ckdir)
+        )
+        _assert_identical(spec, base_res, base_outs, res)
+        assert diff_checkpoints(
+            latest_checkpoint(tmp_path / "base"), latest_checkpoint(ckdir)
+        ) == []
+
+
+def test_interrupt_resume_fault_free(tmp_path):
+    _interrupt_resume_gate(tmp_path)
+
+
+def test_interrupt_resume_faulted(tmp_path):
+    _interrupt_resume_gate(
+        tmp_path, "crash:rank=1,phase=allgather;transient:op=2"
+    )
+
+
+def test_checkpointing_is_sim_invisible(tmp_path):
+    """Armed-but-not-halting checkpoints charge zero simulated time."""
+    spec = fir.build("small")
+    bare = run_on_cucc(spec, make_cluster("simd-focused", 4))
+    armed = run_on_cucc(
+        spec,
+        make_cluster("simd-focused", 4),
+        checkpoint=_policy(tmp_path),
+    )
+    assert armed.time == bare.time
+    assert armed.record.phases == bare.record.phases
+    assert armed.runtime.ops.written >= 3
+
+
+def test_resume_refuses_wrong_workload(tmp_path):
+    spec, _, _ = _baseline(tmp_path)
+    from repro.workloads import nbody
+
+    other = nbody.build("small")
+    with pytest.raises(CheckpointError, match="workload"):
+        resume_on_cucc(other, latest_checkpoint(tmp_path / "base"))
+
+
+def test_resume_refuses_mismatched_launch(tmp_path):
+    """Same workload name, different geometry -> resume mismatch."""
+    spec = fir.build("small")
+    ckdir = tmp_path / "ck"
+    with pytest.raises(CheckpointHalt):
+        run_on_cucc(
+            spec,
+            make_cluster("simd-focused", 4),
+            checkpoint=_policy(ckdir, halt_after=1),
+            app_meta={"workload": spec.name, "size": "small"},
+        )
+    bigger = fir.build("paper")
+    with pytest.raises(CheckpointError, match="resume mismatch"):
+        resume_on_cucc(bigger, latest_checkpoint(ckdir))
+
+
+def test_resume_keeps_checkpoint_numbering(tmp_path):
+    """Re-armed checkpointing continues the ordinal sequence."""
+    spec = fir.build("small")
+    ckdir = tmp_path / "ck"
+    with pytest.raises(CheckpointHalt):
+        run_on_cucc(
+            spec,
+            make_cluster("simd-focused", 4),
+            checkpoint=_policy(ckdir, halt_after=2),
+            app_meta={"workload": spec.name, "size": "small"},
+        )
+    before = {p.name for p in ckdir.glob("ckpt-*.rckp")}
+    res = resume_on_cucc(
+        spec, latest_checkpoint(ckdir), checkpoint=_policy(ckdir)
+    )
+    after = {p.name for p in ckdir.glob("ckpt-*.rckp")}
+    assert before < after
+    assert res.runtime.ops.written >= 1

@@ -182,3 +182,35 @@ def test_failure_free_runs_are_unchanged_by_empty_failure_list():
     assert [(j.job_id, j.start_time) for j in a] == [
         (j.job_id, j.start_time) for j in b
     ]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 1000, allow_nan=False),
+            st.integers(1, 4),
+            st.floats(1, 500, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    st.integers(10, 16),
+    st.lists(st.floats(0, 1500, allow_nan=False), max_size=3),
+    st.lists(st.floats(0, 1500, allow_nan=False), max_size=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_scheduler_invariants_with_failures_and_returns(
+    raw, capacity, fails, rets
+):
+    """Property: under any failure + node-return schedule every job
+    still runs, never widens past its born allocation, and never starts
+    before submission."""
+    jobs = _job_list(raw)
+    finished = simulate_partition(
+        "p", capacity, jobs, failure_times=fails, return_times=rets
+    )
+    assert len(finished) == len(jobs)
+    assert {j.job_id for j in finished} == {j.job_id for j in jobs}
+    for j in finished:
+        assert j.start_time >= j.submit_time - 1e-9
+        assert 1 <= j.nodes <= j.born_nodes
