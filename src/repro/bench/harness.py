@@ -57,6 +57,8 @@ def run_on_cucc(
     checkpoint=None,
     drift_guard=None,
     app_meta=None,
+    backend: str = "auto",
+    jit_cache=None,
 ) -> CuCCResult:
     """Run a workload through the three-phase CuCC runtime.
 
@@ -72,6 +74,9 @@ def run_on_cucc(
     :class:`~repro.ops.guard.DriftGuardPolicy`) arm the elastic
     operations layer; ``app_meta`` is stored verbatim in every durable
     checkpoint (the workload identity the resume side validates).
+    ``backend``/``jit_cache`` select the kernel-execution backend (the
+    tree-walking interpreter, the JIT fast path, or auto-fallback) —
+    modeled times and buffers are bit-identical either way.
     """
     rt = CuCCRuntime(
         cluster,
@@ -85,6 +90,8 @@ def run_on_cucc(
         drift=drift,
         checkpoint=checkpoint,
         drift_guard=drift_guard,
+        backend=backend,
+        jit_cache=jit_cache,
     )
     if app_meta and rt.ops is not None:
         rt.ops.app.update(app_meta)

@@ -170,6 +170,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for flag in ("trace", "profile", "drift"):
         if getattr(args, flag) and args.platform != "cucc":
             raise ReproError(f"--{flag} requires --platform cucc")
+    if args.platform != "cucc" and args.backend != "auto":
+        raise ReproError("--backend requires --platform cucc")
+    if args.resume and args.backend != "auto":
+        raise ReproError(
+            "--resume replays launches through the default backend; "
+            "drop --backend"
+        )
     for flag in ("checkpoint", "resume", "drift_guard"):
         if getattr(args, flag) and args.platform != "cucc":
             opt = flag.replace("_", "-")
@@ -229,6 +236,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 profile=bool(args.profile), drift=bool(args.drift),
                 checkpoint=checkpoint, drift_guard=drift_guard,
                 app_meta={"workload": spec.name, "size": args.size},
+                backend=args.backend, jit_cache=args.jit_cache,
             )
         if res.runtime.ops is not None and res.runtime.ops.written:
             print(f"wrote {res.runtime.ops.written} checkpoint(s) to "
@@ -499,6 +507,71 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return 0 if clean else 1
 
 
+def _cmd_jit(args: argparse.Namespace) -> int:
+    """Differential gate driver: every workload kernel through both
+    backends, bit-for-bit.  Exit status 0 means "no divergence" — every
+    buffer byte, every OpCounters field, every phase time identical — so
+    CI can gate on it."""
+    from repro.bench.harness import format_table
+    from repro.interp.jit import CompileCache, compile_stats, run_gate
+    from repro.workloads import EXTRA_WORKLOADS, PERF_WORKLOADS
+
+    catalog = {**PERF_WORKLOADS, **EXTRA_WORKLOADS}
+    if args.workload:
+        missing = [w for w in args.workload if w not in catalog]
+        if missing:
+            raise ReproError(
+                f"unknown workload(s) {missing}; known: {sorted(catalog)}"
+            )
+        catalog = {w: catalog[w] for w in args.workload}
+
+    cache = None
+    if args.cache:
+        cache = CompileCache.load(args.cache)
+        print(f"loaded {cache!r}")
+    before = dict(compile_stats)
+
+    results = run_gate(args.size, seed=args.seed, workloads=catalog,
+                       cache=cache)
+
+    rows = []
+    for r in results:
+        rows.append([
+            r.name,
+            "yes" if r.mask_free else "no",
+            r.compile_s * 1e3,
+            r.interp_s * 1e3,
+            r.jit_s * 1e3,
+            r.speedup,
+            "ok" if r.identical else "DIVERGED",
+        ])
+    print(format_table(
+        ["kernel", "mask-free", "compile ms", "interp ms", "jit ms",
+         "speedup", "differential"],
+        rows,
+    ))
+    delta = {k: compile_stats[k] - before[k] for k in compile_stats}
+    print(f"\ncompiles={delta['compiles']} memo_hits={delta['memo_hits']} "
+          f"cache_hits={delta['cache_hits']} "
+          f"cache_rejects={delta['cache_rejects']}")
+    if cache is not None:
+        cache.save()
+        print(f"saved {cache!r}")
+
+    bad = [r for r in results if not r.identical]
+    for r in bad:
+        print(f"\n{r.name} DIVERGED:")
+        for m in r.mismatches:
+            print(f"  {m}")
+    if bad:
+        print(f"\ndifferential gate FAILED: {len(bad)} kernel(s) diverged "
+              "(each divergence is a JIT bug or a latent interpreter bug)")
+        return 1
+    print(f"differential gate passed: {len(results)} kernel(s) "
+          "bit-identical under both backends")
+    return 0
+
+
 def _read_source(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
@@ -592,6 +665,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="arm the drift breaker (cucc only): refuse "
                         "launches after repeated |relative model error| "
                         "above BOUND (implies --drift)")
+    p.add_argument("--backend", default="auto",
+                   choices=("interp", "jit", "auto"),
+                   help="kernel-execution backend (cucc only): the "
+                        "tree-walking interpreter, the compiled JIT fast "
+                        "path, or auto-fallback (default); outputs and "
+                        "simulated times are bit-identical either way")
+    p.add_argument("--jit-cache", metavar="PATH", default=None,
+                   help="persistent JIT compile cache consulted before "
+                        "codegen and updated after (like the tuning "
+                        "cache; integrity-checked)")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser(
@@ -709,6 +792,28 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("a", help="checkpoint file or directory")
     q.add_argument("b", help="checkpoint file or directory")
     q.set_defaults(fn=_cmd_ckpt)
+
+    p = sub.add_parser(
+        "jit",
+        help="JIT differential gate: interp vs compiled, bit-for-bit",
+        description=(
+            "Compile every workload kernel with the JIT tier and run it "
+            "through both backends — the tree-walking interpreter and "
+            "the compiled closure — comparing output buffers, OpCounters "
+            "and CuCC phase times bit-for-bit.  Exits 1 on any "
+            "divergence, so CI can gate on it.  With --cache, the "
+            "compile cache is consulted first and saved after (run "
+            "twice to prove cache hits skip codegen)."
+        ),
+    )
+    p.add_argument("workload", nargs="*",
+                   help="workload name(s); default: the whole zoo")
+    p.add_argument("--size", default="small", choices=("small", "paper"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache", metavar="PATH", default=None,
+                   help="persistent compile-cache file to consult and "
+                        "update (e.g. .repro-jit-cache.json)")
+    p.set_defaults(fn=_cmd_jit)
 
     p = sub.add_parser("specs", help="print Table 1")
     p.set_defaults(fn=_cmd_specs)

@@ -135,6 +135,19 @@ class InterpError(ReproError):
     """The SPMD interpreter encountered an unsupported construct at runtime."""
 
 
+class JITError(ReproError):
+    """The JIT codegen tier failed (bad cache file, compile failure)."""
+
+
+class JITUnsupported(JITError):
+    """A kernel the JIT compiler cannot specialize.
+
+    Not fatal under ``backend="auto"`` — the runtime falls back to the
+    tree-walking interpreter, which remains the reference semantics for
+    every construct.
+    """
+
+
 class SanitizerError(ReproError):
     """The kernel sanitizer was misused (bad target, unknown kernel).
 

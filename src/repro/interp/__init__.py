@@ -10,3 +10,8 @@ from repro.interp.grid import LaunchConfig, dim3
 from repro.interp.machine import BlockExecutor, run_grid
 
 __all__ = ["OpCounters", "LaunchConfig", "dim3", "BlockExecutor", "run_grid"]
+
+# The JIT fast path lives in repro.interp.jit (JITBlockExecutor,
+# get_program, diff_grid, run_gate, ...).  It is imported lazily —
+# ``run_grid(..., backend="jit")`` defers the import — so interpreter
+# users never pay for the codegen tier.

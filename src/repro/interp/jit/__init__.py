@@ -1,0 +1,64 @@
+"""JIT fast path for the SPMD interpreter.
+
+Compiles kernel IR to specialized vectorized NumPy closures — one
+generated Python source per (kernel, block shape, bounds-check flag)
+specialization, ``compile()``d once and memoized.  The tree-walking
+interpreter in :mod:`repro.interp.machine` remains the semantic
+reference; the differential gate (:mod:`repro.interp.jit.differential`)
+holds the JIT to bit-identical outputs *and* bit-identical
+:class:`~repro.interp.counters.OpCounters`, so every hardware-model
+clock is unchanged by construction.
+
+See DESIGN.md §13 for the specialization key, the mask-free proof
+obligation, and the persistent cache layout.
+"""
+
+from repro.errors import JITError, JITUnsupported
+from repro.interp.jit.cache import (
+    DEFAULT_CACHE_PATH,
+    CompileCache,
+    source_digest,
+)
+from repro.interp.jit.compiler import (
+    CODEGEN_VERSION,
+    JITProgram,
+    compile_closure,
+    generate_source,
+    program_key,
+)
+from repro.interp.jit.differential import (
+    DiffResult,
+    diff_grid,
+    diff_workload,
+    run_gate,
+)
+from repro.interp.jit.divergence import DivergenceFacts, analyze_divergence
+from repro.interp.jit.executor import (
+    JITBlockExecutor,
+    clear_memo,
+    compile_stats,
+    get_program,
+)
+
+__all__ = [
+    "CODEGEN_VERSION",
+    "DEFAULT_CACHE_PATH",
+    "CompileCache",
+    "DiffResult",
+    "DivergenceFacts",
+    "JITBlockExecutor",
+    "JITError",
+    "JITProgram",
+    "JITUnsupported",
+    "analyze_divergence",
+    "clear_memo",
+    "compile_closure",
+    "compile_stats",
+    "diff_grid",
+    "diff_workload",
+    "generate_source",
+    "get_program",
+    "program_key",
+    "run_gate",
+    "source_digest",
+]

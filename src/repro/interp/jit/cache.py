@@ -1,0 +1,137 @@
+"""Persistent compile cache for JIT specializations.
+
+Modeled on :class:`repro.tuning.cache.TuningCache`: a JSON document of
+``key -> entry`` with a schema version guard, loaded eagerly and saved
+atomically as a whole.  One entry per specialization key (see
+:func:`repro.interp.jit.compiler.program_key`)::
+
+    {
+      "version": 1,
+      "entries": {
+        "fir@1a2b...": {
+          "kernel": "fir",
+          "mask_free": true,
+          "sha256": "<hex digest of source>",
+          "source": "KNAME = 'fir'\\n..."
+        }
+      }
+    }
+
+Entries are integrity-checked on lookup: the stored SHA-256 must match
+the stored source, or the entry is **rejected and dropped** so the
+caller recompiles from the IR.  A cache can speed a run up; it must
+never be able to change what a run computes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.errors import JITError
+
+__all__ = ["CompileCache", "DEFAULT_CACHE_PATH", "source_digest"]
+
+SCHEMA_VERSION = 1
+
+#: default cache file used by ``repro run --backend jit --jit-cache``
+DEFAULT_CACHE_PATH = ".repro-jit-cache.json"
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+class CompileCache:
+    """In-memory view of the compile cache, JSON round-trippable."""
+
+    def __init__(
+        self,
+        entries: dict[str, dict] | None = None,
+        path: str | Path | None = None,
+    ):
+        self.entries: dict[str, dict] = dict(entries or {})
+        self.path = Path(path) if path is not None else None
+        #: entries dropped by integrity checks since load (observable in
+        #: tests and the CLI's cache stats)
+        self.rejected = 0
+        #: successful lookups since load
+        self.hits = 0
+
+    # -- access ---------------------------------------------------------
+    def lookup(self, key: str) -> dict | None:
+        """The verified entry for ``key``, or ``None`` on a miss.
+
+        A structurally damaged or digest-mismatched entry counts as a
+        miss *and is removed*, so the recompiled result replaces it."""
+        entry = self.entries.get(key)
+        if entry is None:
+            return None
+        source = entry.get("source")
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(source, str)
+            or not isinstance(entry.get("mask_free"), bool)
+            or entry.get("sha256") != source_digest(source)
+        ):
+            self.rejected += 1
+            del self.entries[key]
+            return None
+        self.hits += 1
+        return entry
+
+    def record(
+        self, key: str, source: str, mask_free: bool, kernel_name: str
+    ) -> None:
+        self.entries[key] = {
+            "kernel": kernel_name,
+            "mask_free": bool(mask_free),
+            "sha256": source_digest(source),
+            "source": source,
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- persistence ----------------------------------------------------
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write the cache as JSON; returns the path written."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise JITError("compile cache has no path to save to")
+        target.write_text(
+            json.dumps(
+                {"version": SCHEMA_VERSION, "entries": self.entries},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        self.path = target
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> CompileCache:
+        """Read a cache file; a missing file yields an empty cache bound
+        to the same path (so a later :meth:`save` creates it)."""
+        p = Path(path)
+        if not p.exists():
+            return cls(path=p)
+        try:
+            doc = json.loads(p.read_text())
+        except json.JSONDecodeError as e:
+            raise JITError(f"compile cache {p} is not valid JSON: {e}")
+        if not isinstance(doc, dict) or doc.get("version") != SCHEMA_VERSION:
+            raise JITError(
+                f"compile cache {p} has unsupported version "
+                f"{doc.get('version') if isinstance(doc, dict) else doc!r}"
+            )
+        entries = doc.get("entries", {})
+        if not isinstance(entries, dict):
+            raise JITError(f"compile cache {p}: entries must be an object")
+        return cls(entries=entries, path=p)
+
+    def __repr__(self) -> str:
+        where = f" @ {self.path}" if self.path else ""
+        return f"CompileCache({len(self)} entries{where})"

@@ -1,0 +1,1483 @@
+"""Kernel-IR → specialized NumPy closure compiler (the JIT tier).
+
+One Python source string is generated per ``(kernel, block shape,
+dtype signature)`` and ``compile()``d once; the resulting module-level
+function ``_jit_span(ctx, counters)`` replaces
+:meth:`repro.interp.machine.BlockExecutor._exec_body` for one span.
+The contract is **bit-identical observables**: output buffers, every
+:class:`~repro.interp.counters.OpCounters` field (including the
+64-byte-line traffic estimate), and error behaviour all match the
+tree-walking interpreter, so the hardware-model clocks are unchanged
+and the interpreter remains the executable specification.
+
+How the equivalence is kept:
+
+* Expressions are emitted in the interpreter's evaluation order (LHS
+  before RHS, index before value), each non-leaf bound to a temp, so
+  faults fire in the same order with the same messages.
+* Every ``astype`` the interpreter performs is either emitted verbatim
+  or elided only when the value's runtime dtype provably equals the
+  target (an identity ``astype(copy=False)`` returns the same object,
+  so elision is unobservable).
+* Op counts accumulate into local floats (``_c_flops += n3``) flushed
+  into the shared ``OpCounters`` at the end; all amounts are integral
+  and far below 2**53, so float accumulation is exact and
+  order-insensitive.
+* Divergence handling mirrors the interpreter's mask algebra; where
+  the static analysis (:mod:`repro.interp.jit.divergence`) proves a
+  branch lane-invariant *and* the condition evaluates to a scalar, a
+  plain Python ``if`` replaces the masked arms ("mask-free" code).
+* Anything the compiler cannot prove it mirrors exactly raises
+  :class:`~repro.errors.JITUnsupported`, and ``backend="auto"`` falls
+  back to the interpreter.
+
+The generated module is self-contained given a small fixed namespace
+(:func:`base_namespace`): NumPy, the shared helpers from
+:mod:`repro.interp.machine`, and the intrinsic table.  Constants and
+dtype objects are materialized as module-level assignments inside the
+source itself, so a cached source string recompiles without rerunning
+codegen.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import re
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.errors import InterpError, JITError, JITUnsupported
+from repro.interp.counters import OpCounters
+from repro.interp.intrinsics import INTRINSIC_IMPLS
+from repro.interp.jit.divergence import DivergenceFacts, analyze_divergence
+from repro.interp.machine import MAX_LOOP_ITERS, _c_int_div, _c_int_mod, apply_atomic_op
+from repro.ir.expr import (
+    BinOp,
+    Call,
+    Cast,
+    Const,
+    Expr,
+    Load,
+    Param,
+    Select,
+    SReg,
+    SRegKind,
+    UnOp,
+    Var,
+)
+from repro.ir.stmt import (
+    AllocLocal,
+    AllocShared,
+    Assign,
+    Atomic,
+    Break,
+    Continue,
+    For,
+    If,
+    Kernel,
+    Return,
+    Stmt,
+    Store,
+    SyncThreads,
+    While,
+)
+from repro.ir.types import AddressSpace, DType, PointerType, common_type
+from repro.ir.visitor import contains, iter_stmts
+
+__all__ = [
+    "CODEGEN_VERSION",
+    "JITProgram",
+    "program_key",
+    "generate_source",
+    "compile_closure",
+    "compile_program",
+    "base_namespace",
+]
+
+#: Bumped whenever generated code changes shape — part of the cache key,
+#: so stale persistent-cache entries can never be replayed.
+CODEGEN_VERSION = 1
+
+_COUNTER_FIELDS = tuple(f.name for f in fields(OpCounters))
+
+_BOOL = np.dtype(bool)
+_I64 = np.dtype(np.int64)
+
+_LANE_SREGS = {
+    SRegKind.TID_X: "tid_x",
+    SRegKind.TID_Y: "tid_y",
+    SRegKind.TID_Z: "tid_z",
+    SRegKind.CTAID_X: "ctaid_x",
+    SRegKind.CTAID_Y: "ctaid_y",
+    SRegKind.CTAID_Z: "ctaid_z",
+}
+_STATIC_SREGS = {
+    SRegKind.NTID_X: "ntid_x",
+    SRegKind.NTID_Y: "ntid_y",
+    SRegKind.NTID_Z: "ntid_z",
+    SRegKind.NCTAID_X: "nctaid_x",
+    SRegKind.NCTAID_Y: "nctaid_y",
+    SRegKind.NCTAID_Z: "nctaid_z",
+}
+
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class _Undef:
+    """Sentinel for registers that have no value yet (mirrors a missing
+    ``_env`` key in the interpreter)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<undef>"
+
+
+_UNDEF = _Undef()
+
+
+def _undef_read(kname: str, name: str):
+    raise InterpError(
+        f"read of unassigned variable {name!r} in kernel {kname!r}"
+    )
+
+
+def base_namespace() -> dict:
+    """The fixed globals every generated module executes under.
+
+    Everything else a program needs (dtype objects, hoisted constants,
+    intrinsic aliases) is emitted as module-level assignments *inside*
+    the generated source, so a source string cached on disk is
+    recompilable without rerunning codegen.
+    """
+    return {
+        "np": np,
+        "InterpError": InterpError,
+        "SRegKind": SRegKind,
+        "INTRINSIC_IMPLS": INTRINSIC_IMPLS,
+        "_c_int_div": _c_int_div,
+        "_c_int_mod": _c_int_mod,
+        "_atomic": apply_atomic_op,
+        "_UNDEF": _UNDEF,
+        "_undef_read": _undef_read,
+    }
+
+
+@dataclass
+class JITProgram:
+    """A compiled kernel specialization."""
+
+    key: str
+    kernel_name: str
+    source: str
+    mask_free: bool
+    fn: object | None = None
+    from_cache: bool = False
+
+
+def program_key(kernel: Kernel, block, bounds_check: bool) -> str:
+    """Cache key of one specialization: structural IR fingerprint (which
+    embeds the dtype signature), block shape, bounds-check mode, codegen
+    version.
+
+    The fingerprint is the dataclass ``repr`` of the whole kernel, *not*
+    its pretty-printed text: the printer is a faithful rendering of
+    semantics but not of op accounting — e.g. ``UnOp('-', Const(1))``
+    and ``Const(-1)`` both print as ``-1`` yet the interpreter counts an
+    extra int op for the former, so keying on the text once served a
+    stale specialization to a simplified kernel (caught by the
+    differential gate; see tests/test_interp_bugfixes.py)."""
+    h = hashlib.sha256()
+    h.update(
+        f"v{CODEGEN_VERSION}|block={tuple(int(b) for b in block)}"
+        f"|bc={bool(bounds_check)}|".encode()
+    )
+    h.update(repr(kernel).encode())
+    return f"{kernel.name}@{h.hexdigest()[:20]}"
+
+
+def compile_closure(source: str, kernel_name: str):
+    """``compile()`` + ``exec()`` one generated module, returning its
+    ``_jit_span`` entry point."""
+    ns = base_namespace()
+    try:
+        code = compile(source, f"<jit:{kernel_name}>", "exec")
+        exec(code, ns)
+        return ns["_jit_span"]
+    except (SyntaxError, KeyError) as e:  # pragma: no cover - codegen bug
+        raise JITError(
+            f"generated source for kernel {kernel_name!r} failed to "
+            f"compile: {e}"
+        ) from e
+
+
+def compile_program(kernel: Kernel, block, bounds_check: bool = True) -> JITProgram:
+    """Generate, compile and wrap one kernel specialization."""
+    source, mask_free = generate_source(kernel)
+    prog = JITProgram(
+        key=program_key(kernel, block, bounds_check),
+        kernel_name=kernel.name,
+        source=source,
+        mask_free=mask_free,
+    )
+    prog.fn = compile_closure(source, kernel.name)
+    return prog
+
+
+# ---------------------------------------------------------------------------
+# codegen
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Val:
+    """An emitted expression: its code (a name or atomic expression),
+    its *runtime* NumPy dtype, and its scalar-ness tri-state
+    (``True`` = provably 0-d, ``False`` = provably lane-shaped,
+    ``None`` = unknown at compile time)."""
+
+    code: str
+    np: object
+    tri: bool | None
+
+
+@dataclass(frozen=True)
+class _Mask:
+    """An emitted lane mask: the bool-array variable, the name of its
+    float active-count (valid only for statement-level masks), and
+    whether it is provably all-true."""
+
+    var: str
+    n: str
+    full: bool
+
+
+def _tri_all(*tris) -> bool | None:
+    if any(t is False for t in tris):
+        return False
+    if all(t is True for t in tris):
+        return True
+    return None
+
+
+def generate_source(
+    kernel: Kernel, facts: DivergenceFacts | None = None
+) -> tuple[str, bool]:
+    """Generate the specialized module source for ``kernel``.
+
+    Returns ``(source, mask_free)`` where ``mask_free`` records that the
+    emitted code never materialized a statement-level divergence mask —
+    the "straight-line" fast path.  Raises
+    :class:`~repro.errors.JITUnsupported` for kernels the codegen cannot
+    mirror exactly.
+    """
+    if facts is None:
+        facts = analyze_divergence(kernel)
+    return _Codegen(kernel, facts).generate()
+
+
+class _Codegen:
+    def __init__(self, kernel: Kernel, facts: DivergenceFacts):
+        self.k = kernel
+        self.facts = facts
+        self.lines: list[str] = []
+        self.ind = 3  # def (1) + try (2) + errstate-with (3)
+        self._ids = itertools.count()
+        # pools rendered as module-level assignments
+        self.dtypes: dict[str, str] = {}  # np name -> DT_<name> var
+        self.consts: dict[tuple, str] = {}  # (np name, repr) -> K<i>
+        self.const_lines: list[str] = []
+        # preamble demand sets
+        self.used_sregs: dict[SRegKind, str] = {}
+        self.used_scalars: set[str] = set()
+        self.used_buffers: set[str] = set()
+        self.used_counters: set[str] = set()
+        self.need_span = False
+        self.need_ret = False
+        # static var state
+        self.var_types: dict[str, DType] = {}
+        self.assigned: set[str] = set()  # definitely assigned here
+        self.tri: dict[str, bool | None] = {}
+        self.shared_decls: set[str] = set()
+        self.local_decls: set[str] = set()
+        self.frames: list[str | None] = []  # per-loop break-mask var
+        self.masked = False  # emitted any statement-level divergence?
+        # common-subexpression pool: structural key -> bound temp name.
+        # Entries are scoped to the runtime suite they were emitted in
+        # (cse_scope) and killed when a mentioned variable is reassigned
+        # (cse_kill); values must be pure given their inputs — casts,
+        # sanitized indices, line-traffic amounts.  Counter *adds* are
+        # never CSE'd, only the value computations feeding them.
+        self.cse: dict[tuple, str] = {}
+
+    # -- small emission helpers ----------------------------------------
+    def w(self, line: str) -> None:
+        self.lines.append(" " * (4 * self.ind) + line if line else "")
+
+    @contextmanager
+    def indent(self):
+        self.ind += 1
+        try:
+            yield
+        finally:
+            self.ind -= 1
+
+    def tmp(self, prefix: str = "t") -> str:
+        return f"{prefix}{next(self._ids)}"
+
+    def bind(self, code: str, prefix: str = "t") -> str:
+        t = self.tmp(prefix)
+        self.w(f"{t} = {code}")
+        return t
+
+    def dt(self, np_dtype) -> str:
+        """Module-level ``np.dtype`` object for astype targets."""
+        name = np.dtype(np_dtype).name
+        if name not in self.dtypes:
+            var = f"DT_{name}"
+            self.dtypes[name] = var
+            self.const_lines.append(f"{var} = np.dtype({name!r})")
+            self.const_lines.append(f"T_{name} = {var}.type")
+        return self.dtypes[name]
+
+    def ctor(self, np_dtype) -> str:
+        """Scalar constructor (``DT.type``) for the dtype."""
+        self.dt(np_dtype)
+        return f"T_{np.dtype(np_dtype).name}"
+
+    def const(self, dtype: DType, value) -> str:
+        key = (np.dtype(dtype.np).name, repr(value))
+        if key not in self.consts:
+            var = f"K{len(self.consts)}"
+            ctor = self.ctor(dtype.np)
+            self.consts[key] = var
+            self.const_lines.append(f"{var} = {ctor}({value!r})")
+        return self.consts[key]
+
+    def count(self, field: str, amount_code: str) -> None:
+        if field not in _COUNTER_FIELDS:  # pragma: no cover - codegen bug
+            raise JITError(f"unknown counter field {field!r}")
+        self.used_counters.add(field)
+        self.w(f"_c_{field} += {amount_code}")
+
+    def emit_n(self, mask_var: str) -> str:
+        return self.bind(f"float(np.count_nonzero({mask_var}))", "n")
+
+    @contextmanager
+    def cse_scope(self):
+        """Scope CSE entries to a runtime suite: anything pooled while
+        emitting inside (an ``if`` arm, a loop body) is dropped on exit —
+        its temps are not defined on other paths."""
+        snap = dict(self.cse)
+        try:
+            yield
+        finally:
+            self.cse = snap
+
+    def cse_kill(self, *names: str) -> None:
+        """Drop pooled entries that mention a reassigned variable."""
+        if not names or not self.cse:
+            return
+        pat = re.compile(
+            r"\b(?:%s)\b" % "|".join(f"v_{re.escape(n)}" for n in names)
+        )
+        for key in [
+            k for k in self.cse
+            if any(isinstance(p, str) and pat.search(p) for p in k)
+        ]:
+            del self.cse[key]
+
+    def cast(self, v: _Val, target) -> _Val:
+        """The interpreter's ``np.asarray(x).astype(dt, copy=False)``,
+        elided when the runtime dtype already matches (identity astype
+        returns the same object — unobservable), pooled per (value,
+        target)."""
+        target = np.dtype(target)
+        if v.np == target:
+            return v
+        key = ("cast", v.code, target.name)
+        t = self.cse.get(key)
+        if t is None:
+            t = self.bind(
+                f"np.asarray({v.code}).astype({self.dt(target)}, copy=False)"
+            )
+            self.cse[key] = t
+        return _Val(t, target, v.tri)
+
+    def truthy(self, v: _Val) -> _Val:
+        if v.np == _BOOL:
+            return v
+        key = ("truthy", v.code)
+        t = self.cse.get(key)
+        if t is None:
+            t = self.bind(f"({v.code} != 0)")
+            self.cse[key] = t
+        return _Val(t, _BOOL, v.tri)
+
+    def refine(self, m: _Mask, cond_code: str) -> _Mask:
+        """Expression-level mask refinement (Select arms, ``&&``/``||``
+        RHS).  Stays lane-shaped: always ANDed onto the statement mask.
+        No active count is attached — refined masks never meter."""
+        mv = self.bind(f"{m.var} & {cond_code}", "m")
+        return _Mask(mv, "", False)
+
+    # -- unsupported ----------------------------------------------------
+    def fail(self, why: str) -> JITUnsupported:
+        return JITUnsupported(f"kernel {self.k.name!r}: {why}")
+
+    # -- static prepass -------------------------------------------------
+    def _prepass(self) -> None:
+        top = {id(s) for s in self.k.body}
+        for s in iter_stmts(self.k.body):
+            if isinstance(s, (AllocShared, AllocLocal)) and id(s) not in top:
+                raise self.fail(
+                    f"{type(s).__name__} of {s.name!r} is not at the top "
+                    "level of the kernel body"
+                )
+        sites: dict[str, DType] = {}
+
+        def record(name: str, dtp: DType, what: str) -> None:
+            prev = sites.get(name)
+            if prev is None:
+                sites[name] = dtp
+            elif prev != dtp:
+                raise self.fail(
+                    f"variable {name!r} is {what} with conflicting types "
+                    f"{prev.name} vs {dtp.name}"
+                )
+
+        for s in iter_stmts(self.k.body):
+            if isinstance(s, Assign):
+                record(
+                    s.name,
+                    s.type if s.type is not None else s.value.dtype,
+                    "declared",
+                )
+            elif isinstance(s, For):
+                record(s.var, s.start.dtype, "used as a loop variable")
+            elif isinstance(s, Atomic) and s.result is not None:
+                pt = getattr(s.ptr, "type", None)
+                if not isinstance(pt, PointerType):
+                    raise self.fail("atomic on a non-pointer operand")
+                record(s.result, pt.elem, "used as an atomic result")
+            elif isinstance(s, (Break, Continue)):
+                pass
+        self.var_types = sites
+
+    # -- pointer operands ----------------------------------------------
+    def ptr(self, ptr: Expr) -> tuple[AddressSpace, str, DType, str | None]:
+        t = getattr(ptr, "type", None)
+        if not isinstance(t, PointerType):
+            raise self.fail("pointer operand is not pointer-typed")
+        if isinstance(ptr, Param):
+            if t.space is not AddressSpace.GLOBAL:
+                raise self.fail(
+                    f"pointer parameter {ptr.name!r} in space {t.space.value}"
+                )
+            self.used_buffers.add(ptr.name)
+            return t.space, f"b_{ptr.name}", t.elem, ptr.name
+        if isinstance(ptr, Var):
+            if t.space is AddressSpace.SHARED:
+                if ptr.name not in self.shared_decls:
+                    raise self.fail(
+                        f"use of shared array {ptr.name!r} before its "
+                        "declaration"
+                    )
+                return t.space, f"sh_{ptr.name}", t.elem, ptr.name
+            if t.space is AddressSpace.LOCAL:
+                if ptr.name not in self.local_decls:
+                    raise self.fail(
+                        f"use of local array {ptr.name!r} before its "
+                        "declaration"
+                    )
+                return t.space, f"lo_{ptr.name}", t.elem, ptr.name
+            raise self.fail(f"pointer variable {ptr.name!r} in global space")
+        raise self.fail(f"unsupported pointer expression {type(ptr).__name__}")
+
+    # -- expressions ----------------------------------------------------
+    def ex(self, e: Expr, m: _Mask, n: str) -> _Val:
+        if isinstance(e, Const):
+            return _Val(self.const(e.type, e.value), np.dtype(e.type.np), True)
+        if isinstance(e, SReg):
+            if e.kind in _LANE_SREGS:
+                var = f"sr_{_LANE_SREGS[e.kind]}"
+                self.used_sregs[e.kind] = var
+                return _Val(var, np.dtype(np.int32), False)
+            var = f"sg_{_STATIC_SREGS[e.kind]}"
+            self.used_sregs[e.kind] = var
+            return _Val(var, np.dtype(np.int32), True)
+        if isinstance(e, Param):
+            if e.is_pointer:
+                raise self.fail(
+                    f"pointer parameter {e.name!r} evaluated as a scalar"
+                )
+            self.used_scalars.add(e.name)
+            return _Val(f"p_{e.name}", np.dtype(e.type.np), True)
+        if isinstance(e, Var):
+            if e.is_pointer:
+                raise self.fail(
+                    f"pointer variable {e.name!r} evaluated as a scalar"
+                )
+            dt = self.var_types.get(e.name)
+            if dt is None:
+                # never assigned anywhere: the interpreter faults on
+                # every execution
+                self.w(f"_undef_read(KNAME, {e.name!r})")
+                return _Val(f"v_{e.name}", np.dtype(e.type.np), None)
+            if e.name not in self.assigned:
+                self.w(f"if v_{e.name} is _UNDEF:")
+                with self.indent():
+                    self.w(f"_undef_read(KNAME, {e.name!r})")
+            return _Val(f"v_{e.name}", np.dtype(dt.np), self.tri.get(e.name))
+        if isinstance(e, BinOp):
+            return self.ex_binop(e, m, n)
+        if isinstance(e, UnOp):
+            v = self.ex(e.operand, m, n)
+            if e.op == "-":
+                self.count("flops" if e.dtype.is_float else "int_ops", n)
+                return _Val(self.bind(f"np.negative({v.code})"), v.np, v.tri)
+            if e.op == "!":
+                self.count("int_ops", n)
+                tv = self.truthy(v)
+                return _Val(self.bind(f"~({tv.code})"), _BOOL, v.tri)
+            # '~'
+            self.count("int_ops", n)
+            cv = self.cast(v, e.dtype.np)
+            return _Val(
+                self.bind(f"np.invert({cv.code})"), np.dtype(e.dtype.np), v.tri
+            )
+        if isinstance(e, Cast):
+            v = self.ex(e.value, m, n)
+            self.count("int_ops", n)
+            cv = self.cast(v, e.type.np)
+            return _Val(cv.code, np.dtype(e.type.np), v.tri)
+        if isinstance(e, Load):
+            return self.ex_load(e, m, n)
+        if isinstance(e, Call):
+            vals = [self.ex(a, m, n) for a in e.args]
+            out = e.dtype
+            args = [self.cast(v, out.np) for v in vals]
+            if e.name in ("min", "max", "abs") and not out.is_float:
+                self.count("int_ops", n)
+            elif e.name in ("min", "max", "abs", "fabs", "floor", "ceil"):
+                self.count("flops", n)
+            else:
+                self.count("special_ops", n)
+            if e.name not in INTRINSIC_IMPLS:
+                raise self.fail(f"unknown intrinsic {e.name!r}")
+            impl = f"_in_{e.name}"
+            if all(impl not in line for line in self.const_lines):
+                self.const_lines.append(
+                    f"{impl} = INTRINSIC_IMPLS[{e.name!r}]"
+                )
+            arglist = ", ".join(a.code for a in args)
+            # apply_intrinsic always casts its result: intrinsics on
+            # np scalars can promote (rsqrt -> float64), so never elide
+            t = self.bind(
+                f"np.asarray({impl}({arglist}))"
+                f".astype({self.dt(out.np)}, copy=False)"
+            )
+            return _Val(t, np.dtype(out.np), _tri_all(*[v.tri for v in vals]))
+        if isinstance(e, Select):
+            cv = self.truthy(self.ex(e.cond, m, n))
+            mt = self.refine(m, cv.code)
+            tv = self.ex(e.if_true, mt, n)
+            mf = self.refine(m, f"~({cv.code})")
+            fv = self.ex(e.if_false, mf, n)
+            dt = np.dtype(e.dtype.np)
+            self.count("int_ops", n)
+            ta = self.cast(tv, dt)
+            fa = self.cast(fv, dt)
+            t = self.bind(f"np.where({cv.code}, {ta.code}, {fa.code})")
+            return _Val(t, dt, _tri_all(cv.tri, tv.tri, fv.tri))
+        raise self.fail(f"cannot evaluate {type(e).__name__}")
+
+    def ex_binop(self, e: BinOp, m: _Mask, n: str) -> _Val:
+        op = e.op
+        if op in ("&&", "||"):
+            lv = self.truthy(self.ex(e.lhs, m, n))
+            lt = lv.code if lv.code.isidentifier() else self.bind(lv.code)
+            self.count("int_ops", n)
+            if op == "&&":
+                m2 = self.refine(m, lt)
+                rv = self.truthy(self.ex(e.rhs, m2, n))
+                t = self.bind(f"{lt} & {rv.code}")
+            else:
+                m2 = self.refine(m, f"~{lt}")
+                rv = self.truthy(self.ex(e.rhs, m2, n))
+                t = self.bind(f"{lt} | {rv.code}")
+            return _Val(t, _BOOL, _tri_all(lv.tri, rv.tri))
+        lv = self.ex(e.lhs, m, n)
+        rv = self.ex(e.rhs, m, n)
+        if op in _CMP_OPS:
+            ct = common_type(e.lhs.dtype, e.rhs.dtype)
+            la = self.cast(lv, ct.np)
+            ra = self.cast(rv, ct.np)
+            self.count("flops" if ct.is_float else "int_ops", n)
+            t = self.bind(f"({la.code} {op} {ra.code})")
+            return _Val(t, _BOOL, _tri_all(lv.tri, rv.tri))
+        rt = e.dtype
+        rtnp = np.dtype(rt.np)
+        tri = _tri_all(lv.tri, rv.tri)
+        if op in ("<<", ">>"):
+            la = self.cast(lv, rtnp)
+            ra = self.cast(rv, _I64)
+            self.count("int_ops", n)
+            # the int64 shift count widens under NumPy promotion; wrap
+            # back to the declared C type like the interpreter does
+            t = self.bind(
+                f"({la.code} {op} {ra.code})"
+                f".astype({self.dt(rtnp)}, copy=False)"
+            )
+            return _Val(t, rtnp, tri)
+        la = self.cast(lv, rtnp)
+        ra = self.cast(rv, rtnp)
+        if rt.is_float:
+            if op == "/":
+                self.count("div_ops", n)
+            else:
+                self.count("flops", n)
+            t = self.bind(f"({la.code} {op} {ra.code})")
+            return _Val(t, rtnp, tri)
+        self.count("int_ops", n)
+        if op in ("+", "-", "*"):
+            t = self.bind(f"({la.code} {op} {ra.code})")
+        elif op == "/":
+            # _c_int_div output dtype equals its (already-cast) operand
+            # dtype, so the interpreter's trailing astype is an identity
+            t = self.bind(f"_c_int_div({la.code}, {ra.code})")
+        elif op == "%":
+            t = self.bind(f"_c_int_mod({la.code}, {ra.code})")
+        else:
+            raise self.fail(f"unknown binary operator {op!r}")
+        return _Val(t, rtnp, tri)
+
+    # -- memory ---------------------------------------------------------
+    def safe_index(
+        self, iv: _Val, m: _Mask, arr: str, what: str, name: str | None
+    ) -> str:
+        """Global-memory index sanitation.  Fast path: no lane (active
+        or not) out of bounds — the interpreter would return the index
+        unchanged (``_safe_indices`` is the identity on fully in-bounds
+        input).  Any OOB lane delegates to ``ctx._safe_indices`` for the
+        exact raise/clamp behaviour and message (statement masks are
+        nonempty, so a 0-d OOB index always trips the check).
+
+        Results pool per (index, buffer, mask): a repeated access
+        through the same index recomputes nothing.  ``what``/``name``
+        only color the error message, and a raise always comes from the
+        *first* occurrence (evaluation order is the interpreter's), so
+        they are deliberately not part of the key."""
+        i1 = self.cast(iv, _I64)
+        key = ("sidx", i1.code, arr, m.var)
+        hit = self.cse.get(key)
+        if hit is not None:
+            return hit
+        safe = self.tmp("ix")
+        slow = (
+            f"ctx._safe_indices({i1.code}, {m.var}, {arr}, "
+            f"{what!r}, {name!r})"
+        )
+        scalar_fast = (
+            f"{safe} = {i1.code} if 0 <= int({i1.code}) < {arr}.shape[0] "
+            f"else {slow}"
+        )
+        if iv.tri is True:
+            self.w(scalar_fast)
+            self.cse[key] = safe
+            return safe
+        ob = self.tmp("ob")
+        self.w(f"if np.ndim({i1.code}):")
+        with self.indent():
+            self.w(f"{ob} = ({i1.code} < 0) | ({i1.code} >= {arr}.shape[0])")
+            self.w(f"if not {ob}.any():")
+            with self.indent():
+                self.w(f"{safe} = {i1.code}")
+            # OOB on inactive lanes only is the steady state of every
+            # boundary-guarded kernel; the interpreter where-zeros those
+            # lanes without raising, inlined here.  An *active* OOB lane
+            # delegates for the exact raise/clamp/sanitize behaviour.
+            self.w(f"elif not ({m.var} & {ob}).any():")
+            with self.indent():
+                self.w(
+                    f"{safe} = np.where({m.var} & ~{ob}, {i1.code}, 0)"
+                )
+            self.w("else:")
+            with self.indent():
+                self.w(f"{safe} = {slow}")
+        self.w("else:")
+        with self.indent():
+            self.w(scalar_fast)
+        self.cse[key] = safe
+        return safe
+
+    def seg_index(self, kind: str, name: str, iv: _Val, m: _Mask) -> str:
+        """Shared/local segment index via the inherited helper, pooled
+        per (index, array, mask) — the segment layout is fixed for the
+        span, so repeats are pure."""
+        key = ("segidx", kind, iv.code, name, m.var)
+        hit = self.cse.get(key)
+        if hit is not None:
+            return hit
+        safe = self.bind(
+            f"ctx._{kind}_index({name!r}, {iv.code}, {m.var})", "ix"
+        )
+        self.cse[key] = safe
+        return safe
+
+    def count_lines(self, safe: str, m: _Mask, elem_size: int, n: str) -> None:
+        """Mirror ``BlockExecutor._count_lines``: 64-byte-line span
+        estimate over the *active* lanes.  Statement masks are nonempty
+        by construction so the ``_cur_n`` guard is vacuous.  The
+        *amount* is pooled per (index, mask, element size): repeated
+        traffic through the same addresses still adds to the counter
+        every time, but the min/max reductions run once."""
+        self.used_counters.add("global_line_bytes")
+        key = ("lineamt", safe, m.var, elem_size, n)
+        amt = self.cse.get(key)
+        if amt is None:
+            amt = self.tmp("lb")
+            la = self.tmp("la")
+            self.w(f"{la} = np.asarray({safe})")
+            self.w(f"if {la}.ndim == 0:")
+            with self.indent():
+                self.w(f"{amt} = 64.0")
+            self.w("else:")
+            with self.indent():
+                ls = self.tmp("ls")
+                self.w(
+                    f"{ls} = {la} if {la}.shape == {m.var}.shape "
+                    f"else np.broadcast_to({la}, {m.var}.shape)"
+                )
+                if not m.full:
+                    self.w(f"{ls} = {ls}[{m.var}]")
+                    self.w(f"if {ls}.size:")
+                    with self.indent():
+                        self._count_lines_span(amt, ls, elem_size, n)
+                    self.w("else:")
+                    with self.indent():
+                        self.w(f"{amt} = 0.0")
+                else:
+                    self._count_lines_span(amt, ls, elem_size, n)
+            self.cse[key] = amt
+        self.w(f"_c_global_line_bytes += {amt}")
+
+    def _count_lines_span(
+        self, amt: str, ls: str, elem_size: int, n: str
+    ) -> None:
+        lo = self.bind(f"int({ls}.min()) * {elem_size}", "lo")
+        hi = self.bind(f"int({ls}.max()) * {elem_size}", "hi")
+        self.w(
+            f"{amt} = 64.0 * float(min({n}, ({hi} - {lo}) // 64 + 1))"
+        )
+
+    def mem_counts(
+        self, space: AddressSpace, elem_size: int, n: str, is_store: bool,
+        factor: float = 1.0,
+    ) -> None:
+        scale = f"{factor} * " if factor != 1.0 else ""
+        if space is AddressSpace.GLOBAL:
+            b = "global_store_bytes" if is_store else "global_load_bytes"
+            c = "global_stores" if is_store else "global_loads"
+            self.count(b, f"{scale}{n} * {float(elem_size)}")
+            self.count(c, n)
+        elif space is AddressSpace.SHARED:
+            self.count("shared_bytes", f"{scale}{n} * {float(elem_size)}")
+        else:
+            self.count("local_bytes", f"{scale}{n} * {float(elem_size)}")
+
+    def ex_load(self, e: Load, m: _Mask, n: str) -> _Val:
+        space, arr, elem, name = self.ptr(e.ptr)
+        iv = self.ex(e.index, m, n)
+        if space is AddressSpace.SHARED:
+            safe = self.seg_index("shared", name, iv, m)
+            tri = False if iv.tri is False else None
+        elif space is AddressSpace.LOCAL:
+            safe = self.seg_index("local", name, iv, m)
+            tri = False
+        else:
+            safe = self.safe_index(iv, m, arr, "load", name)
+            tri = iv.tri
+        self.mem_counts(space, elem.size, n, is_store=False)
+        if space is AddressSpace.GLOBAL:
+            self.count_lines(safe, m, elem.size, n)
+        t = self.bind(f"{arr}[{safe}]")
+        return _Val(t, np.dtype(elem.np), tri)
+
+    # -- statements -----------------------------------------------------
+    def body(self, stmts: list[Stmt], m: _Mask) -> _Mask | None:
+        """Emit a statement list under mask ``m``; returns the fall-
+        through mask, or ``None`` after an unconditional lane exit.
+
+        The interpreter re-checks ``mask.any()`` before *every*
+        statement; masks only change at exit points (Return / Break /
+        Continue, possibly nested in an If), so one check after each
+        shrink point is equivalent."""
+        for i, s in enumerate(stmts):
+            m2 = self.stmt(s, m)
+            if m2 is None:
+                return None
+            if m2 is not m:
+                rest = stmts[i + 1 :]
+                if not rest:
+                    return m2
+                out = self.tmp("mb")
+                self.w(f"{out} = {m2.var}")
+                self.w(f"if {m2.var}.any():")
+                with self.indent():
+                    tail = self.body(rest, m2)
+                    if tail is not None:
+                        self.w(f"{out} = {tail.var}")
+                    else:
+                        self.w(f"{out} = np.zeros(nl, dtype=bool)")
+                nv = self.emit_n(out)
+                return _Mask(out, nv, False)
+            m = m2
+        return m
+
+    def stmt(self, s: Stmt, m: _Mask) -> _Mask | None:
+        if isinstance(s, Assign):
+            return self.stmt_assign(s, m)
+        if isinstance(s, Store):
+            return self.stmt_store(s, m)
+        if isinstance(s, If):
+            return self.stmt_if(s, m)
+        if isinstance(s, For):
+            return self.stmt_for(s, m)
+        if isinstance(s, While):
+            return self.stmt_while(s, m)
+        if isinstance(s, Return):
+            self.need_ret = True
+            self.masked = True
+            self.w(f"_ret |= {m.var}")
+            return None
+        if isinstance(s, Break):
+            if not self.frames:
+                raise self.fail("break outside a loop")
+            self.masked = True
+            bk = self.frames[-1]
+            self.w(f"{bk} |= {m.var}")
+            return None
+        if isinstance(s, Continue):
+            if not self.frames:
+                raise self.fail("continue outside a loop")
+            self.masked = True
+            return None
+        if isinstance(s, SyncThreads):
+            self.need_span = True
+            self.count("barriers", "_spanf")
+            return m
+        if isinstance(s, Atomic):
+            return self.stmt_atomic(s, m)
+        if isinstance(s, AllocShared):
+            sv = self.ex(s.size, m, m.n)
+            t = self.bind(sv.code, "sz")
+            self.w(f"if np.ndim({t}) != 0:")
+            with self.indent():
+                self.w(
+                    "raise InterpError(\"shared array "
+                    f"{s.name!r} extent must be block-invariant\")"
+                )
+            self.w(f"ctx._shared_seg[{s.name!r}] = int({t})")
+            self.w(
+                f"sh_{s.name} = np.zeros(int({t}) * ctx._span_len, "
+                f"dtype={self.dt(s.elem.np)})"
+            )
+            self.w(f"ctx._shared[{s.name!r}] = sh_{s.name}")
+            self.shared_decls.add(s.name)
+            return m
+        if isinstance(s, AllocLocal):
+            sv = self.ex(s.size, m, m.n)
+            t = self.bind(sv.code, "sz")
+            self.w(f"if np.ndim({t}) != 0:")
+            with self.indent():
+                self.w(
+                    "raise InterpError(\"local array "
+                    f"{s.name!r} extent must be launch-invariant\")"
+                )
+            self.w(f"ctx._local_seg[{s.name!r}] = int({t})")
+            self.w(
+                f"lo_{s.name} = np.zeros(int({t}) * nl, "
+                f"dtype={self.dt(s.elem.np)})"
+            )
+            self.w(f"ctx._local[{s.name!r}] = lo_{s.name}")
+            self.local_decls.add(s.name)
+            return m
+        raise self.fail(f"cannot execute {type(s).__name__}")
+
+    def stmt_assign(self, s: Assign, m: _Mask) -> _Mask:
+        val = self.ex(s.value, m, m.n)
+        dt = self.var_types[s.name]
+        vc = self.cast(val, dt.np)
+        tv = self.bind(vc.code, "av")
+        definitely = s.name in self.assigned
+        maybe = s.name in self.tri or definitely or not self._top_scope(s.name)
+        old = f"v_{s.name}"
+        if m.full:
+            self.w(f"if {tv}.ndim and {tv}.base is not None:")
+            with self.indent():
+                self.w(f"{tv} = {tv}.copy()")
+            new_tri = vc.tri
+        else:
+            if definitely:
+                self.w(f"if {m.n} < _nlf:")
+            elif maybe:
+                self.w(f"if {old} is not _UNDEF and {m.n} < _nlf:")
+            if definitely or maybe:
+                with self.indent():
+                    self.w(f"{tv} = np.where({m.var}, {tv}, {old})")
+                self.w(f"elif {tv}.ndim and {tv}.base is not None:")
+            else:
+                self.w(f"if {tv}.ndim and {tv}.base is not None:")
+            with self.indent():
+                self.w(f"{tv} = {tv}.copy()")
+            if definitely or maybe:
+                prev_tri = self.tri.get(s.name)
+                new_tri = (
+                    False if (vc.tri is False and prev_tri is False) else None
+                )
+            else:
+                new_tri = vc.tri
+        self.w(f"v_{s.name} = {tv}")
+        self.assigned.add(s.name)
+        self.tri[s.name] = new_tri
+        self.cse_kill(s.name)
+        return m
+
+    def _top_scope(self, name: str) -> bool:
+        """Whether an assignment to ``name`` here is provably the first
+        execution ever to touch it (no loop around us, no earlier
+        assignment emitted)."""
+        return not self.frames and name not in self.tri
+
+    def stmt_store(self, s: Store, m: _Mask) -> _Mask:
+        space, arr, elem, name = self.ptr(s.ptr)
+        iv = self.ex(s.index, m, m.n)
+        vv = self.ex(s.value, m, m.n)
+        if space is AddressSpace.SHARED:
+            safe = self.seg_index("shared", name, iv, m)
+        elif space is AddressSpace.LOCAL:
+            safe = self.seg_index("local", name, iv, m)
+        else:
+            safe = self.safe_index(iv, m, arr, "store", name)
+        vc = self.cast(vv, elem.np)
+        tv = vc.code if vc.code.isidentifier() else self.bind(vc.code)
+        self.mem_counts(space, elem.size, m.n, is_store=True)
+        if space is AddressSpace.GLOBAL:
+            self.count_lines(safe, m, elem.size, m.n)
+        self.w(f"if np.ndim({safe}) == 0:")
+        with self.indent():
+            if m.full:
+                self.w(
+                    f"{arr}[int({safe})] = {tv} if np.ndim({tv}) == 0 "
+                    f"else {tv}[0]"
+                )
+            else:
+                self.w(
+                    f"{arr}[int({safe})] = {tv} if np.ndim({tv}) == 0 "
+                    f"else {tv}[np.argmax({m.var})]"
+                )
+        self.w("else:")
+        with self.indent():
+            if m.full:
+                self.w(f"{arr}[{safe}] = np.broadcast_to({tv}, {m.var}.shape)")
+            else:
+                vb = self.bind(f"np.broadcast_to({tv}, {m.var}.shape)", "vb")
+                self.w(f"{arr}[{safe}[{m.var}]] = {vb}[{m.var}]")
+        return m
+
+    def stmt_atomic(self, s: Atomic, m: _Mask) -> _Mask:
+        space, arr, elem, name = self.ptr(s.ptr)
+        iv = self.ex(s.index, m, m.n)
+        vv = self.cast(self.ex(s.value, m, m.n), elem.np)
+        if space is AddressSpace.SHARED:
+            safe = self.seg_index("shared", name, iv, m)
+        elif space is AddressSpace.LOCAL:
+            safe = self.seg_index("local", name, iv, m)
+        else:
+            safe = self.safe_index(iv, m, arr, "atomic", name)
+        if m.full:
+            safe_l = self.bind(
+                f"np.broadcast_to({safe}, {m.var}.shape)", "al"
+            )
+            val_l = self.bind(f"np.broadcast_to({vv.code}, {m.var}.shape)", "al")
+        else:
+            safe_l = self.bind(
+                f"np.broadcast_to({safe}, {m.var}.shape)[{m.var}]", "al"
+            )
+            val_l = self.bind(
+                f"np.broadcast_to({vv.code}, {m.var}.shape)[{m.var}]", "al"
+            )
+        self.count("atomics", m.n)
+        self.mem_counts(space, elem.size, m.n, is_store=True, factor=2.0)
+        if space is AddressSpace.GLOBAL:
+            self.count_lines(safe, m, elem.size, m.n)
+        cmp_l = "None"
+        if s.op == "cas":
+            cv = self.cast(self.ex(s.compare, m, m.n), elem.np)
+            if m.full:
+                cmp_l = self.bind(
+                    f"np.broadcast_to({cv.code}, {m.var}.shape)", "al"
+                )
+            else:
+                cmp_l = self.bind(
+                    f"np.broadcast_to({cv.code}, {m.var}.shape)[{m.var}]",
+                    "al",
+                )
+        old = "None"
+        if s.result is not None:
+            old = self.bind(
+                f"np.broadcast_to({arr}[{safe}], {m.var}.shape)"
+                f".astype({self.dt(elem.np)}, copy=True)",
+                "old",
+            )
+            rv = f"v_{s.result}"
+            if not m.full:
+                if s.result in self.assigned:
+                    self.w(f"if not {m.var}.all():")
+                else:
+                    self.w(f"if {rv} is not _UNDEF and not {m.var}.all():")
+                with self.indent():
+                    # stored result values always carry the element
+                    # dtype, so the interpreter's prev-cast is identity
+                    self.w(
+                        f"{old} = np.where({m.var}, {old}, {rv})"
+                        f".astype({self.dt(elem.np)}, copy=False)"
+                    )
+        self.w(
+            f"_atomic({arr}, {safe_l}, {val_l}, {s.op!r}, "
+            f"cmp_l={cmp_l}, old={old if s.result is not None else 'None'}, "
+            f"mask={m.var})"
+        )
+        if s.result is not None:
+            self.w(f"v_{s.result} = {old}")
+            self.assigned.add(s.result)
+            self.tri[s.result] = False
+            self.cse_kill(s.result)
+        return m
+
+    # -- control flow ---------------------------------------------------
+    def _merge_scope(self, snap_a, snap_t, a_assigned, a_tri) -> None:
+        """Join two emission paths' static var state (then/else arms,
+        dual loop forms): definite = intersection, tri = agree-or-None."""
+        b_assigned, b_tri = self.assigned, self.tri
+        self.assigned = snap_a | (a_assigned & b_assigned)
+        merged = dict(snap_t)
+        for name in set(a_tri) | set(b_tri):
+            ta = a_tri.get(name, snap_t.get(name))
+            tb = b_tri.get(name, snap_t.get(name))
+            merged[name] = ta if ta == tb else None
+        self.tri = merged
+
+    def stmt_if(self, s: If, m: _Mask) -> _Mask:
+        self.count("branches", m.n)
+        cv = self.truthy(self.ex(s.cond, m, m.n))
+        c = cv.code
+        scalar_if = cv.tri is True and id(s) in self.facts.invariant_conds
+        shrink_t = _can_shrink(s.then_body)
+        shrink_e = _can_shrink(s.else_body)
+        kills_t = _loop_assigned(s.then_body)
+        kills_e = _loop_assigned(s.else_body)
+        snap_a, snap_t = set(self.assigned), dict(self.tri)
+        if scalar_if:
+            out = self.tmp("mi") if (shrink_t or shrink_e) else None
+            self.w(f"if {c}:")
+            with self.indent(), self.cse_scope():
+                t_out = self.body(s.then_body, m)
+                if out:
+                    self.w(
+                        f"{out} = {t_out.var}"
+                        if t_out is not None
+                        else f"{out} = np.zeros(nl, dtype=bool)"
+                    )
+                elif not s.then_body:
+                    self.w("pass")
+            a_assigned, a_tri = set(self.assigned), dict(self.tri)
+            self.assigned, self.tri = set(snap_a), dict(snap_t)
+            if s.else_body or out:
+                self.w("else:")
+                with self.indent(), self.cse_scope():
+                    f_out = self.body(s.else_body, m)
+                    if out:
+                        self.w(
+                            f"{out} = {f_out.var}"
+                            if f_out is not None
+                            else f"{out} = np.zeros(nl, dtype=bool)"
+                        )
+                    elif not s.else_body:  # pragma: no cover
+                        self.w("pass")
+            self._merge_scope(snap_a, snap_t, a_assigned, a_tri)
+            # exactly one arm ran, but we can't tell which: pooled values
+            # that mention an arm-assigned variable are stale either way
+            self.cse_kill(*kills_t, *kills_e)
+            if out:
+                nv = self.emit_n(out)
+                return _Mask(out, nv, False)
+            return m
+        # masked arms
+        self.masked = True
+        mt = self.bind(f"{m.var} & {c}", "mt")
+        need_f = bool(s.else_body) or shrink_t or shrink_e
+        mf = self.bind(f"{m.var} & ~({c})", "mf") if need_f else None
+        t_out_var = mt
+        f_out_var = mf
+        self.w(f"if {mt}.any():")
+        with self.indent(), self.cse_scope():
+            nt = self.emit_n(mt)
+            t_res = self.body(s.then_body, _Mask(mt, nt, False))
+            if shrink_t or shrink_e:
+                t_out_var = self.tmp("mo")
+                self.w(
+                    f"{t_out_var} = {t_res.var}"
+                    if t_res is not None
+                    else f"{t_out_var} = np.zeros(nl, dtype=bool)"
+                )
+        # both arms run at runtime: the else arm must not reuse pre-if
+        # values of anything the then arm may have reassigned
+        self.cse_kill(*kills_t)
+        if shrink_t or shrink_e:
+            # arm skipped at runtime -> its out-mask is the (empty) arm mask
+            self.w(f"else:")
+            with self.indent():
+                self.w(f"{t_out_var} = {mt}")
+        a_assigned, a_tri = set(self.assigned), dict(self.tri)
+        self.assigned, self.tri = set(snap_a), dict(snap_t)
+        if s.else_body:
+            self.w(f"if {mf}.any():")
+            with self.indent(), self.cse_scope():
+                nf = self.emit_n(mf)
+                f_res = self.body(s.else_body, _Mask(mf, nf, False))
+                if shrink_t or shrink_e:
+                    f_out_var = self.tmp("mo")
+                    self.w(
+                        f"{f_out_var} = {f_res.var}"
+                        if f_res is not None
+                        else f"{f_out_var} = np.zeros(nl, dtype=bool)"
+                    )
+            self.cse_kill(*kills_e)
+            if shrink_t or shrink_e:
+                self.w(f"else:")
+                with self.indent():
+                    self.w(f"{f_out_var} = {mf}")
+        self._merge_scope(snap_a, snap_t, a_assigned, a_tri)
+        if not (shrink_t or shrink_e):
+            # t_out | f_out == m when no lane can exit in either arm
+            return m
+        out = self.bind(f"{t_out_var} | {f_out_var}", "mo")
+        nv = self.emit_n(out)
+        return _Mask(out, nv, False)
+
+    def stmt_for(self, s: For, m: _Mask) -> _Mask:
+        sv = self.ex(s.start, m, m.n)
+        pv = self.ex(s.stop, m, m.n)
+        ev = self.ex(s.step, m, m.n)
+        sc = sv.code if sv.code.isidentifier() else self.bind(sv.code)
+        pc = pv.code if pv.code.isidentifier() else self.bind(pv.code)
+        ec = ev.code if ev.code.isidentifier() else self.bind(ev.code)
+        assigns = any(
+            isinstance(st, Assign) and st.name == s.var
+            for st in iter_stmts(s.body)
+        )
+        ret_in = contains(s.body, Return)
+        bk = None
+        if _has_break_at_level(s.body):
+            bk = self.bind("np.zeros(nl, dtype=bool)", "bk")
+        self.frames.append(bk)
+        tri3 = _tri_all(sv.tri, pv.tri, ev.tri)
+        # bounds are evaluated on pre-loop values (above); everything the
+        # body assigns is loop-carried and of unknown shape from here on
+        for name in _loop_assigned(s.body):
+            if name in self.tri:
+                self.tri[name] = None
+        # kill before the scope snapshot: restoring the pool at loop exit
+        # must not resurrect values the loop body reassigned
+        self.cse_kill(s.var, *_loop_assigned(s.body))
+        snap_a, snap_t = set(self.assigned), dict(self.tri)
+        try:
+            if not assigns and tri3 is True:
+                with self.cse_scope():
+                    self._for_invariant(s, m, sc, pc, ec, bk, ret_in)
+            elif assigns or tri3 is False:
+                with self.cse_scope():
+                    self._for_variant(s, m, sc, pc, ec, bk, ret_in, assigns)
+            else:
+                # scalar-ness of the bounds is observable (the interpreter
+                # picks different store/merge paths), so dispatch at
+                # runtime exactly like it does
+                self.masked = True
+                self.w(
+                    f"if np.ndim({sc}) == 0 and np.ndim({pc}) == 0 "
+                    f"and np.ndim({ec}) == 0:"
+                )
+                with self.indent(), self.cse_scope():
+                    self._for_invariant(s, m, sc, pc, ec, bk, ret_in)
+                a_assigned, a_tri = set(self.assigned), dict(self.tri)
+                self.assigned, self.tri = set(snap_a), dict(snap_t)
+                self.w("else:")
+                with self.indent(), self.cse_scope():
+                    self._for_variant(s, m, sc, pc, ec, bk, ret_in, assigns)
+                self._merge_scope(snap_a, snap_t, a_assigned, a_tri)
+        finally:
+            self.frames.pop()
+        # 0-trip loops make body effects non-definite
+        self.assigned = set(snap_a)
+        for name in set(self.tri) - set(snap_t):
+            self.tri[name] = None
+        for name in snap_t:
+            if self.tri.get(name) != snap_t[name]:
+                self.tri[name] = None
+        if ret_in:
+            out = self.bind(f"{m.var} & ~_ret", "mo")
+            nv = self.emit_n(out)
+            return _Mask(out, nv, False)
+        return m
+
+    def _loop_body_mask(
+        self, m: _Mask, bk: str | None, ret_in: bool
+    ) -> _Mask:
+        """Per-iteration active mask: entry minus broken minus returned.
+        Elided entirely when no lane can leave mid-loop (the recomputed
+        mask would equal the entry mask every iteration)."""
+        if bk is None and not ret_in:
+            return m
+        terms = m.var
+        if bk is not None:
+            terms += f" & ~{bk}"
+        if ret_in:
+            terms += " & ~_ret"
+        cur = self.bind(terms, "mc")
+        self.w(f"if not {cur}.any():")
+        with self.indent():
+            self.w("break")
+        nv = self.emit_n(cur)
+        return _Mask(cur, nv, False)
+
+    def _for_invariant(
+        self, s: For, m: _Mask, sc: str, pc: str, ec: str,
+        bk: str | None, ret_in: bool,
+    ) -> None:
+        fs = self.bind(f"int({ec})", "fs")
+        self.w(f"if {fs} == 0:")
+        with self.indent():
+            self.w(f"if int({sc}) < int({pc}):")
+            with self.indent():
+                self.w(
+                    "raise InterpError(\"loop "
+                    f"{s.var!r} has zero step with a nonzero trip count\")"
+                )
+        self.w("else:")
+        with self.indent():
+            it = self.tmp("i")
+            self.w(f"for {it} in range(int({sc}), int({pc}), {fs}):")
+            with self.indent():
+                mb = self._loop_body_mask(m, bk, ret_in)
+                ctor = self.ctor(s.start.dtype.np)
+                self.w(f"v_{s.var} = {ctor}({it})")
+                self.assigned.add(s.var)
+                self.tri[s.var] = True
+                self.body(s.body, mb)
+
+    def _for_variant(
+        self, s: For, m: _Mask, sc: str, pc: str, ec: str,
+        bk: str | None, ret_in: bool, assigns: bool,
+    ) -> None:
+        self.masked = True
+        T = self.dt(s.start.dtype.np)
+        vv = self.bind(
+            f"np.broadcast_to(np.asarray({sc}).astype({T}, copy=False), "
+            f"{m.var}.shape).copy()",
+            "vv",
+        )
+        sa = self.bind(f"np.asarray({ec})", "sa")
+        sb = self.bind(f"np.broadcast_to({sa}, {m.var}.shape)", "sb")
+        it = self.bind("0", "it")
+        self.w("while True:")
+        with self.indent():
+            lv = self.bind(
+                f"np.where({sb} > 0, {vv} < {pc}, "
+                f"np.where({sb} < 0, {vv} > {pc}, {vv} < {pc}))",
+                "lv",
+            )
+            terms = f"{m.var}"
+            if bk is not None:
+                terms += f" & ~{bk}"
+            if ret_in:
+                terms += " & ~_ret"
+            cur = self.bind(f"{terms} & {lv}", "mc")
+            self.w(f"if not {cur}.any():")
+            with self.indent():
+                self.w("break")
+            if not assigns:
+                self.w(f"if bool(({sb}[{cur}] == 0).any()):")
+                with self.indent():
+                    self.w(
+                        "raise InterpError(\"loop "
+                        f"{s.var!r} has zero step with a nonzero trip "
+                        "count for an active lane\")"
+                    )
+            nv = self.emit_n(cur)
+            self.w(f"v_{s.var} = {vv}")
+            self.assigned.add(s.var)
+            self.tri[s.var] = False
+            self.body(s.body, _Mask(cur, nv, False))
+            self.w(
+                f"{vv} = (np.broadcast_to(np.asarray(v_{s.var})"
+                f".astype({T}, copy=False), (nl,)) + {sa})"
+                f".astype({T}, copy=False)"
+            )
+            self.w(f"{it} += 1")
+            self.w(f"if {it} > {MAX_LOOP_ITERS}:")
+            with self.indent():
+                self.w(
+                    "raise InterpError(\"loop over "
+                    f"{s.var!r} exceeded {MAX_LOOP_ITERS} iterations\")"
+                )
+
+    def stmt_while(self, s: While, m: _Mask) -> _Mask:
+        self.masked = True
+        ret_in = contains(s.body, Return)
+        bk = None
+        if _has_break_at_level(s.body):
+            bk = self.bind("np.zeros(nl, dtype=bool)", "bk")
+        self.frames.append(bk)
+        snap_a, snap_t = set(self.assigned), dict(self.tri)
+        # condition and body may read loop-carried values
+        for name in _loop_assigned(s.body):
+            if name in self.tri:
+                self.tri[name] = None
+        # as in stmt_for: kill loop-carried names before the scope snapshot
+        self.cse_kill(*_loop_assigned(s.body))
+        it = self.bind("0", "it")
+        try:
+            self.w("while True:")
+            with self.indent(), self.cse_scope():
+                mc = self._loop_body_mask(m, bk, ret_in)
+                cv = self.truthy(self.ex(s.cond, mc, mc.n))
+                cur = self.bind(f"{mc.var} & {cv.code}", "mc")
+                self.w(f"if not {cur}.any():")
+                with self.indent():
+                    self.w("break")
+                nv = self.emit_n(cur)
+                self.body(s.body, _Mask(cur, nv, False))
+                self.w(f"{it} += 1")
+                self.w(f"if {it} > {MAX_LOOP_ITERS}:")
+                with self.indent():
+                    self.w(
+                        "raise InterpError(\"while loop exceeded "
+                        f"{MAX_LOOP_ITERS} iterations\")"
+                    )
+        finally:
+            self.frames.pop()
+        self.assigned = set(snap_a)
+        for name in set(self.tri) - set(snap_t):
+            self.tri[name] = None
+        for name in snap_t:
+            if self.tri.get(name) != snap_t[name]:
+                self.tri[name] = None
+        if ret_in:
+            out = self.bind(f"{m.var} & ~_ret", "mo")
+            nv = self.emit_n(out)
+            return _Mask(out, nv, False)
+        return m
+
+    # -- top level ------------------------------------------------------
+    def generate(self) -> tuple[str, bool]:
+        self._prepass()
+        m0 = _Mask("m0", "_nlf", True)
+        self.body(self.k.body, m0)
+        if not self.lines:
+            self.w("pass")
+        header: list[str] = [
+            f"# JIT specialization of kernel {self.k.name!r} "
+            f"(codegen v{CODEGEN_VERSION})",
+            f"KNAME = {self.k.name!r}",
+        ]
+        header.extend(self.const_lines)
+        header.append("")
+        header.append("")
+        header.append("def _jit_span(ctx, counters):")
+        pre: list[str] = [
+            "nl = ctx.nlanes",
+            "_nlf = float(nl)",
+            "m0 = np.ones(nl, dtype=bool)",
+        ]
+        if self.need_span:
+            pre.append("_spanf = float(ctx._span_len)")
+        for kind in sorted(self.used_sregs, key=lambda k: k.name):
+            var = self.used_sregs[kind]
+            table = (
+                "_lane_sregs" if kind in _LANE_SREGS else "_static_sregs"
+            )
+            pre.append(f"{var} = ctx.{table}[SRegKind.{kind.name}]")
+        for name in sorted(self.used_scalars):
+            pre.append(f"p_{name} = ctx._scalars[{name!r}]")
+        for name in sorted(self.used_buffers):
+            pre.append(f"b_{name} = ctx._buffers[{name!r}]")
+        if self.need_ret:
+            pre.append("_ret = np.zeros(nl, dtype=bool)")
+        for name in sorted(self.var_types):
+            pre.append(f"v_{name} = _UNDEF")
+        for field in _COUNTER_FIELDS:
+            if field in self.used_counters:
+                pre.append(f"_c_{field} = 0.0")
+        out = header + ["    " + p for p in pre]
+        out.append("    try:")
+        out.append("        with np.errstate(all=\"ignore\"):")
+        out.extend(self.lines)
+        out.append("    finally:")
+        out.append("        if counters is not None:")
+        flushed = False
+        for field in _COUNTER_FIELDS:
+            if field in self.used_counters:
+                out.append(
+                    f"            counters.{field} += _c_{field}"
+                )
+                flushed = True
+        if not flushed:
+            out.append("            pass")
+        mask_free = not self.masked
+        return "\n".join(out) + "\n", mask_free
+
+
+# ---------------------------------------------------------------------------
+# structural helpers
+# ---------------------------------------------------------------------------
+def _can_shrink(body: list[Stmt]) -> bool:
+    """Whether executing ``body`` can retire lanes from the fall-through
+    mask: a Return anywhere (loops propagate it), or a Break/Continue
+    that is not captured by a loop inside the body itself."""
+    for s in body:
+        if isinstance(s, (Return, Break, Continue)):
+            return True
+        if isinstance(s, If):
+            if _can_shrink(s.then_body) or _can_shrink(s.else_body):
+                return True
+        elif isinstance(s, (For, While)):
+            if contains(s.body, Return):
+                return True
+    return False
+
+
+def _has_break_at_level(body: list[Stmt]) -> bool:
+    """A Break binding to *this* loop level (not captured by a nested
+    loop)."""
+    for s in body:
+        if isinstance(s, Break):
+            return True
+        if isinstance(s, If):
+            if _has_break_at_level(s.then_body) or _has_break_at_level(
+                s.else_body
+            ):
+                return True
+    return False
+
+
+def _loop_assigned(body: list[Stmt]) -> set[str]:
+    out: set[str] = set()
+    for st in iter_stmts(body):
+        if isinstance(st, Assign):
+            out.add(st.name)
+        elif isinstance(st, For):
+            out.add(st.var)
+        elif isinstance(st, Atomic) and st.result is not None:
+            out.add(st.result)
+    return out

@@ -73,7 +73,7 @@ from repro.ir.stmt import (
 from repro.ir.types import AddressSpace, DType, PointerType, common_type
 from repro.ir.visitor import contains, iter_stmts
 
-__all__ = ["BlockExecutor", "run_grid", "span_eligible"]
+__all__ = ["BlockExecutor", "run_grid", "span_eligible", "apply_atomic_op"]
 
 #: Safety cap on data-dependent loop iterations per loop execution.
 MAX_LOOP_ITERS = 50_000_000
@@ -112,6 +112,73 @@ def _c_int_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """C integer remainder (sign follows the dividend)."""
     q = _c_int_div(a, b)
     return np.where(b != 0, a - q * b, 0).astype(np.result_type(a, b), copy=False)
+
+
+def apply_atomic_op(
+    arr: np.ndarray,
+    safe_l: np.ndarray,
+    val_l: np.ndarray,
+    op: str,
+    cmp_l: np.ndarray | None = None,
+    old: np.ndarray | None = None,
+    mask: np.ndarray | None = None,
+) -> None:
+    """Apply one atomic instruction's updates for the active lanes.
+
+    ``safe_l``/``val_l``/``cmp_l`` are already reduced to the active
+    lanes; ``old`` is the span-wide pre-gathered old-value array to
+    refine when the result is observed (``None`` when it is not), with
+    ``mask`` the active-lane mask it is indexed through.
+
+    When several active lanes hit the same location AND the old value is
+    observed, a vectorized pre-gather would hand every colliding lane
+    the same "old"; CUDA guarantees each lane sees the value left by
+    some serial interleaving.  Fall back to a per-lane loop (lane order
+    is one valid interleaving).  Shared between the interpreter and the
+    JIT backend so both apply bit-identical updates by construction.
+    """
+    serial = (
+        old is not None
+        and safe_l.size > 1
+        and np.unique(safe_l).size < safe_l.size
+    )
+    if serial:
+        act = np.flatnonzero(mask)
+        with np.errstate(all="ignore"):
+            for i, a_idx in enumerate(safe_l):
+                cur = arr[a_idx]
+                old[act[i]] = cur
+                if op == "add":
+                    arr[a_idx] = cur + val_l[i]
+                elif op == "sub":
+                    arr[a_idx] = cur - val_l[i]
+                elif op == "min":
+                    arr[a_idx] = np.minimum(cur, val_l[i])
+                elif op == "max":
+                    arr[a_idx] = np.maximum(cur, val_l[i])
+                elif op == "exch":
+                    arr[a_idx] = val_l[i]
+                elif op == "cas":
+                    if cur == cmp_l[i]:
+                        arr[a_idx] = val_l[i]
+                else:  # pragma: no cover - guarded by Atomic.__post_init__
+                    raise InterpError(f"unsupported atomic {op!r}")
+    elif op == "add":
+        np.add.at(arr, safe_l, val_l)
+    elif op == "sub":
+        np.subtract.at(arr, safe_l, val_l)
+    elif op == "min":
+        np.minimum.at(arr, safe_l, val_l)
+    elif op == "max":
+        np.maximum.at(arr, safe_l, val_l)
+    elif op == "exch":
+        arr[safe_l] = val_l
+    elif op == "cas":
+        for i, a_idx in enumerate(safe_l):
+            if arr[a_idx] == cmp_l[i]:
+                arr[a_idx] = val_l[i]
+    else:  # pragma: no cover - guarded by Atomic.__post_init__
+        raise InterpError(f"unsupported atomic {op!r}")
 
 
 @dataclass
@@ -356,7 +423,11 @@ class BlockExecutor:
         if idx.ndim == 0:
             n = 1.0
         else:
-            sel = idx[mask] if idx.shape == mask.shape else idx
+            if idx.shape != mask.shape:
+                idx = np.broadcast_to(idx, mask.shape)
+            sel = idx[mask]
+            if sel.size == 0:
+                return
             lo = int(sel.min()) * elem_size
             hi = int(sel.max()) * elem_size
             span_lines = (hi - lo) // 64 + 1
@@ -477,7 +548,10 @@ class BlockExecutor:
             la = np.asarray(l).astype(rt.np, copy=False)
             ra = np.asarray(r).astype(np.int64, copy=False)
             self._count("int_ops", self._cur_n)
-            return (la << ra) if op == "<<" else (la >> ra)
+            # the int64 shift count widens the result under NumPy's
+            # promotion rules; C wraps at the declared type's width
+            out = (la << ra) if op == "<<" else (la >> ra)
+            return out.astype(rt.np, copy=False)
         # arithmetic: +, -, *, /, %
         la = np.asarray(l).astype(rt.np, copy=False)
         ra = np.asarray(r).astype(rt.np, copy=False)
@@ -952,64 +1026,19 @@ class BlockExecutor:
                 ),
                 mask.shape,
             )[mask]
+        old = None
         if s.result is not None:
             self._var_types[s.result] = pt.elem
             # Old values gathered before this instruction's updates; valid
-            # only when no two active lanes target the same location.
+            # only when no two active lanes target the same location (the
+            # colliding case serializes inside apply_atomic_op).
             old = np.broadcast_to(arr[safe], mask.shape).astype(
                 pt.elem.np, copy=True
             )
             if s.result in self._env and not mask.all():
                 prev = np.asarray(self._env[s.result]).astype(pt.elem.np, copy=False)
                 old = np.where(mask, old, prev).astype(pt.elem.np, copy=False)
-        # When several active lanes hit the same location AND the old value
-        # is observed, a vectorized pre-gather would hand every colliding
-        # lane the same "old"; CUDA guarantees each lane sees the value left
-        # by some serial interleaving.  Fall back to a per-lane loop (lane
-        # order is one valid interleaving).  Inactive/retired lanes are
-        # excluded from safe_l/val_l, so they never contribute either way.
-        serial = (
-            s.result is not None
-            and safe_l.size > 1
-            and np.unique(safe_l).size < safe_l.size
-        )
-        if serial:
-            act = np.flatnonzero(mask)
-            with np.errstate(all="ignore"):
-                for i, a_idx in enumerate(safe_l):
-                    cur = arr[a_idx]
-                    old[act[i]] = cur
-                    if s.op == "add":
-                        arr[a_idx] = cur + val_l[i]
-                    elif s.op == "sub":
-                        arr[a_idx] = cur - val_l[i]
-                    elif s.op == "min":
-                        arr[a_idx] = np.minimum(cur, val_l[i])
-                    elif s.op == "max":
-                        arr[a_idx] = np.maximum(cur, val_l[i])
-                    elif s.op == "exch":
-                        arr[a_idx] = val_l[i]
-                    elif s.op == "cas":
-                        if cur == cmp_l[i]:
-                            arr[a_idx] = val_l[i]
-                    else:  # pragma: no cover - guarded by Atomic.__post_init__
-                        raise InterpError(f"unsupported atomic {s.op!r}")
-        elif s.op == "add":
-            np.add.at(arr, safe_l, val_l)
-        elif s.op == "sub":
-            np.subtract.at(arr, safe_l, val_l)
-        elif s.op == "min":
-            np.minimum.at(arr, safe_l, val_l)
-        elif s.op == "max":
-            np.maximum.at(arr, safe_l, val_l)
-        elif s.op == "exch":
-            arr[safe_l] = val_l
-        elif s.op == "cas":
-            for i, a_idx in enumerate(safe_l):
-                if arr[a_idx] == cmp_l[i]:
-                    arr[a_idx] = val_l[i]
-        else:  # pragma: no cover - guarded by Atomic.__post_init__
-            raise InterpError(f"unsupported atomic {s.op!r}")
+        apply_atomic_op(arr, safe_l, val_l, s.op, cmp_l=cmp_l, old=old, mask=mask)
         if s.result is not None:
             self._env[s.result] = old
         return mask
@@ -1025,6 +1054,7 @@ def run_grid(
     span: int | None = None,
     sanitize: object = False,
     profile: object = None,
+    backend: str = "interp",
 ) -> BlockExecutor:
     """Execute a kernel launch (all blocks, or ``block_ids``) sequentially.
 
@@ -1034,12 +1064,39 @@ def run_grid(
     (pass ``True`` or a shared ``DynamicSanitizer``); findings accumulate
     on ``executor.sanitizer.report``.  ``profile`` attributes counts per
     source line (a :class:`~repro.obs.profiler.Profiler` or a line sink;
-    see :class:`BlockExecutor`).
+    see :class:`BlockExecutor`).  ``backend`` selects the execution tier:
+    ``"interp"`` (this module's tree-walker, the reference), ``"jit"``
+    (the :mod:`repro.interp.jit` codegen tier, bit-identical by
+    contract), or ``"auto"`` (JIT when the kernel compiles and no
+    interpreter-shaped hook — sanitizer, profiler — is attached).
     """
-    ex = BlockExecutor(
-        kernel, config, args, counters, bounds_check=bounds_check,
-        sanitize=sanitize, profile=profile,
-    )
+    if backend not in ("interp", "jit", "auto"):
+        raise LaunchError(
+            f"unknown backend {backend!r}; expected 'interp', 'jit' or 'auto'"
+        )
+    ex: BlockExecutor | None = None
+    if backend != "interp":
+        if sanitize or profile:
+            if backend == "jit":
+                raise LaunchError(
+                    "backend='jit' does not support sanitize/profile hooks; "
+                    "they observe the tree-walking interpreter"
+                )
+        else:
+            from repro.interp.jit import JITBlockExecutor, JITUnsupported
+
+            try:
+                ex = JITBlockExecutor(
+                    kernel, config, args, counters, bounds_check=bounds_check
+                )
+            except JITUnsupported:
+                if backend == "jit":
+                    raise
+    if ex is None:
+        ex = BlockExecutor(
+            kernel, config, args, counters, bounds_check=bounds_check,
+            sanitize=sanitize, profile=profile,
+        )
     ids = range(config.num_blocks) if block_ids is None else block_ids
     ex.run_blocks(ids, span=span)
     return ex

@@ -175,6 +175,20 @@ class CuCCRuntime:
             installs a circuit breaker on the drift telemetry
             (warn → force-retune → refuse-launch); implies
             ``drift=True``.  ``None`` (default) installs nothing.
+        backend: kernel-execution backend.  ``"interp"`` walks the IR
+            tree (the semantic reference); ``"jit"`` compiles each
+            kernel to a specialized vectorized closure (bit-identical
+            buffers and op counters — see DESIGN.md §13) and fails on
+            kernels the codegen cannot handle; ``"auto"`` (default)
+            uses the JIT where supported and falls back silently.
+            Sanitizer and profiler hooks observe the tree-walking
+            interpreter, so ``backend="jit"`` rejects ``sanitize``/
+            ``profile`` (with ``"auto"`` those launches just take the
+            interpreter).
+        jit_cache: persistent compile cache for the JIT backend — a
+            :class:`~repro.interp.jit.CompileCache` or a path to one
+            (created on first save).  ``None`` (default) compiles per
+            process and memoizes in memory only.
     """
 
     def __init__(
@@ -193,7 +207,32 @@ class CuCCRuntime:
         drift: bool = False,
         checkpoint: object = None,
         drift_guard: object = None,
+        backend: str = "auto",
+        jit_cache: object = None,
     ):
+        if backend not in ("interp", "jit", "auto"):
+            raise LaunchError(
+                f"unknown backend {backend!r}; expected 'interp', 'jit' "
+                "or 'auto'"
+            )
+        if backend == "jit" and (sanitize or profile):
+            raise LaunchError(
+                "backend='jit' does not support sanitize/profile hooks; "
+                "they observe the tree-walking interpreter"
+            )
+        self.backend = backend
+        #: JIT compile cache (repro.interp.jit.CompileCache) or None;
+        #: the import is deferred so an interpreter-only runtime never
+        #: loads the JIT package
+        self.jit_cache = None
+        if jit_cache is not None and backend != "interp":
+            from repro.interp.jit import CompileCache
+
+            self.jit_cache = (
+                jit_cache
+                if isinstance(jit_cache, CompileCache)
+                else CompileCache.load(jit_cache)
+            )
         self.cluster = cluster
         self.params = params
         self.simd_enabled = simd_enabled
@@ -1056,6 +1095,20 @@ class CuCCRuntime:
         run_args: dict[str, object] = dict(scalar_args)
         for pname, bname in buffer_args.items():
             run_args[pname] = node.buffer(bname)
+        # the JIT carries no sanitizer/profiler hooks; hooked launches
+        # (only possible under backend="auto" — "jit" rejects the hooks
+        # at construction) take the reference interpreter
+        if self.backend != "interp" and self._cur_san is None and prof is None:
+            from repro.interp.jit import JITBlockExecutor, JITUnsupported
+
+            try:
+                return JITBlockExecutor(
+                    kernel, config, run_args, counters,
+                    bounds_check=self.bounds_check, cache=self.jit_cache,
+                )
+            except JITUnsupported:
+                if self.backend == "jit":
+                    raise
         return BlockExecutor(
             kernel, config, run_args, counters, bounds_check=self.bounds_check,
             sanitize=self._cur_san if self._cur_san is not None else False,

@@ -19,6 +19,12 @@ Three defects, each locked in here:
    block and thread — and is clamped within the block's *own* segment,
    never wrapping into a neighbouring block's slice of the span-wide
    backing array.
+
+Section 4 holds the bugs the *JIT differential gate* surfaced (this
+repo's second bug-detecting sweep, same precedent): shift results
+escaping the declared C type, inactive-lane addresses inflating the
+64-byte-line traffic estimate, and the specialization key confusing
+structurally distinct kernels that print identically.
 """
 
 import numpy as np
@@ -221,3 +227,92 @@ def test_shared_oob_never_wraps_into_neighbouring_block():
     # wrapped across segments, block 1 would read block 0's values
     np.testing.assert_array_equal(y[:4], np.zeros(4, np.float32))
     np.testing.assert_array_equal(y[4:], np.full(4, 10.0, np.float32))
+
+
+# ---------------------------------------------------------------------------
+# 4. bugs surfaced by the JIT differential gate
+# ---------------------------------------------------------------------------
+
+
+def _run_counted(kernel, grid, block, args, backend):
+    from repro.interp import OpCounters
+
+    counters = OpCounters()
+    run_grid(kernel, LaunchConfig.make(grid, block), args,
+             counters=counters, backend=backend)
+    return counters
+
+
+def test_shift_result_wraps_at_declared_type():
+    """``1 << 31`` on a 32-bit int is INT32_MIN, not 2**31.
+
+    The interpreter shifts with an int64 count, and NumPy's promotion
+    widened the *result* to int64 too, so the value escaped the declared
+    C type and flowed onward as +2147483648.  The gate flagged it when
+    the JIT (which wraps correctly) disagreed; the fix casts the shift
+    result back to the declared type."""
+    kernel = parse_kernel("""
+__global__ void shl(int* out, int n) {
+    int one = 1;
+    int v = one << n;
+    out[threadIdx.x] = v / 1;
+}""")
+    for backend in ("interp", "jit"):
+        out = np.zeros(4, dtype=np.int32)
+        run_grid(kernel, LaunchConfig.make(1, 4), {"out": out, "n": 31},
+                 backend=backend)
+        np.testing.assert_array_equal(
+            out, np.full(4, np.int32(-2**31)), err_msg=backend
+        )
+
+
+def test_line_traffic_ignores_inactive_lane_addresses():
+    """A guarded gather must meter only the *active* lanes' addresses.
+
+    ``_count_lines`` took min/max over every lane's index — including
+    lanes the guard had switched off — so one wild inactive address
+    stretched the 64-byte-line span estimate and inflated
+    ``global_line_bytes`` (and with it the simulated memory clock)."""
+    kernel = parse_kernel("""
+__global__ void gather(float* x, int* idx, float* y, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { y[i] = x[idx[i]]; }
+}""")
+    idx = np.zeros(64, dtype=np.int32)
+    idx[:8] = np.arange(8)   # the 8 active lanes read 8 contiguous cells
+    idx[8:] = 4095           # inactive lanes point 16 KiB away
+
+    def args():
+        return {"x": np.arange(4096, dtype=np.float32), "idx": idx.copy(),
+                "y": np.zeros(64, np.float32), "n": 8}
+
+    ci = _run_counted(kernel, 1, 64, args(), "interp")
+    cj = _run_counted(kernel, 1, 64, args(), "jit")
+    # three guarded accesses (idx load, x gather, y store), each within
+    # one 64-byte line of the active lanes' addresses
+    assert ci.global_line_bytes == 64.0 * 3
+    assert ci.as_dict() == cj.as_dict()
+
+
+def test_specialization_key_distinguishes_printed_twins():
+    """Two kernels that print identically but differ structurally (an
+    explicit ``-(1)`` loop step vs the folded ``-1``) count a different
+    number of int ops; a text-derived key served one's compiled program
+    for the other.  The key now hashes the structural repr, and both
+    variants stay bit-identical across backends."""
+    from repro.interp.jit import diff_grid, program_key
+    from repro.ir.expr import Const, UnOp
+    from repro.transform.simplify import simplify_kernel
+
+    b = IRBuilder("negstep")
+    out = b.pointer_param("out", I32)
+    with b.for_("i", 3, 0, step=UnOp("-", Const(1, I32))) as i:
+        b.store(out, i, i)
+    raw = b.finish()
+    folded = simplify_kernel(raw)
+    assert program_key(raw, (4, 1, 1), True) != program_key(
+        folded, (4, 1, 1), True
+    )
+    for kernel in (raw, folded):
+        res = diff_grid(kernel, 1, 4, {"out": np.zeros(4, np.int32)})
+        assert res.identical, res.mismatches

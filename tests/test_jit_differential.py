@@ -1,0 +1,95 @@
+"""The differential gate as a test suite: interp vs JIT, bit-for-bit.
+
+The gate is the PR's bug-finder: every workload kernel runs through the
+reference tree-walking interpreter and the compiled fast path on copies
+of the same buffers, and *everything* observable must match exactly —
+output bytes, every OpCounters field (64-byte-line traffic included),
+and, at the runtime level, the three CuCC phase times.  Any divergence
+is a bug in one of the two backends.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interp.jit import diff_grid, run_gate
+from repro.interp.jit.differential import diff_spec_grid, diff_workload
+from repro.workloads import EXTRA_WORKLOADS, PERF_WORKLOADS
+
+ZOO = {**PERF_WORKLOADS, **EXTRA_WORKLOADS}
+
+
+# ---------------------------------------------------------------------------
+# full gate (grid + runtime levels, every workload)
+# ---------------------------------------------------------------------------
+
+
+def test_full_differential_gate_small():
+    """Every workload, both comparison levels, zero divergences.
+
+    This is the same check ``repro jit`` runs; covers buffers, counters
+    and CuCC phase times in one pass."""
+    results = run_gate("small", seed=0)
+    assert len(results) == len(ZOO)
+    bad = [r for r in results if not r.identical]
+    assert not bad, "\n".join(
+        f"{r.name}: {m}" for r in bad for m in r.mismatches
+    )
+
+
+# ---------------------------------------------------------------------------
+# property test: random workload x seed x span
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    name=st.sampled_from(sorted(ZOO)),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    span=st.sampled_from([1, 3, 16, 256]),
+)
+def test_backends_bit_identical_under_random_inputs(name, seed, span):
+    spec = ZOO[name]("small", seed=seed)
+    res = diff_spec_grid(spec, span=span)
+    assert res.identical, f"{name} seed={seed} span={span}: {res.mismatches}"
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    grid=st.integers(min_value=1, max_value=7),
+    block=st.sampled_from([1, 32, 64, 160]),
+    n=st.integers(min_value=1, max_value=500),
+)
+def test_guarded_saxpy_identical_across_odd_shapes(seed, grid, block, n):
+    """Ragged launches: partial tails, single-lane blocks, n far from the
+    lane count — the masked fallback territory."""
+    from repro.frontend.parser import parse_kernel
+
+    kernel = parse_kernel("""
+__global__ void saxpy(float* x, float* y, float a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { y[i] = a * x[i] + y[i]; }
+}""")
+    rng = np.random.default_rng(seed)
+    cells = grid * block
+    res = diff_grid(
+        kernel, grid, block,
+        {"x": rng.standard_normal(cells).astype(np.float32),
+         "y": rng.standard_normal(cells).astype(np.float32)},
+        {"a": 1.5, "n": n},
+    )
+    assert res.identical, res.mismatches
+
+
+# ---------------------------------------------------------------------------
+# runtime-level phase-time identity, spot check
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["NBody", "FIR"])
+def test_runtime_phase_times_identical(name):
+    spec = ZOO[name]("small", seed=3)
+    res = diff_workload(spec, nodes=2)
+    assert res.identical, res.mismatches

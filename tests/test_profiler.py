@@ -479,6 +479,7 @@ def test_run_continuous_emits_documents_matching_baselines(tmp_path):
     assert sorted(p.name for p in paths) == [
         "BENCH_collectives.json",
         "BENCH_fault_overhead.json",
+        "BENCH_jit.json",
         "BENCH_phase_split.json",
         "BENCH_scaling.json",
     ]
