@@ -3,6 +3,10 @@
 Timed with pytest-benchmark; the rendered table lands in
 `benchmarks/results/`.  See DESIGN.md's per-experiment index for the
 workload, parameters and modules behind this experiment.
+
+The serving-mode growth of this figure — a mixed queue on one shared
+pool with FCFS leasing and Allgather-window pipelining — lives in
+`bench_serving.py` and, regression-gated, in ``BENCH_serving.json``.
 """
 
 from repro.bench import figures as F

@@ -1,0 +1,47 @@
+"""Serving-mode throughput: the concurrent growth of Figure 12.
+
+Figure 12 models cluster-wide throughput with one workload replicated
+across static partitions.  This benchmark serves the same question the
+way `repro serve` does: a mixed submission queue, FCFS subset leasing,
+and Allgather-window pipelining on one shared pool — and checks the
+serving contract while timing it (per-job bit-identity to serial, and
+higher launches/sec than serial at no-worse p99 tail latency).
+
+The continuous, regression-gated version of this experiment is
+``BENCH_serving.json`` (``repro bench --json``); this wrapper times the
+pipelined run with pytest-benchmark and writes the per-job service
+table to `benchmarks/results/`.
+"""
+
+import pathlib
+
+from repro.serve import (
+    ServeConfig,
+    serve_requests,
+    serve_serially,
+    synth_requests,
+    verify_against_serial,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def test_serving_throughput(benchmark, bench_size):
+    requests = synth_requests(
+        "FIR:2,KMeans:1,Transpose:1", rate=2e6, jobs=12, nodes=2,
+        size=bench_size, seed=0,
+    )
+    report = benchmark.pedantic(
+        lambda: serve_requests(requests, ServeConfig(nodes=8)),
+        rounds=1, iterations=1,
+    )
+    serial = serve_serially(requests, ServeConfig(nodes=8))
+    assert verify_against_serial(report, serial) == []
+    assert report.stats.launches_per_sec > serial.stats.launches_per_sec
+    assert report.stats.latency_p99_s <= serial.stats.latency_p99_s
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = report.format_report()
+    (RESULTS_DIR / "serving_throughput.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -51,6 +51,16 @@ from repro.ops import (
     resume_runtime,
 )
 from repro.runtime import CompiledKernel, CuCCRuntime, LaunchRecord, RecoveryPolicy
+from repro.serve import (
+    CuCCServer,
+    JobRequest,
+    ServeConfig,
+    SubmissionQueue,
+    serve_requests,
+    serve_serially,
+    synth_requests,
+    verify_against_serial,
+)
 from repro.sanitize import (
     DynamicSanitizer,
     Finding,
@@ -99,4 +109,9 @@ __all__ = [
     "SIMD_FOCUSED_NODE", "THREAD_FOCUSED_NODE", "A100", "V100", "ModelParams",
     # workloads
     "PERF_WORKLOADS",
+    # serving: concurrent multi-job execution on one pool (full surface
+    # in repro.serve — packer, pipeline timing, accounting)
+    "CuCCServer", "ServeConfig", "JobRequest", "SubmissionQueue",
+    "serve_requests", "serve_serially", "synth_requests",
+    "verify_against_serial",
 ]

@@ -172,11 +172,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
             raise ReproError(f"--{flag} requires --platform cucc")
     if args.platform != "cucc" and args.backend != "auto":
         raise ReproError("--backend requires --platform cucc")
-    if args.resume and args.backend != "auto":
-        raise ReproError(
-            "--resume replays launches through the default backend; "
-            "drop --backend"
-        )
     for flag in ("checkpoint", "resume", "drift_guard"):
         if getattr(args, flag) and args.platform != "cucc":
             opt = flag.replace("_", "-")
@@ -221,6 +216,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 spec, args.resume, checkpoint=checkpoint,
                 drift_guard=drift_guard, trace=bool(args.trace),
                 profile=bool(args.profile),
+                # "auto" (the flag default) defers to the backend the
+                # checkpoint recorded, so a JIT run resumes on JIT
+                backend=None if args.backend == "auto" else args.backend,
+                jit_cache=args.jit_cache,
             )
             done = len(res.runtime.launches) - 1
             print(f"resumed from {args.resume} on "
@@ -572,6 +571,99 @@ def _cmd_jit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Concurrent multi-job serving driver (see DESIGN.md §14).
+
+    Synthesizes a seeded arrival trace from the workload mix, serves it
+    on a simulated node pool (pipelined by default), prints the per-job
+    table and throughput/latency accountant, and — with --check-serial
+    — reruns the same jobs serially and exits 1 unless every job is
+    bit-identical to its serial twin.
+    """
+    from repro.serve import (
+        ServeConfig,
+        CuCCServer,
+        serve_serially,
+        synth_requests,
+        verify_against_serial,
+    )
+
+    if args.jobs is None and args.duration is None:
+        args.jobs = 8
+    requests = synth_requests(
+        args.mix,
+        rate=args.rate,
+        jobs=args.jobs,
+        duration_s=args.duration,
+        nodes=tuple(args.job_nodes) if args.job_nodes else 2,
+        size=args.size,
+        seed=args.seed,
+        faults=args.faults,
+        fault_every=args.fault_every,
+    )
+    if not requests:
+        raise ReproError(
+            "the arrival process produced no jobs; raise --rate, --jobs "
+            "or --duration"
+        )
+    config = ServeConfig(
+        nodes=args.nodes,
+        cluster=args.cluster,
+        topology=args.topology,
+        pipeline=not args.no_pipeline,
+        backend=args.backend,
+        tuning=args.tuning,
+        jit_cache=args.jit_cache,
+        trace=bool(args.trace),
+    )
+    server = CuCCServer(config)
+    if server.jit_cache is not None:
+        from repro.interp.jit.executor import compile_stats
+
+        compiles_before = compile_stats["compiles"]
+    report = server.run(requests)
+    report.seed = args.seed
+    print(report.format_report())
+    if server.jit_cache is not None:
+        _ensure_parent(str(server.jit_cache.path))
+        server.jit_cache.save()
+        print(f"\ncompiles={compile_stats['compiles'] - compiles_before} "
+              f"cache_hits={server.jit_cache.hits} "
+              f"cache_rejects={server.jit_cache.rejected}; "
+              f"saved {server.jit_cache!r}")
+    if args.trace:
+        from repro.obs.export import write_chrome_trace
+
+        _ensure_parent(args.trace)
+        path = write_chrome_trace(server.tracer, args.trace)
+        print(f"wrote {len(server.tracer)} spans to {path} (job spans "
+              f"carry job_id; ranks are physical pool node ids)")
+    if args.metrics:
+        from repro.obs.metrics import METRICS
+
+        print()
+        print(METRICS.render())
+    if args.check_serial:
+        serial = serve_serially(requests, ServeConfig(
+            nodes=args.nodes, cluster=args.cluster, topology=args.topology,
+            backend=args.backend, tuning=args.tuning,
+            jit_cache=args.jit_cache,
+        ))
+        mismatches = verify_against_serial(report, serial)
+        if mismatches:
+            print(f"\nserial-identity check FAILED "
+                  f"({len(mismatches)} divergence(s)):")
+            for m in mismatches:
+                print(f"  {m}")
+            return 1
+        print(f"\nserial-identity check passed: all {len(requests)} job(s) "
+              "bit-identical to serial execution in submission order")
+    failed = [r for r in report.results if r.status != "ok"]
+    for r in failed:
+        print(f"note: job {r.request.job_id} failed in isolation: {r.error}")
+    return 0
+
+
 def _read_source(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
@@ -814,6 +906,75 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persistent compile-cache file to consult and "
                         "update (e.g. .repro-jit-cache.json)")
     p.set_defaults(fn=_cmd_jit)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a queue of concurrent launches on one node pool",
+        description=(
+            "Synthesize a seeded arrival trace from a workload mix, feed "
+            "it through the submission queue, and serve it on a simulated "
+            "service pool: the admission scheduler leases disjoint node "
+            "subsets FCFS, and (unless --no-pipeline) overlaps a queued "
+            "job's phase-1 compute with the in-flight Allgather of the "
+            "job owning the subset.  Prints the per-job table and the "
+            "throughput/latency accountant; with --check-serial the same "
+            "jobs are rerun one at a time and the command exits 1 unless "
+            "every job is bit-identical to its serial twin."
+        ),
+    )
+    p.add_argument("--mix", default="FIR:2,KMeans:1,Transpose:1",
+                   metavar="SPEC",
+                   help="workload mix as 'Name:weight,...' "
+                        "(default: %(default)s)")
+    p.add_argument("--rate", type=float, default=1e6,
+                   help="mean arrival rate in jobs per *simulated* second "
+                        "(Poisson process; default: %(default)s — phase "
+                        "times are microseconds, so ~1e6/s builds backlog)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="number of arrivals to synthesize (default: 8 "
+                        "unless --duration is given)")
+    p.add_argument("--duration", type=float, default=None,
+                   metavar="SECONDS",
+                   help="synthesize arrivals for this many simulated "
+                        "seconds instead of a fixed --jobs count")
+    p.add_argument("--nodes", type=int, default=8,
+                   help="service pool width (default: %(default)s)")
+    p.add_argument("--job-nodes", action="append", type=int, metavar="N",
+                   help="node width(s) jobs draw from, repeatable "
+                        "(default: every job asks for 2)")
+    p.add_argument("--size", default="small", choices=("small", "paper"))
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for arrivals, mix draws and per-job data")
+    p.add_argument("--cluster", default="simd-focused",
+                   choices=("simd-focused", "thread-focused"))
+    p.add_argument("--topology", default=None,
+                   choices=("flat", "fat-tree", "ring", "torus"))
+    p.add_argument("--no-pipeline", action="store_true",
+                   help="disable Allgather-window pipelining (jobs still "
+                        "run concurrently on disjoint subsets)")
+    p.add_argument("--backend", default="auto",
+                   choices=("interp", "jit", "auto"),
+                   help="kernel-execution backend for every job")
+    p.add_argument("--faults", metavar="SPEC", default=None,
+                   help="fault plan injected into selected jobs, e.g. "
+                        "'crash:rank=1,phase=allgather'")
+    p.add_argument("--fault-every", type=int, default=0, metavar="K",
+                   help="inject --faults into every Kth job (0 = none)")
+    p.add_argument("--tuning", metavar="PATH", default=None,
+                   help="persistent tuning cache shared by all jobs")
+    p.add_argument("--jit-cache", metavar="PATH", default=None,
+                   help="persistent JIT compile cache shared by all jobs "
+                        "(consulted first, saved after; warm caches serve "
+                        "repeat jobs with zero recompiles)")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="export a Chrome trace of the whole service run; "
+                        "every span carries its job_id")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the metrics-registry snapshot after the run")
+    p.add_argument("--check-serial", action="store_true",
+                   help="rerun the same jobs serially and exit 1 unless "
+                        "every job is bit-identical")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("specs", help="print Table 1")
     p.set_defaults(fn=_cmd_specs)

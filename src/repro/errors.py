@@ -148,6 +148,15 @@ class JITUnsupported(JITError):
     """
 
 
+class ServeError(ReproError):
+    """The serving layer was misused (bad mix spec, oversized job,
+    unknown workload in a submission).
+
+    A *job* failing under injected faults is not a ``ServeError`` — the
+    server isolates it, marks the job failed and keeps serving.
+    """
+
+
 class SanitizerError(ReproError):
     """The kernel sanitizer was misused (bad target, unknown kernel).
 

@@ -30,6 +30,7 @@ import json
 from pathlib import Path
 
 from repro.errors import JITError
+from repro.ioutil import atomic_write_text
 
 __all__ = ["CompileCache", "DEFAULT_CACHE_PATH", "source_digest"]
 
@@ -96,17 +97,24 @@ class CompileCache:
 
     # -- persistence ----------------------------------------------------
     def save(self, path: str | Path | None = None) -> Path:
-        """Write the cache as JSON; returns the path written."""
+        """Write the cache as JSON; returns the path written.
+
+        The write is atomic (temp file + ``os.replace``, like ``.rckp``
+        writes): the serving loop saves this cache after every compile
+        while other jobs may be loading it, and a reader must see the
+        old document or the new one, never a torn file.
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             raise JITError("compile cache has no path to save to")
-        target.write_text(
+        atomic_write_text(
+            target,
             json.dumps(
                 {"version": SCHEMA_VERSION, "entries": self.entries},
                 indent=2,
                 sort_keys=True,
             )
-            + "\n"
+            + "\n",
         )
         self.path = target
         return target

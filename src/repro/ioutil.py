@@ -1,0 +1,35 @@
+"""Small filesystem helpers shared across persistence layers.
+
+:func:`atomic_write_text` is the text twin of the ``.rckp`` writer's
+temp-file + :func:`os.replace` idiom (see
+:mod:`repro.ops.checkpoint`): readers either see the complete previous
+file or the complete new one, never a torn intermediate.  The serving
+loop relies on this — many concurrent jobs share one on-disk
+``TuningCache`` / ``CompileCache`` and each save must be all-or-nothing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically; returns the path written.
+
+    The bytes land in a sibling ``*.tmp`` file first and are moved over
+    the target with :func:`os.replace` (atomic on POSIX and Windows for
+    same-directory renames).  On any failure the temp file is removed
+    and the previous contents of ``path`` are left untouched.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return target

@@ -40,9 +40,10 @@ class SpanKind:
     TUNE = "tune"  # one autotuner trial
     COUNTER = "counter"  # Perfetto counter-track sample (profiler)
     CKPT = "ckpt"  # durable checkpoint written (instant; repro.ops)
+    SERVE = "serve"  # one served job, queue-to-finish (repro.serve)
 
     ALL = (COMPILE, LAUNCH, PHASE, EXEC, COLLECTIVE, ROUND, FAULT, TUNE,
-           COUNTER, CKPT)
+           COUNTER, CKPT, SERVE)
 
 
 class Span:

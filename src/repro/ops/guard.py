@@ -27,13 +27,20 @@ guard the runtime never imports this module.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import DriftBreakerOpen
-from repro.obs.drift import DEFAULT_DRIFT_BOUND, signed_rel_error
 from repro.obs.metrics import METRICS
 
 __all__ = ["DriftGuardPolicy", "DriftGuard"]
+
+
+def _default_bound() -> float:
+    # lazy: repro.ops is on the api facade's import path, and the drift
+    # telemetry module must not load until a guard is actually built
+    from repro.obs.drift import DEFAULT_DRIFT_BOUND
+
+    return DEFAULT_DRIFT_BOUND
 
 
 @dataclass(frozen=True)
@@ -41,7 +48,8 @@ class DriftGuardPolicy:
     """Escalation thresholds of the drift breaker (validated)."""
 
     #: |relative error| above which a launch counts as a breach
-    bound: float = DEFAULT_DRIFT_BOUND
+    #: (default: repro.obs.drift.DEFAULT_DRIFT_BOUND)
+    bound: float = field(default_factory=_default_bound)
     #: consecutive breaches before a warning is logged
     warn_after: int = 1
     #: consecutive breaches before the autotuner is forced
@@ -95,6 +103,8 @@ class DriftGuard:
     # -- observation (called after every drift-telemetry launch) -------
     def observe(self, runtime, kernel_name: str, record, pred) -> None:
         """Feed one launch's executed-vs-predicted phase times."""
+        from repro.obs.drift import signed_rel_error
+
         times = record.phases
         worst = 0.0
         for predicted, executed in (

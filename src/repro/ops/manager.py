@@ -117,6 +117,7 @@ def capture_meta(
             "sanitize": runtime.sanitize,
             "allgather_algo": runtime.allgather_algo,
             "drift": runtime.drift,
+            "backend": runtime.backend,
         },
         "memory": {
             "buffers": {

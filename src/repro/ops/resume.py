@@ -156,7 +156,8 @@ def _rebuild_cluster(cmeta: dict, path) -> Cluster:
 
 
 def resume_runtime(
-    path, checkpoint=None, drift_guard=None, trace=False, profile=False
+    path, checkpoint=None, drift_guard=None, trace=False, profile=False,
+    backend=None, jit_cache=None,
 ):
     """Rebuild a :class:`~repro.runtime.cucc.CuCCRuntime` from a
     checkpoint file, ready to continue the interrupted run.
@@ -168,6 +169,15 @@ def resume_runtime(
     from the original run; everything that affects simulated state is
     restored from the file.
 
+    ``backend=None`` (the default) resumes on the backend the
+    checkpoint recorded — a JIT run resumes on JIT — falling back to
+    ``"auto"`` for checkpoints written before the backend was recorded.
+    An explicit ``backend`` overrides the record (safe either way: both
+    backends are bit-identical by the differential gate).  ``jit_cache``
+    (a :class:`~repro.interp.jit.cache.CompileCache` or path) seeds the
+    resumed runtime's compile cache; caches are process-local and never
+    part of checkpointed state.
+
     The caller then replays its launch sequence: launches completed
     before the checkpoint fast-forward (identical records, zero clock
     movement), the interrupted launch resumes mid-flight, and later
@@ -178,6 +188,13 @@ def resume_runtime(
     meta, data = read_checkpoint(path)
     cluster = _rebuild_cluster(meta["cluster"], path)
     r = meta["runtime"]
+    if backend is None:
+        backend = r.get("backend", "auto")
+        if backend == "jit" and (profile or r["sanitize"]):
+            # a recorded hard-jit backend cannot carry profile/sanitize
+            # hooks (they observe the interpreter); auto keeps the run
+            # going — bit-identical either way
+            backend = "auto"
     rt = CuCCRuntime(
         cluster,
         params=ModelParams(**r["params"]),
@@ -192,6 +209,8 @@ def resume_runtime(
         drift=r["drift"],
         checkpoint=checkpoint,
         drift_guard=drift_guard,
+        backend=backend,
+        jit_cache=jit_cache,
     )
     inj_state = meta["injector"]
     if inj_state is not None:

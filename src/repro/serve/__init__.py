@@ -1,0 +1,53 @@
+"""Concurrent multi-job serving on top of the CuCC runtime.
+
+Clients submit workloads into a :class:`~repro.serve.queue.SubmissionQueue`;
+the :class:`~repro.serve.server.CuCCServer` leases disjoint node subsets
+from a :class:`~repro.slurm.scheduler.PartitionScheduler`, runs many
+:class:`~repro.runtime.cucc.CuCCRuntime` launches concurrently (one
+fresh sub-cluster per job, so each job's buffers, counters and phase
+times are bit-identical to a serial run of the same request), and — in
+pipelined mode — overlaps the phase-1 compute of a queued launch with
+the in-flight Allgather of the launch occupying the same subset.  All
+placement and latency math is charged to the simulated clocks, so the
+whole serving schedule is deterministic per seed.  See DESIGN.md §14.
+"""
+
+from repro.serve.accounting import ServeReport, ServeStats, percentile
+from repro.serve.packer import AdmissionPacker, NodeLease
+from repro.serve.pipeline import JobTiming, PhaseProfile
+from repro.serve.queue import (
+    JobRequest,
+    SubmissionQueue,
+    parse_mix,
+    resolve_workload,
+    synth_requests,
+)
+from repro.serve.server import (
+    CuCCServer,
+    JobResult,
+    ServeConfig,
+    serve_requests,
+    serve_serially,
+    verify_against_serial,
+)
+
+__all__ = [
+    "AdmissionPacker",
+    "CuCCServer",
+    "JobRequest",
+    "JobResult",
+    "JobTiming",
+    "NodeLease",
+    "PhaseProfile",
+    "ServeConfig",
+    "ServeReport",
+    "ServeStats",
+    "SubmissionQueue",
+    "parse_mix",
+    "percentile",
+    "resolve_workload",
+    "serve_requests",
+    "serve_serially",
+    "synth_requests",
+    "verify_against_serial",
+]

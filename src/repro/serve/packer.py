@@ -1,0 +1,130 @@
+"""Admission and packing: leasing disjoint node subsets per job.
+
+The packer owns one dedicated :class:`~repro.slurm.scheduler.
+PartitionScheduler` partition (the service pool) and turns its
+count-based free pool into identity-based leases: every admitted job
+gets a concrete, disjoint tuple of node ids for its whole residency.
+
+Fairness (DESIGN.md §14): lease grants are strictly FCFS over the
+submission order — the queue head is never overtaken for a *lease*.
+Pipelined attachment is the one sanctioned backfill: it consumes no
+free nodes (the successor rides an existing lease), so it can never
+delay the head's lease either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ServeError
+from repro.serve.pipeline import JobTiming
+from repro.slurm.scheduler import PartitionScheduler
+
+__all__ = ["NodeLease", "AdmissionPacker"]
+
+
+@dataclass
+class NodeLease:
+    """One leased subset and the jobs currently resident on it."""
+
+    lease_id: int
+    node_ids: tuple[int, ...]
+    #: job currently owning the subset (its timing opens the window)
+    owner: str
+    owner_timing: JobTiming
+    #: attached overlapped successor (depth 1), if any
+    successor: str | None = None
+    successor_timing: JobTiming | None = None
+    #: job_ids still resident (owner and/or successor not yet finished)
+    resident: set[str] = field(default_factory=set)
+
+    @property
+    def width(self) -> int:
+        return len(self.node_ids)
+
+
+class AdmissionPacker:
+    """First-fit-in-FIFO-order admission over a dedicated partition."""
+
+    def __init__(self, num_nodes: int, name: str = "serve"):
+        if num_nodes < 1:
+            raise ServeError(f"service pool needs >= 1 node, got {num_nodes}")
+        self.sched = PartitionScheduler(name, num_nodes)
+        self.num_nodes = num_nodes
+        self.leases: dict[int, NodeLease] = {}
+        self._next_id = 0
+
+    @property
+    def free_nodes(self) -> int:
+        return self.sched.free_nodes
+
+    def can_admit(self, nodes: int) -> bool:
+        return nodes <= self.sched.free_nodes
+
+    def admit(self, job_id: str, nodes: int, timing: JobTiming) -> NodeLease:
+        """Grant a fresh lease of ``nodes`` disjoint ids to ``job_id``."""
+        if nodes > self.num_nodes:
+            raise ServeError(
+                f"job {job_id!r} requests {nodes} nodes; the service pool "
+                f"has {self.num_nodes}"
+            )
+        ids = self.sched.lease(nodes)
+        lease = NodeLease(
+            lease_id=self._next_id,
+            node_ids=ids,
+            owner=job_id,
+            owner_timing=timing,
+            resident={job_id},
+        )
+        self._next_id += 1
+        self.leases[lease.lease_id] = lease
+        return lease
+
+    def attach(self, lease: NodeLease, job_id: str, timing: JobTiming) -> None:
+        """Attach an overlapped successor to an existing lease (depth 1)."""
+        if lease.successor is not None:
+            raise ServeError(
+                f"lease {lease.lease_id} already has successor "
+                f"{lease.successor!r}"
+            )
+        lease.successor = job_id
+        lease.successor_timing = timing
+        lease.resident.add(job_id)
+
+    def job_finished(self, lease: NodeLease, job_id: str) -> tuple[int, ...]:
+        """A resident job completed; returns the node ids released *now*.
+
+        When the owner hands off to an attached successor, the successor
+        becomes the owner and any excess width (a narrower successor)
+        returns to the pool immediately; the remaining ids return when
+        the last resident leaves.
+        """
+        if job_id not in lease.resident:
+            raise ServeError(
+                f"job {job_id!r} is not resident on lease {lease.lease_id}"
+            )
+        lease.resident.discard(job_id)
+        released: tuple[int, ...] = ()
+        if job_id == lease.owner and lease.successor is not None:
+            # hand the subset to the successor (the server sheds any
+            # excess width via shrink() right after)
+            assert lease.successor_timing is not None
+            lease.owner = lease.successor
+            lease.owner_timing = lease.successor_timing
+            lease.successor = None
+            lease.successor_timing = None
+        if not lease.resident:
+            released = lease.node_ids
+            self.sched.release(released)
+            del self.leases[lease.lease_id]
+        return released
+
+    def shrink(self, lease: NodeLease, width: int) -> tuple[int, ...]:
+        """Shed trailing ids beyond ``width`` back to the pool (used at
+        owner→successor handoff when the successor is narrower)."""
+        if width >= lease.width:
+            return ()
+        keep, shed = lease.node_ids[:width], lease.node_ids[width:]
+        self.sched.release(shed)
+        lease.node_ids = keep
+        return shed

@@ -1,0 +1,135 @@
+"""Phase-overlap pipelining: the service-time math of one node subset.
+
+The three-phase execution model gives every launch a natural overlap
+window: during its balanced Allgather (phase 2) the subset's CPUs are
+idle.  Pipelined serving attaches the *next* queued job to the same
+subset at the exact moment the window opens, running its phase-1
+compute inside the predecessor's Allgather.
+
+Overlap legality (DESIGN.md §14):
+
+1. the successor binds to the same leased subset and must not be wider
+   than it;
+2. the successor's phase-1 compute may run only while the owner's CPUs
+   are idle — inside the Allgather window; any remainder is suspended
+   and resumes after the owner's callback phase (CPUs are never
+   oversubscribed);
+3. the successor's own Allgather waits for the owner's to finish (one
+   wire per subset — network transfers on a subset are serialized);
+4. at most one successor is attached per lease (depth 1) — a job can
+   pipeline only once it owns the subset;
+5. only jobs already arrived when the window opens are eligible,
+   scanned in submission order, so pipelining never reorders equals.
+
+Because a job's *functional* execution happens on its own fresh
+sub-cluster (clocks from zero), this module only decides *placement* on
+the service timeline: when each phase of each job occupies the subset.
+The per-job buffers, counters and phase durations are exactly those of
+a serial run — the determinism contract ``tests/test_serve.py``
+enforces bitwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PhaseProfile", "JobTiming", "schedule_fresh", "schedule_overlapped"]
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """A launch's service-time shape on its subset.
+
+    ``pre_s`` is everything that busies the CPUs before the wire
+    (launch overhead + phase-1 partial compute + any recovery work),
+    ``allgather_s`` the balanced Allgather (wire time, CPUs idle), and
+    ``post_s`` the phase-3 callback compute.  The sum is exactly the
+    launch's recorded total, so serial serving reproduces serial
+    latency to the bit.
+    """
+
+    pre_s: float
+    allgather_s: float
+    post_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.pre_s + self.allgather_s + self.post_s
+
+    @classmethod
+    def from_record(cls, record) -> PhaseProfile:
+        """Shape of a completed :class:`~repro.runtime.program.LaunchRecord`.
+
+        Recovery time is folded into ``pre_s`` (a recovered launch
+        re-runs compute; modeling its retries inside the overlap window
+        would let a *failing* job donate idle time it does not have).
+        """
+        p = record.phases
+        return cls(
+            pre_s=p.overhead + p.partial + p.recovery,
+            allgather_s=p.allgather,
+            post_s=p.callback,
+        )
+
+
+@dataclass(frozen=True)
+class JobTiming:
+    """One job's placement on the service timeline (simulated seconds)."""
+
+    admit_s: float  # left the queue (lease granted or attach decided)
+    start_s: float  # CPUs begin its phase-1 compute
+    allgather_start_s: float
+    allgather_end_s: float
+    finish_s: float
+    overlapped: bool = False  # phase 1 ran inside a predecessor's window
+
+    @property
+    def window_s(self) -> float:
+        """The Allgather window this job opens for a successor."""
+        return self.allgather_end_s - self.allgather_start_s
+
+
+def schedule_fresh(profile: PhaseProfile, t_admit: float) -> JobTiming:
+    """Place a job that owns its subset outright from ``t_admit``."""
+    ag_start = t_admit + profile.pre_s
+    ag_end = ag_start + profile.allgather_s
+    return JobTiming(
+        admit_s=t_admit,
+        start_s=t_admit,
+        allgather_start_s=ag_start,
+        allgather_end_s=ag_end,
+        finish_s=ag_end + profile.post_s,
+        overlapped=False,
+    )
+
+
+def schedule_overlapped(
+    profile: PhaseProfile, owner: JobTiming
+) -> JobTiming:
+    """Place a successor attached to ``owner``'s subset at window-open.
+
+    The successor's phase-1 compute starts exactly when the owner's
+    Allgather does; whatever does not fit inside the window is suspended
+    while the owner's callback runs and resumes after it (rule 2).  Its
+    own Allgather starts once both its phase 1 is done and the owner's
+    Allgather has left the wire (rule 3); its callback needs the CPUs
+    back, i.e. the owner fully finished.
+    """
+    start = owner.allgather_start_s
+    hidden = min(profile.pre_s, owner.window_s)
+    remainder = profile.pre_s - hidden
+    if remainder > 0:
+        pre_end = owner.finish_s + remainder
+    else:
+        pre_end = start + profile.pre_s
+    ag_start = max(pre_end, owner.allgather_end_s)
+    ag_end = ag_start + profile.allgather_s
+    post_start = max(ag_end, owner.finish_s)
+    return JobTiming(
+        admit_s=start,
+        start_s=start,
+        allgather_start_s=ag_start,
+        allgather_end_s=ag_end,
+        finish_s=post_start + profile.post_s,
+        overlapped=True,
+    )

@@ -1,0 +1,190 @@
+"""Job submissions: requests, the async queue, and arrival synthesis.
+
+A :class:`JobRequest` is one client's launch — a workload from the
+catalog, a node-subset width, and an arrival time on the service's
+simulated clock.  The :class:`SubmissionQueue` collects submissions in
+any order and replays them to the server ordered by ``(arrival_s,
+submission sequence)``, which is also the fairness order: the server's
+admission is FCFS over exactly this order.
+
+:func:`synth_requests` synthesizes an open-loop arrival process for the
+CLI and benchmarks: seeded Poisson arrivals at a given rate, workload
+drawn from a weighted mix (``"FIR:2,KMeans:1"``), widths drawn from the
+given choices — fully deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ServeError
+
+__all__ = [
+    "JobRequest",
+    "SubmissionQueue",
+    "parse_mix",
+    "resolve_workload",
+    "synth_requests",
+]
+
+_SIZES = ("small", "paper")
+
+
+def resolve_workload(name: str):
+    """Case-insensitive catalog lookup; returns ``(canonical_name,
+    builder)``.  Unknown names raise :class:`ServeError`."""
+    from repro.workloads import EXTRA_WORKLOADS, PERF_WORKLOADS
+
+    catalog = {**PERF_WORKLOADS, **EXTRA_WORKLOADS}
+    key = {k.lower(): k for k in catalog}.get(name.lower())
+    if key is None:
+        raise ServeError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(sorted(catalog))}"
+        )
+    return key, catalog[key]
+
+
+def parse_mix(spec: str) -> dict[str, float]:
+    """Parse a workload-mix spec into ``{canonical name: weight}``.
+
+    ``"FIR:2,KMeans:1"`` weights FIR twice as heavily; a bare name
+    (``"FIR,KMeans"``) gets weight 1.  Weights must be positive.
+    """
+    mix: dict[str, float] = {}
+    if not spec.strip():
+        raise ServeError("empty workload mix")
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, w = part.partition(":")
+        canonical, _ = resolve_workload(name.strip())
+        try:
+            weight = float(w) if w else 1.0
+        except ValueError:
+            raise ServeError(f"bad mix weight {w!r} in {part!r}") from None
+        if weight <= 0:
+            raise ServeError(f"mix weight for {canonical!r} must be > 0")
+        mix[canonical] = mix.get(canonical, 0.0) + weight
+    return mix
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One client submission (immutable; identity is ``job_id``)."""
+
+    job_id: str
+    workload: str
+    nodes: int = 2
+    arrival_s: float = 0.0
+    size: str = "small"
+    seed: int = 0
+    #: optional per-job fault spec (``FaultPlan.parse`` syntax) — faults
+    #: are isolated to this job's sub-cluster
+    faults: str | None = None
+    fault_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ServeError(
+                f"job {self.job_id!r} requests {self.nodes} nodes; need >= 1"
+            )
+        if self.arrival_s < 0:
+            raise ServeError(f"job {self.job_id!r} arrives before t=0")
+        if self.size not in _SIZES:
+            raise ServeError(
+                f"job {self.job_id!r} has size {self.size!r}; "
+                f"expected one of {_SIZES}"
+            )
+        resolve_workload(self.workload)
+
+
+@dataclass
+class SubmissionQueue:
+    """Collects submissions; replays them in arrival-then-FIFO order."""
+
+    _items: list[tuple[float, int, JobRequest]] = field(default_factory=list)
+
+    def submit(self, request: JobRequest | None = None, **kwargs) -> JobRequest:
+        """Enqueue a request (or build one from kwargs; ``job_id``
+        defaults to ``job-NNNN`` in submission order).  Returns it."""
+        if request is None:
+            kwargs.setdefault("job_id", f"job-{len(self._items):04d}")
+            request = JobRequest(**kwargs)
+        if any(r.job_id == request.job_id for _, _, r in self._items):
+            raise ServeError(f"duplicate job_id {request.job_id!r}")
+        self._items.append((request.arrival_s, len(self._items), request))
+        return request
+
+    def requests(self) -> list[JobRequest]:
+        """Submissions ordered by ``(arrival_s, submission sequence)`` —
+        the service's fairness order."""
+        return [r for _, _, r in sorted(self._items, key=lambda t: t[:2])]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+def synth_requests(
+    mix: str | dict[str, float],
+    rate: float,
+    jobs: int | None = None,
+    duration_s: float | None = None,
+    nodes: int | tuple[int, ...] = 2,
+    size: str = "small",
+    seed: int = 0,
+    faults: str | None = None,
+    fault_every: int = 0,
+) -> list[JobRequest]:
+    """Synthesize a deterministic open-loop arrival trace.
+
+    Inter-arrival gaps are exponential with mean ``1/rate`` (a Poisson
+    process on the simulated clock); each arrival draws a workload from
+    the weighted ``mix`` and a width from ``nodes``.  Generation stops
+    after ``jobs`` arrivals or once an arrival would land past
+    ``duration_s`` (at least one of the two must be given).  With
+    ``fault_every`` > 0, every Nth job (1-indexed) carries the
+    ``faults`` spec, exercising per-job fault isolation.
+    """
+    import numpy as np
+
+    if rate <= 0:
+        raise ServeError(f"arrival rate must be > 0, got {rate}")
+    if jobs is None and duration_s is None:
+        raise ServeError("synth_requests needs jobs= or duration_s=")
+    if jobs is not None and jobs < 1:
+        raise ServeError(f"jobs must be >= 1, got {jobs}")
+    weights = parse_mix(mix) if isinstance(mix, str) else dict(mix)
+    if not weights:
+        raise ServeError("empty workload mix")
+    names = sorted(weights)
+    p = np.array([weights[n] for n in names], dtype=float)
+    p /= p.sum()
+    widths = (nodes,) if isinstance(nodes, int) else tuple(nodes)
+    rng = np.random.default_rng(seed)
+    out: list[JobRequest] = []
+    t = 0.0
+    while jobs is None or len(out) < jobs:
+        t += float(rng.exponential(1.0 / rate))
+        if duration_s is not None and t > duration_s:
+            break
+        i = len(out)
+        w = str(rng.choice(names, p=p))
+        width = int(widths[int(rng.integers(len(widths)))])
+        faulted = faults is not None and fault_every > 0 and (
+            (i + 1) % fault_every == 0
+        )
+        out.append(
+            JobRequest(
+                job_id=f"job-{i:04d}",
+                workload=w,
+                nodes=width,
+                arrival_s=t,
+                size=size,
+                seed=seed + i,
+                faults=faults if faulted else None,
+                fault_seed=seed + i,
+            )
+        )
+    return out

@@ -1,0 +1,484 @@
+"""The serving loop: discrete-event admission, execution and placement.
+
+Execution/placement split (the determinism contract): every admitted
+job runs *functionally* on its own fresh sub-cluster — its own
+:class:`~repro.cluster.cluster.Cluster` over the leased width, clocks
+from zero, its own fault plan — so the job's buffers, OpCounters and
+PhaseTimes are bit-identical to running the same request alone,
+regardless of what else the service is doing.  The serving schedule
+then only decides *placement*: when that recorded service-time shape
+(:class:`~repro.serve.pipeline.PhaseProfile`) occupies its subset on
+the shared timeline.  ``tests/test_serve.py`` enforces the contract
+bitwise against :func:`serve_serially`.
+
+What jobs *do* share: one persistent
+:class:`~repro.tuning.cache.TuningCache` (so the ``"auto"`` Allgather
+resolves identically everywhere) and one
+:class:`~repro.interp.jit.cache.CompileCache` (compile once, serve
+many — a warm cache serves repeat jobs with zero recompiles).  Neither
+can change what a job computes, only how fast the host serves it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError, ServeError
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import NULL_TRACER, Span, SpanKind, Tracer
+from repro.serve.accounting import ServeReport
+from repro.serve.packer import AdmissionPacker
+from repro.serve.pipeline import (
+    JobTiming,
+    PhaseProfile,
+    schedule_fresh,
+    schedule_overlapped,
+)
+from repro.serve.queue import JobRequest, SubmissionQueue, resolve_workload
+
+__all__ = [
+    "ServeConfig",
+    "JobResult",
+    "CuCCServer",
+    "serve_requests",
+    "serve_serially",
+    "verify_against_serial",
+]
+
+
+@dataclass
+class ServeConfig:
+    """Service-wide configuration (per-job knobs live on the request)."""
+
+    nodes: int = 8  # service pool width
+    cluster: str = "simd-focused"
+    topology: str | None = None
+    pipeline: bool = True
+    backend: str = "auto"
+    verify: bool = True
+    recovery: object = None  # RecoveryPolicy | None
+    #: shared tuning cache: TuningCache, path, or None
+    tuning: object = None
+    #: shared JIT compile cache: CompileCache, path, or None
+    jit_cache: object = None
+    trace: object = False  # bool | Tracer
+
+
+@dataclass(frozen=True)
+class _ExecOutcome:
+    """Schedule-independent result of one job's functional execution."""
+
+    status: str  # "ok" | "failed"
+    error: str | None
+    record: object  # LaunchRecord | None
+    profile: PhaseProfile
+    digests: dict
+    spans: tuple  # the job-local tracer's spans
+
+
+@dataclass
+class JobResult:
+    """One served job: request, placement, and its bit-exact outcome."""
+
+    request: JobRequest
+    status: str
+    error: str | None
+    node_ids: tuple[int, ...]
+    timing: JobTiming
+    profile: PhaseProfile
+    record: object = None
+    output_digests: dict = field(default_factory=dict)
+
+    @property
+    def latency_s(self) -> float:
+        """Queue-to-finish latency on the service clock."""
+        return self.timing.finish_s - self.request.arrival_s
+
+    def identity(self) -> dict:
+        """The bit-identity payload compared against serial execution:
+        output digests, every OpCounters field, exact PhaseTimes floats,
+        and the fault/recovery story."""
+        rec = self.record
+        out = {
+            "job_id": self.request.job_id,
+            "status": self.status,
+            "digests": dict(self.output_digests),
+        }
+        if rec is not None:
+            p = rec.phases
+            out["phases"] = (
+                p.partial, p.allgather, p.callback, p.overhead, p.recovery,
+                tuple(p.allgather_algos),
+            )
+            out["partial_counters"] = tuple(
+                tuple(sorted(c.as_dict().items()))
+                for c in rec.partial_counters
+            )
+            out["callback_counters"] = tuple(
+                sorted(rec.callback_counters.as_dict().items())
+            )
+            out["faults"] = (
+                len(rec.fault_events), rec.retries, rec.recoveries,
+            )
+        return out
+
+
+class CuCCServer:
+    """Admission + packing + pipelining over one simulated service pool."""
+
+    def __init__(self, config: ServeConfig | None = None, **kwargs):
+        if config is None:
+            config = ServeConfig(**kwargs)
+        elif kwargs:
+            raise ServeError("pass either a ServeConfig or kwargs, not both")
+        from repro.hw.specs import CLUSTERS
+
+        if config.cluster not in CLUSTERS:
+            raise ServeError(
+                f"unknown cluster {config.cluster!r}; "
+                f"known: {sorted(CLUSTERS)}"
+            )
+        self.config = config
+        cl = CLUSTERS[config.cluster]
+        self.node_spec = cl.node
+        self.network = cl.network
+        self.tuning = self._load_tuning(config.tuning)
+        self.jit_cache = self._load_jit_cache(config.jit_cache)
+        if isinstance(config.trace, Tracer):
+            self.tracer = config.trace
+        else:
+            self.tracer = Tracer() if config.trace else NULL_TRACER
+        #: schedule-independent execution results, memoized per job_id
+        #: (pipelined admission peeks at a candidate's profile before
+        #: deciding to attach it; the peek must not re-run the job)
+        self._outcomes: dict[str, _ExecOutcome] = {}
+
+    @staticmethod
+    def _load_tuning(tuning):
+        if tuning is None:
+            return None
+        from repro.tuning.cache import TuningCache
+
+        return (
+            tuning if isinstance(tuning, TuningCache)
+            else TuningCache.load(tuning)
+        )
+
+    @staticmethod
+    def _load_jit_cache(jit_cache):
+        if jit_cache is None:
+            return None
+        from repro.interp.jit import CompileCache
+
+        return (
+            jit_cache if isinstance(jit_cache, CompileCache)
+            else CompileCache.load(jit_cache)
+        )
+
+    # -- functional execution (schedule-independent) --------------------
+    def _execute(self, req: JobRequest) -> _ExecOutcome:
+        if req.job_id in self._outcomes:
+            return self._outcomes[req.job_id]
+        from repro.cluster.cluster import Cluster
+        from repro.runtime.cucc import CuCCRuntime
+
+        _, build = resolve_workload(req.workload)
+        spec = build(req.size, seed=req.seed)
+        cluster = Cluster(
+            self.node_spec,
+            req.nodes,
+            network=self.network,
+            name=f"serve:{req.job_id}",
+            topology=self.config.topology,
+            tuning=self.tuning,
+        )
+        fault_plan = None
+        if req.faults:
+            from repro.cluster.faults import FaultPlan
+
+            fault_plan = FaultPlan.parse(req.faults, seed=req.fault_seed)
+        job_tracer = Tracer() if self.tracer.enabled else False
+        status, error, record = "ok", None, None
+        digests: dict[str, str] = {}
+        try:
+            rt = CuCCRuntime(
+                cluster,
+                fault_plan=fault_plan,
+                recovery=self.config.recovery,
+                trace=job_tracer,
+                backend=self.config.backend,
+                jit_cache=self.jit_cache,
+            )
+            for name, arr in spec.arrays.items():
+                rt.memory.alloc(name, arr.size, arr.dtype)
+                rt.memory.memcpy_h2d(name, arr)
+            compiled = rt.compile(spec.kernel)
+            record = rt.launch(compiled, spec.grid, spec.block, spec.args())
+            outputs = {
+                o: rt.memory.memcpy_d2h(o, check_consistency=True)
+                for o in spec.outputs
+            }
+            if self.config.verify:
+                spec.verify(outputs)
+            digests = {
+                o: hashlib.sha256(a.tobytes()).hexdigest()
+                for o, a in sorted(outputs.items())
+            }
+            profile = PhaseProfile.from_record(record)
+        except ReproError as e:
+            # fault isolation: the job dies, the service keeps going;
+            # its subset stays busy for as long as the wreck simulated
+            status, error, record = "failed", str(e), None
+            profile = PhaseProfile(
+                pre_s=cluster.max_clock, allgather_s=0.0, post_s=0.0
+            )
+        spans = tuple(job_tracer.spans) if self.tracer.enabled else ()
+        outcome = _ExecOutcome(
+            status=status, error=error, record=record, profile=profile,
+            digests=digests, spans=spans,
+        )
+        self._outcomes[req.job_id] = outcome
+        return outcome
+
+    # -- the discrete-event serving loop --------------------------------
+    def run(self, requests) -> ServeReport:
+        """Serve a submission set to completion; returns the report.
+
+        ``requests`` is a :class:`~repro.serve.queue.SubmissionQueue`
+        or an iterable of :class:`~repro.serve.queue.JobRequest`
+        (ordered by arrival time, submission order breaking ties).
+        """
+        if isinstance(requests, SubmissionQueue):
+            ordered = requests.requests()
+        else:
+            ordered = [
+                r for _, _, r in sorted(
+                    (r.arrival_s, i, r) for i, r in enumerate(requests)
+                )
+            ]
+        if not ordered:
+            raise ServeError("nothing to serve: the submission set is empty")
+        seen: set[str] = set()
+        for r in ordered:
+            if r.job_id in seen:
+                raise ServeError(f"duplicate job_id {r.job_id!r}")
+            seen.add(r.job_id)
+            if r.nodes > self.config.nodes:
+                raise ServeError(
+                    f"job {r.job_id!r} requests {r.nodes} nodes; the "
+                    f"service pool has {self.config.nodes}"
+                )
+
+        packer = AdmissionPacker(self.config.nodes)
+        seq = itertools.count()
+        events: list[tuple[float, int, str, object]] = []
+        for r in ordered:
+            heapq.heappush(events, (r.arrival_s, next(seq), "arrival", r))
+        waiting: list[JobRequest] = []
+        results: dict[str, JobResult] = {}
+
+        def place(req, outcome, timing, node_ids):
+            res = JobResult(
+                request=req, status=outcome.status, error=outcome.error,
+                node_ids=node_ids, timing=timing, profile=outcome.profile,
+                record=outcome.record, output_digests=outcome.digests,
+            )
+            results[req.job_id] = res
+            self._account(res)
+            return res
+
+        while events:
+            t, _, kind, data = heapq.heappop(events)
+            if kind == "arrival":
+                waiting.append(data)
+            elif kind == "window":
+                lease_id, owner_job = data
+                lease = packer.leases.get(lease_id)
+                if (
+                    self.config.pipeline
+                    and lease is not None
+                    and lease.owner == owner_job
+                    and lease.successor is None
+                    and lease.owner_timing.window_s > 0
+                ):
+                    for cand in waiting:
+                        if cand.nodes > lease.width:
+                            continue
+                        outcome = self._execute(cand)
+                        timing = schedule_overlapped(
+                            outcome.profile, lease.owner_timing
+                        )
+                        packer.attach(lease, cand.job_id, timing)
+                        waiting.remove(cand)
+                        place(cand, outcome, timing,
+                              lease.node_ids[:cand.nodes])
+                        heapq.heappush(events, (
+                            timing.finish_s, next(seq), "finish",
+                            (lease_id, cand.job_id),
+                        ))
+                        if timing.window_s > 0:
+                            heapq.heappush(events, (
+                                timing.allgather_start_s, next(seq),
+                                "window", (lease_id, cand.job_id),
+                            ))
+                        break
+            else:  # finish
+                lease_id, job_id = data
+                lease = packer.leases.get(lease_id)
+                if lease is not None and job_id in lease.resident:
+                    handoff = (
+                        job_id == lease.owner and lease.successor is not None
+                    )
+                    packer.job_finished(lease, job_id)
+                    if handoff and lease.lease_id in packer.leases:
+                        packer.shrink(
+                            lease, results[lease.owner].request.nodes
+                        )
+            # FCFS admission sweep: grant leases to queue heads while
+            # they fit; the head is never overtaken for a lease
+            while waiting and packer.can_admit(waiting[0].nodes):
+                req = waiting.pop(0)
+                outcome = self._execute(req)
+                timing = schedule_fresh(outcome.profile, t)
+                lease = packer.admit(req.job_id, req.nodes, timing)
+                place(req, outcome, timing, lease.node_ids)
+                heapq.heappush(events, (
+                    timing.finish_s, next(seq), "finish",
+                    (lease.lease_id, req.job_id),
+                ))
+                if self.config.pipeline and timing.window_s > 0:
+                    heapq.heappush(events, (
+                        timing.allgather_start_s, next(seq), "window",
+                        (lease.lease_id, req.job_id),
+                    ))
+
+        if waiting:  # pragma: no cover - admission always drains
+            raise ServeError(
+                f"serving loop stalled with {len(waiting)} queued job(s)"
+            )
+        report = ServeReport(
+            results=[results[r.job_id] for r in ordered],
+            pool_nodes=self.config.nodes,
+            pipelined=self.config.pipeline,
+        )
+        return report
+
+    # -- per-job observability ------------------------------------------
+    def _account(self, res: JobResult) -> None:
+        req = res.request
+        METRICS.inc("serve.launches", workload=req.workload, job=req.job_id)
+        if res.status != "ok":
+            METRICS.inc("serve.failures", workload=req.workload,
+                        job=req.job_id)
+        if res.timing.overlapped:
+            METRICS.inc("serve.overlapped")
+        METRICS.observe("serve.latency_s", res.latency_s,
+                        workload=req.workload)
+        METRICS.observe("serve.wait_s",
+                        res.timing.admit_s - req.arrival_s,
+                        workload=req.workload)
+        if not self.tracer.enabled:
+            return
+        t = res.timing
+        job_span = self.tracer.add(
+            f"job {req.job_id}", SpanKind.SERVE, t.admit_s, t.finish_s,
+            job_id=req.job_id, workload=req.workload, nodes=req.nodes,
+            node_ids=list(res.node_ids), overlapped=t.overlapped,
+            status=res.status, latency_s=res.latency_s,
+        )
+        # adopt the job's own spans: shift onto the service clock at the
+        # job's start, remap job-local ranks to the leased physical node
+        # ids, and label everything with the job_id.  (An overlapped
+        # job's post-window suspension is not re-stretched — spans keep
+        # the job-local shape, offset to its service start.)
+        outcome = self._outcomes[req.job_id]
+        base = len(self.tracer.spans)
+        end = t.start_s + res.profile.total_s
+        for s in outcome.spans:
+            rank = (
+                res.node_ids[s.rank]
+                if s.rank is not None and s.rank < len(res.node_ids)
+                else s.rank
+            )
+            self.tracer.spans.append(Span(
+                base + s.id, s.name, s.kind,
+                s.t0 + t.start_s,
+                (s.t1 + t.start_s) if s.t1 is not None else end,
+                rank,
+                job_span.id if s.parent is None else base + s.parent,
+                instant=s.instant,
+                args={**s.args, "job_id": req.job_id},
+            ))
+
+
+def serve_requests(requests, config: ServeConfig | None = None, **kwargs):
+    """One-shot convenience: serve ``requests`` under ``config``."""
+    return CuCCServer(config, **kwargs).run(requests)
+
+
+def serve_serially(requests, config: ServeConfig | None = None, **kwargs):
+    """The serial reference: the same jobs, one at a time, in submission
+    order (single-server discipline — job k starts at
+    ``max(arrival_k, finish_{k-1})``).
+
+    Shares the per-job configuration (cluster kind, topology, backend,
+    tuning-cache contents) with the concurrent server so that the only
+    difference *is* the schedule — which is exactly what the
+    determinism contract says must not matter per job.
+    """
+    server = CuCCServer(config, **kwargs)
+    server.config.pipeline = False
+    if isinstance(requests, SubmissionQueue):
+        ordered = requests.requests()
+    else:
+        ordered = [
+            r for _, _, r in sorted(
+                (r.arrival_s, i, r) for i, r in enumerate(requests)
+            )
+        ]
+    if not ordered:
+        raise ServeError("nothing to serve: the submission set is empty")
+    results = []
+    t = 0.0
+    for req in ordered:
+        if req.nodes > server.config.nodes:
+            raise ServeError(
+                f"job {req.job_id!r} requests {req.nodes} nodes; the "
+                f"service pool has {server.config.nodes}"
+            )
+        outcome = server._execute(req)
+        timing = schedule_fresh(outcome.profile, max(t, req.arrival_s))
+        t = timing.finish_s
+        res = JobResult(
+            request=req, status=outcome.status, error=outcome.error,
+            node_ids=tuple(range(req.nodes)), timing=timing,
+            profile=outcome.profile, record=outcome.record,
+            output_digests=outcome.digests,
+        )
+        results.append(res)
+        server._account(res)
+    return ServeReport(
+        results=results, pool_nodes=server.config.nodes, pipelined=False,
+    )
+
+
+def verify_against_serial(concurrent: ServeReport, serial: ServeReport):
+    """Compare per-job identities between a concurrent and a serial run
+    of the same submissions; returns a list of mismatch descriptions
+    (empty = bit-identical per job)."""
+    mismatches: list[str] = []
+    serial_by_id = {r.request.job_id: r for r in serial.results}
+    if {r.request.job_id for r in concurrent.results} != set(serial_by_id):
+        return ["the two reports serve different job sets"]
+    for r in concurrent.results:
+        a, b = r.identity(), serial_by_id[r.request.job_id].identity()
+        for key in sorted(set(a) | set(b)):
+            if a.get(key) != b.get(key):
+                mismatches.append(
+                    f"job {r.request.job_id!r}: {key} diverged from the "
+                    f"serial run ({a.get(key)!r} != {b.get(key)!r})"
+                )
+    return mismatches

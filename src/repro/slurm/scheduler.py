@@ -41,6 +41,52 @@ class PartitionScheduler:
     def __post_init__(self) -> None:
         self.free_nodes = self.num_nodes
         self._seq = itertools.count()
+        #: concrete node ids available for subset leases (the serving
+        #: layer needs identities; the batch queue only tracks counts)
+        self._free_ids = set(range(self.num_nodes))
+        self._leased: set[int] = set()
+
+    # -- subset leasing (repro.serve) --------------------------------------
+    def lease(self, nodes: int) -> tuple[int, ...]:
+        """Lease a disjoint subset of ``nodes`` concrete node ids.
+
+        The serving layer (:mod:`repro.serve`) packs concurrent
+        launches onto disjoint subsets; the batch queue above only
+        counts nodes, so leases and batch jobs share ``free_nodes`` but
+        only leases pin identities.  Lowest free ids win, which keeps
+        the packing deterministic.  Raises :class:`ClusterError` when
+        the partition cannot satisfy the request right now.
+        """
+        if nodes < 1:
+            raise ClusterError(f"lease needs >= 1 node, got {nodes}")
+        if nodes > len(self._free_ids) or nodes > self.free_nodes:
+            raise ClusterError(
+                f"partition {self.name!r} has {len(self._free_ids)} free "
+                f"node(s); cannot lease {nodes}"
+            )
+        ids = tuple(sorted(self._free_ids)[:nodes])
+        self._free_ids.difference_update(ids)
+        self._leased.update(ids)
+        self.free_nodes -= nodes
+        return ids
+
+    def release(self, ids) -> None:
+        """Return leased node ids to the free pool (inverse of
+        :meth:`lease`; rejects ids that are not currently leased)."""
+        ids = tuple(int(i) for i in ids)
+        bad = [i for i in ids if i not in self._leased]
+        if bad:
+            raise ClusterError(
+                f"partition {self.name!r}: node id(s) {bad} are not leased"
+            )
+        self._leased.difference_update(ids)
+        self._free_ids.update(ids)
+        self.free_nodes += len(ids)
+
+    @property
+    def leased_nodes(self) -> tuple[int, ...]:
+        """Currently leased node ids, sorted."""
+        return tuple(sorted(self._leased))
 
     # -- internals --------------------------------------------------------
     def _start(self, job: Job, now: float) -> None:
@@ -113,6 +159,10 @@ class PartitionScheduler:
                 f"partition {self.name!r} has no nodes left to fail"
             )
         self.num_nodes -= 1
+        # keep the leasable-id pool in step with capacity (a leased id is
+        # never drained here — the serving layer owns its failure story)
+        if self._free_ids:
+            self._free_ids.discard(max(self._free_ids))
         if self.free_nodes > 0:
             self.free_nodes -= 1
             return None
@@ -146,6 +196,10 @@ class PartitionScheduler:
         self._release_until(now)
         self.num_nodes += 1
         self.free_nodes += 1
+        fresh = 0
+        while fresh in self._free_ids or fresh in self._leased:
+            fresh += 1
+        self._free_ids.add(fresh)
         for job in self.queue:
             if job.requeues > 0 and job.nodes < job.born_nodes:
                 job.nodes += 1

@@ -27,6 +27,7 @@ from pathlib import Path
 from repro.cluster.collectives import ALLGATHER_ALGOS
 from repro.cluster.topology import Topology
 from repro.errors import ClusterError
+from repro.ioutil import atomic_write_text
 
 __all__ = ["TuningCache", "payload_bucket", "DEFAULT_CACHE_PATH"]
 
@@ -95,17 +96,24 @@ class TuningCache:
 
     # -- persistence ----------------------------------------------------
     def save(self, path: str | Path | None = None) -> Path:
-        """Write the cache as JSON; returns the path written."""
+        """Write the cache as JSON; returns the path written.
+
+        The write is atomic (temp file + ``os.replace``, like ``.rckp``
+        writes) so concurrent jobs sharing the cache never observe a
+        torn file — a reader sees the old contents or the new, nothing
+        in between.
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             raise ClusterError("tuning cache has no path to save to")
-        target.write_text(
+        atomic_write_text(
+            target,
             json.dumps(
                 {"version": SCHEMA_VERSION, "entries": self.entries},
                 indent=2,
                 sort_keys=True,
             )
-            + "\n"
+            + "\n",
         )
         self.path = target
         return target

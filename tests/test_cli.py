@@ -197,3 +197,52 @@ def test_run_drift_guard_flag(capsys):
     assert main(["run", "FIR", "--nodes", "4",
                  "--drift-guard", "0.25"]) == 0
     assert "verified" in capsys.readouterr().out
+
+
+# -- serving: the multi-job queue driver -------------------------------------
+
+
+def test_serve_mixed_queue_with_serial_check(tmp_path, capsys):
+    trace = tmp_path / "serve-trace.json"
+    rc = main([
+        "serve", "--jobs", "6", "--rate", "2e6", "--nodes", "4",
+        "--seed", "3", "--check-serial", "--trace", str(trace),
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "pipelined mode, seed 3" in out
+    assert "launches/sec" in out and "p99" in out
+    assert "serial-identity check passed" in out
+    assert trace.exists() and "job_id" in trace.read_text()
+
+
+def test_serve_warm_jit_cache_zero_recompiles(tmp_path, capsys):
+    from repro.interp.jit.executor import clear_memo
+
+    cache = str(tmp_path / "serve-jit.json")
+    args = ["serve", "--jobs", "5", "--nodes", "4", "--backend", "jit",
+            "--jit-cache", cache]
+    clear_memo()
+    assert main(args) == 0
+    assert "saved CompileCache" in capsys.readouterr().out
+    clear_memo()  # second service run must be fed by the on-disk cache
+    assert main(args) == 0
+    assert "compiles=0 " in capsys.readouterr().out
+
+
+def test_serve_no_pipeline_and_fault_isolation(capsys):
+    rc = main([
+        "serve", "--jobs", "6", "--nodes", "4", "--no-pipeline",
+        "--faults", "crash:rank=1,phase=allgather", "--fault-every", "3",
+        "--check-serial",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "concurrent mode" in out
+    assert "serial-identity check passed" in out
+    assert "6 ok, 0 failed" in out  # faulted jobs recovered in isolation
+
+
+def test_serve_rejects_bad_mix(capsys):
+    assert main(["serve", "--mix", "NoSuchKernel:1", "--jobs", "2"]) == 1
+    assert "unknown workload" in capsys.readouterr().err

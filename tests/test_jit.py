@@ -339,3 +339,29 @@ __global__ void gather(float* x, int* idx, float* y, int n) {
     # per access statement; had inactive addresses leaked in, the span
     # would cover ~4096 cells (= 8 lines * 64B, capped by active lanes)
     assert ci.global_line_bytes <= 64.0 * 8 * 3
+
+
+def test_compile_cache_save_survives_injected_partial_write(
+    tmp_path, monkeypatch
+):
+    """Same atomicity contract as the tuning cache: a torn save must not
+    corrupt the shared on-disk compile cache."""
+    import repro.ioutil as ioutil
+
+    path = tmp_path / "jit.json"
+    cache = CompileCache(path=path)
+    clear_memo()
+    get_program(_straight(), (64, 1, 1), cache=cache)
+    good = path.read_text()
+
+    monkeypatch.setattr(
+        ioutil.os, "replace",
+        lambda *a: (_ for _ in ()).throw(OSError("disk full")),
+    )
+    with pytest.raises(OSError):
+        cache.save()
+    monkeypatch.undo()
+    assert path.read_text() == good
+    assert not (tmp_path / "jit.json.tmp").exists()
+    # the surviving file is a complete, loadable document
+    assert len(CompileCache.load(path)) == 1

@@ -161,3 +161,75 @@ def test_resume_keeps_checkpoint_numbering(tmp_path):
     after = {p.name for p in ckdir.glob("ckpt-*.rckp")}
     assert before < after
     assert res.runtime.ops.written >= 1
+
+
+# -- backend continuity across restart (serving satellite) ---------------
+
+
+def _jit_checkpoint(tmp_path, **run_kwargs):
+    spec = fir.build("small")
+    ckdir = tmp_path / "jit-ck"
+    with pytest.raises(CheckpointHalt):
+        run_on_cucc(
+            spec,
+            make_cluster("simd-focused", 4),
+            checkpoint=_policy(ckdir, halt_after=1),
+            app_meta={"workload": spec.name, "size": "small"},
+            backend="jit",
+            **run_kwargs,
+        )
+    return spec, ckdir
+
+
+def test_jit_run_resumes_on_jit(tmp_path):
+    """The checkpoint records its backend; resume honors it by default."""
+    spec, ckdir = _jit_checkpoint(tmp_path)
+    base = run_on_cucc(spec, make_cluster("simd-focused", 4), backend="jit")
+    res = resume_on_cucc(spec, latest_checkpoint(ckdir))
+    assert res.runtime.backend == "jit"
+    assert res.time == base.time
+    assert res.record.phases == base.record.phases
+
+
+def test_resume_backend_explicit_override(tmp_path):
+    """An explicit backend beats the record — and cannot change results
+    (the differential gate makes the backends bit-identical)."""
+    spec, ckdir = _jit_checkpoint(tmp_path)
+    base = run_on_cucc(spec, make_cluster("simd-focused", 4))
+    res = resume_on_cucc(spec, latest_checkpoint(ckdir), backend="interp")
+    assert res.runtime.backend == "interp"
+    assert res.time == base.time
+    assert res.record.phases == base.record.phases
+
+
+def test_resume_pre_backend_checkpoint_falls_back_to_auto(
+    tmp_path, monkeypatch
+):
+    """Checkpoints written before the backend was recorded resume on
+    auto (the old behaviour) instead of crashing on the missing key."""
+    import repro.ops.resume as resume_mod
+
+    spec, ckdir = _jit_checkpoint(tmp_path)
+    real = resume_mod.read_checkpoint
+
+    def stripped(path):
+        meta, data = real(path)
+        meta["runtime"].pop("backend", None)
+        return meta, data
+
+    monkeypatch.setattr(resume_mod, "read_checkpoint", stripped)
+    res = resume_on_cucc(spec, latest_checkpoint(ckdir))
+    assert res.runtime.backend == "auto"
+
+
+def test_resume_threads_jit_cache(tmp_path):
+    """A compile cache handed to resume seeds the resumed runtime."""
+    from repro.interp.jit import CompileCache
+    from repro.interp.jit.executor import clear_memo
+
+    spec, ckdir = _jit_checkpoint(tmp_path)
+    cache = CompileCache()
+    clear_memo()  # force the resumed compile to go through the cache
+    res = resume_on_cucc(spec, latest_checkpoint(ckdir), jit_cache=cache)
+    assert res.runtime.backend == "jit"
+    assert len(cache) > 0  # the resumed compile populated it

@@ -482,6 +482,7 @@ def test_run_continuous_emits_documents_matching_baselines(tmp_path):
         "BENCH_jit.json",
         "BENCH_phase_split.json",
         "BENCH_scaling.json",
+        "BENCH_serving.json",
     ]
     for p in paths:
         doc = json.loads(p.read_text())

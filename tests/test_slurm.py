@@ -9,6 +9,7 @@ from repro.errors import ReproError
 from repro.slurm import (
     PACE_PARTITIONS,
     Job,
+    PartitionScheduler,
     generate_trace,
     simulate_campus_cluster,
     simulate_partition,
@@ -214,3 +215,48 @@ def test_scheduler_invariants_with_failures_and_returns(
     for j in finished:
         assert j.start_time >= j.submit_time - 1e-9
         assert 1 <= j.nodes <= j.born_nodes
+
+
+# -- subset leasing (the repro.serve admission layer) --------------------
+
+
+def test_lease_takes_lowest_ids_and_release_restores():
+    s = PartitionScheduler("p", 6)
+    a = s.lease(2)
+    b = s.lease(3)
+    assert a == (0, 1) and b == (2, 3, 4)
+    assert s.free_nodes == 1 and s.leased_nodes == (0, 1, 2, 3, 4)
+    with pytest.raises(ReproError, match="cannot lease"):
+        s.lease(2)
+    s.release(a)
+    assert s.free_nodes == 3
+    with pytest.raises(ReproError, match="not leased"):
+        s.release(a)  # double release
+    assert s.lease(3) == (0, 1, 5)  # lowest free ids win, deterministic
+    with pytest.raises(ReproError):
+        s.lease(0)
+
+
+def test_lease_and_batch_queue_share_the_node_count():
+    # a lease removes nodes from the batch queue's pool and vice versa
+    s = PartitionScheduler("p", 4)
+    s.lease(3)
+    s.queue.append(Job(submit_time=0.0, job_id=1, nodes=2, runtime_s=5.0,
+                       partition="p"))
+    s.schedule(0.0)
+    assert s.queue  # 2-node job cannot start beside a 3-node lease
+    s.release((0, 1, 2))
+    s.schedule(1.0)
+    assert not s.queue and s.free_nodes == 2
+
+
+def test_fail_and_return_keep_lease_pool_coherent():
+    s = PartitionScheduler("p", 4)
+    ids = s.lease(2)  # (0, 1)
+    s.fail_node(0.0)  # drains an idle node: highest free id (3) goes
+    assert s.num_nodes == 3 and s.free_nodes == 1
+    assert s.lease(1) == (2,)
+    s.release(ids)
+    s.return_node(1.0)  # fresh id joins the free pool
+    assert s.num_nodes == 4 and s.free_nodes == 3
+    assert s.lease(3) == (0, 1, 3)

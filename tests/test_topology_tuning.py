@@ -415,3 +415,47 @@ def test_shrink_recovery_keeps_topology_and_tuning():
     )
     cl.comm.allgather_in_place("d", 0, 4, algo="hierarchical")
     assert cl.comm.last_algorithm == "hierarchical"
+
+
+def test_tuning_cache_save_survives_injected_partial_write(
+    tmp_path, monkeypatch
+):
+    """Saves are atomic: a write that dies mid-flight leaves the previous
+    cache intact and no torn temp file behind (the serving loop shares
+    one on-disk cache across many jobs)."""
+    import repro.ioutil as ioutil
+
+    topo = FlatTopology(4, network=NET)
+    cache = TuningCache(path=tmp_path / "t.json")
+    cache.record(topo, 4, 1000, "bruck")
+    cache.save()
+    good = (tmp_path / "t.json").read_text()
+    cache.record(topo, 4, 4096, "ring")
+
+    # injection 1: the bytes land but the rename dies
+    monkeypatch.setattr(
+        ioutil.os, "replace",
+        lambda *a: (_ for _ in ()).throw(OSError("disk full")),
+    )
+    with pytest.raises(OSError):
+        cache.save()
+    monkeypatch.undo()
+    assert (tmp_path / "t.json").read_text() == good
+    assert not (tmp_path / "t.json.tmp").exists()
+
+    # injection 2: power loss halfway through writing the temp file
+    real = ioutil.Path.write_text
+
+    def torn(self, text, *a, **kw):
+        real(self, text[: len(text) // 2])
+        raise OSError("power loss mid-write")
+
+    monkeypatch.setattr(ioutil.Path, "write_text", torn)
+    with pytest.raises(OSError):
+        cache.save()
+    monkeypatch.undo()
+    assert (tmp_path / "t.json").read_text() == good
+    assert not (tmp_path / "t.json.tmp").exists()
+
+    # the survivor still loads as the pre-crash cache
+    assert len(TuningCache.load(tmp_path / "t.json")) == 1
