@@ -24,6 +24,12 @@
     python -m repro sanitize kernel.cu           # static race detector
     python -m repro sanitize --all               # every bundled workload
     python -m repro sanitize --violations        # seeded-hazard self-check
+    python -m repro serve --jobs 8 --observatory # fleet timeline report
+    python -m repro serve --slo 'latency<=2e-5'  # exit 4 on hard breach
+    python -m repro serve --faults crash:rank=0,phase=partial \\
+                          --fault-every 3 --postmortem pm/  # flight recorder
+    python -m repro postmortem pm/postmortem-job-0002.json  # render dump
+    python -m repro explain a.json b.json        # where did the time go?
     python -m repro specs                        # Table 1
     python -m repro bench fig08 ...              # == python -m repro.bench
 
@@ -615,6 +621,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tuning=args.tuning,
         jit_cache=args.jit_cache,
         trace=bool(args.trace),
+        observatory=bool(args.observatory),
+        slo=args.slo,
+        postmortem_dir=args.postmortem,
     )
     server = CuCCServer(config)
     if server.jit_cache is not None:
@@ -661,6 +670,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     failed = [r for r in report.results if r.status != "ok"]
     for r in failed:
         print(f"note: job {r.request.job_id} failed in isolation: {r.error}")
+    for path in server.postmortem_paths:
+        print(f"wrote post-mortem {path} (render with "
+              f"'python -m repro postmortem {path}')")
+    if args.slo and report.slo_breached:
+        # distinct status so scripts can tell an SLO hard breach (4)
+        # from an error (1) and the checkpoint-halt drill (3)
+        print("\nSLO BREACHED (exit status 4)")
+        return 4
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Offline regression attribution between two exported runs."""
+    from repro.obs.explain import explain, format_explain_report
+
+    report = explain(args.a, args.b)
+    print(format_explain_report(report))
+    return 0
+
+
+def _cmd_postmortem(args: argparse.Namespace) -> int:
+    """Validate + pretty-print a flight-recorder post-mortem dump."""
+    import json
+
+    from repro.obs.observatory import format_postmortem, validate_postmortem
+
+    try:
+        with open(args.file) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        raise ReproError(f"cannot load {args.file!r}: {e}") from e
+    problems = validate_postmortem(doc)
+    if problems:
+        for p in problems:
+            print(f"SCHEMA: {p}", file=sys.stderr)
+        print(f"{args.file}: INVALID post-mortem "
+              f"({len(problems)} problem(s))", file=sys.stderr)
+        return 1
+    print(format_postmortem(doc))
     return 0
 
 
@@ -974,7 +1022,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check-serial", action="store_true",
                    help="rerun the same jobs serially and exit 1 unless "
                         "every job is bit-identical")
+    p.add_argument("--observatory", action="store_true",
+                   help="record the fleet ledger and print the fleet "
+                        "report: occupancy/queue timelines, idle "
+                        "attribution, per-job Gantt (DESIGN.md §15)")
+    p.add_argument("--slo", metavar="SPEC", default=None,
+                   help="declarative SLO policy, e.g. "
+                        "'wait<=2e-6,latency<=2e-5,utilization>=0.5"
+                        "[,window=8,budget=0.25,burn=2.0]'; warn/breach "
+                        "events go to the report, metrics and trace, and "
+                        "a hard breach exits 4 (implies --observatory)")
+    p.add_argument("--postmortem", metavar="DIR", default=None,
+                   help="dump a self-contained post-mortem JSON into DIR "
+                        "for every terminally-failed job and every SLO "
+                        "hard breach (implies --observatory); render "
+                        "with 'repro postmortem FILE'")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "explain",
+        help="attribute the latency delta between two exported runs",
+        description=(
+            "Offline regression attribution: load two runs — serve/launch "
+            "trace JSONs (written by --trace) or BENCH_*.json pairs — "
+            "align their spans, and rank where the time went: queue wait "
+            "vs compute vs Allgather vs callback vs recovery vs stall.  "
+            "Two runs of the same seed and config report a zero delta."
+        ),
+    )
+    p.add_argument("a", help="baseline run (trace or BENCH json)")
+    p.add_argument("b", help="candidate run (trace or BENCH json)")
+    p.set_defaults(fn=_cmd_explain)
+
+    p = sub.add_parser(
+        "postmortem",
+        help="validate + pretty-print a flight-recorder dump",
+        description=(
+            "Render a post-mortem JSON written by 'repro serve "
+            "--postmortem DIR': the job's request, fault story, lease "
+            "history and last-N fleet events.  Exits 1 when the file "
+            "fails schema validation."
+        ),
+    )
+    p.add_argument("file", help="postmortem-<job>.json written by serve")
+    p.set_defaults(fn=_cmd_postmortem)
 
     p = sub.add_parser("specs", help="print Table 1")
     p.set_defaults(fn=_cmd_specs)

@@ -12,7 +12,14 @@ Five pieces (see DESIGN.md sections 10-11):
 * :mod:`repro.obs.profiler` — per-source-line hotspot attribution over
   the interpreter's op counters, also loaded lazily;
 * :mod:`repro.obs.drift` — model-vs-executed phase-time drift telemetry,
-  also loaded lazily.
+  also loaded lazily;
+* :mod:`repro.obs.observatory` — serving-fleet timelines, idle
+  attribution and the failure flight recorder (DESIGN.md section 15),
+  loaded lazily;
+* :mod:`repro.obs.slo` — declarative SLO policies with windowed
+  burn-rate monitoring for the serving loop, loaded lazily;
+* :mod:`repro.obs.explain` — offline regression attribution between two
+  exported runs (``repro explain``), loaded lazily.
 """
 
 from __future__ import annotations
@@ -31,6 +38,13 @@ __all__ = [
     # lazily resolved from repro.obs.drift:
     "observe_launch_drift", "format_drift_report", "predicted_phase_times",
     "signed_rel_error", "DEFAULT_DRIFT_BOUND",
+    # lazily resolved from repro.obs.observatory:
+    "Observatory", "FleetEvent", "POSTMORTEM_FORMAT_VERSION",
+    "validate_postmortem", "format_postmortem",
+    # lazily resolved from repro.obs.slo:
+    "SLOPolicy", "SLOEvent", "SLOMonitor",
+    # lazily resolved from repro.obs.explain:
+    "explain", "ExplainReport", "format_explain_report",
 ]
 
 _EXPORT_NAMES = frozenset(
@@ -55,6 +69,22 @@ _DRIFT_NAMES = frozenset(
     ]
 )
 
+_OBSERVATORY_NAMES = frozenset(
+    [
+        "Observatory",
+        "FleetEvent",
+        "POSTMORTEM_FORMAT_VERSION",
+        "validate_postmortem",
+        "format_postmortem",
+    ]
+)
+
+_SLO_NAMES = frozenset(["SLOPolicy", "SLOEvent", "SLOMonitor"])
+
+_EXPLAIN_NAMES = frozenset(
+    ["explain", "ExplainReport", "format_explain_report"]
+)
+
 
 def __getattr__(name: str):
     if name in _EXPORT_NAMES:
@@ -69,4 +99,16 @@ def __getattr__(name: str):
         from repro.obs import drift
 
         return getattr(drift, name)
+    if name in _OBSERVATORY_NAMES:
+        from repro.obs import observatory
+
+        return getattr(observatory, name)
+    if name in _SLO_NAMES:
+        from repro.obs import slo
+
+        return getattr(slo, name)
+    if name in _EXPLAIN_NAMES:
+        from repro.obs import explain
+
+        return getattr(explain, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

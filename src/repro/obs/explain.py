@@ -1,0 +1,312 @@
+"""``repro explain``: offline regression attribution between two runs.
+
+Given two artifacts — Chrome traces written by ``repro serve --trace``
+or ``repro run --trace``, or two ``BENCH_*.json`` continuous-benchmark
+documents — align their spans and report a **ranked breakdown of where
+the time delta comes from**:
+
+* serve traces align per job by ``job_id`` and decompose each job's
+  latency into queue wait, phase-1 compute, Allgather, callback,
+  recovery and pipeline/packing stall — the serve span publishes the
+  exact floats, so the decomposition reproduces the latency to the bit
+  (``latency = wait + pre + allgather + post + stall``);
+* launch traces align by (kernel, occurrence index) and reuse
+  :func:`~repro.obs.export.phase_times_from_spans` for the phase
+  decomposition;
+* BENCH documents diff their ``metrics`` maps directly.
+
+The report ranks categories by how much they moved (B minus A), flags
+jobs present in only one run, and — when run B newly overlaps jobs and
+its tail improves — attributes the p99 improvement to
+**allgather-window overlap**, quantified by the hidden phase-1 seconds.
+
+Pure function of the two inputs: no clocks, no environment — the same
+pair of files always explains to the same bytes.  Loaded lazily via
+``repro.obs.__getattr__``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = ["ExplainReport", "explain", "format_explain_report"]
+
+#: attribution categories of one served job, in decomposition order
+CATEGORIES = (
+    ("queue_wait", "queue wait"),
+    ("compute", "phase-1 compute"),
+    ("allgather", "allgather"),
+    ("callback", "callback"),
+    ("recovery", "recovery"),
+    ("stall", "pipeline/packing stall"),
+)
+
+#: floats below this (seconds / metric units) count as an exact match
+EPS = 1e-12
+
+
+@dataclass
+class ExplainReport:
+    """The attribution verdict for run B measured against run A."""
+
+    mode: str  # "serve" | "launch" | "bench"
+    a_path: str
+    b_path: str
+    matched: int
+    only_a: tuple[str, ...]
+    only_b: tuple[str, ...]
+    #: category -> total seconds (or metric units) moved, B minus A
+    deltas: dict = field(default_factory=dict)
+    total_delta_s: float = 0.0
+    latency_p99_a: float | None = None
+    latency_p99_b: float | None = None
+    #: jobs overlapped in B but not in A, and the phase-1 seconds their
+    #: overlap hid inside predecessors' Allgather windows
+    newly_overlapped: int = 0
+    hidden_delta_s: float = 0.0
+
+    @property
+    def zero_delta(self) -> bool:
+        """True when the two runs are time-identical span for span."""
+        return (
+            not self.only_a and not self.only_b and self.matched > 0
+            and all(abs(v) < EPS for v in self.deltas.values())
+        )
+
+    @property
+    def attribution(self) -> str:
+        """One-line verdict: what moved the time, ranked evidence first."""
+        if self.zero_delta:
+            return (
+                f"zero delta: the two runs are identical — all "
+                f"{self.matched} aligned {self._unit()}(s) agree to the bit"
+            )
+        ranked = self.ranked()
+        if not ranked:
+            return "no overlapping spans to attribute"
+        if (
+            self.mode == "serve"
+            and self.newly_overlapped > 0
+            and self.hidden_delta_s > 0
+            and (self.latency_p99_b or 0.0) < (self.latency_p99_a or 0.0)
+        ):
+            return (
+                f"p99 improvement attributed to allgather-window overlap: "
+                f"{self.newly_overlapped} job(s) newly overlapped in B, "
+                f"hiding {self.hidden_delta_s * 1e6:.2f} us of phase-1 "
+                f"compute inside predecessors' Allgather windows "
+                f"(p99 {self.latency_p99_a * 1e6:.2f} -> "
+                f"{self.latency_p99_b * 1e6:.2f} us)"
+            )
+        top, delta = ranked[0]
+        direction = "regression" if delta > 0 else "improvement"
+        share = (
+            abs(delta) / sum(abs(v) for _, v in ranked)
+            if any(abs(v) >= EPS for _, v in ranked) else 0.0
+        )
+        return (
+            f"dominant {direction} driver: {self._label(top)} "
+            f"({'+' if delta >= 0 else ''}{self._fmt(delta)}, "
+            f"{share * 100:.1f}% of total movement)"
+        )
+
+    def ranked(self) -> list[tuple[str, float]]:
+        """Categories by |delta| descending, name breaking ties."""
+        return sorted(
+            self.deltas.items(), key=lambda kv: (-abs(kv[1]), kv[0])
+        )
+
+    def _unit(self) -> str:
+        return {"serve": "job", "launch": "launch", "bench": "metric"}[
+            self.mode
+        ]
+
+    def _label(self, key: str) -> str:
+        return dict(CATEGORIES).get(key, key)
+
+    def _fmt(self, v: float) -> str:
+        if self.mode == "bench":
+            return f"{v:g}"
+        return f"{v * 1e6:.2f} us"
+
+
+# ---------------------------------------------------------------------------
+# loaders: one job/launch/metric table per artifact
+# ---------------------------------------------------------------------------
+def _load(path) -> dict:
+    p = Path(path)
+    if not p.exists():
+        raise ReproError(f"no such file: {str(p)!r}")
+    try:
+        return json.loads(p.read_text())
+    except ValueError as e:
+        raise ReproError(f"cannot parse {str(p)!r} as JSON: {e}") from e
+
+
+def _doc_mode(doc: dict, path) -> str:
+    if "traceEvents" in doc:
+        return "trace"
+    if "metrics" in doc and "schema_version" in doc:
+        return "bench"
+    raise ReproError(
+        f"{str(path)!r} is neither a Chrome trace nor a BENCH_*.json "
+        f"document"
+    )
+
+
+def _serve_jobs(doc: dict) -> dict[str, dict]:
+    """Per-job category table from a serve trace's job spans."""
+    out: dict[str, dict] = {}
+    for ev in doc.get("traceEvents", ()):
+        if ev.get("cat") != "serve" or ev.get("ph") != "X":
+            continue
+        a = ev.get("args", {})
+        job = a.get("job_id")
+        if job is None or "latency_s" not in a:
+            continue
+        pre = a.get("pre_s", 0.0)
+        recovery = a.get("recovery_s", 0.0)
+        out[job] = {
+            "queue_wait": a.get("wait_s", 0.0),
+            "compute": pre - recovery,
+            "allgather": a.get("allgather_s", 0.0),
+            "callback": a.get("post_s", 0.0),
+            "recovery": recovery,
+            "stall": a.get("stall_s", 0.0),
+            "latency": a["latency_s"],
+            "overlapped": bool(a.get("overlapped", False)),
+            "hidden": a.get("hidden_s", 0.0),
+        }
+    return out
+
+
+def _launch_jobs(doc: dict) -> dict[str, dict]:
+    """Per-launch category table, keyed ``kernel#occurrence``."""
+    from repro.obs.export import phase_times_from_spans
+
+    out: dict[str, dict] = {}
+    seen: dict[str, int] = {}
+    for kernel, p in phase_times_from_spans(doc):
+        idx = seen.get(kernel, 0)
+        seen[kernel] = idx + 1
+        out[f"{kernel}#{idx}"] = {
+            "queue_wait": 0.0,
+            "compute": p.partial + p.overhead,
+            "allgather": p.allgather,
+            "callback": p.callback,
+            "recovery": p.recovery,
+            "stall": 0.0,
+            "latency": p.total,
+            "overlapped": False,
+            "hidden": 0.0,
+        }
+    return out
+
+
+def _p99(jobs: dict[str, dict]) -> float | None:
+    from repro.serve.accounting import percentile
+
+    if not jobs:
+        return None
+    return percentile([j["latency"] for j in jobs.values()], 99)
+
+
+def explain(a_path, b_path) -> ExplainReport:
+    """Diff two run artifacts (trace JSON or BENCH JSON) and attribute
+    the time delta of B relative to A."""
+    doc_a, doc_b = _load(a_path), _load(b_path)
+    mode_a, mode_b = _doc_mode(doc_a, a_path), _doc_mode(doc_b, b_path)
+    if mode_a != mode_b:
+        raise ReproError(
+            f"cannot explain a {mode_a} against a {mode_b}: pass two "
+            f"traces or two BENCH documents"
+        )
+    if mode_a == "bench":
+        ma, mb = doc_a.get("metrics", {}), doc_b.get("metrics", {})
+        common = sorted(set(ma) & set(mb))
+        deltas = {k: mb[k] - ma[k] for k in common}
+        return ExplainReport(
+            mode="bench", a_path=str(a_path), b_path=str(b_path),
+            matched=len(common),
+            only_a=tuple(sorted(set(ma) - set(mb))),
+            only_b=tuple(sorted(set(mb) - set(ma))),
+            deltas=deltas,
+            total_delta_s=sum(deltas.values()),
+        )
+
+    jobs_a = _serve_jobs(doc_a)
+    jobs_b = _serve_jobs(doc_b)
+    mode = "serve"
+    if not jobs_a and not jobs_b:
+        jobs_a, jobs_b = _launch_jobs(doc_a), _launch_jobs(doc_b)
+        mode = "launch"
+    if not jobs_a or not jobs_b:
+        raise ReproError(
+            "the two traces have no alignable spans in common (one has "
+            "serve/launch spans, the other has neither)"
+        )
+    common = sorted(set(jobs_a) & set(jobs_b))
+    deltas = {
+        key: sum(jobs_b[j][key] - jobs_a[j][key] for j in common)
+        for key, _ in CATEGORIES
+    }
+    total = sum(jobs_b[j]["latency"] - jobs_a[j]["latency"] for j in common)
+    newly = [
+        j for j in common
+        if jobs_b[j]["overlapped"] and not jobs_a[j]["overlapped"]
+    ]
+    return ExplainReport(
+        mode=mode, a_path=str(a_path), b_path=str(b_path),
+        matched=len(common),
+        only_a=tuple(sorted(set(jobs_a) - set(jobs_b))),
+        only_b=tuple(sorted(set(jobs_b) - set(jobs_a))),
+        deltas=deltas,
+        total_delta_s=total,
+        latency_p99_a=_p99(jobs_a),
+        latency_p99_b=_p99(jobs_b),
+        newly_overlapped=len(newly),
+        hidden_delta_s=sum(
+            jobs_b[j]["hidden"] - jobs_a[j]["hidden"] for j in common
+        ),
+    )
+
+
+def format_explain_report(rep: ExplainReport) -> str:
+    """The CLI rendering: header, ranked table, attribution verdict."""
+    from repro.bench.harness import format_table
+
+    unit = rep._unit()
+    lines = [
+        f"repro explain: B = {rep.b_path} vs A = {rep.a_path}",
+        f"aligned {rep.matched} {unit}(s)"
+        + (f"; only in A: {', '.join(rep.only_a)}" if rep.only_a else "")
+        + (f"; only in B: {', '.join(rep.only_b)}" if rep.only_b else ""),
+    ]
+    if rep.mode != "bench" and rep.latency_p99_a is not None:
+        lines.append(
+            f"latency p99: A {rep.latency_p99_a * 1e6:.3f} us -> "
+            f"B {rep.latency_p99_b * 1e6:.3f} us; total latency delta "
+            f"{rep.total_delta_s * 1e6:+.3f} us over aligned {unit}s"
+        )
+    ranked = rep.ranked()
+    movement = sum(abs(v) for _, v in ranked)
+    rows = []
+    for i, (key, delta) in enumerate(ranked, start=1):
+        if rep.mode == "bench" and abs(delta) < EPS:
+            continue  # bench docs carry many flat metrics; skip them
+        share = abs(delta) / movement * 100 if movement >= EPS else 0.0
+        rows.append([
+            i, rep._label(key),
+            f"{'+' if delta >= 0 else ''}{rep._fmt(delta)}",
+            f"{share:.1f}%",
+        ])
+    if rows:
+        header = "delta" if rep.mode == "bench" else "delta (B-A)"
+        lines.append(format_table(["rank", "category", header, "share"],
+                                  rows))
+    lines.append("attribution: " + rep.attribution)
+    return "\n".join(lines)

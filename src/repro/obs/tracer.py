@@ -41,9 +41,10 @@ class SpanKind:
     COUNTER = "counter"  # Perfetto counter-track sample (profiler)
     CKPT = "ckpt"  # durable checkpoint written (instant; repro.ops)
     SERVE = "serve"  # one served job, queue-to-finish (repro.serve)
+    SLO = "slo"  # SLO warn/breach instant (repro.obs.slo)
 
     ALL = (COMPILE, LAUNCH, PHASE, EXEC, COLLECTIVE, ROUND, FAULT, TUNE,
-           COUNTER, CKPT, SERVE)
+           COUNTER, CKPT, SERVE, SLO)
 
 
 class Span:

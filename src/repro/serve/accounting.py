@@ -1,10 +1,20 @@
 """Throughput/latency accounting for one serving run.
 
 Everything is computed from simulated timestamps, so the report is
-deterministic per seed.  Percentiles use the nearest-rank definition
-(no interpolation): ``p`` is the smallest observed value with at least
-``p``% of observations at or below it — deterministic and meaningful
-even for tiny samples.
+deterministic per seed.  Two percentile definitions are offered:
+
+* **nearest-rank** (the default): ``p`` is the smallest observed value
+  with at least ``p``% of observations at or below it.  This is kept
+  for tail percentiles (p99): at extreme quantiles of small samples,
+  linear interpolation fabricates a value between the maximum and the
+  second-largest observation — *underreporting* the tail that was
+  actually observed.  Nearest-rank always returns a real observation.
+* **interpolated** (``interpolated=True``): linear interpolation
+  between closest ranks (NumPy's default).  Used for central
+  percentiles (p50), where it is the conventional estimator and
+  smoother for even-length samples.  On odd-length sequences the two
+  definitions agree exactly at the median — a property the test suite
+  pins.
 """
 
 from __future__ import annotations
@@ -15,14 +25,23 @@ from dataclasses import dataclass, field
 __all__ = ["percentile", "ServeStats", "ServeReport"]
 
 
-def percentile(values, q: float) -> float:
-    """Nearest-rank percentile (``q`` in [0, 100]) of a non-empty
-    sequence."""
+def percentile(values, q: float, interpolated: bool = False) -> float:
+    """Percentile (``q`` in [0, 100]) of a non-empty sequence.
+
+    Nearest-rank by default; with ``interpolated=True``, linear
+    interpolation between closest ranks (see the module docstring for
+    when each is appropriate).
+    """
     vals = sorted(values)
     if not vals:
         raise ValueError("percentile of an empty sequence is undefined")
     if not 0 <= q <= 100:
         raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if interpolated:
+        h = (len(vals) - 1) * q / 100.0
+        lo = math.floor(h)
+        hi = min(lo + 1, len(vals) - 1)
+        return vals[lo] + (h - lo) * (vals[hi] - vals[lo])
     rank = max(1, math.ceil(q / 100.0 * len(vals)))
     return vals[rank - 1]
 
@@ -41,11 +60,16 @@ class ServeStats:
     latency_p99_s: float
     latency_mean_s: float
     wait_mean_s: float
-    #: work density: Σ(job service-time × width) / (pool width ×
-    #: makespan).  Can exceed 1.0 in pipelined mode — an overlapped
+    #: useful work density: Σ(ok-job service-time × width) / (pool width
+    #: × makespan).  Can exceed 1.0 in pipelined mode — an overlapped
     #: successor's compute and its owner's Allgather wire time
-    #: legitimately share the same nodes.
+    #: legitimately share the same nodes.  Terminal-failure wreck time
+    #: is *excluded* (it occupied nodes but did no useful work); it is
+    #: reported separately as :attr:`wrecked`.
     utilization: float
+    #: occupancy fraction lost to terminally-failed jobs: the wreck held
+    #: its subset for its simulated duration without producing output
+    wrecked: float = 0.0
 
 
 @dataclass
@@ -56,6 +80,21 @@ class ServeReport:
     pool_nodes: int = 0
     pipelined: bool = False
     seed: int = 0
+    #: structured SLO warn/breach events (repro.obs.slo.SLOEvent), in
+    #: emission order, when the run was monitored
+    slo_events: list = field(default_factory=list)
+    #: the run's fleet ledger (repro.obs.observatory.Observatory), when
+    #: the observatory was enabled
+    fleet: object = None
+    #: post-mortem documents dumped by the flight recorder this run
+    postmortems: list = field(default_factory=list)
+
+    @property
+    def slo_breached(self) -> bool:
+        """True when any recorded SLO event is a hard breach."""
+        return any(
+            getattr(e, "level", None) == "breach" for e in self.slo_events
+        )
 
     @property
     def stats(self) -> ServeStats:
@@ -65,7 +104,14 @@ class ServeReport:
         latencies = [r.latency_s for r in rs]
         waits = [r.timing.admit_s - r.request.arrival_s for r in rs]
         makespan = max(r.timing.finish_s for r in rs)
-        busy = sum(r.profile.total_s * r.request.nodes for r in rs)
+        busy = sum(
+            r.profile.total_s * r.request.nodes
+            for r in rs if r.status == "ok"
+        )
+        wreck = sum(
+            r.profile.total_s * r.request.nodes
+            for r in rs if r.status != "ok"
+        )
         denom = self.pool_nodes * makespan
         return ServeStats(
             jobs=len(rs),
@@ -74,11 +120,12 @@ class ServeReport:
             overlapped=sum(1 for r in rs if r.timing.overlapped),
             makespan_s=makespan,
             launches_per_sec=len(rs) / makespan if makespan > 0 else 0.0,
-            latency_p50_s=percentile(latencies, 50),
+            latency_p50_s=percentile(latencies, 50, interpolated=True),
             latency_p99_s=percentile(latencies, 99),
             latency_mean_s=sum(latencies) / len(latencies),
             wait_mean_s=sum(waits) / len(waits),
             utilization=busy / denom if denom > 0 else 0.0,
+            wrecked=wreck / denom if denom > 0 else 0.0,
         )
 
     def format_report(self) -> str:
@@ -121,6 +168,33 @@ class ServeReport:
             f"p99 {s.latency_p99_s * 1e3:.4f} ms  "
             f"mean {s.latency_mean_s * 1e3:.4f} ms  "
             f"(mean queue wait {s.wait_mean_s * 1e3:.4f} ms)",
-            f"pool utilization {s.utilization * 100:.1f}%",
+            f"pool utilization {s.utilization * 100:.1f}%"
+            + (f"  (+{s.wrecked * 100:.1f}% wrecked by failed jobs)"
+               if s.wrecked > 0 else ""),
         ]
+        if self.slo_events:
+            warns = sum(1 for e in self.slo_events if e.level == "warn")
+            breaches = sum(
+                1 for e in self.slo_events if e.level == "breach"
+            )
+            lines.append("")
+            lines.append(
+                f"SLO: {warns} warn(s), {breaches} breach(es)"
+                + (" — BREACHED" if self.slo_breached else "")
+            )
+            for e in self.slo_events:
+                lines.append("  " + e.describe())
+        if self.fleet is not None:
+            lines.append("")
+            lines.append(self.fleet.format_fleet_report(self.results))
+        if self.postmortems:
+            lines.append("")
+            lines.append(
+                f"flight recorder: {len(self.postmortems)} post-mortem "
+                f"dump(s): "
+                + ", ".join(
+                    f"{d['job_id']} ({d['reason']})"
+                    for d in self.postmortems
+                )
+            )
         return "\n".join(lines)

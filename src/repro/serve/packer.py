@@ -44,14 +44,26 @@ class NodeLease:
 
 
 class AdmissionPacker:
-    """First-fit-in-FIFO-order admission over a dedicated partition."""
+    """First-fit-in-FIFO-order admission over a dedicated partition.
 
-    def __init__(self, num_nodes: int, name: str = "serve"):
+    With an :class:`~repro.obs.observatory.Observatory` attached, every
+    node-occupancy transition (lease grant, successor attach, release,
+    handoff shrink) is recorded into the fleet ledger at the simulated
+    instant it happens — the packer is the single source of truth for
+    which ids are busy, so the hooks live here rather than in the
+    serving loop.  ``observatory=None`` (the default) keeps every hook
+    a no-op attribute check.
+    """
+
+    def __init__(
+        self, num_nodes: int, name: str = "serve", observatory=None,
+    ):
         if num_nodes < 1:
             raise ServeError(f"service pool needs >= 1 node, got {num_nodes}")
         self.sched = PartitionScheduler(name, num_nodes)
         self.num_nodes = num_nodes
         self.leases: dict[int, NodeLease] = {}
+        self.observatory = observatory
         self._next_id = 0
 
     @property
@@ -78,6 +90,11 @@ class AdmissionPacker:
         )
         self._next_id += 1
         self.leases[lease.lease_id] = lease
+        if self.observatory is not None:
+            self.observatory.record(
+                "lease", timing.admit_s, job_id=job_id, node_ids=ids,
+                lease=lease.lease_id,
+            )
         return lease
 
     def attach(self, lease: NodeLease, job_id: str, timing: JobTiming) -> None:
@@ -90,8 +107,16 @@ class AdmissionPacker:
         lease.successor = job_id
         lease.successor_timing = timing
         lease.resident.add(job_id)
+        if self.observatory is not None:
+            self.observatory.record(
+                "attach", timing.admit_s, job_id=job_id,
+                node_ids=lease.node_ids,
+                lease=lease.lease_id, owner=lease.owner,
+            )
 
-    def job_finished(self, lease: NodeLease, job_id: str) -> tuple[int, ...]:
+    def job_finished(
+        self, lease: NodeLease, job_id: str, t: float | None = None,
+    ) -> tuple[int, ...]:
         """A resident job completed; returns the node ids released *now*.
 
         When the owner hands off to an attached successor, the successor
@@ -117,9 +142,16 @@ class AdmissionPacker:
             released = lease.node_ids
             self.sched.release(released)
             del self.leases[lease.lease_id]
+            if self.observatory is not None:
+                self.observatory.record(
+                    "release", t if t is not None else 0.0, job_id=job_id,
+                    node_ids=released, lease=lease.lease_id,
+                )
         return released
 
-    def shrink(self, lease: NodeLease, width: int) -> tuple[int, ...]:
+    def shrink(
+        self, lease: NodeLease, width: int, t: float | None = None,
+    ) -> tuple[int, ...]:
         """Shed trailing ids beyond ``width`` back to the pool (used at
         owner→successor handoff when the successor is narrower)."""
         if width >= lease.width:
@@ -127,4 +159,9 @@ class AdmissionPacker:
         keep, shed = lease.node_ids[:width], lease.node_ids[width:]
         self.sched.release(shed)
         lease.node_ids = keep
+        if self.observatory is not None:
+            self.observatory.record(
+                "shrink", t if t is not None else 0.0, job_id=lease.owner,
+                node_ids=shed, lease=lease.lease_id,
+            )
         return shed

@@ -82,6 +82,10 @@ class JobTiming:
     allgather_end_s: float
     finish_s: float
     overlapped: bool = False  # phase 1 ran inside a predecessor's window
+    #: phase-1 compute hidden inside the predecessor's Allgather window
+    hidden_s: float = 0.0
+    #: time suspended while the predecessor's callback held the CPUs
+    suspended_s: float = 0.0
 
     @property
     def window_s(self) -> float:
@@ -120,8 +124,10 @@ def schedule_overlapped(
     remainder = profile.pre_s - hidden
     if remainder > 0:
         pre_end = owner.finish_s + remainder
+        suspended = owner.finish_s - owner.allgather_end_s
     else:
         pre_end = start + profile.pre_s
+        suspended = 0.0
     ag_start = max(pre_end, owner.allgather_end_s)
     ag_end = ag_start + profile.allgather_s
     post_start = max(ag_end, owner.finish_s)
@@ -132,4 +138,6 @@ def schedule_overlapped(
         allgather_end_s=ag_end,
         finish_s=post_start + profile.post_s,
         overlapped=True,
+        hidden_s=hidden,
+        suspended_s=suspended,
     )

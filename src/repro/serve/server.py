@@ -65,6 +65,14 @@ class ServeConfig:
     #: shared JIT compile cache: CompileCache, path, or None
     jit_cache: object = None
     trace: object = False  # bool | Tracer
+    #: fleet ledger + flight recorder: bool | Observatory (auto-enabled
+    #: when an SLO policy or a post-mortem directory is configured)
+    observatory: object = False
+    #: SLO monitoring: SLOPolicy | spec string (SLOPolicy.parse) | None
+    slo: object = None
+    #: directory for flight-recorder post-mortem dumps (terminal job
+    #: failures and SLO hard breaches), or None to keep them in memory
+    postmortem_dir: object = None
 
 
 @dataclass(frozen=True)
@@ -151,10 +159,41 @@ class CuCCServer:
             self.tracer = config.trace
         else:
             self.tracer = Tracer() if config.trace else NULL_TRACER
+        self.slo_policy = self._load_slo(config.slo)
+        self.observatory = self._load_observatory(
+            config.observatory,
+            implied=self.slo_policy is not None
+            or config.postmortem_dir is not None,
+        )
+        #: post-mortem documents dumped this run (flight recorder)
+        self.postmortems: list[dict] = []
+        #: paths written when config.postmortem_dir is set
+        self.postmortem_paths: list[str] = []
         #: schedule-independent execution results, memoized per job_id
         #: (pipelined admission peeks at a candidate's profile before
         #: deciding to attach it; the peek must not re-run the job)
         self._outcomes: dict[str, _ExecOutcome] = {}
+
+    @staticmethod
+    def _load_slo(slo):
+        if slo is None:
+            return None
+        from repro.obs.slo import SLOPolicy
+
+        return slo if isinstance(slo, SLOPolicy) else SLOPolicy.parse(slo)
+
+    @staticmethod
+    def _load_observatory(observatory, implied: bool):
+        """Resolve the observatory knob; SLO monitoring and post-mortem
+        dumping imply the ledger (they feed off its ring buffers)."""
+        if not observatory and not implied:
+            return None
+        from repro.obs.observatory import Observatory
+
+        return (
+            observatory if isinstance(observatory, Observatory)
+            else Observatory()
+        )
 
     @staticmethod
     def _load_tuning(tuning):
@@ -272,7 +311,17 @@ class CuCCServer:
                     f"service pool has {self.config.nodes}"
                 )
 
-        packer = AdmissionPacker(self.config.nodes)
+        obs = self.observatory
+        if obs is not None:
+            obs.reset(self.config.nodes)
+            self.postmortems = []
+            self.postmortem_paths = []
+        monitor = None
+        if self.slo_policy is not None:
+            from repro.obs.slo import SLOMonitor
+
+            monitor = SLOMonitor(self.slo_policy)
+        packer = AdmissionPacker(self.config.nodes, observatory=obs)
         seq = itertools.count()
         events: list[tuple[float, int, str, object]] = []
         for r in ordered:
@@ -288,12 +337,19 @@ class CuCCServer:
             )
             results[req.job_id] = res
             self._account(res)
+            if obs is not None:
+                self._observe_placement(obs, res)
+            if monitor is not None:
+                self._observe_slo(monitor, obs, res)
             return res
 
         while events:
             t, _, kind, data = heapq.heappop(events)
             if kind == "arrival":
                 waiting.append(data)
+                if obs is not None:
+                    obs.record("arrival", t, job_id=data.job_id,
+                               nodes=data.nodes)
             elif kind == "window":
                 lease_id, owner_job = data
                 lease = packer.leases.get(lease_id)
@@ -332,10 +388,21 @@ class CuCCServer:
                     handoff = (
                         job_id == lease.owner and lease.successor is not None
                     )
-                    packer.job_finished(lease, job_id)
+                    packer.job_finished(lease, job_id, t)
+                    res = results[job_id]
+                    if obs is not None:
+                        obs.record("finish", t, job_id=job_id,
+                                   status=res.status)
+                        if res.status != "ok":
+                            obs.record("wreck", t, job_id=job_id,
+                                       node_ids=res.node_ids,
+                                       error=res.error)
+                            self._dump_postmortem(
+                                obs, res, "terminal-failure"
+                            )
                     if handoff and lease.lease_id in packer.leases:
                         packer.shrink(
-                            lease, results[lease.owner].request.nodes
+                            lease, results[lease.owner].request.nodes, t
                         )
             # FCFS admission sweep: grant leases to queue heads while
             # they fit; the head is never overtaken for a lease
@@ -364,7 +431,84 @@ class CuCCServer:
             pool_nodes=self.config.nodes,
             pipelined=self.config.pipeline,
         )
+        if monitor is not None:
+            stats = report.stats
+            for ev in monitor.finalize(stats.makespan_s, stats.utilization):
+                self._record_slo_event(obs, ev)
+            report.slo_events = list(monitor.events)
+        if obs is not None:
+            report.fleet = obs
+            report.postmortems = list(self.postmortems)
+            if self.tracer.enabled:
+                obs.append_counters(self.tracer)
         return report
+
+    # -- fleet ledger + SLO + flight recorder hooks ---------------------
+    def _observe_placement(self, obs, res: JobResult) -> None:
+        """Record schedule-derived instants (suspension window, wreck
+        story is recorded at the finish event) into the fleet ledger."""
+        t = res.timing
+        if t.suspended_s > 0:
+            pause = t.start_s + t.hidden_s
+            obs.record("suspend", pause, job_id=res.request.job_id,
+                       node_ids=res.node_ids,
+                       remaining_s=res.profile.pre_s - t.hidden_s)
+            obs.record("resume", pause + t.suspended_s,
+                       job_id=res.request.job_id, node_ids=res.node_ids)
+
+    def _observe_slo(self, monitor, obs, res: JobResult) -> None:
+        """Feed one placement to the SLO monitor; record any warn/breach
+        events and dump a post-mortem on a job-attributed hard breach."""
+        t = res.timing
+        for ev in monitor.observe(
+            t.finish_s, res.request.job_id,
+            wait_s=t.admit_s - res.request.arrival_s,
+            latency_s=res.latency_s,
+        ):
+            self._record_slo_event(obs, ev)
+            if ev.level == "breach":
+                self._dump_postmortem(obs, res, "slo-breach")
+
+    def _record_slo_event(self, obs, ev) -> None:
+        """One SLO event into metrics + trace + fleet ledger."""
+        METRICS.inc(f"serve.slo_{ev.level}s", objective=ev.objective)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                f"slo {ev.level}", SpanKind.SLO, ev.t,
+                level=ev.level, objective=ev.objective, value=ev.value,
+                threshold=ev.threshold, burn=ev.burn,
+                **({"job_id": ev.job_id} if ev.job_id else {}),
+            )
+        if obs is not None:
+            obs.record("slo", ev.t, job_id=ev.job_id, level=ev.level,
+                       objective=ev.objective, burn=ev.burn)
+
+    def _fleet_context(self) -> dict:
+        """Cache/backend state snapshot embedded in post-mortems."""
+        return {
+            "backend": self.config.backend,
+            "cluster": self.config.cluster,
+            "pool_nodes": self.config.nodes,
+            "pipelined": self.config.pipeline,
+            "tuning_entries": (
+                len(self.tuning) if self.tuning is not None else 0
+            ),
+            "jit_cache_entries": (
+                len(self.jit_cache) if self.jit_cache is not None else 0
+            ),
+        }
+
+    def _dump_postmortem(self, obs, res: JobResult, reason: str) -> None:
+        doc = obs.postmortem(
+            res.request.job_id, result=res, reason=reason,
+            context=self._fleet_context(),
+        )
+        self.postmortems.append(doc)
+        METRICS.inc("serve.postmortems", reason=reason)
+        if self.config.postmortem_dir is not None:
+            self.postmortem_paths.append(
+                obs.dump_postmortem(doc, self.config.postmortem_dir)
+            )
 
     # -- per-job observability ------------------------------------------
     def _account(self, res: JobResult) -> None:
@@ -383,11 +527,23 @@ class CuCCServer:
         if not self.tracer.enabled:
             return
         t = res.timing
+        rec = res.record
         job_span = self.tracer.add(
             f"job {req.job_id}", SpanKind.SERVE, t.admit_s, t.finish_s,
             job_id=req.job_id, workload=req.workload, nodes=req.nodes,
             node_ids=list(res.node_ids), overlapped=t.overlapped,
             status=res.status, latency_s=res.latency_s,
+            # the exact decomposition `repro explain` aligns on:
+            # latency = wait + pre + allgather + post + stall
+            arrival_s=req.arrival_s,
+            wait_s=t.admit_s - req.arrival_s,
+            pre_s=res.profile.pre_s,
+            allgather_s=res.profile.allgather_s,
+            post_s=res.profile.post_s,
+            recovery_s=(rec.phases.recovery if rec is not None else 0.0),
+            stall_s=t.finish_s - t.start_s - res.profile.total_s,
+            hidden_s=t.hidden_s,
+            suspended_s=t.suspended_s,
         )
         # adopt the job's own spans: shift onto the service clock at the
         # job's start, remap job-local ranks to the leased physical node

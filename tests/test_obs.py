@@ -372,15 +372,51 @@ def test_cli_trace_requires_cucc(capsys):
 # ---------------------------------------------------------------------------
 # import hygiene
 # ---------------------------------------------------------------------------
-def test_api_import_does_not_load_export_module():
+LAZY_OBS_MODULES = (
+    "repro.obs.export",
+    "repro.obs.profiler",
+    "repro.obs.drift",
+    "repro.obs.observatory",
+    "repro.obs.slo",
+    "repro.obs.explain",
+)
+
+
+def test_api_import_does_not_load_lazy_obs_modules():
     src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
     code = (
         "import sys; import repro.api; "
-        "sys.exit(1 if 'repro.obs.export' in sys.modules else 0)"
+        f"loaded = [m for m in {LAZY_OBS_MODULES!r} if m in sys.modules]; "
+        "print(','.join(loaded)); sys.exit(1 if loaded else 0)"
     )
     env = dict(os.environ, PYTHONPATH=os.path.abspath(src))
-    proc = subprocess.run([sys.executable, "-c", code], env=env)
-    assert proc.returncode == 0, "repro.api eagerly imports repro.obs.export"
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          capture_output=True, text=True)
+    assert proc.returncode == 0, (
+        f"repro.api eagerly imports {proc.stdout.strip()}"
+    )
+
+
+def test_plain_serve_does_not_load_observatory_modules():
+    # a server without observatory/slo/postmortem pays nothing: the
+    # modules are never even imported
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    lazy = ("repro.obs.observatory", "repro.obs.slo", "repro.obs.explain")
+    code = (
+        "import sys; "
+        "from repro.serve import ServeConfig, serve_requests, "
+        "synth_requests; "
+        "reqs = synth_requests('FIR', rate=2e6, jobs=2, nodes=2, seed=0); "
+        "serve_requests(reqs, ServeConfig(nodes=2)); "
+        f"loaded = [m for m in {lazy!r} if m in sys.modules]; "
+        "print(','.join(loaded)); sys.exit(1 if loaded else 0)"
+    )
+    env = dict(os.environ, PYTHONPATH=os.path.abspath(src))
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          capture_output=True, text=True)
+    assert proc.returncode == 0, (
+        f"plain serving imported {proc.stdout.strip()}"
+    )
 
 
 def test_obs_getattr_resolves_export_names():

@@ -1,0 +1,568 @@
+"""The serving observatory: fleet ledger, SLO monitor, flight recorder,
+and ``repro explain`` regression attribution (DESIGN.md §15).
+
+The layer's contract has three legs, each pinned here:
+
+* **zero overhead off** — a server built without the observatory never
+  imports the modules and serves bit-identically to one with them on;
+* **determinism on** — the ledger, the SLO event stream, the exported
+  counter tracks and every dumped post-mortem byte are stable per seed;
+* **faithful accounting** — series/attribution reconstruct the packer's
+  occupancy exactly, the explain decomposition reproduces each job's
+  latency to the bit, and wreck time never counts as useful work.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from trace_schema import validate_chrome_trace
+
+from repro.cli import main as cli_main
+from repro.errors import ReproError, ServeError
+from repro.obs.explain import explain, format_explain_report
+from repro.obs.observatory import (
+    Observatory,
+    format_postmortem,
+    validate_postmortem,
+)
+from repro.obs.slo import SLOEvent, SLOMonitor, SLOPolicy
+from repro.serve import (
+    CuCCServer,
+    JobRequest,
+    ServeConfig,
+    percentile,
+    serve_requests,
+    serve_serially,
+    synth_requests,
+    verify_against_serial,
+)
+
+DOOMED = "crash:rank=0,phase=partial"
+
+
+def _mixed_requests(jobs=6, **kw):
+    kw.setdefault("nodes", 2)
+    return synth_requests("FIR:2,KMeans:1,Transpose:1", rate=2e6,
+                          jobs=jobs, seed=0, **kw)
+
+
+def _write_trace(tmp_path, name, **config_kw):
+    from repro.obs.export import write_chrome_trace
+
+    config_kw.setdefault("nodes", 6)
+    server = CuCCServer(ServeConfig(trace=True, **config_kw))
+    server.run(_mixed_requests(jobs=8))
+    return write_chrome_trace(server.tracer, tmp_path / name)
+
+
+# -- the ledger ---------------------------------------------------------
+
+
+def test_ledger_records_and_ring_is_bounded():
+    obs = Observatory(pool_nodes=4, ring=3)
+    for i in range(5):
+        obs.record("arrival", float(i), job_id="j", nodes=2)
+    assert len(obs.events) == 5
+    assert [e.seq for e in obs.events] == [0, 1, 2, 3, 4]
+    ring = obs.events_for("j")
+    assert [e.t for e in ring] == [2.0, 3.0, 4.0]  # last `ring` only
+    assert obs.events_for("nobody") == []
+    assert "arrival job j" in obs.events[0].describe()
+
+
+def test_series_coalesce_equal_timestamps_and_sort_by_time():
+    obs = Observatory(pool_nodes=4)
+    # recorded out of order (suspend/resume land ahead of their instants
+    # in the real loop); analysis must sort by (t, seq)
+    obs.record("lease", 1.0, job_id="a", node_ids=(0, 1))
+    obs.record("arrival", 0.0, job_id="a")
+    obs.record("arrival", 1.0, job_id="b")
+    obs.record("lease", 1.0, job_id="b", node_ids=(2, 3))
+    obs.record("release", 2.0, job_id="a", node_ids=(0, 1))
+    assert obs.busy_series() == [(1.0, 4), (2.0, 2)]
+    # both t=1.0 queue changes coalesce into the final value at t=1.0
+    assert obs.queue_series() == [(0.0, 1), (1.0, 0)]
+    assert obs.makespan_s == 2.0
+
+
+def test_idle_attribution_charges_packing_vs_empty_queue():
+    obs = Observatory(pool_nodes=4)
+    obs.record("arrival", 0.0, job_id="wide")
+    obs.record("lease", 0.0, job_id="wide", node_ids=(0, 1, 2))
+    obs.record("arrival", 0.0, job_id="head")  # wants more than 1 node
+    obs.record("release", 2.0, job_id="wide", node_ids=(0, 1, 2))
+    obs.record("lease", 2.0, job_id="head", node_ids=(0, 1))
+    obs.record("release", 3.0, job_id="head", node_ids=(0, 1))
+    att = obs.idle_attribution()
+    # [0,2): 3 busy, 1 free while 'head' queued -> packing; [2,3): 2
+    # busy, 2 free with an empty queue
+    assert att == {"busy": 8.0, "packing": 2.0, "empty_queue": 2.0}
+    assert sum(att.values()) == obs.pool_nodes * obs.makespan_s
+
+
+def test_node_intervals_track_lease_shrink_release():
+    obs = Observatory(pool_nodes=4)
+    obs.record("lease", 0.0, job_id="a", node_ids=(0, 1, 2))
+    obs.record("shrink", 1.0, job_id="a", node_ids=(2,))
+    obs.record("release", 2.0, job_id="a", node_ids=(0, 1))
+    iv = obs.node_intervals()
+    assert iv[2] == [(0.0, 1.0, "a")]
+    assert iv[0] == iv[1] == [(0.0, 2.0, "a")]
+
+
+def test_fleet_ledger_matches_packer_truth_end_to_end():
+    reqs = _mixed_requests(jobs=8)
+    rep = serve_requests(reqs, ServeConfig(nodes=6, observatory=True))
+    obs = rep.fleet
+    assert obs is not None
+    kinds = {e.kind for e in obs.events}
+    assert {"arrival", "lease", "finish", "release"} <= kinds
+    assert len([e for e in obs.events if e.kind == "arrival"]) == len(reqs)
+    # occupancy never exceeds the pool and ends drained
+    busy = obs.busy_series()
+    assert all(0 <= v <= 6 for _, v in busy)
+    assert busy[-1][1] == 0
+    assert obs.queue_series()[-1][1] == 0
+    att = obs.idle_attribution()
+    assert sum(att.values()) == pytest.approx(6 * obs.makespan_s)
+    # the ledger's busy node-seconds are the packer's occupancy truth:
+    # the series integral equals the per-node interval durations, and
+    # never exceeds the useful-work numerator (overlapped successors
+    # share their owner's occupancy, which is why utilization can top
+    # 1.0 while the ledger cannot)
+    occupancy = sum(
+        t1 - t0
+        for ivs in obs.node_intervals().values() for t0, t1, _ in ivs
+    )
+    assert att["busy"] == pytest.approx(occupancy)
+    useful = sum(r.profile.total_s * r.request.nodes for r in rep.results)
+    assert att["busy"] <= useful + 1e-12
+    report = rep.format_report()
+    assert "fleet:" in report and "node-seconds:" in report
+    gantt = obs.gantt(rep.results)
+    assert all(r.request.job_id in gantt for r in rep.results)
+    assert "legend:" in gantt
+
+
+def test_observatory_off_is_bit_identical_and_unloaded():
+    reqs = _mixed_requests(jobs=5, faults=DOOMED, fault_every=3)
+    off = serve_requests(reqs, ServeConfig(nodes=6))
+    on = serve_requests(reqs, ServeConfig(nodes=6, observatory=True))
+    assert off.fleet is None and on.fleet is not None
+    assert [r.identity() for r in off.results] == \
+        [r.identity() for r in on.results]
+    assert [r.timing for r in off.results] == [r.timing for r in on.results]
+    assert off.stats == on.stats
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(0, 2**16), pipeline=st.booleans())
+def test_property_observatory_never_perturbs_the_simulation(seed, pipeline):
+    reqs = synth_requests("FIR:1,KMeans:1", rate=2e6, jobs=4, nodes=2,
+                          seed=seed)
+    off = serve_requests(reqs, ServeConfig(nodes=4, pipeline=pipeline))
+    on = serve_requests(
+        reqs,
+        ServeConfig(nodes=4, pipeline=pipeline, observatory=True,
+                    slo="latency<=1e-9"),  # breach storm changes nothing
+    )
+    assert [r.identity() for r in off.results] == \
+        [r.identity() for r in on.results]
+    assert off.stats.makespan_s == on.stats.makespan_s
+
+
+# -- counter tracks in the trace ----------------------------------------
+
+
+def test_counter_tracks_exported_and_byte_identical(tmp_path):
+    a = _write_trace(tmp_path, "a.json", observatory=True)
+    b = _write_trace(tmp_path, "b.json", observatory=True)
+    assert a.read_bytes() == b.read_bytes()
+    obj = json.loads(a.read_text())
+    assert validate_chrome_trace(obj) == []
+    counters = [e for e in obj["traceEvents"] if e["ph"] == "C"]
+    names = {e["name"] for e in counters}
+    assert {"fleet.busy_nodes", "fleet.queue_depth"} <= names
+    # counter samples carry numeric-only args on the simulated clock
+    assert all(isinstance(e["args"]["value"], (int, float))
+               for e in counters)
+
+
+def test_trace_with_observatory_only_adds_events(tmp_path):
+    plain = json.loads(_write_trace(tmp_path, "p.json").read_text())
+    obs = json.loads(
+        _write_trace(tmp_path, "o.json", observatory=True).read_text()
+    )
+    assert validate_chrome_trace(plain) == []
+    plain_keys = [(e["ph"], e.get("name")) for e in plain["traceEvents"]]
+    obs_keys = [(e["ph"], e.get("name")) for e in obs["traceEvents"]]
+    # the shared prefix is untouched; counters append after job spans
+    assert obs_keys[: len(plain_keys)] == plain_keys
+    assert {k for k in obs_keys[len(plain_keys):]} == {
+        ("C", "fleet.busy_nodes"), ("C", "fleet.queue_depth")
+    }
+
+
+# -- SLO policy + monitor -----------------------------------------------
+
+
+def test_slo_policy_parse_roundtrip():
+    p = SLOPolicy.parse(
+        "wait<=2e-6,latency<=1e-5,util>=0.5,window=4,budget=0.5,burn=1.5"
+    )
+    assert (p.max_wait_s, p.max_latency_s, p.min_utilization) == \
+        (2e-6, 1e-5, 0.5)
+    assert (p.window, p.budget, p.breach_burn) == (4, 0.5, 1.5)
+    assert "wait<=2e-06s" in p.describe()
+
+
+@pytest.mark.parametrize("bad", [
+    "", "latency", "latency<=x", "rainbows<=3", "latency<=1e-5,window=0",
+    "latency<=1e-5,budget=0", "latency<=1e-5,burn=0.5",
+])
+def test_slo_policy_rejects(bad):
+    with pytest.raises(ServeError):
+        SLOPolicy.parse(bad)
+
+
+def test_slo_monitor_burn_rate_escalation_and_dedup():
+    mon = SLOMonitor(SLOPolicy(max_latency_s=1.0, window=4, budget=0.25))
+    # one violation in a window of 1 -> burn 4.0 -> straight to breach
+    evs = mon.observe(1.0, "j0", wait_s=0.0, latency_s=2.0)
+    assert [e.level for e in evs] == ["breach"]
+    assert evs[0].burn == pytest.approx(4.0)
+    assert evs[0].objective == "latency" and evs[0].job_id == "j0"
+    # further violations at the same level emit nothing (dedup)
+    assert mon.observe(2.0, "j1", wait_s=0.0, latency_s=3.0) == []
+    # recovery de-escalates silently and re-arms emission
+    for i in range(4):
+        assert mon.observe(3.0 + i, f"ok{i}", 0.0, 0.5) == []
+    evs = mon.observe(9.0, "j2", wait_s=0.0, latency_s=2.0)
+    assert [e.level for e in evs] == ["warn"]  # 1/4 violating = burn 1.0
+    assert mon.breached and mon.warned
+
+
+def test_slo_monitor_finalize_checks_utilization_floor():
+    mon = SLOMonitor(SLOPolicy(min_utilization=0.8))
+    assert mon.finalize(10.0, 0.9) == []
+    evs = mon.finalize(10.0, 0.2)
+    assert [e.objective for e in evs] == ["utilization"]
+    assert evs[0].level == "breach" and evs[0].burn == pytest.approx(4.0)
+    assert "utilization 0.2 vs >= 0.8" in evs[0].describe()
+
+
+def test_serve_with_slo_reports_and_traces_breaches(tmp_path):
+    from repro.obs.metrics import METRICS
+
+    METRICS.reset()
+    server = CuCCServer(ServeConfig(
+        nodes=6, trace=True, slo="wait<=1e-9,latency<=1e-9",
+    ))
+    rep = server.run(_mixed_requests(jobs=6))
+    assert rep.slo_breached
+    levels = [e.level for e in rep.slo_events]
+    assert "breach" in levels
+    assert rep.fleet is not None  # --slo implies the observatory
+    assert METRICS.total("serve.slo_breachs") >= 1
+    # breaches are trace instants in their own "slo" category
+    obj = json.loads(_trace_text(server, tmp_path / "slo.json"))
+    slo_events = [e for e in obj["traceEvents"] if e.get("cat") == "slo"]
+    assert slo_events and all(e["ph"] == "i" for e in slo_events)
+    assert validate_chrome_trace(obj) == []
+    assert "SLO" in rep.format_report() and "BREACHED" in rep.format_report()
+    METRICS.reset()
+
+
+def _trace_text(server, path):
+    from repro.obs.export import write_chrome_trace
+
+    return write_chrome_trace(server.tracer, path).read_text()
+
+
+def test_serve_without_slo_emits_no_events():
+    rep = serve_requests(_mixed_requests(jobs=4),
+                         ServeConfig(nodes=6, observatory=True))
+    assert rep.slo_events == [] and not rep.slo_breached
+
+
+# -- wreck accounting (satellite a) -------------------------------------
+
+
+def test_utilization_excludes_terminal_wreck_time():
+    reqs = [
+        JobRequest("ok-0", "FIR", nodes=2, arrival_s=0.0),
+        JobRequest("doomed", "FIR", nodes=1, arrival_s=0.0, faults=DOOMED),
+    ]
+    rep = serve_requests(reqs, ServeConfig(nodes=3))
+    s = rep.stats
+    assert s.failed == 1
+    by_id = {r.request.job_id: r for r in rep.results}
+    wreck = by_id["doomed"]
+    denom = 3 * s.makespan_s
+    assert s.wrecked == pytest.approx(
+        wreck.profile.total_s * 1 / denom
+    )
+    assert s.wrecked > 0
+    # useful-work density counts ok jobs only
+    ok = by_id["ok-0"]
+    assert s.utilization == pytest.approx(ok.profile.total_s * 2 / denom)
+    assert "wrecked by failed jobs" in rep.format_report()
+
+
+def test_clean_run_reports_zero_wrecked():
+    rep = serve_requests(_mixed_requests(jobs=3), ServeConfig(nodes=4))
+    assert rep.stats.wrecked == 0.0
+    assert "wrecked" not in rep.format_report()
+
+
+# -- percentile definitions (satellite b) -------------------------------
+
+
+def test_percentile_interpolated_vs_nearest_rank():
+    vals = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(vals, 50) == 2.0  # nearest-rank
+    assert percentile(vals, 50, interpolated=True) == 2.5
+    assert percentile(vals, 99, interpolated=True) == pytest.approx(3.97)
+    assert percentile(vals, 0, interpolated=True) == 1.0
+    assert percentile(vals, 100, interpolated=True) == 4.0
+    with pytest.raises(ValueError):
+        percentile([], 50, interpolated=True)
+    with pytest.raises(ValueError):
+        percentile(vals, 101)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1,
+                max_size=21).filter(lambda v: len(v) % 2 == 1))
+def test_property_percentile_definitions_agree_at_odd_median(vals):
+    # on odd-length sequences both definitions hit the middle element
+    assert percentile(vals, 50) == percentile(vals, 50, interpolated=True)
+
+
+# -- flight recorder + post-mortems (tentpole leg 3) --------------------
+
+
+def _doomed_run(tmp_path=None, **kw):
+    reqs = [
+        JobRequest("ok-0", "FIR", nodes=2, arrival_s=0.0),
+        JobRequest("doomed", "Transpose", nodes=1, arrival_s=0.0,
+                   faults=DOOMED),
+    ]
+    config = ServeConfig(
+        nodes=3, observatory=True,
+        postmortem_dir=str(tmp_path) if tmp_path else None, **kw,
+    )
+    server = CuCCServer(config)
+    return server, server.run(reqs)
+
+
+def test_terminal_failure_dumps_schema_valid_postmortem(tmp_path):
+    server, rep = _doomed_run(tmp_path)
+    assert [d["job_id"] for d in rep.postmortems] == ["doomed"]
+    doc = rep.postmortems[0]
+    assert doc["reason"] == "terminal-failure"
+    assert doc["status"] == "failed"
+    assert "unrecoverable" in doc["error"]
+    assert validate_postmortem(doc) == []
+    kinds = [e["kind"] for e in doc["events"]]
+    assert kinds.count("wreck") == 1 and "lease" in kinds
+    assert doc["context"]["pool_nodes"] == 3
+    # the dump landed on disk byte-for-byte as the in-memory doc
+    (path,) = server.postmortem_paths
+    on_disk = json.loads(open(path).read())
+    assert on_disk == json.loads(json.dumps(doc))
+    # and the pretty-printer renders it without error
+    text = format_postmortem(on_disk)
+    assert "job doomed — terminal-failure" in text
+    assert "wreck" in text
+    assert "flight recorder" in rep.format_report()
+
+
+def test_postmortem_dumps_are_deterministic(tmp_path):
+    (tmp_path / "a").mkdir(), (tmp_path / "b").mkdir()
+    _doomed_run(tmp_path / "a")
+    _doomed_run(tmp_path / "b")
+    assert (tmp_path / "a" / "postmortem-doomed.json").read_bytes() == \
+        (tmp_path / "b" / "postmortem-doomed.json").read_bytes()
+
+
+def test_slo_hard_breach_triggers_the_flight_recorder():
+    server, rep = _doomed_run(slo="latency<=1e-9,window=1")
+    reasons = {d["reason"] for d in rep.postmortems}
+    assert "slo-breach" in reasons
+    for doc in rep.postmortems:
+        assert validate_postmortem(doc) == []
+
+
+def test_validate_postmortem_rejects_malformed():
+    assert validate_postmortem([]) != []
+    assert any("format_version" in p for p in validate_postmortem({}))
+    doc = Observatory(pool_nodes=2).postmortem("j")
+    assert validate_postmortem(doc) == []
+    doc["events"] = [{"t_s": "soon", "kind": "teleport"}]
+    problems = validate_postmortem(doc)
+    assert any("t_s" in p for p in problems)
+    assert any("teleport" in p for p in problems)
+
+
+def test_healthy_run_dumps_nothing(tmp_path):
+    server = CuCCServer(ServeConfig(nodes=6, observatory=True,
+                                    postmortem_dir=str(tmp_path)))
+    rep = server.run(_mixed_requests(jobs=4))
+    assert rep.postmortems == [] and server.postmortem_paths == []
+    assert list(tmp_path.iterdir()) == []
+
+
+# -- repro explain (tentpole leg 4) -------------------------------------
+
+
+def test_explain_same_seed_reports_zero_delta(tmp_path):
+    a = _write_trace(tmp_path, "a.json")
+    b = _write_trace(tmp_path, "b.json")
+    rep = explain(a, b)
+    assert rep.mode == "serve" and rep.matched == 8
+    assert rep.zero_delta
+    assert rep.total_delta_s == 0.0
+    assert "zero delta" in format_explain_report(rep)
+
+
+def test_explain_attributes_p99_to_allgather_overlap(tmp_path):
+    serial = _write_trace(tmp_path, "serial.json", pipeline=False)
+    pipe = _write_trace(tmp_path, "pipe.json", pipeline=True)
+    rep = explain(serial, pipe)
+    assert rep.newly_overlapped > 0
+    assert rep.hidden_delta_s > 0
+    assert rep.latency_p99_b < rep.latency_p99_a
+    assert rep.total_delta_s < 0  # B is the faster run
+    assert "allgather-window overlap" in rep.attribution
+    text = format_explain_report(rep)
+    assert "allgather-window overlap" in text
+    # the decomposition is exact: category deltas sum to the latency
+    # delta to the bit (latency = wait + pre + allgather + post + stall)
+    assert sum(rep.deltas.values()) == pytest.approx(
+        rep.total_delta_s, abs=1e-15
+    )
+
+
+def test_explain_decomposition_reproduces_each_latency(tmp_path):
+    from repro.obs.explain import _serve_jobs
+
+    doc = json.loads(_write_trace(tmp_path, "t.json").read_text())
+    jobs = _serve_jobs(doc)
+    assert len(jobs) == 8
+    for job in jobs.values():
+        parts = (job["queue_wait"] + job["compute"] + job["recovery"]
+                 + job["allgather"] + job["callback"] + job["stall"])
+        assert parts == pytest.approx(job["latency"], abs=1e-15)
+
+
+def test_explain_launch_traces_align_by_kernel(tmp_path):
+    from repro.bench.harness import run_on_cucc
+    from repro.cluster import make_cluster
+    from repro.obs.export import write_chrome_trace
+    from repro.workloads import PERF_WORKLOADS
+
+    def trace(nodes, name):
+        spec = PERF_WORKLOADS["KMeans"]("small", seed=0)
+        res = run_on_cucc(spec, make_cluster("simd-focused", nodes),
+                          trace=True)
+        return write_chrome_trace(res.runtime.tracer, tmp_path / name)
+
+    a = trace(2, "a.json")
+    b = trace(4, "b.json")
+    rep = explain(a, b)
+    assert rep.mode == "launch" and rep.matched > 0
+    assert not rep.zero_delta
+    assert "driver" in rep.attribution
+
+
+def test_explain_bench_documents_diff_metrics(tmp_path):
+    def bench(path, extra):
+        doc = {"schema_version": 1, "name": "x",
+               "metrics": {"lat": 1.0 + extra, "flat": 2.0}}
+        path.write_text(json.dumps(doc))
+        return path
+
+    a = bench(tmp_path / "a.json", 0.0)
+    b = bench(tmp_path / "b.json", 0.5)
+    rep = explain(a, b)
+    assert rep.mode == "bench"
+    assert rep.deltas == {"lat": 0.5, "flat": 0.0}
+    text = format_explain_report(rep)
+    assert "lat" in text and "flat" not in text  # flat metrics skipped
+
+
+def test_explain_rejects_mismatched_and_bogus_inputs(tmp_path):
+    trace = _write_trace(tmp_path, "t.json")
+    bench = tmp_path / "bench.json"
+    bench.write_text(json.dumps({"schema_version": 1, "metrics": {}}))
+    with pytest.raises(ReproError, match="cannot explain"):
+        explain(trace, bench)
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text("{}")
+    with pytest.raises(ReproError, match="neither"):
+        explain(bogus, bogus)
+    with pytest.raises(ReproError, match="no such file"):
+        explain(tmp_path / "nope.json", trace)
+
+
+# -- CLI ----------------------------------------------------------------
+
+
+def test_cli_serve_slo_breach_exits_4(tmp_path, capsys):
+    rc = cli_main([
+        "serve", "--jobs", "6", "--nodes", "6",
+        "--slo", "wait<=1e-9,latency<=1e-9",
+        "--postmortem", str(tmp_path / "pm"),
+    ])
+    out = capsys.readouterr().out
+    assert rc == 4
+    assert "SLO BREACHED (exit status 4)" in out
+    assert "fleet:" in out  # --slo implies the observatory report
+    dumps = sorted((tmp_path / "pm").glob("postmortem-*.json"))
+    assert dumps
+    # the dumped files render cleanly through the postmortem CLI
+    rc = cli_main(["postmortem", str(dumps[0])])
+    assert rc == 0
+    assert "post-mortem (format v1)" in capsys.readouterr().out
+
+
+def test_cli_serve_healthy_slo_exits_0(capsys):
+    rc = cli_main([
+        "serve", "--jobs", "4", "--nodes", "8",
+        "--slo", "latency<=1.0", "--observatory",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "fleet:" in out and "legend:" in out
+
+
+def test_cli_explain_and_postmortem_reject_garbage(tmp_path, capsys):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text("{}")
+    assert cli_main(["explain", str(bogus), str(bogus)]) == 1
+    assert "neither" in capsys.readouterr().err
+    assert cli_main(["postmortem", str(bogus)]) == 1
+    assert "INVALID post-mortem" in capsys.readouterr().err
+    assert cli_main(["postmortem", str(tmp_path / "nope.json")]) == 1
+
+
+def test_cli_explain_zero_delta_and_overlap(tmp_path, capsys):
+    common = ["serve", "--jobs", "6", "--nodes", "6"]
+    assert cli_main(common + ["--trace", str(tmp_path / "a.json")]) == 0
+    assert cli_main(common + ["--trace", str(tmp_path / "b.json")]) == 0
+    assert cli_main(common + ["--no-pipeline",
+                              "--trace", str(tmp_path / "s.json")]) == 0
+    capsys.readouterr()
+    rc = cli_main(["explain", str(tmp_path / "a.json"),
+                   str(tmp_path / "b.json")])
+    assert rc == 0
+    assert "zero delta" in capsys.readouterr().out
+    rc = cli_main(["explain", str(tmp_path / "s.json"),
+                   str(tmp_path / "a.json")])
+    assert rc == 0
+    assert "allgather-window overlap" in capsys.readouterr().out

@@ -22,7 +22,7 @@ import sys
 #: without importing it, so the checker stands alone as a CI tool)
 KNOWN_CATS = {
     "compile", "launch", "phase", "exec", "collective", "round",
-    "fault", "tune", "counter", "ckpt", "serve",
+    "fault", "tune", "counter", "ckpt", "serve", "slo",
 }
 
 #: metadata record names the exporter emits
