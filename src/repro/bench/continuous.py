@@ -453,6 +453,99 @@ def bench_serving(size: str) -> dict:
     }
 
 
+def bench_network(size: str) -> dict:
+    """Per-topology collective-time decomposition from the flow ledger.
+
+    The continuous twin of Figure 9's network-overhead story: one
+    communication-dominated workload (Transpose) runs on every topology
+    shape with the netflow ledger attached, and the gated metrics are
+    the ledger's exact alpha / serialization / contention split of
+    collective time plus its two correctness contracts — the
+    decomposition reconstructs every span bit-exactly, and the ledger's
+    per-pair byte sums equal the communicator's link-byte metrics."""
+    from repro.bench.harness import run_on_cucc
+    from repro.cluster import make_cluster, make_topology
+    from repro.obs.metrics import MetricsRegistry
+    from repro.workloads import PERF_WORKLOADS
+
+    nodes = 8
+    metrics: dict[str, float] = {}
+    details: dict[str, dict] = {}
+    exact = conserved = True
+    for kind, tag in (("flat", "flat"), ("fat-tree:2", "fat_tree"),
+                      ("ring", "ring"), ("torus", "torus")):
+        spec = PERF_WORKLOADS["Transpose"](size, seed=0)
+        cluster = make_cluster(
+            "simd-focused", nodes, topology=make_topology(kind, nodes)
+        )
+        # a private registry so conservation is checked against exactly
+        # this run's traffic, whatever else fed the global registry
+        registry = MetricsRegistry()
+        cluster.comm.metrics = registry
+        res = run_on_cucc(spec, cluster, netflow=True)
+        ledger = res.runtime.netflow
+        colls = ledger.collectives()
+        exact &= all(c.reconstructed_s == c.span_s for c in colls)
+        pairs = ledger.pair_bytes()
+        conserved &= all(
+            registry.value("comm.link_bytes", src=src, dst=dst) == nbytes
+            for (src, dst), nbytes in pairs.items()
+        ) and sum(pairs.values()) == registry.total("comm.link_bytes")
+        span = sum(c.span_s for c in colls)
+        for comp in ("alpha_s", "serial_s", "contention_s"):
+            frac = (sum(getattr(c, comp) for c in colls) / span
+                    if span > 0 else 0.0)
+            metrics[f"{tag}_{comp[:-2]}_fraction"] = frac
+        metrics[f"{tag}_collective_s"] = span
+        doc = ledger.to_doc()
+        details[tag] = {
+            "topology": cluster.comm.topology.signature,
+            "collectives": len(colls),
+            "bytes": doc["totals"]["bytes"],
+            "bisection": doc["bisection"],
+        }
+    if not conserved:
+        raise AssertionError("netflow ledger and comm.link_bytes metrics "
+                             "disagree on per-pair bytes")
+    # Transpose's large payload autotunes to ring everywhere, which is
+    # contention-free even on the fat-tree (one crossing sender per
+    # leaf switch per round) — so also pin the contended regime: a
+    # small-payload KMeans gather picks recursive doubling, whose
+    # same-switch crossing senders queue on the shared uplinks
+    spec = PERF_WORKLOADS["KMeans"](size, seed=0)
+    cluster = make_cluster(
+        "simd-focused", nodes, topology=make_topology("fat-tree:2", nodes)
+    )
+    cluster.comm.metrics = MetricsRegistry()
+    res = run_on_cucc(spec, cluster, netflow=True)
+    colls = res.runtime.netflow.collectives()
+    exact &= all(c.reconstructed_s == c.span_s for c in colls)
+    span = sum(c.span_s for c in colls)
+    contended = (sum(c.contention_s for c in colls) / span
+                 if span > 0 else 0.0)
+    if contended <= 0.0:
+        raise AssertionError(
+            "small-payload gather on the oversubscribed fat-tree should "
+            "show uplink contention"
+        )
+    metrics["fat_tree_small_payload_contention_fraction"] = contended
+    if not exact:
+        raise AssertionError("netflow decomposition failed to reconstruct "
+                             "a collective span bit-exactly")
+    metrics["decomposition_exact"] = 1.0
+    metrics["bytes_conserved"] = 1.0
+    # the fat-tree pays for its oversubscription in queueing seconds;
+    # the full-bisection flat network must not
+    assert metrics["flat_contention_fraction"] == 0.0
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": "network",
+        "size": size,
+        "metrics": metrics,
+        "details": details,
+    }
+
+
 def bench_obs_overhead(size: str) -> dict:
     """Serving-observatory overhead: the always-on promise as metrics.
 
@@ -518,6 +611,36 @@ def bench_obs_overhead(size: str) -> dict:
             f"observatory hooks add {overhead * 100:.2f}% more calls "
             f"({calls_on} vs {calls_off}; budget {budget * 100:.0f}%)"
         )
+    # -- netflow leg: same contract for the flow ledger, on the
+    # topology where it does the most work (an oversubscribed fat-tree)
+    ft_plain_cfg = ServeConfig(nodes=6, topology="fat-tree:2")
+    ft_flow_cfg = ServeConfig(nodes=6, topology="fat-tree:2", netflow=True)
+    ft_plain = run(ft_plain_cfg)
+    ft_flow = run(ft_flow_cfg)
+    nf_sim_delta = ft_flow.stats.makespan_s - ft_plain.stats.makespan_s
+    if nf_sim_delta != 0.0:
+        raise AssertionError(
+            f"netflow perturbed the simulated clock by {nf_sim_delta!r} s"
+        )
+    nf_divergences = float(sum(
+        a.identity() != b.identity()
+        for a, b in zip(ft_plain.results, ft_flow.results)
+    ))
+    if nf_divergences:
+        raise AssertionError("netflow changed per-job outcomes")
+    nf_calls_off = count_calls(
+        lambda: run(ServeConfig(nodes=6, topology="fat-tree:2"))
+    )
+    nf_calls_on = count_calls(
+        lambda: run(ServeConfig(nodes=6, topology="fat-tree:2",
+                                netflow=True))
+    )
+    nf_overhead = nf_calls_on / nf_calls_off - 1.0
+    if nf_overhead > budget:
+        raise AssertionError(
+            f"netflow recording adds {nf_overhead * 100:.2f}% more calls "
+            f"({nf_calls_on} vs {nf_calls_off}; budget {budget * 100:.0f}%)"
+        )
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "name": "obs_overhead",
@@ -531,14 +654,22 @@ def bench_obs_overhead(size: str) -> dict:
             "ledger_events": float(len(full.fleet.events)),
             "slo_events": float(len(full.slo_events)),
             "postmortem_dumps": float(len(full.postmortems)),
+            # the netflow row: same contract for the flow ledger
+            "netflow_sim_time_delta_s": nf_sim_delta,
+            "netflow_identity_divergences": nf_divergences,
+            "netflow_call_overhead_within_budget": 1.0,
+            "netflow_collectives": float(len(ft_flow.netflow)),
         },
         "details": {
             "call_overhead_fraction": overhead,
             "calls_plain": calls_off,
             "calls_observed": calls_on,
+            "netflow_call_overhead_fraction": nf_overhead,
+            "netflow_calls_plain": nf_calls_off,
+            "netflow_calls_on": nf_calls_on,
             "budget_fraction": budget,
             "note": "call counts depend on the interpreter version; "
-                    "only the within-budget boolean is gated",
+                    "only the within-budget booleans are gated",
         },
     }
 
@@ -552,6 +683,7 @@ BENCHMARKS = {
     "jit": bench_jit,
     "serving": bench_serving,
     "obs_overhead": bench_obs_overhead,
+    "network": bench_network,
 }
 
 

@@ -59,6 +59,7 @@ def run_on_cucc(
     app_meta=None,
     backend: str = "auto",
     jit_cache=None,
+    netflow=False,
 ) -> CuCCResult:
     """Run a workload through the three-phase CuCC runtime.
 
@@ -77,6 +78,9 @@ def run_on_cucc(
     ``backend``/``jit_cache`` select the kernel-execution backend (the
     tree-walking interpreter, the JIT fast path, or auto-fallback) —
     modeled times and buffers are bit-identical either way.
+    ``netflow`` (a bool or a :class:`~repro.obs.netflow.NetFlowLedger`)
+    attaches the per-link flow ledger, reachable via
+    ``result.runtime.netflow``.
     """
     rt = CuCCRuntime(
         cluster,
@@ -92,6 +96,7 @@ def run_on_cucc(
         drift_guard=drift_guard,
         backend=backend,
         jit_cache=jit_cache,
+        netflow=netflow,
     )
     if app_meta and rt.ops is not None:
         rt.ops.app.update(app_meta)

@@ -30,6 +30,13 @@
                           --fault-every 3 --postmortem pm/  # flight recorder
     python -m repro postmortem pm/postmortem-job-0002.json  # render dump
     python -m repro explain a.json b.json        # where did the time go?
+    python -m repro run KMeans --nodes 8 --topology fat-tree:2 \\
+                            --netflow net.json   # per-link flow ledger
+    python -m repro netview net.json             # hottest links, contention
+    python -m repro tune --nodes 8 --topology fat-tree:2 --netflow tn.json
+    python -m repro netview --explain-tune tn.json   # measured vs modeled
+    python -m repro run FIR --nodes 4 --metrics-json m.json  # counters JSON
+    python -m repro report --metrics-json m.json # render the snapshot
     python -m repro specs                        # Table 1
     python -m repro bench fig08 ...              # == python -m repro.bench
 
@@ -173,7 +180,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         tuning = TuningCache.load(args.tuning)
         print(f"loaded {tuning!r}")
-    for flag in ("trace", "profile", "drift"):
+    for flag in ("trace", "profile", "drift", "netflow"):
         if getattr(args, flag) and args.platform != "cucc":
             raise ReproError(f"--{flag} requires --platform cucc")
     if args.platform != "cucc" and args.backend != "auto":
@@ -206,6 +213,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 raise ReproError(
                     "--resume restores the fault schedule from the "
                     "checkpoint itself; drop --faults"
+                )
+            if args.netflow:
+                raise ReproError(
+                    "--netflow is not supported with --resume (the "
+                    "ledger would miss the replayed prefix)"
                 )
             import os
 
@@ -242,6 +254,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 checkpoint=checkpoint, drift_guard=drift_guard,
                 app_meta={"workload": spec.name, "size": args.size},
                 backend=args.backend, jit_cache=args.jit_cache,
+                netflow=bool(args.netflow),
             )
         if res.runtime.ops is not None and res.runtime.ops.written:
             print(f"wrote {res.runtime.ops.written} checkpoint(s) to "
@@ -270,11 +283,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
             with open(args.profile, "w") as f:
                 f.write(report + "\n")
             print(f"wrote per-line profile to {args.profile}")
+        if args.netflow:
+            _ensure_parent(args.netflow)
+            path = res.runtime.netflow.dump(args.netflow)
+            print(f"wrote netflow ledger "
+                  f"({len(res.runtime.netflow)} collective(s)) to {path} "
+                  f"(render with 'python -m repro netview {path}')")
         if args.metrics:
             from repro.obs.metrics import METRICS
 
             print()
             print(METRICS.render())
+        if args.metrics_json:
+            from repro.obs.metrics import METRICS
+
+            _ensure_parent(args.metrics_json)
+            with open(args.metrics_json, "w") as f:
+                f.write(METRICS.snapshot_json())
+            print(f"wrote metrics JSON to {args.metrics_json}")
     elif args.platform == "pgas":
         cluster = make_cluster(args.cluster, args.nodes)
         t = run_on_pgas(spec, cluster)
@@ -338,7 +364,10 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     loaded = len(cache)
     cluster = make_cluster(args.cluster, args.nodes, topology=args.topology)
     payloads = tuple(int(p) for p in args.payload) if args.payload else None
-    autotune(cluster, payloads=payloads, cache=cache)
+    if args.netflow:
+        _ensure_parent(args.netflow)
+    autotune(cluster, payloads=payloads, cache=cache,
+             flow_log=args.netflow)
     topo = cluster.comm.topology
     print(f"tuned {cluster.name} over topology {topo.describe()}")
     rows = []
@@ -358,12 +387,27 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     path = cache.save(args.cache)
     fresh = len(cache) - loaded
     print(f"wrote {len(cache)} entries ({fresh} new) to {path}")
+    if args.netflow:
+        print(f"wrote per-trial flow ledgers to {args.netflow} (render "
+              f"with 'python -m repro netview --explain-tune "
+              f"{args.netflow}')")
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    """Critical-path / imbalance report over an exported trace file."""
+    """Critical-path / imbalance report over an exported trace file,
+    and/or a diff-friendly render of a metrics JSON snapshot."""
     import os
+
+    if args.metrics_json:
+        _render_metrics_json(args.metrics_json)
+        if args.trace_file is None:
+            return 0
+        print()
+    if args.trace_file is None:
+        raise ReproError(
+            "nothing to report: pass a trace file and/or --metrics-json"
+        )
 
     from repro.obs.export import format_critical_report
 
@@ -386,6 +430,50 @@ def _cmd_report(args: argparse.Namespace) -> int:
             f"cannot analyze {args.trace_file!r}: {e} "
             "(is it a trace written by 'repro run --trace'?)"
         ) from e
+    return 0
+
+
+def _render_metrics_json(path: str) -> None:
+    """Validate + render a snapshot written by ``--metrics-json``."""
+    import json
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        raise ReproError(f"cannot load {path!r}: {e}") from e
+    if not isinstance(doc, dict) or "metrics_format_version" not in doc:
+        raise ReproError(
+            f"{path!r} is not a metrics snapshot (missing "
+            "metrics_format_version; was it written by --metrics-json?)"
+        )
+    print(f"metrics snapshot {path} "
+          f"(format v{doc['metrics_format_version']})")
+    for name, series in sorted(doc.get("metrics", {}).items()):
+        for label, value in sorted(series.items()):
+            tag = f"{{{label}}}" if label else ""
+            if isinstance(value, dict):
+                body = (f"count={value['count']} sum={value['sum']:.6g} "
+                        f"min={value['min']:.6g} max={value['max']:.6g}")
+            else:
+                body = f"{value:.6g}"
+            print(f"{name}{tag} {body}")
+
+
+def _cmd_netview(args: argparse.Namespace) -> int:
+    """Render a netflow document: hottest links, traffic heatmap,
+    contention ranking — or the tune-sweep explanation."""
+    from repro.obs.netview import (
+        format_explain_tune,
+        format_netview,
+        load_netflow,
+    )
+
+    doc = load_netflow(args.file)
+    if args.explain_tune:
+        print(format_explain_tune(doc))
+    else:
+        print(format_netview(doc, top=args.top))
     return 0
 
 
@@ -624,6 +712,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         observatory=bool(args.observatory),
         slo=args.slo,
         postmortem_dir=args.postmortem,
+        netflow=bool(args.netflow),
     )
     server = CuCCServer(config)
     if server.jit_cache is not None:
@@ -647,11 +736,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         path = write_chrome_trace(server.tracer, args.trace)
         print(f"wrote {len(server.tracer)} spans to {path} (job spans "
               f"carry job_id; ranks are physical pool node ids)")
+    if args.netflow:
+        _ensure_parent(args.netflow)
+        path = report.netflow.dump(args.netflow)
+        print(f"wrote netflow ledger ({len(report.netflow)} "
+              f"collective(s), attributed by job_id) to {path} (render "
+              f"with 'python -m repro netview {path}')")
     if args.metrics:
         from repro.obs.metrics import METRICS
 
         print()
         print(METRICS.render())
+    if args.metrics_json:
+        from repro.obs.metrics import METRICS
+
+        _ensure_parent(args.metrics_json)
+        with open(args.metrics_json, "w") as f:
+            f.write(METRICS.snapshot_json())
+        print(f"wrote metrics JSON to {args.metrics_json}")
     if args.check_serial:
         serial = serve_serially(requests, ServeConfig(
             nodes=args.nodes, cluster=args.cluster, topology=args.topology,
@@ -758,17 +860,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed for the fault plan's random choices")
-    p.add_argument("--topology", default=None,
-                   choices=("flat", "fat-tree", "ring", "torus"),
-                   help="network topology (default: flat alpha-beta fabric)")
+    p.add_argument("--topology", default=None, metavar="KIND",
+                   help="network topology: flat, fat-tree[:K], ring or "
+                        "torus (default: flat alpha-beta fabric; "
+                        "fat-tree:K forces K nodes per leaf switch)")
     p.add_argument("--tuning", metavar="PATH", default=None,
                    help="JSON tuning cache consulted by the 'auto' "
                         "Allgather (written by 'repro tune')")
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="record spans (cucc only) and export Chrome "
                         "trace-event JSON (Perfetto / chrome://tracing)")
+    p.add_argument("--netflow", metavar="PATH", default=None,
+                   help="record the per-link network flow ledger (cucc "
+                        "only) and write its JSON document to PATH "
+                        "(render with 'repro netview')")
     p.add_argument("--metrics", action="store_true",
                    help="print the metrics-registry snapshot after the run")
+    p.add_argument("--metrics-json", metavar="PATH", default=None,
+                   help="write the metrics-registry snapshot as "
+                        "deterministic JSON (sorted names/labels) to PATH")
     p.add_argument("--profile", metavar="PATH", default=None,
                    help="attribute op counts per kernel source line (cucc "
                         "only) and write the hotspot report to PATH")
@@ -835,9 +945,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=4)
     p.add_argument("--size", default="small", choices=("small", "paper"))
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--topology", default=None,
-                   choices=("flat", "fat-tree", "ring", "torus"),
-                   help="network topology (default: flat alpha-beta fabric)")
+    p.add_argument("--topology", default=None, metavar="KIND",
+                   help="network topology: flat, fat-tree[:K], ring or "
+                        "torus (default: flat alpha-beta fabric; "
+                        "fat-tree:K forces K nodes per leaf switch)")
     p.add_argument("--out", metavar="PATH", default=None,
                    help="also write the report to a file")
     p.set_defaults(fn=_cmd_profile)
@@ -852,7 +963,11 @@ def build_parser() -> argparse.ArgumentParser:
             "phase split along the critical path."
         ),
     )
-    p.add_argument("trace_file", help="trace JSON written by 'run --trace'")
+    p.add_argument("trace_file", nargs="?", default=None,
+                   help="trace JSON written by 'run --trace'")
+    p.add_argument("--metrics-json", metavar="FILE", default=None,
+                   help="also (or instead) render a metrics snapshot "
+                        "written by 'run/serve --metrics-json'")
     p.add_argument("--drift", action="store_true",
                    help="also print the model-drift table (needs a trace "
                         "recorded by 'run --trace ... --drift')")
@@ -860,6 +975,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="|relative error| that flags a prediction "
                         "(default 0.25)")
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "netview",
+        help="render a netflow ledger: hottest links, contention, heatmap",
+        description=(
+            "Read the JSON document written by 'run --netflow', "
+            "'serve --netflow' or 'tune --netflow' and tell the network "
+            "story: collective-time decomposition (alpha / serialization "
+            "/ contention / local), the hottest physical links, the "
+            "contention ranking naming the leaf-switch uplinks that "
+            "caused queueing, the src->dst traffic heatmap, per-op and "
+            "per-job traffic, and bisection/oversubscription accounting. "
+            "With --explain-tune (on a tune document) it prints the "
+            "measured-vs-modeled per-algorithm comparison explaining "
+            "the autotuner's choices."
+        ),
+    )
+    p.add_argument("file", help="netflow JSON written by --netflow")
+    p.add_argument("--top", type=int, default=10, metavar="K",
+                   help="rows in the link/contention rankings "
+                        "(default: %(default)s)")
+    p.add_argument("--explain-tune", action="store_true",
+                   help="render a tune-sweep document: per payload, each "
+                        "algorithm's measured vs modeled cost, exact "
+                        "decomposition and hottest links")
+    p.set_defaults(fn=_cmd_netview)
 
     p = sub.add_parser(
         "tune",
@@ -875,15 +1016,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cluster", default="simd-focused",
                    choices=("simd-focused", "thread-focused"))
     p.add_argument("--nodes", type=int, default=4)
-    p.add_argument("--topology", default=None,
-                   choices=("flat", "fat-tree", "ring", "torus"),
-                   help="network topology (default: flat alpha-beta fabric)")
+    p.add_argument("--topology", default=None, metavar="KIND",
+                   help="network topology: flat, fat-tree[:K], ring or "
+                        "torus (default: flat alpha-beta fabric; "
+                        "fat-tree:K forces K nodes per leaf switch)")
     p.add_argument("--payload", action="append", metavar="BYTES",
                    help="total Allgather bytes to tune (repeatable; "
                         "default: 1 KiB .. 4 MiB sweep)")
     p.add_argument("--cache", metavar="PATH", default=".repro-tuning.json",
                    help="tuning-cache file to merge into (default: "
                         "%(default)s)")
+    p.add_argument("--netflow", metavar="PATH", default=None,
+                   help="dump every trial's flow ledger (measured vs "
+                        "modeled per algorithm) as a tune netflow "
+                        "document; render with "
+                        "'repro netview --explain-tune'")
     p.set_defaults(fn=_cmd_tune)
 
     p = sub.add_parser(
@@ -995,8 +1142,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed for arrivals, mix draws and per-job data")
     p.add_argument("--cluster", default="simd-focused",
                    choices=("simd-focused", "thread-focused"))
-    p.add_argument("--topology", default=None,
-                   choices=("flat", "fat-tree", "ring", "torus"))
+    p.add_argument("--topology", default=None, metavar="KIND",
+                   help="per-job network topology: flat, fat-tree[:K], "
+                        "ring or torus")
     p.add_argument("--no-pipeline", action="store_true",
                    help="disable Allgather-window pipelining (jobs still "
                         "run concurrently on disjoint subsets)")
@@ -1017,8 +1165,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="export a Chrome trace of the whole service run; "
                         "every span carries its job_id")
+    p.add_argument("--netflow", metavar="PATH", default=None,
+                   help="record the per-link flow ledger across all jobs "
+                        "(traffic attributed by job_id, links by pool "
+                        "node id) and write its JSON document to PATH")
     p.add_argument("--metrics", action="store_true",
                    help="print the metrics-registry snapshot after the run")
+    p.add_argument("--metrics-json", metavar="PATH", default=None,
+                   help="write the metrics-registry snapshot as "
+                        "deterministic JSON (sorted names/labels) to PATH")
     p.add_argument("--check-serial", action="store_true",
                    help="rerun the same jobs serially and exit 1 unless "
                         "every job is bit-identical")

@@ -95,6 +95,7 @@ class Cluster:
         self.comm.comm_bytes = old.comm_bytes
         self.comm.tracer = old.tracer
         self.comm.metrics = old.metrics
+        self.comm.netflow = old.netflow
         return dead
 
     def grow(self, born_ranks) -> list:
@@ -146,6 +147,7 @@ class Cluster:
         self.comm.comm_bytes = old.comm_bytes
         self.comm.tracer = old.tracer
         self.comm.metrics = old.metrics
+        self.comm.netflow = old.netflow
         return fresh
 
     def reset_clocks(self) -> None:

@@ -52,6 +52,7 @@ __all__ = [
     "AllgatherAlgo",
     "ALLGATHER_ALGOS",
     "allgather_schedule",
+    "priced_round",
     "round_costs",
     "schedule_cost",
     "allgather_algo_cost",
@@ -270,6 +271,27 @@ def rank_groups(
 # ---------------------------------------------------------------------------
 # schedule pricing
 # ---------------------------------------------------------------------------
+def priced_round(
+    sends: Round,
+    block_bytes: list[float],
+    positions: tuple[int, ...],
+) -> list[tuple[int, int, float]]:
+    """One round's messages as the ``(src_pos, dst_pos, nbytes)`` list
+    :meth:`~repro.cluster.topology.Topology.round_cost` prices.  The
+    single source of pricing truth: :func:`round_costs` and the netflow
+    ledger both go through here, so the ledger's re-pricing is
+    bit-identical to the durations the simulation charged.
+    """
+    return [
+        (
+            positions[src],
+            positions[dst],
+            float(sum(block_bytes[b] for b in blocks)),
+        )
+        for src, dst, blocks in sends
+    ]
+
+
 def round_costs(
     topo: Topology,
     rounds: tuple[Round, ...],
@@ -291,15 +313,8 @@ def round_costs(
         if not sends:
             costs.append(0.0)
             continue
-        priced = [
-            (
-                positions[src],
-                positions[dst],
-                float(sum(block_bytes[b] for b in blocks)),
-            )
-            for src, dst, blocks in sends
-        ]
-        costs.append(topo.round_cost(priced))
+        costs.append(topo.round_cost(priced_round(sends, block_bytes,
+                                                  positions)))
     return costs
 
 

@@ -72,6 +72,10 @@ class Communicator:
         #: metrics registry fed per collective (the autotuner swaps in a
         #: disabled one so sweep traffic does not pollute run statistics)
         self.metrics = METRICS
+        #: optional :class:`repro.obs.netflow.NetFlowLedger` fed one raw
+        #: record per schedule-driven collective (None-checked like the
+        #: tracer: no ledger, no work)
+        self.netflow = None
         #: algorithm chosen by the most recent Allgather call
         self.last_algorithm: str | None = None
         #: cumulative modeled seconds spent in communication (all ops)
@@ -327,6 +331,12 @@ class Communicator:
                     "allgather", buffer, algo_name, start, duration,
                     total_bytes, rounds, [block_bytes] * self.size, positions,
                 )
+            if self.netflow is not None:
+                self.netflow.record_collective(
+                    "allgather", buffer, algo_name, self.topology, rounds,
+                    [block_bytes] * self.size, positions, start,
+                    self._pace(), total_bytes, duration,
+                )
         self.comm_bytes += total_bytes
         if self.metrics.enabled:
             self.metrics.inc("comm.gathers", algo=algo_name)
@@ -391,6 +401,13 @@ class Communicator:
                         duration, total_bytes, rounds,
                         [block_bytes] * self.size, positions,
                     )
+                if self.netflow is not None:
+                    self.netflow.record_collective(
+                        "allgather-oop", dst_buffer, algo_name,
+                        self.topology, rounds, [block_bytes] * self.size,
+                        positions, start, self._pace(), total_bytes,
+                        duration,
+                    )
         self.comm_bytes += total_bytes
         if self.metrics.enabled:
             self.metrics.inc("comm.gathers", algo=algo_name)
@@ -438,6 +455,12 @@ class Communicator:
                 self._trace_collective(
                     "allgatherv", buffer, algo_name, start, duration,
                     total_bytes, rounds, byte_counts, positions,
+                )
+            if self.netflow is not None:
+                self.netflow.record_collective(
+                    "allgatherv", buffer, algo_name, self.topology, rounds,
+                    byte_counts, positions, start, self._pace(),
+                    total_bytes, duration,
                 )
         self.comm_bytes += total_bytes
         if self.metrics.enabled:

@@ -299,15 +299,29 @@ def make_topology(
     network: NetworkSpec | None = None,
     **kwargs: object,
 ) -> Topology:
-    """Build a topology by CLI name (see :data:`TOPOLOGY_KINDS`)."""
+    """Build a topology by CLI name (see :data:`TOPOLOGY_KINDS`).
+
+    ``fat-tree`` accepts an optional ``:K`` suffix forcing ``K`` nodes
+    per leaf switch (e.g. ``fat-tree:2``) — without it the network
+    spec's switch radix applies, which on small clusters puts every
+    node in one switch and never exercises the uplinks.
+    """
     from repro.hw.specs import INFINIBAND_100G
 
     net = network or INFINIBAND_100G
     key = kind.lower()
     if key == "flat":
         return FlatTopology(num_nodes, network=net)
-    if key == "fat-tree":
+    if key == "fat-tree" or key.startswith("fat-tree:"):
         k = kwargs.pop("nodes_per_switch", None)
+        if key != "fat-tree":
+            suffix = key.split(":", 1)[1]
+            try:
+                k = int(suffix)
+            except ValueError:
+                raise ClusterError(
+                    f"bad fat-tree switch size {suffix!r} in {kind!r}"
+                ) from None
         return fat_tree_from_network(net, num_nodes, nodes_per_switch=k)
     if key == "ring":
         return RingTopology(

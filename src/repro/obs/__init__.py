@@ -19,7 +19,12 @@ Five pieces (see DESIGN.md sections 10-11):
 * :mod:`repro.obs.slo` — declarative SLO policies with windowed
   burn-rate monitoring for the serving loop, loaded lazily;
 * :mod:`repro.obs.explain` — offline regression attribution between two
-  exported runs (``repro explain``), loaded lazily.
+  exported runs (``repro explain``), loaded lazily;
+* :mod:`repro.obs.netflow` — the per-link network flow ledger
+  (per-collective link attribution, contention decomposition,
+  ``net.*`` counter tracks; DESIGN.md section 16), loaded lazily;
+* :mod:`repro.obs.netview` — text rendering of netflow documents
+  (``repro netview``), loaded lazily.
 """
 
 from __future__ import annotations
@@ -45,6 +50,10 @@ __all__ = [
     "SLOPolicy", "SLOEvent", "SLOMonitor",
     # lazily resolved from repro.obs.explain:
     "explain", "ExplainReport", "format_explain_report",
+    # lazily resolved from repro.obs.netflow:
+    "NetFlowLedger", "Flow", "CollectiveFlow", "NETFLOW_FORMAT_VERSION",
+    # lazily resolved from repro.obs.netview:
+    "load_netflow", "format_netview", "format_explain_tune",
 ]
 
 _EXPORT_NAMES = frozenset(
@@ -85,6 +94,14 @@ _EXPLAIN_NAMES = frozenset(
     ["explain", "ExplainReport", "format_explain_report"]
 )
 
+_NETFLOW_NAMES = frozenset(
+    ["NetFlowLedger", "Flow", "CollectiveFlow", "NETFLOW_FORMAT_VERSION"]
+)
+
+_NETVIEW_NAMES = frozenset(
+    ["load_netflow", "format_netview", "format_explain_tune"]
+)
+
 
 def __getattr__(name: str):
     if name in _EXPORT_NAMES:
@@ -111,4 +128,12 @@ def __getattr__(name: str):
         from repro.obs import explain
 
         return getattr(explain, name)
+    if name in _NETFLOW_NAMES:
+        from repro.obs import netflow
+
+        return getattr(netflow, name)
+    if name in _NETVIEW_NAMES:
+        from repro.obs import netview
+
+        return getattr(netview, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

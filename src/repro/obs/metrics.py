@@ -173,6 +173,20 @@ class MetricsRegistry:
             out[name] = series
         return out
 
+    def snapshot_json(self) -> str:
+        """:meth:`snapshot` as deterministic JSON: schema-versioned,
+        sorted names and label strings, one value (or histogram dict)
+        per series.  Two registries fed the same increments in any
+        order serialize byte-identically, so CI and ``repro netview``
+        can diff metrics without parsing the text render."""
+        import json
+
+        doc = {
+            "metrics_format_version": 1,
+            "metrics": self.snapshot(),
+        }
+        return json.dumps(doc, indent=1, sort_keys=True) + "\n"
+
     def render(self) -> str:
         """Text snapshot, one ``name{labels} value`` line per series."""
         lines = []

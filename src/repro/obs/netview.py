@@ -1,0 +1,298 @@
+"""Text rendering of netflow documents — the ``repro netview`` CLI.
+
+Consumes the deterministic JSON written by
+:meth:`repro.obs.netflow.NetFlowLedger.dump` (``kind: "run"``) or by
+``repro tune --netflow`` (``kind: "tune"``) and renders the network
+story as text: the hottest physical links, the per-pair traffic matrix
+as a shaded heatmap, the contention ranking that names the leaf-switch
+uplinks responsible for queueing, bisection/oversubscription accounting,
+and — for tune documents — the modeled-vs-measured per-algorithm
+comparison that explains why the autotuner's winner won.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ReproError
+from repro.obs.netflow import NETFLOW_FORMAT_VERSION
+
+__all__ = [
+    "load_netflow",
+    "format_netview",
+    "format_heatmap",
+    "format_explain_tune",
+]
+
+#: shade ramp for the traffic heatmap, lightest to heaviest
+_SHADES = " .:-=+*#%@"
+
+
+def load_netflow(path) -> dict:
+    """Load + validate a netflow JSON document (run or tune kind)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise ReproError(f"cannot read netflow document {path}: {e}") from e
+    if not isinstance(doc, dict) or "netflow_format_version" not in doc:
+        raise ReproError(
+            f"{path} is not a netflow document (missing "
+            f"netflow_format_version; was it written by --netflow?)"
+        )
+    version = doc["netflow_format_version"]
+    if version != NETFLOW_FORMAT_VERSION:
+        raise ReproError(
+            f"{path}: netflow format v{version} is not supported "
+            f"(this build reads v{NETFLOW_FORMAT_VERSION})"
+        )
+    if doc.get("kind") not in ("run", "tune"):
+        raise ReproError(
+            f"{path}: unknown netflow document kind {doc.get('kind')!r}"
+        )
+    return doc
+
+
+def _fmt_bytes(n: float) -> str:
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024.0 or unit == "GiB":
+            return f"{n:.0f} {unit}" if unit == "B" else f"{n:.1f} {unit}"
+        n /= 1024.0
+    return f"{n:.1f} GiB"  # pragma: no cover - loop always returns
+
+
+def _fmt_s(t: float) -> str:
+    t = float(t)
+    if t == 0.0:
+        return "0"
+    if abs(t) < 1e-3:
+        return f"{t * 1e6:.2f} us"
+    if abs(t) < 1.0:
+        return f"{t * 1e3:.3f} ms"
+    return f"{t:.4f} s"
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()]
+    out.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip())
+    return out
+
+
+def format_heatmap(matrix: dict[str, float]) -> str:
+    """Shaded src×dst traffic heatmap from a ``"s->d": bytes`` matrix."""
+    if not matrix:
+        return "(no traffic)"
+    pairs = {}
+    nodes: set[int] = set()
+    for key, nbytes in matrix.items():
+        s, d = key.split("->")
+        s, d = int(s), int(d)
+        pairs[(s, d)] = float(nbytes)
+        nodes.add(s)
+        nodes.add(d)
+    order = sorted(nodes)
+    peak = max(pairs.values())
+    w = max(2, len(str(order[-1])))
+    lines = [
+        "src\\dst " + " ".join(str(d).rjust(w) for d in order),
+    ]
+    for s in order:
+        cells = []
+        for d in order:
+            v = pairs.get((s, d), 0.0)
+            if v <= 0.0:
+                cells.append(".".rjust(w))
+                continue
+            shade = _SHADES[min(
+                len(_SHADES) - 1,
+                int(v / peak * (len(_SHADES) - 1) + 0.999),
+            )]
+            cells.append((shade * 2).rjust(w))
+        lines.append(f"{str(s).rjust(7)} " + " ".join(cells))
+    lines.append(
+        f"(shade ramp '{_SHADES[1:]}' scales linearly to the peak pair, "
+        f"{_fmt_bytes(peak)})"
+    )
+    return "\n".join(lines)
+
+
+def format_netview(doc: dict, top: int = 10) -> str:
+    """Render a ``kind="run"`` netflow document as the netview report."""
+    if doc.get("kind") != "run":
+        raise ReproError(
+            "this is a tune-sweep netflow document; render it with "
+            "'repro netview --explain-tune'"
+        )
+    totals = doc.get("totals", {})
+    lines = ["== network view =="]
+    span = float(totals.get("span_s", 0.0)) or 0.0
+    lines.append(
+        f"{totals.get('collectives', 0)} collectives, "
+        f"{totals.get('flows', 0)} messages, "
+        f"{_fmt_bytes(totals.get('bytes', 0))} moved, "
+        f"{_fmt_s(span)} of collective time"
+    )
+    if span > 0:
+        parts = []
+        for key, label in (("alpha_s", "alpha"), ("serial_s", "serial"),
+                           ("contention_s", "contention"),
+                           ("local_s", "local")):
+            v = float(totals.get(key, 0.0))
+            parts.append(f"{label} {_fmt_s(v)} ({v / span * 100.0:.1f}%)")
+        lines.append("decomposition: " + ", ".join(parts))
+
+    links = doc.get("links", {})
+    if links:
+        lines.append("")
+        lines.append(f"-- hottest links (top {top} by bytes) --")
+        hottest = sorted(
+            links.items(), key=lambda kv: (-kv[1]["bytes"], kv[0])
+        )[:top]
+        lines.extend(_table(
+            ["link", "kind", "bytes", "msgs", "busy", "queued"],
+            [
+                [label, e["kind"], _fmt_bytes(e["bytes"]), str(e["msgs"]),
+                 _fmt_s(e["busy_s"]), _fmt_s(e["queue_s"])]
+                for label, e in hottest
+            ],
+        ))
+        contended = sorted(
+            (kv for kv in links.items() if kv[1]["queue_s"] > 0.0),
+            key=lambda kv: (-kv[1]["queue_s"], kv[0]),
+        )[:top]
+        if contended:
+            lines.append("")
+            lines.append("-- contention ranking (queueing seconds) --")
+            lines.extend(_table(
+                ["link", "kind", "queued", "msgs", "bytes"],
+                [
+                    [label, e["kind"], _fmt_s(e["queue_s"]), str(e["msgs"]),
+                     _fmt_bytes(e["bytes"])]
+                    for label, e in contended
+                ],
+            ))
+        else:
+            lines.append("")
+            lines.append("no link contention observed")
+
+    matrix = doc.get("matrix", {})
+    if matrix:
+        lines.append("")
+        lines.append("-- traffic matrix (bytes, src -> dst) --")
+        lines.append(format_heatmap(matrix))
+
+    ops = doc.get("ops", {})
+    if len(ops) > 1:
+        lines.append("")
+        lines.append("-- per-op traffic --")
+        lines.extend(_table(
+            ["op", "bytes", "pairs"],
+            [
+                [op, _fmt_bytes(sum(m.values())), str(len(m))]
+                for op, m in sorted(ops.items())
+            ],
+        ))
+
+    jobs = doc.get("jobs", {})
+    if jobs:
+        lines.append("")
+        lines.append("-- per-job traffic --")
+        rows = []
+        for job, j in sorted(
+            jobs.items(), key=lambda kv: (-kv[1]["bytes"], kv[0])
+        ):
+            rows.append([
+                job, str(j["collectives"]), _fmt_bytes(j["bytes"]),
+                _fmt_s(j["span_s"]), _fmt_s(j["contention_s"]),
+            ])
+        lines.extend(_table(
+            ["job", "collectives", "bytes", "net time", "contention"], rows
+        ))
+
+    bisect = doc.get("bisection", {})
+    if bisect:
+        lines.append("")
+        lines.append("-- bisection --")
+        rows = []
+        for sig, b in sorted(bisect.items()):
+            rows.append([
+                sig,
+                f"{b['bisection_bytes_per_s'] / 1e9:.1f} GB/s",
+                f"{b['oversubscription']:.2f}x",
+                _fmt_bytes(b["bytes_crossing"]),
+            ])
+        lines.extend(_table(
+            ["topology", "bisection bw", "oversub", "bytes crossing"], rows
+        ))
+    return "\n".join(lines)
+
+
+def format_explain_tune(doc: dict, top: int = 3) -> str:
+    """Render a ``kind="tune"`` document: per payload, the measured and
+    modeled cost of every algorithm, its exact cost decomposition, and
+    its hottest links — why the winner won, what the rejected
+    algorithms would have cost the wires."""
+    if doc.get("kind") != "tune":
+        raise ReproError(
+            "this is a run netflow document, not a tune sweep; render it "
+            "with plain 'repro netview'"
+        )
+    lines = [
+        "== tune explain ==",
+        f"{doc.get('nodes', '?')} nodes on {doc.get('topology', '?')}",
+    ]
+    for entry in doc.get("payloads", []):
+        lines.append("")
+        lines.append(
+            f"-- payload {_fmt_bytes(entry['payload_bytes'])} "
+            f"(winner: {entry['winner']}) --"
+        )
+        trials = entry.get("trials", {})
+        ordered = sorted(
+            trials.items(), key=lambda kv: (kv[1]["measured_s"], kv[0])
+        )
+        rows = []
+        for algo, t in ordered:
+            modeled = t.get("modeled_s")
+            hot = sorted(
+                t.get("links", {}).items(),
+                key=lambda kv: (-kv[1]["bytes"], kv[0]),
+            )[:top]
+            rows.append([
+                ("*" if t.get("chosen") else " ") + algo,
+                _fmt_s(t["measured_s"]),
+                _fmt_s(modeled) if modeled is not None else "-",
+                _fmt_s(t["alpha_s"]),
+                _fmt_s(t["serial_s"]),
+                _fmt_s(t["contention_s"]),
+                str(t["rounds"]),
+                ", ".join(label for label, _ in hot) or "-",
+            ])
+        lines.extend(_table(
+            ["algorithm", "measured", "modeled", "alpha", "serial",
+             "contention", "rounds", "hottest links"],
+            rows,
+        ))
+        mismodeled = [
+            algo for algo, t in ordered
+            if t.get("modeled_s") is not None
+            and (min(
+                trials,
+                key=lambda a: (trials[a].get("modeled_s", float("inf")),
+                               a),
+            ) == algo) != bool(t.get("chosen"))
+        ]
+        if mismodeled:
+            lines.append(
+                "note: the cost model's cheapest pick differs from the "
+                "measured winner here (model refinement candidate: "
+                + ", ".join(sorted(mismodeled)) + ")"
+            )
+    return "\n".join(lines)

@@ -65,7 +65,13 @@ _TOPOLOGY_KINDS = {
 
 def _topology_kind(topo) -> str:
     name = type(topo).__name__
-    return _TOPOLOGY_KINDS.get(name, name)
+    kind = _TOPOLOGY_KINDS.get(name, name)
+    if kind == "fat-tree":
+        # carry the leaf-switch size so resume rebuilds the same tree
+        # even when it differs from the network spec's switch radix
+        # (make_topology parses the "fat-tree:K" suffix)
+        return f"fat-tree:{topo.nodes_per_switch}"
+    return kind
 
 
 # ---------------------------------------------------------------------------

@@ -209,6 +209,7 @@ class CuCCRuntime:
         drift_guard: object = None,
         backend: str = "auto",
         jit_cache: object = None,
+        netflow: object = False,
     ):
         if backend not in ("interp", "jit", "auto"):
             raise LaunchError(
@@ -271,8 +272,23 @@ class CuCCRuntime:
             if fault_plan is not None and fault_plan.faults
             else None
         )
+        #: per-link flow ledger fed by the communicator; ``None`` =
+        #: netflow off (the import is deferred so an unobserved runtime
+        #: never loads repro.obs.netflow)
+        self.netflow = None
+        # identity checks, not truthiness: a fresh (empty) ledger passed
+        # in by the serving layer is falsy but must still be attached
+        if netflow is not None and netflow is not False:
+            from repro.obs.netflow import NetFlowLedger
+
+            self.netflow = (
+                netflow if isinstance(netflow, NetFlowLedger)
+                else NetFlowLedger()
+            )
         cluster.comm.injector = self.injector
         cluster.comm.tracer = self.tracer
+        if self.netflow is not None:
+            cluster.comm.netflow = self.netflow
         if self.injector is not None:
             self.injector.tracer = self.tracer
         self._compiled: dict[str, CompiledKernel] = {}

@@ -88,6 +88,9 @@ class ServeReport:
     fleet: object = None
     #: post-mortem documents dumped by the flight recorder this run
     postmortems: list = field(default_factory=list)
+    #: the run's per-link flow ledger (repro.obs.netflow.NetFlowLedger),
+    #: when netflow was enabled; job traffic is attributed by job_id
+    netflow: object = None
 
     @property
     def slo_breached(self) -> bool:

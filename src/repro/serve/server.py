@@ -73,6 +73,9 @@ class ServeConfig:
     #: directory for flight-recorder post-mortem dumps (terminal job
     #: failures and SLO hard breaches), or None to keep them in memory
     postmortem_dir: object = None
+    #: per-link flow ledger with per-job traffic attribution:
+    #: bool | NetFlowLedger (loaded lazily, like the observatory)
+    netflow: object = False
 
 
 @dataclass(frozen=True)
@@ -85,6 +88,7 @@ class _ExecOutcome:
     profile: PhaseProfile
     digests: dict
     spans: tuple  # the job-local tracer's spans
+    netflow: tuple = ()  # the job-local flow ledger's raw records
 
 
 @dataclass
@@ -165,6 +169,9 @@ class CuCCServer:
             implied=self.slo_policy is not None
             or config.postmortem_dir is not None,
         )
+        #: service-wide flow ledger (None = netflow off); per-job
+        #: ledgers are adopted into it with job_id attribution
+        self.netflow = self._load_netflow(config.netflow)
         #: post-mortem documents dumped this run (flight recorder)
         self.postmortems: list[dict] = []
         #: paths written when config.postmortem_dir is set
@@ -193,6 +200,17 @@ class CuCCServer:
         return (
             observatory if isinstance(observatory, Observatory)
             else Observatory()
+        )
+
+    @staticmethod
+    def _load_netflow(netflow):
+        if netflow is None or netflow is False:
+            return None
+        from repro.obs.netflow import NetFlowLedger
+
+        return (
+            netflow if isinstance(netflow, NetFlowLedger)
+            else NetFlowLedger()
         )
 
     @staticmethod
@@ -240,6 +258,11 @@ class CuCCServer:
 
             fault_plan = FaultPlan.parse(req.faults, seed=req.fault_seed)
         job_tracer = Tracer() if self.tracer.enabled else False
+        job_netflow = None
+        if self.netflow is not None:
+            from repro.obs.netflow import NetFlowLedger
+
+            job_netflow = NetFlowLedger()
         status, error, record = "ok", None, None
         digests: dict[str, str] = {}
         try:
@@ -250,6 +273,7 @@ class CuCCServer:
                 trace=job_tracer,
                 backend=self.config.backend,
                 jit_cache=self.jit_cache,
+                netflow=job_netflow if job_netflow is not None else False,
             )
             for name, arr in spec.arrays.items():
                 rt.memory.alloc(name, arr.size, arr.dtype)
@@ -278,6 +302,8 @@ class CuCCServer:
         outcome = _ExecOutcome(
             status=status, error=error, record=record, profile=profile,
             digests=digests, spans=spans,
+            netflow=tuple(job_netflow._raw) if job_netflow is not None
+            else (),
         )
         self._outcomes[req.job_id] = outcome
         return outcome
@@ -316,6 +342,8 @@ class CuCCServer:
             obs.reset(self.config.nodes)
             self.postmortems = []
             self.postmortem_paths = []
+        if self.netflow is not None:
+            self.netflow.clear()
         monitor = None
         if self.slo_policy is not None:
             from repro.obs.slo import SLOMonitor
@@ -441,6 +469,12 @@ class CuCCServer:
             report.postmortems = list(self.postmortems)
             if self.tracer.enabled:
                 obs.append_counters(self.tracer)
+        if self.netflow is not None:
+            report.netflow = self.netflow
+            if self.tracer.enabled:
+                # strictly after the observatory's counters: the trace
+                # stays a byte-identical prefix of a netflow-off trace
+                self.netflow.append_counters(self.tracer)
         return report
 
     # -- fleet ledger + SLO + flight recorder hooks ---------------------
@@ -524,6 +558,17 @@ class CuCCServer:
         METRICS.observe("serve.wait_s",
                         res.timing.admit_s - req.arrival_s,
                         workload=req.workload)
+        if self.netflow is not None:
+            # adopt the job's flow records onto the service clock, with
+            # the job_id stamped and job-local ranks mapped to the
+            # leased pool node ids for display (pricing keeps the
+            # original positions and topology)
+            outcome = self._outcomes[req.job_id]
+            if outcome.netflow:
+                self.netflow.adopt(
+                    outcome.netflow, shift=res.timing.start_s,
+                    job_id=req.job_id, node_map=res.node_ids,
+                )
         if not self.tracer.enabled:
             return
         t = res.timing
@@ -618,6 +663,7 @@ def serve_serially(requests, config: ServeConfig | None = None, **kwargs):
         server._account(res)
     return ServeReport(
         results=results, pool_nodes=server.config.nodes, pipelined=False,
+        netflow=server.netflow,
     )
 
 

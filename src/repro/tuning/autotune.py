@@ -37,6 +37,7 @@ def autotune(
     algorithms: tuple[str, ...] = ALLGATHER_ALGOS,
     cache: TuningCache | None = None,
     verify: bool = True,
+    flow_log=None,
 ) -> TuningCache:
     """Measure every algorithm per payload and cache the winners.
 
@@ -48,6 +49,15 @@ def autotune(
     any algorithm's gathered bytes and the expected concatenation raises
     :class:`~repro.errors.ClusterError` — tuning must never trade
     correctness for speed.
+
+    ``flow_log`` (a path) attaches a fresh
+    :class:`~repro.obs.netflow.NetFlowLedger` to every trial and writes
+    one ``kind="tune"`` netflow document: per payload and algorithm,
+    the measured duration, the selector's modeled cost, the exact
+    alpha / serialization / contention decomposition, and the hottest
+    links — the evidence ``repro netview --explain-tune`` renders to
+    show why the winner won and what the rejected algorithms would
+    have done to the wires.
     """
     comm = cluster.comm
     n = comm.size
@@ -70,7 +80,12 @@ def autotune(
     comm.tracer = NULL_TRACER
     saved_metrics = comm.metrics
     comm.metrics = MetricsRegistry(enabled=False)
+    # an experiment's flow ledger must not see sweep traffic either;
+    # flow_log trials get their own throwaway ledgers
+    saved_netflow = comm.netflow
+    comm.netflow = None
     cursor = 0.0
+    flow_entries: list[dict] = []
 
     def restore_accounting() -> None:
         for nd, t in zip(comm.nodes, saved_clocks):
@@ -86,15 +101,23 @@ def autotune(
                 [_pattern(nd.born_rank, per_rank) for nd in comm.nodes]
             )
             measured: dict[str, float] = {}
+            flow_trials: dict[str, dict] = {}
             for algo in algorithms:
                 for r, nd in enumerate(comm.nodes):
                     buf = nd.alloc(_SCRATCH, total, np.uint8)
                     buf[r * per_rank : (r + 1) * per_rank] = _pattern(
                         nd.born_rank, per_rank
                     )
+                if flow_log is not None:
+                    from repro.obs.netflow import NetFlowLedger
+
+                    comm.netflow = NetFlowLedger()
                 duration = comm.allgather_in_place(
                     _SCRATCH, 0, per_rank, algo=algo
                 )
+                if flow_log is not None:
+                    flow_trials[algo] = _flow_trial(comm.netflow, duration)
+                    comm.netflow = None
                 if verify:
                     for nd in comm.nodes:
                         if not np.array_equal(nd.buffer(_SCRATCH), expected):
@@ -120,15 +143,76 @@ def autotune(
                 restore_accounting()
             winner = min(measured, key=measured.__getitem__)
             cache.record(comm.topology, n, total, winner, measured)
+            if flow_log is not None:
+                from repro.tuning.select import algorithm_costs
+
+                modeled = algorithm_costs(
+                    comm.topology, float(total),
+                    positions=comm._positions(), algorithms=algorithms,
+                )
+                for algo, entry in flow_trials.items():
+                    entry["modeled_s"] = modeled.get(algo)
+                    entry["chosen"] = algo == winner
+                flow_entries.append({
+                    "payload_bytes": total,
+                    "per_rank_bytes": per_rank,
+                    "winner": winner,
+                    "trials": flow_trials,
+                })
     finally:
         comm.injector = saved_injector
         comm.tracer = tracer
         comm.metrics = saved_metrics
+        comm.netflow = saved_netflow
         for nd in comm.nodes:
             if nd.has_buffer(_SCRATCH):
                 nd.free(_SCRATCH)
         restore_accounting()
+    if flow_log is not None:
+        _write_flow_log(flow_log, comm, n, flow_entries)
     return cache
+
+
+def _flow_trial(ledger, duration: float) -> dict:
+    """One trial's ledger distilled for the tune document."""
+    colls = ledger.collectives()
+    c = colls[0] if colls else None
+    links = sorted(
+        ledger.links().items(),
+        key=lambda kv: (-kv[1]["bytes"], kv[0]),
+    )
+    return {
+        "measured_s": duration,
+        "alpha_s": c.alpha_s if c else 0.0,
+        "serial_s": c.serial_s if c else 0.0,
+        "contention_s": c.contention_s if c else 0.0,
+        "rounds": c.rounds if c else 0,
+        "bytes": c.nbytes if c else 0,
+        "links": {
+            label: {
+                "kind": e["kind"], "bytes": e["bytes"], "msgs": e["msgs"],
+                "queue_s": e["queue_s"],
+            }
+            for label, e in links[:8]
+        },
+    }
+
+
+def _write_flow_log(flow_log, comm, n: int, entries: list[dict]) -> None:
+    import json
+
+    from repro.ioutil import atomic_write_text
+    from repro.obs.netflow import NETFLOW_FORMAT_VERSION
+
+    doc = {
+        "netflow_format_version": NETFLOW_FORMAT_VERSION,
+        "kind": "tune",
+        "nodes": n,
+        "topology": comm.topology.signature,
+        "payloads": entries,
+    }
+    atomic_write_text(flow_log, json.dumps(doc, indent=1, sort_keys=True)
+                      + "\n")
 
 
 def _pattern(born_rank: int, per_rank: int) -> np.ndarray:

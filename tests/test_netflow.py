@@ -1,0 +1,513 @@
+"""The network observatory: per-link flow ledger, contention
+attribution, and ``repro netview`` (DESIGN.md §16).
+
+Four contracts are pinned here:
+
+* **conservation of bytes** — for every Allgather algorithm on every
+  topology, with and without faults, the ledger's per-pair byte sums
+  equal the communicator's ``comm.link_bytes`` metrics *exactly*;
+* **exact decomposition** — alpha + serialization + contention + local
+  reconstructs every collective's modeled span bit-for-bit;
+* **observer effect zero** — netflow on/off runs are bit-identical
+  (buffers, OpCounters, PhaseTimes, makespan), the counter tracks are
+  strictly appended after everything else, and a run without netflow
+  never imports the module;
+* **attribution** — on fat-trees the uplinks out-rank intra-switch
+  links, contention blames the causing leaf switch, and under serving
+  every flow carries its job_id.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import run_on_cucc
+from repro.cli import main as cli_main
+from repro.cluster import Cluster, make_cluster, make_topology
+from repro.cluster.collectives import ALLGATHER_ALGOS
+from repro.cluster.faults import (
+    FaultInjector,
+    FaultPlan,
+    NodeCrash,
+    StragglerFault,
+)
+from repro.errors import ReproError
+from repro.hw import INFINIBAND_100G, SIMD_FOCUSED_NODE
+from repro.obs import METRICS, MetricsRegistry, SpanKind, Tracer
+from repro.obs.netflow import NETFLOW_FORMAT_VERSION, NetFlowLedger
+from repro.obs.netview import (
+    format_explain_tune,
+    format_heatmap,
+    format_netview,
+    load_netflow,
+)
+from repro.serve import CuCCServer, ServeConfig, synth_requests
+from repro.workloads import PERF_WORKLOADS
+from trace_schema import validate_chrome_trace
+
+NET = INFINIBAND_100G
+
+#: the satellite matrix: every algorithm on every topology shape
+TOPOLOGY_KINDS = ("flat", "fat-tree:2", "ring", "torus")
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    METRICS.reset()
+    yield
+    METRICS.reset()
+
+
+def _cluster(n, topo_kind, total_elems):
+    topo = make_topology(topo_kind, n, network=NET)
+    cl = Cluster(SIMD_FOCUSED_NODE, n, topology=topo)
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 256, size=(n, total_elems), dtype=np.uint8)
+    for r, node in enumerate(cl.nodes):
+        node.alloc("d", total_elems, np.uint8)[:] = data[r]
+    return cl
+
+
+def _observe(cl):
+    """Attach a private registry + a fresh ledger; return both."""
+    reg = MetricsRegistry()
+    cl.comm.metrics = reg
+    ledger = NetFlowLedger()
+    cl.comm.netflow = ledger
+    return reg, ledger
+
+
+def _assert_bytes_conserved(ledger, registry):
+    """Ledger per-pair sums == comm.link_bytes metrics, pair by pair."""
+    pairs = ledger.pair_bytes()
+    for (src, dst), nbytes in pairs.items():
+        metered = registry.value("comm.link_bytes", src=src, dst=dst)
+        assert metered == nbytes, (
+            f"pair {src}->{dst}: ledger says {nbytes}, metrics {metered}"
+        )
+    assert sum(pairs.values()) == registry.total("comm.link_bytes")
+
+
+# ---------------------------------------------------------------------------
+# satellite: conservation of bytes, under hypothesis
+# ---------------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    algo=st.sampled_from(ALLGATHER_ALGOS),
+    topo_kind=st.sampled_from(TOPOLOGY_KINDS),
+    n=st.integers(min_value=2, max_value=9),
+    per_rank=st.integers(min_value=0, max_value=96),
+    straggler=st.booleans(),
+)
+def test_conservation_of_bytes(algo, topo_kind, n, per_rank, straggler):
+    cl = _cluster(n, topo_kind, max(1, n * per_rank))
+    reg, ledger = _observe(cl)
+    if straggler:
+        plan = FaultPlan(
+            (StragglerFault(rank=n - 1, compute=2.0, network=3.0),), seed=0
+        )
+        cl.comm.injector = FaultInjector(plan)
+        cl.comm.injector.begin_launch(cl.nodes)
+    cl.comm.allgather_in_place("d", 0, per_rank, algo=algo)
+    _assert_bytes_conserved(ledger, reg)
+    if per_rank == 0 or n == 1:
+        assert len(ledger) == 0 or not ledger.flows()
+
+
+def test_conservation_survives_a_crash_shrink():
+    # the "with faults" leg: gather, lose a node, shrink, gather again —
+    # the carried ledger stays in lock-step with the carried metrics
+    cl = _cluster(6, "fat-tree:2", 6 * 16)
+    reg, ledger = _observe(cl)
+    cl.comm.allgather_in_place("d", 0, 16, algo="bruck")
+    cl.nodes[2].alive = False
+    cl.remove_dead()
+    assert cl.comm.netflow is ledger  # carried across the rebuild
+    for node in cl.nodes:
+        node.alloc("e", 5 * 8, np.uint8)
+    cl.comm.allgather_in_place("e", 0, 8, algo="ring")
+    _assert_bytes_conserved(ledger, reg)
+    assert {c.buffer for c in ledger.collectives()} == {"d", "e"}
+
+
+@pytest.mark.parametrize("topo_kind", TOPOLOGY_KINDS)
+def test_conservation_of_allgatherv(topo_kind):
+    counts = [0, 5, 1, 16, 0, 7, 3, 2]
+    cl = _cluster(8, topo_kind, sum(counts))
+    reg, ledger = _observe(cl)
+    cl.comm.allgatherv_in_place("d", 0, counts, algo="ring")
+    _assert_bytes_conserved(ledger, reg)
+    assert sum(ledger.pair_bytes().values()) > 0
+
+
+# ---------------------------------------------------------------------------
+# exact decomposition
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("algo", ALLGATHER_ALGOS)
+@pytest.mark.parametrize("topo_kind", TOPOLOGY_KINDS)
+def test_decomposition_reconstructs_span_exactly(algo, topo_kind):
+    cl = _cluster(8, topo_kind, 8 * 64)
+    _, ledger = _observe(cl)
+    tracer = Tracer(enabled=True)
+    cl.comm.tracer = tracer
+    dur = cl.comm.allgather_in_place("d", 0, 64, algo=algo)
+    (c,) = ledger.collectives()
+    # the four components rebuild the modeled span bit-for-bit, in the
+    # ledger's own summation order
+    assert c.reconstructed_s == c.span_s
+    assert c.local_s == 0.0  # in-place: no copy term
+    (span,) = [s for s in tracer.spans if s.kind == SpanKind.COLLECTIVE]
+    assert c.span_s == span.args["dur_s"] == dur
+    assert c.alpha_s >= 0 and c.serial_s >= 0 and c.contention_s >= 0
+
+
+def test_out_of_place_copy_lands_in_local_component():
+    cl = _cluster(4, "flat", 4 * 32)
+    for node in cl.nodes:
+        node.alloc("src", 32, np.uint8)[:] = node.buffer("d")[:32]
+    _, ledger = _observe(cl)
+    dur = cl.comm.allgather_out_of_place("src", "d", 32, copy_GBs=10.0,
+                                         algo="ring")
+    (c,) = ledger.collectives()
+    assert c.op == "allgather-oop"
+    assert c.local_s > 0.0  # the copy term, excluded from wire time
+    assert c.reconstructed_s == c.span_s == dur
+
+
+# ---------------------------------------------------------------------------
+# attribution: uplinks, contention, leaf-switch blame
+# ---------------------------------------------------------------------------
+def test_uplinks_outrank_intra_switch_links():
+    cl = _cluster(8, "fat-tree:2", 8 * 128)
+    _, ledger = _observe(cl)
+    cl.comm.allgather_in_place("d", 0, 128, algo="bruck")
+    links = sorted(ledger.links().items(), key=lambda kv: -kv[1]["bytes"])
+    kinds = [entry["kind"] for _, entry in links]
+    n_up = sum(1 for k in kinds if k == "uplink")
+    assert n_up > 0 and all(k == "uplink" for k in kinds[:n_up]), (
+        "every uplink must carry more bytes than any intra-switch link"
+    )
+    # contention is attributed to the causing leaf switch's uplink only
+    for label, entry in links:
+        if entry["queue_s"] > 0:
+            assert entry["kind"] == "uplink" and label.startswith("uplink:s")
+
+
+def test_ring_on_fat_tree_is_contention_free():
+    # one crossing sender per leaf switch per round -> uplink share 1
+    cl = _cluster(8, "fat-tree:2", 8 * 64)
+    _, ledger = _observe(cl)
+    cl.comm.allgather_in_place("d", 0, 64, algo="ring")
+    assert all(f.share == 1 for f in ledger.flows())
+    assert all(c.contention_s == 0.0 for c in ledger.collectives())
+
+
+def test_contending_algos_blame_shared_uplinks():
+    cl = _cluster(8, "fat-tree:2", 8 * 64)
+    _, ledger = _observe(cl)
+    cl.comm.allgather_in_place("d", 0, 64, algo="recursive_doubling")
+    shared = [f for f in ledger.flows() if f.share > 1]
+    assert shared and all(f.kind == "uplink" for f in shared)
+    assert all(f.queue_s > 0 for f in shared)
+    (c,) = ledger.collectives()
+    assert c.contention_s > 0.0
+
+
+def test_bisection_accounting():
+    cl = _cluster(8, "fat-tree:2", 8 * 64)
+    _, ledger = _observe(cl)
+    cl.comm.allgather_in_place("d", 0, 64, algo="bruck")
+    doc = ledger.to_doc()
+    (b,) = doc["bisection"].values()
+    assert b["bisection_bytes_per_s"] > 0
+    assert b["oversubscription"] > 1.0  # 8 nodes feed 4 uplink shares
+    assert 0 < b["bytes_crossing"] <= doc["totals"]["bytes"]
+
+
+# ---------------------------------------------------------------------------
+# observer effect: bit-identity, appended counters, zero import
+# ---------------------------------------------------------------------------
+def _run(name="KMeans", nodes=8, **kw):
+    spec = PERF_WORKLOADS[name]("small", seed=0)
+    cluster = make_cluster("simd-focused", nodes,
+                           topology=make_topology("fat-tree:2", nodes,
+                                                  network=NET))
+    return run_on_cucc(spec, cluster, **kw)
+
+
+def test_netflow_off_is_bit_identical():
+    METRICS.reset()
+    off = _run(netflow=False)
+    METRICS.reset()
+    on = _run(netflow=True)
+    assert off.record.phases == on.record.phases
+    assert off.runtime.sim_time == on.runtime.sim_time
+    assert off.record.comm_bytes == on.record.comm_bytes
+    assert off.runtime.netflow is None
+    assert len(on.runtime.netflow) > 0
+
+
+def test_serving_netflow_off_is_bit_identical():
+    reqs = synth_requests("KMeans:1,Transpose:1", rate=2e6, jobs=6,
+                          nodes=4, seed=0)
+    config = dict(nodes=8, topology="fat-tree:2")
+    off = CuCCServer(ServeConfig(**config)).run(list(reqs))
+    METRICS.reset()
+    on = CuCCServer(ServeConfig(netflow=True, **config)).run(list(reqs))
+    assert [r.identity() for r in off.results] == \
+           [r.identity() for r in on.results]
+    assert off.stats.makespan_s == on.stats.makespan_s
+    assert off.netflow is None and len(on.netflow) > 0
+
+
+def test_counters_strictly_appended_after_everything_else(tmp_path):
+    from repro.obs.export import write_chrome_trace
+
+    reqs = synth_requests("KMeans", rate=2e6, jobs=4, nodes=4, seed=0)
+    config = dict(nodes=8, topology="fat-tree:2", trace=True,
+                  observatory=True)
+    off = CuCCServer(ServeConfig(**config))
+    off.run(list(reqs))
+    METRICS.reset()
+    on = CuCCServer(ServeConfig(netflow=True, **config))
+    on.run(list(reqs))
+    a = json.loads(write_chrome_trace(off.tracer, tmp_path / "off.json")
+                   .read_text())["traceEvents"]
+    b = json.loads(write_chrome_trace(on.tracer, tmp_path / "on.json")
+                   .read_text())["traceEvents"]
+    # the netflow-on trace is the netflow-off trace plus net.* counters
+    # strictly appended at the end — existing consumers see an
+    # identical prefix
+    assert b[:len(a)] == a
+    extra = b[len(a):]
+    assert extra and all(
+        e["ph"] == "C" and e["name"].startswith("net.") for e in extra
+    )
+    assert {e["name"] for e in extra} >= {"net.link_busy"}
+    assert validate_chrome_trace({"traceEvents": b,
+                                  "displayTimeUnit": "ms"}) == []
+
+
+def test_plain_run_and_serve_never_import_netflow():
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    code = (
+        "import sys; "
+        "from repro.bench.harness import run_on_cucc; "
+        "from repro.cluster import make_cluster; "
+        "from repro.workloads import PERF_WORKLOADS; "
+        "run_on_cucc(PERF_WORKLOADS['KMeans']('small', seed=0), "
+        "make_cluster('simd-focused', 4)); "
+        "from repro.serve import ServeConfig, serve_requests, "
+        "synth_requests; "
+        "reqs = synth_requests('FIR', rate=2e6, jobs=2, nodes=2, seed=0); "
+        "serve_requests(reqs, ServeConfig(nodes=2)); "
+        "loaded = [m for m in ('repro.obs.netflow', 'repro.obs.netview') "
+        "if m in sys.modules]; "
+        "print(','.join(loaded)); sys.exit(1 if loaded else 0)"
+    )
+    env = dict(os.environ, PYTHONPATH=os.path.abspath(src))
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          capture_output=True, text=True)
+    assert proc.returncode == 0, (
+        f"unobserved execution imported {proc.stdout.strip()}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# serving attribution
+# ---------------------------------------------------------------------------
+def test_serving_attributes_flows_by_job():
+    reqs = synth_requests("KMeans:1,Transpose:1", rate=2e6, jobs=5,
+                          nodes=4, seed=0)
+    server = CuCCServer(ServeConfig(nodes=8, topology="fat-tree:2",
+                                    netflow=True))
+    report = server.run(list(reqs))
+    jobs = {c.job_id for c in report.netflow.collectives()}
+    assert jobs and all(j is not None for j in jobs)
+    served = {r.request.job_id for r in report.results
+              if r.status == "ok" and r.record.comm_bytes > 0}
+    assert jobs == served
+    doc = report.netflow.to_doc()
+    assert set(doc["jobs"]) == jobs
+    assert sum(j["bytes"] for j in doc["jobs"].values()) == \
+        doc["totals"]["bytes"]
+    # flows carry physical pool node ids, so uplink labels name the job
+    for f in report.netflow.flows():
+        if f.kind == "uplink":
+            assert f.link.startswith("uplink:job-")
+
+
+def test_adopt_shifts_and_remaps():
+    cl = _cluster(4, "flat", 4 * 8)
+    _, ledger = _observe(cl)
+    cl.comm.allgather_in_place("d", 0, 8, algo="ring")
+    adopted = NetFlowLedger()
+    adopted.adopt(ledger._raw, shift=1.5, job_id="job-X",
+                  node_map=(10, 11, 12, 13))
+    (c0,), (c1,) = ledger.collectives(), adopted.collectives()
+    assert c1.t0 == c0.t0 + 1.5 and c1.job_id == "job-X"
+    assert c1.span_s == c0.span_s  # pricing unaffected by display remap
+    assert {f.src for f in adopted.flows()} <= {10, 11, 12, 13}
+    assert all(f.t0 >= 1.5 for f in adopted.flows())
+    assert sum(adopted.pair_bytes().values()) == \
+        sum(ledger.pair_bytes().values())
+
+
+# ---------------------------------------------------------------------------
+# document round-trip, netview rendering, CLI
+# ---------------------------------------------------------------------------
+def test_doc_roundtrip_and_version_guard(tmp_path):
+    cl = _cluster(8, "fat-tree:2", 8 * 64)
+    _, ledger = _observe(cl)
+    cl.comm.allgather_in_place("d", 0, 64, algo="bruck")
+    path = ledger.dump(tmp_path / "nf.json")
+    doc = load_netflow(path)
+    assert doc["kind"] == "run"
+    assert doc["netflow_format_version"] == NETFLOW_FORMAT_VERSION
+    text = format_netview(doc)
+    assert "hottest links" in text and "uplink:s" in text
+    assert "contention ranking" in text and "bisection" in text
+    assert format_heatmap(doc["matrix"]).count("\n") >= 8
+    # wrong version / wrong shape are rejected, not mis-rendered
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"netflow_format_version": 99, "kind": "run"}))
+    with pytest.raises(ReproError, match="not supported"):
+        load_netflow(bad)
+    bad.write_text("{}")
+    with pytest.raises(ReproError, match="not a netflow document"):
+        load_netflow(bad)
+    with pytest.raises(ReproError, match="explain-tune"):
+        format_netview({"kind": "tune"})
+    with pytest.raises(ReproError, match="run netflow document"):
+        format_explain_tune(doc)
+
+
+def test_dump_is_deterministic(tmp_path):
+    paths = []
+    for name in ("a.json", "b.json"):
+        METRICS.reset()
+        cl = _cluster(8, "fat-tree:2", 8 * 64)
+        _, ledger = _observe(cl)
+        cl.comm.allgather_in_place("d", 0, 64, algo="recursive_doubling")
+        paths.append(ledger.dump(tmp_path / name))
+    assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+def test_cli_run_netflow_netview_and_metrics_json(tmp_path, capsys):
+    nf = tmp_path / "nf.json"
+    mj = tmp_path / "m.json"
+    rc = cli_main(["run", "KMeans", "--nodes", "8",
+                   "--topology", "fat-tree:2", "--netflow", str(nf),
+                   "--metrics-json", str(mj)])
+    out = capsys.readouterr().out
+    assert rc == 0 and "wrote netflow ledger" in out
+    rc = cli_main(["netview", str(nf)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "network view" in out and "hottest links" in out
+    assert "uplink:s" in out and "oversub" in out
+    # a run document is not explainable as a tune sweep
+    assert cli_main(["netview", str(nf), "--explain-tune"]) == 1
+    assert "run netflow document" in capsys.readouterr().err
+    # metrics snapshot renders through repro report
+    rc = cli_main(["report", "--metrics-json", str(mj)])
+    out = capsys.readouterr().out
+    assert rc == 0 and "comm.gathers" in out
+    assert json.loads(mj.read_text())["metrics_format_version"] == 1
+
+
+def test_cli_tune_netflow_explains_the_sweep(tmp_path, capsys):
+    nf = tmp_path / "tune.json"
+    rc = cli_main(["tune", "--nodes", "8", "--topology", "fat-tree:2",
+                   "--payload", "1048576",
+                   "--cache", str(tmp_path / "tc.json"),
+                   "--netflow", str(nf)])
+    assert rc == 0
+    capsys.readouterr()
+    rc = cli_main(["netview", "--explain-tune", str(nf)])
+    out = capsys.readouterr().out
+    assert rc == 0 and "tune explain" in out
+    # the large-payload story: ring dodges the uplink contention the
+    # recursive algorithms pay
+    assert "*ring" in out and "uplink:s" in out
+    doc = json.loads(nf.read_text())
+    assert doc["kind"] == "tune"
+    for entry in doc["payloads"]:
+        trials = entry["trials"]
+        assert entry["winner"] in trials
+        assert sum(1 for t in trials.values() if t.get("chosen")) == 1
+    # and the plain renderer refuses it
+    assert cli_main(["netview", str(nf)]) == 1
+
+
+def test_cli_netflow_requires_cucc_and_rejects_resume(tmp_path, capsys):
+    rc = cli_main(["run", "FIR", "--platform", "pgas",
+                   "--netflow", "x.json"])
+    assert rc == 1
+    assert "--netflow requires" in capsys.readouterr().err
+    rc = cli_main(["run", "FIR", "--resume", str(tmp_path / "c.ckpt"),
+                   "--netflow", "x.json"])
+    assert rc == 1
+    assert "--netflow is not supported with --resume" in \
+        capsys.readouterr().err
+
+
+def test_cli_serve_netflow(tmp_path, capsys):
+    nf = tmp_path / "snf.json"
+    rc = cli_main(["serve", "--mix", "KMeans", "--jobs", "3",
+                   "--nodes", "8", "--job-nodes", "4",
+                   "--topology", "fat-tree:2", "--seed", "0",
+                   "--netflow", str(nf)])
+    out = capsys.readouterr().out
+    assert rc == 0 and "attributed by job_id" in out
+    rc = cli_main(["netview", str(nf)])
+    out = capsys.readouterr().out
+    assert rc == 0 and "per-job traffic" in out and "job-00" in out
+
+
+# ---------------------------------------------------------------------------
+# trace schema: net counter validation
+# ---------------------------------------------------------------------------
+def _counter(name, ts, pid=0, value=1.0):
+    return {"ph": "C", "name": name, "pid": pid, "tid": 0, "ts": ts,
+            "cat": "counter", "args": {"value": value}}
+
+
+def test_schema_rejects_unknown_net_counter():
+    trace = {"displayTimeUnit": "ms",
+             "traceEvents": [_counter("net.bogus_track", 0.0)]}
+    problems = validate_chrome_trace(trace)
+    assert any("unknown network counter" in p for p in problems)
+
+
+def test_schema_rejects_backwards_counter_timestamps():
+    trace = {"displayTimeUnit": "ms",
+             "traceEvents": [_counter("net.link_busy", 5.0),
+                             _counter("net.link_busy", 3.0)]}
+    problems = validate_chrome_trace(trace)
+    assert any("goes backwards" in p for p in problems)
+    # distinct pids are distinct tracks: no ordering constraint between
+    trace = {"displayTimeUnit": "ms",
+             "traceEvents": [_counter("net.link_busy", 5.0, pid=1),
+                             _counter("net.link_busy", 3.0, pid=2)]}
+    assert validate_chrome_trace(trace) == []
+
+
+def test_metrics_snapshot_json_is_deterministic():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.inc("x.count", 2, algo="ring")
+    a.observe("x.hist", 3.0)
+    b.observe("x.hist", 3.0)
+    b.inc("x.count", 2, algo="ring")
+    assert a.snapshot_json() == b.snapshot_json()
+    doc = json.loads(a.snapshot_json())
+    assert doc["metrics_format_version"] == 1
+    assert doc["metrics"]["x.count"]["algo=ring"] == 2.0

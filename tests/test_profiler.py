@@ -480,6 +480,7 @@ def test_run_continuous_emits_documents_matching_baselines(tmp_path):
         "BENCH_collectives.json",
         "BENCH_fault_overhead.json",
         "BENCH_jit.json",
+        "BENCH_network.json",
         "BENCH_obs_overhead.json",
         "BENCH_phase_split.json",
         "BENCH_scaling.json",

@@ -28,6 +28,12 @@ KNOWN_CATS = {
 #: metadata record names the exporter emits
 KNOWN_META = {"process_name", "process_sort_index"}
 
+#: counter tracks the netflow ledger appends (repro.obs.netflow).  Any
+#: counter event whose name starts with "net." must be one of these —
+#: a typo'd network track would otherwise silently render as an empty
+#: lane in Perfetto.
+NET_COUNTERS = {"net.link_busy", "net.contention"}
+
 
 def validate_chrome_trace(obj) -> list[str]:
     """Every schema violation in ``obj`` (a parsed trace), best-effort.
@@ -45,6 +51,10 @@ def validate_chrome_trace(obj) -> list[str]:
 
     ids: set[int] = set()
     parents: list[tuple[int, int]] = []  # (event index, parent id)
+    # per-(pid, counter name) last sample timestamp: a counter track's
+    # samples must be emitted in non-decreasing ts order or the viewer
+    # draws the step series wrong
+    counter_ts: dict[tuple[int, str], float] = {}
     for i, ev in enumerate(events):
         where = f"event[{i}]"
         if not isinstance(ev, dict):
@@ -89,6 +99,23 @@ def validate_chrome_trace(obj) -> list[str]:
                         f"{where}: counter series {k!r} must be a number, "
                         f"got {v!r}"
                     )
+            name = ev.get("name")
+            if isinstance(name, str):
+                if name.startswith("net.") and name not in NET_COUNTERS:
+                    problems.append(
+                        f"{where}: unknown network counter track {name!r} "
+                        f"(known: {sorted(NET_COUNTERS)})"
+                    )
+                if isinstance(ts, (int, float)):
+                    key = (ev.get("pid", -1), name)
+                    last = counter_ts.get(key)
+                    if last is not None and ts < last:
+                        problems.append(
+                            f"{where}: counter {name!r} ts {ts} goes "
+                            f"backwards (previous sample at {last})"
+                        )
+                    else:
+                        counter_ts[key] = ts
             continue
         if ph == "X":
             dur = ev.get("dur")
